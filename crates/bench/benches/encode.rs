@@ -1,0 +1,75 @@
+//! E7 — adequacy round trips: encode/decode throughput for the
+//! hand-written per-language encoders and the generic syntaxdef bridge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_bench::workloads;
+use hoas_langs::{fol, imp, lambda};
+use hoas_syntaxdef::{Arg, LanguageDef};
+
+fn lc_def() -> LanguageDef {
+    LanguageDef::new("lc")
+        .sort("tm")
+        .prod("lam", "tm", [Arg::binding("tm", "tm")])
+        .prod("app", "tm", [Arg::sort("tm"), Arg::sort("tm")])
+}
+
+fn bench_lambda_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode-lambda");
+    let def = lc_def();
+    for size in [64usize, 256, 1024] {
+        let terms = workloads::lambda_encodings(workloads::SEED, size, 8);
+        let trees: Vec<_> = terms.iter().map(|(t, _)| lambda::to_tree(t)).collect();
+        group.bench_with_input(BenchmarkId::new("encode", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (t, _) in ts {
+                    std::hint::black_box(lambda::encode(t).expect("closed"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("decode", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (_, e) in ts {
+                    std::hint::black_box(lambda::decode(e).expect("canonical"));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("bridge-encode", size), &trees, |b, ts| {
+            b.iter(|| {
+                for tree in ts {
+                    std::hint::black_box(
+                        hoas_syntaxdef::encode(&def, "tm", tree).expect("well-sorted"),
+                    );
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fol_and_imp_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("encode-others");
+    for depth in [4u32, 6] {
+        let (_, fs) = workloads::formulas(workloads::SEED, depth, 10);
+        group.bench_with_input(BenchmarkId::new("fol-roundtrip", depth), &fs, |b, fs| {
+            b.iter(|| {
+                for f in fs {
+                    let e = fol::encode(f).expect("closed");
+                    std::hint::black_box(fol::decode(&e).expect("canonical"));
+                }
+            })
+        });
+        let progs = workloads::imp_programs(workloads::SEED, depth.min(5), 10);
+        group.bench_with_input(BenchmarkId::new("imp-roundtrip", depth), &progs, |b, ps| {
+            b.iter(|| {
+                for p in ps {
+                    let e = imp::encode(p).expect("bound");
+                    std::hint::black_box(imp::decode(&e).expect("canonical"));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lambda_roundtrip, bench_fol_and_imp_roundtrip);
+criterion_main!(benches);

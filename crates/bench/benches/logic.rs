@@ -1,0 +1,109 @@
+//! E9 — λProlog-style resolution over HOAS: list recursion depth and
+//! binder-heavy type inference (eigenvariables + hypothetical clauses).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_core::Term;
+use hoas_lp::examples::{append_program, stlc_program};
+use hoas_lp::solve::{query_menv, solve, SolveConfig};
+use hoas_lp::Goal;
+
+fn church_term(n: u32) -> String {
+    // λs. λz. s (s … z) in the object syntax of the stlc program.
+    let mut body = String::from("z");
+    for _ in 0..n {
+        body = format!("app s ({body})");
+    }
+    format!(r"lam (\s. lam (\z. {body}))")
+}
+
+fn bench_append(c: &mut Criterion) {
+    let prog = append_program();
+    let mut group = c.benchmark_group("lp-append");
+    for n in [4usize, 16, 64] {
+        // append [a; n] nil ?Z — n resolution steps.
+        let mut list = String::from("nil");
+        for _ in 0..n {
+            list = format!("cons a ({list})");
+        }
+        let (goal, menv) =
+            query_menv(prog.sig(), &format!("append ({list}) nil ?Z"), &[("Z", "i")]).unwrap();
+        group.bench_with_input(BenchmarkId::new("ground", n), &n, |b, _| {
+            b.iter(|| {
+                let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+                assert_eq!(out.answers.len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_stlc_inference(c: &mut Criterion) {
+    let prog = stlc_program();
+    let mut group = c.benchmark_group("lp-stlc");
+    group.sample_size(10);
+    for n in [2u32, 6, 10] {
+        let (goal, menv) = query_menv(
+            prog.sig(),
+            &format!("of ({}) ?T", church_term(n)),
+            &[("T", "tp")],
+        )
+        .unwrap();
+        let cfg = SolveConfig {
+            max_depth: 1024,
+            ..SolveConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("church", n), &n, |b, _| {
+            b.iter(|| {
+                let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+                assert_eq!(out.answers.len(), 1);
+            })
+        });
+    }
+    // Nested binders: of (λx₁…λxₙ. x₁) ?T — n eigenvariables + hypotheses.
+    for n in [2u32, 8, 16] {
+        let mut t = String::from("x0");
+        for i in (0..n).rev() {
+            t = format!(r"lam (\x{i}. {t})");
+        }
+        let (goal, menv) =
+            query_menv(prog.sig(), &format!("of ({t}) ?T"), &[("T", "tp")]).unwrap();
+        group.bench_with_input(BenchmarkId::new("nested-binders", n), &n, |b, _| {
+            b.iter(|| {
+                let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+                assert_eq!(out.answers.len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pi_goals(c: &mut Criterion) {
+    // Raw eigenvariable machinery: pi x1..xn. eq xn xn.
+    let sig = hoas_core::sig::Signature::parse(
+        "type i. type o. const eq : i -> i -> o.",
+    )
+    .unwrap();
+    let mut prog = hoas_lp::Program::new(sig);
+    prog.push(hoas_lp::Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
+    let mut group = c.benchmark_group("lp-pi");
+    for n in [4u32, 16, 64] {
+        let mut goal = Goal::Atom(Term::apps(
+            Term::cnst("eq"),
+            [Term::Var(0), Term::Var(0)],
+        ));
+        for i in 0..n {
+            goal = Goal::pi(format!("x{i}"), hoas_core::Ty::base("i"), goal);
+        }
+        group.bench_with_input(BenchmarkId::new("nested-pi", n), &n, |b, _| {
+            b.iter(|| {
+                let out = solve(&prog, &hoas_core::term::MetaEnv::new(), &goal, &SolveConfig::default())
+                    .unwrap();
+                assert_eq!(out.answers.len(), 1);
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_append, bench_stlc_inference, bench_pi_goals);
+criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! E3/E4 — program transformation throughput: the HOAS rewrite engine vs
+//! hand-written first-order passes, on prenex normal form and
+//! imperative-language optimization. Includes the strategy ablation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_bench::{baseline, workloads};
+use hoas_core::Term;
+use hoas_langs::{fol, imp};
+use hoas_rewrite::rulesets::{fol_prenex, imp_opt};
+use hoas_rewrite::{Engine, EngineConfig, Strategy};
+
+fn bench_prenex(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prenex");
+    group.sample_size(10);
+    for depth in [3u32, 5, 7] {
+        let (vocab, fs) = workloads::formulas(workloads::SEED, depth, 10);
+        let sig = vocab.signature();
+        let rules = fol_prenex::rules(&sig).expect("connectives present");
+        let engine = Engine::new(&sig, &rules);
+        let encoded: Vec<Term> = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+        group.bench_with_input(BenchmarkId::new("hoas-rules", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &encoded {
+                    engine.normalize(&fol::o(), e).expect("well-typed");
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native", depth), &depth, |b, _| {
+            b.iter(|| {
+                for f in &fs {
+                    std::hint::black_box(baseline::prenex_native(f));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_imp_opt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("imp-opt");
+    group.sample_size(10);
+    for depth in [3u32, 4, 5] {
+        let progs = workloads::imp_programs(workloads::SEED, depth, 10);
+        let sig = imp::signature();
+        let rules = imp_opt::rules(sig).expect("constructors present");
+        let engine = Engine::new(sig, &rules);
+        let encoded: Vec<Term> = progs.iter().map(|p| imp::encode(p).expect("bound")).collect();
+        group.bench_with_input(BenchmarkId::new("hoas-rules", depth), &depth, |b, _| {
+            b.iter(|| {
+                for e in &encoded {
+                    engine.normalize(&imp::cmd_ty(), e).expect("well-typed");
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("native", depth), &depth, |b, _| {
+            b.iter(|| {
+                for p in &progs {
+                    std::hint::black_box(baseline::optimize_imp_native(p));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    // Ablation: outermost vs innermost on the same optimization workload.
+    let mut group = c.benchmark_group("strategy-ablation");
+    group.sample_size(10);
+    let progs = workloads::imp_programs(workloads::SEED, 4, 10);
+    let sig = imp::signature();
+    let rules = imp_opt::rules(sig).expect("constructors present");
+    let encoded: Vec<Term> = progs.iter().map(|p| imp::encode(p).expect("bound")).collect();
+    for (name, strategy) in [
+        ("outermost", Strategy::LeftmostOutermost),
+        ("innermost", Strategy::LeftmostInnermost),
+    ] {
+        let engine = Engine::with_config(
+            sig,
+            &rules,
+            EngineConfig {
+                strategy,
+                ..EngineConfig::default()
+            },
+        );
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for e in &encoded {
+                    engine.normalize(&imp::cmd_ty(), e).expect("well-typed");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prenex, bench_imp_opt, bench_strategies);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E1/E2 — substitution and α-equivalence across representations.
+//!
+//! Series: named-naive / named-capture-avoiding / de Bruijn / HOAS β, as
+//! a function of body size. The paper's claim: HOAS gets substitution
+//! "for free" from the metalanguage at no asymptotic cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_bench::workloads::{self, SEED};
+use hoas_langs::lambda;
+
+fn bench_substitution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substitution");
+    for size in [16usize, 64, 256, 1024] {
+        let inst = workloads::subst_instance(SEED, size);
+        group.bench_with_input(BenchmarkId::new("named-naive", size), &inst, |b, inst| {
+            b.iter(|| inst.body_tree.subst_naive("subj", &inst.arg_tree))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("named-capture-avoiding", size),
+            &inst,
+            |b, inst| b.iter(|| inst.body_tree.subst("subj", &inst.arg_tree)),
+        );
+        group.bench_with_input(BenchmarkId::new("debruijn", size), &inst, |b, inst| {
+            b.iter(|| inst.body_db.subst_free("subj", &inst.arg_db))
+        });
+        group.bench_with_input(BenchmarkId::new("hoas-beta", size), &inst, |b, inst| {
+            b.iter(|| lambda::subst_hoas(&inst.hoas_abs, &inst.hoas_arg).expect("lam encoding"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_alpha_equivalence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("alpha-equivalence");
+    for size in [64usize, 512, 4096] {
+        let inst = workloads::alpha_instance(SEED, size);
+        group.bench_with_input(BenchmarkId::new("named", size), &inst, |b, inst| {
+            b.iter(|| inst.left_tree.alpha_eq(&inst.right_tree))
+        });
+        group.bench_with_input(BenchmarkId::new("debruijn", size), &inst, |b, inst| {
+            b.iter(|| inst.left_db == inst.right_db)
+        });
+        group.bench_with_input(BenchmarkId::new("hoas", size), &inst, |b, inst| {
+            b.iter(|| inst.left_hoas == inst.right_hoas)
+        });
+    }
+    group.finish();
+}
+
+fn bench_miniml_evaluators(c: &mut Criterion) {
+    // E8 lives here as well: evaluation is substitution-bound.
+    let mut group = c.benchmark_group("miniml-eval");
+    group.sample_size(10);
+    for (name, prog) in hoas_bench::workloads::miniml_programs() {
+        let encoded = hoas_langs::miniml::encode(&prog).expect("closed");
+        group.bench_function(BenchmarkId::new("native", name), |b| {
+            b.iter(|| {
+                let mut fuel = 50_000_000u64;
+                hoas_langs::miniml::eval_native(&prog, &mut fuel).expect("terminates")
+            })
+        });
+        group.bench_function(BenchmarkId::new("hoas", name), |b| {
+            b.iter(|| {
+                let mut fuel = 50_000_000u64;
+                hoas_langs::miniml::eval_hoas(&encoded, &mut fuel).expect("terminates")
+            })
+        });
+        group.bench_function(BenchmarkId::new("env-machine", name), |b| {
+            b.iter(|| {
+                let mut fuel = 50_000_000u64;
+                hoas_langs::miniml::eval_env(&prog, &mut fuel).expect("terminates")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_substitution,
+    bench_alpha_equivalence,
+    bench_miniml_evaluators
+);
+criterion_main!(benches);

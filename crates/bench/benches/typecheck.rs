@@ -1,0 +1,57 @@
+//! E5 — type checking and reconstruction throughput, plus normalization
+//! (the kernel services every experiment relies on).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hoas_bench::workloads;
+use hoas_core::prelude::*;
+use hoas_langs::lambda;
+
+fn bench_typecheck(c: &mut Criterion) {
+    let sig = lambda::signature();
+    let mut group = c.benchmark_group("typecheck");
+    for size in [64usize, 256, 1024, 4096] {
+        let terms = workloads::lambda_encodings(workloads::SEED, size, 8);
+        group.throughput(Throughput::Elements(terms.len() as u64));
+        group.bench_with_input(BenchmarkId::new("bidirectional", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (_, e) in ts {
+                    typeck::check_closed(sig, e, &lambda::tm()).expect("well-typed");
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("reconstruction", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (_, e) in ts {
+                    infer::reconstruct(sig, e).expect("well-typed");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalization(c: &mut Criterion) {
+    let sig = lambda::signature();
+    let mut group = c.benchmark_group("normalization");
+    for size in [64usize, 256, 1024] {
+        let terms = workloads::lambda_encodings(workloads::SEED, size, 8);
+        group.bench_with_input(BenchmarkId::new("nf", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (_, e) in ts {
+                    std::hint::black_box(normalize::nf(e));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("canon", size), &terms, |b, ts| {
+            b.iter(|| {
+                for (_, e) in ts {
+                    normalize::canon_closed(sig, e, &lambda::tm()).expect("well-typed");
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_typecheck, bench_normalization);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E6 — higher-order unification: the decidable pattern fragment vs
+//! Huet's search, and matching throughput as used by the rewriter.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_bench::workloads;
+use hoas_core::ctx::Ctx;
+use hoas_core::Ty;
+use hoas_unify::huet::{pre_unify_terms, HuetConfig};
+use hoas_unify::matching::{match_term, MatchConfig};
+use hoas_unify::pattern;
+
+fn bench_pattern_vs_huet(c: &mut Criterion) {
+    // Ablation: the same pattern-fragment problems solved by both engines.
+    let mut group = c.benchmark_group("pattern-fragment");
+    for depth in [3u32, 5, 7] {
+        let (sig, menv, pat, target) = workloads::pattern_problem(workloads::SEED, depth);
+        group.bench_with_input(BenchmarkId::new("pattern", depth), &depth, |b, _| {
+            b.iter(|| {
+                pattern::unify(&sig, &menv, &Ty::base("o"), &pat, &target).expect("solvable")
+            })
+        });
+        let cfg = HuetConfig {
+            max_solutions: 1,
+            ..HuetConfig::default()
+        };
+        group.bench_with_input(BenchmarkId::new("huet", depth), &depth, |b, _| {
+            b.iter(|| {
+                pre_unify_terms(&sig, &menv, &Ty::base("o"), &pat, &target, &cfg)
+                    .expect("well-formed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_huet_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("huet-search");
+    group.sample_size(10);
+    for d in [1u32, 3, 5] {
+        let (sig, menv, pat, target) = workloads::huet_problem(d);
+        let cfg = HuetConfig {
+            max_depth: 2 * d + 6,
+            max_solutions: 64,
+            fuel: 10_000_000,
+        };
+        group.bench_with_input(BenchmarkId::new("enumerate-all", d), &d, |b, _| {
+            b.iter(|| {
+                pre_unify_terms(&sig, &menv, &Ty::base("o"), &pat, &target, &cfg)
+                    .expect("well-formed")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    // Matching failure must be fast: the engine probes every rule at
+    // every position.
+    let mut group = c.benchmark_group("matching");
+    for depth in [3u32, 5, 7] {
+        let (sig, menv, pat, target) = workloads::pattern_problem(workloads::SEED, depth);
+        let cfg = MatchConfig::default();
+        group.bench_with_input(BenchmarkId::new("hit", depth), &depth, |b, _| {
+            b.iter(|| {
+                match_term(&sig, &menv, &Ctx::new(), &Ty::base("o"), &pat, &target, &cfg)
+                    .expect("well-formed")
+                    .expect("matches")
+            })
+        });
+        // A mismatching target with a different root connective.
+        let miss = hoas_core::Term::app(hoas_core::Term::cnst("not"), target.clone());
+        group.bench_with_input(BenchmarkId::new("miss", depth), &depth, |b, _| {
+            b.iter(|| {
+                let r = match_term(&sig, &menv, &Ctx::new(), &Ty::base("o"), &pat, &miss, &cfg)
+                    .expect("well-formed");
+                assert!(r.is_none());
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pattern_vs_huet, bench_huet_search, bench_matching);
+criterion_main!(benches);

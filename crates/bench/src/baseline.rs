@@ -1,0 +1,400 @@
+//! First-order baseline implementations of the paper's transformations —
+//! the renaming-heavy code that HOAS eliminates. Used as comparators in
+//! experiments E3 and E4.
+
+use hoas_langs::fol::{FoTerm, Formula};
+use hoas_langs::imp::{Aexp, Bexp, Cmd};
+use std::collections::HashSet;
+
+// ------------------------------------------------------------- FOL ------
+
+/// Renames free occurrences of variable `from` to `to` in a term.
+fn rename_term(t: &FoTerm, from: &str, to: &str) -> FoTerm {
+    match t {
+        FoTerm::Var(x) => {
+            if x == from {
+                FoTerm::Var(to.to_string())
+            } else {
+                t.clone()
+            }
+        }
+        FoTerm::Fun(g, args) => FoTerm::Fun(
+            g.clone(),
+            args.iter().map(|a| rename_term(a, from, to)).collect(),
+        ),
+    }
+}
+
+/// Renames free occurrences of `from` to `to` in a formula (stops at
+/// shadowing binders). `to` must be fresh — the caller guarantees it.
+pub fn rename_formula(f: &Formula, from: &str, to: &str) -> Formula {
+    match f {
+        Formula::Pred(p, args) => Formula::Pred(
+            p.clone(),
+            args.iter().map(|a| rename_term(a, from, to)).collect(),
+        ),
+        Formula::And(a, b) => Formula::and(rename_formula(a, from, to), rename_formula(b, from, to)),
+        Formula::Or(a, b) => Formula::or(rename_formula(a, from, to), rename_formula(b, from, to)),
+        Formula::Imp(a, b) => Formula::imp(rename_formula(a, from, to), rename_formula(b, from, to)),
+        Formula::Not(a) => Formula::not(rename_formula(a, from, to)),
+        Formula::Forall(x, a) => {
+            if x == from {
+                f.clone()
+            } else {
+                Formula::forall(x.clone(), rename_formula(a, from, to))
+            }
+        }
+        Formula::Exists(x, a) => {
+            if x == from {
+                f.clone()
+            } else {
+                Formula::exists(x.clone(), rename_formula(a, from, to))
+            }
+        }
+    }
+}
+
+/// Free variables of a formula (the occurrence bookkeeping HOAS gets from
+/// the metalanguage).
+pub fn formula_free_vars(f: &Formula) -> HashSet<String> {
+    fn term(t: &FoTerm, bound: &[String], acc: &mut HashSet<String>) {
+        match t {
+            FoTerm::Var(x) => {
+                if !bound.iter().any(|b| b == x) {
+                    acc.insert(x.clone());
+                }
+            }
+            FoTerm::Fun(_, args) => {
+                for a in args {
+                    term(a, bound, acc);
+                }
+            }
+        }
+    }
+    fn go(f: &Formula, bound: &mut Vec<String>, acc: &mut HashSet<String>) {
+        match f {
+            Formula::Pred(_, args) => {
+                for a in args {
+                    term(a, bound, acc);
+                }
+            }
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Imp(a, b) => {
+                go(a, bound, acc);
+                go(b, bound, acc);
+            }
+            Formula::Not(a) => go(a, bound, acc),
+            Formula::Forall(x, a) | Formula::Exists(x, a) => {
+                bound.push(x.clone());
+                go(a, bound, acc);
+                bound.pop();
+            }
+        }
+    }
+    let mut acc = HashSet::new();
+    go(f, &mut Vec::new(), &mut acc);
+    acc
+}
+
+/// A quantifier in a prenex prefix.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Quant {
+    All,
+    Ex,
+}
+
+/// Hand-written prenex normal form on the named AST, with explicit
+/// fresh-name generation and renaming — the first-order counterpart of
+/// the `fol_prenex` rule set.
+pub fn prenex_native(f: &Formula) -> Formula {
+    let nnf = to_nnf(&eliminate_imp(f));
+    let mut counter = 0usize;
+    let (prefix, matrix) = pull(&nnf, &mut counter);
+    prefix
+        .into_iter()
+        .rev()
+        .fold(matrix, |acc, (q, x)| match q {
+            Quant::All => Formula::forall(x, acc),
+            Quant::Ex => Formula::exists(x, acc),
+        })
+}
+
+fn eliminate_imp(f: &Formula) -> Formula {
+    match f {
+        Formula::Pred(..) => f.clone(),
+        Formula::And(a, b) => Formula::and(eliminate_imp(a), eliminate_imp(b)),
+        Formula::Or(a, b) => Formula::or(eliminate_imp(a), eliminate_imp(b)),
+        Formula::Imp(a, b) => Formula::or(Formula::not(eliminate_imp(a)), eliminate_imp(b)),
+        Formula::Not(a) => Formula::not(eliminate_imp(a)),
+        Formula::Forall(x, a) => Formula::forall(x.clone(), eliminate_imp(a)),
+        Formula::Exists(x, a) => Formula::exists(x.clone(), eliminate_imp(a)),
+    }
+}
+
+fn to_nnf(f: &Formula) -> Formula {
+    match f {
+        Formula::Pred(..) => f.clone(),
+        Formula::And(a, b) => Formula::and(to_nnf(a), to_nnf(b)),
+        Formula::Or(a, b) => Formula::or(to_nnf(a), to_nnf(b)),
+        Formula::Imp(..) => unreachable!("imp eliminated before NNF"),
+        Formula::Forall(x, a) => Formula::forall(x.clone(), to_nnf(a)),
+        Formula::Exists(x, a) => Formula::exists(x.clone(), to_nnf(a)),
+        Formula::Not(inner) => match inner.as_ref() {
+            Formula::Pred(..) => f.clone(),
+            Formula::Not(a) => to_nnf(a),
+            Formula::And(a, b) => Formula::or(
+                to_nnf(&Formula::not(a.as_ref().clone())),
+                to_nnf(&Formula::not(b.as_ref().clone())),
+            ),
+            Formula::Or(a, b) => Formula::and(
+                to_nnf(&Formula::not(a.as_ref().clone())),
+                to_nnf(&Formula::not(b.as_ref().clone())),
+            ),
+            Formula::Imp(a, b) => Formula::and(
+                to_nnf(a),
+                to_nnf(&Formula::not(b.as_ref().clone())),
+            ),
+            Formula::Forall(x, a) => {
+                Formula::exists(x.clone(), to_nnf(&Formula::not(a.as_ref().clone())))
+            }
+            Formula::Exists(x, a) => {
+                Formula::forall(x.clone(), to_nnf(&Formula::not(a.as_ref().clone())))
+            }
+        },
+    }
+}
+
+/// Pulls quantifiers out of an NNF formula, renaming every bound variable
+/// to a globally fresh one — the explicit capture-avoidance the rule set
+/// gets for free from pattern matching.
+fn pull(f: &Formula, counter: &mut usize) -> (Vec<(Quant, String)>, Formula) {
+    match f {
+        Formula::Pred(..) | Formula::Not(_) => (Vec::new(), f.clone()),
+        Formula::Forall(x, a) => {
+            let fresh = format!("pn{}", *counter);
+            *counter += 1;
+            let renamed = rename_formula(a, x, &fresh);
+            let (mut prefix, matrix) = pull(&renamed, counter);
+            prefix.insert(0, (Quant::All, fresh));
+            (prefix, matrix)
+        }
+        Formula::Exists(x, a) => {
+            let fresh = format!("pn{}", *counter);
+            *counter += 1;
+            let renamed = rename_formula(a, x, &fresh);
+            let (mut prefix, matrix) = pull(&renamed, counter);
+            prefix.insert(0, (Quant::Ex, fresh));
+            (prefix, matrix)
+        }
+        Formula::And(a, b) => {
+            let (pa, ma) = pull(a, counter);
+            let (pb, mb) = pull(b, counter);
+            let mut prefix = pa;
+            prefix.extend(pb);
+            (prefix, Formula::and(ma, mb))
+        }
+        Formula::Or(a, b) => {
+            let (pa, ma) = pull(a, counter);
+            let (pb, mb) = pull(b, counter);
+            let mut prefix = pa;
+            prefix.extend(pb);
+            (prefix, Formula::or(ma, mb))
+        }
+        Formula::Imp(..) => unreachable!("imp eliminated"),
+    }
+}
+
+// ------------------------------------------------------------- IMP ------
+
+/// Hand-written optimizer on the named imperative AST: constant folding,
+/// algebraic identities, branch folding, `skip` laws, dead declarations
+/// (with an explicit free-variable check). The first-order counterpart of
+/// the `imp_opt` rule set.
+pub fn optimize_imp_native(c: &Cmd) -> Cmd {
+    let mut cur = c.clone();
+    loop {
+        let next = opt_cmd(&cur);
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+fn opt_aexp(e: &Aexp) -> Aexp {
+    match e {
+        Aexp::Num(_) | Aexp::Var(_) => e.clone(),
+        Aexp::Add(a, b) => match (opt_aexp(a), opt_aexp(b)) {
+            (Aexp::Num(x), Aexp::Num(y)) => Aexp::Num(x.wrapping_add(y)),
+            (Aexp::Num(0), r) => r,
+            (l, Aexp::Num(0)) => l,
+            (l, r) => Aexp::add(l, r),
+        },
+        Aexp::Sub(a, b) => match (opt_aexp(a), opt_aexp(b)) {
+            (Aexp::Num(x), Aexp::Num(y)) => Aexp::Num(x.wrapping_sub(y)),
+            (l, Aexp::Num(0)) => l,
+            (l, r) => Aexp::sub(l, r),
+        },
+        Aexp::Mul(a, b) => match (opt_aexp(a), opt_aexp(b)) {
+            (Aexp::Num(x), Aexp::Num(y)) => Aexp::Num(x.wrapping_mul(y)),
+            (Aexp::Num(0), _) | (_, Aexp::Num(0)) => Aexp::Num(0),
+            (Aexp::Num(1), r) => r,
+            (l, Aexp::Num(1)) => l,
+            (l, r) => Aexp::mul(l, r),
+        },
+    }
+}
+
+fn bexp_value(e: &Bexp) -> Option<bool> {
+    match e {
+        Bexp::Le(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Aexp::Num(x), Aexp::Num(y)) => Some(x <= y),
+            _ => None,
+        },
+        Bexp::Eq(a, b) => match (a.as_ref(), b.as_ref()) {
+            (Aexp::Num(x), Aexp::Num(y)) => Some(x == y),
+            _ => None,
+        },
+        Bexp::Not(b) => bexp_value(b).map(|v| !v),
+        Bexp::And(a, b) => match (bexp_value(a), bexp_value(b)) {
+            (Some(x), Some(y)) => Some(x && y),
+            _ => None,
+        },
+    }
+}
+
+fn opt_bexp(e: &Bexp) -> Bexp {
+    match e {
+        Bexp::Le(a, b) => Bexp::le(opt_aexp(a), opt_aexp(b)),
+        Bexp::Eq(a, b) => Bexp::eq(opt_aexp(a), opt_aexp(b)),
+        Bexp::Not(b) => Bexp::not(opt_bexp(b)),
+        Bexp::And(a, b) => Bexp::and(opt_bexp(a), opt_bexp(b)),
+    }
+}
+
+fn opt_cmd(c: &Cmd) -> Cmd {
+    match c {
+        Cmd::Skip => Cmd::Skip,
+        Cmd::Assign(x, e) => Cmd::Assign(x.clone(), opt_aexp(e)),
+        Cmd::Print(e) => Cmd::Print(opt_aexp(e)),
+        Cmd::Seq(a, b) => match (opt_cmd(a), opt_cmd(b)) {
+            (Cmd::Skip, r) => r,
+            (l, Cmd::Skip) => l,
+            (l, r) => Cmd::seq(l, r),
+        },
+        Cmd::If(b, t, e) => {
+            let b2 = opt_bexp(b);
+            match bexp_value(&b2) {
+                Some(true) => opt_cmd(t),
+                Some(false) => opt_cmd(e),
+                None => {
+                    let t2 = opt_cmd(t);
+                    let e2 = opt_cmd(e);
+                    if t2 == e2 {
+                        t2
+                    } else {
+                        Cmd::if_(b2, t2, e2)
+                    }
+                }
+            }
+        }
+        Cmd::While(b, body) => {
+            let b2 = opt_bexp(b);
+            match bexp_value(&b2) {
+                Some(false) => Cmd::Skip,
+                _ => Cmd::while_(b2, opt_cmd(body)),
+            }
+        }
+        Cmd::Local(x, init, body) => {
+            let body2 = opt_cmd(body);
+            // The explicit occurs check HOAS replaces with a vacuous
+            // binder pattern.
+            if !body2.free_vars().contains(x.as_str()) {
+                body2
+            } else {
+                Cmd::local(x.clone(), opt_aexp(init), body2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_langs::fol::{Model, Vocabulary};
+    use hoas_langs::imp;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn native_prenex_matches_definition() {
+        let v = Vocabulary::small();
+        let mut rng = SmallRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let f = hoas_langs::fol::gen_formula(&v, &mut rng, 5);
+            let g = prenex_native(&f);
+            assert!(g.is_prenex(), "{f} -> {g}");
+            for _ in 0..3 {
+                let m = Model::random(&v, 2, &mut rng);
+                assert_eq!(
+                    m.eval(&f, &mut HashMap::new()).unwrap(),
+                    m.eval(&g, &mut HashMap::new()).unwrap(),
+                    "{f} vs {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn native_prenex_agrees_with_rule_set_on_quantifier_count() {
+        let v = Vocabulary::small();
+        let sig = v.signature();
+        let rules = hoas_rewrite::rulesets::fol_prenex::rules(&sig).unwrap();
+        let engine = hoas_rewrite::Engine::new(&sig, &rules);
+        let mut rng = SmallRng::seed_from_u64(6);
+        for _ in 0..25 {
+            let f = hoas_langs::fol::gen_formula(&v, &mut rng, 4);
+            let native = prenex_native(&f);
+            let out = engine
+                .normalize(&hoas_langs::fol::o(), &hoas_langs::fol::encode(&f).unwrap())
+                .unwrap();
+            let hoas = hoas_langs::fol::decode(&out.term).unwrap();
+            assert_eq!(
+                native.quantifier_count(),
+                hoas.quantifier_count(),
+                "prefix lengths differ for {f}"
+            );
+        }
+    }
+
+    #[test]
+    fn native_imp_optimizer_preserves_traces() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let c = imp::gen_cmd(&mut rng, 4);
+            let o = optimize_imp_native(&c);
+            match (imp::run(&c, 20_000), imp::run(&o, 20_000)) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "{c} vs {o}"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn rename_formula_respects_shadowing() {
+        use hoas_langs::fol::Formula as F;
+        // ∀x. p(x) ∧ p(y) — renaming y→z touches only y; renaming x→z is a
+        // no-op because x is bound.
+        let f = F::forall(
+            "x",
+            F::and(
+                F::Pred("p".into(), vec![FoTerm::Var("x".into())]),
+                F::Pred("p".into(), vec![FoTerm::Var("y".into())]),
+            ),
+        );
+        let renamed = rename_formula(&f, "y", "z");
+        assert!(formula_free_vars(&renamed).contains("z"));
+        let noop = rename_formula(&f, "x", "z");
+        assert_eq!(noop, f);
+    }
+}

@@ -1,0 +1,202 @@
+//! An ergonomic term-builder DSL: HOAS in the host language.
+//!
+//! Building de Bruijn terms by hand means computing indices, which is
+//! error-prone. This module lets you write binders as **Rust closures** —
+//! higher-order abstract syntax about higher-order abstract syntax:
+//!
+//! ```
+//! use hoas_core::build::{app, c, lam, build};
+//! use hoas_core::Term;
+//!
+//! // lam (\x. app x x)
+//! let t = build(app(c("lam"), lam("x", |x| app(app(c("app"), x.clone()), x))));
+//! assert_eq!(t.to_string(), r"lam (\x. app x x)");
+//! ```
+//!
+//! Internally a [`BTerm`] is a function from the current binding *level*
+//! to a [`Term`]; a bound variable captured at level `k` renders as de
+//! Bruijn index `level - 1 - k`. This is the standard level-to-index
+//! conversion and guarantees well-scoped output by construction.
+
+use crate::intern::Sym;
+use crate::term::{MVar, Term};
+use std::rc::Rc;
+
+/// A term under construction: a function from binding level to [`Term`].
+#[derive(Clone)]
+pub struct BTerm(Rc<dyn Fn(u32) -> Term>);
+
+impl BTerm {
+    /// Renders at the given level. Level 0 means "no enclosing binders".
+    pub fn render(&self, level: u32) -> Term {
+        (self.0)(level)
+    }
+}
+
+impl std::fmt::Debug for BTerm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BTerm({})", self.render(0))
+    }
+}
+
+/// Finishes building, producing a closed-scope term (level 0).
+pub fn build(t: BTerm) -> Term {
+    t.render(0)
+}
+
+/// A λ-abstraction; the closure receives the bound variable.
+pub fn lam(hint: impl Into<Sym>, f: impl Fn(BTerm) -> BTerm + 'static) -> BTerm {
+    let hint = hint.into();
+    BTerm(Rc::new(move |lvl| {
+        let k = lvl;
+        let var = BTerm(Rc::new(move |l| {
+            assert!(l > k, "bound variable used outside its binder");
+            Term::Var(l - 1 - k)
+        }));
+        Term::Lam(hint.clone(), Box::new(f(var).render(lvl + 1)))
+    }))
+}
+
+/// Application.
+pub fn app(f: BTerm, a: BTerm) -> BTerm {
+    BTerm(Rc::new(move |lvl| {
+        Term::app(f.render(lvl), a.render(lvl))
+    }))
+}
+
+/// Iterated application `f a₀ … aₙ`.
+pub fn apps(f: BTerm, args: impl IntoIterator<Item = BTerm>) -> BTerm {
+    args.into_iter().fold(f, app)
+}
+
+/// A constant.
+pub fn c(name: impl Into<Sym>) -> BTerm {
+    let name = name.into();
+    BTerm(Rc::new(move |_| Term::Const(name.clone())))
+}
+
+/// An integer literal.
+pub fn int(n: i64) -> BTerm {
+    BTerm(Rc::new(move |_| Term::Int(n)))
+}
+
+/// The unit value.
+pub fn unit() -> BTerm {
+    BTerm(Rc::new(|_| Term::Unit))
+}
+
+/// A pair.
+pub fn pair(a: BTerm, b: BTerm) -> BTerm {
+    BTerm(Rc::new(move |lvl| {
+        Term::pair(a.render(lvl), b.render(lvl))
+    }))
+}
+
+/// First projection.
+pub fn fst(p: BTerm) -> BTerm {
+    BTerm(Rc::new(move |lvl| Term::fst(p.render(lvl))))
+}
+
+/// Second projection.
+pub fn snd(p: BTerm) -> BTerm {
+    BTerm(Rc::new(move |lvl| Term::snd(p.render(lvl))))
+}
+
+/// A metavariable occurrence.
+pub fn mvar(m: MVar) -> BTerm {
+    BTerm(Rc::new(move |_| Term::Meta(m.clone())))
+}
+
+/// Embeds an already-built **closed** term.
+///
+/// # Panics
+///
+/// Panics when rendered if the term has free de Bruijn variables — embed
+/// only closed terms (this keeps every `BTerm` well-scoped by
+/// construction).
+pub fn embed(t: Term) -> BTerm {
+    BTerm(Rc::new(move |_| {
+        assert!(
+            t.is_locally_closed(),
+            "embed: only closed terms can be embedded"
+        );
+        t.clone()
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_and_const_combinators() {
+        // λx. x
+        let i = build(lam("x", |x| x));
+        assert_eq!(i, Term::lam("x", Term::Var(0)));
+        // λx. λy. x
+        let k = build(lam("x", |x| lam("y", move |_| x.clone())));
+        assert_eq!(k, Term::lams(["x", "y"], Term::Var(1)));
+    }
+
+    #[test]
+    fn s_combinator_indices() {
+        // λf. λg. λx. f x (g x)
+        let s = build(lam("f", |f| {
+            lam("g", move |g| {
+                let f = f.clone();
+                lam("x", move |x| {
+                    app(app(f.clone(), x.clone()), app(g.clone(), x))
+                })
+            })
+        }));
+        let expected = Term::lams(
+            ["f", "g", "x"],
+            Term::app(
+                Term::app(Term::Var(2), Term::Var(0)),
+                Term::app(Term::Var(1), Term::Var(0)),
+            ),
+        );
+        assert_eq!(s, expected);
+    }
+
+    #[test]
+    fn mixed_constructors() {
+        let t = build(pair(int(1), apps(c("f"), [unit(), fst(c("p"))])));
+        assert_eq!(
+            t,
+            Term::pair(
+                Term::Int(1),
+                Term::apps(Term::cnst("f"), [Term::Unit, Term::fst(Term::cnst("p"))])
+            )
+        );
+    }
+
+    #[test]
+    fn embed_closed_term() {
+        let inner = Term::lam("x", Term::Var(0));
+        let t = build(app(c("lam"), embed(inner.clone())));
+        assert_eq!(t, Term::app(Term::cnst("lam"), inner));
+    }
+
+    #[test]
+    #[should_panic(expected = "only closed terms")]
+    fn embed_open_term_panics() {
+        let open = Term::Var(0);
+        let _ = build(embed(open));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside its binder")]
+    fn escaping_variable_panics() {
+        // Leak the bound variable out of its binder via a cell.
+        use std::cell::RefCell;
+        let leaked: Rc<RefCell<Option<BTerm>>> = Rc::new(RefCell::new(None));
+        let leaked2 = leaked.clone();
+        let _ = build(lam("x", move |x| {
+            *leaked2.borrow_mut() = Some(x.clone());
+            x
+        }));
+        let escaped = leaked.borrow().clone().unwrap();
+        let _ = build(escaped); // x used at level 0: out of scope
+    }
+}

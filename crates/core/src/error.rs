@@ -1,0 +1,173 @@
+//! The kernel error type.
+
+use crate::intern::Sym;
+use crate::term::MVar;
+use crate::ty::Ty;
+use std::fmt;
+
+/// Errors produced by the metalanguage kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum Error {
+    /// A de Bruijn index had no entry in the typing context.
+    UnboundVar {
+        /// The out-of-range index.
+        index: u32,
+    },
+    /// A constant is not declared in the signature.
+    UnknownConst {
+        /// The undeclared name.
+        name: Sym,
+    },
+    /// A base type is not declared in the signature.
+    UnknownType {
+        /// The undeclared name.
+        name: Sym,
+    },
+    /// A metavariable has no type in the metavariable environment.
+    UnknownMeta {
+        /// The unknown metavariable.
+        mvar: MVar,
+    },
+    /// A name was declared twice in a signature.
+    Redeclared {
+        /// The offending name.
+        name: Sym,
+    },
+    /// A term was applied although its type is not a function type.
+    NotAFunction {
+        /// The synthesized non-arrow type.
+        ty: Ty,
+    },
+    /// A term was projected although its type is not a product type.
+    NotAProduct {
+        /// The synthesized non-product type.
+        ty: Ty,
+    },
+    /// Expected a neutral term (variable/constant/metavariable head).
+    NotNeutral,
+    /// A checked term did not have the expected type.
+    TypeMismatch {
+        /// The type demanded by the context.
+        expected: Ty,
+        /// The type the term actually has.
+        found: Ty,
+    },
+    /// Two types failed to unify during reconstruction.
+    TyUnify {
+        /// Left-hand type (zonked).
+        left: Ty,
+        /// Right-hand type (zonked).
+        right: Ty,
+    },
+    /// The occurs check failed during type reconstruction ("infinite
+    /// type").
+    TyOccurs {
+        /// The variable that would become cyclic.
+        var: u32,
+        /// The type it would have to equal.
+        ty: Ty,
+    },
+    /// A polymorphic constant appeared where a monomorphic type was
+    /// required; use [`crate::infer`] instead of the bidirectional checker.
+    PolyConstInChecking {
+        /// The polymorphic constant.
+        name: Sym,
+    },
+    /// A term form cannot be checked against the given type (e.g. a λ
+    /// against a base type).
+    CheckShape {
+        /// Description of the term form.
+        form: &'static str,
+        /// The type it was checked against.
+        ty: Ty,
+    },
+    /// Normalization exceeded its step budget.
+    FuelExhausted,
+    /// A parse error, with 0-based line/column and message.
+    Parse {
+        /// 0-based line of the offending token.
+        line: u32,
+        /// 0-based column of the offending token.
+        col: u32,
+        /// Human-readable description.
+        msg: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnboundVar { index } => write!(f, "unbound variable with index {index}"),
+            Error::UnknownConst { name } => write!(f, "unknown constant `{name}`"),
+            Error::UnknownType { name } => write!(f, "unknown base type `{name}`"),
+            Error::UnknownMeta { mvar } => write!(f, "metavariable {mvar} has no declared type"),
+            Error::Redeclared { name } => write!(f, "`{name}` is already declared"),
+            Error::NotAFunction { ty } => write!(f, "expected a function, found type `{ty}`"),
+            Error::NotAProduct { ty } => write!(f, "expected a product, found type `{ty}`"),
+            Error::NotNeutral => write!(f, "expected a neutral term"),
+            Error::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected `{expected}`, found `{found}`")
+            }
+            Error::TyUnify { left, right } => {
+                write!(f, "cannot unify types `{left}` and `{right}`")
+            }
+            Error::TyOccurs { var, ty } => {
+                write!(f, "occurs check: 'a{var} would equal the infinite type `{ty}`")
+            }
+            Error::PolyConstInChecking { name } => write!(
+                f,
+                "polymorphic constant `{name}` requires type reconstruction"
+            ),
+            Error::CheckShape { form, ty } => {
+                write!(f, "a {form} cannot have type `{ty}`")
+            }
+            Error::FuelExhausted => write!(f, "normalization fuel exhausted"),
+            Error::Parse { line, col, msg } => {
+                write!(f, "parse error at {}:{}: {msg}", line + 1, col + 1)
+            }
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<crate::normalize::FuelExhausted> for Error {
+    fn from(_: crate::normalize::FuelExhausted) -> Self {
+        Error::FuelExhausted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = Error::UnknownConst {
+            name: Sym::new("foo"),
+        };
+        assert_eq!(e.to_string(), "unknown constant `foo`");
+        let e = Error::TypeMismatch {
+            expected: Ty::Int,
+            found: Ty::Unit,
+        };
+        assert_eq!(e.to_string(), "type mismatch: expected `int`, found `unit`");
+    }
+
+    #[test]
+    fn parse_error_is_one_based_in_display() {
+        let e = Error::Parse {
+            line: 0,
+            col: 4,
+            msg: "unexpected `)`".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at 1:5: unexpected `)`");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

@@ -1,0 +1,404 @@
+//! Type reconstruction (Hindley–Milner style unification over simple
+//! types).
+//!
+//! The paper's metalanguage gives constants ML-style polymorphic types and
+//! relies on type reconstruction so users never annotate binders. This
+//! module implements exactly that: binders get fresh type variables,
+//! polymorphic constants are instantiated at fresh variables, and a
+//! first-order unifier solves the resulting constraints.
+//!
+//! The solver is a simple substitution map with an occurs check — simple
+//! types have no binders, so this is textbook unification.
+
+use crate::ctx::Ctx;
+use crate::error::Error;
+use crate::sig::Signature;
+use crate::term::{MetaEnv, Term};
+use crate::ty::Ty;
+use std::collections::HashMap;
+
+/// An in-progress reconstruction: a fresh-variable counter plus the
+/// current (acyclic) solution map.
+#[derive(Clone, Debug, Default)]
+pub struct Inference {
+    next: u32,
+    sol: HashMap<u32, Ty>,
+}
+
+impl Inference {
+    /// A fresh inference state whose variables start above `floor`.
+    ///
+    /// Pass a floor above any variable already appearing in the input (for
+    /// instance metavariable types in a [`MetaEnv`]) to avoid collisions.
+    pub fn with_floor(floor: u32) -> Inference {
+        Inference {
+            next: floor,
+            sol: HashMap::new(),
+        }
+    }
+
+    /// A fresh inference state starting at variable 0.
+    pub fn new() -> Inference {
+        Inference::default()
+    }
+
+    /// Produces a fresh type variable.
+    pub fn fresh(&mut self) -> Ty {
+        let v = self.next;
+        self.next += 1;
+        Ty::Var(v)
+    }
+
+    /// Resolves a type against the current solution ("zonking").
+    pub fn zonk(&self, ty: &Ty) -> Ty {
+        ty.subst_deep(&self.sol)
+    }
+
+    /// Unifies two types under the current solution.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::TyUnify`] on constructor clash, [`Error::TyOccurs`] on
+    /// cyclic solutions.
+    pub fn unify(&mut self, a: &Ty, b: &Ty) -> Result<(), Error> {
+        let a = self.walk(a);
+        let b = self.walk(b);
+        match (&a, &b) {
+            (Ty::Var(v), Ty::Var(w)) if v == w => Ok(()),
+            (Ty::Var(v), _) => self.bind(*v, b),
+            (_, Ty::Var(w)) => self.bind(*w, a),
+            (Ty::Base(x), Ty::Base(y)) if x == y => Ok(()),
+            (Ty::Int, Ty::Int) | (Ty::Unit, Ty::Unit) => Ok(()),
+            (Ty::Arrow(a1, a2), Ty::Arrow(b1, b2)) | (Ty::Prod(a1, a2), Ty::Prod(b1, b2)) => {
+                self.unify(a1, b1)?;
+                self.unify(a2, b2)
+            }
+            _ => Err(Error::TyUnify {
+                left: self.zonk(&a),
+                right: self.zonk(&b),
+            }),
+        }
+    }
+
+    /// Follows variable links at the root only.
+    fn walk(&self, ty: &Ty) -> Ty {
+        let mut cur = ty.clone();
+        while let Ty::Var(v) = cur {
+            match self.sol.get(&v) {
+                Some(t) => cur = t.clone(),
+                None => break,
+            }
+        }
+        cur
+    }
+
+    fn bind(&mut self, v: u32, ty: Ty) -> Result<(), Error> {
+        let z = self.zonk(&ty);
+        if z == Ty::Var(v) {
+            return Ok(());
+        }
+        if z.occurs(v) {
+            return Err(Error::TyOccurs { var: v, ty: z });
+        }
+        self.sol.insert(v, z);
+        Ok(())
+    }
+
+    /// Infers a type for `t`; the result may contain unsolved variables
+    /// (zonked). `ctx` types may themselves contain inference variables.
+    ///
+    /// # Errors
+    ///
+    /// Lookup failures and unification failures, as in [`Error`].
+    pub fn infer(
+        &mut self,
+        sig: &Signature,
+        menv: &MetaEnv,
+        ctx: &Ctx,
+        t: &Term,
+    ) -> Result<Ty, Error> {
+        let ty = self.infer_raw(sig, menv, ctx, t)?;
+        Ok(self.zonk(&ty))
+    }
+
+    fn infer_raw(
+        &mut self,
+        sig: &Signature,
+        menv: &MetaEnv,
+        ctx: &Ctx,
+        t: &Term,
+    ) -> Result<Ty, Error> {
+        match t {
+            Term::Var(i) => ctx
+                .lookup(*i)
+                .map(|(_, ty)| ty.clone())
+                .ok_or(Error::UnboundVar { index: *i }),
+            Term::Const(c) => {
+                let scheme = sig
+                    .const_ty(c.as_str())
+                    .ok_or_else(|| Error::UnknownConst { name: c.clone() })?;
+                Ok(scheme.instantiate_with(|| self.fresh()))
+            }
+            Term::Meta(m) => menv
+                .get(m)
+                .cloned()
+                .ok_or_else(|| Error::UnknownMeta { mvar: m.clone() }),
+            Term::Int(_) => Ok(Ty::Int),
+            Term::Unit => Ok(Ty::Unit),
+            Term::Lam(h, body) => {
+                let dom = self.fresh();
+                let ctx2 = ctx.push(h.clone(), dom.clone());
+                let cod = self.infer_raw(sig, menv, &ctx2, body)?;
+                Ok(Ty::arrow(dom, cod))
+            }
+            Term::App(f, a) => {
+                let fty = self.infer_raw(sig, menv, ctx, f)?;
+                let aty = self.infer_raw(sig, menv, ctx, a)?;
+                let cod = self.fresh();
+                self.unify(&fty, &Ty::arrow(aty, cod.clone()))?;
+                Ok(cod)
+            }
+            Term::Pair(a, b) => {
+                let ta = self.infer_raw(sig, menv, ctx, a)?;
+                let tb = self.infer_raw(sig, menv, ctx, b)?;
+                Ok(Ty::prod(ta, tb))
+            }
+            Term::Fst(p) => {
+                let pt = self.infer_raw(sig, menv, ctx, p)?;
+                let a = self.fresh();
+                let b = self.fresh();
+                self.unify(&pt, &Ty::prod(a.clone(), b))?;
+                Ok(a)
+            }
+            Term::Snd(p) => {
+                let pt = self.infer_raw(sig, menv, ctx, p)?;
+                let a = self.fresh();
+                let b = self.fresh();
+                self.unify(&pt, &Ty::prod(a, b.clone()))?;
+                Ok(b)
+            }
+        }
+    }
+}
+
+/// Reconstructs the principal type of a closed, metavariable-free term.
+///
+/// # Errors
+///
+/// As for [`Inference::infer`].
+///
+/// ```
+/// use hoas_core::prelude::*;
+/// let sig = Signature::parse("type tm. const app : tm -> tm -> tm.")?;
+/// let t = parse_term(&sig, r"\x. \y. app y x")?.term;
+/// let ty = infer::reconstruct(&sig, &t)?;
+/// assert_eq!(ty.to_string(), "tm -> tm -> tm");
+/// # Ok::<(), hoas_core::Error>(())
+/// ```
+pub fn reconstruct(sig: &Signature, t: &Term) -> Result<Ty, Error> {
+    let mut inf = Inference::new();
+    inf.infer(sig, &MetaEnv::new(), &Ctx::new(), t)
+}
+
+/// Reconstructs the type of a term that may contain metavariables typed by
+/// `menv` and free variables typed by `ctx`.
+///
+/// # Errors
+///
+/// As for [`Inference::infer`].
+pub fn reconstruct_in(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &Term,
+) -> Result<Ty, Error> {
+    // Start fresh variables above anything mentioned in menv/ctx.
+    let mut floor = 0;
+    for ty in menv.values().chain(ctx.iter().map(|(_, t)| t)) {
+        for v in ty.free_vars() {
+            floor = floor.max(v + 1);
+        }
+    }
+    let mut inf = Inference::with_floor(floor);
+    inf.infer(sig, menv, ctx, t)
+}
+
+/// Checks `t` against `ty`, allowing polymorphic constants: reconstructs
+/// and unifies with the expectation.
+///
+/// # Errors
+///
+/// As for [`Inference::infer`], plus unification failure against `ty`.
+pub fn check_poly(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &Term,
+    ty: &Ty,
+) -> Result<(), Error> {
+    let mut floor = 0;
+    for v in ty.free_vars() {
+        floor = floor.max(v + 1);
+    }
+    for mt in menv.values().chain(ctx.iter().map(|(_, t)| t)) {
+        for v in mt.free_vars() {
+            floor = floor.max(v + 1);
+        }
+    }
+    let mut inf = Inference::with_floor(floor);
+    let found = inf.infer(sig, menv, ctx, t)?;
+    inf.unify(&found, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::TyScheme;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.declare_type("tm").unwrap();
+        let tm = Ty::base("tm");
+        s.declare_const(
+            "lam",
+            Ty::arrow(Ty::arrow(tm.clone(), tm.clone()), tm.clone()),
+        )
+        .unwrap();
+        s.declare_const("app", Ty::arrows([tm.clone(), tm.clone()], tm.clone()))
+            .unwrap();
+        s.declare_const(
+            "mkpair",
+            TyScheme::new(
+                2,
+                Ty::arrows([Ty::Var(0), Ty::Var(1)], Ty::prod(Ty::Var(0), Ty::Var(1))),
+            ),
+        )
+        .unwrap();
+        s.declare_const("idc", TyScheme::new(1, Ty::arrow(Ty::Var(0), Ty::Var(0))))
+            .unwrap();
+        s
+    }
+
+    fn tm() -> Ty {
+        Ty::base("tm")
+    }
+
+    #[test]
+    fn infers_principal_type_of_composition() {
+        // λf. λg. λx. f (g x)
+        let t = Term::lams(
+            ["f", "g", "x"],
+            Term::app(Term::Var(2), Term::app(Term::Var(1), Term::Var(0))),
+        );
+        let ty = reconstruct(&sig(), &t).unwrap();
+        // ('b -> 'c) -> ('a -> 'b) -> 'a -> 'c up to renaming; check shape.
+        let (args, _) = ty.uncurry();
+        assert_eq!(args.len(), 3);
+        assert!(matches!(args[0], Ty::Arrow(..)));
+        assert!(matches!(args[1], Ty::Arrow(..)));
+    }
+
+    #[test]
+    fn instantiates_polymorphic_constants() {
+        // mkpair 1 () : int * unit
+        let t = Term::apps(Term::cnst("mkpair"), [Term::Int(1), Term::Unit]);
+        let ty = reconstruct(&sig(), &t).unwrap();
+        assert_eq!(ty, Ty::prod(Ty::Int, Ty::Unit));
+    }
+
+    #[test]
+    fn each_occurrence_instantiated_independently() {
+        // mkpair (idc 1) (idc ()) — idc used at int and at unit.
+        let t = Term::apps(
+            Term::cnst("mkpair"),
+            [
+                Term::app(Term::cnst("idc"), Term::Int(1)),
+                Term::app(Term::cnst("idc"), Term::Unit),
+            ],
+        );
+        let ty = reconstruct(&sig(), &t).unwrap();
+        assert_eq!(ty, Ty::prod(Ty::Int, Ty::Unit));
+    }
+
+    #[test]
+    fn occurs_check_rejects_self_application() {
+        // λx. x x has no simple type.
+        let t = Term::lam("x", Term::app(Term::Var(0), Term::Var(0)));
+        let err = reconstruct(&sig(), &t).unwrap_err();
+        assert!(matches!(err, Error::TyOccurs { .. }));
+    }
+
+    #[test]
+    fn clash_reported_with_zonked_types() {
+        // app 1 — int vs tm.
+        let t = Term::app(Term::cnst("app"), Term::Int(1));
+        let err = reconstruct(&sig(), &t).unwrap_err();
+        match err {
+            Error::TyUnify { left, right } => {
+                assert!(
+                    (left == tm() && right == Ty::Int) || (left == Ty::Int && right == tm()),
+                    "unexpected clash report: {left} vs {right}"
+                );
+            }
+            other => panic!("expected TyUnify, got {other}"),
+        }
+    }
+
+    #[test]
+    fn check_poly_agrees_with_bidirectional_on_mono() {
+        let s = sig();
+        let t = Term::app(Term::cnst("lam"), Term::lam("x", Term::Var(0)));
+        check_poly(&s, &MetaEnv::new(), &Ctx::new(), &t, &tm()).unwrap();
+        crate::typeck::check_closed(&s, &t, &tm()).unwrap();
+    }
+
+    #[test]
+    fn check_poly_handles_poly_constants() {
+        let s = sig();
+        // idc : tm -> tm instance.
+        check_poly(
+            &s,
+            &MetaEnv::new(),
+            &Ctx::new(),
+            &Term::cnst("idc"),
+            &Ty::arrow(tm(), tm()),
+        )
+        .unwrap();
+        // But not at tm -> int.
+        assert!(check_poly(
+            &s,
+            &MetaEnv::new(),
+            &Ctx::new(),
+            &Term::cnst("idc"),
+            &Ty::arrow(tm(), Ty::Int),
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn reconstruct_in_avoids_floor_collisions() {
+        // ctx types mention Var(0); fresh vars must not collide with it.
+        let ctx = Ctx::new().push(crate::Sym::new("f"), Ty::arrow(Ty::Var(0), Ty::Var(0)));
+        let t = Term::lam("x", Term::app(Term::Var(1), Term::Var(0)));
+        let ty = reconstruct_in(&sig(), &MetaEnv::new(), &ctx, &t).unwrap();
+        // f : 'a -> 'a gives λx. f x : 'b -> 'b for some variable 'b
+        // (possibly renamed by unification); check up to renaming.
+        assert_eq!(
+            crate::ty::TyScheme::generalize(&ty).body(),
+            &Ty::arrow(Ty::Var(0), Ty::Var(0))
+        );
+    }
+
+    #[test]
+    fn projections_constrain_to_products() {
+        let t = Term::lam("p", Term::fst(Term::Var(0)));
+        let ty = reconstruct(&sig(), &t).unwrap();
+        match ty {
+            Ty::Arrow(dom, cod) => match *dom {
+                Ty::Prod(a, _) => assert_eq!(*a, *cod),
+                other => panic!("expected product domain, got {other}"),
+            },
+            other => panic!("expected arrow, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! Cheap, clonable symbols.
+//!
+//! [`Sym`] wraps an `Arc<str>`: cloning a symbol is a reference-count bump,
+//! and comparison first checks pointer identity before falling back to a
+//! string comparison. Symbols are used for constant names, base-type names,
+//! binder printing hints, and metavariable hints.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned-ish string: cheap to clone, compared by content.
+///
+/// ```
+/// use hoas_core::Sym;
+/// let a = Sym::new("lam");
+/// let b = a.clone();
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "lam");
+/// ```
+#[derive(Clone)]
+pub struct Sym(Arc<str>);
+
+impl Sym {
+    /// Creates a symbol from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Sym(Arc::from(s.as_ref()))
+    }
+
+    /// A view of the symbol's text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Length of the symbol's text in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the symbol is the empty string.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
+    }
+}
+impl Eq for Sym {}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Sym {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", &*self.0)
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(s: &str) -> Self {
+        Sym::new(s)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(s: String) -> Self {
+        Sym(Arc::from(s))
+    }
+}
+
+impl From<&Sym> for Sym {
+    fn from(s: &Sym) -> Self {
+        s.clone()
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn eq_by_content() {
+        assert_eq!(Sym::new("abc"), Sym::new("abc"));
+        assert_ne!(Sym::new("abc"), Sym::new("abd"));
+    }
+
+    #[test]
+    fn clone_is_ptr_equal() {
+        let a = Sym::new("x");
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.0, &b.0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn hash_set_lookup_by_str() {
+        let mut set = HashSet::new();
+        set.insert(Sym::new("forall"));
+        assert!(set.contains("forall"));
+        assert!(!set.contains("exists"));
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let s = Sym::new("app");
+        assert_eq!(s.to_string(), "app");
+        assert_eq!(format!("{s:?}"), "Sym(\"app\")");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        let mut v = vec![Sym::new("b"), Sym::new("a"), Sym::new("c")];
+        v.sort();
+        assert_eq!(v, vec![Sym::new("a"), Sym::new("b"), Sym::new("c")]);
+    }
+
+    #[test]
+    fn empty_and_len() {
+        assert!(Sym::new("").is_empty());
+        assert_eq!(Sym::new("xyz").len(), 3);
+    }
+}

@@ -1,0 +1,807 @@
+//! Concrete syntax for types, terms, and signatures.
+//!
+//! The grammar follows λProlog/LF conventions:
+//!
+//! ```text
+//! sig   ::= { "type" IDENT "." | "const" IDENT ":" ty "." }
+//! ty    ::= ty1 [ "->" ty ]                  (right associative)
+//! ty1   ::= ty2 [ "*" ty2 ]                  (right associative)
+//! ty2   ::= IDENT | "int" | "unit" | TYVAR | "(" ty ")"
+//! term  ::= "\" IDENT "." term | app
+//! app   ::= atom { atom }
+//! atom  ::= IDENT | META | INT | "()" | "(" term ")" | "(" term "," term ")"
+//!         | "fst" atom | "snd" atom
+//! ```
+//!
+//! Identifiers are resolved against the enclosing binders first (yielding
+//! de Bruijn variables), then against the signature's constants.
+//! Metavariables are written `?Name`; parse results report the mapping
+//! from names to [`MVar`]s so that rule left- and right-hand sides can
+//! share metavariables via a [`MetaTable`].
+//!
+//! Comments run from `%` or `//` to end of line.
+
+use crate::error::Error;
+use crate::sig::Signature;
+use crate::term::{MVar, Term};
+use crate::ty::{Ty, TyScheme};
+use std::collections::HashMap;
+
+// ---------------------------------------------------------------- lexer --
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    TyVar(String),
+    Meta(String),
+    Int(i64),
+    LParen,
+    RParen,
+    Comma,
+    Dot,
+    Colon,
+    Arrow,
+    Star,
+    Backslash,
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::TyVar(s) => write!(f, "`'{s}`"),
+            Tok::Meta(s) => write!(f, "`?{s}`"),
+            Tok::Int(n) => write!(f, "`{n}`"),
+            Tok::LParen => f.write_str("`(`"),
+            Tok::RParen => f.write_str("`)`"),
+            Tok::Comma => f.write_str("`,`"),
+            Tok::Dot => f.write_str("`.`"),
+            Tok::Colon => f.write_str("`:`"),
+            Tok::Arrow => f.write_str("`->`"),
+            Tok::Star => f.write_str("`*`"),
+            Tok::Backslash => f.write_str("`\\`"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Spanned {
+    tok: Tok,
+    line: u32,
+    col: u32,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c.is_alphanumeric() || c == '_' || c == '\''
+}
+
+fn lex(src: &str) -> Result<Vec<Spanned>, Error> {
+    let mut out = Vec::new();
+    let mut line: u32 = 0;
+    let mut col: u32 = 0;
+    let mut chars = src.chars().peekable();
+    macro_rules! push {
+        ($tok:expr, $l:expr, $c:expr) => {
+            out.push(Spanned {
+                tok: $tok,
+                line: $l,
+                col: $c,
+            })
+        };
+    }
+    while let Some(&c) = chars.peek() {
+        let (l0, c0) = (line, col);
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 0;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '%' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    chars.next();
+                    col += 1;
+                }
+            }
+            '/' => {
+                chars.next();
+                col += 1;
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                        col += 1;
+                    }
+                } else {
+                    return Err(Error::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "unexpected `/` (use `//` for comments)".into(),
+                    });
+                }
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push!(Tok::LParen, l0, c0);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push!(Tok::RParen, l0, c0);
+            }
+            ',' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Comma, l0, c0);
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Dot, l0, c0);
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Colon, l0, c0);
+            }
+            '*' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Star, l0, c0);
+            }
+            '\\' => {
+                chars.next();
+                col += 1;
+                push!(Tok::Backslash, l0, c0);
+            }
+            '-' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('>') => {
+                        chars.next();
+                        col += 1;
+                        push!(Tok::Arrow, l0, c0);
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let mut n = String::from("-");
+                        while let Some(&d) = chars.peek() {
+                            if d.is_ascii_digit() {
+                                n.push(d);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        let val = n.parse::<i64>().map_err(|_| Error::Parse {
+                            line: l0,
+                            col: c0,
+                            msg: format!("integer literal `{n}` out of range"),
+                        })?;
+                        push!(Tok::Int(val), l0, c0);
+                    }
+                    _ => {
+                        return Err(Error::Parse {
+                            line: l0,
+                            col: c0,
+                            msg: "expected `->` or a negative integer after `-`".into(),
+                        })
+                    }
+                }
+            }
+            '\'' => {
+                chars.next();
+                col += 1;
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_cont(d) && d != '\'' {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(Error::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "expected a type-variable name after `'`".into(),
+                    });
+                }
+                push!(Tok::TyVar(name), l0, c0);
+            }
+            '?' => {
+                chars.next();
+                col += 1;
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_cont(d) {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if name.is_empty() {
+                    return Err(Error::Parse {
+                        line: l0,
+                        col: c0,
+                        msg: "expected a metavariable name after `?`".into(),
+                    });
+                }
+                push!(Tok::Meta(name), l0, c0);
+            }
+            d if d.is_ascii_digit() => {
+                let mut n = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        n.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let val = n.parse::<i64>().map_err(|_| Error::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("integer literal `{n}` out of range"),
+                })?;
+                push!(Tok::Int(val), l0, c0);
+            }
+            c if is_ident_start(c) => {
+                let mut name = String::new();
+                while let Some(&d) = chars.peek() {
+                    if is_ident_cont(d) {
+                        name.push(d);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push!(Tok::Ident(name), l0, c0);
+            }
+            other => {
+                return Err(Error::Parse {
+                    line: l0,
+                    col: c0,
+                    msg: format!("unexpected character `{other}`"),
+                })
+            }
+        }
+    }
+    out.push(Spanned {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
+    Ok(out)
+}
+
+// --------------------------------------------------------------- parser --
+
+/// Shared metavariable naming across several [`parse_term_with`] calls, so
+/// that `?P` in a rule's left- and right-hand sides denotes the same
+/// [`MVar`].
+#[derive(Clone, Debug, Default)]
+pub struct MetaTable {
+    by_name: HashMap<String, MVar>,
+    next: u32,
+}
+
+impl MetaTable {
+    /// An empty table.
+    pub fn new() -> MetaTable {
+        MetaTable::default()
+    }
+
+    /// The metavariable for `name`, allocating one on first use.
+    pub fn get_or_insert(&mut self, name: &str) -> MVar {
+        if let Some(m) = self.by_name.get(name) {
+            return m.clone();
+        }
+        let m = MVar::new(self.next, name);
+        self.next += 1;
+        self.by_name.insert(name.to_string(), m.clone());
+        m
+    }
+
+    /// The metavariable previously allocated for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&MVar> {
+        self.by_name.get(name)
+    }
+
+    /// Iterates `(name, mvar)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &MVar)> {
+        self.by_name.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of distinct metavariables allocated.
+    pub fn len(&self) -> usize {
+        self.by_name.len()
+    }
+
+    /// Whether no metavariable has been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.by_name.is_empty()
+    }
+}
+
+/// Result of parsing a term: the term plus the metavariables it mentions.
+#[derive(Clone, Debug)]
+pub struct ParsedTerm {
+    /// The parsed term.
+    pub term: Term,
+    /// Names of the metavariables, in the shared table.
+    pub metas: MetaTable,
+}
+
+struct Parser<'a> {
+    toks: Vec<Spanned>,
+    pos: usize,
+    sig: Option<&'a Signature>,
+    binders: Vec<String>,
+    metas: MetaTable,
+    tyvars: HashMap<String, u32>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &str, sig: Option<&'a Signature>, metas: MetaTable) -> Result<Parser<'a>, Error> {
+        Ok(Parser {
+            toks: lex(src)?,
+            pos: 0,
+            sig,
+            binders: Vec::new(),
+            metas,
+            tyvars: HashMap::new(),
+        })
+    }
+
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn here(&self) -> (u32, u32) {
+        (self.toks[self.pos].line, self.toks[self.pos].col)
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].tok.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, msg: impl Into<String>) -> Error {
+        let (line, col) = self.here();
+        Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        }
+    }
+
+    fn expect(&mut self, tok: Tok) -> Result<(), Error> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, Error> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(self.err(format!("expected an identifier, found {other}"))),
+        }
+    }
+
+    // ---- types ----
+
+    fn tyvar_id(&mut self, name: &str) -> Result<u32, Error> {
+        if let Some(&v) = self.tyvars.get(name) {
+            return Ok(v);
+        }
+        let v = if name.len() == 1 {
+            let c = name.as_bytes()[0];
+            if c.is_ascii_lowercase() {
+                (c - b'a') as u32
+            } else {
+                return Err(self.err(format!("invalid type variable `'{name}`")));
+            }
+        } else if let Some(num) = name.strip_prefix('t') {
+            num.parse::<u32>()
+                .map_err(|_| self.err(format!("invalid type variable `'{name}`")))?
+        } else {
+            return Err(self.err(format!(
+                "invalid type variable `'{name}` (use `'a`..`'z` or `'tN`)"
+            )));
+        };
+        self.tyvars.insert(name.to_string(), v);
+        Ok(v)
+    }
+
+    fn ty(&mut self) -> Result<Ty, Error> {
+        let lhs = self.ty_prod()?;
+        if self.peek() == &Tok::Arrow {
+            self.bump();
+            let rhs = self.ty()?;
+            Ok(Ty::arrow(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_prod(&mut self) -> Result<Ty, Error> {
+        let lhs = self.ty_atom()?;
+        if self.peek() == &Tok::Star {
+            self.bump();
+            let rhs = self.ty_prod()?;
+            Ok(Ty::prod(lhs, rhs))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn ty_atom(&mut self) -> Result<Ty, Error> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.bump();
+                match name.as_str() {
+                    "int" => Ok(Ty::Int),
+                    "unit" => Ok(Ty::Unit),
+                    _ => Ok(Ty::base(name)),
+                }
+            }
+            Tok::TyVar(name) => {
+                self.bump();
+                Ok(Ty::Var(self.tyvar_id(&name)?))
+            }
+            Tok::LParen => {
+                self.bump();
+                let t = self.ty()?;
+                self.expect(Tok::RParen)?;
+                Ok(t)
+            }
+            other => Err(self.err(format!("expected a type, found {other}"))),
+        }
+    }
+
+    // ---- terms ----
+
+    fn term(&mut self) -> Result<Term, Error> {
+        if self.peek() == &Tok::Backslash {
+            self.bump();
+            let name = self.expect_ident()?;
+            self.expect(Tok::Dot)?;
+            self.binders.push(name.clone());
+            let body = self.term()?;
+            self.binders.pop();
+            Ok(Term::lam(name, body))
+        } else {
+            self.app()
+        }
+    }
+
+    fn app(&mut self) -> Result<Term, Error> {
+        let mut t = self
+            .atom()?
+            .ok_or_else(|| self.err(format!("expected a term, found {}", self.peek())))?;
+        while let Some(arg) = self.atom()? {
+            t = Term::app(t, arg);
+        }
+        Ok(t)
+    }
+
+    /// Parses one atom if the next token can start one.
+    fn atom(&mut self) -> Result<Option<Term>, Error> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                match name.as_str() {
+                    "fst" | "snd" => {
+                        self.bump();
+                        let arg = self.atom()?.ok_or_else(|| {
+                            self.err(format!("expected an argument after `{name}`"))
+                        })?;
+                        return Ok(Some(if name == "fst" {
+                            Term::fst(arg)
+                        } else {
+                            Term::snd(arg)
+                        }));
+                    }
+                    _ => {}
+                }
+                self.bump();
+                // Innermost binder first.
+                if let Some(pos) = self.binders.iter().rposition(|b| b == &name) {
+                    let idx = (self.binders.len() - 1 - pos) as u32;
+                    return Ok(Some(Term::Var(idx)));
+                }
+                match self.sig {
+                    Some(sig) if sig.has_const(&name) => Ok(Some(Term::cnst(name))),
+                    Some(_) => Err(self.err(format!(
+                        "`{name}` is neither a bound variable nor a declared constant"
+                    ))),
+                    // Without a signature, free identifiers become constants.
+                    None => Ok(Some(Term::cnst(name))),
+                }
+            }
+            Tok::Meta(name) => {
+                self.bump();
+                let m = self.metas.get_or_insert(&name);
+                Ok(Some(Term::Meta(m)))
+            }
+            Tok::Int(n) => {
+                self.bump();
+                Ok(Some(Term::Int(n)))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(Some(Term::Unit));
+                }
+                let a = self.term()?;
+                if self.peek() == &Tok::Comma {
+                    self.bump();
+                    let b = self.term()?;
+                    self.expect(Tok::RParen)?;
+                    Ok(Some(Term::pair(a, b)))
+                } else {
+                    self.expect(Tok::RParen)?;
+                    Ok(Some(a))
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    fn eof(&mut self) -> Result<(), Error> {
+        if self.peek() == &Tok::Eof {
+            Ok(())
+        } else {
+            Err(self.err(format!("unexpected {} after the term", self.peek())))
+        }
+    }
+}
+
+/// Parses a closed term against a signature.
+///
+/// # Errors
+///
+/// Syntax errors, and unresolved identifiers (not a binder, not a
+/// constant).
+pub fn parse_term(sig: &Signature, src: &str) -> Result<ParsedTerm, Error> {
+    parse_term_with(sig, src, MetaTable::new())
+}
+
+/// Parses a term, threading an existing [`MetaTable`] so that several
+/// parses share metavariable identities.
+///
+/// # Errors
+///
+/// As for [`parse_term`].
+pub fn parse_term_with(
+    sig: &Signature,
+    src: &str,
+    metas: MetaTable,
+) -> Result<ParsedTerm, Error> {
+    let mut p = Parser::new(src, Some(sig), metas)?;
+    let term = p.term()?;
+    p.eof()?;
+    Ok(ParsedTerm {
+        term,
+        metas: p.metas,
+    })
+}
+
+/// Parses a type.
+///
+/// # Errors
+///
+/// Syntax errors only; base types are not checked against a signature
+/// (use [`Signature::check_ty_wf`] for that).
+pub fn parse_ty(src: &str) -> Result<Ty, Error> {
+    let mut p = Parser::new(src, None, MetaTable::new())?;
+    let t = p.ty()?;
+    p.eof()?;
+    Ok(t)
+}
+
+/// Parses a signature (a sequence of `type`/`const` declarations).
+///
+/// Constant types are generalized over their free type variables.
+///
+/// # Errors
+///
+/// Syntax errors, redeclarations, and references to undeclared base
+/// types.
+pub fn parse_sig(src: &str) -> Result<Signature, Error> {
+    let mut p = Parser::new(src, None, MetaTable::new())?;
+    let mut sig = Signature::new();
+    loop {
+        match p.peek().clone() {
+            Tok::Eof => break,
+            Tok::Ident(kw) if kw == "type" => {
+                p.bump();
+                let name = p.expect_ident()?;
+                p.expect(Tok::Dot)?;
+                sig.declare_type(name)?;
+            }
+            Tok::Ident(kw) if kw == "const" => {
+                p.bump();
+                let name = p.expect_ident()?;
+                p.expect(Tok::Colon)?;
+                p.tyvars.clear();
+                let ty = p.ty()?;
+                p.expect(Tok::Dot)?;
+                sig.declare_const(name, TyScheme::generalize(&ty))?;
+            }
+            other => {
+                return Err(p.err(format!("expected `type` or `const`, found {other}")));
+            }
+        }
+    }
+    Ok(sig)
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        parse_sig(
+            "type tm.
+             % the two constructors of the untyped λ-calculus
+             const lam : (tm -> tm) -> tm.
+             const app : tm -> tm -> tm.
+             const pairc : 'a -> 'b -> 'a * 'b.  // polymorphic",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parses_signature_with_comments() {
+        let s = sig();
+        assert!(s.has_type("tm"));
+        assert_eq!(s.const_ty("lam").unwrap().to_string(), "(tm -> tm) -> tm");
+        assert_eq!(s.const_ty("pairc").unwrap().arity(), 2);
+    }
+
+    #[test]
+    fn parses_lambda_and_resolves_binders() {
+        let s = sig();
+        let t = parse_term(&s, r"lam (\x. app x x)").unwrap().term;
+        assert_eq!(
+            t,
+            Term::app(
+                Term::cnst("lam"),
+                Term::lam("x", Term::apps(Term::cnst("app"), [Term::Var(0), Term::Var(0)]))
+            )
+        );
+    }
+
+    #[test]
+    fn innermost_binder_wins() {
+        let s = sig();
+        let t = parse_term(&s, r"\x. \x. x").unwrap().term;
+        assert_eq!(t, Term::lam("x", Term::lam("x", Term::Var(0))));
+    }
+
+    #[test]
+    fn unknown_identifier_is_an_error() {
+        let s = sig();
+        let err = parse_term(&s, "mystery").unwrap_err();
+        assert!(err.to_string().contains("mystery"));
+    }
+
+    #[test]
+    fn metavariables_shared_via_table() {
+        let s = sig();
+        let lhs = parse_term(&s, "app ?P ?P").unwrap();
+        let rhs = parse_term_with(&s, "?P", lhs.metas.clone()).unwrap();
+        assert_eq!(lhs.term.metas().len(), 1);
+        assert_eq!(lhs.term.metas()[0], rhs.term.metas()[0]);
+        // A fresh table gives a distinct mvar id-space but same hint.
+        let other = parse_term(&s, "?P").unwrap();
+        assert_eq!(other.metas.len(), 1);
+    }
+
+    #[test]
+    fn pairs_units_ints() {
+        let s = sig();
+        let t = parse_term(&s, "pairc (1, ()) -3").unwrap().term;
+        assert_eq!(
+            t,
+            Term::apps(
+                Term::cnst("pairc"),
+                [Term::pair(Term::Int(1), Term::Unit), Term::Int(-3)]
+            )
+        );
+    }
+
+    #[test]
+    fn fst_snd_prefix() {
+        let s = sig();
+        let t = parse_term(&s, "fst (pairc 1 2)").unwrap().term;
+        assert_eq!(
+            t,
+            Term::fst(Term::apps(Term::cnst("pairc"), [Term::Int(1), Term::Int(2)]))
+        );
+    }
+
+    #[test]
+    fn ty_parsing_matches_printing() {
+        for src in [
+            "tm",
+            "tm -> tm",
+            "(tm -> tm) -> tm",
+            "tm * tm -> int",
+            "tm * (tm * unit)",
+            "'a -> 'b -> 'a * 'b",
+        ] {
+            let t = parse_ty(src).unwrap();
+            assert_eq!(t.to_string(), src, "round-trip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_positions() {
+        let s = sig();
+        let err = parse_term(&s, "app (").unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 0),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let s = sig();
+        assert!(parse_term(&s, "lam )").is_err());
+        assert!(parse_ty("tm tm").is_err());
+    }
+
+    #[test]
+    fn printer_parser_roundtrip() {
+        let s = sig();
+        for src in [
+            r"\x. x",
+            r"lam (\x. app x x)",
+            r"\f. \x. f (f x)",
+            r"app (lam (\x. x)) (lam (\y. app y y))",
+            "(1, (2, ()))",
+        ] {
+            let t = parse_term(&s, src).unwrap().term;
+            let printed = t.to_string();
+            let t2 = parse_term(&s, &printed).unwrap().term;
+            assert_eq!(t, t2, "round-trip failed for `{src}` printed as `{printed}`");
+        }
+    }
+}

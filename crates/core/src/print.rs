@@ -1,0 +1,260 @@
+//! Pretty-printing of types and terms.
+//!
+//! The printer *resurrects names*: de Bruijn indices are rendered using
+//! each binder's hint, freshened (`x`, `x1`, `x2`, …) against the names
+//! already in scope so that the output never shadows confusingly and
+//! re-parses to an α-equivalent term (see the parser round-trip tests).
+
+use crate::term::Term;
+use crate::ty::Ty;
+use std::fmt;
+
+/// Precedence levels for type printing: 0 = arrow position (lowest),
+/// 1 = product position, 2 = atom position.
+pub(crate) fn fmt_ty(ty: &Ty, f: &mut fmt::Formatter<'_>, prec: u8) -> fmt::Result {
+    match ty {
+        Ty::Base(s) => write!(f, "{s}"),
+        Ty::Int => f.write_str("int"),
+        Ty::Unit => f.write_str("unit"),
+        Ty::Var(v) => {
+            if *v < 26 {
+                write!(f, "'{}", (b'a' + *v as u8) as char)
+            } else {
+                write!(f, "'t{v}")
+            }
+        }
+        Ty::Arrow(a, b) => {
+            let parens = prec > 0;
+            if parens {
+                f.write_str("(")?;
+            }
+            fmt_ty(a, f, 1)?;
+            f.write_str(" -> ")?;
+            fmt_ty(b, f, 0)?;
+            if parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+        Ty::Prod(a, b) => {
+            let parens = prec > 1;
+            if parens {
+                f.write_str("(")?;
+            }
+            fmt_ty(a, f, 2)?;
+            f.write_str(" * ")?;
+            fmt_ty(b, f, 2)?;
+            if parens {
+                f.write_str(")")?;
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Renders a type to a string (same as its `Display`).
+pub fn ty_to_string(ty: &Ty) -> String {
+    ty.to_string()
+}
+
+struct TermPrinter<'a> {
+    /// Names in scope, innermost last.
+    env: Vec<String>,
+    f: &'a mut dyn fmt::Write,
+}
+
+const PREC_LAM: u8 = 0;
+const PREC_APP: u8 = 1;
+const PREC_ATOM: u8 = 2;
+
+impl TermPrinter<'_> {
+    fn fresh_name(&self, hint: &str) -> String {
+        let base = if hint.is_empty() { "x" } else { hint };
+        if !self.env.iter().any(|n| n == base) {
+            return base.to_string();
+        }
+        for i in 1u32.. {
+            let cand = format!("{base}{i}");
+            if !self.env.iter().any(|n| n == &cand) {
+                return cand;
+            }
+        }
+        unreachable!()
+    }
+
+    fn go(&mut self, t: &Term, prec: u8) -> fmt::Result {
+        match t {
+            Term::Var(i) => {
+                let n = self.env.len();
+                match n.checked_sub(1 + *i as usize).and_then(|k| self.env.get(k)) {
+                    Some(name) => self.f.write_str(name),
+                    // Dangling index: print positionally so output is still
+                    // unambiguous (cannot clash with identifiers).
+                    None => write!(self.f, "#{i}"),
+                }
+            }
+            Term::Const(c) => self.f.write_str(c.as_str()),
+            Term::Meta(m) => write!(self.f, "?{}", m.hint()),
+            Term::Int(n) => write!(self.f, "{n}"),
+            Term::Unit => self.f.write_str("()"),
+            Term::Lam(h, b) => {
+                let parens = prec > PREC_LAM;
+                if parens {
+                    self.f.write_str("(")?;
+                }
+                let name = self.fresh_name(h.as_str());
+                write!(self.f, "\\{name}. ")?;
+                self.env.push(name);
+                self.go(b, PREC_LAM)?;
+                self.env.pop();
+                if parens {
+                    self.f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Term::App(fun, arg) => {
+                let parens = prec > PREC_APP;
+                if parens {
+                    self.f.write_str("(")?;
+                }
+                self.go(fun, PREC_APP)?;
+                self.f.write_str(" ")?;
+                self.go(arg, PREC_ATOM)?;
+                if parens {
+                    self.f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Term::Pair(a, b) => {
+                self.f.write_str("(")?;
+                self.go(a, PREC_LAM)?;
+                self.f.write_str(", ")?;
+                self.go(b, PREC_LAM)?;
+                self.f.write_str(")")
+            }
+            Term::Fst(p) => {
+                let parens = prec > PREC_APP;
+                if parens {
+                    self.f.write_str("(")?;
+                }
+                self.f.write_str("fst ")?;
+                self.go(p, PREC_ATOM)?;
+                if parens {
+                    self.f.write_str(")")?;
+                }
+                Ok(())
+            }
+            Term::Snd(p) => {
+                let parens = prec > PREC_APP;
+                if parens {
+                    self.f.write_str("(")?;
+                }
+                self.f.write_str("snd ")?;
+                self.go(p, PREC_ATOM)?;
+                if parens {
+                    self.f.write_str(")")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+pub(crate) fn fmt_term(t: &Term, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let mut s = String::new();
+    {
+        let mut p = TermPrinter {
+            env: Vec::new(),
+            f: &mut s,
+        };
+        p.go(t, PREC_LAM).expect("writing to String cannot fail");
+    }
+    f.write_str(&s)
+}
+
+/// Renders a term to a string (same as its `Display`).
+pub fn term_to_string(t: &Term) -> String {
+    t.to_string()
+}
+
+/// Renders a term whose free de Bruijn variables should be shown with the
+/// given names (outermost first).
+pub fn term_to_string_in(t: &Term, scope: &[&str]) -> String {
+    let mut s = String::new();
+    let mut p = TermPrinter {
+        env: scope.iter().map(|n| n.to_string()).collect(),
+        f: &mut s,
+    };
+    p.go(t, PREC_LAM).expect("writing to String cannot fail");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::MVar;
+
+    fn v(i: u32) -> Term {
+        Term::Var(i)
+    }
+
+    #[test]
+    fn prints_lambdas_and_apps() {
+        let t = Term::lam("x", Term::app(v(0), v(0)));
+        assert_eq!(t.to_string(), r"\x. x x");
+        let t = Term::app(Term::lam("x", v(0)), Term::cnst("c"));
+        assert_eq!(t.to_string(), r"(\x. x) c");
+    }
+
+    #[test]
+    fn app_associativity_parens() {
+        // f (g x) needs parens, (f g) x does not.
+        let t = Term::app(Term::cnst("f"), Term::app(Term::cnst("g"), Term::cnst("x")));
+        assert_eq!(t.to_string(), "f (g x)");
+        let t = Term::app(Term::app(Term::cnst("f"), Term::cnst("g")), Term::cnst("x"));
+        assert_eq!(t.to_string(), "f g x");
+    }
+
+    #[test]
+    fn freshens_shadowed_hints() {
+        // λx. λx. (inner outer) — both hints "x".
+        let t = Term::lam("x", Term::lam("x", Term::app(v(0), v(1))));
+        assert_eq!(t.to_string(), r"\x. \x1. x1 x");
+    }
+
+    #[test]
+    fn dangling_vars_print_positionally() {
+        assert_eq!(v(3).to_string(), "#3");
+    }
+
+    #[test]
+    fn pairs_projections_literals() {
+        let t = Term::pair(Term::Int(-2), Term::Unit);
+        assert_eq!(t.to_string(), "(-2, ())");
+        let t = Term::fst(Term::cnst("p"));
+        assert_eq!(t.to_string(), "fst p");
+        let t = Term::app(Term::fst(Term::cnst("p")), Term::Int(1));
+        assert_eq!(t.to_string(), "fst p 1");
+        let t = Term::fst(Term::app(Term::cnst("f"), Term::Int(1)));
+        assert_eq!(t.to_string(), "fst (f 1)");
+    }
+
+    #[test]
+    fn metas_print_with_hint() {
+        let t = Term::Meta(MVar::new(0, "P"));
+        assert_eq!(t.to_string(), "?P");
+    }
+
+    #[test]
+    fn scoped_printing_names_free_vars() {
+        let t = Term::app(v(0), v(1));
+        assert_eq!(term_to_string_in(&t, &["outer", "inner"]), "inner outer");
+    }
+
+    #[test]
+    fn ty_var_letters() {
+        assert_eq!(Ty::Var(0).to_string(), "'a");
+        assert_eq!(Ty::Var(25).to_string(), "'z");
+        assert_eq!(Ty::Var(26).to_string(), "'t26");
+    }
+}

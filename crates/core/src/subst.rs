@@ -1,0 +1,223 @@
+//! De Bruijn index manipulation: shifting and substitution.
+//!
+//! These are the capture-avoiding primitives that the metalanguage provides
+//! *once and for all*; every object language encoded with HOAS inherits
+//! them. Contrast with `hoas-firstorder`, where each representation has to
+//! re-implement (and re-debug) them.
+//!
+//! Plain [`subst`]/[`instantiate`] may create β-redexes; the *hereditary*
+//! variants that keep terms normal live in [`crate::normalize`].
+
+use crate::term::Term;
+
+/// Shifts every free variable with index `>= cutoff` up by `d`.
+pub fn shift_above(t: &Term, d: u32, cutoff: u32) -> Term {
+    if d == 0 {
+        return t.clone();
+    }
+    match t {
+        Term::Var(i) => {
+            if *i >= cutoff {
+                Term::Var(i + d)
+            } else {
+                Term::Var(*i)
+            }
+        }
+        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(shift_above(b, d, cutoff + 1))),
+        Term::App(f, a) => Term::app(shift_above(f, d, cutoff), shift_above(a, d, cutoff)),
+        Term::Pair(a, b) => Term::pair(shift_above(a, d, cutoff), shift_above(b, d, cutoff)),
+        Term::Fst(p) => Term::fst(shift_above(p, d, cutoff)),
+        Term::Snd(p) => Term::snd(shift_above(p, d, cutoff)),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// Shifts every free variable up by `d`.
+pub fn shift(t: &Term, d: u32) -> Term {
+    shift_above(t, d, 0)
+}
+
+/// Shifts every free variable with index `>= cutoff` *down* by `d`.
+///
+/// # Panics
+///
+/// Panics if a variable in the range `[cutoff, cutoff + d)` occurs — such a
+/// term would dangle. This indicates a kernel-internal invariant violation;
+/// callers first check occurrence (e.g. via [`Term::occurs_free`]).
+pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
+    if d == 0 {
+        return t.clone();
+    }
+    match t {
+        Term::Var(i) => {
+            if *i >= cutoff + d {
+                Term::Var(i - d)
+            } else {
+                assert!(
+                    *i < cutoff,
+                    "unshift_above: variable {i} would dangle (cutoff {cutoff}, d {d})"
+                );
+                Term::Var(*i)
+            }
+        }
+        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(unshift_above(b, d, cutoff + 1))),
+        Term::App(f, a) => Term::app(unshift_above(f, d, cutoff), unshift_above(a, d, cutoff)),
+        Term::Pair(a, b) => Term::pair(unshift_above(a, d, cutoff), unshift_above(b, d, cutoff)),
+        Term::Fst(p) => Term::fst(unshift_above(p, d, cutoff)),
+        Term::Snd(p) => Term::snd(unshift_above(p, d, cutoff)),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// Substitutes `s` for the free variable `j` of `t`, *keeping* the variable
+/// numbering of all other variables (no binder is removed).
+///
+/// `s` is interpreted in the same context as `t`; it is shifted as the
+/// traversal crosses binders.
+pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
+    fn go(t: &Term, j: u32, s: &Term, depth: u32) -> Term {
+        match t {
+            Term::Var(i) => {
+                if *i == j + depth {
+                    shift(s, depth)
+                } else {
+                    Term::Var(*i)
+                }
+            }
+            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(go(b, j, s, depth + 1))),
+            Term::App(f, a) => Term::app(go(f, j, s, depth), go(a, j, s, depth)),
+            Term::Pair(a, b) => Term::pair(go(a, j, s, depth), go(b, j, s, depth)),
+            Term::Fst(p) => Term::fst(go(p, j, s, depth)),
+            Term::Snd(p) => Term::snd(go(p, j, s, depth)),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+    go(t, j, s, 0)
+}
+
+/// Opens the body of a binder: substitutes `arg` for the binder's variable
+/// (index 0 at the body's top level) and shifts the remaining free
+/// variables down by one. This is exactly β-contraction's substitution:
+/// `(λ. body) arg  ⇒  instantiate(body, arg)`.
+///
+/// The result may contain new β-redexes; see
+/// [`crate::normalize::hinstantiate`] for the redex-contracting version.
+pub fn instantiate(body: &Term, arg: &Term) -> Term {
+    fn go(t: &Term, arg: &Term, depth: u32) -> Term {
+        match t {
+            Term::Var(i) => {
+                if *i == depth {
+                    shift(arg, depth)
+                } else if *i > depth {
+                    Term::Var(i - 1)
+                } else {
+                    Term::Var(*i)
+                }
+            }
+            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(go(b, arg, depth + 1))),
+            Term::App(f, a) => Term::app(go(f, arg, depth), go(a, arg, depth)),
+            Term::Pair(a, b) => Term::pair(go(a, arg, depth), go(b, arg, depth)),
+            Term::Fst(p) => Term::fst(go(p, arg, depth)),
+            Term::Snd(p) => Term::snd(go(p, arg, depth)),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+    go(body, arg, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+
+    fn v(i: u32) -> Term {
+        Term::Var(i)
+    }
+
+    #[test]
+    fn shift_respects_cutoff() {
+        // λ. (0 1 2) — 0 bound, 1 and 2 free.
+        let t = Term::lam("x", Term::apps(v(0), [v(1), v(2)]));
+        let s = shift(&t, 3);
+        assert_eq!(s, Term::lam("x", Term::apps(v(0), [v(4), v(5)])));
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let t = Term::lam("x", Term::app(v(0), v(3)));
+        assert_eq!(shift(&t, 0), t);
+    }
+
+    #[test]
+    fn unshift_inverts_shift() {
+        let t = Term::lam("x", Term::apps(v(0), [v(1), v(4)]));
+        assert_eq!(unshift_above(&shift(&t, 7), 7, 0), t);
+    }
+
+    #[test]
+    #[should_panic(expected = "would dangle")]
+    fn unshift_panics_on_dangling() {
+        let _ = unshift_above(&v(0), 1, 0);
+    }
+
+    #[test]
+    fn subst_shifts_replacement_under_binders() {
+        // t = λ. (1)  — the free var 0 seen from outside.
+        let t = Term::lam("x", v(1));
+        // substitute variable 0 := (free var 0 applied to const c) — must be
+        // shifted to 1 under the λ.
+        let s = Term::app(v(0), Term::cnst("c"));
+        let r = subst(&t, 0, &s);
+        assert_eq!(r, Term::lam("x", Term::app(v(1), Term::cnst("c"))));
+    }
+
+    #[test]
+    fn subst_leaves_other_vars_alone() {
+        let t = Term::apps(v(0), [v(1), v(2)]);
+        let r = subst(&t, 1, &Term::Int(9));
+        assert_eq!(r, Term::apps(v(0), [Term::Int(9), v(2)]));
+    }
+
+    #[test]
+    fn instantiate_beta_semantics() {
+        // (λx. x x) c  ⇒  c c
+        let body = Term::app(v(0), v(0));
+        let r = instantiate(&body, &Term::cnst("c"));
+        assert_eq!(r, Term::app(Term::cnst("c"), Term::cnst("c")));
+    }
+
+    #[test]
+    fn instantiate_decrements_outer_vars() {
+        // body = 0 1 2; instantiate 0 := c gives c 0 1 (outer vars step down).
+        let body = Term::apps(v(0), [v(1), v(2)]);
+        let r = instantiate(&body, &Term::cnst("c"));
+        assert_eq!(r, Term::apps(Term::cnst("c"), [v(0), v(1)]));
+    }
+
+    #[test]
+    fn instantiate_under_binder_shifts_arg() {
+        // body = λy. (x y) with x = Var(1) (the binder being opened), arg = Var(5).
+        let body = Term::lam("y", Term::app(v(1), v(0)));
+        let r = instantiate(&body, &v(5));
+        // under the λ the replacement 5 must appear as 6.
+        assert_eq!(r, Term::lam("y", Term::app(v(6), v(0))));
+    }
+
+    #[test]
+    fn instantiate_ignores_closed_subterms() {
+        let body = Term::apps(Term::cnst("f"), [Term::Int(1), Term::Unit]);
+        assert_eq!(instantiate(&body, &v(0)), body);
+    }
+
+    #[test]
+    fn subst_keeps_numbering_of_other_vars() {
+        // Unlike `instantiate`, `subst` removes no binder: substituting for
+        // variable 0 leaves variable 1 as variable 1.
+        let t = Term::app(v(0), v(1));
+        let once = subst(&t, 0, &Term::cnst("a"));
+        assert_eq!(once, Term::app(Term::cnst("a"), v(1)));
+        // Re-substituting for 0 finds no occurrence.
+        let twice = subst(&once, 0, &Term::cnst("b"));
+        assert_eq!(twice, once);
+    }
+}

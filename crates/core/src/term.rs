@@ -1,0 +1,500 @@
+//! Terms of the metalanguage.
+//!
+//! Terms use **de Bruijn indices** for bound variables: `Var(0)` refers to
+//! the innermost enclosing λ. Every λ carries a *printing hint* — the
+//! surface name the binder had (or should get) — but hints are ignored by
+//! [`PartialEq`] and [`Hash`], so structural equality **is α-equivalence**.
+//! This is the representation choice that makes object-language renaming
+//! trivial, one of the paper's selling points.
+//!
+//! Metavariables ([`MVar`]) are the "pattern variables" of the paper's
+//! transformation rules: free, typed holes that higher-order unification
+//! and matching solve for. A metavariable applied to a spine of distinct
+//! bound variables is a *Miller pattern*; see `hoas-unify`.
+
+use crate::intern::Sym;
+use crate::ty::Ty;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A metavariable: a typed hole solved by unification or matching.
+///
+/// Identity is the numeric `id`; the `hint` is only for printing.
+#[derive(Clone, Debug)]
+pub struct MVar {
+    id: u32,
+    hint: Sym,
+}
+
+impl MVar {
+    /// Creates a metavariable with the given identity and printing hint.
+    pub fn new(id: u32, hint: impl Into<Sym>) -> MVar {
+        MVar {
+            id,
+            hint: hint.into(),
+        }
+    }
+
+    /// The numeric identity.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The printing hint.
+    pub fn hint(&self) -> &Sym {
+        &self.hint
+    }
+}
+
+impl PartialEq for MVar {
+    fn eq(&self, other: &Self) -> bool {
+        self.id == other.id
+    }
+}
+impl Eq for MVar {}
+impl std::hash::Hash for MVar {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.id.hash(state)
+    }
+}
+impl PartialOrd for MVar {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MVar {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.id.cmp(&other.id)
+    }
+}
+
+impl fmt::Display for MVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "?{}", self.hint)
+    }
+}
+
+/// Typing environment for metavariables: the type each hole must fill.
+pub type MetaEnv = HashMap<MVar, Ty>;
+
+/// A term of the metalanguage, in de Bruijn representation.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// A bound variable; `Var(0)` is the innermost binder.
+    Var(u32),
+    /// A constant declared in a [`crate::sig::Signature`].
+    Const(Sym),
+    /// A metavariable (pattern variable of a rewrite rule / unification
+    /// problem).
+    Meta(MVar),
+    /// An integer literal of type [`Ty::Int`].
+    Int(i64),
+    /// λ-abstraction. The [`Sym`] is a printing hint, ignored by equality.
+    Lam(Sym, Box<Term>),
+    /// Application.
+    App(Box<Term>, Box<Term>),
+    /// Pairing, of product type.
+    Pair(Box<Term>, Box<Term>),
+    /// First projection.
+    Fst(Box<Term>),
+    /// Second projection.
+    Snd(Box<Term>),
+    /// The unit value.
+    Unit,
+}
+
+/// The head of a neutral term (a variable, constant, or metavariable
+/// applied to a spine of arguments).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Head {
+    /// Bound variable head.
+    Var(u32),
+    /// Constant head.
+    Const(Sym),
+    /// Metavariable head.
+    Meta(MVar),
+}
+
+impl fmt::Display for Head {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Head::Var(i) => write!(f, "#{i}"),
+            Head::Const(c) => write!(f, "{c}"),
+            Head::Meta(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl Term {
+    /// Convenience constructor for application.
+    pub fn app(f: Term, a: Term) -> Term {
+        Term::App(Box::new(f), Box::new(a))
+    }
+
+    /// Convenience constructor for an iterated application `f a₀ … aₙ`.
+    pub fn apps(f: Term, args: impl IntoIterator<Item = Term>) -> Term {
+        args.into_iter().fold(f, Term::app)
+    }
+
+    /// Convenience constructor for λ-abstraction with a printing hint.
+    pub fn lam(hint: impl Into<Sym>, body: Term) -> Term {
+        Term::Lam(hint.into(), Box::new(body))
+    }
+
+    /// Iterated λ-abstraction: `lams(["x","y"], b)` is `λx. λy. b`.
+    pub fn lams<S: Into<Sym>>(
+        hints: impl IntoIterator<Item = S, IntoIter: DoubleEndedIterator>,
+        body: Term,
+    ) -> Term {
+        hints
+            .into_iter()
+            .rev()
+            .fold(body, |acc, h| Term::lam(h, acc))
+    }
+
+    /// Convenience constructor for a constant reference.
+    pub fn cnst(name: impl Into<Sym>) -> Term {
+        Term::Const(name.into())
+    }
+
+    /// Convenience constructor for pairing.
+    pub fn pair(a: Term, b: Term) -> Term {
+        Term::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for the first projection.
+    pub fn fst(t: Term) -> Term {
+        Term::Fst(Box::new(t))
+    }
+
+    /// Convenience constructor for the second projection.
+    pub fn snd(t: Term) -> Term {
+        Term::Snd(Box::new(t))
+    }
+
+    /// Decomposes `f a₀ … aₙ` into `(f, [a₀, …, aₙ])`; the returned head
+    /// term is not itself an application.
+    pub fn spine(&self) -> (&Term, Vec<&Term>) {
+        let mut args = Vec::new();
+        let mut cur = self;
+        while let Term::App(f, a) = cur {
+            args.push(a.as_ref());
+            cur = f;
+        }
+        args.reverse();
+        (cur, args)
+    }
+
+    /// Like [`Term::spine`] but classifies the head, returning `None` if
+    /// the head is not a variable, constant, or metavariable (i.e. the term
+    /// is not neutral — a β-redex, literal, pair, or projection head).
+    pub fn head_spine(&self) -> Option<(Head, Vec<&Term>)> {
+        let (h, args) = self.spine();
+        let head = match h {
+            Term::Var(i) => Head::Var(*i),
+            Term::Const(c) => Head::Const(c.clone()),
+            Term::Meta(m) => Head::Meta(m.clone()),
+            _ => return None,
+        };
+        Some((head, args))
+    }
+
+    /// Strips leading λ-abstractions, returning the hints and the body.
+    pub fn strip_lams(&self) -> (Vec<&Sym>, &Term) {
+        let mut hints = Vec::new();
+        let mut cur = self;
+        while let Term::Lam(h, b) = cur {
+            hints.push(h);
+            cur = b;
+        }
+        (hints, cur)
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => 1,
+            Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => 1 + b.size(),
+            Term::App(a, b) | Term::Pair(a, b) => 1 + a.size() + b.size(),
+        }
+    }
+
+    /// Maximum nesting depth.
+    pub fn depth(&self) -> usize {
+        match self {
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => 1,
+            Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => 1 + b.depth(),
+            Term::App(a, b) | Term::Pair(a, b) => 1 + a.depth().max(b.depth()),
+        }
+    }
+
+    /// Whether `Var(k)` (counted from the *outside* of this term) occurs
+    /// free. `occurs_free(0)` asks about the variable bound by an
+    /// immediately enclosing λ.
+    pub fn occurs_free(&self, k: u32) -> bool {
+        match self {
+            Term::Var(i) => *i == k,
+            Term::Lam(_, b) => b.occurs_free(k + 1),
+            Term::App(a, b) | Term::Pair(a, b) => a.occurs_free(k) || b.occurs_free(k),
+            Term::Fst(b) | Term::Snd(b) => b.occurs_free(k),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => false,
+        }
+    }
+
+    /// Whether the term has no free de Bruijn variables (it may still
+    /// contain metavariables and constants).
+    pub fn is_locally_closed(&self) -> bool {
+        fn go(t: &Term, depth: u32) -> bool {
+            match t {
+                Term::Var(i) => *i < depth,
+                Term::Lam(_, b) => go(b, depth + 1),
+                Term::App(a, b) | Term::Pair(a, b) => go(a, depth) && go(b, depth),
+                Term::Fst(b) | Term::Snd(b) => go(b, depth),
+                Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => true,
+            }
+        }
+        go(self, 0)
+    }
+
+    /// Whether the term contains any metavariable.
+    pub fn has_metas(&self) -> bool {
+        match self {
+            Term::Meta(_) => true,
+            Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => false,
+            Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => b.has_metas(),
+            Term::App(a, b) | Term::Pair(a, b) => a.has_metas() || b.has_metas(),
+        }
+    }
+
+    /// Collects the metavariables occurring in the term, in first-occurrence
+    /// order without duplicates.
+    pub fn metas(&self) -> Vec<MVar> {
+        fn go(t: &Term, acc: &mut Vec<MVar>) {
+            match t {
+                Term::Meta(m) => {
+                    if !acc.contains(m) {
+                        acc.push(m.clone());
+                    }
+                }
+                Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => {}
+                Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => go(b, acc),
+                Term::App(a, b) | Term::Pair(a, b) => {
+                    go(a, acc);
+                    go(b, acc);
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
+    /// Collects the constants occurring in the term, in first-occurrence
+    /// order without duplicates.
+    pub fn constants(&self) -> Vec<Sym> {
+        fn go(t: &Term, acc: &mut Vec<Sym>) {
+            match t {
+                Term::Const(c) => {
+                    if !acc.contains(c) {
+                        acc.push(c.clone());
+                    }
+                }
+                Term::Var(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => {}
+                Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => go(b, acc),
+                Term::App(a, b) | Term::Pair(a, b) => {
+                    go(a, acc);
+                    go(b, acc);
+                }
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
+    /// Whether the term is β-normal: contains no β-redex `(λx.b) a`, no
+    /// projection redex `fst (s, t)` / `snd (s, t)`.
+    pub fn is_beta_normal(&self) -> bool {
+        match self {
+            Term::App(f, a) => !matches!(f.as_ref(), Term::Lam(..)) && f.is_beta_normal() && a.is_beta_normal(),
+            Term::Fst(p) | Term::Snd(p) => !matches!(p.as_ref(), Term::Pair(..)) && p.is_beta_normal(),
+            Term::Lam(_, b) => b.is_beta_normal(),
+            Term::Pair(a, b) => a.is_beta_normal() && b.is_beta_normal(),
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => true,
+        }
+    }
+
+    /// Renames every binder hint using `f`; used by pretty-printing tests
+    /// to demonstrate that hints are semantically inert.
+    pub fn map_hints(&self, f: &mut impl FnMut(&Sym) -> Sym) -> Term {
+        match self {
+            Term::Lam(h, b) => Term::Lam(f(h), Box::new(b.map_hints(f))),
+            Term::App(a, b) => Term::app(a.map_hints(f), b.map_hints(f)),
+            Term::Pair(a, b) => Term::pair(a.map_hints(f), b.map_hints(f)),
+            Term::Fst(b) => Term::fst(b.map_hints(f)),
+            Term::Snd(b) => Term::snd(b.map_hints(f)),
+            _ => self.clone(),
+        }
+    }
+}
+
+impl PartialEq for Term {
+    /// Structural equality **modulo binder hints** — i.e. α-equivalence.
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Term::Var(i), Term::Var(j)) => i == j,
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::Meta(a), Term::Meta(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Lam(_, a), Term::Lam(_, b)) => a == b,
+            (Term::App(f, a), Term::App(g, b)) => f == g && a == b,
+            (Term::Pair(f, a), Term::Pair(g, b)) => f == g && a == b,
+            (Term::Fst(a), Term::Fst(b)) => a == b,
+            (Term::Snd(a), Term::Snd(b)) => a == b,
+            (Term::Unit, Term::Unit) => true,
+            _ => false,
+        }
+    }
+}
+impl Eq for Term {}
+
+impl std::hash::Hash for Term {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        std::mem::discriminant(self).hash(state);
+        match self {
+            Term::Var(i) => i.hash(state),
+            Term::Const(c) => c.hash(state),
+            Term::Meta(m) => m.hash(state),
+            Term::Int(n) => n.hash(state),
+            Term::Lam(_, b) => b.hash(state),
+            Term::App(a, b) | Term::Pair(a, b) => {
+                a.hash(state);
+                b.hash(state);
+            }
+            Term::Fst(b) | Term::Snd(b) => b.hash(state),
+            Term::Unit => {}
+        }
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        crate::print::fmt_term(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn x() -> Term {
+        Term::Var(0)
+    }
+
+    #[test]
+    fn alpha_equivalence_ignores_hints() {
+        let a = Term::lam("x", x());
+        let b = Term::lam("y", x());
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn different_structure_not_equal() {
+        assert_ne!(Term::lam("x", x()), Term::lam("x", Term::Var(1)));
+        assert_ne!(Term::Int(1), Term::Int(2));
+        assert_ne!(Term::cnst("a"), Term::cnst("b"));
+        assert_ne!(Term::Unit, Term::Int(0));
+    }
+
+    #[test]
+    fn spine_roundtrip() {
+        let t = Term::apps(Term::cnst("f"), [Term::Int(1), Term::Int(2), Term::Int(3)]);
+        let (h, args) = t.spine();
+        assert_eq!(h, &Term::cnst("f"));
+        assert_eq!(args, vec![&Term::Int(1), &Term::Int(2), &Term::Int(3)]);
+        let (head, args2) = t.head_spine().unwrap();
+        assert_eq!(head, Head::Const(Sym::new("f")));
+        assert_eq!(args2.len(), 3);
+    }
+
+    #[test]
+    fn head_spine_rejects_redex() {
+        let redex = Term::app(Term::lam("x", x()), Term::Int(1));
+        assert!(redex.head_spine().is_none());
+    }
+
+    #[test]
+    fn lams_and_strip() {
+        let t = Term::lams(["x", "y", "z"], Term::Var(2));
+        let (hints, body) = t.strip_lams();
+        assert_eq!(hints.len(), 3);
+        assert_eq!(hints[0].as_str(), "x");
+        assert_eq!(body, &Term::Var(2));
+    }
+
+    #[test]
+    fn occurs_free_under_binders() {
+        // λx. y  where y = Var(1) inside, i.e. Var(0) outside the λ.
+        let t = Term::lam("x", Term::Var(1));
+        assert!(t.occurs_free(0));
+        assert!(!t.occurs_free(1));
+        // λx. x does not mention anything free.
+        let id = Term::lam("x", x());
+        assert!(!id.occurs_free(0));
+        assert!(id.is_locally_closed());
+        assert!(!t.is_locally_closed());
+    }
+
+    #[test]
+    fn metas_and_constants_dedup() {
+        let m = MVar::new(0, "P");
+        let t = Term::apps(
+            Term::cnst("and"),
+            [Term::Meta(m.clone()), Term::Meta(m.clone())],
+        );
+        assert_eq!(t.metas(), vec![m]);
+        assert_eq!(t.constants(), vec![Sym::new("and")]);
+        assert!(t.has_metas());
+    }
+
+    #[test]
+    fn beta_normal_detection() {
+        assert!(Term::lam("x", x()).is_beta_normal());
+        let redex = Term::app(Term::lam("x", x()), Term::Unit);
+        assert!(!redex.is_beta_normal());
+        let proj_redex = Term::fst(Term::pair(Term::Unit, Term::Unit));
+        assert!(!proj_redex.is_beta_normal());
+        // A redex under a binder is still a redex.
+        assert!(!Term::lam("x", redex).is_beta_normal());
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let t = Term::app(Term::lam("x", x()), Term::Unit);
+        assert_eq!(t.size(), 4);
+        assert_eq!(t.depth(), 3);
+    }
+
+    #[test]
+    fn mvar_identity_is_id_not_hint() {
+        let a = MVar::new(3, "P");
+        let b = MVar::new(3, "Q");
+        let c = MVar::new(4, "P");
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn map_hints_preserves_equality() {
+        let t = Term::lam("x", Term::app(x(), x()));
+        let renamed = t.map_hints(&mut |_| Sym::new("fresh"));
+        assert_eq!(t, renamed);
+    }
+}

@@ -1,0 +1,262 @@
+//! Bidirectional type checking for β-normal terms.
+//!
+//! The checker is the fast, reconstruction-free path used throughout the
+//! object-language encodings (which are all monomorphic). It is
+//! syntax-directed on β-normal terms:
+//!
+//! * **checking** ([`check`]) pushes a known type into introduction forms
+//!   (λ against arrow, pair against product, …);
+//! * **synthesis** ([`synth`]) pulls a type out of neutral terms by
+//!   walking their spine from a variable/constant/metavariable head.
+//!
+//! Polymorphic constants cannot be handled without unification; the
+//! checker reports [`Error::PolyConstInChecking`] and callers fall back to
+//! [`crate::infer`].
+
+use crate::ctx::Ctx;
+use crate::error::Error;
+use crate::sig::Signature;
+use crate::term::{MetaEnv, Term};
+use crate::ty::Ty;
+
+/// Checks `t` against `ty` in context `ctx`.
+///
+/// # Errors
+///
+/// Returns a type error describing the first mismatch. `t` need not be
+/// η-long, but must be β-normal in neutral positions for synthesis to
+/// apply (a β-redex is reported as [`Error::NotNeutral`]).
+///
+/// ```
+/// use hoas_core::prelude::*;
+/// let sig = Signature::parse("type tm. const app : tm -> tm -> tm.")?;
+/// let t = parse_term(&sig, r"\x. app x x")?.term;
+/// let ty = parse_ty("tm -> tm")?;
+/// typeck::check(&sig, &MetaEnv::new(), &Ctx::new(), &t, &ty)?;
+/// # Ok::<(), hoas_core::Error>(())
+/// ```
+pub fn check(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &Term,
+    ty: &Ty,
+) -> Result<(), Error> {
+    match (t, ty) {
+        (Term::Lam(h, body), Ty::Arrow(dom, cod)) => {
+            let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
+            check(sig, menv, &ctx2, body, cod)
+        }
+        (Term::Lam(_, _), other) => Err(Error::CheckShape {
+            form: "λ-abstraction",
+            ty: other.clone(),
+        }),
+        (Term::Pair(a, b), Ty::Prod(ta, tb)) => {
+            check(sig, menv, ctx, a, ta)?;
+            check(sig, menv, ctx, b, tb)
+        }
+        (Term::Pair(..), other) => Err(Error::CheckShape {
+            form: "pair",
+            ty: other.clone(),
+        }),
+        (Term::Unit, Ty::Unit) => Ok(()),
+        (Term::Unit, other) => Err(Error::CheckShape {
+            form: "unit value",
+            ty: other.clone(),
+        }),
+        (Term::Int(_), Ty::Int) => Ok(()),
+        (Term::Int(_), other) => Err(Error::CheckShape {
+            form: "integer literal",
+            ty: other.clone(),
+        }),
+        _ => {
+            let found = synth(sig, menv, ctx, t)?;
+            if &found == ty {
+                Ok(())
+            } else {
+                Err(Error::TypeMismatch {
+                    expected: ty.clone(),
+                    found,
+                })
+            }
+        }
+    }
+}
+
+/// Synthesizes the type of a neutral term (or literal).
+///
+/// # Errors
+///
+/// Returns [`Error::NotNeutral`] for introduction forms (λ, pair, unit):
+/// those only *check*. Returns lookup and application errors otherwise.
+pub fn synth(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term) -> Result<Ty, Error> {
+    match t {
+        Term::Var(i) => ctx
+            .lookup(*i)
+            .map(|(_, ty)| ty.clone())
+            .ok_or(Error::UnboundVar { index: *i }),
+        Term::Const(c) => {
+            let scheme = sig
+                .const_ty(c.as_str())
+                .ok_or_else(|| Error::UnknownConst { name: c.clone() })?;
+            scheme
+                .as_mono()
+                .cloned()
+                .ok_or_else(|| Error::PolyConstInChecking { name: c.clone() })
+        }
+        Term::Meta(m) => menv
+            .get(m)
+            .cloned()
+            .ok_or_else(|| Error::UnknownMeta { mvar: m.clone() }),
+        Term::Int(_) => Ok(Ty::Int),
+        Term::App(f, a) => {
+            let fty = synth(sig, menv, ctx, f)?;
+            match fty {
+                Ty::Arrow(dom, cod) => {
+                    check(sig, menv, ctx, a, &dom)?;
+                    Ok(*cod)
+                }
+                other => Err(Error::NotAFunction { ty: other }),
+            }
+        }
+        Term::Fst(p) => match synth(sig, menv, ctx, p)? {
+            Ty::Prod(a, _) => Ok(*a),
+            other => Err(Error::NotAProduct { ty: other }),
+        },
+        Term::Snd(p) => match synth(sig, menv, ctx, p)? {
+            Ty::Prod(_, b) => Ok(*b),
+            other => Err(Error::NotAProduct { ty: other }),
+        },
+        Term::Lam(..) | Term::Pair(..) | Term::Unit => Err(Error::NotNeutral),
+    }
+}
+
+/// Checks a closed term with no metavariables against `ty`.
+///
+/// # Errors
+///
+/// As for [`check`].
+pub fn check_closed(sig: &Signature, t: &Term, ty: &Ty) -> Result<(), Error> {
+    check(sig, &MetaEnv::new(), &Ctx::new(), t, ty)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::MVar;
+    use crate::ty::TyScheme;
+
+    fn sig() -> Signature {
+        let mut s = Signature::new();
+        s.declare_type("tm").unwrap();
+        let tm = Ty::base("tm");
+        s.declare_const(
+            "lam",
+            Ty::arrow(Ty::arrow(tm.clone(), tm.clone()), tm.clone()),
+        )
+        .unwrap();
+        s.declare_const("app", Ty::arrows([tm.clone(), tm.clone()], tm.clone()))
+            .unwrap();
+        s.declare_const(
+            "pairc",
+            TyScheme::new(
+                2,
+                Ty::arrows([Ty::Var(0), Ty::Var(1)], Ty::prod(Ty::Var(0), Ty::Var(1))),
+            ),
+        )
+        .unwrap();
+        s
+    }
+
+    fn tm() -> Ty {
+        Ty::base("tm")
+    }
+
+    #[test]
+    fn checks_identity_encoding() {
+        // lam (λx. x) : tm
+        let t = Term::app(Term::cnst("lam"), Term::lam("x", Term::Var(0)));
+        check_closed(&sig(), &t, &tm()).unwrap();
+    }
+
+    #[test]
+    fn rejects_wrong_target() {
+        let t = Term::app(Term::cnst("lam"), Term::lam("x", Term::Var(0)));
+        let err = check_closed(&sig(), &t, &Ty::Int).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_underapplication_mismatch() {
+        // `app` alone has type tm -> tm -> tm, not tm.
+        let err = check_closed(&sig(), &Term::cnst("app"), &tm()).unwrap_err();
+        assert!(matches!(err, Error::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_overapplication() {
+        let t = Term::apps(
+            Term::cnst("lam"),
+            [Term::lam("x", Term::Var(0)), Term::cnst("app")],
+        );
+        let err = check_closed(&sig(), &t, &tm()).unwrap_err();
+        assert!(matches!(err, Error::NotAFunction { .. }));
+    }
+
+    #[test]
+    fn lambda_against_base_type_fails_with_shape_error() {
+        let err = check_closed(&sig(), &Term::lam("x", Term::Var(0)), &tm()).unwrap_err();
+        assert!(matches!(err, Error::CheckShape { .. }));
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let err = check_closed(&sig(), &Term::Var(0), &tm()).unwrap_err();
+        assert_eq!(err, Error::UnboundVar { index: 0 });
+    }
+
+    #[test]
+    fn unknown_constant_reported() {
+        let err = check_closed(&sig(), &Term::cnst("nope"), &tm()).unwrap_err();
+        assert!(matches!(err, Error::UnknownConst { .. }));
+    }
+
+    #[test]
+    fn poly_constant_requires_inference() {
+        let err = synth(&sig(), &MetaEnv::new(), &Ctx::new(), &Term::cnst("pairc")).unwrap_err();
+        assert!(matches!(err, Error::PolyConstInChecking { .. }));
+    }
+
+    #[test]
+    fn metavariables_use_menv() {
+        let m = MVar::new(0, "P");
+        let mut menv = MetaEnv::new();
+        menv.insert(m.clone(), tm());
+        check(&sig(), &menv, &Ctx::new(), &Term::Meta(m.clone()), &tm()).unwrap();
+        let unknown = MVar::new(1, "Q");
+        let err = check(&sig(), &menv, &Ctx::new(), &Term::Meta(unknown), &tm()).unwrap_err();
+        assert!(matches!(err, Error::UnknownMeta { .. }));
+    }
+
+    #[test]
+    fn products_and_literals() {
+        let s = sig();
+        let t = Term::pair(Term::Int(1), Term::Unit);
+        check_closed(&s, &t, &Ty::prod(Ty::Int, Ty::Unit)).unwrap();
+        let t2 = Term::fst(Term::pair(Term::Int(1), Term::Unit));
+        // fst of a pair is a projection redex — not neutral, so synthesis refuses.
+        assert!(check_closed(&s, &t2, &Ty::Int).is_err());
+    }
+
+    #[test]
+    fn checks_under_binders_with_context() {
+        let s = sig();
+        // λf. λx. f (f x) : (tm -> tm) -> tm -> tm
+        let t = Term::lams(
+            ["f", "x"],
+            Term::app(Term::Var(1), Term::app(Term::Var(1), Term::Var(0))),
+        );
+        let ty = Ty::arrow(Ty::arrow(tm(), tm()), Ty::arrow(tm(), tm()));
+        check_closed(&s, &t, &ty).unwrap();
+    }
+}

@@ -1,0 +1,200 @@
+//! Conversions between named and de Bruijn trees.
+
+use crate::debruijn::DbTree;
+use crate::named::{fresh_name, Abs, Tree};
+use std::collections::HashSet;
+
+/// Converts a named tree to de Bruijn. Free variables become
+/// [`DbTree::Free`]; the conversion is total.
+pub fn to_debruijn(t: &Tree) -> DbTree {
+    fn go(t: &Tree, env: &mut Vec<String>) -> DbTree {
+        match t {
+            Tree::Var(x) => match env.iter().rposition(|b| b == x) {
+                Some(pos) => DbTree::Var((env.len() - 1 - pos) as u32),
+                None => DbTree::Free(x.clone()),
+            },
+            Tree::Node(op, scopes) => DbTree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|s| {
+                        let n = s.binders.len();
+                        env.extend(s.binders.iter().cloned());
+                        let b = go(&s.body, env);
+                        env.truncate(env.len() - n);
+                        (n as u32, b)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+    go(t, &mut Vec::new())
+}
+
+/// Converts a de Bruijn tree back to named form, inventing binder names
+/// (`x`, `x1`, …) that avoid the free names in scope.
+///
+/// Dangling indices become variables named `#i` (cannot clash with
+/// identifiers).
+pub fn to_named(t: &DbTree) -> Tree {
+    fn go(t: &DbTree, env: &mut Vec<String>, used: &mut HashSet<String>) -> Tree {
+        match t {
+            DbTree::Var(i) => {
+                let n = env.len();
+                match n.checked_sub(1 + *i as usize).and_then(|k| env.get(k)) {
+                    Some(name) => Tree::var(name.clone()),
+                    None => Tree::var(format!("#{i}")),
+                }
+            }
+            DbTree::Free(x) => Tree::var(x.clone()),
+            DbTree::Node(op, scopes) => Tree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|(k, b)| {
+                        let mut binders = Vec::with_capacity(*k as usize);
+                        for _ in 0..*k {
+                            let name = fresh_name("x", used);
+                            used.insert(name.clone());
+                            env.push(name.clone());
+                            binders.push(name);
+                        }
+                        let body = go(b, env, used);
+                        for name in binders.iter() {
+                            used.remove(name);
+                        }
+                        env.truncate(env.len() - *k as usize);
+                        Abs { binders, body }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+    let mut used: HashSet<String> = free_names(t);
+    go(t, &mut Vec::new(), &mut used)
+}
+
+fn free_names(t: &DbTree) -> HashSet<String> {
+    match t {
+        DbTree::Var(_) => HashSet::new(),
+        DbTree::Free(x) => std::iter::once(x.clone()).collect(),
+        DbTree::Node(_, scopes) => scopes
+            .iter()
+            .flat_map(|(_, b)| free_names(b))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(x: &str) -> Tree {
+        Tree::var(x)
+    }
+
+    fn lam(x: &str, body: Tree) -> Tree {
+        Tree::binder("lam", x, body)
+    }
+
+    fn app(f: Tree, a: Tree) -> Tree {
+        Tree::node("app", [f, a])
+    }
+
+    #[test]
+    fn named_to_db_basic() {
+        let t = lam("x", app(v("x"), v("y")));
+        let db = to_debruijn(&t);
+        assert_eq!(
+            db,
+            DbTree::binder(
+                "lam",
+                DbTree::node("app", [DbTree::Var(0), DbTree::Free("y".into())])
+            )
+        );
+    }
+
+    #[test]
+    fn alpha_equal_named_terms_convert_identically() {
+        let a = lam("x", v("x"));
+        let b = lam("different", v("different"));
+        assert_eq!(to_debruijn(&a), to_debruijn(&b));
+    }
+
+    #[test]
+    fn shadowing_resolves_to_innermost() {
+        let t = lam("x", lam("x", v("x")));
+        let db = to_debruijn(&t);
+        assert_eq!(db, DbTree::binder("lam", DbTree::binder("lam", DbTree::Var(0))));
+    }
+
+    #[test]
+    fn roundtrip_preserves_alpha_class() {
+        let t = lam("x", lam("y", app(app(v("x"), v("y")), v("free"))));
+        let back = to_named(&to_debruijn(&t));
+        assert!(back.alpha_eq(&t), "got {back}");
+        // And de Bruijn forms agree exactly.
+        assert_eq!(to_debruijn(&back), to_debruijn(&t));
+    }
+
+    #[test]
+    fn to_named_avoids_free_names() {
+        // λ. (0 x): the invented binder must not be called "x".
+        let db = DbTree::binder(
+            "lam",
+            DbTree::node("app", [DbTree::Var(0), DbTree::Free("x".into())]),
+        );
+        let named = to_named(&db);
+        if let Tree::Node(_, scopes) = &named {
+            assert_ne!(scopes[0].binders[0], "x");
+        } else {
+            panic!("expected node");
+        }
+        assert_eq!(to_debruijn(&named), db);
+    }
+
+    #[test]
+    fn multi_binder_roundtrip() {
+        let t = Tree::Node(
+            "let2".into(),
+            vec![Abs {
+                binders: vec!["a".into(), "b".into()],
+                body: app(v("a"), app(v("b"), v("c"))),
+            }],
+        );
+        let db = to_debruijn(&t);
+        assert_eq!(
+            db,
+            DbTree::Node(
+                "let2".into(),
+                vec![(
+                    2,
+                    DbTree::node(
+                        "app",
+                        [
+                            DbTree::Var(1),
+                            DbTree::node("app", [DbTree::Var(0), DbTree::Free("c".into())])
+                        ]
+                    )
+                )]
+            )
+        );
+        assert!(to_named(&db).alpha_eq(&t));
+    }
+
+    #[test]
+    fn dangling_index_becomes_hash_name() {
+        let db = DbTree::Var(3);
+        assert_eq!(to_named(&db), Tree::var("#3"));
+    }
+
+    #[test]
+    fn substitution_commutes_with_conversion() {
+        // subst in named world then convert == convert then subst_free.
+        let t = lam("y", app(v("x"), v("y")));
+        let s = app(v("a"), v("b"));
+        let named_then = to_debruijn(&t.subst("x", &s));
+        let db_then = to_debruijn(&t).subst_free("x", &to_debruijn(&s));
+        assert_eq!(named_then, db_then);
+    }
+}

@@ -1,0 +1,256 @@
+//! Nameless (de Bruijn) abstract binding trees.
+//!
+//! The second conventional representation the paper discusses: variables
+//! are numbers counting enclosing binders. α-equivalence becomes
+//! structural equality, but substitution now needs index *shifting*, which
+//! is easy to get wrong and still must be written once per system —
+//! whereas HOAS inherits it from the metalanguage.
+
+use std::fmt;
+
+/// A nameless first-order term. `Var(0)` refers to the innermost binder;
+/// in a multi-binder scope `(k, body)`, the binders are indices
+/// `k-1 … 0` (leftmost binder has the highest index).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum DbTree {
+    /// A bound variable (or dangling index if out of range).
+    Var(u32),
+    /// A free (global) variable kept by name.
+    Free(String),
+    /// An operator applied to scopes `(n_binders, body)`.
+    Node(String, Vec<(u32, DbTree)>),
+}
+
+impl DbTree {
+    /// Convenience constructor for an operator over unbound children.
+    pub fn node(op: impl Into<String>, children: impl IntoIterator<Item = DbTree>) -> DbTree {
+        DbTree::Node(op.into(), children.into_iter().map(|c| (0, c)).collect())
+    }
+
+    /// Convenience constructor for a unary binder operator.
+    pub fn binder(op: impl Into<String>, body: DbTree) -> DbTree {
+        DbTree::Node(op.into(), vec![(1, body)])
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            DbTree::Var(_) | DbTree::Free(_) => 1,
+            DbTree::Node(_, scopes) => 1 + scopes.iter().map(|(_, b)| b.size()).sum::<usize>(),
+        }
+    }
+
+    /// Shifts free indices `>= cutoff` up by `d`.
+    pub fn shift_above(&self, d: u32, cutoff: u32) -> DbTree {
+        match self {
+            DbTree::Var(i) => {
+                if *i >= cutoff {
+                    DbTree::Var(i + d)
+                } else {
+                    self.clone()
+                }
+            }
+            DbTree::Free(_) => self.clone(),
+            DbTree::Node(op, scopes) => DbTree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|(n, b)| (*n, b.shift_above(d, cutoff + n)))
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Shifts all free indices up by `d`.
+    pub fn shift(&self, d: u32) -> DbTree {
+        self.shift_above(d, 0)
+    }
+
+    /// Substitutes `s` for index `j`, leaving other indices unchanged.
+    /// The replacement is shifted at each occurrence site (not at every
+    /// binder crossing, which would cost `O(binders × |s|)`).
+    pub fn subst(&self, j: u32, s: &DbTree) -> DbTree {
+        fn go(t: &DbTree, j: u32, s: &DbTree, depth: u32) -> DbTree {
+            match t {
+                DbTree::Var(i) => {
+                    if *i == j + depth {
+                        s.shift(depth)
+                    } else {
+                        t.clone()
+                    }
+                }
+                DbTree::Free(_) => t.clone(),
+                DbTree::Node(op, scopes) => DbTree::Node(
+                    op.clone(),
+                    scopes
+                        .iter()
+                        .map(|(n, b)| (*n, go(b, j, s, depth + n)))
+                        .collect(),
+                ),
+            }
+        }
+        go(self, j, s, 0)
+    }
+
+    /// Opens a 1-binder scope body with `arg`: substitutes index 0 and
+    /// decrements the remaining free indices — the β-contraction helper.
+    pub fn instantiate(&self, arg: &DbTree) -> DbTree {
+        fn go(t: &DbTree, arg: &DbTree, depth: u32) -> DbTree {
+            match t {
+                DbTree::Var(i) => {
+                    if *i == depth {
+                        arg.shift(depth)
+                    } else if *i > depth {
+                        DbTree::Var(i - 1)
+                    } else {
+                        t.clone()
+                    }
+                }
+                DbTree::Free(_) => t.clone(),
+                DbTree::Node(op, scopes) => DbTree::Node(
+                    op.clone(),
+                    scopes
+                        .iter()
+                        .map(|(n, b)| (*n, go(b, arg, depth + n)))
+                        .collect(),
+                ),
+            }
+        }
+        go(self, arg, 0)
+    }
+
+    /// Substitutes `s` for the free (named) variable `x`, shifting the
+    /// replacement at each occurrence site.
+    pub fn subst_free(&self, x: &str, s: &DbTree) -> DbTree {
+        fn go(t: &DbTree, x: &str, s: &DbTree, depth: u32) -> DbTree {
+            match t {
+                DbTree::Free(y) if y == x => s.shift(depth),
+                DbTree::Var(_) | DbTree::Free(_) => t.clone(),
+                DbTree::Node(op, scopes) => DbTree::Node(
+                    op.clone(),
+                    scopes
+                        .iter()
+                        .map(|(n, b)| (*n, go(b, x, s, depth + n)))
+                        .collect(),
+                ),
+            }
+        }
+        go(self, x, s, 0)
+    }
+
+    /// Whether all indices are bound (no dangling `Var`).
+    pub fn is_locally_closed(&self) -> bool {
+        fn go(t: &DbTree, depth: u32) -> bool {
+            match t {
+                DbTree::Var(i) => *i < depth,
+                DbTree::Free(_) => true,
+                DbTree::Node(_, scopes) => scopes.iter().all(|(n, b)| go(b, depth + n)),
+            }
+        }
+        go(self, 0)
+    }
+}
+
+impl fmt::Display for DbTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbTree::Var(i) => write!(f, "#{i}"),
+            DbTree::Free(x) => f.write_str(x),
+            DbTree::Node(op, scopes) => {
+                if scopes.is_empty() {
+                    return f.write_str(op);
+                }
+                write!(f, "{op}(")?;
+                for (i, (n, b)) in scopes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    for _ in 0..*n {
+                        f.write_str("λ.")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> DbTree {
+        DbTree::Var(i)
+    }
+
+    fn lam(b: DbTree) -> DbTree {
+        DbTree::binder("lam", b)
+    }
+
+    fn app(f: DbTree, a: DbTree) -> DbTree {
+        DbTree::node("app", [f, a])
+    }
+
+    #[test]
+    fn alpha_is_structural() {
+        // λ.0 == λ.0, no renaming machinery needed.
+        assert_eq!(lam(v(0)), lam(v(0)));
+        assert_ne!(lam(v(0)), lam(v(1)));
+    }
+
+    #[test]
+    fn shift_with_cutoff() {
+        let t = lam(app(v(0), v(1)));
+        assert_eq!(t.shift(2), lam(app(v(0), v(3))));
+    }
+
+    #[test]
+    fn instantiate_beta() {
+        // (λ. 0 0) c  ⇒  c c
+        let body = app(v(0), v(0));
+        let c = DbTree::node("c", []);
+        assert_eq!(body.instantiate(&c), app(c.clone(), c));
+    }
+
+    #[test]
+    fn instantiate_decrements_outer() {
+        let body = app(v(0), v(1));
+        let r = body.instantiate(&DbTree::Free("a".into()));
+        assert_eq!(r, app(DbTree::Free("a".into()), v(0)));
+    }
+
+    #[test]
+    fn instantiate_shifts_under_binder() {
+        // body = λ. (1 0); open with free index context: arg = 5 (a free idx)
+        let body = lam(app(v(1), v(0)));
+        let r = body.instantiate(&v(5));
+        assert_eq!(r, lam(app(v(6), v(0))));
+    }
+
+    #[test]
+    fn subst_free_crosses_binders_with_shift() {
+        // λ. (f 0) [f := 0] — the replacement index must shift to 1 inside.
+        let t = lam(app(DbTree::Free("f".into()), v(0)));
+        let r = t.subst_free("f", &v(0));
+        assert_eq!(r, lam(app(v(1), v(0))));
+    }
+
+    #[test]
+    fn multi_binder_scopes() {
+        // let2 binds 2 names: indices 1 and 0 inside.
+        let t = DbTree::Node("let2".into(), vec![(2, app(v(1), v(0)))]);
+        assert!(t.is_locally_closed());
+        let shifted = t.shift(4);
+        assert_eq!(shifted, t, "no free vars, shift is identity");
+        let open = DbTree::Node("let2".into(), vec![(2, app(v(2), v(0)))]);
+        assert!(!open.is_locally_closed());
+        assert_eq!(open.shift(1), DbTree::Node("let2".into(), vec![(2, app(v(3), v(0)))]));
+    }
+
+    #[test]
+    fn display_format() {
+        let t = lam(app(v(0), DbTree::Free("c".into())));
+        assert_eq!(t.to_string(), "lam(λ.app(#0; c))");
+    }
+}

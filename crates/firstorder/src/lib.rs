@@ -1,0 +1,37 @@
+//! # hoas-firstorder — the first-order abstract syntax baseline
+//!
+//! The HOAS paper (Pfenning & Elliott, PLDI 1988) opens by cataloguing the
+//! problems of conventional *first-order* abstract syntax: variables are
+//! names (or numbers), each object language re-implements substitution,
+//! naive substitution captures, capture-avoiding substitution needs
+//! renaming machinery, and α-equivalence is a nontrivial judgment.
+//!
+//! This crate implements that baseline faithfully so that the paper's
+//! comparison can be reproduced (experiments E1/E2):
+//!
+//! * [`named`] — generic operator trees with **named** binders ("abstract
+//!   binding trees"), with *naive* substitution (exhibiting the capture
+//!   bug), *capture-avoiding* substitution (with freshening), explicit
+//!   renaming, and α-equivalence;
+//! * [`debruijn`] — the nameless variant with shifting and substitution,
+//!   where α-equivalence is structural equality;
+//! * [`locally`] — the locally nameless discipline (bound = indices,
+//!   free = names) with its `open`/`close` machinery;
+//! * [`convert`] — conversions between the representations.
+//!
+//! Both representations are *generic*: an operator is any string applied
+//! to a vector of abstractions (scopes). Every object language in
+//! `hoas-langs` can be projected onto these trees for the baseline
+//! benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod convert;
+pub mod debruijn;
+pub mod locally;
+pub mod named;
+
+pub use debruijn::DbTree;
+pub use locally::LnTree;
+pub use named::{Abs, Tree};

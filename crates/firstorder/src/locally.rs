@@ -1,0 +1,370 @@
+//! Locally nameless abstract binding trees.
+//!
+//! The third conventional representation: bound variables are de Bruijn
+//! indices, free variables are names. Substitution for a *free* variable
+//! needs no shifting and cannot capture; the price is the `open`/`close`
+//! discipline when traversing under binders — yet more infrastructure
+//! each first-order mechanization must build (and prove lemmas about),
+//! all of which HOAS inherits from the metalanguage.
+
+use crate::named::{fresh_name, Abs, Tree};
+use std::collections::HashSet;
+use std::fmt;
+
+/// A locally nameless term.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum LnTree {
+    /// A bound variable (index counts enclosing scopes; within a
+    /// multi-binder scope the leftmost binder has the highest index).
+    BVar(u32),
+    /// A free variable, by name.
+    FVar(String),
+    /// An operator applied to scopes `(n_binders, body)`.
+    Node(String, Vec<(u32, LnTree)>),
+}
+
+impl LnTree {
+    /// Convenience constructor for an operator over unbound children.
+    pub fn node(op: impl Into<String>, children: impl IntoIterator<Item = LnTree>) -> LnTree {
+        LnTree::Node(op.into(), children.into_iter().map(|c| (0, c)).collect())
+    }
+
+    /// Convenience constructor for a free variable.
+    pub fn fvar(x: impl Into<String>) -> LnTree {
+        LnTree::FVar(x.into())
+    }
+
+    /// Number of AST nodes.
+    pub fn size(&self) -> usize {
+        match self {
+            LnTree::BVar(_) | LnTree::FVar(_) => 1,
+            LnTree::Node(_, scopes) => 1 + scopes.iter().map(|(_, b)| b.size()).sum::<usize>(),
+        }
+    }
+
+    /// The free variables.
+    pub fn free_vars(&self) -> HashSet<String> {
+        fn go(t: &LnTree, acc: &mut HashSet<String>) {
+            match t {
+                LnTree::BVar(_) => {}
+                LnTree::FVar(x) => {
+                    acc.insert(x.clone());
+                }
+                LnTree::Node(_, scopes) => {
+                    for (_, b) in scopes {
+                        go(b, acc);
+                    }
+                }
+            }
+        }
+        let mut acc = HashSet::new();
+        go(self, &mut acc);
+        acc
+    }
+
+    /// Whether the term is *locally closed*: every bound index points at
+    /// an enclosing scope. The representation invariant all operations
+    /// preserve.
+    pub fn is_locally_closed(&self) -> bool {
+        fn go(t: &LnTree, depth: u32) -> bool {
+            match t {
+                LnTree::BVar(i) => *i < depth,
+                LnTree::FVar(_) => true,
+                LnTree::Node(_, scopes) => scopes.iter().all(|(n, b)| go(b, depth + n)),
+            }
+        }
+        go(self, 0)
+    }
+
+    /// Opens a `k`-binder scope body, replacing its outermost bound
+    /// variables (indices `k-1 … 0` at depth 0) with the given free
+    /// variables. This is how one descends under a binder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names.len()` does not match the scope's binder count
+    /// expectation of the caller (the replacement list length is the
+    /// authority here).
+    pub fn open_with(&self, names: &[&str]) -> LnTree {
+        let k = names.len() as u32;
+        fn go(t: &LnTree, names: &[&str], k: u32, depth: u32) -> LnTree {
+            match t {
+                LnTree::BVar(i) => {
+                    if *i >= depth && *i < depth + k {
+                        // Index depth+j refers to binder j of the opened
+                        // scope, counting innermost-first.
+                        let j = (*i - depth) as usize;
+                        LnTree::fvar(names[names.len() - 1 - j])
+                    } else if *i >= depth + k {
+                        LnTree::BVar(*i - k)
+                    } else {
+                        t.clone()
+                    }
+                }
+                LnTree::FVar(_) => t.clone(),
+                LnTree::Node(op, scopes) => LnTree::Node(
+                    op.clone(),
+                    scopes
+                        .iter()
+                        .map(|(n, b)| (*n, go(b, names, k, depth + n)))
+                        .collect(),
+                ),
+            }
+        }
+        go(self, names, k, 0)
+    }
+
+    /// Closes over the given free variables, producing a scope body whose
+    /// outermost indices refer to them (inverse of [`LnTree::open_with`]).
+    pub fn close_over(&self, names: &[&str]) -> LnTree {
+        let k = names.len() as u32;
+        fn go(t: &LnTree, names: &[&str], k: u32, depth: u32) -> LnTree {
+            match t {
+                LnTree::BVar(i) => {
+                    if *i >= depth {
+                        LnTree::BVar(*i + k)
+                    } else {
+                        t.clone()
+                    }
+                }
+                LnTree::FVar(x) => match names.iter().position(|n| n == x) {
+                    Some(pos) => LnTree::BVar(depth + (names.len() - 1 - pos) as u32),
+                    None => t.clone(),
+                },
+                LnTree::Node(op, scopes) => LnTree::Node(
+                    op.clone(),
+                    scopes
+                        .iter()
+                        .map(|(n, b)| (*n, go(b, names, k, depth + n)))
+                        .collect(),
+                ),
+            }
+        }
+        go(self, names, k, 0)
+    }
+
+    /// Substitutes `s` for the free variable `x`. **No shifting, no
+    /// capture possible** — free and bound variables live in different
+    /// syntactic classes, which is the selling point of this
+    /// representation.
+    pub fn subst_free(&self, x: &str, s: &LnTree) -> LnTree {
+        match self {
+            LnTree::FVar(y) if y == x => s.clone(),
+            LnTree::BVar(_) | LnTree::FVar(_) => self.clone(),
+            LnTree::Node(op, scopes) => LnTree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|(n, b)| (*n, b.subst_free(x, s)))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for LnTree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LnTree::BVar(i) => write!(f, "#{i}"),
+            LnTree::FVar(x) => f.write_str(x),
+            LnTree::Node(op, scopes) => {
+                if scopes.is_empty() {
+                    return f.write_str(op);
+                }
+                write!(f, "{op}(")?;
+                for (i, (n, b)) in scopes.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str("; ")?;
+                    }
+                    for _ in 0..*n {
+                        f.write_str("λ.")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// Converts a named tree to locally nameless form (binders become
+/// indices; free names stay names).
+pub fn from_named(t: &Tree) -> LnTree {
+    fn go(t: &Tree, env: &mut Vec<String>) -> LnTree {
+        match t {
+            Tree::Var(x) => match env.iter().rposition(|b| b == x) {
+                Some(pos) => LnTree::BVar((env.len() - 1 - pos) as u32),
+                None => LnTree::fvar(x.clone()),
+            },
+            Tree::Node(op, scopes) => LnTree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|s| {
+                        let n = s.binders.len();
+                        env.extend(s.binders.iter().cloned());
+                        let b = go(&s.body, env);
+                        env.truncate(env.len() - n);
+                        (n as u32, b)
+                    })
+                    .collect(),
+            ),
+        }
+    }
+    go(t, &mut Vec::new())
+}
+
+/// Converts back to named form, inventing fresh binder names via the
+/// open discipline.
+pub fn to_named(t: &LnTree) -> Tree {
+    fn go(t: &LnTree, used: &mut HashSet<String>) -> Tree {
+        match t {
+            LnTree::BVar(i) => Tree::var(format!("#{i}")), // dangling
+            LnTree::FVar(x) => Tree::var(x.clone()),
+            LnTree::Node(op, scopes) => Tree::Node(
+                op.clone(),
+                scopes
+                    .iter()
+                    .map(|(k, b)| {
+                        let mut names = Vec::with_capacity(*k as usize);
+                        for _ in 0..*k {
+                            let n = fresh_name("x", used);
+                            used.insert(n.clone());
+                            names.push(n);
+                        }
+                        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                        let body = go(&b.open_with(&refs), used);
+                        for n in &names {
+                            used.remove(n);
+                        }
+                        Abs {
+                            binders: names,
+                            body,
+                        }
+                    })
+                    .collect(),
+            ),
+        }
+    }
+    let mut used = t.free_vars();
+    go(t, &mut used)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lam(b: LnTree) -> LnTree {
+        LnTree::Node("lam".into(), vec![(1, b)])
+    }
+
+    fn app(f: LnTree, a: LnTree) -> LnTree {
+        LnTree::node("app", [f, a])
+    }
+
+    #[test]
+    fn open_replaces_outermost_indices() {
+        // scope body of λ: app #0 y
+        let body = app(LnTree::BVar(0), LnTree::fvar("y"));
+        let opened = body.open_with(&["x"]);
+        assert_eq!(opened, app(LnTree::fvar("x"), LnTree::fvar("y")));
+    }
+
+    #[test]
+    fn open_close_roundtrip() {
+        let body = app(LnTree::BVar(0), lam(app(LnTree::BVar(0), LnTree::BVar(1))));
+        let opened = body.open_with(&["fresh"]);
+        assert!(opened.is_locally_closed());
+        assert_eq!(opened.close_over(&["fresh"]), body);
+    }
+
+    #[test]
+    fn close_open_roundtrip() {
+        let t = app(LnTree::fvar("a"), lam(app(LnTree::BVar(0), LnTree::fvar("a"))));
+        let closed = t.close_over(&["a"]);
+        assert_eq!(closed.open_with(&["a"]), t);
+        assert!(!closed.is_locally_closed(), "closing leaves a dangling index");
+    }
+
+    #[test]
+    fn multi_binder_open_order() {
+        // 2-binder scope: #1 is the leftmost binder.
+        let body = app(LnTree::BVar(1), LnTree::BVar(0));
+        let opened = body.open_with(&["first", "second"]);
+        assert_eq!(opened, app(LnTree::fvar("first"), LnTree::fvar("second")));
+        assert_eq!(opened.close_over(&["first", "second"]), body);
+    }
+
+    #[test]
+    fn subst_free_cannot_capture() {
+        // λ. x — substituting x := #0-containing term is impossible by
+        // typing: replacements are locally closed. Substituting a free
+        // variable never touches indices.
+        let t = lam(LnTree::fvar("x"));
+        let r = t.subst_free("x", &LnTree::fvar("y"));
+        assert_eq!(r, lam(LnTree::fvar("y")));
+        // Substitution under a binder needs no shifting at all.
+        let s = lam(app(LnTree::BVar(0), LnTree::fvar("f")));
+        let r = s.subst_free("f", &lam(LnTree::BVar(0)));
+        assert_eq!(r, lam(app(LnTree::BVar(0), lam(LnTree::BVar(0)))));
+    }
+
+    #[test]
+    fn conversion_agrees_with_named() {
+        let named = Tree::binder(
+            "lam",
+            "x",
+            Tree::node("app", [Tree::var("x"), Tree::var("free")]),
+        );
+        let ln = from_named(&named);
+        assert_eq!(
+            ln,
+            lam(app(LnTree::BVar(0), LnTree::fvar("free")))
+        );
+        assert!(to_named(&ln).alpha_eq(&named));
+    }
+
+    #[test]
+    fn alpha_is_structural() {
+        let a = Tree::binder("lam", "x", Tree::var("x"));
+        let b = Tree::binder("lam", "y", Tree::var("y"));
+        assert_eq!(from_named(&a), from_named(&b));
+    }
+
+    #[test]
+    fn to_named_freshens_against_free_vars() {
+        // λ. (#0 x): the invented binder must avoid the free "x".
+        let ln = lam(app(LnTree::BVar(0), LnTree::fvar("x")));
+        let named = to_named(&ln);
+        if let Tree::Node(_, scopes) = &named {
+            assert_ne!(scopes[0].binders[0], "x");
+        } else {
+            panic!("expected a node");
+        }
+        assert_eq!(from_named(&named), ln);
+    }
+
+    #[test]
+    fn local_closure_detection() {
+        assert!(lam(LnTree::BVar(0)).is_locally_closed());
+        assert!(!LnTree::BVar(0).is_locally_closed());
+        assert!(LnTree::fvar("x").is_locally_closed());
+    }
+
+    #[test]
+    fn display_format() {
+        let t = lam(app(LnTree::BVar(0), LnTree::fvar("c")));
+        assert_eq!(t.to_string(), "lam(λ.app(#0; c))");
+    }
+
+    #[test]
+    fn substitution_commutes_with_named_subst() {
+        // Named subst then convert == convert then LN subst_free (on a
+        // closed replacement).
+        let named = Tree::binder("lam", "y", Tree::node("app", [Tree::var("x"), Tree::var("y")]));
+        let repl = Tree::binder("lam", "z", Tree::var("z"));
+        let left = from_named(&named.subst("x", &repl));
+        let right = from_named(&named).subst_free("x", &from_named(&repl));
+        assert_eq!(left, right);
+    }
+}

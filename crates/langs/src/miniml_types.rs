@@ -1,0 +1,444 @@
+//! Object-language type inference for Mini-ML: Hindley–Milner with
+//! let-polymorphism.
+//!
+//! The paper's setting is a program-manipulation system for ML-family
+//! programs; a realistic substrate therefore needs the object language's
+//! own type discipline, not just the metalanguage's. Types are
+//!
+//! ```text
+//! τ ::= nat | τ → τ | 'a
+//! ```
+//!
+//! with `let` generalizing over the variables not free in the
+//! environment (Milner's algorithm W, in substitution-map form).
+
+use crate::miniml::Exp;
+use crate::LangError;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A Mini-ML object-language type.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MlTy {
+    /// Natural numbers.
+    Nat,
+    /// Functions.
+    Arrow(Box<MlTy>, Box<MlTy>),
+    /// A type variable (inference unknown or schema-bound).
+    Var(u32),
+}
+
+impl MlTy {
+    /// Convenience constructor for `a -> b`.
+    pub fn arrow(a: MlTy, b: MlTy) -> MlTy {
+        MlTy::Arrow(Box::new(a), Box::new(b))
+    }
+
+    fn occurs(&self, v: u32) -> bool {
+        match self {
+            MlTy::Nat => false,
+            MlTy::Var(w) => *w == v,
+            MlTy::Arrow(a, b) => a.occurs(v) || b.occurs(v),
+        }
+    }
+
+    fn free_vars_into(&self, acc: &mut Vec<u32>) {
+        match self {
+            MlTy::Nat => {}
+            MlTy::Var(v) => {
+                if !acc.contains(v) {
+                    acc.push(*v);
+                }
+            }
+            MlTy::Arrow(a, b) => {
+                a.free_vars_into(acc);
+                b.free_vars_into(acc);
+            }
+        }
+    }
+}
+
+impl fmt::Display for MlTy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn go(t: &MlTy, f: &mut fmt::Formatter<'_>, atom: bool) -> fmt::Result {
+            match t {
+                MlTy::Nat => f.write_str("nat"),
+                MlTy::Var(v) => {
+                    if *v < 26 {
+                        write!(f, "'{}", (b'a' + *v as u8) as char)
+                    } else {
+                        write!(f, "'t{v}")
+                    }
+                }
+                MlTy::Arrow(a, b) => {
+                    if atom {
+                        f.write_str("(")?;
+                    }
+                    go(a, f, true)?;
+                    f.write_str(" -> ")?;
+                    go(b, f, false)?;
+                    if atom {
+                        f.write_str(")")?;
+                    }
+                    Ok(())
+                }
+            }
+        }
+        go(self, f, false)
+    }
+}
+
+/// A type scheme `∀ vars. ty`.
+#[derive(Clone, Debug)]
+struct Scheme {
+    vars: Vec<u32>,
+    ty: MlTy,
+}
+
+/// A type error in the object language.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MlTyError(pub String);
+
+impl fmt::Display for MlTyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mini-ml type error: {}", self.0)
+    }
+}
+
+impl std::error::Error for MlTyError {}
+
+impl From<MlTyError> for LangError {
+    fn from(e: MlTyError) -> Self {
+        LangError::NotCanonical(e.to_string())
+    }
+}
+
+#[derive(Default)]
+struct Infer {
+    next: u32,
+    sol: HashMap<u32, MlTy>,
+}
+
+impl Infer {
+    fn fresh(&mut self) -> MlTy {
+        let v = self.next;
+        self.next += 1;
+        MlTy::Var(v)
+    }
+
+    fn zonk(&self, t: &MlTy) -> MlTy {
+        match t {
+            MlTy::Nat => MlTy::Nat,
+            MlTy::Var(v) => match self.sol.get(v) {
+                Some(u) => self.zonk(u),
+                None => t.clone(),
+            },
+            MlTy::Arrow(a, b) => MlTy::arrow(self.zonk(a), self.zonk(b)),
+        }
+    }
+
+    fn unify(&mut self, a: &MlTy, b: &MlTy) -> Result<(), MlTyError> {
+        let a = self.zonk(a);
+        let b = self.zonk(b);
+        match (&a, &b) {
+            (MlTy::Var(v), MlTy::Var(w)) if v == w => Ok(()),
+            (MlTy::Var(v), _) => {
+                if b.occurs(*v) {
+                    Err(MlTyError(format!("occurs check: 'a{v} in {b}")))
+                } else {
+                    self.sol.insert(*v, b);
+                    Ok(())
+                }
+            }
+            (_, MlTy::Var(w)) => {
+                if a.occurs(*w) {
+                    Err(MlTyError(format!("occurs check: 'a{w} in {a}")))
+                } else {
+                    self.sol.insert(*w, a);
+                    Ok(())
+                }
+            }
+            (MlTy::Nat, MlTy::Nat) => Ok(()),
+            (MlTy::Arrow(a1, a2), MlTy::Arrow(b1, b2)) => {
+                self.unify(a1, b1)?;
+                self.unify(a2, b2)
+            }
+            _ => Err(MlTyError(format!("cannot unify `{a}` with `{b}`"))),
+        }
+    }
+
+    fn instantiate(&mut self, s: &Scheme) -> MlTy {
+        if s.vars.is_empty() {
+            return s.ty.clone();
+        }
+        let map: HashMap<u32, MlTy> = s.vars.iter().map(|&v| (v, self.fresh())).collect();
+        fn apply(t: &MlTy, map: &HashMap<u32, MlTy>) -> MlTy {
+            match t {
+                MlTy::Nat => MlTy::Nat,
+                MlTy::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+                MlTy::Arrow(a, b) => MlTy::arrow(apply(a, map), apply(b, map)),
+            }
+        }
+        apply(&s.ty, &map)
+    }
+
+    fn generalize(&self, env: &[(String, Scheme)], ty: &MlTy) -> Scheme {
+        let ty = self.zonk(ty);
+        let mut ty_vars = Vec::new();
+        ty.free_vars_into(&mut ty_vars);
+        let mut env_vars = Vec::new();
+        for (_, s) in env {
+            let zonked = self.zonk(&s.ty);
+            zonked.free_vars_into(&mut env_vars);
+            // Scheme-bound vars are not free.
+            env_vars.retain(|v| !s.vars.contains(v));
+        }
+        let vars = ty_vars
+            .into_iter()
+            .filter(|v| !env_vars.contains(v))
+            .collect();
+        Scheme { vars, ty }
+    }
+
+    fn infer(&mut self, env: &mut Vec<(String, Scheme)>, e: &Exp) -> Result<MlTy, MlTyError> {
+        match e {
+            Exp::Var(x) => {
+                let s = env
+                    .iter()
+                    .rev()
+                    .find(|(n, _)| n == x)
+                    .map(|(_, s)| s.clone())
+                    .ok_or_else(|| MlTyError(format!("unbound variable `{x}`")))?;
+                Ok(self.instantiate(&s))
+            }
+            Exp::Z => Ok(MlTy::Nat),
+            Exp::S(inner) => {
+                let t = self.infer(env, inner)?;
+                self.unify(&t, &MlTy::Nat)?;
+                Ok(MlTy::Nat)
+            }
+            Exp::Case(s, z, x, sc) => {
+                let st = self.infer(env, s)?;
+                self.unify(&st, &MlTy::Nat)?;
+                let zt = self.infer(env, z)?;
+                env.push((
+                    x.clone(),
+                    Scheme {
+                        vars: Vec::new(),
+                        ty: MlTy::Nat,
+                    },
+                ));
+                let sct = self.infer(env, sc);
+                env.pop();
+                let sct = sct?;
+                self.unify(&zt, &sct)?;
+                Ok(self.zonk(&zt))
+            }
+            Exp::Lam(x, body) => {
+                let dom = self.fresh();
+                env.push((
+                    x.clone(),
+                    Scheme {
+                        vars: Vec::new(),
+                        ty: dom.clone(),
+                    },
+                ));
+                let cod = self.infer(env, body);
+                env.pop();
+                Ok(MlTy::arrow(dom, cod?))
+            }
+            Exp::App(f, a) => {
+                let ft = self.infer(env, f)?;
+                let at = self.infer(env, a)?;
+                let cod = self.fresh();
+                self.unify(&ft, &MlTy::arrow(at, cod.clone()))?;
+                Ok(self.zonk(&cod))
+            }
+            Exp::Let(x, e1, e2) => {
+                let t1 = self.infer(env, e1)?;
+                let scheme = self.generalize(env, &t1);
+                env.push((x.clone(), scheme));
+                let t2 = self.infer(env, e2);
+                env.pop();
+                t2
+            }
+            Exp::Fix(x, body) => {
+                let t = self.fresh();
+                env.push((
+                    x.clone(),
+                    Scheme {
+                        vars: Vec::new(),
+                        ty: t.clone(),
+                    },
+                ));
+                let bt = self.infer(env, body);
+                env.pop();
+                self.unify(&t, &bt?)?;
+                Ok(self.zonk(&t))
+            }
+        }
+    }
+}
+
+/// Infers the principal type of a closed expression, with type variables
+/// renumbered densely from `'a`.
+///
+/// # Errors
+///
+/// [`MlTyError`] on unbound variables, clashes, or cyclic types.
+///
+/// ```
+/// use hoas_langs::{miniml, miniml_types};
+/// let ty = miniml_types::infer(&miniml::add_fn())?;
+/// assert_eq!(ty.to_string(), "nat -> nat -> nat");
+/// # Ok::<(), hoas_langs::miniml_types::MlTyError>(())
+/// ```
+pub fn infer(e: &Exp) -> Result<MlTy, MlTyError> {
+    let mut inf = Infer::default();
+    let mut env = Vec::new();
+    let ty = inf.infer(&mut env, e)?;
+    let ty = inf.zonk(&ty);
+    // Renumber free variables densely for stable display.
+    let mut fvs = Vec::new();
+    ty.free_vars_into(&mut fvs);
+    let map: HashMap<u32, MlTy> = fvs
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| (v, MlTy::Var(i as u32)))
+        .collect();
+    fn apply(t: &MlTy, map: &HashMap<u32, MlTy>) -> MlTy {
+        match t {
+            MlTy::Nat => MlTy::Nat,
+            MlTy::Var(v) => map.get(v).cloned().unwrap_or_else(|| t.clone()),
+            MlTy::Arrow(a, b) => MlTy::arrow(apply(a, map), apply(b, map)),
+        }
+    }
+    Ok(apply(&ty, &map))
+}
+
+/// Whether a closed expression is well-typed.
+pub fn well_typed(e: &Exp) -> bool {
+    infer(e).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::miniml;
+
+    #[test]
+    fn numerals_are_nat() {
+        assert_eq!(infer(&Exp::num(7)).unwrap(), MlTy::Nat);
+        assert_eq!(infer(&Exp::s(Exp::num(0))).unwrap(), MlTy::Nat);
+    }
+
+    #[test]
+    fn library_functions_have_expected_types() {
+        assert_eq!(infer(&miniml::add_fn()).unwrap().to_string(), "nat -> nat -> nat");
+        assert_eq!(infer(&miniml::mul_fn()).unwrap().to_string(), "nat -> nat -> nat");
+        assert_eq!(infer(&miniml::fact_fn()).unwrap().to_string(), "nat -> nat");
+    }
+
+    #[test]
+    fn identity_is_polymorphic() {
+        let id = Exp::lam("x", Exp::var("x"));
+        assert_eq!(infer(&id).unwrap().to_string(), "'a -> 'a");
+    }
+
+    #[test]
+    fn let_polymorphism() {
+        // let f = fn x => x in (f (fn y => s y)) (f z)
+        // f is used at (nat -> nat) -> nat -> nat and at nat -> nat:
+        // requires generalization at let.
+        let e = Exp::let_(
+            "f",
+            Exp::lam("x", Exp::var("x")),
+            Exp::app(
+                Exp::app(
+                    Exp::var("f"),
+                    Exp::lam("y", Exp::s(Exp::var("y"))),
+                ),
+                Exp::app(Exp::var("f"), Exp::Z),
+            ),
+        );
+        assert_eq!(infer(&e).unwrap(), MlTy::Nat);
+        // The λ-bound version of the same program must be rejected
+        // (λ-bound variables stay monomorphic).
+        let bad = Exp::app(
+            Exp::lam(
+                "f",
+                Exp::app(
+                    Exp::app(Exp::var("f"), Exp::lam("y", Exp::s(Exp::var("y")))),
+                    Exp::app(Exp::var("f"), Exp::Z),
+                ),
+            ),
+            Exp::lam("x", Exp::var("x")),
+        );
+        assert!(infer(&bad).is_err());
+    }
+
+    #[test]
+    fn rejects_ill_typed_programs() {
+        // z z — applying a number.
+        assert!(!well_typed(&Exp::app(Exp::Z, Exp::Z)));
+        // s (fn x => x) — successor of a function.
+        assert!(!well_typed(&Exp::s(Exp::lam("x", Exp::var("x")))));
+        // case (fn x => x) ...
+        assert!(!well_typed(&Exp::case(
+            Exp::lam("x", Exp::var("x")),
+            Exp::Z,
+            "y",
+            Exp::var("y"),
+        )));
+        // branches disagree: case n of z => z | s x => (fn y => y)
+        assert!(!well_typed(&Exp::case(
+            Exp::Z,
+            Exp::Z,
+            "x",
+            Exp::lam("y", Exp::var("y")),
+        )));
+        // unbound variable.
+        assert!(!well_typed(&Exp::var("ghost")));
+    }
+
+    #[test]
+    fn occurs_check() {
+        // fix f. f f  — f : 'a with 'a = 'a -> 'b.
+        let e = Exp::fix("f", Exp::app(Exp::var("f"), Exp::var("f")));
+        let err = infer(&e).unwrap_err();
+        assert!(err.to_string().contains("occurs"));
+    }
+
+    #[test]
+    fn shadowing_uses_innermost() {
+        // fn x => let x = z in s x : 'a -> nat
+        let e = Exp::lam("x", Exp::let_("x", Exp::Z, Exp::s(Exp::var("x"))));
+        assert_eq!(infer(&e).unwrap().to_string(), "'a -> nat");
+    }
+
+    #[test]
+    fn fix_types_recursive_functions() {
+        // fix f. fn n => case n of z => z | s m => f m : nat -> nat
+        let e = Exp::fix(
+            "f",
+            Exp::lam(
+                "n",
+                Exp::case(
+                    Exp::var("n"),
+                    Exp::Z,
+                    "m",
+                    Exp::app(Exp::var("f"), Exp::var("m")),
+                ),
+            ),
+        );
+        assert_eq!(infer(&e).unwrap().to_string(), "nat -> nat");
+    }
+
+    #[test]
+    fn display_precedence() {
+        let t = MlTy::arrow(MlTy::arrow(MlTy::Nat, MlTy::Nat), MlTy::Nat);
+        assert_eq!(t.to_string(), "(nat -> nat) -> nat");
+        let t = MlTy::arrow(MlTy::Nat, MlTy::arrow(MlTy::Nat, MlTy::Nat));
+        assert_eq!(t.to_string(), "nat -> nat -> nat");
+    }
+}

@@ -1,0 +1,341 @@
+//! Programs, clauses, and goals.
+
+use hoas_core::parse::{parse_term_with, MetaTable};
+use hoas_core::sig::Signature;
+use hoas_core::term::MetaEnv;
+use hoas_core::{MVar, Sym, Term, Ty};
+use std::fmt;
+
+/// A goal formula of the hereditary Harrop fragment.
+///
+/// Goals may contain metavariables (logic variables) and, inside
+/// [`Goal::All`], de Bruijn variables bound by the enclosing universal
+/// goals (index 0 = innermost `Π`).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Goal {
+    /// The trivially true goal.
+    True,
+    /// An atomic goal: a predicate constant applied to arguments.
+    Atom(Term),
+    /// Conjunction, solved left to right.
+    And(Box<Goal>, Box<Goal>),
+    /// Hypothetical implication `D ⇒ G`: `clause` is available while
+    /// proving `goal`.
+    Impl(Box<Clause>, Box<Goal>),
+    /// Universal goal `Π x:τ. G`: proves `G` for a fresh eigenvariable.
+    /// The bound variable occurs in the body as de Bruijn `Var(0)`.
+    All(Sym, Ty, Box<Goal>),
+}
+
+impl Goal {
+    /// Conjunction constructor (right-nested for slices).
+    pub fn and(a: Goal, b: Goal) -> Goal {
+        Goal::And(Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction of several goals (`True` if empty).
+    pub fn all_of(goals: impl IntoIterator<Item = Goal>) -> Goal {
+        let mut it = goals.into_iter();
+        match it.next() {
+            None => Goal::True,
+            Some(first) => it.fold(first, Goal::and),
+        }
+    }
+
+    /// Hypothetical implication constructor.
+    pub fn implies(clause: Clause, goal: Goal) -> Goal {
+        Goal::Impl(Box::new(clause), Box::new(goal))
+    }
+
+    /// Universal goal constructor.
+    pub fn pi(hint: impl Into<Sym>, ty: Ty, body: Goal) -> Goal {
+        Goal::All(hint.into(), ty, Box::new(body))
+    }
+
+    /// Metavariables occurring in the goal, in first-occurrence order.
+    pub fn metas(&self) -> Vec<MVar> {
+        fn go(g: &Goal, acc: &mut Vec<MVar>) {
+            match g {
+                Goal::True => {}
+                Goal::Atom(t) => {
+                    for m in t.metas() {
+                        if !acc.contains(&m) {
+                            acc.push(m);
+                        }
+                    }
+                }
+                Goal::And(a, b) => {
+                    go(a, acc);
+                    go(b, acc);
+                }
+                Goal::Impl(d, g) => {
+                    for m in d.metas() {
+                        if !acc.contains(&m) {
+                            acc.push(m);
+                        }
+                    }
+                    go(g, acc);
+                }
+                Goal::All(_, _, b) => go(b, acc),
+            }
+        }
+        let mut acc = Vec::new();
+        go(self, &mut acc);
+        acc
+    }
+
+    /// Applies `f` to every term in the goal, tracking the number of
+    /// enclosing `Π` binders.
+    pub(crate) fn map_terms(&self, depth: u32, f: &mut impl FnMut(&Term, u32) -> Term) -> Goal {
+        match self {
+            Goal::True => Goal::True,
+            Goal::Atom(t) => Goal::Atom(f(t, depth)),
+            Goal::And(a, b) => Goal::and(a.map_terms(depth, f), b.map_terms(depth, f)),
+            Goal::Impl(d, g) => Goal::Impl(
+                Box::new(d.map_terms(depth, f)),
+                Box::new(g.map_terms(depth, f)),
+            ),
+            Goal::All(h, ty, b) => Goal::All(
+                h.clone(),
+                ty.clone(),
+                Box::new(b.map_terms(depth + 1, f)),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Goal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Goal::True => f.write_str("true"),
+            Goal::Atom(t) => write!(f, "{t}"),
+            Goal::And(a, b) => write!(f, "({a}, {b})"),
+            Goal::Impl(d, g) => write!(f, "({d} => {g})"),
+            Goal::All(h, ty, b) => write!(f, "(pi {h}:{ty}. {b})"),
+        }
+    }
+}
+
+/// A clause `∀vars. head :- body`.
+///
+/// The universally quantified variables appear in `head`/`body` as
+/// metavariables with ids `0 .. vars.len()`; they are renamed apart at
+/// every use. Clauses added by `⇒` typically have an empty `vars` list
+/// (their metavariables are the enclosing goal's logic variables).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Clause {
+    /// Universal variables: printing hints and types, indexed by
+    /// metavariable id.
+    pub vars: Vec<(Sym, Ty)>,
+    /// The head atom (rigid predicate head).
+    pub head: Term,
+    /// The body goal.
+    pub body: Goal,
+}
+
+impl Clause {
+    /// A fact (empty body).
+    pub fn fact(vars: Vec<(Sym, Ty)>, head: Term) -> Clause {
+        Clause {
+            vars,
+            head,
+            body: Goal::True,
+        }
+    }
+
+    /// Parses a clause: `vars` declares the universal variables (name,
+    /// type); `head` and each body atom share the variable namespace.
+    /// (Structured bodies — `Π`, `⇒` — are built with the [`Goal`]
+    /// constructors; this helper covers the flat Horn case.)
+    ///
+    /// # Errors
+    ///
+    /// Parse errors from [`hoas_core::parse`], or an unused declared
+    /// variable.
+    pub fn parse(
+        sig: &Signature,
+        vars: &[(&str, &str)],
+        head: &str,
+        body: &[&str],
+    ) -> Result<Clause, hoas_core::Error> {
+        let mut table = MetaTable::new();
+        // Pre-allocate ids in declaration order so ids are stable.
+        for (name, _) in vars {
+            table.get_or_insert(name);
+        }
+        let ph = parse_term_with(sig, head, table)?;
+        let mut table = ph.metas;
+        let mut atoms = Vec::with_capacity(body.len());
+        for b in body {
+            let pb = parse_term_with(sig, b, table)?;
+            table = pb.metas;
+            atoms.push(Goal::Atom(pb.term));
+        }
+        let mut var_list = Vec::with_capacity(vars.len());
+        for (i, (name, ty)) in vars.iter().enumerate() {
+            let m = table
+                .get(name)
+                .expect("pre-allocated above")
+                .clone();
+            debug_assert_eq!(m.id() as usize, i);
+            var_list.push((Sym::new(*name), hoas_core::parse::parse_ty(ty)?));
+        }
+        Ok(Clause {
+            vars: var_list,
+            head: ph.term,
+            body: Goal::all_of(atoms),
+        })
+    }
+
+    /// The metavariable environment of the clause's own variables.
+    pub fn var_menv(&self) -> MetaEnv {
+        self.vars
+            .iter()
+            .enumerate()
+            .map(|(i, (h, ty))| (MVar::new(i as u32, h.clone()), ty.clone()))
+            .collect()
+    }
+
+    /// All metavariables in the clause (own variables and captured outer
+    /// logic variables).
+    pub fn metas(&self) -> Vec<MVar> {
+        let mut acc = self.head.metas();
+        for m in self.body.metas() {
+            if !acc.contains(&m) {
+                acc.push(m);
+            }
+        }
+        acc
+    }
+
+    /// The predicate constant at the head, if the head is well-formed.
+    pub fn head_pred(&self) -> Option<&Sym> {
+        match self.head.spine().0 {
+            Term::Const(c) => Some(c),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn map_terms(&self, depth: u32, f: &mut impl FnMut(&Term, u32) -> Term) -> Clause {
+        Clause {
+            vars: self.vars.clone(),
+            head: f(&self.head, depth),
+            body: self.body.map_terms(depth, f),
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if self.body != Goal::True {
+            write!(f, " :- {}", self.body)?;
+        }
+        Ok(())
+    }
+}
+
+/// A logic program: a signature plus an ordered clause list.
+#[derive(Clone, Debug)]
+pub struct Program {
+    sig: Signature,
+    clauses: Vec<Clause>,
+}
+
+impl Program {
+    /// Creates a program over a signature.
+    pub fn new(sig: Signature) -> Program {
+        Program {
+            sig,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Adds a clause (tried in insertion order).
+    pub fn push(&mut self, clause: Clause) -> &mut Self {
+        self.clauses.push(clause);
+        self
+    }
+
+    /// The program's signature.
+    pub fn sig(&self) -> &Signature {
+        &self.sig
+    }
+
+    /// The clauses, in order.
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            writeln!(f, "{c}.")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const nil : i.
+             const cons : i -> i -> i.
+             const a : i.
+             const b : i.
+             const append : i -> i -> i -> o.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_horn_clause() {
+        let s = sig();
+        let c = Clause::parse(
+            &s,
+            &[("X", "i"), ("XS", "i"), ("YS", "i"), ("ZS", "i")],
+            "append (cons ?X ?XS) ?YS (cons ?X ?ZS)",
+            &["append ?XS ?YS ?ZS"],
+        )
+        .unwrap();
+        assert_eq!(c.vars.len(), 4);
+        assert_eq!(
+            c.to_string(),
+            "append (cons ?X ?XS) ?YS (cons ?X ?ZS) :- append ?XS ?YS ?ZS"
+        );
+        assert_eq!(c.var_menv().len(), 4);
+        assert_eq!(c.metas().len(), 4);
+    }
+
+    #[test]
+    fn fact_displays_without_body() {
+        let s = sig();
+        let c = Clause::parse(&s, &[("Y", "i")], "append nil ?Y ?Y", &[]).unwrap();
+        assert_eq!(c.to_string(), "append nil ?Y ?Y");
+        assert_eq!(c.body, Goal::True);
+    }
+
+    #[test]
+    fn goal_combinators() {
+        let g = Goal::all_of(vec![]);
+        assert_eq!(g, Goal::True);
+        let g = Goal::all_of(vec![Goal::True, Goal::True, Goal::True]);
+        assert!(matches!(g, Goal::And(..)));
+        let g = Goal::pi("x", Ty::base("i"), Goal::Atom(Term::Var(0)));
+        assert_eq!(g.to_string(), "(pi x:i. #0)");
+    }
+
+    #[test]
+    fn goal_metas_collects_across_structure() {
+        let s = sig();
+        let c = Clause::parse(&s, &[("X", "i")], "append ?X ?X ?X", &[]).unwrap();
+        let g = Goal::implies(c.clone(), Goal::Atom(c.head.clone()));
+        assert_eq!(g.metas().len(), 1);
+    }
+}

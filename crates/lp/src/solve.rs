@@ -1,0 +1,666 @@
+//! The resolution engine: depth-first search with backtracking,
+//! pattern-unification-based clause matching, eigenvariable scope
+//! checking, and hypothetical clauses with stack-scoped lifetimes.
+
+use crate::program::{Clause, Goal, Program};
+use hoas_core::sig::Signature;
+use hoas_core::term::MetaEnv;
+use hoas_core::{MVar, Term};
+use hoas_unify::pattern;
+use hoas_unify::problem::Constraint;
+use hoas_unify::{MetaSubst, UnifyError};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Search budgets.
+#[derive(Clone, Copy, Debug)]
+pub struct SolveConfig {
+    /// Maximum resolution (clause-application) steps along one branch.
+    pub max_depth: u32,
+    /// Stop after this many answers.
+    pub max_solutions: usize,
+    /// Total goal-processing steps across the whole search.
+    pub fuel: u64,
+}
+
+impl Default for SolveConfig {
+    fn default() -> Self {
+        SolveConfig {
+            max_depth: 512,
+            max_solutions: 1,
+            fuel: 1_000_000,
+        }
+    }
+}
+
+/// One answer: bindings for the query's metavariables (unsolved ones are
+/// absent — they are universally free in the answer).
+#[derive(Clone, Debug)]
+pub struct Answer {
+    /// `(variable, solution)` pairs, in query-occurrence order.
+    pub bindings: Vec<(MVar, Term)>,
+}
+
+impl Answer {
+    /// The binding for a query variable by hint name.
+    pub fn get(&self, hint: &str) -> Option<&Term> {
+        self.bindings
+            .iter()
+            .find(|(m, _)| m.hint().as_str() == hint)
+            .map(|(_, t)| t)
+    }
+}
+
+impl fmt::Display for Answer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.bindings.is_empty() {
+            return f.write_str("yes");
+        }
+        for (i, (m, t)) in self.bindings.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m} = {t}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The overall result of a query.
+#[derive(Clone, Debug, Default)]
+pub struct Outcome {
+    /// Answers, in discovery order.
+    pub answers: Vec<Answer>,
+    /// Whether some branch was cut by depth/fuel (an empty answer list is
+    /// then inconclusive).
+    pub exhausted: bool,
+    /// Whether some branch floundered (hit a goal outside the pattern
+    /// fragment) — also inconclusive for that branch.
+    pub floundered: bool,
+}
+
+/// Hard errors (program/goal malformed; search failure is *not* an
+/// error, see [`Outcome`]).
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum LpError {
+    /// An atomic goal has no rigid predicate head (flexible atom).
+    Floundered(String),
+    /// An atom's head is not a declared predicate (constant of base
+    /// target type).
+    BadAtom(String),
+    /// A `⇒`-clause with its own universal variables (unsupported —
+    /// quantify with `Π` in the goal instead).
+    LocalClauseWithVars(String),
+    /// Underlying kernel/unification failure on malformed input.
+    Unify(UnifyError),
+}
+
+impl fmt::Display for LpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LpError::Floundered(a) => write!(f, "goal floundered: `{a}` has a flexible head"),
+            LpError::BadAtom(a) => write!(f, "`{a}` is not a well-formed atom"),
+            LpError::LocalClauseWithVars(c) => write!(
+                f,
+                "hypothetical clause `{c}` has universal variables; bind them with pi in the goal"
+            ),
+            LpError::Unify(e) => write!(f, "unification failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+impl From<UnifyError> for LpError {
+    fn from(e: UnifyError) -> Self {
+        LpError::Unify(e)
+    }
+}
+
+#[derive(Clone)]
+enum Work {
+    G(Goal),
+    PopClause,
+}
+
+#[derive(Clone)]
+struct St {
+    sig: Signature,
+    menv: MetaEnv,
+    meta_level: HashMap<u32, u32>,
+    eigen_level: HashMap<String, u32>,
+    next_meta: u32,
+    next_eigen: u32,
+    level: u32,
+    sol: MetaSubst,
+    locals: Vec<Clause>,
+}
+
+/// Runs a query against a program.
+///
+/// `menv` declares the types of the goal's metavariables (logic
+/// variables).
+///
+/// # Errors
+///
+/// [`LpError`] on malformed programs/goals; an unprovable goal yields an
+/// empty [`Outcome`] instead.
+pub fn solve(
+    prog: &Program,
+    menv: &MetaEnv,
+    goal: &Goal,
+    cfg: &SolveConfig,
+) -> Result<Outcome, LpError> {
+    let query_metas = goal.metas();
+    for m in &query_metas {
+        if !menv.contains_key(m) {
+            return Err(LpError::Unify(UnifyError::IllTyped(
+                hoas_core::Error::UnknownMeta { mvar: m.clone() },
+            )));
+        }
+    }
+    let next_meta = menv.keys().map(|m| m.id() + 1).max().unwrap_or(0);
+    let st = St {
+        sig: prog.sig().clone(),
+        menv: menv.clone(),
+        meta_level: menv.keys().map(|m| (m.id(), 0)).collect(),
+        eigen_level: HashMap::new(),
+        next_meta,
+        next_eigen: 0,
+        level: 0,
+        sol: MetaSubst::new(),
+        locals: Vec::new(),
+    };
+    let mut out = Outcome::default();
+    let mut fuel = cfg.fuel;
+    dfs(
+        prog,
+        st,
+        vec![Work::G(goal.clone())],
+        cfg.max_depth,
+        cfg,
+        &query_metas,
+        &mut out,
+        &mut fuel,
+    )?;
+    Ok(out)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs(
+    prog: &Program,
+    mut st: St,
+    mut stack: Vec<Work>,
+    depth: u32,
+    cfg: &SolveConfig,
+    query_metas: &[MVar],
+    out: &mut Outcome,
+    fuel: &mut u64,
+) -> Result<(), LpError> {
+    loop {
+        if out.answers.len() >= cfg.max_solutions {
+            return Ok(());
+        }
+        if *fuel == 0 {
+            out.exhausted = true;
+            return Ok(());
+        }
+        *fuel -= 1;
+        let Some(work) = stack.pop() else {
+            // All goals discharged: record the answer. Residual free
+            // metavariables are renamed apart ('A, 'B, …) — the solver's
+            // internal fresh names reuse hints, which would print
+            // ambiguously.
+            let raw: Vec<(MVar, Term)> = query_metas
+                .iter()
+                .filter_map(|m| st.sol.get(m).map(|t| (m.clone(), t.clone())))
+                .collect();
+            out.answers.push(Answer {
+                bindings: canonicalize_free_metas(raw),
+            });
+            return Ok(());
+        };
+        match work {
+            Work::PopClause => {
+                st.locals.pop();
+            }
+            Work::G(Goal::True) => {}
+            Work::G(Goal::And(a, b)) => {
+                stack.push(Work::G(*b));
+                stack.push(Work::G(*a));
+            }
+            Work::G(Goal::Impl(d, g)) => {
+                if !d.vars.is_empty() {
+                    return Err(LpError::LocalClauseWithVars(d.to_string()));
+                }
+                st.locals.push(*d);
+                stack.push(Work::PopClause);
+                stack.push(Work::G(*g));
+            }
+            Work::G(Goal::All(hint, ty, body)) => {
+                // Introduce a fresh eigenvariable as a scoped constant.
+                let name = format!("{}#{}", hint, st.next_eigen);
+                st.next_eigen += 1;
+                st.level += 1;
+                st.sig
+                    .declare_const(name.as_str(), hoas_core::TyScheme::mono(ty.clone()))
+                    .map_err(|e| LpError::Unify(UnifyError::IllTyped(e)))?;
+                st.eigen_level.insert(name.clone(), st.level);
+                let eigen = Term::cnst(name.as_str());
+                let instantiated = body.map_terms(0, &mut |t, d| replace_and_lower(t, d, &eigen));
+                stack.push(Work::G(instantiated));
+            }
+            Work::G(Goal::Atom(t)) => {
+                return solve_atom(prog, st, stack, t, depth, cfg, query_metas, out, fuel);
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_atom(
+    prog: &Program,
+    st: St,
+    stack: Vec<Work>,
+    atom: Term,
+    depth: u32,
+    cfg: &SolveConfig,
+    query_metas: &[MVar],
+    out: &mut Outcome,
+    fuel: &mut u64,
+) -> Result<(), LpError> {
+    let atom = st.sol.apply(&atom);
+    let pred = match atom.spine().0 {
+        Term::Const(c) => c.clone(),
+        Term::Meta(_) => {
+            out.floundered = true;
+            return Ok(());
+        }
+        _ => return Err(LpError::BadAtom(atom.to_string())),
+    };
+    let pred_ty = st
+        .sig
+        .const_ty(pred.as_str())
+        .ok_or_else(|| LpError::BadAtom(atom.to_string()))?;
+    let target = match pred_ty.as_mono() {
+        Some(ty) => ty.uncurry().1.clone(),
+        None => return Err(LpError::BadAtom(atom.to_string())),
+    };
+    if depth == 0 {
+        out.exhausted = true;
+        return Ok(());
+    }
+    // Local clauses first (newest first), then the program.
+    let candidates: Vec<&Clause> = st
+        .locals
+        .iter()
+        .rev()
+        .chain(prog.clauses().iter())
+        .filter(|c| c.head_pred() == Some(&pred))
+        .collect();
+    for clause in candidates {
+        if out.answers.len() >= cfg.max_solutions {
+            return Ok(());
+        }
+        let mut st2 = st.clone();
+        let (head, body) = freshen(&mut st2, clause);
+        // Hypothetical clauses capture the goal's logic variables, which
+        // may have been solved since the clause was assumed.
+        let head = st2.sol.apply(&head);
+        let constraint = Constraint::closed(target.clone(), atom.clone(), head);
+        match pattern::unify_constraints(&st2.sig, &st2.menv, vec![constraint]) {
+            Ok(solution) => {
+                // Merge the unifier's bindings, checking eigenvariable
+                // scope: a metavariable may only mention eigenvariables
+                // that existed when it was created.
+                st2.menv = solution.menv;
+                for m in st2.menv.keys() {
+                    st2.next_meta = st2.next_meta.max(m.id() + 1);
+                    st2.meta_level.entry(m.id()).or_insert(0);
+                }
+                let mut scope_ok = true;
+                for (m, t) in solution.subst.iter() {
+                    let lvl = st2.meta_level.get(&m.id()).copied().unwrap_or(0);
+                    for c in t.constants() {
+                        if let Some(&el) = st2.eigen_level.get(c.as_str()) {
+                            if el > lvl {
+                                scope_ok = false;
+                            }
+                        }
+                    }
+                }
+                if !scope_ok {
+                    continue;
+                }
+                for (m, t) in solution.subst.iter() {
+                    if !st2.sol.contains(m) {
+                        st2.sol.bind(m.clone(), t.clone());
+                    }
+                }
+                let mut stack2 = stack.clone();
+                stack2.push(Work::G(body));
+                dfs(
+                    prog,
+                    st2,
+                    stack2,
+                    depth - 1,
+                    cfg,
+                    query_metas,
+                    out,
+                    fuel,
+                )?;
+            }
+            Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => {}
+            Err(UnifyError::NotPattern { .. }) => {
+                out.floundered = true;
+            }
+            Err(e) => return Err(LpError::Unify(e)),
+        }
+    }
+    Ok(())
+}
+
+/// Renames the residual free metavariables across an answer's bindings to
+/// distinct display names (`'A`, `'B`, …) in first-occurrence order.
+fn canonicalize_free_metas(bindings: Vec<(MVar, Term)>) -> Vec<(MVar, Term)> {
+    let mut order: Vec<MVar> = Vec::new();
+    for (_, t) in &bindings {
+        for m in t.metas() {
+            if !order.contains(&m) {
+                order.push(m);
+            }
+        }
+    }
+    let renames: HashMap<u32, MVar> = order
+        .iter()
+        .enumerate()
+        .map(|(i, m)| {
+            let hint = if i < 26 {
+                ((b'A' + i as u8) as char).to_string()
+            } else {
+                format!("V{i}")
+            };
+            (m.id(), MVar::new(m.id(), hint))
+        })
+        .collect();
+    bindings
+        .into_iter()
+        .map(|(q, t)| (q, rename_metas(&t, u32::MAX, &renames)))
+        .collect()
+}
+
+/// Renames a clause's own universal variables to globally fresh
+/// metavariables at the current eigen level.
+fn freshen(st: &mut St, clause: &Clause) -> (Term, Goal) {
+    if clause.vars.is_empty() {
+        return (clause.head.clone(), clause.body.clone());
+    }
+    let n = clause.vars.len() as u32;
+    let mut map: HashMap<u32, MVar> = HashMap::new();
+    for (i, (hint, ty)) in clause.vars.iter().enumerate() {
+        let m = MVar::new(st.next_meta, hint.clone());
+        st.next_meta += 1;
+        st.menv.insert(m.clone(), ty.clone());
+        st.meta_level.insert(m.id(), st.level);
+        map.insert(i as u32, m);
+    }
+    let mut rename = |t: &Term, _depth: u32| rename_metas(t, n, &map);
+    let head = rename(&clause.head, 0);
+    let body = clause.body.map_terms(0, &mut rename);
+    (head, body)
+}
+
+fn rename_metas(t: &Term, n: u32, map: &HashMap<u32, MVar>) -> Term {
+    match t {
+        Term::Meta(m) if m.id() < n => Term::Meta(map[&m.id()].clone()),
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(rename_metas(b, n, map))),
+        Term::App(f, a) => Term::app(rename_metas(f, n, map), rename_metas(a, n, map)),
+        Term::Pair(a, b) => Term::pair(rename_metas(a, n, map), rename_metas(b, n, map)),
+        Term::Fst(p) => Term::fst(rename_metas(p, n, map)),
+        Term::Snd(p) => Term::snd(rename_metas(p, n, map)),
+    }
+}
+
+/// Replaces `Var(k)` with the closed term `c`, decrementing variables
+/// above `k` (goal-level binder instantiation).
+fn replace_and_lower(t: &Term, k: u32, c: &Term) -> Term {
+    match t {
+        Term::Var(i) => {
+            if *i == k {
+                c.clone()
+            } else if *i > k {
+                Term::Var(i - 1)
+            } else {
+                t.clone()
+            }
+        }
+        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(replace_and_lower(b, k + 1, c))),
+        Term::App(f, a) => Term::app(replace_and_lower(f, k, c), replace_and_lower(a, k, c)),
+        Term::Pair(a, b) => Term::pair(replace_and_lower(a, k, c), replace_and_lower(b, k, c)),
+        Term::Fst(p) => Term::fst(replace_and_lower(p, k, c)),
+        Term::Snd(p) => Term::snd(replace_and_lower(p, k, c)),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// Convenience: type of a goal metavariable by (hint, type) pairs.
+pub fn query_menv(sig: &Signature, goal_src: &str, vars: &[(&str, &str)]) -> Result<(Goal, MetaEnv), hoas_core::Error> {
+    let mut table = hoas_core::parse::MetaTable::new();
+    for (name, _) in vars {
+        table.get_or_insert(name);
+    }
+    let parsed = hoas_core::parse::parse_term_with(sig, goal_src, table)?;
+    let mut menv = MetaEnv::new();
+    for (name, ty) in vars {
+        let m = parsed.metas.get(name).expect("pre-allocated").clone();
+        menv.insert(m, hoas_core::parse::parse_ty(ty)?);
+    }
+    Ok((Goal::Atom(parsed.term), menv))
+}
+
+/// `Ty` re-export for goal construction convenience.
+pub use hoas_core::Ty as GoalTy;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use hoas_core::Ty;
+
+    #[test]
+    fn append_ground_query() {
+        let prog = examples::append_program();
+        // append (cons a nil) (cons b nil) ?Z
+        let (goal, menv) = query_menv(
+            prog.sig(),
+            "append (cons a nil) (cons b nil) ?Z",
+            &[("Z", "i")],
+        )
+        .unwrap();
+        let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+        assert_eq!(out.answers.len(), 1);
+        assert_eq!(
+            out.answers[0].get("Z").unwrap().to_string(),
+            "cons a (cons b nil)"
+        );
+    }
+
+    #[test]
+    fn append_enumerates_splits() {
+        let prog = examples::append_program();
+        // append ?X ?Y (cons a (cons b nil)) — three ways to split.
+        let (goal, menv) = query_menv(
+            prog.sig(),
+            "append ?X ?Y (cons a (cons b nil))",
+            &[("X", "i"), ("Y", "i")],
+        )
+        .unwrap();
+        let cfg = SolveConfig {
+            max_solutions: 10,
+            ..SolveConfig::default()
+        };
+        let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+        assert_eq!(out.answers.len(), 3);
+        let xs: Vec<String> = out
+            .answers
+            .iter()
+            .map(|a| a.get("X").unwrap().to_string())
+            .collect();
+        assert_eq!(xs, vec!["nil", "cons a nil", "cons a (cons b nil)"]);
+    }
+
+    #[test]
+    fn failing_query_is_empty_not_error() {
+        let prog = examples::append_program();
+        let (goal, menv) =
+            query_menv(prog.sig(), "append (cons a nil) nil nil", &[]).unwrap();
+        let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+        assert!(out.answers.is_empty());
+        assert!(!out.exhausted);
+        assert!(!out.floundered);
+    }
+
+    #[test]
+    fn depth_bound_reported() {
+        // A left-recursive loop: p :- p.
+        let sig = Signature::parse("type o. const p : o.").unwrap();
+        let mut prog = Program::new(sig);
+        prog.push(Clause {
+            vars: vec![],
+            head: Term::cnst("p"),
+            body: Goal::Atom(Term::cnst("p")),
+        });
+        let (goal, menv) = query_menv(prog.sig(), "p", &[]).unwrap();
+        let cfg = SolveConfig {
+            max_depth: 32,
+            ..SolveConfig::default()
+        };
+        let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+        assert!(out.answers.is_empty());
+        assert!(out.exhausted);
+    }
+
+    #[test]
+    fn hypothetical_clause_scoped_to_its_goal() {
+        // (q => q) succeeds; q alone fails; and q is gone after the
+        // implication: ((q => q), q) fails.
+        let sig = Signature::parse("type o. const q : o. const r2 : o.").unwrap();
+        let mut prog = Program::new(sig);
+        prog.push(Clause {
+            vars: vec![],
+            head: Term::cnst("r2"),
+            body: Goal::True,
+        });
+        let q = || Goal::Atom(Term::cnst("q"));
+        let hypo = || {
+            Goal::implies(
+                Clause {
+                    vars: vec![],
+                    head: Term::cnst("q"),
+                    body: Goal::True,
+                },
+                q(),
+            )
+        };
+        let cfg = SolveConfig::default();
+        let menv = MetaEnv::new();
+        assert_eq!(solve(&prog, &menv, &hypo(), &cfg).unwrap().answers.len(), 1);
+        assert!(solve(&prog, &menv, &q(), &cfg).unwrap().answers.is_empty());
+        let seq = Goal::and(hypo(), q());
+        assert!(solve(&prog, &menv, &seq, &cfg).unwrap().answers.is_empty());
+    }
+
+    #[test]
+    fn universal_goal_introduces_fresh_constant() {
+        // pi x. eq x x succeeds; pi x. eq x a fails (x ≠ a).
+        let sig = Signature::parse(
+            "type i. type o. const a : i. const eq : i -> i -> o.",
+        )
+        .unwrap();
+        let mut prog = Program::new(sig);
+        prog.push(
+            Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap(),
+        );
+        let i = Ty::base("i");
+        let refl = Goal::pi(
+            "x",
+            i.clone(),
+            Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Var(0), Term::Var(0)])),
+        );
+        let cfg = SolveConfig::default();
+        let menv = MetaEnv::new();
+        assert_eq!(solve(&prog, &menv, &refl, &cfg).unwrap().answers.len(), 1);
+        let bad = Goal::pi(
+            "x",
+            i,
+            Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Var(0), Term::cnst("a")])),
+        );
+        assert!(solve(&prog, &menv, &bad, &cfg).unwrap().answers.is_empty());
+    }
+
+    #[test]
+    fn eigenvariable_scope_violation_rejected() {
+        // pi x. eq ?Y x must FAIL: ?Y was created before x and must not
+        // capture it (the essence of mixed-prefix unification).
+        let sig = Signature::parse(
+            "type i. type o. const eq : i -> i -> o.",
+        )
+        .unwrap();
+        let mut prog = Program::new(sig);
+        prog.push(Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
+        let y = MVar::new(0, "Y");
+        let mut menv = MetaEnv::new();
+        menv.insert(y.clone(), Ty::base("i"));
+        let goal = Goal::pi(
+            "x",
+            Ty::base("i"),
+            Goal::Atom(Term::apps(
+                Term::cnst("eq"),
+                [Term::Meta(y), Term::Var(0)],
+            )),
+        );
+        let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+        assert!(
+            out.answers.is_empty(),
+            "?Y := eigenvariable would escape its scope"
+        );
+    }
+
+    #[test]
+    fn local_clause_with_vars_rejected() {
+        let sig = Signature::parse("type o. const q : o.").unwrap();
+        let prog = Program::new(sig);
+        let bad = Goal::implies(
+            Clause {
+                vars: vec![(hoas_core::Sym::new("X"), Ty::base("o"))],
+                head: Term::cnst("q"),
+                body: Goal::True,
+            },
+            Goal::Atom(Term::cnst("q")),
+        );
+        assert!(matches!(
+            solve(&prog, &MetaEnv::new(), &bad, &SolveConfig::default()),
+            Err(LpError::LocalClauseWithVars(_))
+        ));
+    }
+
+    #[test]
+    fn flexible_atom_flounders() {
+        let sig = Signature::parse("type o. const q : o.").unwrap();
+        let prog = Program::new(sig);
+        let m = MVar::new(0, "G");
+        let mut menv = MetaEnv::new();
+        menv.insert(m.clone(), Ty::base("o"));
+        let out = solve(
+            &prog,
+            &menv,
+            &Goal::Atom(Term::Meta(m)),
+            &SolveConfig::default(),
+        )
+        .unwrap();
+        assert!(out.answers.is_empty());
+        assert!(out.floundered);
+    }
+}

@@ -1,0 +1,562 @@
+//! The rewrite engine: strategy-driven rule application with sound
+//! rewriting under binders.
+//!
+//! The engine traverses a canonical, well-typed subject term, maintaining
+//! the typing context of the binders it has crossed. At each position it
+//! tries the rules whose subject type matches; a pattern rule fires via
+//! higher-order matching with the crossed binders as *ambient* context
+//! (so matched subterms may mention them), and the instantiated
+//! right-hand side is spliced back at the same depth.
+
+use crate::rule::{RewriteError, Rule, RuleSet};
+use hoas_core::ctx::Ctx;
+use hoas_core::sig::Signature;
+use hoas_core::{normalize, typeck, Term, Ty};
+use hoas_unify::matching::{match_term, MatchConfig};
+
+/// Traversal strategy.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Strategy {
+    /// Try the node before its children; repeat from the root after each
+    /// rewrite.
+    #[default]
+    LeftmostOutermost,
+    /// Try children before the node.
+    LeftmostInnermost,
+}
+
+/// Engine configuration.
+#[derive(Clone, Debug)]
+pub struct EngineConfig {
+    /// Matching budgets.
+    pub match_cfg: MatchConfig,
+    /// Maximum number of rule applications per [`Engine::normalize`] call.
+    pub max_steps: usize,
+    /// Traversal strategy.
+    pub strategy: Strategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            match_cfg: MatchConfig::default(),
+            max_steps: 100_000,
+            strategy: Strategy::LeftmostOutermost,
+        }
+    }
+}
+
+/// One rewrite in a trace: which rule fired, and where.
+///
+/// The path addresses the rewritten subterm from the root: `0..` are
+/// spine-argument indices for neutral terms, `0` is a λ's body, and
+/// `0`/`1` are a pair's components.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RewriteStep {
+    /// Name of the rule that fired.
+    pub rule: String,
+    /// Position of the rewritten subterm.
+    pub path: Vec<u32>,
+}
+
+impl std::fmt::Display for RewriteStep {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ [", self.rule)?;
+        for (i, p) in self.path.iter().enumerate() {
+            if i > 0 {
+                f.write_str(".")?;
+            }
+            write!(f, "{p}")?;
+        }
+        f.write_str("]")
+    }
+}
+
+/// Result of running the engine to a fixpoint (or budget).
+#[derive(Clone, Debug)]
+pub struct NormalizeResult {
+    /// The rewritten term.
+    pub term: Term,
+    /// Number of rule applications performed.
+    pub steps: usize,
+    /// Name of each applied rule, in order.
+    pub applied: Vec<String>,
+    /// Full trace: rule name plus rewrite position, in order.
+    pub trace: Vec<RewriteStep>,
+    /// Whether a fixpoint was reached (`false` means the step budget ran
+    /// out first).
+    pub fixpoint: bool,
+}
+
+/// A rewrite engine for one signature and rule set.
+#[derive(Clone, Debug)]
+pub struct Engine<'a> {
+    sig: &'a Signature,
+    rules: &'a RuleSet,
+    cfg: EngineConfig,
+}
+
+impl<'a> Engine<'a> {
+    /// Creates an engine with default configuration.
+    pub fn new(sig: &'a Signature, rules: &'a RuleSet) -> Engine<'a> {
+        Engine {
+            sig,
+            rules,
+            cfg: EngineConfig::default(),
+        }
+    }
+
+    /// Creates an engine with explicit configuration.
+    pub fn with_config(sig: &'a Signature, rules: &'a RuleSet, cfg: EngineConfig) -> Engine<'a> {
+        Engine { sig, rules, cfg }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.cfg
+    }
+
+    /// Attempts the rules at this exact position (no descent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates malformed-problem errors; a simple mismatch is `None`.
+    pub fn rewrite_here(
+        &self,
+        ctx: &Ctx,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<(Term, String)>, RewriteError> {
+        // Discrimination key: the subject's rigid head constant.
+        let subject_head = match t.head_spine() {
+            Some((hoas_core::term::Head::Const(c), _)) => Some(c),
+            _ => None,
+        };
+        for rule in &self.rules.rules {
+            if rule.ty() != ty {
+                continue;
+            }
+            // A rule whose lhs has a rigid head can only match subjects
+            // with the same head.
+            if let (Some(rh), Some(sh)) = (rule.head_const(), subject_head.as_ref()) {
+                if rh != sh {
+                    continue;
+                }
+            }
+            if rule.head_const().is_some() && subject_head.is_none() {
+                continue;
+            }
+            if let Some(replacement) = self.try_rule(rule, ctx, ty, t)? {
+                return Ok(Some((replacement, rule.name().to_string())));
+            }
+        }
+        for nrule in &self.rules.native {
+            if nrule.ty() != ty {
+                continue;
+            }
+            if let Some(replacement) = nrule.apply(t) {
+                let canon = normalize::canon(self.sig, &Default::default(), ctx, &replacement, ty)
+                    .map_err(RewriteError::Core)?;
+                return Ok(Some((canon, nrule.name().to_string())));
+            }
+        }
+        Ok(None)
+    }
+
+    fn try_rule(
+        &self,
+        rule: &Rule,
+        ctx: &Ctx,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<Term>, RewriteError> {
+        let subst = match match_term(
+            self.sig,
+            rule.menv(),
+            ctx,
+            ty,
+            rule.lhs(),
+            t,
+            &self.cfg.match_cfg,
+        ) {
+            Ok(Some(s)) => s,
+            Ok(None) => return Ok(None),
+            Err(e) => return Err(RewriteError::Unify(e)),
+        };
+        let replacement = subst.apply(rule.rhs());
+        if replacement.has_metas() {
+            // Under-determined match (e.g. a pattern variable not fixed by
+            // the target); be conservative and do not rewrite.
+            return Ok(None);
+        }
+        let replacement = normalize::canon(self.sig, rule.menv(), ctx, &replacement, ty)
+            .map_err(RewriteError::Core)?;
+        Ok(Some(replacement))
+    }
+
+    /// Performs one rewrite anywhere in the term according to the
+    /// strategy, returning the new term and the applied rule's name.
+    ///
+    /// The subject `t` must be canonical and well-typed at `ty`.
+    ///
+    /// # Errors
+    ///
+    /// Kernel/unification errors on malformed subjects.
+    pub fn rewrite_once(
+        &self,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<(Term, String)>, RewriteError> {
+        Ok(self
+            .step(&Ctx::new(), ty, t)?
+            .map(|(t2, step)| (t2, step.rule)))
+    }
+
+    /// Like [`Engine::rewrite_once`], also reporting the rewrite
+    /// position.
+    pub fn rewrite_once_traced(
+        &self,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        self.step(&Ctx::new(), ty, t)
+    }
+
+    fn step(
+        &self,
+        ctx: &Ctx,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        let here = |this: &Self| {
+            Ok::<_, RewriteError>(this.rewrite_here(ctx, ty, t)?.map(|(t2, rule)| {
+                (
+                    t2,
+                    RewriteStep {
+                        rule,
+                        path: Vec::new(),
+                    },
+                )
+            }))
+        };
+        match self.cfg.strategy {
+            Strategy::LeftmostOutermost => {
+                if let Some(hit) = here(self)? {
+                    return Ok(Some(hit));
+                }
+                self.step_children(ctx, ty, t)
+            }
+            Strategy::LeftmostInnermost => {
+                if let Some(hit) = self.step_children(ctx, ty, t)? {
+                    return Ok(Some(hit));
+                }
+                here(self)
+            }
+        }
+    }
+
+    fn step_children(
+        &self,
+        ctx: &Ctx,
+        ty: &Ty,
+        t: &Term,
+    ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        fn at(mut step: RewriteStep, i: u32) -> RewriteStep {
+            step.path.insert(0, i);
+            step
+        }
+        match (t, ty) {
+            (Term::Lam(h, body), Ty::Arrow(dom, cod)) => {
+                let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
+                Ok(self
+                    .step(&ctx2, cod, body)?
+                    .map(|(b, step)| (Term::Lam(h.clone(), Box::new(b)), at(step, 0))))
+            }
+            (Term::Pair(a, b), Ty::Prod(ta, tb)) => {
+                if let Some((a2, step)) = self.step(ctx, ta, a)? {
+                    return Ok(Some((Term::pair(a2, b.as_ref().clone()), at(step, 0))));
+                }
+                Ok(self
+                    .step(ctx, tb, b)?
+                    .map(|(b2, step)| (Term::pair(a.as_ref().clone(), b2), at(step, 1))))
+            }
+            _ => {
+                // Neutral (or literal): descend into spine arguments using
+                // the head's synthesized type.
+                let (head, args) = t.spine();
+                if args.is_empty() {
+                    return Ok(None);
+                }
+                let head_ty = typeck::synth(self.sig, &Default::default(), ctx, head)
+                    .map_err(RewriteError::Core)?;
+                let (arg_tys, _) = head_ty.uncurry();
+                for (i, (arg, aty)) in args.iter().zip(arg_tys).enumerate() {
+                    if let Some((a2, step)) = self.step(ctx, aty, arg)? {
+                        let mut new_args: Vec<Term> =
+                            args.iter().map(|a| (*a).clone()).collect();
+                        new_args[i] = a2;
+                        return Ok(Some((
+                            Term::apps(head.clone(), new_args),
+                            at(step, i as u32),
+                        )));
+                    }
+                }
+                Ok(None)
+            }
+        }
+    }
+
+    /// Rewrites to a fixpoint (or until the step budget runs out). The
+    /// subject is canonicalized first.
+    ///
+    /// # Errors
+    ///
+    /// Kernel/unification errors on malformed subjects or rules.
+    pub fn normalize(&self, ty: &Ty, t: &Term) -> Result<NormalizeResult, RewriteError> {
+        let mut cur = normalize::canon(self.sig, &Default::default(), &Ctx::new(), t, ty)
+            .map_err(RewriteError::Core)?;
+        let mut applied = Vec::new();
+        let mut trace = Vec::new();
+        loop {
+            if applied.len() >= self.cfg.max_steps {
+                // Budget spent: report whether a fixpoint happens to have
+                // been reached anyway.
+                let at_fixpoint = self.step(&Ctx::new(), ty, &cur)?.is_none();
+                return Ok(NormalizeResult {
+                    term: cur,
+                    steps: applied.len(),
+                    applied,
+                    trace,
+                    fixpoint: at_fixpoint,
+                });
+            }
+            match self.step(&Ctx::new(), ty, &cur)? {
+                Some((next, step)) => {
+                    applied.push(step.rule.clone());
+                    trace.push(step);
+                    cur = next;
+                }
+                None => {
+                    return Ok(NormalizeResult {
+                        term: cur,
+                        steps: applied.len(),
+                        applied,
+                        trace,
+                        fixpoint: true,
+                    })
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::parse::{parse_term, parse_ty};
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const or : o -> o -> o.
+             const not : o -> o.
+             const forall : (i -> o) -> o.
+             const p : i -> o.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    fn o() -> Ty {
+        parse_ty("o").unwrap()
+    }
+
+    fn not_not() -> RuleSet {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(&s, "not-not", &o(), &[("P", "o")], "not (not ?P)", "?P").unwrap());
+        rs
+    }
+
+    #[test]
+    fn rewrites_at_root() {
+        let s = sig();
+        let rs = not_not();
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, "not (not r)").unwrap().term;
+        let (out, name) = e.rewrite_once(&o(), &t).unwrap().unwrap();
+        assert_eq!(name, "not-not");
+        assert_eq!(out, Term::cnst("r"));
+    }
+
+    #[test]
+    fn rewrites_under_binder_with_bound_var_in_solution() {
+        // not (not (p x)) under forall: the match solution mentions the
+        // ambient binder x.
+        let s = sig();
+        let rs = not_not();
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, r"forall (\x. not (not (p x)))").unwrap().term;
+        let r = e.normalize(&o(), &t).unwrap();
+        assert!(r.fixpoint);
+        assert_eq!(r.steps, 1);
+        assert_eq!(r.term, parse_term(&s, r"forall (\x. p x)").unwrap().term);
+    }
+
+    #[test]
+    fn normalizes_nested_to_fixpoint() {
+        let s = sig();
+        let rs = not_not();
+        let e = Engine::new(&s, &rs);
+        // not^6 r reduces to r in 3 steps.
+        let t = parse_term(&s, "not (not (not (not (not (not r)))))")
+            .unwrap()
+            .term;
+        let r = e.normalize(&o(), &t).unwrap();
+        assert_eq!(r.steps, 3);
+        assert_eq!(r.term, Term::cnst("r"));
+        assert!(r.applied.iter().all(|n| n == "not-not"));
+    }
+
+    #[test]
+    fn no_match_is_fixpoint_zero_steps() {
+        let s = sig();
+        let rs = not_not();
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, "and r r").unwrap().term;
+        let r = e.normalize(&o(), &t).unwrap();
+        assert_eq!(r.steps, 0);
+        assert!(r.fixpoint);
+        assert_eq!(r.term, t);
+    }
+
+    #[test]
+    fn step_budget_respected() {
+        // A looping rule: r ~> not (not r) grows forever.
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(&s, "grow", &o(), &[], "r", "not (not r)").unwrap());
+        let cfg = EngineConfig {
+            max_steps: 10,
+            ..EngineConfig::default()
+        };
+        let e = Engine::with_config(&s, &rs, cfg);
+        let r = e.normalize(&o(), &Term::cnst("r")).unwrap();
+        assert!(!r.fixpoint);
+        assert_eq!(r.steps, 10);
+    }
+
+    #[test]
+    fn innermost_vs_outermost_order() {
+        // Rule: and ?P ?P ~> ?P. Subject: and (and r r) (and r r).
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(&s, "idem", &o(), &[("P", "o")], "and ?P ?P", "?P").unwrap());
+        let t = parse_term(&s, "and (and r r) (and r r)").unwrap().term;
+        // Outermost: one step to `and r r`, then one more to r.
+        let outer = Engine::new(&s, &rs);
+        let (after_one, _) = outer.rewrite_once(&o(), &t).unwrap().unwrap();
+        assert_eq!(after_one, parse_term(&s, "and r r").unwrap().term);
+        // Innermost: first step reduces a child.
+        let cfg = EngineConfig {
+            strategy: Strategy::LeftmostInnermost,
+            ..EngineConfig::default()
+        };
+        let inner = Engine::with_config(&s, &rs, cfg);
+        let (after_one, _) = inner.rewrite_once(&o(), &t).unwrap().unwrap();
+        assert_eq!(
+            after_one,
+            parse_term(&s, "and r (and r r)").unwrap().term
+        );
+        // Both reach the same fixpoint.
+        assert_eq!(outer.normalize(&o(), &t).unwrap().term, Term::cnst("r"));
+        assert_eq!(inner.normalize(&o(), &t).unwrap().term, Term::cnst("r"));
+    }
+
+    #[test]
+    fn vacuous_binder_rule_under_engine() {
+        // forall (\x. ?P) ~> ?P — drops a vacuous quantifier, but only
+        // when the body really ignores x.
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(
+            Rule::parse(
+                &s,
+                "drop-vacuous",
+                &o(),
+                &[("P", "o")],
+                r"forall (\x. ?P)",
+                "?P",
+            )
+            .unwrap(),
+        );
+        let e = Engine::new(&s, &rs);
+        let vacuous = parse_term(&s, r"forall (\x. and r r)").unwrap().term;
+        assert_eq!(
+            e.normalize(&o(), &vacuous).unwrap().term,
+            parse_term(&s, "and r r").unwrap().term
+        );
+        let dependent = parse_term(&s, r"forall (\x. p x)").unwrap().term;
+        let r = e.normalize(&o(), &dependent).unwrap();
+        assert_eq!(r.steps, 0, "must not drop a used binder");
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use crate::rule::{Rule, RuleSet};
+    use hoas_core::parse::{parse_term, parse_ty};
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type o.
+             const and : o -> o -> o.
+             const not : o -> o.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_records_positions() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(
+            Rule::parse(&s, "not-not", &parse_ty("o").unwrap(), &[("P", "o")], "not (not ?P)", "?P")
+                .unwrap(),
+        );
+        let e = Engine::new(&s, &rs);
+        // and (not (not r)) (and r (not (not r)))
+        let t = parse_term(&s, "and (not (not r)) (and r (not (not r)))")
+            .unwrap()
+            .term;
+        let out = e.normalize(&parse_ty("o").unwrap(), &t).unwrap();
+        assert_eq!(out.steps, 2);
+        // Leftmost-outermost: first at [0], then at [1.1].
+        assert_eq!(out.trace[0].path, vec![0]);
+        assert_eq!(out.trace[1].path, vec![1, 1]);
+        assert_eq!(out.trace[0].to_string(), "not-not @ [0]");
+        assert_eq!(out.trace[1].to_string(), "not-not @ [1.1]");
+    }
+
+    #[test]
+    fn root_rewrite_has_empty_path() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(
+            Rule::parse(&s, "not-not", &parse_ty("o").unwrap(), &[("P", "o")], "not (not ?P)", "?P")
+                .unwrap(),
+        );
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, "not (not r)").unwrap().term;
+        let (_, step) = e
+            .rewrite_once_traced(&parse_ty("o").unwrap(), &t)
+            .unwrap()
+            .unwrap();
+        assert!(step.path.is_empty());
+        assert_eq!(step.to_string(), "not-not @ []");
+    }
+}

@@ -1,0 +1,444 @@
+//! Rewrite rules.
+//!
+//! A [`Rule`] is a pair of terms over shared metavariables, both checked
+//! against the rule's subject type at construction — so applying a rule
+//! can never produce an ill-typed term (type preservation by
+//! construction). A [`NativeRule`] is a Rust function from subterm to
+//! replacement, used for δ-rules like integer constant folding.
+
+use hoas_core::parse::{parse_term_with, MetaTable};
+use hoas_core::sig::Signature;
+use hoas_core::term::MetaEnv;
+use hoas_core::{normalize, Term, Ty};
+use hoas_unify::UnifyError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from rule construction and rewriting.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum RewriteError {
+    /// The rule's sides failed to parse or type-check.
+    BadRule {
+        /// Rule name.
+        name: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A kernel error during traversal (ill-typed subject term).
+    Core(hoas_core::Error),
+    /// A unification error that indicates a malformed problem (not a
+    /// mere mismatch).
+    Unify(UnifyError),
+    /// The step budget was exhausted before reaching a normal form.
+    OutOfSteps,
+}
+
+impl fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RewriteError::BadRule { name, reason } => {
+                write!(f, "invalid rule `{name}`: {reason}")
+            }
+            RewriteError::Core(e) => write!(f, "kernel error during rewriting: {e}"),
+            RewriteError::Unify(e) => write!(f, "unification error during rewriting: {e}"),
+            RewriteError::OutOfSteps => write!(f, "rewrite step budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RewriteError::Core(e) => Some(e),
+            RewriteError::Unify(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<hoas_core::Error> for RewriteError {
+    fn from(e: hoas_core::Error) -> Self {
+        RewriteError::Core(e)
+    }
+}
+
+impl From<UnifyError> for RewriteError {
+    fn from(e: UnifyError) -> Self {
+        RewriteError::Unify(e)
+    }
+}
+
+/// A pattern rewrite rule `lhs ~> rhs : ty`.
+#[derive(Clone, Debug)]
+pub struct Rule {
+    name: String,
+    menv: MetaEnv,
+    lhs: Term,
+    rhs: Term,
+    ty: Ty,
+    /// Rigid head constant of the lhs, if any — a cheap discrimination
+    /// key the engine checks before attempting a full match.
+    head: Option<hoas_core::Sym>,
+}
+
+impl Rule {
+    /// Builds a rule from concrete syntax. `metas` declares the pattern
+    /// variables and their types; `?X` in `lhs` and `rhs` refer to the
+    /// same variable. Both sides are canonicalized and type-checked at
+    /// `ty`, and the right-hand side may not introduce new metavariables.
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::BadRule`] with an explanation.
+    ///
+    /// ```
+    /// use hoas_core::sig::Signature;
+    /// use hoas_core::parse::parse_ty;
+    /// use hoas_rewrite::Rule;
+    /// let sig = Signature::parse(
+    ///     "type o. const and : o -> o -> o. const top : o.",
+    /// )?;
+    /// let rule = Rule::parse(
+    ///     &sig,
+    ///     "and-idempotent",
+    ///     &parse_ty("o")?,
+    ///     &[("P", "o")],
+    ///     "and ?P ?P",
+    ///     "?P",
+    /// )?;
+    /// assert_eq!(rule.name(), "and-idempotent");
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
+    pub fn parse(
+        sig: &Signature,
+        name: &str,
+        ty: &Ty,
+        metas: &[(&str, &str)],
+        lhs: &str,
+        rhs: &str,
+    ) -> Result<Rule, RewriteError> {
+        let bad = |reason: String| RewriteError::BadRule {
+            name: name.to_string(),
+            reason,
+        };
+        let table = MetaTable::new();
+        let pl = parse_term_with(sig, lhs, table).map_err(|e| bad(format!("lhs: {e}")))?;
+        let pr = parse_term_with(sig, rhs, pl.metas.clone())
+            .map_err(|e| bad(format!("rhs: {e}")))?;
+        let mut menv = MetaEnv::new();
+        for (mname, mty) in metas {
+            let m = pr
+                .metas
+                .get(mname)
+                .ok_or_else(|| bad(format!("metavariable ?{mname} not used in the rule")))?
+                .clone();
+            let parsed_ty = hoas_core::parse::parse_ty(mty)
+                .map_err(|e| bad(format!("type of ?{mname}: {e}")))?;
+            menv.insert(m, parsed_ty);
+        }
+        Rule::new(sig, name, ty.clone(), menv, pl.term, pr.term)
+    }
+
+    /// Builds a rule from already-constructed terms; both sides are
+    /// canonicalized and type-checked at `ty` under `menv`.
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::BadRule`] when a side is ill-typed, mentions an
+    /// undeclared metavariable, or the rhs introduces new metavariables.
+    pub fn new(
+        sig: &Signature,
+        name: &str,
+        ty: Ty,
+        menv: MetaEnv,
+        lhs: Term,
+        rhs: Term,
+    ) -> Result<Rule, RewriteError> {
+        let bad = |reason: String| RewriteError::BadRule {
+            name: name.to_string(),
+            reason,
+        };
+        for m in lhs.metas().iter().chain(rhs.metas().iter()) {
+            if !menv.contains_key(m) {
+                return Err(bad(format!("metavariable {m} has no declared type")));
+            }
+        }
+        let lhs_metas = lhs.metas();
+        for m in rhs.metas() {
+            if !lhs_metas.contains(&m) {
+                return Err(bad(format!(
+                    "right-hand side introduces metavariable {m} not bound by the left-hand side"
+                )));
+            }
+        }
+        let ctx = hoas_core::ctx::Ctx::new();
+        let lhs = normalize::canon(sig, &menv, &ctx, &lhs, &ty)
+            .map_err(|e| bad(format!("lhs ill-typed at `{ty}`: {e}")))?;
+        let rhs = normalize::canon(sig, &menv, &ctx, &rhs, &ty)
+            .map_err(|e| bad(format!("rhs ill-typed at `{ty}`: {e}")))?;
+        let head = match lhs.head_spine() {
+            Some((hoas_core::term::Head::Const(c), _)) => Some(c),
+            _ => None,
+        };
+        Ok(Rule {
+            name: name.to_string(),
+            menv,
+            lhs,
+            rhs,
+            ty,
+            head,
+        })
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// The subject type the rule rewrites at.
+    pub fn ty(&self) -> &Ty {
+        &self.ty
+    }
+    /// The left-hand side (canonical).
+    pub fn lhs(&self) -> &Term {
+        &self.lhs
+    }
+    /// The right-hand side (canonical).
+    pub fn rhs(&self) -> &Term {
+        &self.rhs
+    }
+    /// Types of the pattern variables.
+    pub fn menv(&self) -> &MetaEnv {
+        &self.menv
+    }
+    /// Rigid head constant of the lhs, if any (used for rule
+    /// discrimination before full matching).
+    pub fn head_const(&self) -> Option<&hoas_core::Sym> {
+        self.head.as_ref()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {} ~> {} : {}", self.name, self.lhs, self.rhs, self.ty)
+    }
+}
+
+/// A δ-rule implemented as a Rust function; returns `Some(replacement)`
+/// when it fires. The replacement must be a well-typed canonical term of
+/// the rule's subject type in the same context (the engine re-checks in
+/// debug builds).
+#[derive(Clone)]
+pub struct NativeRule {
+    name: String,
+    ty: Ty,
+    f: Arc<dyn Fn(&Term) -> Option<Term> + Send + Sync>,
+}
+
+impl NativeRule {
+    /// Builds a native rule.
+    pub fn new(
+        name: &str,
+        ty: Ty,
+        f: impl Fn(&Term) -> Option<Term> + Send + Sync + 'static,
+    ) -> NativeRule {
+        NativeRule {
+            name: name.to_string(),
+            ty,
+            f: Arc::new(f),
+        }
+    }
+
+    /// The rule's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+    /// The subject type.
+    pub fn ty(&self) -> &Ty {
+        &self.ty
+    }
+    /// Attempts to fire at `t`.
+    pub fn apply(&self, t: &Term) -> Option<Term> {
+        (self.f)(t)
+    }
+}
+
+impl fmt::Debug for NativeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "NativeRule({} : {})", self.name, self.ty)
+    }
+}
+
+/// An ordered collection of rules tried first-to-last at each position.
+#[derive(Clone, Debug, Default)]
+pub struct RuleSet {
+    /// Pattern rules.
+    pub rules: Vec<Rule>,
+    /// Native δ-rules.
+    pub native: Vec<NativeRule>,
+}
+
+impl RuleSet {
+    /// An empty rule set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Adds a pattern rule.
+    pub fn push(&mut self, rule: Rule) -> &mut Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// Adds a native rule.
+    pub fn push_native(&mut self, rule: NativeRule) -> &mut Self {
+        self.native.push(rule);
+        self
+    }
+
+    /// Total number of rules.
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.native.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.native.is_empty()
+    }
+
+    /// Names of all rules, pattern rules first.
+    pub fn names(&self) -> Vec<&str> {
+        self.rules
+            .iter()
+            .map(|r| r.name())
+            .chain(self.native.iter().map(|r| r.name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::parse::parse_ty;
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const not : o -> o.
+             const forall : (i -> o) -> o.
+             const p : i -> o.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_display() {
+        let s = sig();
+        let rule = Rule::parse(
+            &s,
+            "not-not",
+            &parse_ty("o").unwrap(),
+            &[("P", "o")],
+            "not (not ?P)",
+            "?P",
+        )
+        .unwrap();
+        assert_eq!(rule.to_string(), "not-not: not (not ?P) ~> ?P : o");
+        assert_eq!(rule.menv().len(), 1);
+    }
+
+    #[test]
+    fn rejects_untyped_meta() {
+        let s = sig();
+        let err = Rule::parse(
+            &s,
+            "bad",
+            &parse_ty("o").unwrap(),
+            &[],
+            "not ?P",
+            "?P",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("no declared type"));
+    }
+
+    #[test]
+    fn rejects_rhs_only_meta() {
+        let s = sig();
+        let err = Rule::parse(
+            &s,
+            "bad",
+            &parse_ty("o").unwrap(),
+            &[("P", "o"), ("Q", "o")],
+            "not ?P",
+            "and ?P ?Q",
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("not bound by the left-hand side"));
+    }
+
+    #[test]
+    fn rejects_ill_typed_sides() {
+        let s = sig();
+        let err = Rule::parse(
+            &s,
+            "bad",
+            &parse_ty("o").unwrap(),
+            &[("P", "o")],
+            "and ?P",
+            "?P",
+        )
+        .unwrap_err();
+        assert!(matches!(err, RewriteError::BadRule { .. }));
+    }
+
+    #[test]
+    fn canonicalizes_sides() {
+        // η-short rule text is accepted and stored η-long.
+        let s = sig();
+        let rule = Rule::parse(
+            &s,
+            "forall-eta",
+            &parse_ty("o").unwrap(),
+            &[("Q", "i -> o")],
+            "forall ?Q",
+            r"forall (\x. ?Q x)",
+        )
+        .unwrap();
+        assert_eq!(rule.lhs(), rule.rhs(), "both sides canonicalize equally");
+    }
+
+    #[test]
+    fn native_rule_fires() {
+        let rule = NativeRule::new("to-r", parse_ty("o").unwrap(), |t| {
+            (t == &Term::cnst("r")).then(|| Term::cnst("r"))
+        });
+        assert!(rule.apply(&Term::cnst("r")).is_some());
+        assert!(rule.apply(&Term::Unit).is_none());
+        assert_eq!(format!("{rule:?}"), "NativeRule(to-r : o)");
+    }
+
+    #[test]
+    fn ruleset_collects_names() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(
+            Rule::parse(
+                &s,
+                "a",
+                &parse_ty("o").unwrap(),
+                &[("P", "o")],
+                "not (not ?P)",
+                "?P",
+            )
+            .unwrap(),
+        );
+        rs.push_native(NativeRule::new("b", parse_ty("o").unwrap(), |_| None));
+        assert_eq!(rs.len(), 2);
+        assert!(!rs.is_empty());
+        assert_eq!(rs.names(), vec!["a", "b"]);
+    }
+}

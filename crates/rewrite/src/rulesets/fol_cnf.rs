@@ -1,0 +1,174 @@
+//! Conjunctive normal form — the classic follow-on to prenex
+//! normalization, as one more rewrite phase (experiment E3's extension).
+//!
+//! Two distribution rules on top of the prenex set:
+//!
+//! ```text
+//! or (and ?P ?Q) ?R  ~>  and (or ?P ?R) (or ?Q ?R)
+//! or ?R (and ?P ?Q)  ~>  and (or ?R ?P) (or ?R ?Q)
+//! ```
+//!
+//! Because the engine rewrites under binders, the same rules normalize
+//! the matrix *under the quantifier prefix* with no extra code.
+
+use crate::rule::{RewriteError, Rule, RuleSet};
+use crate::rulesets::fol_prenex;
+use hoas_core::sig::Signature;
+use hoas_core::Ty;
+
+/// The distribution rules alone.
+///
+/// # Errors
+///
+/// [`RewriteError::BadRule`] if `sig` lacks the connectives.
+pub fn distribution_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let o = Ty::base("o");
+    let pqr = [("P", "o"), ("Q", "o"), ("R", "o")];
+    let mut rs = RuleSet::new();
+    rs.push(Rule::parse(
+        sig,
+        "distr-left",
+        &o,
+        &pqr,
+        "or (and ?P ?Q) ?R",
+        "and (or ?P ?R) (or ?Q ?R)",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "distr-right",
+        &o,
+        &pqr,
+        "or ?R (and ?P ?Q)",
+        "and (or ?R ?P) (or ?R ?Q)",
+    )?);
+    Ok(rs)
+}
+
+/// The full pipeline: prenex rules (implication elimination, NNF,
+/// quantifier extraction) plus distribution — normalizing to a prenex
+/// formula with a CNF matrix.
+///
+/// # Errors
+///
+/// As for [`fol_prenex::rules`].
+pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let mut rs = fol_prenex::rules(sig)?;
+    let distr = distribution_rules(sig)?;
+    rs.rules.extend(distr.rules);
+    Ok(rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use hoas_langs::fol::{self, Formula, Model, Vocabulary};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    /// CNF matrix check: conjunctions of disjunctions of (possibly
+    /// negated) atoms.
+    fn is_cnf_matrix(f: &Formula) -> bool {
+        fn literal(f: &Formula) -> bool {
+            match f {
+                Formula::Pred(..) => true,
+                Formula::Not(inner) => matches!(inner.as_ref(), Formula::Pred(..)),
+                _ => false,
+            }
+        }
+        fn disj(f: &Formula) -> bool {
+            match f {
+                Formula::Or(a, b) => disj(a) && disj(b),
+                other => literal(other),
+            }
+        }
+        match f {
+            Formula::And(a, b) => is_cnf_matrix(a) && is_cnf_matrix(b),
+            other => disj(other),
+        }
+    }
+
+    fn strip_prefix(f: &Formula) -> &Formula {
+        match f {
+            Formula::Forall(_, a) | Formula::Exists(_, a) => strip_prefix(a),
+            other => other,
+        }
+    }
+
+    #[test]
+    fn distributes_to_cnf() {
+        let vocab = Vocabulary::small();
+        let sig = vocab.signature();
+        let rs = rules(&sig).unwrap();
+        let engine = Engine::new(&sig, &rs);
+        // (r ∧ p(a)) ∨ (r ∧ p(b)) → CNF with 4 clauses... (shape check).
+        let f = Formula::or(
+            Formula::and(
+                Formula::Pred("r".into(), vec![]),
+                Formula::Pred("p".into(), vec![fol::FoTerm::Fun("a".into(), vec![])]),
+            ),
+            Formula::and(
+                Formula::Pred("r".into(), vec![]),
+                Formula::Pred("p".into(), vec![fol::FoTerm::Fun("b".into(), vec![])]),
+            ),
+        );
+        let out = engine.normalize(&fol::o(), &fol::encode(&f).unwrap()).unwrap();
+        assert!(out.fixpoint);
+        let g = fol::decode(&out.term).unwrap();
+        assert!(is_cnf_matrix(&g), "not CNF: {g}");
+    }
+
+    #[test]
+    fn full_pipeline_random_formulas() {
+        let vocab = Vocabulary::small();
+        let sig = vocab.signature();
+        let rs = rules(&sig).unwrap();
+        let engine = Engine::new(&sig, &rs);
+        let mut rng = SmallRng::seed_from_u64(31);
+        for _ in 0..30 {
+            let f = fol::gen_formula(&vocab, &mut rng, 4);
+            let out = engine
+                .normalize(&fol::o(), &fol::encode(&f).unwrap())
+                .unwrap();
+            assert!(out.fixpoint, "CNF rules must terminate on {f}");
+            let g = fol::decode(&out.term).unwrap();
+            assert!(g.is_prenex(), "not prenex: {g}");
+            assert!(is_cnf_matrix(strip_prefix(&g)), "matrix not CNF: {g}");
+            for _ in 0..3 {
+                let m = Model::random(&vocab, 2, &mut rng);
+                assert_eq!(
+                    m.eval(&f, &mut HashMap::new()).unwrap(),
+                    m.eval(&g, &mut HashMap::new()).unwrap(),
+                    "semantics changed: {f} vs {g}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distribution_happens_under_the_prefix() {
+        // ∀x. p(x) ∨ (r ∧ q(x,x)): the distribution rewrites under the
+        // quantifier with zero extra machinery.
+        let vocab = Vocabulary::small();
+        let sig = vocab.signature();
+        let rs = distribution_rules(&sig).unwrap();
+        let engine = Engine::new(&sig, &rs);
+        let x = || fol::FoTerm::Var("x".into());
+        let f = Formula::forall(
+            "x",
+            Formula::or(
+                Formula::Pred("p".into(), vec![x()]),
+                Formula::and(
+                    Formula::Pred("r".into(), vec![]),
+                    Formula::Pred("q".into(), vec![x(), x()]),
+                ),
+            ),
+        );
+        let out = engine.normalize(&fol::o(), &fol::encode(&f).unwrap()).unwrap();
+        assert_eq!(out.steps, 1);
+        assert_eq!(out.trace[0].path, vec![0, 0], "forall arg 0, then the λ body");
+        let g = fol::decode(&out.term).unwrap();
+        assert!(is_cnf_matrix(strip_prefix(&g)), "{g}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Prenex normal form for first-order logic — the paper's quantifier-rule
+//! figures as an executable rule set (experiment E3).
+//!
+//! Three rule groups, all *pattern* rules:
+//!
+//! 1. implication elimination (`imp P Q ~> or (not P) Q`);
+//! 2. negation normal form (De Morgan + double negation + quantifier
+//!    duals);
+//! 3. quantifier extraction past `and`/`or` — the rules that need the
+//!    higher-order side condition "`x` not free in `P`", expressed simply
+//!    by `?P` *not* being applied to `x`:
+//!
+//!    ```text
+//!    and (forall (\x. ?Q x)) ?P  ~>  forall (\x. and (?Q x) ?P)
+//!    ```
+//!
+//! Soundness of extraction relies on a non-empty domain, which
+//! [`hoas_langs::fol::Model`] guarantees.
+
+use crate::rule::{RewriteError, Rule, RuleSet};
+use hoas_core::sig::Signature;
+use hoas_core::Ty;
+
+/// Builds the full prenex rule set for a FOL signature (any signature
+/// containing the connectives of [`hoas_langs::fol`]).
+///
+/// # Errors
+///
+/// [`RewriteError::BadRule`] if `sig` lacks the connectives.
+pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let o = Ty::base("o");
+    let mut rs = RuleSet::new();
+    let p = [("P", "o")];
+    let pq = [("P", "o"), ("Q", "o")];
+    let q1 = [("Q", "i -> o")];
+    let pq1 = [("P", "o"), ("Q", "i -> o")];
+
+    // 1. implication elimination.
+    rs.push(Rule::parse(sig, "imp-elim", &o, &pq, "imp ?P ?Q", "or (not ?P) ?Q")?);
+
+    // 2. negation normal form.
+    rs.push(Rule::parse(sig, "not-not", &o, &p, "not (not ?P)", "?P")?);
+    rs.push(Rule::parse(
+        sig,
+        "not-and",
+        &o,
+        &pq,
+        "not (and ?P ?Q)",
+        "or (not ?P) (not ?Q)",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "not-or",
+        &o,
+        &pq,
+        "not (or ?P ?Q)",
+        "and (not ?P) (not ?Q)",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "not-forall",
+        &o,
+        &q1,
+        r"not (forall (\x. ?Q x))",
+        r"exists (\x. not (?Q x))",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "not-exists",
+        &o,
+        &q1,
+        r"not (exists (\x. ?Q x))",
+        r"forall (\x. not (?Q x))",
+    )?);
+
+    // 3. quantifier extraction. The vacuity of x in ?P is enforced by the
+    // pattern structure — exactly the paper's point.
+    for (conn, quant) in [
+        ("and", "forall"),
+        ("and", "exists"),
+        ("or", "forall"),
+        ("or", "exists"),
+    ] {
+        rs.push(Rule::parse(
+            sig,
+            &format!("{quant}-{conn}-left"),
+            &o,
+            &pq1,
+            &format!(r"{conn} ({quant} (\x. ?Q x)) ?P"),
+            &format!(r"{quant} (\x. {conn} (?Q x) ?P)"),
+        )?);
+        rs.push(Rule::parse(
+            sig,
+            &format!("{quant}-{conn}-right"),
+            &o,
+            &pq1,
+            &format!(r"{conn} ?P ({quant} (\x. ?Q x))"),
+            &format!(r"{quant} (\x. {conn} ?P (?Q x))"),
+        )?);
+    }
+    Ok(rs)
+}
+
+/// Only the negation-normal-form subset (groups 1–2).
+///
+/// # Errors
+///
+/// As for [`rules`].
+pub fn nnf_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let mut all = rules(sig)?;
+    all.rules.truncate(6);
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use hoas_langs::fol::{self, Formula, Model, Vocabulary};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    fn setup() -> (Signature, Vocabulary) {
+        let v = Vocabulary::small();
+        (v.signature(), v)
+    }
+
+    fn prenexify(sig: &Signature, f: &Formula) -> Formula {
+        let rs = rules(sig).unwrap();
+        let engine = Engine::new(sig, &rs);
+        let t = fol::encode(f).unwrap();
+        let r = engine.normalize(&fol::o(), &t).unwrap();
+        assert!(r.fixpoint, "prenex rules must terminate");
+        fol::decode(&r.term).unwrap()
+    }
+
+    #[test]
+    fn example_from_paper_shape() {
+        // ∀x. p(x) ∧ r — already prenex; (∀x. p(x)) ∧ r — needs one move.
+        let (sig, _) = setup();
+        let f = Formula::and(
+            Formula::forall(
+                "x",
+                Formula::Pred("p".into(), vec![fol::FoTerm::Var("x".into())]),
+            ),
+            Formula::Pred("r".into(), vec![]),
+        );
+        let g = prenexify(&sig, &f);
+        assert!(g.is_prenex(), "got {g}");
+        assert_eq!(g.quantifier_count(), 1);
+        match g {
+            Formula::Forall(_, inner) => {
+                assert!(matches!(*inner, Formula::And(..)));
+            }
+            other => panic!("expected ∀ at the root, got {other}"),
+        }
+    }
+
+    #[test]
+    fn implication_with_quantifiers() {
+        // (∀x. p(x)) → r  becomes  ∃x. (¬p(x) ∨ r).
+        let (sig, _) = setup();
+        let f = Formula::imp(
+            Formula::forall(
+                "x",
+                Formula::Pred("p".into(), vec![fol::FoTerm::Var("x".into())]),
+            ),
+            Formula::Pred("r".into(), vec![]),
+        );
+        let g = prenexify(&sig, &f);
+        assert!(g.is_prenex(), "got {g}");
+        assert!(matches!(g, Formula::Exists(..)));
+    }
+
+    #[test]
+    fn random_formulas_reach_prenex_and_preserve_truth() {
+        let (sig, vocab) = setup();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let mut nontrivial = 0;
+        for _ in 0..60 {
+            let f = fol::gen_formula(&vocab, &mut rng, 4);
+            let g = prenexify(&sig, &f);
+            assert!(g.is_prenex(), "not prenex: {g} (from {f})");
+            if f.quantifier_count() > 0 {
+                nontrivial += 1;
+            }
+            // Truth-preservation over random finite models.
+            for _ in 0..5 {
+                let m = Model::random(&vocab, 3, &mut rng);
+                let mut env = HashMap::new();
+                let before = m.eval(&f, &mut env).unwrap();
+                let mut env = HashMap::new();
+                let after = m.eval(&g, &mut env).unwrap();
+                assert_eq!(before, after, "semantics changed for {f} ~> {g}");
+            }
+        }
+        assert!(nontrivial > 10, "workload too trivial");
+    }
+
+    #[test]
+    fn nnf_subset_produces_nnf() {
+        let (sig, _) = setup();
+        let rs = nnf_rules(&sig).unwrap();
+        assert_eq!(rs.rules.len(), 6);
+        let engine = Engine::new(&sig, &rs);
+        // ¬(r ∧ ¬r)
+        let f = Formula::not(Formula::and(
+            Formula::Pred("r".into(), vec![]),
+            Formula::not(Formula::Pred("r".into(), vec![])),
+        ));
+        let t = fol::encode(&f).unwrap();
+        let out = engine.normalize(&fol::o(), &t).unwrap();
+        let g = fol::decode(&out.term).unwrap();
+        // NNF: ¬ only on atoms.
+        fn nnf_ok(f: &Formula) -> bool {
+            match f {
+                Formula::Not(inner) => matches!(inner.as_ref(), Formula::Pred(..)),
+                Formula::And(a, b) | Formula::Or(a, b) | Formula::Imp(a, b) => {
+                    nnf_ok(a) && nnf_ok(b)
+                }
+                Formula::Forall(_, a) | Formula::Exists(_, a) => nnf_ok(a),
+                Formula::Pred(..) => true,
+            }
+        }
+        assert!(nnf_ok(&g), "not NNF: {g}");
+    }
+}

@@ -1,0 +1,290 @@
+//! Optimizations for the imperative language — the paper's
+//! program-transformation example (experiment E4).
+//!
+//! * **Pattern rules** handle everything involving binding structure:
+//!   dead-declaration elimination (`local e (\x. c) ~> c` — the "x unused"
+//!   side condition *is* the pattern), `skip` unit laws, and `if` with
+//!   identical branches.
+//! * **Native δ-rules** handle integer arithmetic the metalanguage treats
+//!   as opaque: constant folding of `add`/`sub`/`mul` on literals,
+//!   algebraic identities, and branch folding of conditionals whose test
+//!   compares literals.
+
+use crate::rule::{NativeRule, RewriteError, Rule, RuleSet};
+use hoas_core::sig::Signature;
+use hoas_core::{Term, Ty};
+
+fn lit_of(t: &Term) -> Option<i64> {
+    match t.spine() {
+        (Term::Const(c), args) if c.as_str() == "lit" && args.len() == 1 => match args[0] {
+            Term::Int(n) => Some(*n),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn lit(n: i64) -> Term {
+    Term::app(Term::cnst("lit"), Term::Int(n))
+}
+
+/// Builds the optimization rule set for the imperative-language signature
+/// ([`hoas_langs::imp::signature`]).
+///
+/// # Errors
+///
+/// [`RewriteError::BadRule`] if `sig` lacks the constructors.
+pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let cmd = Ty::base("cmd");
+    let aexp = Ty::base("aexp");
+    let mut rs = RuleSet::new();
+
+    // --- pattern rules on commands ---
+    rs.push(Rule::parse(
+        sig,
+        "seq-skip-left",
+        &cmd,
+        &[("C", "cmd")],
+        "seq skip ?C",
+        "?C",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "seq-skip-right",
+        &cmd,
+        &[("C", "cmd")],
+        "seq ?C skip",
+        "?C",
+    )?);
+    // Dead declaration: the scope ignores its variable — a vacuous-binder
+    // pattern. Initializers are pure (aexp), so this is unconditionally
+    // sound.
+    rs.push(Rule::parse(
+        sig,
+        "dead-local",
+        &cmd,
+        &[("E", "aexp"), ("C", "cmd")],
+        r"local ?E (\x. ?C)",
+        "?C",
+    )?);
+    // If with identical branches (tests are pure).
+    rs.push(Rule::parse(
+        sig,
+        "if-same",
+        &cmd,
+        &[("B", "bexp"), ("C", "cmd")],
+        "ifc ?B ?C ?C",
+        "?C",
+    )?);
+    // while with a test that is literally false never runs; handled by the
+    // native branch-folding rules below (tests have no boolean literals).
+
+    // --- native δ-rules on arithmetic ---
+    rs.push_native(NativeRule::new("fold-arith", aexp.clone(), |t| {
+        let (head, args) = t.spine();
+        let op = match head {
+            Term::Const(c) => c.as_str(),
+            _ => return None,
+        };
+        if args.len() != 2 {
+            return None;
+        }
+        let (a, b) = (lit_of(args[0]), lit_of(args[1]));
+        match (op, a, b) {
+            ("add", Some(x), Some(y)) => Some(lit(x.wrapping_add(y))),
+            ("sub", Some(x), Some(y)) => Some(lit(x.wrapping_sub(y))),
+            ("mul", Some(x), Some(y)) => Some(lit(x.wrapping_mul(y))),
+            _ => None,
+        }
+    }));
+    rs.push_native(NativeRule::new("arith-identities", aexp, |t| {
+        let (head, args) = t.spine();
+        let op = match head {
+            Term::Const(c) => c.as_str(),
+            _ => return None,
+        };
+        if args.len() != 2 {
+            return None;
+        }
+        let (a, b) = (lit_of(args[0]), lit_of(args[1]));
+        match (op, a, b) {
+            ("add", Some(0), _) => Some(args[1].clone()),
+            ("add", _, Some(0)) => Some(args[0].clone()),
+            ("sub", _, Some(0)) => Some(args[0].clone()),
+            ("mul", Some(1), _) => Some(args[1].clone()),
+            ("mul", _, Some(1)) => Some(args[0].clone()),
+            // 0 * e and e * 0 are sound because aexps are pure.
+            ("mul", Some(0), _) | ("mul", _, Some(0)) => Some(lit(0)),
+            _ => None,
+        }
+    }));
+    // Fold conditionals/loops whose test compares literals.
+    rs.push_native(NativeRule::new("fold-branch", Ty::base("cmd"), |t| {
+        let (head, args) = t.spine();
+        let op = match head {
+            Term::Const(c) => c.as_str(),
+            _ => return None,
+        };
+        let test_value = |b: &Term| -> Option<bool> {
+            let (bh, bargs) = b.spine();
+            let bop = match bh {
+                Term::Const(c) => c.as_str(),
+                _ => return None,
+            };
+            if bargs.len() != 2 {
+                return None;
+            }
+            let (x, y) = (lit_of(bargs[0])?, lit_of(bargs[1])?);
+            match bop {
+                "le" => Some(x <= y),
+                "eqb" => Some(x == y),
+                _ => None,
+            }
+        };
+        match (op, args.as_slice()) {
+            ("ifc", [b, th, el]) => match test_value(b)? {
+                true => Some((*th).clone()),
+                false => Some((*el).clone()),
+            },
+            // Only the false case is safe for loops (true would diverge).
+            ("while", [b, _body]) => match test_value(b)? {
+                false => Some(Term::cnst("skip")),
+                true => None,
+            },
+            _ => None,
+        }
+    }));
+    Ok(rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use hoas_langs::imp::{self, Aexp, Bexp, Cmd};
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    fn optimize(c: &Cmd) -> (Cmd, usize) {
+        let sig = imp::signature();
+        let rs = rules(sig).unwrap();
+        let engine = Engine::new(sig, &rs);
+        let t = imp::encode(c).unwrap();
+        let r = engine.normalize(&imp::cmd_ty(), &t).unwrap();
+        assert!(r.fixpoint, "optimizer must terminate");
+        (imp::decode(&r.term).unwrap(), r.steps)
+    }
+
+    #[test]
+    fn constant_folding_chain() {
+        // print ((1 + 2) * (3 + 4)) → print 21
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(0),
+            Cmd::Print(Aexp::mul(
+                Aexp::add(Aexp::Num(1), Aexp::Num(2)),
+                Aexp::add(Aexp::Num(3), Aexp::Num(4)),
+            )),
+        );
+        let (opt, steps) = optimize(&c);
+        assert!(steps >= 3);
+        // Dead local also removed.
+        assert_eq!(opt, Cmd::Print(Aexp::Num(21)));
+    }
+
+    #[test]
+    fn dead_local_eliminated_only_when_unused() {
+        let dead = Cmd::local("x", Aexp::Num(5), Cmd::Print(Aexp::Num(1)));
+        let (opt, _) = optimize(&dead);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(1)));
+        let live = Cmd::local("x", Aexp::Num(5), Cmd::Print(Aexp::var("x")));
+        let (opt, steps) = optimize(&live);
+        assert_eq!(steps, 0);
+        assert!(matches!(opt, Cmd::Local(..)));
+    }
+
+    #[test]
+    fn skip_laws() {
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(0),
+            Cmd::seq(Cmd::Skip, Cmd::seq(Cmd::Print(Aexp::Num(1)), Cmd::Skip)),
+        );
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(1)));
+    }
+
+    #[test]
+    fn branch_folding() {
+        // if (2 <= 1) { print 1 } else { print 2 } → print 2
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(0),
+            Cmd::if_(
+                Bexp::le(Aexp::Num(2), Aexp::Num(1)),
+                Cmd::Print(Aexp::Num(1)),
+                Cmd::Print(Aexp::Num(2)),
+            ),
+        );
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(2)));
+        // while (1 <= 0) { ... } → skip (and then the seq law cleans up).
+        let w = Cmd::local(
+            "x",
+            Aexp::Num(0),
+            Cmd::seq(
+                Cmd::while_(Bexp::le(Aexp::Num(1), Aexp::Num(0)), Cmd::Print(Aexp::Num(9))),
+                Cmd::Print(Aexp::Num(3)),
+            ),
+        );
+        let (opt, _) = optimize(&w);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(3)));
+    }
+
+    #[test]
+    fn if_same_branches() {
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(0),
+            Cmd::if_(
+                Bexp::le(Aexp::var("x"), Aexp::Num(1)),
+                Cmd::Print(Aexp::Num(7)),
+                Cmd::Print(Aexp::Num(7)),
+            ),
+        );
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(7)));
+    }
+
+    #[test]
+    fn optimization_preserves_traces() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        let mut optimized_something = 0;
+        for _ in 0..40 {
+            let c = imp::gen_cmd(&mut rng, 4);
+            let (opt, steps) = optimize(&c);
+            if steps > 0 {
+                optimized_something += 1;
+            }
+            let before = imp::run(&c, 10_000);
+            let after = imp::run(&opt, 10_000);
+            match (before, after) {
+                (Ok(a), Ok(b)) => assert_eq!(a, b, "trace changed for {c}\n -> {opt}"),
+                (Err(_), _) | (_, Err(_)) => {} // fuel-limited loops
+            }
+        }
+        assert!(optimized_something > 10, "workload has no opportunities");
+    }
+
+    #[test]
+    fn zero_mul_uses_purity() {
+        // 0 * x folds to 0 even though x is a variable read.
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(3),
+            Cmd::Print(Aexp::mul(Aexp::Num(0), Aexp::var("x"))),
+        );
+        let (opt, _) = optimize(&c);
+        assert_eq!(opt, Cmd::Print(Aexp::Num(0)));
+    }
+}

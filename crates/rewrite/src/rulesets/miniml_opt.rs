@@ -1,0 +1,184 @@
+//! Mini-ML simplification rules (experiment E8's transformation side).
+//!
+//! Pattern rules cover the binding-sensitive simplifications:
+//!
+//! * case-of-known-constructor (`case z`, `case (s n)`) — note the
+//!   successor rule *instantiates* the branch binder via the metalanguage;
+//! * dead `let` whose bound expression is a **value** (restricting to
+//!   values keeps call-by-value termination behaviour);
+//! * β-inlining of a λ applied to a value.
+//!
+//! Value restriction is enforced by native wrappers that check the
+//! syntactic value-ness the type system cannot see.
+
+use crate::rule::{NativeRule, RewriteError, Rule, RuleSet};
+use hoas_core::sig::Signature;
+use hoas_core::{normalize, Term, Ty};
+
+/// Whether an encoded expression is a syntactic value (a numeral or a λ).
+pub fn is_value(t: &Term) -> bool {
+    match t.spine() {
+        (Term::Const(c), args) => match (c.as_str(), args.len()) {
+            ("z", 0) | ("lam", 1) => true,
+            ("s", 1) => is_value(args[0]),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Builds the simplification rule set for [`hoas_langs::miniml::signature`].
+///
+/// # Errors
+///
+/// [`RewriteError::BadRule`] if `sig` lacks the constructors.
+pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
+    let exp = Ty::base("exp");
+    let mut rs = RuleSet::new();
+
+    // case-of-known-constructor: pure pattern rules.
+    rs.push(Rule::parse(
+        sig,
+        "case-z",
+        &exp,
+        &[("Z", "exp"), ("S", "exp -> exp")],
+        r"case z ?Z (\x. ?S x)",
+        "?Z",
+    )?);
+    rs.push(Rule::parse(
+        sig,
+        "case-s",
+        &exp,
+        &[("N", "exp"), ("Z", "exp"), ("S", "exp -> exp")],
+        r"case (s ?N) ?Z (\x. ?S x)",
+        "?S ?N",
+    )?);
+
+    // Value-restricted rules are native: check value-ness, then hand the
+    // binding work back to the metalanguage (happly = object substitution).
+    rs.push_native(NativeRule::new("dead-let-value", exp.clone(), |t| {
+        let (head, args) = t.spine();
+        match (head, args.as_slice()) {
+            (Term::Const(c), [v, abs]) if c.as_str() == "letv" && is_value(v) => {
+                // Dead only if the binder is vacuous.
+                if let Term::Lam(_, body) = abs {
+                    if !body.occurs_free(0) {
+                        return Some(hoas_core::subst::unshift_above(body, 1, 0));
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }));
+    rs.push_native(NativeRule::new("beta-value", exp, |t| {
+        let (head, args) = t.spine();
+        match (head, args.as_slice()) {
+            (Term::Const(c), [f, v]) if c.as_str() == "app" && is_value(v) => {
+                let (fh, fargs) = f.spine();
+                match (fh, fargs.as_slice()) {
+                    (Term::Const(lc), [abs]) if lc.as_str() == "lam" => {
+                        Some(normalize::happly((*abs).clone(), (*v).clone()))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }));
+    Ok(rs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use hoas_langs::miniml::{self, Exp};
+
+    fn simplify(e: &Exp) -> (Exp, usize) {
+        let sig = miniml::signature();
+        let rs = rules(sig).unwrap();
+        let engine = Engine::new(sig, &rs);
+        let t = miniml::encode(e).unwrap();
+        let r = engine.normalize(&miniml::exp(), &t).unwrap();
+        assert!(r.fixpoint);
+        (miniml::decode(&r.term).unwrap(), r.steps)
+    }
+
+    #[test]
+    fn case_of_known_constructors() {
+        let e = Exp::case(Exp::num(0), Exp::num(9), "x", Exp::var("x"));
+        assert_eq!(simplify(&e).0, Exp::num(9));
+        let e = Exp::case(Exp::num(3), Exp::num(9), "x", Exp::s(Exp::var("x")));
+        // case (s 2) ... ~> s 2 via the branch — binder instantiated by β.
+        assert_eq!(simplify(&e).0, Exp::num(3));
+    }
+
+    #[test]
+    fn beta_inlines_values_only() {
+        // (fn x => s x) 2 inlines; (fn x => s x) (f y) does not (argument
+        // not a value).
+        let inline = Exp::app(Exp::lam("x", Exp::s(Exp::var("x"))), Exp::num(2));
+        assert_eq!(simplify(&inline).0, Exp::num(3));
+        let opaque = Exp::lam(
+            "f",
+            Exp::app(
+                Exp::lam("x", Exp::s(Exp::var("x"))),
+                Exp::app(Exp::var("f"), Exp::Z),
+            ),
+        );
+        let (out, steps) = simplify(&opaque);
+        assert_eq!(steps, 0, "must not inline a non-value: {out}");
+    }
+
+    #[test]
+    fn dead_let_value_restriction() {
+        // let x = 5 in z — dead, value: removed.
+        let dead = Exp::let_("x", Exp::num(5), Exp::Z);
+        assert_eq!(simplify(&dead).0, Exp::Z);
+        // let x = (fix f. f) in z — dead but NOT a value (diverges in CBV):
+        // kept.
+        let divergent = Exp::let_("x", Exp::fix("f", Exp::var("f")), Exp::Z);
+        let (out, steps) = simplify(&divergent);
+        assert_eq!(steps, 0);
+        assert!(matches!(out, Exp::Let(..)));
+        // let x = 5 in s x — not dead: kept.
+        let live = Exp::let_("x", Exp::num(5), Exp::s(Exp::var("x")));
+        assert_eq!(simplify(&live).1, 0);
+    }
+
+    #[test]
+    fn nested_simplification_cascades() {
+        // case (case z z (x. x)) 7 (y. y)  ~>  case z 7 (y. y)  ~>  7
+        let e = Exp::case(
+            Exp::case(Exp::Z, Exp::Z, "x", Exp::var("x")),
+            Exp::num(7),
+            "y",
+            Exp::var("y"),
+        );
+        let (out, steps) = simplify(&e);
+        assert_eq!(out, Exp::num(7));
+        assert_eq!(steps, 2);
+    }
+
+    #[test]
+    fn simplification_preserves_evaluation() {
+        let progs = vec![
+            Exp::app(Exp::app(miniml::add_fn(), Exp::num(2)), Exp::num(2)),
+            Exp::let_(
+                "dead",
+                Exp::num(9),
+                Exp::case(Exp::num(1), Exp::Z, "x", Exp::var("x")),
+            ),
+            Exp::app(Exp::lam("x", Exp::s(Exp::var("x"))), Exp::num(4)),
+        ];
+        for p in progs {
+            let (q, _) = simplify(&p);
+            let mut fa = 100_000;
+            let mut fb = 100_000;
+            let a = miniml::eval_native(&p, &mut fa).unwrap();
+            let b = miniml::eval_native(&q, &mut fb).unwrap();
+            assert_eq!(a.as_num(), b.as_num(), "{p} vs {q}");
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! The paper's transformation suites, as reusable rule sets.
+
+pub mod fol_cnf;
+pub mod fol_prenex;
+pub mod imp_opt;
+pub mod miniml_opt;

@@ -1,0 +1,419 @@
+//! Generic conversion between first-order trees and HOAS terms, derived
+//! from a [`LanguageDef`].
+//!
+//! This is the payoff of the syntax facility: **adequate encode/decode
+//! for free**. [`encode`] takes a named [`Tree`] and produces the
+//! metalanguage term of the expected sort, turning annotated scopes into
+//! λs; [`decode`] inverts it, resurrecting fresh binder names. Exotic
+//! terms (non-λ scopes, wrong arities, unknown operators) are rejected.
+
+use crate::def::{Arg, LanguageDef};
+use hoas_core::Term;
+use hoas_firstorder::named::{fresh_name, Tree};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors from the generic encoder/decoder.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum BridgeError {
+    /// A variable is not bound, or is used at the wrong sort.
+    Unbound {
+        /// The variable name.
+        name: String,
+        /// The sort expected at the use site.
+        expected: String,
+    },
+    /// An operator is not a production of the language (or used at the
+    /// wrong sort / arity).
+    BadOperator {
+        /// The operator.
+        op: String,
+        /// Explanation.
+        reason: String,
+    },
+    /// A term is not a canonical encoding (exotic or malformed).
+    NotCanonical(String),
+}
+
+impl fmt::Display for BridgeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BridgeError::Unbound { name, expected } => {
+                write!(f, "variable `{name}` unbound or not of sort `{expected}`")
+            }
+            BridgeError::BadOperator { op, reason } => {
+                write!(f, "operator `{op}`: {reason}")
+            }
+            BridgeError::NotCanonical(msg) => write!(f, "not a canonical encoding: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BridgeError {}
+
+/// Encodes a named tree as a metalanguage term of sort `sort`.
+///
+/// Binders in scopes must align with the production's
+/// [`Arg::Binding`] annotations; leaf operators whose name parses as an
+/// integer fill [`Arg::Int`] positions.
+///
+/// # Errors
+///
+/// See [`BridgeError`].
+pub fn encode(def: &LanguageDef, sort: &str, tree: &Tree) -> Result<Term, BridgeError> {
+    let mut env: Vec<(String, String)> = Vec::new();
+    encode_at(def, sort, tree, &mut env)
+}
+
+fn encode_at(
+    def: &LanguageDef,
+    sort: &str,
+    tree: &Tree,
+    env: &mut Vec<(String, String)>,
+) -> Result<Term, BridgeError> {
+    match tree {
+        Tree::Var(x) => {
+            match env
+                .iter()
+                .rposition(|(n, s)| n == x && s == sort)
+            {
+                Some(pos) => Ok(Term::Var((env.len() - 1 - pos) as u32)),
+                None => Err(BridgeError::Unbound {
+                    name: x.clone(),
+                    expected: sort.to_string(),
+                }),
+            }
+        }
+        Tree::Node(op, scopes) => {
+            // Integer literals at Int positions are handled by the caller
+            // (via args); a bare numeric leaf at a sort position is an
+            // error caught below.
+            let prod = def.production(op).ok_or_else(|| BridgeError::BadOperator {
+                op: op.clone(),
+                reason: "not a production of the language".into(),
+            })?;
+            if prod.sort != sort {
+                return Err(BridgeError::BadOperator {
+                    op: op.clone(),
+                    reason: format!("has sort `{}`, expected `{sort}`", prod.sort),
+                });
+            }
+            if prod.args.len() != scopes.len() {
+                return Err(BridgeError::BadOperator {
+                    op: op.clone(),
+                    reason: format!(
+                        "expects {} arguments, got {}",
+                        prod.args.len(),
+                        scopes.len()
+                    ),
+                });
+            }
+            let mut out = Term::cnst(op.as_str());
+            for (arg, scope) in prod.args.iter().zip(scopes) {
+                let encoded = match arg {
+                    Arg::Sort(s) => {
+                        if !scope.binders.is_empty() {
+                            return Err(BridgeError::BadOperator {
+                                op: op.clone(),
+                                reason: "unexpected binders at a plain argument".into(),
+                            });
+                        }
+                        encode_at(def, s, &scope.body, env)?
+                    }
+                    Arg::Int => {
+                        if !scope.binders.is_empty() {
+                            return Err(BridgeError::BadOperator {
+                                op: op.clone(),
+                                reason: "unexpected binders at an int argument".into(),
+                            });
+                        }
+                        match &scope.body {
+                            Tree::Node(n, children) if children.is_empty() => {
+                                let v: i64 =
+                                    n.parse().map_err(|_| BridgeError::BadOperator {
+                                        op: op.clone(),
+                                        reason: format!("`{n}` is not an integer literal"),
+                                    })?;
+                                Term::Int(v)
+                            }
+                            other => {
+                                return Err(BridgeError::BadOperator {
+                                    op: op.clone(),
+                                    reason: format!("expected an integer literal, got {other}"),
+                                })
+                            }
+                        }
+                    }
+                    Arg::Binding { binders, body } => {
+                        if scope.binders.len() != binders.len() {
+                            return Err(BridgeError::BadOperator {
+                                op: op.clone(),
+                                reason: format!(
+                                    "scope binds {} variables, production binds {}",
+                                    scope.binders.len(),
+                                    binders.len()
+                                ),
+                            });
+                        }
+                        for (name, bsort) in scope.binders.iter().zip(binders) {
+                            env.push((name.clone(), bsort.clone()));
+                        }
+                        let inner = encode_at(def, body, &scope.body, env);
+                        env.truncate(env.len() - binders.len());
+                        Term::lams(scope.binders.iter().map(|b| b.as_str()), inner?)
+                    }
+                };
+                out = Term::app(out, encoded);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Decodes a canonical metalanguage term of sort `sort` back to a named
+/// tree.
+///
+/// # Errors
+///
+/// [`BridgeError::NotCanonical`] on exotic or ill-formed terms.
+pub fn decode(def: &LanguageDef, sort: &str, t: &Term) -> Result<Tree, BridgeError> {
+    let mut env: Vec<(String, String)> = Vec::new();
+    decode_at(def, sort, t, &mut env)
+}
+
+fn decode_at(
+    def: &LanguageDef,
+    sort: &str,
+    t: &Term,
+    env: &mut Vec<(String, String)>,
+) -> Result<Tree, BridgeError> {
+    if let Term::Var(i) = t {
+        let n = env.len();
+        return match n.checked_sub(1 + *i as usize).and_then(|k| env.get(k)) {
+            Some((name, vsort)) if vsort == sort => Ok(Tree::var(name.clone())),
+            Some((name, vsort)) => Err(BridgeError::NotCanonical(format!(
+                "variable `{name}` of sort `{vsort}` used at sort `{sort}`"
+            ))),
+            None => Err(BridgeError::NotCanonical(format!("dangling index {i}"))),
+        };
+    }
+    let (head, args) = t.spine();
+    let op = match head {
+        Term::Const(c) => c.as_str().to_string(),
+        other => {
+            return Err(BridgeError::NotCanonical(format!(
+                "head `{other}` is not a production"
+            )))
+        }
+    };
+    let prod = def
+        .production(&op)
+        .ok_or_else(|| BridgeError::NotCanonical(format!("unknown operator `{op}`")))?;
+    if prod.sort != sort {
+        return Err(BridgeError::NotCanonical(format!(
+            "`{op}` has sort `{}`, expected `{sort}`",
+            prod.sort
+        )));
+    }
+    if prod.args.len() != args.len() {
+        return Err(BridgeError::NotCanonical(format!(
+            "`{op}` applied to {} arguments, expects {}",
+            args.len(),
+            prod.args.len()
+        )));
+    }
+    let mut scopes = Vec::with_capacity(args.len());
+    for (arg, sub) in prod.args.iter().zip(args) {
+        match arg {
+            Arg::Sort(s) => {
+                scopes.push(hoas_firstorder::named::Abs::plain(decode_at(
+                    def, s, sub, env,
+                )?));
+            }
+            Arg::Int => match sub {
+                Term::Int(n) => scopes.push(hoas_firstorder::named::Abs::plain(Tree::leaf(
+                    n.to_string(),
+                ))),
+                other => {
+                    return Err(BridgeError::NotCanonical(format!(
+                        "expected an integer literal, got `{other}`"
+                    )))
+                }
+            },
+            Arg::Binding { binders, body } => {
+                let mut cur = sub;
+                let mut names = Vec::with_capacity(binders.len());
+                for bsort in binders {
+                    match cur {
+                        Term::Lam(hint, inner) => {
+                            let used: HashSet<String> =
+                                env.iter().map(|(n, _)| n.clone()).collect();
+                            let name = fresh_name(hint.as_str(), &used);
+                            env.push((name.clone(), bsort.clone()));
+                            names.push(name);
+                            cur = inner;
+                        }
+                        other => {
+                            env.truncate(env.len() - names.len());
+                            return Err(BridgeError::NotCanonical(format!(
+                                "scope of `{op}` is `{other}`, not a λ (exotic term)"
+                            )));
+                        }
+                    }
+                }
+                let inner = decode_at(def, body, cur, env);
+                env.truncate(env.len() - names.len());
+                scopes.push(hoas_firstorder::named::Abs {
+                    binders: names,
+                    body: inner?,
+                });
+            }
+        }
+    }
+    Ok(Tree::Node(op, scopes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::Ty;
+    use hoas_firstorder::named::Abs;
+
+    fn lc() -> LanguageDef {
+        LanguageDef::new("lc")
+            .sort("tm")
+            .prod("lam", "tm", [Arg::binding("tm", "tm")])
+            .prod("app", "tm", [Arg::sort("tm"), Arg::sort("tm")])
+    }
+
+    fn arith() -> LanguageDef {
+        LanguageDef::new("arith")
+            .sort("e")
+            .prod("lit", "e", [Arg::Int])
+            .prod("plus", "e", [Arg::sort("e"), Arg::sort("e")])
+            .prod("letx", "e", [Arg::sort("e"), Arg::binding("e", "e")])
+    }
+
+    #[test]
+    fn encodes_lambda_terms() {
+        let def = lc();
+        // lam(x. app(x; x))
+        let tree = Tree::binder("lam", "x", Tree::node("app", [Tree::var("x"), Tree::var("x")]));
+        let t = encode(&def, "tm", &tree).unwrap();
+        assert_eq!(t.to_string(), r"lam (\x. app x x)");
+        // The generated signature type-checks it.
+        let sig = def.compile().unwrap();
+        hoas_core::typeck::check_closed(&sig, &t, &Ty::base("tm")).unwrap();
+    }
+
+    #[test]
+    fn roundtrip_with_shadowing() {
+        let def = lc();
+        let tree = Tree::binder(
+            "lam",
+            "x",
+            Tree::binder("lam", "x", Tree::var("x")),
+        );
+        let t = encode(&def, "tm", &tree).unwrap();
+        let back = decode(&def, "tm", &t).unwrap();
+        assert!(back.alpha_eq(&tree));
+    }
+
+    #[test]
+    fn int_literals_roundtrip() {
+        let def = arith();
+        let tree = Tree::node(
+            "plus",
+            [Tree::node("lit", [Tree::leaf("3")]), Tree::node("lit", [Tree::leaf("-4")])],
+        );
+        let t = encode(&def, "e", &tree).unwrap();
+        assert_eq!(t.to_string(), "plus (lit 3) (lit -4)");
+        assert_eq!(decode(&def, "e", &t).unwrap(), tree);
+    }
+
+    #[test]
+    fn let_binding_roundtrip() {
+        let def = arith();
+        let tree = Tree::Node(
+            "letx".into(),
+            vec![
+                Abs::plain(Tree::node("lit", [Tree::leaf("1")])),
+                Abs::bind("x", Tree::node("plus", [Tree::var("x"), Tree::var("x")])),
+            ],
+        );
+        let t = encode(&def, "e", &tree).unwrap();
+        assert_eq!(t.to_string(), r"letx (lit 1) (\x. plus x x)");
+        assert!(decode(&def, "e", &t).unwrap().alpha_eq(&tree));
+    }
+
+    #[test]
+    fn rejects_unbound_and_wrong_sort_vars() {
+        let def = lc();
+        assert!(matches!(
+            encode(&def, "tm", &Tree::var("ghost")),
+            Err(BridgeError::Unbound { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_arity_and_sort_mismatches() {
+        let def = arith();
+        let bad = Tree::node("plus", [Tree::node("lit", [Tree::leaf("1")])]);
+        assert!(matches!(
+            encode(&def, "e", &bad),
+            Err(BridgeError::BadOperator { .. })
+        ));
+        let not_an_op = Tree::leaf("mystery");
+        assert!(matches!(
+            encode(&def, "e", &not_an_op),
+            Err(BridgeError::BadOperator { .. })
+        ));
+        let bad_lit = Tree::node("lit", [Tree::leaf("abc")]);
+        assert!(matches!(
+            encode(&def, "e", &bad_lit),
+            Err(BridgeError::BadOperator { .. })
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_exotic_scope() {
+        let def = arith();
+        // letx (lit 1) (lit 2) — second argument should be a λ.
+        let t = Term::apps(
+            Term::cnst("letx"),
+            [
+                Term::app(Term::cnst("lit"), Term::Int(1)),
+                Term::app(Term::cnst("lit"), Term::Int(2)),
+            ],
+        );
+        assert!(matches!(
+            decode(&def, "e", &t),
+            Err(BridgeError::NotCanonical(_))
+        ));
+    }
+
+    #[test]
+    fn decode_rejects_wrong_arity() {
+        let def = arith();
+        let t = Term::app(Term::cnst("plus"), Term::app(Term::cnst("lit"), Term::Int(1)));
+        assert!(decode(&def, "e", &t).is_err());
+    }
+
+    #[test]
+    fn agrees_with_hand_written_lambda_encoder() {
+        // The generic bridge and hoas-langs' hand-written encoder agree.
+        use hoas_langs::lambda::{self, LTerm};
+        let def = lc();
+        let term = LTerm::lam(
+            "f",
+            LTerm::lam(
+                "x",
+                LTerm::app(LTerm::var("f"), LTerm::app(LTerm::var("f"), LTerm::var("x"))),
+            ),
+        );
+        let via_bridge = encode(&def, "tm", &lambda::to_tree(&term)).unwrap();
+        let via_hand = lambda::encode(&term).unwrap();
+        assert_eq!(via_bridge, via_hand);
+    }
+}

@@ -1,0 +1,376 @@
+//! Language definitions: sorts and productions with binding annotations.
+
+use hoas_core::sig::Signature;
+use hoas_core::{Ty, TyScheme};
+use std::collections::HashSet;
+use std::fmt;
+
+/// An argument position of a production.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Arg {
+    /// A subterm of the given sort.
+    Sort(String),
+    /// An integer literal position.
+    Int,
+    /// A scope binding variables of sorts `binders` in a body of sort
+    /// `body` — compiled to the metalanguage type
+    /// `b₁ -> … -> bₙ -> body`.
+    Binding {
+        /// Sorts of the bound variables.
+        binders: Vec<String>,
+        /// Sort of the scope body.
+        body: String,
+    },
+}
+
+impl Arg {
+    /// A plain subterm argument.
+    pub fn sort(s: impl Into<String>) -> Arg {
+        Arg::Sort(s.into())
+    }
+
+    /// A scope binding one variable.
+    pub fn binding(binder: impl Into<String>, body: impl Into<String>) -> Arg {
+        Arg::Binding {
+            binders: vec![binder.into()],
+            body: body.into(),
+        }
+    }
+
+    /// A scope binding several variables.
+    pub fn binding_many<S: Into<String>>(
+        binders: impl IntoIterator<Item = S>,
+        body: impl Into<String>,
+    ) -> Arg {
+        Arg::Binding {
+            binders: binders.into_iter().map(Into::into).collect(),
+            body: body.into(),
+        }
+    }
+
+    /// Number of variables this argument binds.
+    pub fn binder_count(&self) -> usize {
+        match self {
+            Arg::Binding { binders, .. } => binders.len(),
+            _ => 0,
+        }
+    }
+}
+
+/// A production: an operator of a sort with typed argument positions.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Production {
+    /// Operator name (becomes a metalanguage constant).
+    pub name: String,
+    /// Result sort.
+    pub sort: String,
+    /// Argument positions.
+    pub args: Vec<Arg>,
+}
+
+/// Errors from language-definition validation.
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum DefError {
+    /// A sort was declared twice.
+    DuplicateSort(String),
+    /// A production name was used twice (or collides with a sort).
+    DuplicateProduction(String),
+    /// A production refers to an undeclared sort.
+    UnknownSort {
+        /// The production.
+        production: String,
+        /// The missing sort.
+        sort: String,
+    },
+    /// The definition declares no sorts.
+    Empty,
+}
+
+impl fmt::Display for DefError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DefError::DuplicateSort(s) => write!(f, "sort `{s}` declared twice"),
+            DefError::DuplicateProduction(p) => write!(f, "production `{p}` declared twice"),
+            DefError::UnknownSort { production, sort } => {
+                write!(f, "production `{production}` uses undeclared sort `{sort}`")
+            }
+            DefError::Empty => write!(f, "a language needs at least one sort"),
+        }
+    }
+}
+
+impl std::error::Error for DefError {}
+
+/// A declarative object-language definition.
+///
+/// ```
+/// use hoas_syntaxdef::{Arg, LanguageDef};
+/// let def = LanguageDef::new("lc")
+///     .sort("tm")
+///     .prod("lam", "tm", [Arg::binding("tm", "tm")])
+///     .prod("app", "tm", [Arg::sort("tm"), Arg::sort("tm")]);
+/// let sig = def.compile()?;
+/// assert_eq!(sig.const_ty("lam").unwrap().to_string(), "(tm -> tm) -> tm");
+/// # Ok::<(), hoas_syntaxdef::DefError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct LanguageDef {
+    name: String,
+    sorts: Vec<String>,
+    prods: Vec<Production>,
+}
+
+impl LanguageDef {
+    /// Starts a definition.
+    pub fn new(name: impl Into<String>) -> LanguageDef {
+        LanguageDef {
+            name: name.into(),
+            sorts: Vec::new(),
+            prods: Vec::new(),
+        }
+    }
+
+    /// Declares a sort (one metalanguage base type).
+    #[must_use]
+    pub fn sort(mut self, s: impl Into<String>) -> Self {
+        self.sorts.push(s.into());
+        self
+    }
+
+    /// Declares a production.
+    #[must_use]
+    pub fn prod(
+        mut self,
+        name: impl Into<String>,
+        sort: impl Into<String>,
+        args: impl IntoIterator<Item = Arg>,
+    ) -> Self {
+        self.prods.push(Production {
+            name: name.into(),
+            sort: sort.into(),
+            args: args.into_iter().collect(),
+        });
+        self
+    }
+
+    /// The language's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Declared sorts, in order.
+    pub fn sorts(&self) -> &[String] {
+        &self.sorts
+    }
+
+    /// Declared productions, in order.
+    pub fn productions(&self) -> &[Production] {
+        &self.prods
+    }
+
+    /// Looks up a production by name.
+    pub fn production(&self, name: &str) -> Option<&Production> {
+        self.prods.iter().find(|p| p.name == name)
+    }
+
+    /// Validates the definition.
+    ///
+    /// # Errors
+    ///
+    /// See [`DefError`].
+    pub fn validate(&self) -> Result<(), DefError> {
+        if self.sorts.is_empty() {
+            return Err(DefError::Empty);
+        }
+        let mut seen = HashSet::new();
+        for s in &self.sorts {
+            if !seen.insert(s.as_str()) {
+                return Err(DefError::DuplicateSort(s.clone()));
+            }
+        }
+        let sorts: HashSet<&str> = self.sorts.iter().map(|s| s.as_str()).collect();
+        let mut pseen = HashSet::new();
+        for p in &self.prods {
+            if !pseen.insert(p.name.as_str()) || sorts.contains(p.name.as_str()) {
+                return Err(DefError::DuplicateProduction(p.name.clone()));
+            }
+            let check = |s: &str| -> Result<(), DefError> {
+                if sorts.contains(s) {
+                    Ok(())
+                } else {
+                    Err(DefError::UnknownSort {
+                        production: p.name.clone(),
+                        sort: s.to_string(),
+                    })
+                }
+            };
+            check(&p.sort)?;
+            for a in &p.args {
+                match a {
+                    Arg::Sort(s) => check(s)?,
+                    Arg::Int => {}
+                    Arg::Binding { binders, body } => {
+                        for b in binders {
+                            check(b)?;
+                        }
+                        check(body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The metalanguage type of one argument position.
+    pub fn arg_ty(arg: &Arg) -> Ty {
+        match arg {
+            Arg::Sort(s) => Ty::base(s.as_str()),
+            Arg::Int => Ty::Int,
+            Arg::Binding { binders, body } => Ty::arrows(
+                binders.iter().map(|b| Ty::base(b.as_str())),
+                Ty::base(body.as_str()),
+            ),
+        }
+    }
+
+    /// Compiles to a signature: one base type per sort, one constant per
+    /// production.
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`DefError`]).
+    pub fn compile(&self) -> Result<Signature, DefError> {
+        self.validate()?;
+        let mut sig = Signature::new();
+        for s in &self.sorts {
+            sig.declare_type(s.as_str())
+                .expect("validated: no duplicate sorts");
+        }
+        for p in &self.prods {
+            let ty = Ty::arrows(
+                p.args.iter().map(Self::arg_ty),
+                Ty::base(p.sort.as_str()),
+            );
+            sig.declare_const(p.name.as_str(), TyScheme::mono(ty))
+                .expect("validated: no duplicate productions, sorts declared");
+        }
+        Ok(sig)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lc() -> LanguageDef {
+        LanguageDef::new("lc")
+            .sort("tm")
+            .prod("lam", "tm", [Arg::binding("tm", "tm")])
+            .prod("app", "tm", [Arg::sort("tm"), Arg::sort("tm")])
+    }
+
+    #[test]
+    fn compiles_lambda_calculus() {
+        let sig = lc().compile().unwrap();
+        assert!(sig.has_type("tm"));
+        assert_eq!(sig.const_ty("lam").unwrap().to_string(), "(tm -> tm) -> tm");
+        assert_eq!(sig.const_ty("app").unwrap().to_string(), "tm -> tm -> tm");
+    }
+
+    #[test]
+    fn multi_binder_and_int_args() {
+        let def = LanguageDef::new("x")
+            .sort("e")
+            .prod("lit", "e", [Arg::Int])
+            .prod("let2", "e", [
+                Arg::sort("e"),
+                Arg::sort("e"),
+                Arg::binding_many(["e", "e"], "e"),
+            ]);
+        let sig = def.compile().unwrap();
+        assert_eq!(sig.const_ty("lit").unwrap().to_string(), "int -> e");
+        assert_eq!(
+            sig.const_ty("let2").unwrap().to_string(),
+            "e -> e -> (e -> e -> e) -> e"
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_sort() {
+        let def = LanguageDef::new("x").sort("e").sort("e");
+        assert_eq!(def.validate(), Err(DefError::DuplicateSort("e".into())));
+    }
+
+    #[test]
+    fn rejects_duplicate_production_and_sort_collision() {
+        let def = LanguageDef::new("x")
+            .sort("e")
+            .prod("f", "e", [])
+            .prod("f", "e", []);
+        assert!(matches!(
+            def.validate(),
+            Err(DefError::DuplicateProduction(_))
+        ));
+        let def = LanguageDef::new("x").sort("e").prod("e", "e", []);
+        assert!(matches!(
+            def.validate(),
+            Err(DefError::DuplicateProduction(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_sort() {
+        let def = LanguageDef::new("x").sort("e").prod("f", "ghost", []);
+        assert!(matches!(def.validate(), Err(DefError::UnknownSort { .. })));
+        let def = LanguageDef::new("x")
+            .sort("e")
+            .prod("f", "e", [Arg::binding("ghost", "e")]);
+        assert!(matches!(def.validate(), Err(DefError::UnknownSort { .. })));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(LanguageDef::new("x").validate(), Err(DefError::Empty));
+    }
+
+    #[test]
+    fn production_lookup() {
+        let def = lc();
+        assert_eq!(def.production("lam").unwrap().args.len(), 1);
+        assert!(def.production("ghost").is_none());
+        assert_eq!(def.sorts(), &["tm".to_string()]);
+        assert_eq!(def.productions().len(), 2);
+        assert_eq!(def.name(), "lc");
+    }
+
+    #[test]
+    fn reproduces_the_imp_signature() {
+        // The same grammar declaration as hoas-langs' hand-written imp
+        // signature — the facility generates an identical signature.
+        let def = LanguageDef::new("imp")
+            .sort("loc")
+            .sort("aexp")
+            .sort("bexp")
+            .sort("cmd")
+            .prod("lit", "aexp", [Arg::Int])
+            .prod("deref", "aexp", [Arg::sort("loc")])
+            .prod("add", "aexp", [Arg::sort("aexp"), Arg::sort("aexp")])
+            .prod("sub", "aexp", [Arg::sort("aexp"), Arg::sort("aexp")])
+            .prod("mul", "aexp", [Arg::sort("aexp"), Arg::sort("aexp")])
+            .prod("le", "bexp", [Arg::sort("aexp"), Arg::sort("aexp")])
+            .prod("eqb", "bexp", [Arg::sort("aexp"), Arg::sort("aexp")])
+            .prod("notb", "bexp", [Arg::sort("bexp")])
+            .prod("andb", "bexp", [Arg::sort("bexp"), Arg::sort("bexp")])
+            .prod("skip", "cmd", [])
+            .prod("assign", "cmd", [Arg::sort("loc"), Arg::sort("aexp")])
+            .prod("seq", "cmd", [Arg::sort("cmd"), Arg::sort("cmd")])
+            .prod("ifc", "cmd", [Arg::sort("bexp"), Arg::sort("cmd"), Arg::sort("cmd")])
+            .prod("while", "cmd", [Arg::sort("bexp"), Arg::sort("cmd")])
+            .prod("print", "cmd", [Arg::sort("aexp")])
+            .prod("local", "cmd", [Arg::sort("aexp"), Arg::binding("loc", "cmd")]);
+        let generated = def.compile().unwrap();
+        let hand_written = hoas_langs::imp::signature();
+        assert_eq!(generated.to_string(), hand_written.to_string());
+    }
+}

@@ -1,0 +1,33 @@
+//! # hoas-syntaxdef — the Ergo-style "syntax" facility
+//!
+//! The paper's implementation section describes a facility in the Ergo
+//! Support System that takes an object-language *grammar declaration* —
+//! productions annotated with binding structure — and generates the HOAS
+//! representation automatically: one metalanguage base type per
+//! nonterminal, one constant per production, with binding positions given
+//! functional types.
+//!
+//! This crate reproduces that facility:
+//!
+//! * [`def`] — [`def::LanguageDef`]: a builder for declaring sorts and
+//!   productions (with [`def::Arg::binding`] marking binder positions),
+//!   validated and compiled to a [`hoas_core::sig::Signature`];
+//! * [`bridge`] — a **generic** encoder/decoder between the first-order
+//!   trees of `hoas-firstorder` and metalanguage terms, derived from the
+//!   `LanguageDef` — so a new object language gets adequate HOAS
+//!   encode/decode *for free*, without writing the per-language code in
+//!   `hoas-langs` by hand;
+//! * [`grammar`] — the textual front end: `language lc { sort tm; prod
+//!   lam : (tm) tm -> tm; … }` parsed to a `LanguageDef` (and printed
+//!   back via `Display`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bridge;
+pub mod def;
+pub mod grammar;
+
+pub use bridge::{decode, encode};
+pub use def::{Arg, DefError, LanguageDef, Production};
+pub use grammar::parse_language_def;

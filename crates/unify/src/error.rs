@@ -1,0 +1,155 @@
+//! Unification errors.
+
+use hoas_core::{Error as CoreError, MVar, Term, Ty};
+use std::fmt;
+
+/// Why a unification or matching attempt failed (or could not proceed).
+#[derive(Clone, PartialEq, Eq, Debug)]
+#[non_exhaustive]
+pub enum UnifyError {
+    /// Two rigid heads disagree; the problem has no solution.
+    Clash {
+        /// Rendered left head.
+        left: String,
+        /// Rendered right head.
+        right: String,
+    },
+    /// The metavariable occurs rigidly in its own prospective solution.
+    Occurs {
+        /// The cyclic metavariable.
+        mvar: MVar,
+    },
+    /// A constraint-local variable would escape into a solution (and could
+    /// not be pruned).
+    Escape {
+        /// The metavariable whose solution would capture the variable.
+        mvar: MVar,
+    },
+    /// The problem falls outside the Miller pattern fragment (a
+    /// metavariable applied to something other than distinct local
+    /// variables). Not a refutation — retry with [`crate::huet`].
+    NotPattern {
+        /// The offending flexible term, rendered.
+        term: String,
+    },
+    /// A metavariable's type uses products or unit, which the unifier does
+    /// not support (see crate docs).
+    UnsupportedMetaType {
+        /// The metavariable.
+        mvar: MVar,
+        /// Its unsupported type.
+        ty: Ty,
+    },
+    /// A constraint's sides are not well-typed at the constraint type.
+    IllTyped(CoreError),
+    /// A polymorphic constant occurred in a unification problem; the
+    /// unifier handles only monomorphic signatures.
+    PolyConst {
+        /// The constant's name.
+        name: hoas_core::Sym,
+    },
+    /// Two distinct integer literals.
+    IntClash {
+        /// Left literal.
+        left: i64,
+        /// Right literal.
+        right: i64,
+    },
+    /// The search budget (depth or fuel) was exhausted before an answer.
+    BudgetExhausted,
+}
+
+impl UnifyError {
+    pub(crate) fn clash(l: &Term, r: &Term) -> UnifyError {
+        UnifyError::Clash {
+            left: l.to_string(),
+            right: r.to_string(),
+        }
+    }
+
+    pub(crate) fn not_pattern(t: &Term) -> UnifyError {
+        UnifyError::NotPattern {
+            term: t.to_string(),
+        }
+    }
+
+    /// Whether the failure is a definite refutation (no solution exists),
+    /// as opposed to a fragment/budget limitation.
+    pub fn is_refutation(&self) -> bool {
+        matches!(
+            self,
+            UnifyError::Clash { .. } | UnifyError::Occurs { .. } | UnifyError::IntClash { .. }
+        )
+    }
+}
+
+impl fmt::Display for UnifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnifyError::Clash { left, right } => {
+                write!(f, "rigid heads clash: `{left}` vs `{right}`")
+            }
+            UnifyError::Occurs { mvar } => {
+                write!(f, "occurs check: {mvar} appears in its own solution")
+            }
+            UnifyError::Escape { mvar } => write!(
+                f,
+                "a local variable would escape into the solution of {mvar}"
+            ),
+            UnifyError::NotPattern { term } => {
+                write!(f, "`{term}` is outside the pattern fragment")
+            }
+            UnifyError::UnsupportedMetaType { mvar, ty } => write!(
+                f,
+                "metavariable {mvar} has unsupported type `{ty}` (products/unit not allowed)"
+            ),
+            UnifyError::IllTyped(e) => write!(f, "ill-typed unification problem: {e}"),
+            UnifyError::PolyConst { name } => {
+                write!(f, "polymorphic constant `{name}` in unification problem")
+            }
+            UnifyError::IntClash { left, right } => {
+                write!(f, "integer literals differ: {left} vs {right}")
+            }
+            UnifyError::BudgetExhausted => write!(f, "unification search budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for UnifyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            UnifyError::IllTyped(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CoreError> for UnifyError {
+    fn from(e: CoreError) -> Self {
+        UnifyError::IllTyped(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refutation_classification() {
+        assert!(UnifyError::IntClash { left: 1, right: 2 }.is_refutation());
+        assert!(!UnifyError::BudgetExhausted.is_refutation());
+        assert!(!UnifyError::NotPattern {
+            term: "?F x x".into()
+        }
+        .is_refutation());
+    }
+
+    #[test]
+    fn display_messages() {
+        let e = UnifyError::Clash {
+            left: "and".into(),
+            right: "or".into(),
+        };
+        assert_eq!(e.to_string(), "rigid heads clash: `and` vs `or`");
+    }
+}

@@ -1,0 +1,310 @@
+//! Higher-order **matching**: unification where one side (the target) is
+//! ground. This is the operation that drives the rewrite engine — exactly
+//! the use the paper proposes for its transformation rules.
+//!
+//! Matching tries the fast decidable pattern path first and falls back to
+//! a bounded Huet search for non-pattern rules (e.g. a rule whose
+//! left-hand side applies a metavariable to a non-variable argument).
+
+use crate::error::UnifyError;
+use crate::huet::{self, HuetConfig};
+use crate::msubst::MetaSubst;
+use crate::pattern;
+use crate::problem::Constraint;
+use hoas_core::ctx::Ctx;
+use hoas_core::sig::Signature;
+use hoas_core::term::MetaEnv;
+use hoas_core::{Term, Ty};
+
+/// Configuration for matching.
+#[derive(Clone, Copy, Debug)]
+pub struct MatchConfig {
+    /// Whether to fall back to Huet search when the pattern unifier
+    /// reports the problem is outside its fragment.
+    pub huet_fallback: bool,
+    /// Budgets for the fallback search.
+    pub huet: HuetConfig,
+}
+
+impl Default for MatchConfig {
+    fn default() -> Self {
+        MatchConfig {
+            huet_fallback: true,
+            huet: HuetConfig {
+                max_depth: 6,
+                max_solutions: 1,
+                fuel: 50_000,
+            },
+        }
+    }
+}
+
+/// Matches `pattern` against the ground `target` at type `ty`, in the
+/// ambient context `ctx` (binder types enclosing the match position; the
+/// resulting substitution may mention those variables).
+///
+/// Returns `Ok(None)` if the terms do not match, `Ok(Some(subst))` on
+/// success.
+///
+/// # Errors
+///
+/// Returns an error only for malformed inputs: a target containing
+/// metavariables, unsupported metavariable types, or ill-typed terms.
+pub fn match_term(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    ty: &Ty,
+    pattern: &Term,
+    target: &Term,
+    cfg: &MatchConfig,
+) -> Result<Option<MetaSubst>, UnifyError> {
+    if target.has_metas() {
+        return Err(UnifyError::IllTyped(hoas_core::Error::UnknownMeta {
+            mvar: target.metas()[0].clone(),
+        }));
+    }
+    let constraint = Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
+    match pattern::unify_constraints(sig, menv, vec![constraint.clone()]) {
+        Ok(solution) => Ok(Some(solution.subst)),
+        Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => Ok(None),
+        Err(UnifyError::NotPattern { .. }) if cfg.huet_fallback => {
+            let out = huet::pre_unify(sig, menv, vec![constraint], &cfg.huet)?;
+            // In matching, one side is ground, so a solution with leftover
+            // flex-flex pairs would be under-determined; take the first
+            // fully-determined one.
+            Ok(out
+                .solutions
+                .into_iter()
+                .find(|s| s.flex_flex.is_empty())
+                .map(|s| s.subst))
+        }
+        Err(UnifyError::NotPattern { .. }) => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+/// All matches of `pattern` against `target` (higher-order matching can
+/// have several), up to the Huet budget when outside the pattern
+/// fragment.
+///
+/// # Errors
+///
+/// As for [`match_term`].
+pub fn match_all(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    ty: &Ty,
+    pattern: &Term,
+    target: &Term,
+    cfg: &MatchConfig,
+) -> Result<Vec<MetaSubst>, UnifyError> {
+    if target.has_metas() {
+        return Err(UnifyError::IllTyped(hoas_core::Error::UnknownMeta {
+            mvar: target.metas()[0].clone(),
+        }));
+    }
+    let constraint = Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
+    match pattern::unify_constraints(sig, menv, vec![constraint.clone()]) {
+        Ok(solution) => Ok(vec![solution.subst]),
+        Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => Ok(Vec::new()),
+        Err(UnifyError::NotPattern { .. }) => {
+            let out = huet::pre_unify(sig, menv, vec![constraint], &cfg.huet)?;
+            Ok(out
+                .solutions
+                .into_iter()
+                .filter(|s| s.flex_flex.is_empty())
+                .map(|s| s.subst)
+                .collect())
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Whether `pattern` matches `target` (closed, top-level convenience).
+///
+/// # Errors
+///
+/// As for [`match_term`].
+pub fn matches(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ty: &Ty,
+    pattern: &Term,
+    target: &Term,
+) -> Result<bool, UnifyError> {
+    match_term(
+        sig,
+        menv,
+        &Ctx::new(),
+        ty,
+        pattern,
+        target,
+        &MatchConfig::default(),
+    )
+    .map(|o| o.is_some())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::prelude::*;
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const or : o -> o -> o.
+             const forall : (i -> o) -> o.
+             const p : i -> o.
+             const q : i -> i -> o.
+             const a : i.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    fn setup(metas: &[(&str, &str)], pat: &str) -> (Signature, MetaEnv, Term) {
+        let s = sig();
+        let parsed = parse_term(&s, pat).unwrap();
+        let mut menv = MetaEnv::new();
+        for (name, ty) in metas {
+            menv.insert(
+                parsed.metas.get(name).unwrap().clone(),
+                parse_ty(ty).unwrap(),
+            );
+        }
+        (s, menv, parsed.term)
+    }
+
+    fn o() -> Ty {
+        Ty::base("o")
+    }
+
+    #[test]
+    fn matches_instance() {
+        let (s, menv, pat) = setup(&[("P", "o"), ("Q", "i -> o")], r"and ?P (forall (\x. ?Q x))");
+        let target = parse_term(&s, r"and r (forall (\x. p x))").unwrap().term;
+        let m = match_term(
+            &s,
+            &menv,
+            &Ctx::new(),
+            &o(),
+            &pat,
+            &target,
+            &MatchConfig::default(),
+        )
+        .unwrap()
+        .expect("should match");
+        assert_eq!(m.apply(&pat), normalize::canon_closed(&s, &target, &o()).unwrap());
+    }
+
+    #[test]
+    fn rejects_non_instance() {
+        let (s, menv, pat) = setup(&[("P", "o")], "and ?P ?P");
+        // Both arguments must be equal for the non-linear pattern to match.
+        let bad = parse_term(&s, "and r (or r r)").unwrap().term;
+        assert!(match_term(
+            &s,
+            &menv,
+            &Ctx::new(),
+            &o(),
+            &pat,
+            &bad,
+            &MatchConfig::default()
+        )
+        .unwrap()
+        .is_none());
+        let good = parse_term(&s, "and (or r r) (or r r)").unwrap().term;
+        assert!(matches(&s, &menv, &o(), &pat, &good).unwrap());
+    }
+
+    #[test]
+    fn vacuity_side_condition() {
+        // Pattern forall (\x. ?P) only matches when the body ignores x.
+        let (s, menv, pat) = setup(&[("P", "o")], r"forall (\x. ?P)");
+        let dependent = parse_term(&s, r"forall (\x. p x)").unwrap().term;
+        assert!(!matches(&s, &menv, &o(), &pat, &dependent).unwrap());
+        let vacuous = parse_term(&s, r"forall (\x. r)").unwrap().term;
+        assert!(matches(&s, &menv, &o(), &pat, &vacuous).unwrap());
+    }
+
+    #[test]
+    fn matching_under_ambient_binders() {
+        // Match `and ?P ?P` against `and x x` where x is an ambient binder
+        // (as happens when rewriting under a λ). The solution mentions x.
+        let (s, menv, pat) = setup(&[("P", "o")], "and ?P ?P");
+        let ctx = Ctx::new().push(Sym::new("x"), o());
+        let target = Term::apps(Term::cnst("and"), [Term::Var(0), Term::Var(0)]);
+        let m = match_term(&s, &menv, &ctx, &o(), &pat, &target, &MatchConfig::default())
+            .unwrap()
+            .expect("should match");
+        let (_, sol) = m.iter().next().unwrap();
+        assert_eq!(sol, &Term::Var(0));
+    }
+
+    #[test]
+    fn huet_fallback_for_non_pattern() {
+        // ?F a is not a pattern; matching against p a needs the fallback.
+        let (s, menv, pat) = setup(&[("F", "i -> o")], "?F a");
+        let target = parse_term(&s, "p a").unwrap().term;
+        let got = match_term(
+            &s,
+            &menv,
+            &Ctx::new(),
+            &o(),
+            &pat,
+            &target,
+            &MatchConfig::default(),
+        )
+        .unwrap();
+        assert!(got.is_some(), "Huet fallback should find a match");
+        // With the fallback disabled, the same problem is inconclusive.
+        let cfg = MatchConfig {
+            huet_fallback: false,
+            ..MatchConfig::default()
+        };
+        assert!(match_term(&s, &menv, &Ctx::new(), &o(), &pat, &target, &cfg)
+            .unwrap()
+            .is_none());
+    }
+
+    #[test]
+    fn match_all_enumerates() {
+        let (s, menv, pat) = setup(&[("F", "i -> o")], "?F a");
+        let target = parse_term(&s, "q a a").unwrap().term;
+        let cfg = MatchConfig {
+            huet: HuetConfig {
+                max_solutions: 16,
+                ..HuetConfig::default()
+            },
+            ..MatchConfig::default()
+        };
+        let all = match_all(&s, &menv, &Ctx::new(), &o(), &pat, &target, &cfg).unwrap();
+        assert!(all.len() >= 4, "got {}", all.len());
+        // Every reported match is sound.
+        for m in &all {
+            let inst = normalize::canon_closed(&s, &m.apply(&pat), &o()).unwrap();
+            let want = normalize::canon_closed(&s, &target, &o()).unwrap();
+            assert_eq!(inst, want);
+        }
+    }
+
+    #[test]
+    fn target_with_metas_is_an_error() {
+        let (s, menv, pat) = setup(&[("P", "o")], "?P");
+        let err = match_term(
+            &s,
+            &menv,
+            &Ctx::new(),
+            &o(),
+            &pat,
+            &Term::Meta(MVar::new(9, "X")),
+            &MatchConfig::default(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnifyError::IllTyped(_)));
+    }
+}

@@ -1,0 +1,223 @@
+//! Metavariable substitutions.
+//!
+//! A [`MetaSubst`] maps metavariables to solution terms. Solutions live in
+//! the **ambient scope** of the problem: their free de Bruijn variables
+//! refer to the ambient context in which the unification problem was
+//! posed. Applying a substitution therefore shifts each solution by the
+//! binder depth of the occurrence it replaces, then β-normalizes so that
+//! a solution `λx̄. b` grafted onto a spine `?M a₁ … aₙ` contracts.
+
+use hoas_core::{normalize, subst, MVar, Term};
+use std::collections::HashMap;
+
+/// A finite map from metavariables to solution terms (in ambient scope).
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct MetaSubst {
+    map: HashMap<MVar, Term>,
+}
+
+impl MetaSubst {
+    /// The empty substitution.
+    pub fn new() -> MetaSubst {
+        MetaSubst::default()
+    }
+
+    /// Number of solved metavariables.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no metavariable is solved.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// The solution for `m`, if any.
+    pub fn get(&self, m: &MVar) -> Option<&Term> {
+        self.map.get(m)
+    }
+
+    /// Whether `m` is solved.
+    pub fn contains(&self, m: &MVar) -> bool {
+        self.map.contains_key(m)
+    }
+
+    /// Iterates `(mvar, solution)` pairs in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&MVar, &Term)> {
+        self.map.iter()
+    }
+
+    /// Records a solution for `m`, first **self-applying**: the new
+    /// solution is normalized against the existing substitution, and `m`
+    /// is eliminated from existing solutions, keeping the substitution
+    /// idempotent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is already solved (unifiers never re-solve) or if the
+    /// solution mentions `m` itself after normalization (occurs-checked by
+    /// callers).
+    pub fn bind(&mut self, m: MVar, solution: Term) {
+        assert!(!self.map.contains_key(&m), "MetaSubst::bind: {m} already solved");
+        let solution = self.apply(&solution);
+        assert!(
+            !solution.metas().contains(&m),
+            "MetaSubst::bind: solution for {m} mentions itself"
+        );
+        let mut single = MetaSubst::new();
+        single.map.insert(m.clone(), solution.clone());
+        for v in self.map.values_mut() {
+            *v = single.apply(v);
+        }
+        self.map.insert(m, solution);
+    }
+
+    /// Applies the substitution to a term and β-normalizes the result.
+    ///
+    /// Metavariables without a solution are left in place. Solutions are
+    /// shifted by the binder depth at each occurrence (solutions live in
+    /// ambient scope).
+    pub fn apply(&self, t: &Term) -> Term {
+        if self.map.is_empty() {
+            return t.clone();
+        }
+        let grafted = self.graft(t, 0);
+        normalize::nf(&grafted)
+    }
+
+    fn graft(&self, t: &Term, depth: u32) -> Term {
+        match t {
+            Term::Meta(m) => match self.map.get(m) {
+                Some(sol) => subst::shift(sol, depth),
+                None => t.clone(),
+            },
+            Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => t.clone(),
+            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(self.graft(b, depth + 1))),
+            Term::App(f, a) => Term::app(self.graft(f, depth), self.graft(a, depth)),
+            Term::Pair(a, b) => Term::pair(self.graft(a, depth), self.graft(b, depth)),
+            Term::Fst(p) => Term::fst(self.graft(p, depth)),
+            Term::Snd(p) => Term::snd(self.graft(p, depth)),
+        }
+    }
+
+    /// Restricts the substitution to the given metavariables (e.g. the
+    /// ones a rule's right-hand side mentions).
+    #[must_use]
+    pub fn restricted_to(&self, mvars: &[MVar]) -> MetaSubst {
+        MetaSubst {
+            map: self
+                .map
+                .iter()
+                .filter(|(m, _)| mvars.contains(m))
+                .map(|(m, t)| (m.clone(), t.clone()))
+                .collect(),
+        }
+    }
+}
+
+impl FromIterator<(MVar, Term)> for MetaSubst {
+    fn from_iter<I: IntoIterator<Item = (MVar, Term)>>(iter: I) -> Self {
+        let mut s = MetaSubst::new();
+        for (m, t) in iter {
+            s.bind(m, t);
+        }
+        s
+    }
+}
+
+impl std::fmt::Display for MetaSubst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut entries: Vec<_> = self.map.iter().collect();
+        entries.sort_by_key(|(m, _)| m.id());
+        f.write_str("{")?;
+        for (i, (m, t)) in entries.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{m} := {t}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(id: u32, hint: &str) -> MVar {
+        MVar::new(id, hint)
+    }
+
+    #[test]
+    fn apply_grafts_and_reduces() {
+        // ?F := λx. c x;  apply to (?F a) gives (c a).
+        let mut s = MetaSubst::new();
+        s.bind(
+            m(0, "F"),
+            Term::lam("x", Term::app(Term::cnst("c"), Term::Var(0))),
+        );
+        let t = Term::app(Term::Meta(m(0, "F")), Term::cnst("a"));
+        assert_eq!(s.apply(&t), Term::app(Term::cnst("c"), Term::cnst("a")));
+    }
+
+    #[test]
+    fn apply_shifts_under_binders() {
+        // Solution mentions ambient var 0; under a λ it must appear as 1.
+        let mut s = MetaSubst::new();
+        s.bind(m(0, "P"), Term::Var(0));
+        let t = Term::lam("x", Term::Meta(m(0, "P")));
+        assert_eq!(s.apply(&t), Term::lam("x", Term::Var(1)));
+    }
+
+    #[test]
+    fn bind_keeps_idempotence() {
+        // First solve ?A := ?B, then ?B := c. ?A's stored solution becomes c.
+        let mut s = MetaSubst::new();
+        s.bind(m(0, "A"), Term::Meta(m(1, "B")));
+        s.bind(m(1, "B"), Term::cnst("c"));
+        assert_eq!(s.get(&m(0, "A")).unwrap(), &Term::cnst("c"));
+        // And a new solution is normalized against existing entries.
+        let mut s2 = MetaSubst::new();
+        s2.bind(m(1, "B"), Term::cnst("c"));
+        s2.bind(m(0, "A"), Term::Meta(m(1, "B")));
+        assert_eq!(s2.get(&m(0, "A")).unwrap(), &Term::cnst("c"));
+    }
+
+    #[test]
+    #[should_panic(expected = "already solved")]
+    fn bind_rejects_resolving() {
+        let mut s = MetaSubst::new();
+        s.bind(m(0, "A"), Term::Unit);
+        s.bind(m(0, "A"), Term::Unit);
+    }
+
+    #[test]
+    fn unsolved_metas_left_in_place() {
+        let mut s = MetaSubst::new();
+        s.bind(m(0, "A"), Term::Int(1));
+        let t = Term::pair(Term::Meta(m(0, "A")), Term::Meta(m(1, "B")));
+        assert_eq!(
+            s.apply(&t),
+            Term::pair(Term::Int(1), Term::Meta(m(1, "B")))
+        );
+    }
+
+    #[test]
+    fn restriction_filters() {
+        let mut s = MetaSubst::new();
+        s.bind(m(0, "A"), Term::Int(1));
+        s.bind(m(1, "B"), Term::Int(2));
+        let r = s.restricted_to(&[m(1, "B")]);
+        assert_eq!(r.len(), 1);
+        assert!(r.get(&m(1, "B")).is_some());
+        assert!(r.get(&m(0, "A")).is_none());
+    }
+
+    #[test]
+    fn display_is_sorted_by_id() {
+        let mut s = MetaSubst::new();
+        s.bind(m(1, "B"), Term::Int(2));
+        s.bind(m(0, "A"), Term::Int(1));
+        assert_eq!(s.to_string(), "{?A := 1, ?B := 2}");
+    }
+}

@@ -1,0 +1,850 @@
+//! Miller **pattern unification**: the decidable fragment of higher-order
+//! unification in which every metavariable occurrence is applied to a
+//! spine of *distinct constraint-local variables*.
+//!
+//! Within this fragment unification is unitary: a solvable problem has a
+//! most general unifier, computed here by spine inversion with *pruning*
+//! of nested metavariable arguments (Miller 1991, as used by λProlog,
+//! Twelf, and Beluga — all descendants of the paper under reproduction).
+//!
+//! Outside the fragment the solver reports [`UnifyError::NotPattern`]
+//! (not a refutation!); callers fall back to [`crate::huet`].
+//!
+//! The individual solving steps (flex-rigid inversion and the two
+//! flex-flex cases) are shared with the Huet engine, which uses them to
+//! dispatch pattern-shaped pairs deterministically before searching.
+
+use crate::error::UnifyError;
+use crate::msubst::MetaSubst;
+use crate::problem::{
+    eta_expand_var, flex_view, head_ty, resolve_side, validate_meta_types, Constraint, MetaGen,
+};
+use hoas_core::term::{Head, MetaEnv};
+use hoas_core::{normalize, MVar, Sym, Term, Ty};
+
+/// A successful pattern unification: the most general unifier plus the
+/// extended metavariable environment (pruning and flex-flex steps allocate
+/// fresh metavariables).
+#[derive(Clone, Debug)]
+pub struct PatternSolution {
+    /// The most general unifier.
+    pub subst: MetaSubst,
+    /// Types for all metavariables, including freshly allocated ones.
+    pub menv: MetaEnv,
+}
+
+/// Default step budget; generously above anything a rewrite rule needs.
+pub const DEFAULT_FUEL: u64 = 1_000_000;
+
+/// Unifies a set of constraints in the pattern fragment.
+///
+/// # Errors
+///
+/// * Refutations: [`UnifyError::Clash`], [`UnifyError::Occurs`],
+///   [`UnifyError::IntClash`], [`UnifyError::Escape`].
+/// * Fragment/budget limits: [`UnifyError::NotPattern`],
+///   [`UnifyError::BudgetExhausted`], [`UnifyError::UnsupportedMetaType`].
+/// * [`UnifyError::IllTyped`] if the constraints are not well-typed.
+pub fn unify_constraints(
+    sig: &hoas_core::sig::Signature,
+    menv: &MetaEnv,
+    constraints: Vec<Constraint>,
+) -> Result<PatternSolution, UnifyError> {
+    validate_meta_types(menv)?;
+    let mut solver = Solver {
+        sig,
+        gen: MetaGen::new(menv.clone()),
+        sol: MetaSubst::new(),
+        work: constraints,
+        fuel: DEFAULT_FUEL,
+    };
+    solver.run()?;
+    Ok(PatternSolution {
+        subst: solver.sol,
+        menv: solver.gen.menv,
+    })
+}
+
+/// Unifies two closed terms at a type.
+///
+/// # Errors
+///
+/// As for [`unify_constraints`].
+pub fn unify(
+    sig: &hoas_core::sig::Signature,
+    menv: &MetaEnv,
+    ty: &Ty,
+    left: &Term,
+    right: &Term,
+) -> Result<PatternSolution, UnifyError> {
+    unify_constraints(
+        sig,
+        menv,
+        vec![Constraint::closed(ty.clone(), left.clone(), right.clone())],
+    )
+}
+
+// -------------------------------------------------- shared solving steps --
+
+/// Solves `?M x̄ ≐ rhs` by inversion: `?M := λx̄. rhs⁻¹`. Prunes nested
+/// metavariable arguments where necessary (allocating fresh metas in
+/// `gen` and binding the pruned ones in `sol`).
+///
+/// # Errors
+///
+/// [`UnifyError::Occurs`], [`UnifyError::Escape`] (refutations within the
+/// pattern fragment), or [`UnifyError::NotPattern`] if a nested flexible
+/// occurrence cannot be pruned.
+pub(crate) fn solve_flex_rigid(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    spine: &[u32],
+    local: u32,
+    rhs: &Term,
+) -> Result<(), UnifyError> {
+    let body = invert(gen, sol, m, spine, local, rhs, 0)?;
+    let hints: Vec<Sym> = (0..spine.len()).map(|i| Sym::new(format!("x{i}"))).collect();
+    sol.bind(m.clone(), Term::lams(hints, body));
+    Ok(())
+}
+
+/// Converts `t` (a term at constraint-local depth `local`, under `under`
+/// additional binders traversed inside `t`) into the body of a solution
+/// `λ^n. body` for `m` with pattern spine `spine`.
+///
+/// Variable mapping (see crate docs for the scope discipline):
+/// * inner (< `under`): unchanged;
+/// * constraint-local (`under ≤ i < under + local`): must be in the spine,
+///   mapped to the corresponding λ-binder — otherwise the variable would
+///   escape (prunable only under a flexible head);
+/// * ambient (`≥ under + local`): renumbered past the λ-binders.
+fn invert(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    spine: &[u32],
+    local: u32,
+    t: &Term,
+    under: u32,
+) -> Result<Term, UnifyError> {
+    let n = spine.len() as u32;
+    if let Some((Head::Meta(inner), args)) = t.head_spine() {
+        if &inner == m {
+            return Err(UnifyError::Occurs { mvar: m.clone() });
+        }
+        return invert_flex(gen, sol, m, spine, local, &inner, &args, under);
+    }
+    match t {
+        Term::Var(i) => {
+            let i = *i;
+            if i < under {
+                Ok(Term::Var(i))
+            } else {
+                let j = i - under;
+                if j < local {
+                    match spine.iter().position(|&s| s == j) {
+                        Some(k) => Ok(Term::Var(under + (n - 1 - k as u32))),
+                        None => Err(UnifyError::Escape { mvar: m.clone() }),
+                    }
+                } else {
+                    Ok(Term::Var(under + n + (j - local)))
+                }
+            }
+        }
+        Term::Lam(h, b) => Ok(Term::Lam(
+            h.clone(),
+            Box::new(invert(gen, sol, m, spine, local, b, under + 1)?),
+        )),
+        Term::App(f, a) => Ok(Term::app(
+            invert(gen, sol, m, spine, local, f, under)?,
+            invert(gen, sol, m, spine, local, a, under)?,
+        )),
+        Term::Pair(a, b) => Ok(Term::pair(
+            invert(gen, sol, m, spine, local, a, under)?,
+            invert(gen, sol, m, spine, local, b, under)?,
+        )),
+        Term::Fst(p) => Ok(Term::fst(invert(gen, sol, m, spine, local, p, under)?)),
+        Term::Snd(p) => Ok(Term::snd(invert(gen, sol, m, spine, local, p, under)?)),
+        Term::Const(_) | Term::Int(_) | Term::Unit => Ok(t.clone()),
+        Term::Meta(_) => unreachable!("meta heads handled above"),
+    }
+}
+
+/// Inverts an occurrence `?N ā` inside the prospective solution of `?M`,
+/// pruning arguments of `?N` that mention unmappable local variables.
+#[allow(clippy::too_many_arguments)]
+fn invert_flex(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    spine: &[u32],
+    local: u32,
+    inner: &MVar,
+    args: &[&Term],
+    under: u32,
+) -> Result<Term, UnifyError> {
+    #[derive(Clone, Copy)]
+    enum Arg {
+        Keep,
+        Prune,
+    }
+    let mut classes = Vec::with_capacity(args.len());
+    let mut seen = Vec::new();
+    let mut all_pattern = true;
+    for a in args {
+        match normalize::eta_contract(a) {
+            Term::Var(i) => {
+                if seen.contains(&i) {
+                    all_pattern = false;
+                    break;
+                }
+                seen.push(i);
+                if i < under {
+                    classes.push(Arg::Keep);
+                } else {
+                    let j = i - under;
+                    if j < local && !spine.contains(&j) {
+                        classes.push(Arg::Prune);
+                    } else {
+                        classes.push(Arg::Keep);
+                    }
+                }
+            }
+            _ => {
+                all_pattern = false;
+                break;
+            }
+        }
+    }
+    if !all_pattern || classes.iter().all(|c| matches!(c, Arg::Keep)) {
+        // No pruning possible/needed: invert the arguments structurally
+        // (a needed-but-impossible pruning will surface as Escape).
+        let mut inv_args = Vec::with_capacity(args.len());
+        for a in args {
+            inv_args.push(invert(gen, sol, m, spine, local, a, under)?);
+        }
+        return Ok(Term::apps(Term::Meta(inner.clone()), inv_args));
+    }
+    // Prune: ?N := λy₁…yₖ. ?N' (kept ys).
+    let inner_ty = gen.ty_of(inner)?.clone();
+    let (arg_tys, target) = inner_ty.uncurry();
+    if arg_tys.len() != args.len() {
+        return Err(UnifyError::not_pattern(&Term::Meta(inner.clone())));
+    }
+    let kept: Vec<usize> = classes
+        .iter()
+        .enumerate()
+        .filter_map(|(k, c)| matches!(c, Arg::Keep).then_some(k))
+        .collect();
+    let pruned_ty = Ty::arrows(kept.iter().map(|&k| arg_tys[k].clone()), target.clone());
+    let pruned = gen.fresh(&format!("{}'", inner.hint()), pruned_ty);
+    let k_all = args.len() as u32;
+    let body = Term::apps(
+        Term::Meta(pruned.clone()),
+        kept.iter()
+            .map(|&k| eta_expand_var(k_all - 1 - k as u32, arg_tys[k])),
+    );
+    let hints: Vec<Sym> = (0..args.len()).map(|i| Sym::new(format!("y{i}"))).collect();
+    sol.bind(inner.clone(), Term::lams(hints, body));
+    let mut inv_args = Vec::with_capacity(kept.len());
+    for &k in &kept {
+        inv_args.push(invert(gen, sol, m, spine, local, args[k], under)?);
+    }
+    Ok(Term::apps(Term::Meta(pruned), inv_args))
+}
+
+/// `?M x̄ ≐ ?M ȳ`: keep positions where the spines agree.
+pub(crate) fn flex_flex_same(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    s1: &[u32],
+    s2: &[u32],
+) -> Result<(), UnifyError> {
+    if s1 == s2 {
+        return Ok(());
+    }
+    let mty = gen.ty_of(m)?.clone();
+    let (arg_tys, target) = mty.uncurry();
+    let n = s1.len();
+    debug_assert_eq!(s1.len(), s2.len());
+    let kept: Vec<usize> = (0..n).filter(|&k| s1[k] == s2[k]).collect();
+    let new_ty = Ty::arrows(kept.iter().map(|&k| arg_tys[k].clone()), target.clone());
+    let fresh = gen.fresh(&format!("{}'", m.hint()), new_ty);
+    let body = Term::apps(
+        Term::Meta(fresh),
+        kept.iter()
+            .map(|&k| eta_expand_var((n - 1 - k) as u32, arg_tys[k])),
+    );
+    let hints: Vec<Sym> = (0..n).map(|i| Sym::new(format!("z{i}"))).collect();
+    sol.bind(m.clone(), Term::lams(hints, body));
+    Ok(())
+}
+
+/// `?M x̄ ≐ ?N ȳ` with `M ≠ N`: both become a fresh metavariable over the
+/// variables common to both spines.
+pub(crate) fn flex_flex_diff(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    s1: &[u32],
+    n_var: &MVar,
+    s2: &[u32],
+) -> Result<(), UnifyError> {
+    let mty = gen.ty_of(m)?.clone();
+    let nty = gen.ty_of(n_var)?.clone();
+    let (m_args, target) = mty.uncurry();
+    let (n_args, _) = nty.uncurry();
+    let mut pairs = Vec::new();
+    for (k1, v) in s1.iter().enumerate() {
+        if let Some(k2) = s2.iter().position(|w| w == v) {
+            pairs.push((k1, k2));
+        }
+    }
+    let common_ty = Ty::arrows(
+        pairs.iter().map(|&(k1, _)| m_args[k1].clone()),
+        target.clone(),
+    );
+    let fresh = gen.fresh(&format!("{}''", m.hint()), common_ty);
+    let n1 = s1.len();
+    let n2 = s2.len();
+    let m_body = Term::apps(
+        Term::Meta(fresh.clone()),
+        pairs
+            .iter()
+            .map(|&(k1, _)| eta_expand_var((n1 - 1 - k1) as u32, m_args[k1])),
+    );
+    let n_body = Term::apps(
+        Term::Meta(fresh),
+        pairs
+            .iter()
+            .map(|&(_, k2)| eta_expand_var((n2 - 1 - k2) as u32, n_args[k2])),
+    );
+    let m_hints: Vec<Sym> = (0..n1).map(|i| Sym::new(format!("z{i}"))).collect();
+    let n_hints: Vec<Sym> = (0..n2).map(|i| Sym::new(format!("z{i}"))).collect();
+    sol.bind(m.clone(), Term::lams(m_hints, m_body));
+    sol.bind(n_var.clone(), Term::lams(n_hints, n_body));
+    Ok(())
+}
+
+/// Decomposes a constraint one step given already-resolved (canonical)
+/// sides, pushing subconstraints onto `work`.
+///
+/// This is shared between the pattern solver (which *requires* flexible
+/// pairs to be patterns) and the Huet engine (which collects non-pattern
+/// pairs for search); the `on_stuck` callback receives pairs the pattern
+/// steps cannot decide.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn decompose_step(
+    sig: &hoas_core::sig::Signature,
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    work: &mut Vec<Constraint>,
+    ctx: hoas_core::ctx::Ctx,
+    local: u32,
+    ty: Ty,
+    left: Term,
+    right: Term,
+    on_stuck: &mut dyn FnMut(Constraint) -> Result<(), UnifyError>,
+) -> Result<(), UnifyError> {
+    match &ty {
+        Ty::Arrow(dom, cod) => {
+            let (hl, bl) = match left {
+                Term::Lam(h, b) => (h, *b),
+                other => {
+                    return Err(UnifyError::IllTyped(hoas_core::Error::CheckShape {
+                        form: "non-λ canonical term",
+                        ty: other_ty(&other, &ty),
+                    }))
+                }
+            };
+            let br = match right {
+                Term::Lam(_, b) => *b,
+                other => {
+                    return Err(UnifyError::IllTyped(hoas_core::Error::CheckShape {
+                        form: "non-λ canonical term",
+                        ty: other_ty(&other, &ty),
+                    }))
+                }
+            };
+            work.push(Constraint {
+                ctx: ctx.push(hl, dom.as_ref().clone()),
+                local: local + 1,
+                ty: cod.as_ref().clone(),
+                left: bl,
+                right: br,
+            });
+            Ok(())
+        }
+        Ty::Prod(a, b) => match (left, right) {
+            (Term::Pair(l1, l2), Term::Pair(r1, r2)) => {
+                work.push(Constraint {
+                    ctx: ctx.clone(),
+                    local,
+                    ty: a.as_ref().clone(),
+                    left: *l1,
+                    right: *r1,
+                });
+                work.push(Constraint {
+                    ctx,
+                    local,
+                    ty: b.as_ref().clone(),
+                    left: *l2,
+                    right: *r2,
+                });
+                Ok(())
+            }
+            (l, r) => Err(UnifyError::clash(&l, &r)),
+        },
+        Ty::Unit => Ok(()),
+        Ty::Base(_) | Ty::Int | Ty::Var(_) => {
+            decompose_base(sig, gen, sol, work, ctx, local, ty, left, right, on_stuck)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn decompose_base(
+    sig: &hoas_core::sig::Signature,
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    work: &mut Vec<Constraint>,
+    ctx: hoas_core::ctx::Ctx,
+    local: u32,
+    ty: Ty,
+    left: Term,
+    right: Term,
+    on_stuck: &mut dyn FnMut(Constraint) -> Result<(), UnifyError>,
+) -> Result<(), UnifyError> {
+    if left == right {
+        return Ok(());
+    }
+    if let (Term::Int(a), Term::Int(b)) = (&left, &right) {
+        return Err(UnifyError::IntClash {
+            left: *a,
+            right: *b,
+        });
+    }
+    let fl = flex_view(&left, local);
+    let fr = flex_view(&right, local);
+    match (fl, fr) {
+        (Some(vl), Some(vr)) => match (vl.pattern_spine, vr.pattern_spine) {
+            (Some(sl), Some(sr)) => {
+                if vl.mvar == vr.mvar {
+                    flex_flex_same(gen, sol, &vl.mvar, &sl, &sr)
+                } else {
+                    flex_flex_diff(gen, sol, &vl.mvar, &sl, &vr.mvar, &sr)
+                }
+            }
+            _ => on_stuck(Constraint {
+                ctx,
+                local,
+                ty,
+                left,
+                right,
+            }),
+        },
+        (Some(vl), None) => match vl.pattern_spine {
+            Some(spine) => solve_flex_rigid(gen, sol, &vl.mvar, &spine, local, &right),
+            None => on_stuck(Constraint {
+                ctx,
+                local,
+                ty,
+                left,
+                right,
+            }),
+        },
+        (None, Some(vr)) => match vr.pattern_spine {
+            Some(spine) => solve_flex_rigid(gen, sol, &vr.mvar, &spine, local, &left),
+            None => on_stuck(Constraint {
+                ctx,
+                local,
+                ty,
+                left,
+                right,
+            }),
+        },
+        (None, None) => rigid_rigid(sig, gen, work, ctx, local, left, right),
+    }
+}
+
+fn rigid_rigid(
+    sig: &hoas_core::sig::Signature,
+    gen: &MetaGen,
+    work: &mut Vec<Constraint>,
+    ctx: hoas_core::ctx::Ctx,
+    local: u32,
+    left: Term,
+    right: Term,
+) -> Result<(), UnifyError> {
+    match (left.head_spine(), right.head_spine()) {
+        (Some((hl, al)), Some((hr, ar))) => {
+            if hl != hr || al.len() != ar.len() {
+                return Err(UnifyError::clash(&left, &right));
+            }
+            let hty = head_ty(sig, gen, &ctx, &hl)?;
+            let (arg_tys, _) = hty.uncurry();
+            if arg_tys.len() < al.len() {
+                return Err(UnifyError::IllTyped(hoas_core::Error::NotAFunction {
+                    ty: hty.clone(),
+                }));
+            }
+            for ((l, r), t) in al.iter().zip(ar.iter()).zip(arg_tys) {
+                work.push(Constraint {
+                    ctx: ctx.clone(),
+                    local,
+                    ty: t.clone(),
+                    left: (*l).clone(),
+                    right: (*r).clone(),
+                });
+            }
+            Ok(())
+        }
+        _ => match (&left, &right) {
+            (Term::Fst(p), Term::Fst(q)) | (Term::Snd(p), Term::Snd(q)) => {
+                let pty = hoas_core::typeck::synth(sig, &gen.menv, &ctx, p)
+                    .map_err(UnifyError::IllTyped)?;
+                work.push(Constraint {
+                    ctx,
+                    local,
+                    ty: pty,
+                    left: p.as_ref().clone(),
+                    right: q.as_ref().clone(),
+                });
+                Ok(())
+            }
+            _ => Err(UnifyError::clash(&left, &right)),
+        },
+    }
+}
+
+// ------------------------------------------------------- pattern driver --
+
+struct Solver<'s> {
+    sig: &'s hoas_core::sig::Signature,
+    gen: MetaGen,
+    sol: MetaSubst,
+    work: Vec<Constraint>,
+    fuel: u64,
+}
+
+impl Solver<'_> {
+    fn run(&mut self) -> Result<(), UnifyError> {
+        while let Some(c) = self.work.pop() {
+            if self.fuel == 0 {
+                return Err(UnifyError::BudgetExhausted);
+            }
+            self.fuel -= 1;
+            let left = resolve_side(self.sig, &self.gen, &self.sol, &c.ctx, &c.ty, &c.left)?;
+            let right = resolve_side(self.sig, &self.gen, &self.sol, &c.ctx, &c.ty, &c.right)?;
+            // In the pure pattern solver, any stuck pair is a NotPattern
+            // failure.
+            let mut stuck = |c: Constraint| {
+                Err(UnifyError::not_pattern(if c.left.has_metas() {
+                    &c.left
+                } else {
+                    &c.right
+                }))
+            };
+            decompose_step(
+                self.sig,
+                &mut self.gen,
+                &mut self.sol,
+                &mut self.work,
+                c.ctx,
+                c.local,
+                c.ty,
+                left,
+                right,
+                &mut stuck,
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Recovers a plausible "found type" for error reporting.
+fn other_ty(_t: &Term, expected: &Ty) -> Ty {
+    expected.clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::parse::parse_term_with;
+    use hoas_core::prelude::*;
+
+    fn fol_sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const or : o -> o -> o.
+             const not : o -> o.
+             const forall : (i -> o) -> o.
+             const exists : (i -> o) -> o.
+             const p : i -> o.
+             const q : i -> i -> o.
+             const r : o.
+             const f : i -> i.
+             const a : i.
+             const b : i.",
+        )
+        .unwrap()
+    }
+
+    fn o() -> Ty {
+        Ty::base("o")
+    }
+
+    /// Unify `l ≐ r : o` with the given metavariable types.
+    fn go_typed(
+        metas: &[(&str, &str)],
+        l: &str,
+        r: &str,
+    ) -> Result<(PatternSolution, Term, Term), UnifyError> {
+        let sig = fol_sig();
+        let pl = parse_term(&sig, l).unwrap();
+        let pr = parse_term_with(&sig, r, pl.metas.clone()).unwrap();
+        let mut menv = MetaEnv::new();
+        for (name, ty) in metas {
+            let m = pr
+                .metas
+                .get(name)
+                .unwrap_or_else(|| panic!("metavariable ?{name} not used"))
+                .clone();
+            menv.insert(m, parse_ty(ty).unwrap());
+        }
+        let solution = unify(&sig, &menv, &o(), &pl.term, &pr.term)?;
+        Ok((solution, pl.term, pr.term))
+    }
+
+    /// Asserts both sides are syntactically equal after applying the
+    /// unifier (the soundness property).
+    fn assert_unifies(metas: &[(&str, &str)], l: &str, r: &str) -> PatternSolution {
+        let (sol, tl, tr) = go_typed(metas, l, r).unwrap();
+        let al = sol.subst.apply(&tl);
+        let ar = sol.subst.apply(&tr);
+        assert_eq!(al, ar, "unifier does not equalize: {al} vs {ar}");
+        sol
+    }
+
+    #[test]
+    fn rigid_rigid_decomposition() {
+        assert_unifies(&[("P", "o")], "and r ?P", "and r (or r r)");
+    }
+
+    #[test]
+    fn rigid_clash() {
+        let err = go_typed(&[("P", "o")], "and ?P ?P", "or r r").unwrap_err();
+        assert!(matches!(err, UnifyError::Clash { .. }));
+        assert!(err.is_refutation());
+    }
+
+    #[test]
+    fn simple_flex_rigid() {
+        let sol = assert_unifies(&[("P", "o")], "?P", "and r r");
+        let m = sol.subst.iter().next().map(|(m, _)| m.clone()).unwrap();
+        assert_eq!(sol.subst.get(&m).unwrap().to_string(), "and r r");
+    }
+
+    #[test]
+    fn flex_rigid_under_binder_with_spine() {
+        // forall (\x. ?Q x) ≐ forall (\x. p x) solves ?Q := λx. p x.
+        let sol = assert_unifies(&[("Q", "i -> o")], r"forall (\x. ?Q x)", r"forall (\x. p x)");
+        assert_eq!(sol.subst.len(), 1);
+    }
+
+    #[test]
+    fn escape_check_rejects_unscoped_solution() {
+        // forall (\x. ?P) ≐ forall (\x. p x): ?P cannot mention x.
+        let err = go_typed(&[("P", "o")], r"forall (\x. ?P)", r"forall (\x. p x)").unwrap_err();
+        assert!(matches!(err, UnifyError::Escape { .. }));
+    }
+
+    #[test]
+    fn vacuous_binder_succeeds() {
+        // forall (\x. ?P) ≐ forall (\x. r) is fine: ?P := r.
+        let sol = assert_unifies(&[("P", "o")], r"forall (\x. ?P)", r"forall (\x. r)");
+        let (_, t) = sol.subst.iter().next().unwrap();
+        assert_eq!(t, &Term::cnst("r"));
+    }
+
+    #[test]
+    fn occurs_check() {
+        let err = go_typed(&[("P", "o")], "?P", "and ?P r").unwrap_err();
+        assert!(matches!(err, UnifyError::Occurs { .. }));
+    }
+
+    #[test]
+    fn spine_inversion_renames() {
+        // exists (\x. forall (\y. ?Q y x)) ≐ exists (\x. forall (\y. q x y))
+        // solves ?Q := λy. λx. q x y (arguments swapped).
+        let sol = assert_unifies(
+            &[("Q", "i -> i -> o")],
+            r"exists (\x. forall (\y. ?Q y x))",
+            r"exists (\x. forall (\y. q x y))",
+        );
+        let (_, t) = sol.subst.iter().next().unwrap();
+        assert_eq!(t.to_string(), r"\x0. \x1. q x1 x0");
+    }
+
+    #[test]
+    fn non_pattern_repeated_vars_reported() {
+        let err = go_typed(
+            &[("Q", "i -> i -> o")],
+            r"forall (\x. ?Q x x)",
+            r"forall (\x. p x)",
+        )
+        .unwrap_err();
+        assert!(matches!(err, UnifyError::NotPattern { .. }));
+        assert!(!err.is_refutation());
+    }
+
+    #[test]
+    fn non_pattern_constant_arg_reported() {
+        let err = go_typed(&[("Q", "i -> o")], "?Q a", "p a").unwrap_err();
+        assert!(matches!(err, UnifyError::NotPattern { .. }));
+    }
+
+    #[test]
+    fn flex_flex_same_meta_intersects() {
+        // forall (\x. forall (\y. ?Q x y)) ≐ forall (\x. forall (\y. ?Q y x))
+        // keeps no position (the spines disagree everywhere), so ?Q becomes
+        // a constant function of a fresh metavariable.
+        let (sol, tl, tr) = go_typed(
+            &[("Q", "i -> i -> o")],
+            r"forall (\x. forall (\y. ?Q x y))",
+            r"forall (\x. forall (\y. ?Q y x))",
+        )
+        .unwrap();
+        let al = sol.subst.apply(&tl);
+        let ar = sol.subst.apply(&tr);
+        assert_eq!(al, ar);
+        assert_eq!(sol.subst.len(), 1);
+    }
+
+    #[test]
+    fn flex_flex_different_metas_common_vars() {
+        // forall (\x. forall (\y. ?Q x y)) ≐ forall (\x. forall (\y. ?R y))
+        let (sol, tl, tr) = go_typed(
+            &[("Q", "i -> i -> o"), ("R", "i -> o")],
+            r"forall (\x. forall (\y. ?Q x y))",
+            r"forall (\x. forall (\y. ?R y))",
+        )
+        .unwrap();
+        let al = sol.subst.apply(&tl);
+        let ar = sol.subst.apply(&tr);
+        assert_eq!(al, ar);
+        assert_eq!(sol.subst.len(), 2);
+    }
+
+    #[test]
+    fn pruning_nested_meta() {
+        // forall (\x. ?P) ≐ forall (\x. and r (?R x)) — ?R's argument x must
+        // be pruned for ?P's solution to be well-scoped: ?R := λx. ?R'.
+        let (sol, tl, tr) = go_typed(
+            &[("P", "o"), ("R", "i -> o")],
+            r"forall (\x. ?P)",
+            r"forall (\x. and r (?R x))",
+        )
+        .unwrap();
+        let al = sol.subst.apply(&tl);
+        let ar = sol.subst.apply(&tr);
+        assert_eq!(al, ar);
+        // ?R must have been pruned to a constant function.
+        let r_sol = sol
+            .subst
+            .iter()
+            .find(|(m, _)| m.hint().as_str() == "R")
+            .map(|(_, t)| t.clone())
+            .expect("R was pruned");
+        match r_sol {
+            Term::Lam(_, body) => assert!(!body.occurs_free(0), "R still uses its argument"),
+            other => panic!("expected λ, got {other}"),
+        }
+    }
+
+    #[test]
+    fn eta_long_spines_recognized() {
+        // Second-order spine argument: ?F applied to an η-expanded bound
+        // function variable. Metavariable of type ((i -> o) -> o).
+        let sig = fol_sig();
+        let mut menv = MetaEnv::new();
+        let pl = parse_term(&sig, r"?F").unwrap();
+        let m = pl.metas.get("F").unwrap().clone();
+        menv.insert(m.clone(), parse_ty("(i -> o) -> o").unwrap());
+        let rhs = parse_term(&sig, r"\g. forall (\x. g x)").unwrap().term;
+        let ty = parse_ty("(i -> o) -> o").unwrap();
+        let sol = unify(&sig, &menv, &ty, &pl.term, &rhs).unwrap();
+        let applied = sol.subst.apply(&pl.term);
+        let want = normalize::canon_closed(&sig, &rhs, &ty).unwrap();
+        let got = normalize::canon_closed(&sig, &applied, &ty).unwrap();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn int_literals() {
+        let sig = Signature::parse("type e. const lit : int -> e.").unwrap();
+        let mut menv = MetaEnv::new();
+        let pl = parse_term(&sig, "lit ?N").unwrap();
+        menv.insert(pl.metas.get("N").unwrap().clone(), Ty::Int);
+        let target = parse_term(&sig, "lit 42").unwrap().term;
+        let sol = unify(&sig, &menv, &Ty::base("e"), &pl.term, &target).unwrap();
+        assert_eq!(sol.subst.apply(&pl.term), target);
+        let l2 = parse_term(&sig, "lit 1").unwrap().term;
+        let r2 = parse_term(&sig, "lit 2").unwrap().term;
+        let err = unify(&sig, &MetaEnv::new(), &Ty::base("e"), &l2, &r2).unwrap_err();
+        assert!(matches!(err, UnifyError::IntClash { .. }));
+    }
+
+    #[test]
+    fn ill_typed_problem_reported() {
+        let sig = fol_sig();
+        let l = parse_term(&sig, "and r").unwrap().term; // o -> o, not o
+        let r = parse_term(&sig, "r").unwrap().term;
+        assert!(unify(&sig, &MetaEnv::new(), &o(), &l, &r).is_err());
+    }
+
+    #[test]
+    fn unsupported_meta_type_rejected_up_front() {
+        let sig = fol_sig();
+        let mut menv = MetaEnv::new();
+        menv.insert(MVar::new(0, "P"), Ty::prod(o(), o()));
+        let err = unify(&sig, &menv, &o(), &Term::cnst("r"), &Term::cnst("r")).unwrap_err();
+        assert!(matches!(err, UnifyError::UnsupportedMetaType { .. }));
+    }
+
+    #[test]
+    fn solution_is_most_general_leaves_free_metas() {
+        // ?P ≐ and ?R ?R: ?P is solved in terms of ?R, which stays free.
+        let (sol, tl, tr) = go_typed(&[("P", "o"), ("R", "o")], "?P", "and ?R ?R").unwrap();
+        assert_eq!(sol.subst.apply(&tl), sol.subst.apply(&tr));
+        assert_eq!(sol.subst.len(), 1);
+        let (_, p_sol) = sol.subst.iter().next().unwrap();
+        assert_eq!(p_sol.metas().len(), 1, "?R should remain in ?P's solution");
+    }
+
+    #[test]
+    fn ambient_variables_allowed_in_solutions() {
+        // Pose ?P ≐ p x under an *ambient* binder x : i. The solution may
+        // mention x (this is what rewriting under binders needs).
+        let sig = fol_sig();
+        let mut menv = MetaEnv::new();
+        let m = MVar::new(0, "P");
+        menv.insert(m.clone(), o());
+        let ctx = Ctx::new().push(Sym::new("x"), Ty::base("i"));
+        let c = Constraint::in_ambient(
+            ctx,
+            o(),
+            Term::Meta(m.clone()),
+            Term::app(Term::cnst("p"), Term::Var(0)),
+        );
+        let sol = unify_constraints(&sig, &menv, vec![c]).unwrap();
+        assert_eq!(
+            sol.subst.get(&m).unwrap(),
+            &Term::app(Term::cnst("p"), Term::Var(0))
+        );
+    }
+}

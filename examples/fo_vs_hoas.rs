@@ -1,0 +1,59 @@
+//! The capture bug (the paper's opening motivation; experiment E1).
+//!
+//! With first-order named syntax, the "obvious" substitution is wrong:
+//! substituting `y` for `x` in `λy. x` must NOT produce `λy. y`. This
+//! example shows (1) the naive implementation capturing, (2) the
+//! hand-written capture-avoiding implementation renaming, and (3) the
+//! HOAS encoding where the bug is *unrepresentable*.
+//!
+//! Run with `cargo run --example fo_vs_hoas`.
+
+use hoas::firstorder::named::Tree;
+use hoas::firstorder::{convert, debruijn::DbTree};
+use hoas::langs::lambda::{self, LTerm};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The classic instance: (λy. x)[x := y].
+    let body = Tree::binder("lam", "y", Tree::var("x"));
+    println!("term:            {body}");
+    println!("substitute:      x := y\n");
+
+    // 1. Naive substitution: wrong.
+    let naive = body.subst_naive("x", &Tree::var("y"));
+    println!("naive:           {naive}   <- CAPTURED: now the constant-y function");
+    assert_eq!(naive, Tree::binder("lam", "y", Tree::var("y")));
+
+    // 2. Capture-avoiding substitution: correct, at the cost of renaming
+    //    machinery every object language must re-implement.
+    let correct = body.subst("x", &Tree::var("y"));
+    println!("capture-avoiding: {correct}   <- binder freshened");
+    assert!(!correct.alpha_eq(&naive));
+    assert!(correct.alpha_eq(&Tree::binder("lam", "z", Tree::var("y"))));
+
+    // 2b. De Bruijn: correct by arithmetic, but someone had to write (and
+    //     get right) the shifting code.
+    let db_body = convert::to_debruijn(&body);
+    println!("\nde Bruijn term:  {db_body}");
+    let db_result = db_body.subst_free("x", &DbTree::Free("y".into()));
+    println!("de Bruijn subst: {db_result}");
+    assert_eq!(convert::to_debruijn(&correct), db_result);
+
+    // 3. HOAS: the substitution is a metalanguage β-step; capture is
+    //    impossible by construction, and nobody wrote any renaming code.
+    let hoas_term = LTerm::lam("x", LTerm::lam("y", LTerm::var("x")));
+    let encoded = lambda::encode_open(&hoas_term, &["y"])?;
+    println!("\nHOAS encoding of λx. λy. x:  {encoded}");
+    let substituted = lambda::subst_hoas(&encoded, &hoas::core::Term::Var(0))?;
+    let decoded = lambda::decode_open(&substituted, &["y"])?;
+    println!("applied to ambient y (β):    {substituted}");
+    println!("decoded:                     {decoded}");
+    match &decoded {
+        LTerm::Lam(binder, inner) => {
+            assert_ne!(binder, "y", "decoder freshened the binder");
+            assert_eq!(inner.as_ref(), &LTerm::var("y"), "free y preserved");
+        }
+        other => panic!("expected a λ, got {other}"),
+    }
+    println!("\ncapture is unrepresentable in the HOAS encoding — the paper's point.");
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Optimizing the imperative language (the paper's extended example;
+//! experiment E4): constant folding, branch folding, `skip` laws, and —
+//! the binding-sensitive one — dead-declaration elimination via a
+//! vacuous-binder pattern.
+//!
+//! Run with `cargo run --example imperative_opt`.
+
+use hoas::langs::imp::{self, Aexp, Bexp, Cmd};
+use hoas::rewrite::rulesets::imp_opt;
+use hoas::rewrite::Engine;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let sig = imp::signature();
+    let rules = imp_opt::rules(sig)?;
+    let engine = Engine::new(sig, &rules);
+
+    // local a := 3 * 4 in {
+    //   local dead := a + 1 in {        <- never used
+    //     if (1 <= 2) { print (a + (2 * 5)) } else { print 0 };
+    //     while (5 <= 1) { a := a + 1 }; <- never runs
+    //     skip; print (0 + a)
+    //   }
+    // }
+    let prog = Cmd::local(
+        "a",
+        Aexp::mul(Aexp::Num(3), Aexp::Num(4)),
+        Cmd::local(
+            "dead",
+            Aexp::add(Aexp::var("a"), Aexp::Num(1)),
+            Cmd::seq(
+                Cmd::if_(
+                    Bexp::le(Aexp::Num(1), Aexp::Num(2)),
+                    Cmd::Print(Aexp::add(Aexp::var("a"), Aexp::mul(Aexp::Num(2), Aexp::Num(5)))),
+                    Cmd::Print(Aexp::Num(0)),
+                ),
+                Cmd::seq(
+                    Cmd::while_(
+                        Bexp::le(Aexp::Num(5), Aexp::Num(1)),
+                        Cmd::Assign("a".into(), Aexp::add(Aexp::var("a"), Aexp::Num(1))),
+                    ),
+                    Cmd::seq(Cmd::Skip, Cmd::Print(Aexp::add(Aexp::Num(0), Aexp::var("a")))),
+                ),
+            ),
+        ),
+    );
+
+    println!("before ({} nodes):\n  {prog}\n", prog.size());
+    let trace_before = imp::run(&prog, 10_000)?;
+
+    let encoded = imp::encode(&prog)?;
+    let result = engine.normalize(&imp::cmd_ty(), &encoded)?;
+    let optimized = imp::decode(&result.term)?;
+
+    println!("after  ({} nodes):\n  {optimized}\n", optimized.size());
+    println!("rewrites applied ({}):", result.steps);
+    for name in &result.applied {
+        println!("  - {name}");
+    }
+
+    let trace_after = imp::run(&optimized, 10_000)?;
+    assert_eq!(trace_before, trace_after, "optimization must preserve output");
+    println!("\noutput trace unchanged: {trace_before:?}");
+    assert!(
+        optimized.size() < prog.size() / 2,
+        "expected substantial shrinkage"
+    );
+    assert!(
+        result.applied.iter().any(|n| n == "dead-local"),
+        "the vacuous-binder rule should have fired"
+    );
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! Logic programming over HOAS — the λProlog connection the paper draws.
+//!
+//! A type checker for the simply typed λ-calculus in two clauses:
+//!
+//! ```text
+//! of (app ?M ?N) ?B :- of ?M (arr ?A ?B), of ?N ?A.
+//! of (lam ?F) (arr ?A ?B) :- pi x. (of x ?A => of (?F x) ?B).
+//! ```
+//!
+//! No context data structure, no variable lookup, no weakening lemma:
+//! the universal goal introduces the object variable, the hypothetical
+//! implication records its type, and the metalanguage's β enters the
+//! binder.
+//!
+//! Run with `cargo run --example lambda_prolog`.
+
+use hoas::lp::examples::{append_program, eval_program, stlc_program};
+use hoas::lp::solve::{query_menv, solve, SolveConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // -- classic Prolog: append --------------------------------------------
+    let prog = append_program();
+    println!("program:\n{prog}");
+    let (goal, menv) = query_menv(
+        prog.sig(),
+        "append ?X ?Y (cons a (cons b (cons c nil)))",
+        &[("X", "i"), ("Y", "i")],
+    )?;
+    let cfg = SolveConfig {
+        max_solutions: 10,
+        ..SolveConfig::default()
+    };
+    let out = solve(&prog, &menv, &goal, &cfg)?;
+    println!("?- append ?X ?Y [a,b,c]");
+    for a in &out.answers {
+        println!("   {a}");
+    }
+    assert_eq!(out.answers.len(), 4);
+
+    // -- the HOAS showcase: STLC typing in two clauses ----------------------
+    let prog = stlc_program();
+    println!("\nprogram:\n{prog}");
+    for (name, term) in [
+        ("I", r"lam (\x. x)"),
+        ("K", r"lam (\x. lam (\y. x))"),
+        ("S", r"lam (\x. lam (\y. lam (\z. app (app x z) (app y z))))"),
+        ("ω", r"lam (\x. app x x)"),
+    ] {
+        let (goal, menv) = query_menv(prog.sig(), &format!("of ({term}) ?T"), &[("T", "tp")])?;
+        let cfg = SolveConfig {
+            max_depth: 128,
+            ..SolveConfig::default()
+        };
+        let out = solve(&prog, &menv, &goal, &cfg)?;
+        match out.answers.first() {
+            Some(a) => println!("?- of {name} ?T.   T = {}", a.get("T").expect("bound")),
+            None => println!("?- of {name} ?T.   no (not simply typable)"),
+        }
+        if name == "ω" {
+            assert!(out.answers.is_empty());
+        } else {
+            assert_eq!(out.answers.len(), 1);
+        }
+    }
+
+    // -- evaluation as resolution ------------------------------------------
+    let prog = eval_program();
+    println!("\nprogram:\n{prog}");
+    let (goal, menv) = query_menv(
+        prog.sig(),
+        r"eval (app (lam (\x. app x x)) (lam (\y. y))) ?V",
+        &[("V", "tm")],
+    )?;
+    let out = solve(&prog, &menv, &goal, &SolveConfig::default())?;
+    println!(
+        "?- eval ((λx. x x) (λy. y)) ?V.   V = {}",
+        out.answers[0].get("V").expect("bound")
+    );
+    Ok(())
+}

@@ -1,0 +1,60 @@
+//! # hoas — Higher-Order Abstract Syntax
+//!
+//! A Rust reproduction of *F. Pfenning and C. Elliott, "Higher-Order
+//! Abstract Syntax", PLDI 1988*: a typed λ-calculus **metalanguage** in
+//! which object-language binding constructs are represented as meta-level
+//! functions, so that
+//!
+//! * object-language **substitution** is metalanguage **β-reduction**,
+//! * object-language **renaming** is **α-conversion** (free with de
+//!   Bruijn terms),
+//! * **syntactic analysis** of binding structure is **higher-order
+//!   matching/unification**,
+//! * binding side conditions of transformation rules ("x not free in P")
+//!   are expressed by the *shape of the pattern* alone.
+//!
+//! The workspace is organized as in the paper's system description:
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`core`] | metalanguage kernel: terms, types, signatures, normalization to canonical form, type reconstruction, parser/printer |
+//! | [`unify`] | Miller pattern unification + Huet pre-unification + higher-order matching |
+//! | [`rewrite`] | transformation engine driven by higher-order matching, with the paper's rule sets |
+//! | [`langs`] | object languages (λ-calculus, first-order logic, Mini-ML, an imperative language) with adequate encodings |
+//! | [`syntaxdef`] | the Ergo-style "syntax" facility: grammar declarations compiled to signatures with generic encode/decode |
+//! | [`firstorder`] | the conventional first-order representation the paper compares against |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use hoas::core::prelude::*;
+//!
+//! // Declare the untyped λ-calculus and watch substitution come for free.
+//! let sig = Signature::parse(
+//!     "type tm.
+//!      const lam : (tm -> tm) -> tm.
+//!      const app : tm -> tm -> tm.",
+//! )?;
+//! let redex = parse_term(&sig, r"(\x. app x x) (lam (\y. y))")?.term;
+//! assert_eq!(
+//!     normalize::nf(&redex).to_string(),
+//!     r"app (lam (\y. y)) (lam (\y. y))",
+//! );
+//! # Ok::<(), hoas::core::Error>(())
+//! ```
+//!
+//! See the `examples/` directory for the paper's worked figures:
+//! `quickstart`, `logic_transform` (prenex normal form), `imperative_opt`
+//! (constant folding & dead declarations), `miniml_eval`, and
+//! `fo_vs_hoas` (the capture bug the paper opens with).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use hoas_core as core;
+pub use hoas_firstorder as firstorder;
+pub use hoas_langs as langs;
+pub use hoas_lp as lp;
+pub use hoas_rewrite as rewrite;
+pub use hoas_syntaxdef as syntaxdef;
+pub use hoas_unify as unify;

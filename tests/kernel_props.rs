@@ -1,0 +1,263 @@
+//! Property tests for the metalanguage kernel: substitution laws,
+//! normalization, canonical forms, and the printer/parser round trip.
+
+use hoas::core::prelude::*;
+use hoas::langs::lambda;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// A proptest strategy for simple types (no binding constraints, so a
+/// direct recursive strategy works).
+fn ty_strategy() -> impl Strategy<Value = Ty> {
+    let leaf = prop_oneof![
+        Just(Ty::Int),
+        Just(Ty::Unit),
+        Just(Ty::base("tm")),
+        Just(Ty::base("o")),
+        (0u32..3).prop_map(Ty::Var),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::arrow(a, b)),
+            (inner.clone(), inner).prop_map(|(a, b)| Ty::prod(a, b)),
+        ]
+    })
+}
+
+/// Well-typed closed terms of type `tm`, via the λ-calculus generator.
+fn well_typed_term(seed: u64, size: usize) -> Term {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ty_display_parse_roundtrip(ty in ty_strategy()) {
+        let printed = ty.to_string();
+        let reparsed = parse_ty(&printed).unwrap();
+        prop_assert_eq!(reparsed, ty);
+    }
+
+    #[test]
+    fn ty_subst_deep_is_idempotent_on_ground(ty in ty_strategy()) {
+        let map: std::collections::HashMap<u32, Ty> =
+            [(0, Ty::Int), (1, Ty::Unit), (2, Ty::base("tm"))].into_iter().collect();
+        let once = ty.subst_deep(&map);
+        prop_assert!(once.is_ground());
+        prop_assert_eq!(once.subst_deep(&map), once.clone());
+        // Generalize/instantiate round-trips the ground structure.
+        let sch = TyScheme::generalize(&once);
+        prop_assert_eq!(sch.arity(), 0);
+        prop_assert_eq!(sch.body(), &once);
+    }
+
+    #[test]
+    fn shift_then_unshift_is_identity(seed in any::<u64>(), size in 2usize..40, d in 0u32..5) {
+        let t = well_typed_term(seed, size);
+        let shifted = subst::shift(&t, d);
+        prop_assert_eq!(subst::unshift_above(&shifted, d, 0), t);
+    }
+
+    #[test]
+    fn shift_composes(seed in any::<u64>(), size in 2usize..40, a in 0u32..4, b in 0u32..4) {
+        let t = well_typed_term(seed, size);
+        prop_assert_eq!(
+            subst::shift(&subst::shift(&t, a), b),
+            subst::shift(&t, a + b)
+        );
+    }
+
+    #[test]
+    fn nf_is_idempotent(seed in any::<u64>(), size in 2usize..35) {
+        // Well-typed closed encodings normalize, and nf is idempotent.
+        let t = well_typed_term(seed, size);
+        let n1 = normalize::nf(&t);
+        prop_assert!(n1.is_beta_normal());
+        prop_assert_eq!(normalize::nf(&n1), n1);
+    }
+
+    #[test]
+    fn hereditary_apply_agrees_with_subst_then_nf(seed in any::<u64>(), size in 2usize..30) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let body_src = lambda::gen_closed(&mut rng, size);
+        let arg_src = lambda::gen_closed(&mut rng, size / 2 + 1);
+        let f = Term::lam("x", {
+            // Make the binder actually occur: apply x to the encoding.
+            let b = lambda::encode(&body_src).unwrap();
+            Term::apps(Term::cnst("app"), [Term::Var(0), subst::shift(&b, 1)])
+        });
+        let a = lambda::encode(&arg_src).unwrap();
+        let hereditary = normalize::happly(f.clone(), a.clone());
+        let naive = normalize::nf(&subst::instantiate(
+            match &f { Term::Lam(_, b) => b, _ => unreachable!() },
+            &a,
+        ));
+        prop_assert_eq!(hereditary, naive);
+    }
+
+    #[test]
+    fn canon_is_idempotent_and_checked(seed in any::<u64>(), size in 2usize..30) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let c1 = normalize::canon_closed(sig, &t, &lambda::tm()).unwrap();
+        let c2 = normalize::canon_closed(sig, &c1, &lambda::tm()).unwrap();
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(normalize::is_canonical(
+            sig, &MetaEnv::new(), &Ctx::new(), &c1, &lambda::tm()
+        ));
+        typeck::check_closed(sig, &c1, &lambda::tm()).unwrap();
+    }
+
+    #[test]
+    fn printer_parser_roundtrip_on_terms(seed in any::<u64>(), size in 2usize..40) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let printed = t.to_string();
+        let reparsed = parse_term(sig, &printed).unwrap().term;
+        prop_assert_eq!(reparsed, t, "printed as {}", printed);
+    }
+
+    #[test]
+    fn eta_contract_preserves_beta_eta_class(seed in any::<u64>(), size in 2usize..25) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let c = normalize::canon_closed(sig, &t, &lambda::tm()).unwrap();
+        let contracted = normalize::eta_contract(&c);
+        // Contracting and re-canonicalizing gets back to the same
+        // canonical form.
+        let again = normalize::canon_closed(sig, &contracted, &lambda::tm()).unwrap();
+        prop_assert_eq!(again, c);
+    }
+
+    #[test]
+    fn reconstruction_agrees_with_checking(seed in any::<u64>(), size in 2usize..35) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let ty = infer::reconstruct(sig, &t).unwrap();
+        prop_assert_eq!(&ty, &lambda::tm());
+        typeck::check_closed(sig, &t, &ty).unwrap();
+    }
+
+    #[test]
+    fn fueled_nf_agrees_with_nf(seed in any::<u64>(), size in 2usize..30) {
+        let t = well_typed_term(seed, size);
+        // Closed well-typed encodings of type tm have no redexes at all,
+        // so make one: ((λy. y) t).
+        let redex = Term::app(Term::lam("y", Term::Var(0)), t);
+        let a = normalize::nf(&redex);
+        let b = normalize::nf_fuel(&redex, 1_000_000).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// A random simultaneous substitution built from closed encodings plus
+/// identity-like entries (exercising both the entry and tail paths).
+fn random_sub(seed: u64) -> hoas::core::sub::Sub {
+    use hoas::core::sub::Sub;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    use rand::Rng;
+    let n = rng.gen_range(0..4);
+    let entries: Vec<Term> = (0..n)
+        .map(|i| {
+            if rng.gen_bool(0.3) {
+                Term::Var(rng.gen_range(0..4))
+            } else {
+                let _ = i;
+                lambda::encode(&lambda::gen_closed(&mut rng, 6)).unwrap()
+            }
+        })
+        .collect();
+    let mut s = Sub::weaken(rng.gen_range(0..3));
+    for e in entries.into_iter().rev() {
+        s = Sub::cons(e, &s);
+    }
+    s
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sub_composition_law(sa in any::<u64>(), sb in any::<u64>(), st in any::<u64>(), size in 2usize..25) {
+        let a = random_sub(sa);
+        let b = random_sub(sb);
+        // An open-ish subject: a closed encoding applied to free variables.
+        let mut rng = SmallRng::seed_from_u64(st);
+        let closed = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+        let t = Term::apps(
+            Term::cnst("app"),
+            [closed, Term::Var(2)],
+        );
+        prop_assert_eq!(
+            a.compose(&b).apply(&t),
+            a.apply(&b.apply(&t)),
+            "a = {}, b = {}", a, b
+        );
+    }
+
+    #[test]
+    fn sub_single_agrees_with_instantiate(seed in any::<u64>(), size in 2usize..25) {
+        use hoas::core::sub::Sub;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let arg = lambda::encode(&lambda::gen_closed(&mut rng, size / 2 + 2)).unwrap();
+        // A body using Var(0) and deeper vars.
+        let body = Term::lam("y", Term::apps(Term::cnst("app"), [Term::Var(1), Term::Var(0)]));
+        prop_assert_eq!(
+            Sub::single(arg.clone()).apply(&body),
+            subst::instantiate(&body, &arg)
+        );
+    }
+
+    #[test]
+    fn sub_lift_commutes_with_binder(sa in any::<u64>(), st in any::<u64>(), size in 2usize..20) {
+        let s = random_sub(sa);
+        let mut rng = SmallRng::seed_from_u64(st);
+        let closed = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+        let body = Term::apps(Term::cnst("app"), [closed, Term::Var(1)]);
+        prop_assert_eq!(
+            s.apply(&Term::lam("x", body.clone())),
+            Term::lam("x", s.lift().apply(&body))
+        );
+    }
+
+    // ------------------------- failure injection -------------------------
+
+    #[test]
+    fn parser_never_panics_on_garbage(src in "[ -~\\n]{0,80}") {
+        let sig = lambda::signature();
+        // Any outcome is fine; panicking is not.
+        let _ = parse_term(sig, &src);
+        let _ = parse_ty(&src);
+        let _ = Signature::parse(&src);
+    }
+
+    #[test]
+    fn parser_never_panics_on_structured_soup(
+        toks in proptest::collection::vec(
+            prop_oneof![
+                Just("lam"), Just("app"), Just("("), Just(")"), Just("\\"),
+                Just("."), Just("x"), Just("?M"), Just(","), Just("->"),
+                Just("fst"), Just("snd"), Just("123"), Just("-"), Just(":"),
+            ],
+            0..24,
+        )
+    ) {
+        let sig = lambda::signature();
+        let src = toks.join(" ");
+        let _ = parse_term(sig, &src);
+        let _ = parse_ty(&src);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_wellformed_terms(seed in any::<u64>(), size in 2usize..25) {
+        // Feed λ-calculus encodings to the *wrong* decoders: must error,
+        // not panic.
+        let t = well_typed_term(seed, size);
+        let _ = hoas::langs::fol::decode(&t);
+        let _ = hoas::langs::imp::decode(&t);
+        let _ = hoas::langs::miniml::decode(&t);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property tests for the unification stack (experiment E6's correctness
+//! side): soundness of pattern unification and Huet pre-unification, and
+//! agreement between the two engines on the pattern fragment.
+
+use hoas::core::prelude::*;
+use hoas::langs::fol;
+use hoas::unify::huet::{pre_unify_terms, HuetConfig};
+use hoas::unify::matching::{match_term, MatchConfig};
+use hoas::unify::pattern;
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+fn vocab() -> fol::Vocabulary {
+    fol::Vocabulary::small()
+}
+
+/// Generates a ground formula encoding.
+fn ground(seed: u64, depth: u32) -> Term {
+    let v = vocab();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    fol::encode(&fol::gen_formula(&v, &mut rng, depth)).unwrap()
+}
+
+/// Punches pattern-style holes into a ground term: replaces random
+/// subformulas by fresh 0-ary metavariables. Returns the pattern and its
+/// metavariable environment.
+fn punch_holes(t: &Term, rng: &mut SmallRng, menv: &mut MetaEnv, next: &mut u32) -> Term {
+    use rand::Rng;
+    // `t` is a whole formula (type o). Either replace it by a hole, or
+    // recurse into formula-typed argument positions (and/or/imp/not).
+    // Quantifier bodies are left alone here — binder-crossing holes are
+    // covered by the dedicated unit tests.
+    if rng.gen_bool(0.25) {
+        let m = MVar::new(*next, format!("H{next}"));
+        *next += 1;
+        menv.insert(m.clone(), Ty::base("o"));
+        return Term::Meta(m);
+    }
+    let (head, args) = t.spine();
+    match head {
+        Term::Const(c) if matches!(c.as_str(), "and" | "or" | "imp" | "not") => Term::apps(
+            head.clone(),
+            args.iter()
+                .map(|a| punch_holes(a, rng, menv, next))
+                .collect::<Vec<_>>(),
+        ),
+        _ => t.clone(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ground_unification_is_syntactic_equality(seed in any::<u64>(), depth in 1u32..5) {
+        let sig = vocab().signature();
+        let t = ground(seed, depth);
+        // t ≐ t succeeds with the empty substitution…
+        let sol = pattern::unify(&sig, &MetaEnv::new(), &fol::o(), &t, &t).unwrap();
+        prop_assert!(sol.subst.is_empty());
+        // …and t ≐ (not t) fails as a refutation.
+        let not_t = Term::app(Term::cnst("not"), t.clone());
+        let err = pattern::unify(&sig, &MetaEnv::new(), &fol::o(), &t, &not_t).unwrap_err();
+        let refuted = err.is_refutation()
+            || matches!(err, hoas::unify::UnifyError::Escape { .. });
+        prop_assert!(refuted);
+    }
+
+    #[test]
+    fn pattern_solutions_equalize(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5) {
+        let sig = vocab().signature();
+        let target = ground(seed, depth);
+        let mut rng = SmallRng::seed_from_u64(hole_seed);
+        let mut menv = MetaEnv::new();
+        let mut next = 0;
+        let pat = punch_holes(&target, &mut rng, &mut menv, &mut next);
+        let sol = pattern::unify(&sig, &menv, &fol::o(), &pat, &target)
+            .expect("a hole-punched pattern always matches its origin");
+        let applied = sol.subst.apply(&pat);
+        prop_assert_eq!(applied, target);
+    }
+
+    #[test]
+    fn matching_agrees_with_unification_on_ground_targets(
+        seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5
+    ) {
+        let sig = vocab().signature();
+        let target = ground(seed, depth);
+        let mut rng = SmallRng::seed_from_u64(hole_seed);
+        let mut menv = MetaEnv::new();
+        let mut next = 0;
+        let pat = punch_holes(&target, &mut rng, &mut menv, &mut next);
+        let m = match_term(
+            &sig, &menv, &Ctx::new(), &fol::o(), &pat, &target, &MatchConfig::default(),
+        ).unwrap();
+        prop_assert!(m.is_some());
+        prop_assert_eq!(m.unwrap().apply(&pat), target);
+    }
+
+    #[test]
+    fn huet_finds_pattern_solutions_too(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..4) {
+        let sig = vocab().signature();
+        let target = ground(seed, depth);
+        let mut rng = SmallRng::seed_from_u64(hole_seed);
+        let mut menv = MetaEnv::new();
+        let mut next = 0;
+        let pat = punch_holes(&target, &mut rng, &mut menv, &mut next);
+        let out = pre_unify_terms(
+            &sig, &menv, &fol::o(), &pat, &target, &HuetConfig::default(),
+        ).unwrap();
+        prop_assert!(!out.solutions.is_empty());
+        let s = &out.solutions[0];
+        prop_assert!(s.flex_flex.is_empty());
+        prop_assert_eq!(s.subst.apply(&pat), target);
+    }
+
+    #[test]
+    fn unifier_solutions_are_well_typed(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5) {
+        let sig = vocab().signature();
+        let target = ground(seed, depth);
+        let mut rng = SmallRng::seed_from_u64(hole_seed);
+        let mut menv = MetaEnv::new();
+        let mut next = 0;
+        let pat = punch_holes(&target, &mut rng, &mut menv, &mut next);
+        let sol = pattern::unify(&sig, &menv, &fol::o(), &pat, &target).unwrap();
+        for (m, t) in sol.subst.iter() {
+            let ty = sol.menv.get(m).expect("solved metas keep their types");
+            typeck::check_closed(&sig, t, ty).unwrap();
+        }
+    }
+}
+
+#[test]
+fn non_pattern_problem_solved_by_huet_is_sound() {
+    // ?F (f a) ≐ p (f (f a)) — a genuinely non-pattern matching problem.
+    let sig = vocab().signature();
+    let parsed = parse_term(&sig, "?F (f a)").unwrap();
+    let mut menv = MetaEnv::new();
+    menv.insert(
+        parsed.metas.get("F").unwrap().clone(),
+        parse_ty("i -> o").unwrap(),
+    );
+    let target = parse_term(&sig, "p (f (f a))").unwrap().term;
+    let cfg = HuetConfig {
+        max_solutions: 8,
+        ..HuetConfig::default()
+    };
+    let out = pre_unify_terms(&sig, &menv, &fol::o(), &parsed.term, &target, &cfg).unwrap();
+    assert!(!out.solutions.is_empty());
+    for s in &out.solutions {
+        if s.flex_flex.is_empty() {
+            let applied = s.subst.apply(&parsed.term);
+            let got = normalize::canon_closed(&sig, &applied, &fol::o()).unwrap();
+            let want = normalize::canon_closed(&sig, &target, &fol::o()).unwrap();
+            assert_eq!(got, want);
+        }
+    }
+}
