@@ -1,7 +1,8 @@
 //! E7 — adequacy round trips: encode/decode throughput for the
 //! hand-written per-language encoders and the generic syntaxdef bridge.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_langs::{fol, imp, lambda};
 use hoas_syntaxdef::{Arg, LanguageDef};

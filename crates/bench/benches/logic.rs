@@ -1,7 +1,8 @@
 //! E9 — λProlog-style resolution over HOAS: list recursion depth and
 //! binder-heavy type inference (eigenvariables + hypothetical clauses).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_core::Term;
 use hoas_lp::examples::{append_program, stlc_program};
 use hoas_lp::solve::{query_menv, solve, SolveConfig};

@@ -2,7 +2,8 @@
 //! hand-written first-order passes, on prenex normal form and
 //! imperative-language optimization. Includes the strategy ablation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::{baseline, workloads};
 use hoas_core::Term;
 use hoas_langs::{fol, imp};

@@ -4,7 +4,8 @@
 //! a function of body size. The paper's claim: HOAS gets substitution
 //! "for free" from the metalanguage at no asymptotic cost.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads::{self, SEED};
 use hoas_langs::lambda;
 

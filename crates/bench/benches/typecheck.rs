@@ -1,7 +1,8 @@
 //! E5 — type checking and reconstruction throughput, plus normalization
 //! (the kernel services every experiment relies on).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hoas_testkit::bench::{BenchmarkId, Criterion, Throughput};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_core::prelude::*;
 use hoas_langs::lambda;

@@ -1,7 +1,8 @@
 //! E6 — higher-order unification: the decidable pattern fragment vs
 //! Huet's search, and matching throughput as used by the rewriter.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_core::ctx::Ctx;
 use hoas_core::Ty;

@@ -322,8 +322,7 @@ mod tests {
     use super::*;
     use hoas_langs::fol::{Model, Vocabulary};
     use hoas_langs::imp;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
     use std::collections::HashMap;
 
     #[test]

@@ -7,8 +7,7 @@ use hoas_langs::fol::{Formula, Vocabulary};
 use hoas_langs::imp::Cmd;
 use hoas_langs::lambda::{self, LTerm};
 use hoas_langs::miniml::{self, Exp};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::rng::SmallRng;
 
 /// The fixed seed used everywhere so that series are reproducible.
 pub const SEED: u64 = 0x4F_50_55_53;
@@ -149,7 +148,7 @@ pub fn pattern_problem(
     Term,
 ) {
     use hoas_core::{MVar, Term as T};
-    use rand::Rng;
+    use hoas_testkit::rng::Rng;
     let vocab = Vocabulary::small();
     let sig = vocab.signature();
     let mut rng = SmallRng::seed_from_u64(seed);
@@ -163,7 +162,7 @@ pub fn pattern_problem(
         menv: &mut hoas_core::term::MetaEnv,
         next: &mut u32,
     ) -> Term {
-        use rand::Rng as _;
+        use hoas_testkit::rng::Rng as _;
         if rng.gen_bool(0.2) {
             let m = MVar::new(*next, format!("H{next}"));
             *next += 1;

@@ -19,7 +19,7 @@
 use crate::LangError;
 use hoas_core::sig::Signature;
 use hoas_core::{Term, Ty};
-use rand::Rng;
+use hoas_testkit::rng::Rng;
 use std::collections::HashMap;
 use std::collections::HashSet;
 use std::fmt;
@@ -644,8 +644,7 @@ fn gen_f(vocab: &Vocabulary, rng: &mut impl Rng, depth: u32, bound: &mut Vec<Str
 mod tests {
     use super::*;
     use hoas_core::normalize;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
 
     fn vocab() -> Vocabulary {
         Vocabulary::small()

@@ -31,7 +31,7 @@
 use crate::LangError;
 use hoas_core::sig::Signature;
 use hoas_core::{Term, Ty};
-use rand::Rng;
+use hoas_testkit::rng::Rng;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::OnceLock;
@@ -674,8 +674,7 @@ fn gen_c(rng: &mut impl Rng, depth: u32, bound: &mut Vec<String>) -> Cmd {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
 
     fn sample() -> Cmd {
         // local x := 3 in { local y := (1 + 2) in { x := x * y; print x } }

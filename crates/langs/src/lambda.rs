@@ -19,7 +19,7 @@ use hoas_core::ctx::Ctx;
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
 use hoas_core::{normalize, Sym, Term, Ty};
-use rand::Rng;
+use hoas_testkit::rng::Rng;
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::OnceLock;
@@ -549,8 +549,7 @@ pub fn church_mul() -> LTerm {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
 
     #[test]
     fn encode_decode_roundtrip_identity() {
@@ -618,26 +617,30 @@ mod tests {
 
     #[test]
     fn native_and_hoas_normalization_agree() {
-        let mut rng = SmallRng::seed_from_u64(42);
-        let mut checked = 0;
-        for _ in 0..200 {
-            let t = gen_closed(&mut rng, 25);
-            let native = normalize_native(&t, 500);
-            let hoas = normalize_hoas(&t, 500);
-            match (native, hoas) {
-                (Ok(a), Ok(b)) => {
-                    assert!(
-                        a.alpha_eq(&b),
-                        "mismatch for {t}:\n native {a}\n hoas  {b}"
-                    );
-                    checked += 1;
+        // Intermediate reducts can get deep within the fuel budget;
+        // normalization recurses on term depth.
+        hoas_testkit::with_stack(256, || {
+            let mut rng = SmallRng::seed_from_u64(42);
+            let mut checked = 0;
+            for _ in 0..200 {
+                let t = gen_closed(&mut rng, 25);
+                let native = normalize_native(&t, 500);
+                let hoas = normalize_hoas(&t, 500);
+                match (native, hoas) {
+                    (Ok(a), Ok(b)) => {
+                        assert!(
+                            a.alpha_eq(&b),
+                            "mismatch for {t}:\n native {a}\n hoas  {b}"
+                        );
+                        checked += 1;
+                    }
+                    // Fuel accounting differs slightly; only require
+                    // agreement when both engines finish.
+                    _ => {}
                 }
-                // Fuel accounting differs slightly; only require agreement
-                // when both engines finish.
-                _ => {}
             }
-        }
-        assert!(checked > 100, "only {checked} comparisons completed");
+            assert!(checked > 100, "only {checked} comparisons completed");
+        });
     }
 
     #[test]

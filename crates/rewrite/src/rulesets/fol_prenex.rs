@@ -117,8 +117,7 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use hoas_langs::fol::{self, Formula, Model, Vocabulary};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
     use std::collections::HashMap;
 
     fn setup() -> (Signature, Vocabulary) {

@@ -162,8 +162,7 @@ mod tests {
     use super::*;
     use crate::engine::Engine;
     use hoas_langs::imp::{self, Aexp, Bexp, Cmd};
-    use rand::rngs::SmallRng;
-    use rand::SeedableRng;
+    use hoas_testkit::rng::SmallRng;
 
     fn optimize(c: &Cmd) -> (Cmd, usize) {
         let sig = imp::signature();

@@ -1,0 +1,427 @@
+//! Size-bounded random generators for metalanguage objects: simple types,
+//! signatures, well-typed canonical terms (closed and open), λProlog-style
+//! logic programs, and terminating rewrite-rule systems.
+//!
+//! All generators are deterministic functions of the supplied [`Rng`] and
+//! are built on `hoas-core`'s term and signature builders, so everything
+//! they produce is well-formed by construction. Well-typed term generation
+//! is type-directed: intro forms follow the target type (λ at arrow type,
+//! pair at product type — the terms are η-long), and at base type a head
+//! (variable or constant) targeting that base is chosen and its arguments
+//! are generated recursively.
+
+use crate::rng::Rng;
+use hoas_core::sig::Signature;
+use hoas_core::{Term, Ty, TyScheme};
+
+// ---------------------------------------------------------------- types --
+
+/// Generates a simple type of at most the given constructor depth, over
+/// the base types `bases` plus `int` and `unit`, with type variables
+/// `Var(0) .. Var(n_vars - 1)` mixed in when `n_vars > 0`.
+pub fn ty_with(rng: &mut impl Rng, depth: u32, bases: &[&str], n_vars: u32) -> Ty {
+    go(rng, depth, bases, n_vars)
+}
+
+fn go(rng: &mut impl Rng, depth: u32, bases: &[&str], n_vars: u32) -> Ty {
+    let leaf_only = depth == 0;
+    if leaf_only || rng.gen_bool(0.35) {
+        let n_leaf_kinds = if n_vars > 0 { 4 } else { 3 };
+        return match rng.gen_range(0..n_leaf_kinds) {
+            0 => Ty::Int,
+            1 => Ty::Unit,
+            2 if !bases.is_empty() => Ty::base(*rng.choose(bases)),
+            2 => Ty::Int,
+            _ => Ty::Var(rng.gen_range(0..n_vars)),
+        };
+    }
+    let a = go(rng, depth - 1, bases, n_vars);
+    let b = go(rng, depth - 1, bases, n_vars);
+    if rng.gen_bool(0.5) {
+        Ty::arrow(a, b)
+    } else {
+        Ty::prod(a, b)
+    }
+}
+
+/// [`ty_with`] over the standard test bases `tm` and `o`, with three type
+/// variables — the shape the kernel round-trip suite exercises.
+pub fn ty(rng: &mut impl Rng, depth: u32) -> Ty {
+    ty_with(rng, depth, &["tm", "o"], 3)
+}
+
+// ----------------------------------------------------------- signatures --
+
+/// Generates a well-formed signature with `n_types` base types
+/// (`b0 … bn-1`) and `n_consts` constants (`k0 … km-1`).
+///
+/// Each constant targets a random base type; argument positions are base
+/// types, `int`, `unit`, or second-order binding positions `bi -> bj`, so
+/// generated signatures exercise the HOAS representation of binders.
+pub fn signature(rng: &mut impl Rng, n_types: usize, n_consts: usize) -> Signature {
+    assert!(n_types > 0, "signature: need at least one base type");
+    let mut sig = Signature::new();
+    let bases: Vec<String> = (0..n_types).map(|i| format!("b{i}")).collect();
+    for b in &bases {
+        sig.declare_type(b.clone()).expect("fresh base type");
+    }
+    let base_ty = |i: usize| Ty::base(bases[i].clone());
+    for k in 0..n_consts {
+        let target = rng.gen_range(0..n_types);
+        let arity = rng.gen_range(0..4usize);
+        let args: Vec<Ty> = (0..arity)
+            .map(|_| match rng.gen_range(0..6u32) {
+                0 => Ty::Int,
+                1 => Ty::Unit,
+                2 => Ty::arrow(
+                    base_ty(rng.gen_range(0..n_types)),
+                    base_ty(rng.gen_range(0..n_types)),
+                ),
+                _ => base_ty(rng.gen_range(0..n_types)),
+            })
+            .collect();
+        sig.declare_const(
+            format!("k{k}"),
+            TyScheme::mono(Ty::arrows(args, base_ty(target))),
+        )
+        .expect("fresh constant");
+    }
+    sig
+}
+
+// ---------------------------------------------------- well-typed terms --
+
+/// Generates a well-typed, η-long canonical term of type `ty` in context
+/// `ctx` (innermost binder last, so de Bruijn index `i` refers to
+/// `ctx[ctx.len() - 1 - i]`).
+///
+/// Returns `None` when the signature offers no way to inhabit the type
+/// within the depth budget (e.g. an empty base type).
+pub fn term_of(
+    sig: &Signature,
+    rng: &mut impl Rng,
+    ctx: &mut Vec<Ty>,
+    ty: &Ty,
+    depth: u32,
+) -> Option<Term> {
+    match ty {
+        Ty::Arrow(a, b) => {
+            ctx.push((**a).clone());
+            let body = term_of(sig, rng, ctx, b, depth);
+            ctx.pop();
+            Some(Term::lam(format!("x{}", ctx.len()), body?))
+        }
+        Ty::Prod(a, b) => {
+            let l = term_of(sig, rng, ctx, a, depth)?;
+            let r = term_of(sig, rng, ctx, b, depth)?;
+            Some(Term::pair(l, r))
+        }
+        Ty::Unit => Some(Term::Unit),
+        Ty::Int => Some(Term::Int(rng.gen_range(-8i64..9))),
+        Ty::Var(_) => None,
+        Ty::Base(b) => {
+            // Heads that target this base: variables from the context and
+            // monomorphic constants. Each candidate is (head, arg types).
+            let mut heads: Vec<(Term, Vec<Ty>)> = Vec::new();
+            for (pos, vty) in ctx.iter().enumerate() {
+                let idx = (ctx.len() - 1 - pos) as u32;
+                let (args, cod) = vty.uncurry();
+                if matches!(cod, Ty::Base(c) if c == b) {
+                    heads.push((Term::Var(idx), args.into_iter().cloned().collect()));
+                }
+            }
+            for (name, scheme) in sig.consts() {
+                if let Some(mono) = scheme.as_mono() {
+                    let (args, cod) = mono.uncurry();
+                    if matches!(cod, Ty::Base(c) if c == b) {
+                        heads.push((
+                            Term::cnst(name.clone()),
+                            args.into_iter().cloned().collect(),
+                        ));
+                    }
+                }
+            }
+            if heads.is_empty() {
+                return None;
+            }
+            // Out of budget: prefer nullary heads to terminate.
+            let nullary: Vec<usize> = heads
+                .iter()
+                .enumerate()
+                .filter(|(_, (_, args))| args.is_empty())
+                .map(|(i, _)| i)
+                .collect();
+            let (head, arg_tys) = if depth == 0 {
+                if nullary.is_empty() {
+                    return None;
+                }
+                heads[*rng.choose(&nullary)].clone()
+            } else {
+                heads[rng.gen_range(0..heads.len())].clone()
+            };
+            let mut args = Vec::with_capacity(arg_tys.len());
+            for aty in &arg_tys {
+                args.push(term_of(sig, rng, ctx, aty, depth.saturating_sub(1))?);
+            }
+            Some(Term::apps(head, args))
+        }
+    }
+}
+
+/// Generates a **closed** well-typed canonical term of type `ty`.
+pub fn closed_term(sig: &Signature, rng: &mut impl Rng, ty: &Ty, depth: u32) -> Option<Term> {
+    term_of(sig, rng, &mut Vec::new(), ty, depth)
+}
+
+/// Generates an **open** well-typed canonical term in the given context.
+pub fn open_term(
+    sig: &Signature,
+    rng: &mut impl Rng,
+    ctx: &[Ty],
+    ty: &Ty,
+    depth: u32,
+) -> Option<Term> {
+    term_of(sig, rng, &mut ctx.to_vec(), ty, depth)
+}
+
+// ------------------------------------------------------ logic programs --
+
+/// A generated λProlog-style logic program: graph reachability over random
+/// edges, with a built-in oracle so solver answers can be checked exactly.
+#[derive(Clone, Debug)]
+pub struct LpSpec {
+    /// Number of node constants `n0 … n{k-1}`.
+    pub n_nodes: usize,
+    /// Directed edges as `(from, to)` node indices, deduplicated.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Generates a random reachability program with `n_nodes` nodes and about
+/// `n_edges` edges.
+pub fn lp_reachability(rng: &mut impl Rng, n_nodes: usize, n_edges: usize) -> LpSpec {
+    assert!(n_nodes > 0);
+    let mut edges: Vec<(usize, usize)> = (0..n_edges)
+        .map(|_| (rng.gen_range(0..n_nodes), rng.gen_range(0..n_nodes)))
+        .collect();
+    edges.sort_unstable();
+    edges.dedup();
+    LpSpec { n_nodes, edges }
+}
+
+impl LpSpec {
+    /// The program's signature in concrete syntax: node constants of type
+    /// `i` plus `edge`/`path` predicates.
+    pub fn sig_src(&self) -> String {
+        let mut s = String::from("type i. type o.\n");
+        for n in 0..self.n_nodes {
+            s.push_str(&format!("const n{n} : i.\n"));
+        }
+        s.push_str("const edge : i -> i -> o.\nconst path : i -> i -> o.\n");
+        s
+    }
+
+    /// The clauses as `(vars, head, body)` triples in concrete syntax:
+    /// one `edge` fact per edge, plus the two transitive-closure rules
+    /// for `path`.
+    pub fn clause_srcs(&self) -> Vec<(Vec<(String, String)>, String, Vec<String>)> {
+        let mut out: Vec<(Vec<(String, String)>, String, Vec<String>)> = self
+            .edges
+            .iter()
+            .map(|(a, b)| (Vec::new(), format!("edge n{a} n{b}"), Vec::new()))
+            .collect();
+        let i = |v: &str| (v.to_string(), "i".to_string());
+        out.push((
+            vec![i("X"), i("Y")],
+            "path ?X ?Y".into(),
+            vec!["edge ?X ?Y".into()],
+        ));
+        out.push((
+            vec![i("X"), i("Y"), i("Z")],
+            "path ?X ?Z".into(),
+            vec!["edge ?X ?Y".into(), "path ?Y ?Z".into()],
+        ));
+        out
+    }
+
+    /// The oracle: nodes reachable from `start` by one or more edges.
+    pub fn reachable_from(&self, start: usize) -> std::collections::BTreeSet<usize> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut work = vec![start];
+        while let Some(n) = work.pop() {
+            for &(a, b) in &self.edges {
+                if a == n && seen.insert(b) {
+                    work.push(b);
+                }
+            }
+        }
+        seen
+    }
+}
+
+// -------------------------------------------------------- rewrite rules --
+
+/// A generated rewrite rule in concrete syntax, ready for
+/// `hoas_rewrite::Rule::parse`: metavariable declarations, a left-hand
+/// pattern, and a strictly smaller right-hand side.
+#[derive(Clone, Debug)]
+pub struct RuleSpec {
+    /// Rule name (unique within the generated system).
+    pub name: String,
+    /// Metavariable declarations as `(name, type-src)` pairs.
+    pub vars: Vec<(String, String)>,
+    /// Left-hand side source.
+    pub lhs: String,
+    /// Right-hand side source.
+    pub rhs: String,
+    /// The type at which the rule rewrites, in concrete syntax.
+    pub ty: String,
+}
+
+/// Generates a terminating, orthogonal rewrite system over `sig`: at most
+/// one left-linear projection rule per constant (`k X₁ … Xₙ → Xᵢ` where
+/// `Xᵢ` has the constant's target type), so the system is confluent and
+/// every rewrite strictly shrinks the term.
+pub fn rewrite_rules(sig: &Signature, rng: &mut impl Rng) -> Vec<RuleSpec> {
+    // The pattern unifier (and so the rewrite matcher) supports
+    // metavariables only at arrows over base types and `int` — no
+    // products, unit, or type variables. Pattern variables get the
+    // constant's argument types, so skip constants outside that fragment.
+    fn meta_ok(ty: &Ty) -> bool {
+        match ty {
+            Ty::Base(_) | Ty::Int => true,
+            Ty::Arrow(a, b) => meta_ok(a) && meta_ok(b),
+            Ty::Prod(..) | Ty::Unit | Ty::Var(_) => false,
+        }
+    }
+    let mut rules = Vec::new();
+    for (name, scheme) in sig.consts() {
+        let Some(mono) = scheme.as_mono() else { continue };
+        let (args, cod) = mono.uncurry();
+        if !args.iter().all(|a| meta_ok(a)) {
+            continue;
+        }
+        // Candidate projections: argument positions whose type is exactly
+        // the constant's target type.
+        let candidates: Vec<usize> = args
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == cod)
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() || !rng.gen_bool(0.6) {
+            continue;
+        }
+        let proj = *rng.choose(&candidates);
+        let vars: Vec<(String, String)> = args
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (format!("X{i}"), a.to_string()))
+            .collect();
+        let lhs = std::iter::once(name.to_string())
+            .chain((0..args.len()).map(|i| format!("?X{i}")))
+            .collect::<Vec<_>>()
+            .join(" ");
+        rules.push(RuleSpec {
+            name: format!("proj-{name}-{proj}"),
+            vars,
+            lhs,
+            rhs: format!("?X{proj}"),
+            ty: cod.to_string(),
+        });
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+    use hoas_core::prelude::*;
+
+    #[test]
+    fn generated_types_are_well_formed_and_bounded() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for depth in 0..5u32 {
+            for _ in 0..50 {
+                let t = ty(&mut rng, depth);
+                assert!(t.size() <= 2usize.pow(depth + 1));
+            }
+        }
+    }
+
+    #[test]
+    fn generated_signatures_parse_back() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        for _ in 0..20 {
+            let sig = signature(&mut rng, 3, 8);
+            let printed = sig.to_string();
+            let reparsed = Signature::parse(&printed).unwrap();
+            assert_eq!(reparsed.to_string(), printed);
+        }
+    }
+
+    #[test]
+    fn generated_terms_typecheck_and_are_canonical() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut produced = 0;
+        for i in 0..60 {
+            let sig = signature(&mut rng, 2 + i % 3, 6 + i % 5);
+            let target = Ty::base("b0");
+            if let Some(t) = closed_term(&sig, &mut rng, &target, 4) {
+                produced += 1;
+                typeck::check_closed(&sig, &t, &target).unwrap();
+                assert!(normalize::is_canonical(
+                    &sig,
+                    &MetaEnv::new(),
+                    &Ctx::new(),
+                    &t,
+                    &target
+                ));
+            }
+        }
+        assert!(produced > 20, "generator inhabits most signatures: {produced}");
+    }
+
+    #[test]
+    fn open_terms_respect_their_context() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let sig = signature(&mut rng, 2, 8);
+        let ctx_tys = [Ty::base("b0"), Ty::arrow(Ty::base("b0"), Ty::base("b1"))];
+        for _ in 0..40 {
+            if let Some(t) = open_term(&sig, &mut rng, &ctx_tys, &Ty::base("b1"), 3) {
+                // Closing over the context must produce a well-typed term.
+                let closed = Term::lam("c0", Term::lam("c1", t));
+                let closed_ty = Ty::arrows(ctx_tys.to_vec(), Ty::base("b1"));
+                typeck::check_closed(&sig, &closed, &closed_ty).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn lp_spec_oracle_matches_hand_example() {
+        let spec = LpSpec {
+            n_nodes: 4,
+            edges: vec![(0, 1), (1, 2), (3, 0)],
+        };
+        let r: Vec<usize> = spec.reachable_from(0).into_iter().collect();
+        assert_eq!(r, vec![1, 2]);
+        let r3: Vec<usize> = spec.reachable_from(3).into_iter().collect();
+        assert_eq!(r3, vec![0, 1, 2]);
+        assert!(spec.sig_src().contains("const n3 : i."));
+        assert_eq!(spec.clause_srcs().len(), 3 + 2);
+    }
+
+    #[test]
+    fn rewrite_rules_are_projections_with_declared_vars() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let sig = signature(&mut rng, 2, 12);
+        let rules = rewrite_rules(&sig, &mut rng);
+        for r in &rules {
+            assert!(r.rhs.starts_with("?X"), "projection rhs: {}", r.rhs);
+            assert!(
+                r.vars.iter().any(|(v, _)| format!("?{v}") == r.rhs),
+                "rhs var is declared"
+            );
+        }
+    }
+}

@@ -11,8 +11,7 @@
 use hoas::langs::fol::{self, Formula, FoTerm, Model, Vocabulary};
 use hoas::rewrite::rulesets::fol_prenex;
 use hoas::rewrite::Engine;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::rng::SmallRng;
 use std::collections::HashMap;
 
 fn pred(p: &str, args: &[&str]) -> Formula {

@@ -3,20 +3,17 @@
 //! canonical terms, and exotic terms are rejected rather than decoded.
 //!
 //! Structured generation uses the languages' seeded generators driven by
-//! proptest-chosen seeds and sizes, so failures shrink over the seed
+//! harness-chosen seeds and sizes, so failures shrink over the seed
 //! space.
 
 use hoas::core::prelude::*;
 use hoas::langs::{fol, imp, lambda, miniml};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(96))]
+props! {
+    #![cases(96)]
 
-    #[test]
-    fn lambda_roundtrip(seed in any::<u64>(), size in 2usize..60) {
+    fn lambda_roundtrip(seed in seeds(), size in 2usize..60) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let t = lambda::gen_closed(&mut rng, size);
         let e = lambda::encode(&t).unwrap();
@@ -30,8 +27,7 @@ proptest! {
         prop_assert!(back.alpha_eq(&t));
     }
 
-    #[test]
-    fn fol_roundtrip(seed in any::<u64>(), depth in 1u32..6) {
+    fn fol_roundtrip(seed in seeds(), depth in 1u32..6) {
         let vocab = fol::Vocabulary::small();
         let sig = vocab.signature();
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -41,8 +37,7 @@ proptest! {
         prop_assert_eq!(fol::decode(&e).unwrap(), f);
     }
 
-    #[test]
-    fn imp_roundtrip_and_trace(seed in any::<u64>(), depth in 1u32..5) {
+    fn imp_roundtrip_and_trace(seed in seeds(), depth in 1u32..5) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let c = imp::gen_cmd(&mut rng, depth);
         let e = imp::encode(&c).unwrap();
@@ -56,8 +51,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn encoding_is_compositional_for_lambda_subst(seed in any::<u64>(), size in 2usize..30) {
+    fn encoding_is_compositional_for_lambda_subst(seed in seeds(), size in 2usize..30) {
         // encode(t[x:=s]) == object-level β on encodings — the adequacy
         // square for substitution (the paper's central theorem).
         let mut rng = SmallRng::seed_from_u64(seed);
@@ -73,8 +67,7 @@ proptest! {
         prop_assert_eq!(via_hoas, lambda::encode(&native).unwrap());
     }
 
-    #[test]
-    fn exotic_lambda_terms_rejected(seed in any::<u64>()) {
+    fn exotic_lambda_terms_rejected(seed in seeds()) {
         // `lam` applied to things that are not λ-abstractions must not
         // decode. (We build ill-formed-but-plausible terms by hand.)
         let mut rng = SmallRng::seed_from_u64(seed);

@@ -1,0 +1,152 @@
+//! Golden printer/parser round-trip tests: `parse ∘ print = id` on
+//! canonical (normal-form) encodings for the metalanguage core and every
+//! object language in `crates/langs`, with the printed output pinned in
+//! `tests/golden/*.golden`.
+//!
+//! The golden files catch printer drift (precedence, spacing, binder
+//! hints); the reparse check proves the printed syntax stays readable by
+//! the parser. Terms are generated from fixed seeds via the hermetic
+//! testkit RNG, so the files are stable across machines.
+//!
+//! To regenerate after an intentional printer change:
+//! `HOAS_UPDATE_GOLDEN=1 cargo test --test golden_roundtrip`.
+
+use hoas::core::prelude::*;
+use hoas::langs::{fol, imp, lambda, miniml};
+use hoas_testkit::prelude::*;
+use std::path::PathBuf;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(format!("{name}.golden"))
+}
+
+/// Asserts `parse ∘ print = id` for every term, then compares the joined
+/// printed output against the checked-in golden file.
+fn roundtrip_and_compare(name: &str, sig: &Signature, terms: &[Term]) {
+    let printed: Vec<String> = terms.iter().map(|t| t.to_string()).collect();
+    for (t, src) in terms.iter().zip(&printed) {
+        let back = parse_term(sig, src)
+            .unwrap_or_else(|e| panic!("[{name}] printed form does not reparse: {src}\n  {e}"))
+            .term;
+        assert_eq!(&back, t, "[{name}] parse ∘ print ≠ id on {src}");
+    }
+    compare_golden(name, &printed);
+}
+
+fn compare_golden(name: &str, lines: &[String]) {
+    let path = golden_path(name);
+    let body = lines.join("\n") + "\n";
+    if std::env::var("HOAS_UPDATE_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &body).unwrap();
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden file {path:?} ({e}); run with HOAS_UPDATE_GOLDEN=1 to create it")
+    });
+    assert_eq!(
+        body, want,
+        "[{name}] golden mismatch — if the printer change is intentional, \
+         re-run with HOAS_UPDATE_GOLDEN=1 and review the diff"
+    );
+}
+
+#[test]
+fn core_types_roundtrip_golden() {
+    // Types exercise arrow/product precedence and grouping.
+    let mut rng = SmallRng::seed_from_u64(0x7479);
+    let mut tys: Vec<Ty> = (0..12)
+        .map(|i| hoas_testkit::gen::ty(&mut rng, 1 + (i % 4)))
+        .collect();
+    tys.push(Ty::arrow(
+        Ty::arrow(Ty::base("tm"), Ty::base("tm")),
+        Ty::prod(Ty::Int, Ty::Unit),
+    ));
+    let printed: Vec<String> = tys.iter().map(|t| t.to_string()).collect();
+    for (ty, src) in tys.iter().zip(&printed) {
+        assert_eq!(&parse_ty(src).unwrap(), ty, "parse ∘ print ≠ id on {src}");
+    }
+    compare_golden("core_types", &printed);
+}
+
+#[test]
+fn core_terms_roundtrip_golden() {
+    // Canonical λ-calculus encodings exercise the core printer's binders,
+    // application spines, and name freshening.
+    let sig = lambda::signature();
+    let mut rng = SmallRng::seed_from_u64(0x636f7265);
+    let terms: Vec<Term> = (0..10)
+        .map(|i| {
+            let t = lambda::encode(&lambda::gen_closed(&mut rng, 6 + 3 * i)).unwrap();
+            normalize::canon_closed(sig, &t, &lambda::tm()).unwrap()
+        })
+        .collect();
+    roundtrip_and_compare("core_terms", sig, &terms);
+}
+
+#[test]
+fn lambda_encodings_roundtrip_golden() {
+    let sig = lambda::signature();
+    let mut rng = SmallRng::seed_from_u64(0x6c616d);
+    let terms: Vec<Term> = (0..10)
+        .map(|_| lambda::encode(&lambda::gen_closed(&mut rng, 12)).unwrap())
+        .collect();
+    roundtrip_and_compare("lambda", sig, &terms);
+}
+
+#[test]
+fn fol_encodings_roundtrip_golden() {
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let mut rng = SmallRng::seed_from_u64(0x666f6c);
+    let terms: Vec<Term> = (0..10)
+        .map(|i| fol::encode(&fol::gen_formula(&vocab, &mut rng, 1 + (i % 4))).unwrap())
+        .collect();
+    roundtrip_and_compare("fol", &sig, &terms);
+}
+
+#[test]
+fn imp_encodings_roundtrip_golden() {
+    let sig = imp::signature();
+    let mut rng = SmallRng::seed_from_u64(0x696d70);
+    let terms: Vec<Term> = (0..10)
+        .map(|i| imp::encode(&imp::gen_cmd(&mut rng, 1 + (i % 3))).unwrap())
+        .collect();
+    roundtrip_and_compare("imp", sig, &terms);
+}
+
+#[test]
+fn miniml_encodings_roundtrip_golden() {
+    // Mini-ML has no random generator; pin the structured corpus.
+    let sig = miniml::signature();
+    let corpus = vec![
+        miniml::add_fn(),
+        miniml::mul_fn(),
+        miniml::fact_fn(),
+        miniml::Exp::app(
+            miniml::Exp::app(miniml::add_fn(), miniml::Exp::num(2)),
+            miniml::Exp::num(3),
+        ),
+        miniml::Exp::case(
+            miniml::Exp::num(1),
+            miniml::Exp::Z,
+            "n",
+            miniml::Exp::let_(
+                "m",
+                miniml::Exp::var("n"),
+                miniml::Exp::s(miniml::Exp::var("m")),
+            ),
+        ),
+        miniml::Exp::fix(
+            "f",
+            miniml::Exp::lam(
+                "x",
+                miniml::Exp::app(miniml::Exp::var("f"), miniml::Exp::var("x")),
+            ),
+        ),
+    ];
+    let terms: Vec<Term> = corpus.iter().map(|p| miniml::encode(p).unwrap()).collect();
+    roundtrip_and_compare("miniml", sig, &terms);
+}

@@ -1,0 +1,208 @@
+//! Deterministic unit tests for kernel edge cases that random generation
+//! rarely hits: η-long canonical forms at product and unit type,
+//! capture-avoiding substitution under nested binders, and the identity /
+//! composition laws of the explicit-substitution calculus.
+
+use hoas::core::prelude::*;
+use hoas::core::sub::Sub;
+
+fn sig() -> Signature {
+    Signature::parse(
+        "type b.
+         const c : b.
+         const f : b -> b.
+         const g : (b -> b) -> b.
+         const h : b * b -> b.
+         const u : unit -> b.",
+    )
+    .unwrap()
+}
+
+// ------------------------------------------- η-long canonical forms --
+
+#[test]
+fn eta_long_at_unit_type_is_the_unit_value() {
+    let s = sig();
+    // λx:unit. x is β-normal but not η-long: at type unit everything is ().
+    let ty = parse_ty("unit -> unit").unwrap();
+    let t = Term::lam("x", Term::Var(0));
+    let c = normalize::canon_closed(&s, &t, &ty).unwrap();
+    assert_eq!(c, Term::lam("x", Term::Unit));
+    assert!(normalize::is_canonical(&s, &MetaEnv::new(), &Ctx::new(), &c, &ty));
+    // A constant applied at unit argument type: the argument canonicalizes
+    // to () too.
+    let app_ty = Ty::base("b");
+    let t2 = Term::app(Term::cnst("u"), Term::Unit);
+    let c2 = normalize::canon_closed(&s, &t2, &app_ty).unwrap();
+    assert_eq!(c2, t2);
+}
+
+#[test]
+fn eta_long_at_product_type_is_a_pair_of_projections() {
+    let s = sig();
+    // λp. p at b*b -> b*b η-expands the body to ⟨fst p, snd p⟩.
+    let ty = parse_ty("b * b -> b * b").unwrap();
+    let t = Term::lam("p", Term::Var(0));
+    let c = normalize::canon_closed(&s, &t, &ty).unwrap();
+    assert_eq!(
+        c,
+        Term::lam("p", Term::pair(Term::fst(Term::Var(0)), Term::snd(Term::Var(0))))
+    );
+    assert!(normalize::is_canonical(&s, &MetaEnv::new(), &Ctx::new(), &c, &ty));
+    // Canonicalization is idempotent on the expanded form.
+    assert_eq!(normalize::canon_closed(&s, &c, &ty).unwrap(), c);
+}
+
+#[test]
+fn eta_long_under_nested_products_and_arrows() {
+    let s = sig();
+    // A function argument position: h takes a pair, g takes a function;
+    // λq. h q must η-expand q to a pair, and λk. g k must η-expand k to
+    // λx. k x.
+    let pair_ty = parse_ty("b * b -> b").unwrap();
+    let cp = normalize::canon_closed(
+        &s,
+        &Term::lam("q", Term::app(Term::cnst("h"), Term::Var(0))),
+        &pair_ty,
+    )
+    .unwrap();
+    assert_eq!(
+        cp,
+        Term::lam(
+            "q",
+            Term::app(
+                Term::cnst("h"),
+                Term::pair(Term::fst(Term::Var(0)), Term::snd(Term::Var(0)))
+            )
+        )
+    );
+    let fun_ty = parse_ty("(b -> b) -> b").unwrap();
+    let cf = normalize::canon_closed(
+        &s,
+        &Term::lam("k", Term::app(Term::cnst("g"), Term::Var(0))),
+        &fun_ty,
+    )
+    .unwrap();
+    assert_eq!(
+        cf,
+        Term::lam(
+            "k",
+            Term::app(
+                Term::cnst("g"),
+                Term::lam("x", Term::app(Term::Var(1), Term::Var(0)))
+            )
+        )
+    );
+    // η-contraction undoes exactly the function expansion…
+    let contracted = normalize::eta_contract(&cf);
+    // …and re-canonicalization restores it.
+    assert_eq!(normalize::canon_closed(&s, &contracted, &fun_ty).unwrap(), cf);
+}
+
+// --------------------------- capture avoidance under nested binders --
+
+#[test]
+fn instantiate_shifts_open_arguments_under_binders() {
+    // body = λy. x₁ y  (de Bruijn: λ. (Var 1) (Var 0)); instantiating the
+    // *outer* variable with the free Var(0) must shift it to Var(1)
+    // inside the binder — a naive textual substitution would capture it.
+    let body = Term::lam("y", Term::app(Term::Var(1), Term::Var(0)));
+    let arg = Term::Var(0);
+    let got = subst::instantiate(&body, &arg);
+    assert_eq!(got, Term::lam("y", Term::app(Term::Var(1), Term::Var(0))));
+    // Two binders deep: λy. λz. x₂ is instantiated to λy. λz. (arg + 2).
+    let body2 = Term::lam("y", Term::lam("z", Term::Var(2)));
+    let got2 = subst::instantiate(&body2, &arg);
+    assert_eq!(got2, Term::lam("y", Term::lam("z", Term::Var(2))));
+}
+
+#[test]
+fn instantiate_with_closed_argument_under_nested_binders() {
+    // β-reducing (λx. λy. λz. x) c keeps c closed at every depth.
+    let c = Term::app(Term::cnst("f"), Term::cnst("c"));
+    let body = Term::lam("y", Term::lam("z", Term::Var(2)));
+    let got = subst::instantiate(&body, &c);
+    assert_eq!(got, Term::lam("y", Term::lam("z", c.clone())));
+    // And an argument that itself binds: no renaming or index slippage.
+    let lam_arg = Term::lam("w", Term::app(Term::cnst("f"), Term::Var(0)));
+    let got2 = subst::instantiate(&body, &lam_arg);
+    assert_eq!(got2, Term::lam("y", Term::lam("z", lam_arg.clone())));
+}
+
+#[test]
+fn hoas_beta_is_capture_avoiding_by_construction() {
+    // The paper's point, as a kernel fact: applying λx. λy. x to the open
+    // term Var(0) (an ambient "y") yields λy. Var(1) — the ambient
+    // variable is *not* captured by the inner binder.
+    let two = Term::lam("x", Term::lam("y", Term::Var(1)));
+    let Term::Lam(_, body) = &two else { unreachable!() };
+    let r = subst::instantiate(body, &Term::Var(0));
+    assert_eq!(r, Term::lam("y", Term::Var(1)));
+    assert_ne!(r, Term::lam("y", Term::Var(0)), "capture would give λy. y");
+}
+
+// ------------------------------- substitution calculus (sub.rs) laws --
+
+#[test]
+fn sub_identity_laws() {
+    let s = sig();
+    let subject = Term::lam(
+        "x",
+        Term::apps(
+            Term::cnst("h"),
+            [Term::pair(Term::Var(0), Term::app(Term::cnst("f"), Term::Var(1)))],
+        ),
+    );
+    let _ = &s;
+    // id is a left and right unit for composition, and acts trivially.
+    let id = Sub::id();
+    assert!(id.is_empty());
+    assert_eq!(id.apply(&subject), subject);
+    let some = Sub::cons(Term::cnst("c"), &Sub::weaken(1));
+    assert_eq!(id.compose(&some), some);
+    assert_eq!(some.compose(&id), some);
+    // lift(id) = id observationally.
+    assert_eq!(Sub::id().lift().apply(&subject), subject);
+}
+
+#[test]
+fn sub_composition_is_associative_on_subjects() {
+    let a = Sub::cons(Term::cnst("c"), &Sub::weaken(2));
+    let b = Sub::cons(Term::app(Term::cnst("f"), Term::Var(0)), &Sub::weaken(1));
+    let c = Sub::cons(Term::Var(3), &Sub::id());
+    let subject = Term::apps(
+        Term::cnst("h"),
+        [Term::pair(Term::Var(0), Term::Var(2))],
+    );
+    // (a ∘ b) ∘ c and a ∘ (b ∘ c) agree as substitutions.
+    let left = a.compose(&b).compose(&c);
+    let right = a.compose(&b.compose(&c));
+    assert_eq!(left, right);
+    // And composition means "apply in sequence".
+    assert_eq!(left.apply(&subject), a.apply(&b.apply(&c.apply(&subject))));
+}
+
+#[test]
+fn weaken_composes_additively() {
+    let subject = Term::app(Term::Var(0), Term::Var(3));
+    let ab = Sub::weaken(2).compose(&Sub::weaken(3));
+    assert_eq!(ab, Sub::weaken(5));
+    assert_eq!(ab.apply(&subject), Term::app(Term::Var(5), Term::Var(8)));
+    // single(t) ∘ ↑1 cancels observationally: weakening first, then
+    // substituting for the (now unused) Var(0) maps every Var(i) to
+    // itself.
+    let t = Term::cnst("c");
+    let cancel = Sub::single(t).compose(&Sub::weaken(1));
+    assert_eq!(cancel.apply(&subject), subject);
+}
+
+#[test]
+fn beta_is_cons_on_id() {
+    // β-contraction of (λx. x c x) f·c is exactly single(arg).
+    let arg = Term::app(Term::cnst("f"), Term::cnst("c"));
+    let body = Term::apps(Term::Var(0), [Term::cnst("c"), Term::Var(0)]);
+    assert_eq!(
+        Sub::single(arg.clone()).apply(&body),
+        subst::instantiate(&body, &arg)
+    );
+}

@@ -1,28 +1,21 @@
 //! Property tests for the metalanguage kernel: substitution laws,
 //! normalization, canonical forms, and the printer/parser round trip.
+//!
+//! Runs on the hermetic `hoas-testkit` harness: every property executes a
+//! fixed number of deterministic cases under the workspace seed (see
+//! `hoas_testkit::prop::DEFAULT_SEED`); failures report a case seed
+//! replayable via `HOAS_PROP_CASE=<seed>`.
 
 use hoas::core::prelude::*;
 use hoas::langs::lambda;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::gen;
+use hoas_testkit::prelude::*;
 
-/// A proptest strategy for simple types (no binding constraints, so a
-/// direct recursive strategy works).
-fn ty_strategy() -> impl Strategy<Value = Ty> {
-    let leaf = prop_oneof![
-        Just(Ty::Int),
-        Just(Ty::Unit),
-        Just(Ty::base("tm")),
-        Just(Ty::base("o")),
-        (0u32..3).prop_map(Ty::Var),
-    ];
-    leaf.prop_recursive(4, 24, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| Ty::arrow(a, b)),
-            (inner.clone(), inner).prop_map(|(a, b)| Ty::prod(a, b)),
-        ]
-    })
+/// A random simple type over the kernel's standard bases (including
+/// `int`/`unit`/type variables), from a seed and a depth bound. The depth
+/// rides last in each strategy tuple so shrinking reduces it first.
+fn random_ty(seed: u64, depth: u32) -> Ty {
+    gen::ty(&mut SmallRng::seed_from_u64(seed), depth)
 }
 
 /// Well-typed closed terms of type `tm`, via the λ-calculus generator.
@@ -31,18 +24,18 @@ fn well_typed_term(seed: u64, size: usize) -> Term {
     lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
-    #[test]
-    fn ty_display_parse_roundtrip(ty in ty_strategy()) {
+    fn ty_display_parse_roundtrip(seed in seeds(), depth in 0u32..5) {
+        let ty = random_ty(seed, depth);
         let printed = ty.to_string();
         let reparsed = parse_ty(&printed).unwrap();
         prop_assert_eq!(reparsed, ty);
     }
 
-    #[test]
-    fn ty_subst_deep_is_idempotent_on_ground(ty in ty_strategy()) {
+    fn ty_subst_deep_is_idempotent_on_ground(seed in seeds(), depth in 0u32..5) {
+        let ty = random_ty(seed, depth);
         let map: std::collections::HashMap<u32, Ty> =
             [(0, Ty::Int), (1, Ty::Unit), (2, Ty::base("tm"))].into_iter().collect();
         let once = ty.subst_deep(&map);
@@ -54,15 +47,13 @@ proptest! {
         prop_assert_eq!(sch.body(), &once);
     }
 
-    #[test]
-    fn shift_then_unshift_is_identity(seed in any::<u64>(), size in 2usize..40, d in 0u32..5) {
+    fn shift_then_unshift_is_identity(seed in seeds(), size in 2usize..40, d in 0u32..5) {
         let t = well_typed_term(seed, size);
         let shifted = subst::shift(&t, d);
         prop_assert_eq!(subst::unshift_above(&shifted, d, 0), t);
     }
 
-    #[test]
-    fn shift_composes(seed in any::<u64>(), size in 2usize..40, a in 0u32..4, b in 0u32..4) {
+    fn shift_composes(seed in seeds(), size in 2usize..40, a in 0u32..4, b in 0u32..4) {
         let t = well_typed_term(seed, size);
         prop_assert_eq!(
             subst::shift(&subst::shift(&t, a), b),
@@ -70,8 +61,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn nf_is_idempotent(seed in any::<u64>(), size in 2usize..35) {
+    fn nf_is_idempotent(seed in seeds(), size in 2usize..35) {
         // Well-typed closed encodings normalize, and nf is idempotent.
         let t = well_typed_term(seed, size);
         let n1 = normalize::nf(&t);
@@ -79,8 +69,7 @@ proptest! {
         prop_assert_eq!(normalize::nf(&n1), n1);
     }
 
-    #[test]
-    fn hereditary_apply_agrees_with_subst_then_nf(seed in any::<u64>(), size in 2usize..30) {
+    fn hereditary_apply_agrees_with_subst_then_nf(seed in seeds(), size in 2usize..30) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let body_src = lambda::gen_closed(&mut rng, size);
         let arg_src = lambda::gen_closed(&mut rng, size / 2 + 1);
@@ -98,8 +87,7 @@ proptest! {
         prop_assert_eq!(hereditary, naive);
     }
 
-    #[test]
-    fn canon_is_idempotent_and_checked(seed in any::<u64>(), size in 2usize..30) {
+    fn canon_is_idempotent_and_checked(seed in seeds(), size in 2usize..30) {
         let sig = lambda::signature();
         let t = well_typed_term(seed, size);
         let c1 = normalize::canon_closed(sig, &t, &lambda::tm()).unwrap();
@@ -111,8 +99,7 @@ proptest! {
         typeck::check_closed(sig, &c1, &lambda::tm()).unwrap();
     }
 
-    #[test]
-    fn printer_parser_roundtrip_on_terms(seed in any::<u64>(), size in 2usize..40) {
+    fn printer_parser_roundtrip_on_terms(seed in seeds(), size in 2usize..40) {
         let sig = lambda::signature();
         let t = well_typed_term(seed, size);
         let printed = t.to_string();
@@ -120,8 +107,7 @@ proptest! {
         prop_assert_eq!(reparsed, t, "printed as {}", printed);
     }
 
-    #[test]
-    fn eta_contract_preserves_beta_eta_class(seed in any::<u64>(), size in 2usize..25) {
+    fn eta_contract_preserves_beta_eta_class(seed in seeds(), size in 2usize..25) {
         let sig = lambda::signature();
         let t = well_typed_term(seed, size);
         let c = normalize::canon_closed(sig, &t, &lambda::tm()).unwrap();
@@ -132,8 +118,7 @@ proptest! {
         prop_assert_eq!(again, c);
     }
 
-    #[test]
-    fn reconstruction_agrees_with_checking(seed in any::<u64>(), size in 2usize..35) {
+    fn reconstruction_agrees_with_checking(seed in seeds(), size in 2usize..35) {
         let sig = lambda::signature();
         let t = well_typed_term(seed, size);
         let ty = infer::reconstruct(sig, &t).unwrap();
@@ -141,8 +126,7 @@ proptest! {
         typeck::check_closed(sig, &t, &ty).unwrap();
     }
 
-    #[test]
-    fn fueled_nf_agrees_with_nf(seed in any::<u64>(), size in 2usize..30) {
+    fn fueled_nf_agrees_with_nf(seed in seeds(), size in 2usize..30) {
         let t = well_typed_term(seed, size);
         // Closed well-typed encodings of type tm have no redexes at all,
         // so make one: ((λy. y) t).
@@ -158,7 +142,6 @@ proptest! {
 fn random_sub(seed: u64) -> hoas::core::sub::Sub {
     use hoas::core::sub::Sub;
     let mut rng = SmallRng::seed_from_u64(seed);
-    use rand::Rng;
     let n = rng.gen_range(0..4);
     let entries: Vec<Term> = (0..n)
         .map(|i| {
@@ -177,11 +160,10 @@ fn random_sub(seed: u64) -> hoas::core::sub::Sub {
     s
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+props! {
+    #![cases(128)]
 
-    #[test]
-    fn sub_composition_law(sa in any::<u64>(), sb in any::<u64>(), st in any::<u64>(), size in 2usize..25) {
+    fn sub_composition_law(sa in seeds(), sb in seeds(), st in seeds(), size in 2usize..25) {
         let a = random_sub(sa);
         let b = random_sub(sb);
         // An open-ish subject: a closed encoding applied to free variables.
@@ -198,8 +180,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn sub_single_agrees_with_instantiate(seed in any::<u64>(), size in 2usize..25) {
+    fn sub_single_agrees_with_instantiate(seed in seeds(), size in 2usize..25) {
         use hoas::core::sub::Sub;
         let mut rng = SmallRng::seed_from_u64(seed);
         let arg = lambda::encode(&lambda::gen_closed(&mut rng, size / 2 + 2)).unwrap();
@@ -211,8 +192,7 @@ proptest! {
         );
     }
 
-    #[test]
-    fn sub_lift_commutes_with_binder(sa in any::<u64>(), st in any::<u64>(), size in 2usize..20) {
+    fn sub_lift_commutes_with_binder(sa in seeds(), st in seeds(), size in 2usize..20) {
         let s = random_sub(sa);
         let mut rng = SmallRng::seed_from_u64(st);
         let closed = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
@@ -225,8 +205,7 @@ proptest! {
 
     // ------------------------- failure injection -------------------------
 
-    #[test]
-    fn parser_never_panics_on_garbage(src in "[ -~\\n]{0,80}") {
+    fn parser_never_panics_on_garbage(src in ascii_string(80)) {
         let sig = lambda::signature();
         // Any outcome is fine; panicking is not.
         let _ = parse_term(sig, &src);
@@ -234,16 +213,15 @@ proptest! {
         let _ = Signature::parse(&src);
     }
 
-    #[test]
     fn parser_never_panics_on_structured_soup(
-        toks in proptest::collection::vec(
-            prop_oneof![
-                Just("lam"), Just("app"), Just("("), Just(")"), Just("\\"),
-                Just("."), Just("x"), Just("?M"), Just(","), Just("->"),
-                Just("fst"), Just("snd"), Just("123"), Just("-"), Just(":"),
+        toks in token_soup(
+            &[
+                "lam", "app", "(", ")", "\\",
+                ".", "x", "?M", ",", "->",
+                "fst", "snd", "123", "-", ":",
             ],
-            0..24,
-        )
+            24,
+        ),
     ) {
         let sig = lambda::signature();
         let src = toks.join(" ");
@@ -251,8 +229,7 @@ proptest! {
         let _ = parse_ty(&src);
     }
 
-    #[test]
-    fn decoder_never_panics_on_arbitrary_wellformed_terms(seed in any::<u64>(), size in 2usize..25) {
+    fn decoder_never_panics_on_arbitrary_wellformed_terms(seed in seeds(), size in 2usize..25) {
         // Feed λ-calculus encodings to the *wrong* decoders: must error,
         // not panic.
         let t = well_typed_term(seed, size);

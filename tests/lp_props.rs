@@ -10,10 +10,11 @@ use hoas::langs::miniml::Exp;
 use hoas::langs::miniml_types::{self, MlTy};
 use hoas::lp::examples::stlc_program;
 use hoas::lp::solve::{query_menv, solve, SolveConfig};
+use hoas::lp::{Clause, Program};
+use hoas_core::sig::Signature;
 use hoas_core::Term;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::gen;
+use hoas_testkit::prelude::*;
 use std::collections::HashMap;
 
 /// Renders an `MlTy` with variables densely renamed in first-occurrence
@@ -88,11 +89,10 @@ fn to_lp_syntax(t: &LTerm) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases(64)]
 
-    #[test]
-    fn lp_inference_agrees_with_hindley_milner(seed in any::<u64>(), size in 2usize..16) {
+    fn lp_inference_agrees_with_hindley_milner(seed in seeds(), size in 2usize..16) {
         let mut rng = SmallRng::seed_from_u64(seed);
         let term = lambda::gen_closed(&mut rng, size);
         // HM via the conventional implementation.
@@ -128,14 +128,57 @@ proptest! {
             }
             (Err(_), None) => {} // both reject
             (Ok(t), None) => {
-                return Err(TestCaseError::fail(format!(
-                    "HM types {term} as {t} but lp finds no proof"
-                )));
+                return Err(format!("HM types {term} as {t} but lp finds no proof"));
             }
             (Err(e), Some(a)) => {
-                return Err(TestCaseError::fail(format!(
-                    "HM rejects {term} ({e}) but lp answers {a}"
-                )));
+                return Err(format!("HM rejects {term} ({e}) but lp answers {a}"));
+            }
+        }
+    }
+
+    fn lp_reachability_agrees_with_bfs_oracle(
+        seed in seeds(), n_nodes in 2usize..6, n_edges in 0usize..10
+    ) {
+        // A generated edge/path program over a random graph, checked
+        // against the testkit's BFS oracle: every proved `path` is truly
+        // reachable, and when the search terminates without budget cuts,
+        // every unproved `path` is truly unreachable.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let spec = gen::lp_reachability(&mut rng, n_nodes, n_edges);
+        let sig = Signature::parse(&spec.sig_src()).unwrap();
+        let mut prog = Program::new(sig);
+        for (vars, head, body) in spec.clause_srcs() {
+            let vars: Vec<(&str, &str)> =
+                vars.iter().map(|(v, t)| (v.as_str(), t.as_str())).collect();
+            let body: Vec<&str> = body.iter().map(|g| g.as_str()).collect();
+            let clause = Clause::parse(prog.sig(), &vars, &head, &body).unwrap();
+            prog.push(clause);
+        }
+        let start = rng.gen_range(0..spec.n_nodes);
+        let oracle = spec.reachable_from(start);
+        // Cyclic graphs have infinitely many derivations, so the search
+        // is depth-bounded; a cut branch makes a *negative* answer
+        // inconclusive, but positives stay sound.
+        let cfg = SolveConfig {
+            max_depth: 2 * spec.n_nodes as u32 + 4,
+            fuel: 200_000,
+            ..SolveConfig::default()
+        };
+        for end in 0..spec.n_nodes {
+            let (goal, menv) =
+                query_menv(prog.sig(), &format!("path n{start} n{end}"), &[]).unwrap();
+            let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+            prop_assert!(!out.floundered, "ground queries never flounder");
+            if !out.answers.is_empty() {
+                prop_assert!(
+                    oracle.contains(&end),
+                    "lp proves path n{} n{} but the oracle disagrees", start, end
+                );
+            } else if !out.exhausted {
+                prop_assert!(
+                    !oracle.contains(&end),
+                    "exhaustive search misses path n{} n{}", start, end
+                );
             }
         }
     }

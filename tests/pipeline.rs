@@ -7,8 +7,7 @@ use hoas::langs::{fol, imp, lambda, miniml};
 use hoas::rewrite::rulesets::{fol_prenex, imp_opt, miniml_opt};
 use hoas::rewrite::Engine;
 use hoas::syntaxdef::{Arg, LanguageDef};
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::rng::SmallRng;
 use std::collections::HashMap;
 
 #[test]
@@ -159,24 +158,28 @@ fn syntaxdef_language_drives_the_rewrite_engine() {
 #[test]
 fn lambda_normalization_cross_checked_three_ways() {
     // Native AST reduction, HOAS-driver reduction, and the first-order
-    // de Bruijn baseline all agree on random closed terms.
-    let mut rng = SmallRng::seed_from_u64(0xABCD);
-    let mut compared = 0;
-    for _ in 0..60 {
-        let t = lambda::gen_closed(&mut rng, 20);
-        let native = lambda::normalize_native(&t, 400);
-        let hoas = lambda::normalize_hoas(&t, 400);
-        if let (Ok(a), Ok(b)) = (native, hoas) {
-            assert!(a.alpha_eq(&b), "native {a} vs hoas {b} for {t}");
-            // And the de Bruijn projections agree exactly.
-            assert_eq!(
-                hoas::firstorder::convert::to_debruijn(&lambda::to_tree(&a)),
-                hoas::firstorder::convert::to_debruijn(&lambda::to_tree(&b)),
-            );
-            compared += 1;
+    // de Bruijn baseline all agree on random closed terms. Intermediate
+    // reducts can get deep within the fuel budget, so run on a wide
+    // stack.
+    hoas_testkit::with_stack(256, || {
+        let mut rng = SmallRng::seed_from_u64(0xABCD);
+        let mut compared = 0;
+        for _ in 0..60 {
+            let t = lambda::gen_closed(&mut rng, 20);
+            let native = lambda::normalize_native(&t, 400);
+            let hoas = lambda::normalize_hoas(&t, 400);
+            if let (Ok(a), Ok(b)) = (native, hoas) {
+                assert!(a.alpha_eq(&b), "native {a} vs hoas {b} for {t}");
+                // And the de Bruijn projections agree exactly.
+                assert_eq!(
+                    hoas::firstorder::convert::to_debruijn(&lambda::to_tree(&a)),
+                    hoas::firstorder::convert::to_debruijn(&lambda::to_tree(&b)),
+                );
+                compared += 1;
+            }
         }
-    }
-    assert!(compared > 30, "only {compared} terms normalized in budget");
+        assert!(compared > 30, "only {compared} terms normalized in budget");
+    });
 }
 
 #[test]

@@ -1,13 +1,13 @@
 //! Property tests for the rewrite engine: type preservation, strategy
-//! agreement on terminating confluent systems, trace well-formedness.
+//! agreement on terminating confluent systems, trace well-formedness, and
+//! randomly generated orthogonal projection systems.
 
 use hoas::core::prelude::*;
 use hoas::langs::fol;
 use hoas::rewrite::rulesets::{fol_cnf, fol_prenex};
-use hoas::rewrite::{Engine, EngineConfig, Strategy};
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas::rewrite::{Engine, EngineConfig, Rule, RuleSet, Strategy};
+use hoas_testkit::gen;
+use hoas_testkit::prelude::*;
 
 fn formula_term(seed: u64, depth: u32) -> (Signature, Term) {
     let vocab = fol::Vocabulary::small();
@@ -18,11 +18,10 @@ fn formula_term(seed: u64, depth: u32) -> (Signature, Term) {
     (sig, t)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![cases(64)]
 
-    #[test]
-    fn rewriting_preserves_typing(seed in any::<u64>(), depth in 2u32..5) {
+    fn rewriting_preserves_typing(seed in seeds(), depth in 2u32..5) {
         let (sig, t) = formula_term(seed, depth);
         let rules = fol_prenex::rules(&sig).unwrap();
         let engine = Engine::new(&sig, &rules);
@@ -33,8 +32,7 @@ proptest! {
         prop_assert!(fol::decode(&out.term).is_ok());
     }
 
-    #[test]
-    fn strategies_reach_equivalent_normal_forms(seed in any::<u64>(), depth in 2u32..4) {
+    fn strategies_reach_equivalent_normal_forms(seed in seeds(), depth in 2u32..4) {
         // The prenex system is terminating; both strategies must reach
         // *a* prenex normal form of the same formula (prenex NF is not
         // unique syntactically — prefixes can interleave differently —
@@ -70,8 +68,7 @@ proptest! {
         }
     }
 
-    #[test]
-    fn traces_replay(seed in any::<u64>(), depth in 2u32..4) {
+    fn traces_replay(seed in seeds(), depth in 2u32..4) {
         // The recorded trace replays step by step: applying rewrite_once
         // repeatedly yields the same intermediate count and final term.
         let (sig, t) = formula_term(seed, depth);
@@ -91,8 +88,7 @@ proptest! {
         prop_assert_eq!(cur, out.term);
     }
 
-    #[test]
-    fn rule_application_count_bounded_by_budget(seed in any::<u64>(), budget in 0usize..6) {
+    fn rule_application_count_bounded_by_budget(seed in seeds(), budget in 0usize..6) {
         let (sig, t) = formula_term(seed, 4);
         let rules = fol_prenex::rules(&sig).unwrap();
         let engine = Engine::with_config(
@@ -109,5 +105,68 @@ proptest! {
         if !out.fixpoint {
             prop_assert_eq!(out.steps, budget);
         }
+    }
+
+    fn generated_projection_systems_terminate_and_preserve_typing(
+        seed in seeds(), depth in 1u32..4
+    ) {
+        // Random signature, random orthogonal projection rules over it
+        // (each `k X₁ … Xₙ → Xᵢ` strictly shrinks the term), and a random
+        // well-typed subject: normalization must reach a fixpoint in at
+        // most `size` steps and preserve typing throughout.
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let sig = gen::signature(&mut rng, 2, 8);
+        let specs = gen::rewrite_rules(&sig, &mut rng);
+        let mut rules = RuleSet::new();
+        for sp in &specs {
+            let metas: Vec<(&str, &str)> =
+                sp.vars.iter().map(|(v, t)| (v.as_str(), t.as_str())).collect();
+            let ty = parse_ty(&sp.ty).unwrap();
+            rules.push(Rule::parse(&sig, &sp.name, &ty, &metas, &sp.lhs, &sp.rhs).unwrap());
+        }
+        if rules.is_empty() {
+            return Ok(());
+        }
+        let target = Ty::base("b0");
+        let Some(t) = gen::closed_term(&sig, &mut rng, &target, depth) else {
+            return Ok(());
+        };
+        let engine = Engine::new(&sig, &rules);
+        let out = engine.normalize(&target, &t).unwrap();
+        prop_assert!(out.fixpoint, "projection systems are terminating");
+        prop_assert!(
+            out.steps <= t.size(),
+            "each projection strictly shrinks the subject"
+        );
+        typeck::check_closed(&sig, &out.term, &target).unwrap();
+    }
+}
+
+/// Regression (from a historical proptest failure, shrunk to
+/// `seed = 2241360097964532490, budget = 0`): with a zero step budget the
+/// engine must report zero steps, an empty application list, and
+/// `fixpoint` only when the input already is one — it used to take one
+/// step before checking the budget.
+#[test]
+fn regression_zero_budget_takes_no_steps() {
+    let (sig, t) = formula_term(2241360097964532490, 4);
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let engine = Engine::with_config(
+        &sig,
+        &rules,
+        EngineConfig {
+            max_steps: 0,
+            ..EngineConfig::default()
+        },
+    );
+    let out = engine.normalize(&fol::o(), &t).unwrap();
+    assert_eq!(out.steps, 0);
+    assert!(out.applied.is_empty());
+    assert!(out.trace.is_empty());
+    if !out.fixpoint {
+        // Not a fixpoint: the budget, not the ruleset, stopped us — the
+        // subject must be returned canonically but otherwise untouched.
+        let canon = normalize::canon_closed(&sig, &t, &fol::o()).unwrap();
+        assert_eq!(out.term, canon);
     }
 }

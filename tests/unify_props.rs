@@ -7,9 +7,7 @@ use hoas::langs::fol;
 use hoas::unify::huet::{pre_unify_terms, HuetConfig};
 use hoas::unify::matching::{match_term, MatchConfig};
 use hoas::unify::pattern;
-use proptest::prelude::*;
-use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use hoas_testkit::prelude::*;
 
 fn vocab() -> fol::Vocabulary {
     fol::Vocabulary::small()
@@ -26,7 +24,6 @@ fn ground(seed: u64, depth: u32) -> Term {
 /// subformulas by fresh 0-ary metavariables. Returns the pattern and its
 /// metavariable environment.
 fn punch_holes(t: &Term, rng: &mut SmallRng, menv: &mut MetaEnv, next: &mut u32) -> Term {
-    use rand::Rng;
     // `t` is a whole formula (type o). Either replace it by a hole, or
     // recurse into formula-typed argument positions (and/or/imp/not).
     // Quantifier bodies are left alone here — binder-crossing holes are
@@ -49,11 +46,10 @@ fn punch_holes(t: &Term, rng: &mut SmallRng, menv: &mut MetaEnv, next: &mut u32)
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+props! {
+    #![cases(64)]
 
-    #[test]
-    fn ground_unification_is_syntactic_equality(seed in any::<u64>(), depth in 1u32..5) {
+    fn ground_unification_is_syntactic_equality(seed in seeds(), depth in 1u32..5) {
         let sig = vocab().signature();
         let t = ground(seed, depth);
         // t ≐ t succeeds with the empty substitution…
@@ -67,8 +63,7 @@ proptest! {
         prop_assert!(refuted);
     }
 
-    #[test]
-    fn pattern_solutions_equalize(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5) {
+    fn pattern_solutions_equalize(seed in seeds(), hole_seed in seeds(), depth in 2u32..5) {
         let sig = vocab().signature();
         let target = ground(seed, depth);
         let mut rng = SmallRng::seed_from_u64(hole_seed);
@@ -81,9 +76,8 @@ proptest! {
         prop_assert_eq!(applied, target);
     }
 
-    #[test]
     fn matching_agrees_with_unification_on_ground_targets(
-        seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5
+        seed in seeds(), hole_seed in seeds(), depth in 2u32..5
     ) {
         let sig = vocab().signature();
         let target = ground(seed, depth);
@@ -98,8 +92,7 @@ proptest! {
         prop_assert_eq!(m.unwrap().apply(&pat), target);
     }
 
-    #[test]
-    fn huet_finds_pattern_solutions_too(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..4) {
+    fn huet_finds_pattern_solutions_too(seed in seeds(), hole_seed in seeds(), depth in 2u32..4) {
         let sig = vocab().signature();
         let target = ground(seed, depth);
         let mut rng = SmallRng::seed_from_u64(hole_seed);
@@ -115,8 +108,7 @@ proptest! {
         prop_assert_eq!(s.subst.apply(&pat), target);
     }
 
-    #[test]
-    fn unifier_solutions_are_well_typed(seed in any::<u64>(), hole_seed in any::<u64>(), depth in 2u32..5) {
+    fn unifier_solutions_are_well_typed(seed in seeds(), hole_seed in seeds(), depth in 2u32..5) {
         let sig = vocab().signature();
         let target = ground(seed, depth);
         let mut rng = SmallRng::seed_from_u64(hole_seed);
@@ -129,6 +121,42 @@ proptest! {
             typeck::check_closed(&sig, t, ty).unwrap();
         }
     }
+}
+
+/// Regression (from a historical proptest failure, shrunk to
+/// `seed = 13985094489678992364, hole_seed = 13428278277032749853,
+/// depth = 2`): a hole-punched pattern must unify with, match against,
+/// and Huet-pre-unify with its origin, and all three solutions must
+/// equalize the pair. Pinned as a deterministic unit test so the exact
+/// historical instance stays covered regardless of harness streams.
+#[test]
+fn regression_punched_pattern_unifies_with_origin() {
+    let seed = 13985094489678992364u64;
+    let hole_seed = 13428278277032749853u64;
+    let depth = 2u32;
+    let sig = vocab().signature();
+    let target = ground(seed, depth);
+    let mut rng = SmallRng::seed_from_u64(hole_seed);
+    let mut menv = MetaEnv::new();
+    let mut next = 0;
+    let pat = punch_holes(&target, &mut rng, &mut menv, &mut next);
+    // Pattern unification.
+    let sol = pattern::unify(&sig, &menv, &fol::o(), &pat, &target)
+        .expect("a hole-punched pattern always matches its origin");
+    assert_eq!(sol.subst.apply(&pat), target);
+    // Matching.
+    let m = match_term(
+        &sig, &menv, &Ctx::new(), &fol::o(), &pat, &target, &MatchConfig::default(),
+    )
+    .unwrap()
+    .expect("matching finds the same instantiation");
+    assert_eq!(m.apply(&pat), target);
+    // Huet pre-unification.
+    let out = pre_unify_terms(&sig, &menv, &fol::o(), &pat, &target, &HuetConfig::default())
+        .unwrap();
+    let s = out.solutions.first().expect("Huet finds the pattern solution");
+    assert!(s.flex_flex.is_empty());
+    assert_eq!(s.subst.apply(&pat), target);
 }
 
 #[test]
