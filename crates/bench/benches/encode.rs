@@ -1,11 +1,11 @@
 //! E7 — adequacy round trips: encode/decode throughput for the
 //! hand-written per-language encoders and the generic syntaxdef bridge.
 
-use hoas_testkit::bench::{BenchmarkId, Criterion};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_langs::{fol, imp, lambda};
 use hoas_syntaxdef::{Arg, LanguageDef};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 
 fn lc_def() -> LanguageDef {
     LanguageDef::new("lc")

@@ -1,12 +1,12 @@
 //! E9 — λProlog-style resolution over HOAS: list recursion depth and
 //! binder-heavy type inference (eigenvariables + hypothetical clauses).
 
-use hoas_testkit::bench::{BenchmarkId, Criterion};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_core::Term;
 use hoas_lp::examples::{append_program, stlc_program};
 use hoas_lp::solve::{query_menv, solve, SolveConfig};
 use hoas_lp::Goal;
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 
 fn church_term(n: u32) -> String {
     // λs. λz. s (s … z) in the object syntax of the stlc program.
@@ -26,8 +26,12 @@ fn bench_append(c: &mut Criterion) {
         for _ in 0..n {
             list = format!("cons a ({list})");
         }
-        let (goal, menv) =
-            query_menv(prog.sig(), &format!("append ({list}) nil ?Z"), &[("Z", "i")]).unwrap();
+        let (goal, menv) = query_menv(
+            prog.sig(),
+            &format!("append ({list}) nil ?Z"),
+            &[("Z", "i")],
+        )
+        .unwrap();
         group.bench_with_input(BenchmarkId::new("ground", n), &n, |b, _| {
             b.iter(|| {
                 let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
@@ -66,8 +70,7 @@ fn bench_stlc_inference(c: &mut Criterion) {
         for i in (0..n).rev() {
             t = format!(r"lam (\x{i}. {t})");
         }
-        let (goal, menv) =
-            query_menv(prog.sig(), &format!("of ({t}) ?T"), &[("T", "tp")]).unwrap();
+        let (goal, menv) = query_menv(prog.sig(), &format!("of ({t}) ?T"), &[("T", "tp")]).unwrap();
         group.bench_with_input(BenchmarkId::new("nested-binders", n), &n, |b, _| {
             b.iter(|| {
                 let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
@@ -80,25 +83,24 @@ fn bench_stlc_inference(c: &mut Criterion) {
 
 fn bench_pi_goals(c: &mut Criterion) {
     // Raw eigenvariable machinery: pi x1..xn. eq xn xn.
-    let sig = hoas_core::sig::Signature::parse(
-        "type i. type o. const eq : i -> i -> o.",
-    )
-    .unwrap();
+    let sig = hoas_core::sig::Signature::parse("type i. type o. const eq : i -> i -> o.").unwrap();
     let mut prog = hoas_lp::Program::new(sig);
     prog.push(hoas_lp::Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
     let mut group = c.benchmark_group("lp-pi");
     for n in [4u32, 16, 64] {
-        let mut goal = Goal::Atom(Term::apps(
-            Term::cnst("eq"),
-            [Term::Var(0), Term::Var(0)],
-        ));
+        let mut goal = Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Var(0), Term::Var(0)]));
         for i in 0..n {
             goal = Goal::pi(format!("x{i}"), hoas_core::Ty::base("i"), goal);
         }
         group.bench_with_input(BenchmarkId::new("nested-pi", n), &n, |b, _| {
             b.iter(|| {
-                let out = solve(&prog, &hoas_core::term::MetaEnv::new(), &goal, &SolveConfig::default())
-                    .unwrap();
+                let out = solve(
+                    &prog,
+                    &hoas_core::term::MetaEnv::new(),
+                    &goal,
+                    &SolveConfig::default(),
+                )
+                .unwrap();
                 assert_eq!(out.answers.len(), 1);
             })
         });

@@ -2,13 +2,13 @@
 //! hand-written first-order passes, on prenex normal form and
 //! imperative-language optimization. Includes the strategy ablation.
 
-use hoas_testkit::bench::{BenchmarkId, Criterion};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::{baseline, workloads};
 use hoas_core::Term;
 use hoas_langs::{fol, imp};
 use hoas_rewrite::rulesets::{fol_prenex, imp_opt};
 use hoas_rewrite::{Engine, EngineConfig, Strategy};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 
 fn bench_prenex(c: &mut Criterion) {
     let mut group = c.benchmark_group("prenex");
@@ -45,7 +45,10 @@ fn bench_imp_opt(c: &mut Criterion) {
         let sig = imp::signature();
         let rules = imp_opt::rules(sig).expect("constructors present");
         let engine = Engine::new(sig, &rules);
-        let encoded: Vec<Term> = progs.iter().map(|p| imp::encode(p).expect("bound")).collect();
+        let encoded: Vec<Term> = progs
+            .iter()
+            .map(|p| imp::encode(p).expect("bound"))
+            .collect();
         group.bench_with_input(BenchmarkId::new("hoas-rules", depth), &depth, |b, _| {
             b.iter(|| {
                 for e in &encoded {
@@ -71,7 +74,10 @@ fn bench_strategies(c: &mut Criterion) {
     let progs = workloads::imp_programs(workloads::SEED, 4, 10);
     let sig = imp::signature();
     let rules = imp_opt::rules(sig).expect("constructors present");
-    let encoded: Vec<Term> = progs.iter().map(|p| imp::encode(p).expect("bound")).collect();
+    let encoded: Vec<Term> = progs
+        .iter()
+        .map(|p| imp::encode(p).expect("bound"))
+        .collect();
     for (name, strategy) in [
         ("outermost", Strategy::LeftmostOutermost),
         ("innermost", Strategy::LeftmostInnermost),

@@ -4,10 +4,10 @@
 //! a function of body size. The paper's claim: HOAS gets substitution
 //! "for free" from the metalanguage at no asymptotic cost.
 
-use hoas_testkit::bench::{BenchmarkId, Criterion};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads::{self, SEED};
 use hoas_langs::lambda;
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 
 fn bench_substitution(c: &mut Criterion) {
     let mut group = c.benchmark_group("substitution");

@@ -1,11 +1,11 @@
 //! E5 — type checking and reconstruction throughput, plus normalization
 //! (the kernel services every experiment relies on).
 
-use hoas_testkit::bench::{BenchmarkId, Criterion, Throughput};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_core::prelude::*;
 use hoas_langs::lambda;
+use hoas_testkit::bench::{BenchmarkId, Criterion, Throughput};
+use hoas_testkit::{criterion_group, criterion_main};
 
 fn bench_typecheck(c: &mut Criterion) {
     let sig = lambda::signature();

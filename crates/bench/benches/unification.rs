@@ -1,11 +1,11 @@
 //! E6 — higher-order unification: the decidable pattern fragment vs
 //! Huet's search, and matching throughput as used by the rewriter.
 
-use hoas_testkit::bench::{BenchmarkId, Criterion};
-use hoas_testkit::{criterion_group, criterion_main};
 use hoas_bench::workloads;
 use hoas_core::ctx::Ctx;
 use hoas_core::Ty;
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
 use hoas_unify::huet::{pre_unify_terms, HuetConfig};
 use hoas_unify::matching::{match_term, MatchConfig};
 use hoas_unify::pattern;
@@ -16,9 +16,7 @@ fn bench_pattern_vs_huet(c: &mut Criterion) {
     for depth in [3u32, 5, 7] {
         let (sig, menv, pat, target) = workloads::pattern_problem(workloads::SEED, depth);
         group.bench_with_input(BenchmarkId::new("pattern", depth), &depth, |b, _| {
-            b.iter(|| {
-                pattern::unify(&sig, &menv, &Ty::base("o"), &pat, &target).expect("solvable")
-            })
+            b.iter(|| pattern::unify(&sig, &menv, &Ty::base("o"), &pat, &target).expect("solvable"))
         });
         let cfg = HuetConfig {
             max_solutions: 1,
@@ -63,13 +61,29 @@ fn bench_matching(c: &mut Criterion) {
         let cfg = MatchConfig::default();
         group.bench_with_input(BenchmarkId::new("hit", depth), &depth, |b, _| {
             b.iter(|| {
-                match_term(&sig, &menv, &Ctx::new(), &Ty::base("o"), &pat, &target, &cfg)
-                    .expect("well-formed")
-                    .expect("matches")
+                match_term(
+                    &sig,
+                    &menv,
+                    &Ctx::new(),
+                    &Ty::base("o"),
+                    &pat,
+                    &target,
+                    &cfg,
+                )
+                .expect("well-formed")
+                .expect("matches")
             })
         });
-        // A mismatching target with a different root connective.
-        let miss = hoas_core::Term::app(hoas_core::Term::cnst("not"), target.clone());
+        // A mismatching target whose root connective clashes with the
+        // pattern's rigid head, so matching refutes at the root.
+        let miss_head = match pat.head_spine() {
+            Some((hoas_core::term::Head::Const(c), _)) if c.as_str() == "and" => "or",
+            _ => "and",
+        };
+        let miss = hoas_core::Term::apps(
+            hoas_core::Term::cnst(miss_head),
+            [target.clone(), target.clone()],
+        );
         group.bench_with_input(BenchmarkId::new("miss", depth), &depth, |b, _| {
             b.iter(|| {
                 let r = match_term(&sig, &menv, &Ctx::new(), &Ty::base("o"), &pat, &miss, &cfg)
@@ -81,5 +95,10 @@ fn bench_matching(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_pattern_vs_huet, bench_huet_search, bench_matching);
+criterion_group!(
+    benches,
+    bench_pattern_vs_huet,
+    bench_huet_search,
+    bench_matching
+);
 criterion_main!(benches);

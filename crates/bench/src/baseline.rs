@@ -33,9 +33,13 @@ pub fn rename_formula(f: &Formula, from: &str, to: &str) -> Formula {
             p.clone(),
             args.iter().map(|a| rename_term(a, from, to)).collect(),
         ),
-        Formula::And(a, b) => Formula::and(rename_formula(a, from, to), rename_formula(b, from, to)),
+        Formula::And(a, b) => {
+            Formula::and(rename_formula(a, from, to), rename_formula(b, from, to))
+        }
         Formula::Or(a, b) => Formula::or(rename_formula(a, from, to), rename_formula(b, from, to)),
-        Formula::Imp(a, b) => Formula::imp(rename_formula(a, from, to), rename_formula(b, from, to)),
+        Formula::Imp(a, b) => {
+            Formula::imp(rename_formula(a, from, to), rename_formula(b, from, to))
+        }
         Formula::Not(a) => Formula::not(rename_formula(a, from, to)),
         Formula::Forall(x, a) => {
             if x == from {
@@ -149,10 +153,9 @@ fn to_nnf(f: &Formula) -> Formula {
                 to_nnf(&Formula::not(a.as_ref().clone())),
                 to_nnf(&Formula::not(b.as_ref().clone())),
             ),
-            Formula::Imp(a, b) => Formula::and(
-                to_nnf(a),
-                to_nnf(&Formula::not(b.as_ref().clone())),
-            ),
+            Formula::Imp(a, b) => {
+                Formula::and(to_nnf(a), to_nnf(&Formula::not(b.as_ref().clone())))
+            }
             Formula::Forall(x, a) => {
                 Formula::exists(x.clone(), to_nnf(&Formula::not(a.as_ref().clone())))
             }
@@ -372,9 +375,8 @@ mod tests {
         for _ in 0..50 {
             let c = imp::gen_cmd(&mut rng, 4);
             let o = optimize_imp_native(&c);
-            match (imp::run(&c, 20_000), imp::run(&o, 20_000)) {
-                (Ok(a), Ok(b)) => assert_eq!(a, b, "{c} vs {o}"),
-                _ => {}
+            if let (Ok(a), Ok(b)) = (imp::run(&c, 20_000), imp::run(&o, 20_000)) {
+                assert_eq!(a, b, "{c} vs {o}");
             }
         }
     }

@@ -1,0 +1,189 @@
+//! `bench-baseline` — runs the perf-tracked benches and emits a single
+//! `BENCH_pr2.json` with per-bench medians, optionally merged with a set
+//! of "before" reports for A/B comparison.
+//!
+//! ```text
+//! cargo run --release -p hoas-bench --bin bench-baseline -- \
+//!     [--bench NAME]... [--before FILE]... [--out PATH]
+//! ```
+//!
+//! * `--bench NAME` — which bench targets to run (default: `substitution`,
+//!   `unification`, `rewriting`, the three perf-tracked suites).
+//! * `--before FILE` — a JSON report produced by an earlier revision via
+//!   `HOAS_BENCH_JSON`; medians found there are recorded per benchmark as
+//!   `before_median_ns` next to the fresh `median_ns`, plus a `speedup`
+//!   ratio. May be given several times.
+//! * `--out PATH` — output path (default `BENCH_pr2.json`).
+//!
+//! Each bench target is executed as `cargo bench --offline -p hoas-bench
+//! --bench NAME` with `HOAS_BENCH_JSON` pointed at a scratch file, so the
+//! numbers come from the same harness as a manual `cargo bench` run.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::{Command, ExitCode};
+
+/// One measured benchmark, keyed by its `group/function/param` id.
+#[derive(Default)]
+struct Entry {
+    median_ns: Option<u128>,
+    before_median_ns: Option<u128>,
+}
+
+fn main() -> ExitCode {
+    let mut benches: Vec<String> = Vec::new();
+    let mut before_files: Vec<PathBuf> = Vec::new();
+    let mut out = PathBuf::from("BENCH_pr2.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("bench-baseline: {flag} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match a.as_str() {
+            "--bench" => benches.push(val("--bench")),
+            "--before" => before_files.push(PathBuf::from(val("--before"))),
+            "--out" => out = PathBuf::from(val("--out")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: bench-baseline [--bench NAME]... [--before FILE]... [--out PATH]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("bench-baseline: unknown argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if benches.is_empty() {
+        benches = ["substitution", "unification", "rewriting"]
+            .map(String::from)
+            .to_vec();
+    }
+
+    let mut entries: BTreeMap<String, Entry> = BTreeMap::new();
+    for file in &before_files {
+        let text = match std::fs::read_to_string(file) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench-baseline: cannot read {}: {e}", file.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, median) in parse_report(&text) {
+            entries.entry(id).or_default().before_median_ns = Some(median);
+        }
+    }
+
+    let scratch = std::env::temp_dir().join("hoas-bench-baseline.json");
+    for bench in &benches {
+        println!("# bench-baseline: running `cargo bench --bench {bench}`");
+        let status = Command::new(std::env::var("CARGO").unwrap_or_else(|_| "cargo".into()))
+            .args(["bench", "--offline", "-p", "hoas-bench", "--bench", bench])
+            .env("HOAS_BENCH_JSON", &scratch)
+            .status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("bench-baseline: bench {bench} failed with {s}");
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("bench-baseline: cannot spawn cargo: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        let text = match std::fs::read_to_string(&scratch) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!(
+                    "bench-baseline: bench {bench} wrote no report ({}: {e})",
+                    scratch.display()
+                );
+                return ExitCode::FAILURE;
+            }
+        };
+        for (id, median) in parse_report(&text) {
+            entries.entry(id).or_default().median_ns = Some(median);
+        }
+    }
+
+    let mut json = String::from("[\n");
+    let mut first = true;
+    for (id, e) in &entries {
+        let Some(after) = e.median_ns else {
+            // A before-only id: the benchmark no longer exists; drop it.
+            continue;
+        };
+        if !first {
+            json.push_str(",\n");
+        }
+        first = false;
+        json.push_str(&format!(r#"  {{"id": "{id}", "median_ns": {after}"#));
+        if let Some(before) = e.before_median_ns {
+            let speedup = before as f64 / after.max(1) as f64;
+            json.push_str(&format!(
+                r#", "before_median_ns": {before}, "speedup": {speedup:.2}"#
+            ));
+        }
+        json.push('}');
+    }
+    json.push_str("\n]\n");
+
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench-baseline: cannot write {}: {e}", out.display());
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "# bench-baseline: {} benchmarks written to {}",
+        entries.values().filter(|e| e.median_ns.is_some()).count(),
+        out.display()
+    );
+    ExitCode::SUCCESS
+}
+
+/// Extracts `(id, median_ns)` pairs from a `HOAS_BENCH_JSON` report.
+///
+/// The testkit harness writes one object per line, so a line-oriented
+/// scan suffices — no general JSON parser needed (nor available offline).
+fn parse_report(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "id") else {
+            continue;
+        };
+        let Some(median) = field_u128(line, "median_ns") else {
+            continue;
+        };
+        out.push((id, median));
+    }
+    out
+}
+
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    // Ids produced by the harness never contain escapes; reject if one
+    // sneaks in rather than mis-parse.
+    let s = &rest[..end];
+    if s.ends_with('\\') {
+        return None;
+    }
+    Some(s.to_string())
+}
+
+fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}

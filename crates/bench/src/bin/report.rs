@@ -165,7 +165,9 @@ fn e3_prenex() {
             us(t_native)
         );
     }
-    println!("# expected shape: the generic engine costs a constant factor over the dedicated pass,");
+    println!(
+        "# expected shape: the generic engine costs a constant factor over the dedicated pass,"
+    );
     println!("# while each binding-sensitive rule is one line instead of a renaming routine.\n");
 }
 
@@ -180,7 +182,10 @@ fn e4_imp_opt() {
         let sig = imp::signature();
         let rules = imp_opt::rules(sig).expect("constructors present");
         let engine = Engine::new(sig, &rules);
-        let encoded: Vec<Term> = progs.iter().map(|c| imp::encode(c).expect("bound")).collect();
+        let encoded: Vec<Term> = progs
+            .iter()
+            .map(|c| imp::encode(c).expect("bound"))
+            .collect();
         let nodes_in: usize = progs.iter().map(|c| c.size()).sum();
         let mut nodes_out = 0usize;
         let t_rules = time(3, || {
@@ -230,15 +235,14 @@ fn e5_typecheck() {
             us(t_infer) / terms.len() as f64
         );
     }
-    println!("# expected shape: both linear-ish in term size; reconstruction pays for unification.\n");
+    println!(
+        "# expected shape: both linear-ish in term size; reconstruction pays for unification.\n"
+    );
 }
 
 fn e6_unification() {
     println!("## E6a — pattern unification (µs, median) and Huet on the same problems");
-    println!(
-        "{:>6} {:>14} {:>14}",
-        "depth", "pattern (µs)", "huet (µs)"
-    );
+    println!("{:>6} {:>14} {:>14}", "depth", "pattern (µs)", "huet (µs)");
     for depth in [3u32, 5, 7] {
         let (sig, menv, pat, target) = workloads::pattern_problem(workloads::SEED, depth);
         let t_pat = time(21, || {
@@ -274,7 +278,9 @@ fn e6_unification() {
         });
         println!("{d:>6} {n_solutions:>12} {:>14.0}", us(t));
     }
-    println!("# expected shape: pattern unification is near-linear; Huet's solution count and time");
+    println!(
+        "# expected shape: pattern unification is near-linear; Huet's solution count and time"
+    );
     println!("# grow exponentially with d (2^d imitation/projection choices) — why the decidable");
     println!("# pattern fragment is the default path.\n");
 }
@@ -338,15 +344,22 @@ fn e9_logic() {
         for _ in 0..n {
             list = format!("cons a ({list})");
         }
-        let (goal, menv) =
-            query_menv(prog.sig(), &format!("append ({list}) nil ?Z"), &[("Z", "i")])
-                .expect("parses");
+        let (goal, menv) = query_menv(
+            prog.sig(),
+            &format!("append ({list}) nil ?Z"),
+            &[("Z", "i")],
+        )
+        .expect("parses");
         let mut answers = 0;
         let t = time(11, || {
             let out = solve(&prog, &menv, &goal, &SolveConfig::default()).expect("well-formed");
             answers = out.answers.len();
         });
-        println!("{:>24} {answers:>12} {:>12.0}", format!("append [a;{n}] nil ?Z"), us(t));
+        println!(
+            "{:>24} {answers:>12} {:>12.0}",
+            format!("append [a;{n}] nil ?Z"),
+            us(t)
+        );
     }
     let prog = stlc_program();
     for n in [2u32, 8, 16] {
@@ -368,7 +381,9 @@ fn e9_logic() {
         );
     }
     println!("# expected shape: resolution steps are linear in list length / binder depth; this");
-    println!("# interpreter clones its state per step (persistent-state backtracking), so wall-clock");
+    println!(
+        "# interpreter clones its state per step (persistent-state backtracking), so wall-clock"
+    );
     println!("# grows quadratically — a production engine would use a mutable trail instead.\n");
 }
 
@@ -403,7 +418,11 @@ fn e8_miniml() {
             t_env.as_secs_f64() * 1e3
         );
     }
-    println!("# expected shape: the two substitution evaluators are within a small constant factor");
-    println!("# of each other (the paper's claim: HOAS deletes the substitution code at no asymptotic");
+    println!(
+        "# expected shape: the two substitution evaluators are within a small constant factor"
+    );
+    println!(
+        "# of each other (the paper's claim: HOAS deletes the substitution code at no asymptotic"
+    );
     println!("# cost); the environment machine beats both, as it would in any representation.\n");
 }

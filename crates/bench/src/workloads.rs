@@ -121,7 +121,9 @@ pub fn formulas(seed: u64, depth: u32, count: usize) -> (Vocabulary, Vec<Formula
 /// E4 — a batch of random imperative programs at a given depth.
 pub fn imp_programs(seed: u64, depth: u32, count: usize) -> Vec<Cmd> {
     let mut rng = SmallRng::seed_from_u64(seed);
-    (0..count).map(|_| hoas_langs::imp::gen_cmd(&mut rng, depth)).collect()
+    (0..count)
+        .map(|_| hoas_langs::imp::gen_cmd(&mut rng, depth))
+        .collect()
 }
 
 /// E5/E7 — closed λ-calculus encodings of a given size.
@@ -161,9 +163,12 @@ pub fn pattern_problem(
         rng: &mut SmallRng,
         menv: &mut hoas_core::term::MetaEnv,
         next: &mut u32,
+        root: bool,
     ) -> Term {
         use hoas_testkit::rng::Rng as _;
-        if rng.gen_bool(0.2) {
+        // Never punch the root: a hole there matches *anything*, which
+        // trivializes the problem and breaks miss-target construction.
+        if !root && rng.gen_bool(0.2) {
             let m = MVar::new(*next, format!("H{next}"));
             *next += 1;
             menv.insert(m.clone(), Ty::base("o"));
@@ -173,13 +178,15 @@ pub fn pattern_problem(
         match head {
             T::Const(c) if matches!(c.as_str(), "and" | "or" | "imp" | "not") => T::apps(
                 head.clone(),
-                args.iter().map(|a| punch(a, rng, menv, next)).collect::<Vec<_>>(),
+                args.iter()
+                    .map(|a| punch(a, rng, menv, next, false))
+                    .collect::<Vec<_>>(),
             ),
             _ => t.clone(),
         }
     }
     let _unused: bool = rng.gen_bool(0.5); // decorrelate from formula bits
-    let pattern = punch(&target, &mut rng, &mut menv, &mut next);
+    let pattern = punch(&target, &mut rng, &mut menv, &mut next, true);
     (sig, menv, pattern, target)
 }
 
@@ -244,8 +251,7 @@ mod tests {
             convert::to_debruijn(&lambda::to_tree(&named_result)),
             db_result
         );
-        let hoas_result =
-            hoas_langs::lambda::subst_hoas(&inst.hoas_abs, &inst.hoas_arg).unwrap();
+        let hoas_result = hoas_langs::lambda::subst_hoas(&inst.hoas_abs, &inst.hoas_arg).unwrap();
         assert_eq!(
             lambda::encode(&named_result).unwrap(),
             hoas_result,

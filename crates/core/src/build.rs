@@ -53,15 +53,13 @@ pub fn lam(hint: impl Into<Sym>, f: impl Fn(BTerm) -> BTerm + 'static) -> BTerm 
             assert!(l > k, "bound variable used outside its binder");
             Term::Var(l - 1 - k)
         }));
-        Term::Lam(hint.clone(), Box::new(f(var).render(lvl + 1)))
+        Term::lam(hint.clone(), f(var).render(lvl + 1))
     }))
 }
 
 /// Application.
 pub fn app(f: BTerm, a: BTerm) -> BTerm {
-    BTerm(Rc::new(move |lvl| {
-        Term::app(f.render(lvl), a.render(lvl))
-    }))
+    BTerm(Rc::new(move |lvl| Term::app(f.render(lvl), a.render(lvl))))
 }
 
 /// Iterated application `f a₀ … aₙ`.
@@ -87,9 +85,7 @@ pub fn unit() -> BTerm {
 
 /// A pair.
 pub fn pair(a: BTerm, b: BTerm) -> BTerm {
-    BTerm(Rc::new(move |lvl| {
-        Term::pair(a.render(lvl), b.render(lvl))
-    }))
+    BTerm(Rc::new(move |lvl| Term::pair(a.render(lvl), b.render(lvl))))
 }
 
 /// First projection.

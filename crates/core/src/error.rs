@@ -113,7 +113,10 @@ impl fmt::Display for Error {
                 write!(f, "cannot unify types `{left}` and `{right}`")
             }
             Error::TyOccurs { var, ty } => {
-                write!(f, "occurs check: 'a{var} would equal the infinite type `{ty}`")
+                write!(
+                    f,
+                    "occurs check: 'a{var} would equal the infinite type `{ty}`"
+                )
             }
             Error::PolyConstInChecking { name } => write!(
                 f,

@@ -206,12 +206,7 @@ pub fn reconstruct(sig: &Signature, t: &Term) -> Result<Ty, Error> {
 /// # Errors
 ///
 /// As for [`Inference::infer`].
-pub fn reconstruct_in(
-    sig: &Signature,
-    menv: &MetaEnv,
-    ctx: &Ctx,
-    t: &Term,
-) -> Result<Ty, Error> {
+pub fn reconstruct_in(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term) -> Result<Ty, Error> {
     // Start fresh variables above anything mentioned in menv/ctx.
     let mut floor = 0;
     for ty in menv.values().chain(ctx.iter().map(|(_, t)| t)) {

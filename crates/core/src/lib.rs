@@ -76,7 +76,7 @@ pub mod typeck;
 
 pub use error::Error;
 pub use intern::Sym;
-pub use term::{MVar, Term};
+pub use term::{MVar, Term, TermRef};
 pub use ty::{Ty, TyScheme};
 
 /// Commonly used items, re-exported for glob import.
@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::parse::{parse_term, parse_ty};
     pub use crate::sig::Signature;
     pub use crate::subst;
-    pub use crate::term::{MVar, MetaEnv, Term};
+    pub use crate::term::{MVar, MetaEnv, Term, TermRef};
     pub use crate::ty::{Ty, TyScheme};
     pub use crate::typeck;
 }

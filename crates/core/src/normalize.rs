@@ -24,7 +24,7 @@ use crate::error::Error;
 use crate::intern::Sym;
 use crate::sig::Signature;
 use crate::subst::shift;
-use crate::term::{MetaEnv, Term};
+use crate::term::{MetaEnv, Term, TermRef};
 use crate::ty::Ty;
 
 /// Applies a function term to an argument, contracting the β-redex (and
@@ -47,7 +47,7 @@ pub fn happly(f: Term, a: Term) -> Term {
 /// First projection, contracting `fst (a, b) ⇒ a`.
 pub fn hfst(p: Term) -> Term {
     match p {
-        Term::Pair(a, _) => *a,
+        Term::Pair(a, _) => a.into_term(),
         _ => Term::fst(p),
     }
 }
@@ -55,7 +55,7 @@ pub fn hfst(p: Term) -> Term {
 /// Second projection, contracting `snd (a, b) ⇒ b`.
 pub fn hsnd(p: Term) -> Term {
     match p {
-        Term::Pair(_, b) => *b,
+        Term::Pair(_, b) => b.into_term(),
         _ => Term::snd(p),
     }
 }
@@ -69,7 +69,13 @@ pub fn hinstantiate(body: &Term, arg: &Term) -> Term {
 
 /// Substitutes `s` (shifted appropriately) for variable `k` in `t`,
 /// decrementing variables above `k`, contracting created redexes.
+///
+/// Subterms that are β-normal and cannot mention variable `k` (cached
+/// `max_free`/`beta_normal` check) are returned as-is, sharing their nodes.
 fn hsub(t: &Term, k: u32, s: &Term) -> Term {
+    if t.max_free() <= k && t.is_beta_normal() {
+        return t.clone();
+    }
     match t {
         Term::Var(i) => {
             if *i == k {
@@ -80,7 +86,7 @@ fn hsub(t: &Term, k: u32, s: &Term) -> Term {
                 Term::Var(*i)
             }
         }
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(hsub(b, k + 1, s))),
+        Term::Lam(h, b) => Term::lam(h.clone(), hsub_ref(b, k + 1, s)),
         Term::App(f, a) => {
             let a2 = hsub(a, k, s);
             let f2 = hsub(f, k, s);
@@ -93,23 +99,50 @@ fn hsub(t: &Term, k: u32, s: &Term) -> Term {
     }
 }
 
+/// [`hsub`] on a shared subterm, preserving the `Rc` when untouched.
+fn hsub_ref(t: &TermRef, k: u32, s: &Term) -> TermRef {
+    if t.max_free() <= k && t.is_beta_normal() {
+        t.clone()
+    } else {
+        TermRef::new(hsub(t, k, s))
+    }
+}
+
 /// Full β-normal form (also contracts projection redexes).
+///
+/// O(1) on terms whose cached `beta_normal` annotation already holds;
+/// normal subterms are shared, not rebuilt.
 ///
 /// Diverges on ill-typed divergent terms; see [`nf_fuel`].
 pub fn nf(t: &Term) -> Term {
+    if t.is_beta_normal() {
+        return t.clone();
+    }
     match t {
         Term::App(f, a) => happly(nf(f), nf(a)),
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(nf(b))),
-        Term::Pair(a, b) => Term::pair(nf(a), nf(b)),
+        Term::Lam(h, b) => Term::lam(h.clone(), nf_ref(b)),
+        Term::Pair(a, b) => Term::pair(nf_ref(a), nf_ref(b)),
         Term::Fst(p) => hfst(nf(p)),
         Term::Snd(p) => hsnd(nf(p)),
         Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
+/// [`nf`] on a shared subterm, preserving the `Rc` when already normal.
+fn nf_ref(t: &TermRef) -> TermRef {
+    if t.is_beta_normal() {
+        t.clone()
+    } else {
+        TermRef::new(nf(t))
+    }
+}
+
 /// Weak head normal form: reduces only the head redex chain, leaving
-/// arguments and bodies untouched.
+/// arguments and bodies untouched. O(1) on cached-β-normal terms.
 pub fn whnf(t: &Term) -> Term {
+    if t.is_beta_normal() {
+        return t.clone();
+    }
     match t {
         Term::App(f, a) => {
             let fw = whnf(f);
@@ -182,6 +215,10 @@ fn nf_fueled(t: &Term, budget: &mut u64) -> Result<Term, FuelExhausted> {
     // recursion is only ever structural (into strict subterms).
     let mut cur = t.clone();
     loop {
+        // Cached-normal terms need no fuel and no traversal.
+        if cur.is_beta_normal() {
+            return Ok(cur);
+        }
         match cur {
             Term::App(f, a) => {
                 let f2 = nf_fueled(&f, budget)?;
@@ -194,7 +231,7 @@ fn nf_fueled(t: &Term, budget: &mut u64) -> Result<Term, FuelExhausted> {
                     _ => return Ok(Term::app(f2, a2)),
                 }
             }
-            Term::Lam(h, b) => return Ok(Term::Lam(h, Box::new(nf_fueled(&b, budget)?))),
+            Term::Lam(h, b) => return Ok(Term::lam(h, nf_fueled(&b, budget)?)),
             Term::Pair(a, b) => {
                 return Ok(Term::pair(nf_fueled(&a, budget)?, nf_fueled(&b, budget)?))
             }
@@ -203,7 +240,7 @@ fn nf_fueled(t: &Term, budget: &mut u64) -> Result<Term, FuelExhausted> {
                 match p2 {
                     Term::Pair(a, _) => {
                         spend(budget)?;
-                        cur = *a;
+                        cur = a.into_term();
                     }
                     _ => return Ok(Term::fst(p2)),
                 }
@@ -213,7 +250,7 @@ fn nf_fueled(t: &Term, budget: &mut u64) -> Result<Term, FuelExhausted> {
                 match p2 {
                     Term::Pair(_, b) => {
                         spend(budget)?;
-                        cur = *b;
+                        cur = b.into_term();
                     }
                     _ => return Ok(Term::snd(p2)),
                 }
@@ -242,7 +279,7 @@ pub fn eta_contract(t: &Term) -> Term {
                     return crate::subst::unshift_above(f, 1, 0);
                 }
             }
-            Term::Lam(h.clone(), Box::new(b2))
+            Term::lam(h.clone(), b2)
         }
         Term::Pair(a, b) => {
             let a2 = eta_contract(a);
@@ -273,8 +310,8 @@ pub fn eta_contract(t: &Term) -> Term {
 /// Returns an error if the term is not well-typed at `ty` (the η-expander
 /// needs the type of every neutral head to expand its arguments).
 pub fn canon(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, Error> {
-    let t = nf(t);
-    eta_long(sig, menv, ctx, &t, ty)
+    let t = TermRef::new(nf(t));
+    eta_long(sig, menv, ctx, &t, ty).map(TermRef::into_term)
 }
 
 /// Like [`canon`] for closed terms with no metavariables.
@@ -282,44 +319,61 @@ pub fn canon_closed(sig: &Signature, t: &Term, ty: &Ty) -> Result<Term, Error> {
     canon(sig, &MetaEnv::new(), &Ctx::new(), t, ty)
 }
 
-fn eta_long(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, Error> {
+/// Already-η-long subterms come back as the input `Rc` (pointer-equal),
+/// so canonicalizing a canonical term allocates nothing below the root.
+fn eta_long(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &TermRef,
+    ty: &Ty,
+) -> Result<TermRef, Error> {
     match ty {
-        Ty::Arrow(dom, cod) => match t {
+        Ty::Arrow(dom, cod) => match t.as_ref() {
             Term::Lam(h, b) => {
                 let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
-                Ok(Term::Lam(
-                    h.clone(),
-                    Box::new(eta_long(sig, menv, &ctx2, b, cod)?),
-                ))
+                let b2 = eta_long(sig, menv, &ctx2, b, cod)?;
+                if TermRef::ptr_eq(&b2, b) {
+                    Ok(t.clone())
+                } else {
+                    Ok(TermRef::new(Term::lam(h.clone(), b2)))
+                }
             }
             _ => {
                 // Neutral at arrow type: expand to λx. (t x).
                 let hint = Sym::new("x");
                 let ctx2 = ctx.push(hint.clone(), dom.as_ref().clone());
                 let body = Term::app(shift(t, 1), Term::Var(0));
-                let body = nf(&body);
-                Ok(Term::Lam(
-                    hint,
-                    Box::new(eta_long(sig, menv, &ctx2, &body, cod)?),
-                ))
+                let body = TermRef::new(nf(&body));
+                let body = eta_long(sig, menv, &ctx2, &body, cod)?;
+                Ok(TermRef::new(Term::lam(hint, body)))
             }
         },
-        Ty::Prod(a, b) => match t {
-            Term::Pair(x, y) => Ok(Term::pair(
-                eta_long(sig, menv, ctx, x, a)?,
-                eta_long(sig, menv, ctx, y, b)?,
-            )),
-            _ => Ok(Term::pair(
-                eta_long(sig, menv, ctx, &hfst(t.clone()), a)?,
-                eta_long(sig, menv, ctx, &hsnd(t.clone()), b)?,
-            )),
+        Ty::Prod(a, b) => match t.as_ref() {
+            Term::Pair(x, y) => {
+                let x2 = eta_long(sig, menv, ctx, x, a)?;
+                let y2 = eta_long(sig, menv, ctx, y, b)?;
+                if TermRef::ptr_eq(&x2, x) && TermRef::ptr_eq(&y2, y) {
+                    Ok(t.clone())
+                } else {
+                    Ok(TermRef::new(Term::pair(x2, y2)))
+                }
+            }
+            _ => {
+                let x = TermRef::new(hfst(t.as_ref().clone()));
+                let y = TermRef::new(hsnd(t.as_ref().clone()));
+                Ok(TermRef::new(Term::pair(
+                    eta_long(sig, menv, ctx, &x, a)?,
+                    eta_long(sig, menv, ctx, &y, b)?,
+                )))
+            }
         },
-        Ty::Unit => Ok(Term::Unit),
+        Ty::Unit => Ok(TermRef::new(Term::Unit)),
         Ty::Base(_) | Ty::Int | Ty::Var(_) => {
             // Must be a literal or a neutral term; η-expand its spine args
             // and verify the synthesized type agrees (catching, e.g., an
             // under-applied constant at base type).
-            match t {
+            match t.as_ref() {
                 Term::Int(_) => {
                     if matches!(ty, Ty::Int | Ty::Var(_)) {
                         Ok(t.clone())
@@ -351,13 +405,14 @@ fn eta_long(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Re
 }
 
 /// η-expands the arguments of a neutral term, synthesizing its type.
+/// Shares the input `Rc` when every argument was already η-long.
 fn eta_long_neutral(
     sig: &Signature,
     menv: &MetaEnv,
     ctx: &Ctx,
-    t: &Term,
-) -> Result<(Term, Ty), Error> {
-    match t {
+    t: &TermRef,
+) -> Result<(TermRef, Ty), Error> {
+    match t.as_ref() {
         Term::Var(i) => {
             let ty = ctx
                 .lookup(*i)
@@ -386,7 +441,11 @@ fn eta_long_neutral(
             match fty {
                 Ty::Arrow(dom, cod) => {
                     let a2 = eta_long(sig, menv, ctx, a, &dom)?;
-                    Ok((Term::app(f2, a2), *cod))
+                    if TermRef::ptr_eq(&f2, f) && TermRef::ptr_eq(&a2, a) {
+                        Ok((t.clone(), *cod))
+                    } else {
+                        Ok((TermRef::new(Term::app(f2, a2)), *cod))
+                    }
                 }
                 other => Err(Error::NotAFunction { ty: other }),
             }
@@ -394,14 +453,26 @@ fn eta_long_neutral(
         Term::Fst(p) => {
             let (p2, pty) = eta_long_neutral(sig, menv, ctx, p)?;
             match pty {
-                Ty::Prod(a, _) => Ok((Term::fst(p2), *a)),
+                Ty::Prod(a, _) => {
+                    if TermRef::ptr_eq(&p2, p) {
+                        Ok((t.clone(), *a))
+                    } else {
+                        Ok((TermRef::new(Term::fst(p2)), *a))
+                    }
+                }
                 other => Err(Error::NotAProduct { ty: other }),
             }
         }
         Term::Snd(p) => {
             let (p2, pty) = eta_long_neutral(sig, menv, ctx, p)?;
             match pty {
-                Ty::Prod(_, b) => Ok((Term::snd(p2), *b)),
+                Ty::Prod(_, b) => {
+                    if TermRef::ptr_eq(&p2, p) {
+                        Ok((t.clone(), *b))
+                    } else {
+                        Ok((TermRef::new(Term::snd(p2)), *b))
+                    }
+                }
                 other => Err(Error::NotAProduct { ty: other }),
             }
         }
@@ -573,10 +644,7 @@ mod tests {
         .unwrap();
         let expected = Term::lam(
             "x",
-            Term::app(
-                Term::cnst("lam"),
-                Term::lam("x", Term::app(v(1), v(0))),
-            ),
+            Term::app(Term::cnst("lam"), Term::lam("x", Term::app(v(1), v(0)))),
         );
         assert_eq!(c, expected);
     }

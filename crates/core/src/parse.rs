@@ -606,11 +606,7 @@ pub fn parse_term(sig: &Signature, src: &str) -> Result<ParsedTerm, Error> {
 /// # Errors
 ///
 /// As for [`parse_term`].
-pub fn parse_term_with(
-    sig: &Signature,
-    src: &str,
-    metas: MetaTable,
-) -> Result<ParsedTerm, Error> {
+pub fn parse_term_with(sig: &Signature, src: &str, metas: MetaTable) -> Result<ParsedTerm, Error> {
     let mut p = Parser::new(src, Some(sig), metas)?;
     let term = p.term()?;
     p.eof()?;
@@ -670,7 +666,6 @@ pub fn parse_sig(src: &str) -> Result<Signature, Error> {
     Ok(sig)
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -702,7 +697,10 @@ mod tests {
             t,
             Term::app(
                 Term::cnst("lam"),
-                Term::lam("x", Term::apps(Term::cnst("app"), [Term::Var(0), Term::Var(0)]))
+                Term::lam(
+                    "x",
+                    Term::apps(Term::cnst("app"), [Term::Var(0), Term::Var(0)])
+                )
             )
         );
     }
@@ -752,7 +750,10 @@ mod tests {
         let t = parse_term(&s, "fst (pairc 1 2)").unwrap().term;
         assert_eq!(
             t,
-            Term::fst(Term::apps(Term::cnst("pairc"), [Term::Int(1), Term::Int(2)]))
+            Term::fst(Term::apps(
+                Term::cnst("pairc"),
+                [Term::Int(1), Term::Int(2)]
+            ))
         );
     }
 
@@ -801,7 +802,10 @@ mod tests {
             let t = parse_term(&s, src).unwrap().term;
             let printed = t.to_string();
             let t2 = parse_term(&s, &printed).unwrap().term;
-            assert_eq!(t, t2, "round-trip failed for `{src}` printed as `{printed}`");
+            assert_eq!(
+                t, t2,
+                "round-trip failed for `{src}` printed as `{printed}`"
+            );
         }
     }
 }

@@ -119,9 +119,7 @@ impl Signature {
 
     /// The type schema of a constant, if declared.
     pub fn const_ty(&self, name: &str) -> Option<&TyScheme> {
-        self.const_map
-            .get(name)
-            .map(|&i| &self.consts[i].1)
+        self.const_map.get(name).map(|&i| &self.consts[i].1)
     }
 
     /// Iterates declared base types in declaration order.

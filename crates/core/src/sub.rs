@@ -12,7 +12,7 @@
 //! property tests in the workspace test suite.
 
 use crate::subst::shift;
-use crate::term::Term;
+use crate::term::{Term, TermRef};
 use std::fmt;
 
 /// A simultaneous substitution `(entries; ↑tail_shift)`.
@@ -134,6 +134,11 @@ impl Sub {
     }
 
     fn apply_at(&self, t: &Term, depth: u32) -> Term {
+        // Every free variable of `t` is bound below `depth`: the
+        // substitution cannot touch it, so share the whole subtree.
+        if t.max_free() <= depth {
+            return t.clone();
+        }
         match t {
             Term::Var(i) => {
                 if *i < depth {
@@ -142,12 +147,24 @@ impl Sub {
                     shift(&self.lookup(i - depth), depth)
                 }
             }
-            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(self.apply_at(b, depth + 1))),
-            Term::App(f, a) => Term::app(self.apply_at(f, depth), self.apply_at(a, depth)),
-            Term::Pair(a, b) => Term::pair(self.apply_at(a, depth), self.apply_at(b, depth)),
-            Term::Fst(p) => Term::fst(self.apply_at(p, depth)),
-            Term::Snd(p) => Term::snd(self.apply_at(p, depth)),
+            Term::Lam(h, b) => Term::lam(h.clone(), self.apply_at_ref(b, depth + 1)),
+            Term::App(f, a) => Term::app(self.apply_at_ref(f, depth), self.apply_at_ref(a, depth)),
+            Term::Pair(a, b) => {
+                Term::pair(self.apply_at_ref(a, depth), self.apply_at_ref(b, depth))
+            }
+            Term::Fst(p) => Term::fst(self.apply_at_ref(p, depth)),
+            Term::Snd(p) => Term::snd(self.apply_at_ref(p, depth)),
             Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+
+    /// [`Sub::apply_at`] on a shared subterm, preserving the `Rc` when the
+    /// subterm is out of the substitution's reach.
+    fn apply_at_ref(&self, t: &TermRef, depth: u32) -> TermRef {
+        if t.max_free() <= depth {
+            t.clone()
+        } else {
+            TermRef::new(self.apply_at(t, depth))
         }
     }
 

@@ -7,32 +7,51 @@
 //!
 //! Plain [`subst`]/[`instantiate`] may create β-redexes; the *hereditary*
 //! variants that keep terms normal live in [`crate::normalize`].
+//!
+//! # Sharing fast paths
+//!
+//! Every traversal here consults the cached `max_free` annotation (see
+//! [`crate::term::TermRef`]) before descending: a subterm whose free
+//! variables all lie below the cutoff cannot be changed by a shift or a
+//! substitution, so the traversal returns the **same** `Rc` node — a
+//! pointer copy, zero allocations. On closed subterms (`max_free == 0`)
+//! every operation in this module is O(1).
 
-use crate::term::Term;
+use crate::term::{Term, TermRef};
 
 /// Shifts every free variable with index `>= cutoff` up by `d`.
+///
+/// Returns a clone of the input (sharing all subterm nodes) when no free
+/// variable reaches the cutoff — in particular, O(1) on closed terms.
 pub fn shift_above(t: &Term, d: u32, cutoff: u32) -> Term {
-    if d == 0 {
+    if d == 0 || t.max_free() <= cutoff {
         return t.clone();
     }
     match t {
-        Term::Var(i) => {
-            if *i >= cutoff {
-                Term::Var(i + d)
-            } else {
-                Term::Var(*i)
-            }
+        // `max_free > cutoff` for a variable means `i >= cutoff`.
+        Term::Var(i) => Term::Var(i + d),
+        Term::Lam(h, b) => Term::lam(h.clone(), shift_above_ref(b, d, cutoff + 1)),
+        Term::App(f, a) => Term::app(shift_above_ref(f, d, cutoff), shift_above_ref(a, d, cutoff)),
+        Term::Pair(a, b) => {
+            Term::pair(shift_above_ref(a, d, cutoff), shift_above_ref(b, d, cutoff))
         }
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(shift_above(b, d, cutoff + 1))),
-        Term::App(f, a) => Term::app(shift_above(f, d, cutoff), shift_above(a, d, cutoff)),
-        Term::Pair(a, b) => Term::pair(shift_above(a, d, cutoff), shift_above(b, d, cutoff)),
-        Term::Fst(p) => Term::fst(shift_above(p, d, cutoff)),
-        Term::Snd(p) => Term::snd(shift_above(p, d, cutoff)),
+        Term::Fst(p) => Term::fst(shift_above_ref(p, d, cutoff)),
+        Term::Snd(p) => Term::snd(shift_above_ref(p, d, cutoff)),
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
-/// Shifts every free variable up by `d`.
+/// [`shift_above`] on a shared subterm: returns the *identical* `Rc` when
+/// the subterm is unaffected.
+fn shift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
+    if t.max_free() <= cutoff {
+        t.clone()
+    } else {
+        TermRef::new(shift_above(t, d, cutoff))
+    }
+}
+
+/// Shifts every free variable up by `d`. O(1) on closed terms.
 pub fn shift(t: &Term, d: u32) -> Term {
     shift_above(t, d, 0)
 }
@@ -45,7 +64,7 @@ pub fn shift(t: &Term, d: u32) -> Term {
 /// term would dangle. This indicates a kernel-internal invariant violation;
 /// callers first check occurrence (e.g. via [`Term::occurs_free`]).
 pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
-    if d == 0 {
+    if d == 0 || t.max_free() <= cutoff {
         return t.clone();
     }
     match t {
@@ -60,12 +79,26 @@ pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
                 Term::Var(*i)
             }
         }
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(unshift_above(b, d, cutoff + 1))),
-        Term::App(f, a) => Term::app(unshift_above(f, d, cutoff), unshift_above(a, d, cutoff)),
-        Term::Pair(a, b) => Term::pair(unshift_above(a, d, cutoff), unshift_above(b, d, cutoff)),
-        Term::Fst(p) => Term::fst(unshift_above(p, d, cutoff)),
-        Term::Snd(p) => Term::snd(unshift_above(p, d, cutoff)),
+        Term::Lam(h, b) => Term::lam(h.clone(), unshift_above_ref(b, d, cutoff + 1)),
+        Term::App(f, a) => Term::app(
+            unshift_above_ref(f, d, cutoff),
+            unshift_above_ref(a, d, cutoff),
+        ),
+        Term::Pair(a, b) => Term::pair(
+            unshift_above_ref(a, d, cutoff),
+            unshift_above_ref(b, d, cutoff),
+        ),
+        Term::Fst(p) => Term::fst(unshift_above_ref(p, d, cutoff)),
+        Term::Snd(p) => Term::snd(unshift_above_ref(p, d, cutoff)),
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+fn unshift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
+    if t.max_free() <= cutoff {
+        t.clone()
+    } else {
+        TermRef::new(unshift_above(t, d, cutoff))
     }
 }
 
@@ -73,9 +106,14 @@ pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
 /// numbering of all other variables (no binder is removed).
 ///
 /// `s` is interpreted in the same context as `t`; it is shifted as the
-/// traversal crosses binders.
+/// traversal crosses binders. Subterms that cannot mention variable `j`
+/// (cached `max_free` check) are shared, not copied.
 pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
     fn go(t: &Term, j: u32, s: &Term, depth: u32) -> Term {
+        // Variable `j + depth` cannot occur below: identity, share.
+        if t.max_free() <= j + depth {
+            return t.clone();
+        }
         match t {
             Term::Var(i) => {
                 if *i == j + depth {
@@ -84,12 +122,19 @@ pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
                     Term::Var(*i)
                 }
             }
-            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(go(b, j, s, depth + 1))),
-            Term::App(f, a) => Term::app(go(f, j, s, depth), go(a, j, s, depth)),
-            Term::Pair(a, b) => Term::pair(go(a, j, s, depth), go(b, j, s, depth)),
-            Term::Fst(p) => Term::fst(go(p, j, s, depth)),
-            Term::Snd(p) => Term::snd(go(p, j, s, depth)),
+            Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, j, s, depth + 1)),
+            Term::App(f, a) => Term::app(go_ref(f, j, s, depth), go_ref(a, j, s, depth)),
+            Term::Pair(a, b) => Term::pair(go_ref(a, j, s, depth), go_ref(b, j, s, depth)),
+            Term::Fst(p) => Term::fst(go_ref(p, j, s, depth)),
+            Term::Snd(p) => Term::snd(go_ref(p, j, s, depth)),
             Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+    fn go_ref(t: &TermRef, j: u32, s: &Term, depth: u32) -> TermRef {
+        if t.max_free() <= j + depth {
+            t.clone()
+        } else {
+            TermRef::new(go(t, j, s, depth))
         }
     }
     go(t, j, s, 0)
@@ -102,8 +147,15 @@ pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
 ///
 /// The result may contain new β-redexes; see
 /// [`crate::normalize::hinstantiate`] for the redex-contracting version.
+/// Subterms not mentioning the opened variable (or anything freer) are
+/// shared, not copied.
 pub fn instantiate(body: &Term, arg: &Term) -> Term {
     fn go(t: &Term, arg: &Term, depth: u32) -> Term {
+        // No free variable at or above `depth`: nothing to replace or
+        // renumber below this node.
+        if t.max_free() <= depth {
+            return t.clone();
+        }
         match t {
             Term::Var(i) => {
                 if *i == depth {
@@ -114,12 +166,19 @@ pub fn instantiate(body: &Term, arg: &Term) -> Term {
                     Term::Var(*i)
                 }
             }
-            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(go(b, arg, depth + 1))),
-            Term::App(f, a) => Term::app(go(f, arg, depth), go(a, arg, depth)),
-            Term::Pair(a, b) => Term::pair(go(a, arg, depth), go(b, arg, depth)),
-            Term::Fst(p) => Term::fst(go(p, arg, depth)),
-            Term::Snd(p) => Term::snd(go(p, arg, depth)),
+            Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, arg, depth + 1)),
+            Term::App(f, a) => Term::app(go_ref(f, arg, depth), go_ref(a, arg, depth)),
+            Term::Pair(a, b) => Term::pair(go_ref(a, arg, depth), go_ref(b, arg, depth)),
+            Term::Fst(p) => Term::fst(go_ref(p, arg, depth)),
+            Term::Snd(p) => Term::snd(go_ref(p, arg, depth)),
             Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+    fn go_ref(t: &TermRef, arg: &Term, depth: u32) -> TermRef {
+        if t.max_free() <= depth {
+            t.clone()
+        } else {
+            TermRef::new(go(t, arg, depth))
         }
     }
     go(body, arg, 0)
@@ -219,5 +278,36 @@ mod tests {
         // Re-substituting for 0 finds no occurrence.
         let twice = subst(&once, 0, &Term::cnst("b"));
         assert_eq!(twice, once);
+    }
+
+    #[test]
+    fn shift_on_closed_term_shares_nodes() {
+        // A closed term: λf. λx. f (f x).
+        let t = Term::lams(["f", "x"], Term::app(v(1), Term::app(v(1), v(0))));
+        assert!(t.is_locally_closed());
+        let s = shift(&t, 42);
+        assert_eq!(s, t);
+        // The shift must not have rebuilt anything: subterm nodes are
+        // pointer-identical.
+        match (&t, &s) {
+            (Term::Lam(_, b1), Term::Lam(_, b2)) => assert!(TermRef::ptr_eq(b1, b2)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn subst_shares_untouched_branches() {
+        // t = (closed) (Var 0): substituting for Var 0 must reuse the
+        // closed function branch by pointer.
+        let closed = Term::lam("x", v(0));
+        let t = Term::app(closed, v(0));
+        let r = subst(&t, 0, &Term::cnst("c"));
+        match (&t, &r) {
+            (Term::App(f1, _), Term::App(f2, a2)) => {
+                assert!(TermRef::ptr_eq(f1, f2));
+                assert_eq!(a2.as_ref(), &Term::cnst("c"));
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -11,11 +11,37 @@
 //! transformation rules: free, typed holes that higher-order unification
 //! and matching solve for. A metavariable applied to a spine of distinct
 //! bound variables is a *Miller pattern*; see `hoas-unify`.
+//!
+//! # Shared, annotation-carrying representation
+//!
+//! Subterms are [`TermRef`]s — reference-counted pointers to immutable
+//! nodes ([`Rc<TermNode>`](std::rc::Rc)) that cache three structural
+//! annotations, computed **bottom-up in O(1)** at construction time:
+//!
+//! * `max_free` — the maximal free de Bruijn index **plus one** (so `0`
+//!   means *closed*): an O(1) closedness/scope test;
+//! * `has_meta` — whether any metavariable occurs below;
+//! * `beta_normal` — whether the subterm is β-normal (no β- or
+//!   projection-redex).
+//!
+//! All three are functions of the term's structure alone (never of binder
+//! hints), so they are stable under α-renaming and safe to share. The
+//! kernel's traversals exploit them aggressively: `shift`/`subst` return
+//! the *same* `Rc` (a pointer copy, zero allocations) on subterms the
+//! operation cannot change, substitution application skips meta-free
+//! subtrees, and normalization skips already-normal ones. Equality takes a
+//! pointer-identity fast path before structural comparison, making
+//! α-equivalence O(shared structure) instead of O(term size).
+//!
+//! Annotations cannot go stale: [`TermNode`] internals are private, every
+//! node is built by [`TermRef::new`] (directly or via the [`Term`] smart
+//! constructors), and the node is immutable afterwards.
 
 use crate::intern::Sym;
 use crate::ty::Ty;
 use std::collections::HashMap;
 use std::fmt;
+use std::rc::Rc;
 
 /// A metavariable: a typed hole solved by unification or matching.
 ///
@@ -77,7 +103,149 @@ impl fmt::Display for MVar {
 /// Typing environment for metavariables: the type each hole must fill.
 pub type MetaEnv = HashMap<MVar, Ty>;
 
+/// An immutable, annotated term node. Private: the only way to obtain one
+/// is through [`TermRef::new`], which computes the annotations, so the
+/// cached values are correct by construction.
+#[derive(Debug)]
+struct TermNode {
+    term: Term,
+    /// Maximal free de Bruijn index + 1 (`0` = locally closed).
+    max_free: u32,
+    /// Whether any metavariable occurs in the subterm.
+    has_meta: bool,
+    /// Whether the subterm is β-normal (no β/projection redex).
+    beta_normal: bool,
+}
+
+/// A shared, annotation-carrying reference to a subterm: `Rc<TermNode>`.
+///
+/// Cloning is a reference-count bump. Equality takes a pointer-identity
+/// fast path, then compares cached annotations (a cheap negative filter),
+/// then falls back to structural α-equivalence. [`Hash`] ignores sharing
+/// and binder hints, so it remains consistent with `==`.
+#[derive(Clone)]
+pub struct TermRef(Rc<TermNode>);
+
+impl TermRef {
+    /// Wraps a term in a new annotated node, computing `max_free`,
+    /// `has_meta`, and `beta_normal` in O(1) from the (already annotated)
+    /// children.
+    pub fn new(term: Term) -> TermRef {
+        let max_free = term.max_free();
+        let has_meta = term.has_metas();
+        let beta_normal = term.is_beta_normal();
+        TermRef(Rc::new(TermNode {
+            term,
+            max_free,
+            has_meta,
+            beta_normal,
+        }))
+    }
+
+    /// The underlying term.
+    pub fn term(&self) -> &Term {
+        &self.0.term
+    }
+
+    /// Maximal free de Bruijn index + 1; `0` means locally closed.
+    pub fn max_free(&self) -> u32 {
+        self.0.max_free
+    }
+
+    /// Whether any metavariable occurs in this subterm. O(1).
+    pub fn has_meta(&self) -> bool {
+        self.0.has_meta
+    }
+
+    /// Whether this subterm is β-normal. O(1).
+    pub fn is_beta_normal(&self) -> bool {
+        self.0.beta_normal
+    }
+
+    /// Whether the subterm has no free de Bruijn variables. O(1).
+    pub fn is_closed(&self) -> bool {
+        self.0.max_free == 0
+    }
+
+    /// Pointer identity: do both refs share the very same node?
+    pub fn ptr_eq(a: &TermRef, b: &TermRef) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Extracts the term, avoiding a clone when this is the last reference.
+    /// The fallback clone is *shallow* (children stay shared).
+    pub fn into_term(self) -> Term {
+        match Rc::try_unwrap(self.0) {
+            Ok(node) => node.term,
+            Err(rc) => rc.term.clone(),
+        }
+    }
+}
+
+impl From<Term> for TermRef {
+    fn from(t: Term) -> TermRef {
+        TermRef::new(t)
+    }
+}
+
+impl std::ops::Deref for TermRef {
+    type Target = Term;
+    fn deref(&self) -> &Term {
+        &self.0.term
+    }
+}
+
+impl AsRef<Term> for TermRef {
+    fn as_ref(&self) -> &Term {
+        &self.0.term
+    }
+}
+
+impl std::borrow::Borrow<Term> for TermRef {
+    fn borrow(&self) -> &Term {
+        &self.0.term
+    }
+}
+
+impl PartialEq for TermRef {
+    /// α-equivalence with a pointer-identity fast path and an O(1)
+    /// annotation mismatch filter (equal terms have equal annotations).
+    fn eq(&self, other: &Self) -> bool {
+        Rc::ptr_eq(&self.0, &other.0)
+            || (self.0.max_free == other.0.max_free
+                && self.0.has_meta == other.0.has_meta
+                && self.0.beta_normal == other.0.beta_normal
+                && self.0.term == other.0.term)
+    }
+}
+impl Eq for TermRef {}
+
+impl std::hash::Hash for TermRef {
+    /// Delegates to the term's hint-insensitive hash: sharing and
+    /// annotations never leak into the hash.
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.term.hash(state)
+    }
+}
+
+impl fmt::Debug for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.term.fmt(f)
+    }
+}
+
+impl fmt::Display for TermRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.term.fmt(f)
+    }
+}
+
 /// A term of the metalanguage, in de Bruijn representation.
+///
+/// Subterms are shared, annotated [`TermRef`]s; cloning a `Term` is O(1)
+/// (leaf payload copy or two reference-count bumps). Build compound terms
+/// through the smart constructors ([`Term::lam`], [`Term::app`], …), which
+/// compute annotations bottom-up.
 #[derive(Clone, Debug)]
 pub enum Term {
     /// A bound variable; `Var(0)` is the innermost binder.
@@ -90,15 +258,15 @@ pub enum Term {
     /// An integer literal of type [`Ty::Int`].
     Int(i64),
     /// λ-abstraction. The [`Sym`] is a printing hint, ignored by equality.
-    Lam(Sym, Box<Term>),
+    Lam(Sym, TermRef),
     /// Application.
-    App(Box<Term>, Box<Term>),
+    App(TermRef, TermRef),
     /// Pairing, of product type.
-    Pair(Box<Term>, Box<Term>),
+    Pair(TermRef, TermRef),
     /// First projection.
-    Fst(Box<Term>),
+    Fst(TermRef),
     /// Second projection.
-    Snd(Box<Term>),
+    Snd(TermRef),
     /// The unit value.
     Unit,
 }
@@ -127,8 +295,8 @@ impl fmt::Display for Head {
 
 impl Term {
     /// Convenience constructor for application.
-    pub fn app(f: Term, a: Term) -> Term {
-        Term::App(Box::new(f), Box::new(a))
+    pub fn app(f: impl Into<TermRef>, a: impl Into<TermRef>) -> Term {
+        Term::App(f.into(), a.into())
     }
 
     /// Convenience constructor for an iterated application `f a₀ … aₙ`.
@@ -137,8 +305,8 @@ impl Term {
     }
 
     /// Convenience constructor for λ-abstraction with a printing hint.
-    pub fn lam(hint: impl Into<Sym>, body: Term) -> Term {
-        Term::Lam(hint.into(), Box::new(body))
+    pub fn lam(hint: impl Into<Sym>, body: impl Into<TermRef>) -> Term {
+        Term::Lam(hint.into(), body.into())
     }
 
     /// Iterated λ-abstraction: `lams(["x","y"], b)` is `λx. λy. b`.
@@ -158,18 +326,30 @@ impl Term {
     }
 
     /// Convenience constructor for pairing.
-    pub fn pair(a: Term, b: Term) -> Term {
-        Term::Pair(Box::new(a), Box::new(b))
+    pub fn pair(a: impl Into<TermRef>, b: impl Into<TermRef>) -> Term {
+        Term::Pair(a.into(), b.into())
     }
 
     /// Convenience constructor for the first projection.
-    pub fn fst(t: Term) -> Term {
-        Term::Fst(Box::new(t))
+    pub fn fst(t: impl Into<TermRef>) -> Term {
+        Term::Fst(t.into())
     }
 
     /// Convenience constructor for the second projection.
-    pub fn snd(t: Term) -> Term {
-        Term::Snd(Box::new(t))
+    pub fn snd(t: impl Into<TermRef>) -> Term {
+        Term::Snd(t.into())
+    }
+
+    /// Maximal free de Bruijn index + 1 (`0` = locally closed). O(1): the
+    /// value is combined from the children's cached annotations.
+    pub fn max_free(&self) -> u32 {
+        match self {
+            Term::Var(i) => i + 1,
+            Term::Lam(_, b) => b.max_free().saturating_sub(1),
+            Term::App(a, b) | Term::Pair(a, b) => a.max_free().max(b.max_free()),
+            Term::Fst(b) | Term::Snd(b) => b.max_free(),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => 0,
+        }
     }
 
     /// Decomposes `f a₀ … aₙ` into `(f, [a₀, …, aₙ])`; the returned head
@@ -231,7 +411,13 @@ impl Term {
     /// Whether `Var(k)` (counted from the *outside* of this term) occurs
     /// free. `occurs_free(0)` asks about the variable bound by an
     /// immediately enclosing λ.
+    ///
+    /// Subtrees whose cached `max_free` rules out the variable are not
+    /// traversed.
     pub fn occurs_free(&self, k: u32) -> bool {
+        if self.max_free() <= k {
+            return false;
+        }
         match self {
             Term::Var(i) => *i == k,
             Term::Lam(_, b) => b.occurs_free(k + 1),
@@ -242,33 +428,31 @@ impl Term {
     }
 
     /// Whether the term has no free de Bruijn variables (it may still
-    /// contain metavariables and constants).
+    /// contain metavariables and constants). O(1) via cached `max_free`.
     pub fn is_locally_closed(&self) -> bool {
-        fn go(t: &Term, depth: u32) -> bool {
-            match t {
-                Term::Var(i) => *i < depth,
-                Term::Lam(_, b) => go(b, depth + 1),
-                Term::App(a, b) | Term::Pair(a, b) => go(a, depth) && go(b, depth),
-                Term::Fst(b) | Term::Snd(b) => go(b, depth),
-                Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => true,
-            }
-        }
-        go(self, 0)
+        self.max_free() == 0
     }
 
-    /// Whether the term contains any metavariable.
+    /// Whether the term contains any metavariable. O(1): combined from the
+    /// children's cached annotations.
     pub fn has_metas(&self) -> bool {
         match self {
             Term::Meta(_) => true,
             Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => false,
-            Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => b.has_metas(),
-            Term::App(a, b) | Term::Pair(a, b) => a.has_metas() || b.has_metas(),
+            Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => b.has_meta(),
+            Term::App(a, b) | Term::Pair(a, b) => a.has_meta() || b.has_meta(),
         }
     }
 
     /// Collects the metavariables occurring in the term, in first-occurrence
-    /// order without duplicates.
+    /// order without duplicates. Meta-free subtrees are skipped via the
+    /// cached `has_meta` annotation.
     pub fn metas(&self) -> Vec<MVar> {
+        fn go_ref(t: &TermRef, acc: &mut Vec<MVar>) {
+            if t.has_meta() {
+                go(t, acc);
+            }
+        }
         fn go(t: &Term, acc: &mut Vec<MVar>) {
             match t {
                 Term::Meta(m) => {
@@ -277,10 +461,10 @@ impl Term {
                     }
                 }
                 Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => {}
-                Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => go(b, acc),
+                Term::Lam(_, b) | Term::Fst(b) | Term::Snd(b) => go_ref(b, acc),
                 Term::App(a, b) | Term::Pair(a, b) => {
-                    go(a, acc);
-                    go(b, acc);
+                    go_ref(a, acc);
+                    go_ref(b, acc);
                 }
             }
         }
@@ -313,11 +497,16 @@ impl Term {
     }
 
     /// Whether the term is β-normal: contains no β-redex `(λx.b) a`, no
-    /// projection redex `fst (s, t)` / `snd (s, t)`.
+    /// projection redex `fst (s, t)` / `snd (s, t)`. O(1): combined from
+    /// the children's cached annotations.
     pub fn is_beta_normal(&self) -> bool {
         match self {
-            Term::App(f, a) => !matches!(f.as_ref(), Term::Lam(..)) && f.is_beta_normal() && a.is_beta_normal(),
-            Term::Fst(p) | Term::Snd(p) => !matches!(p.as_ref(), Term::Pair(..)) && p.is_beta_normal(),
+            Term::App(f, a) => {
+                !matches!(f.as_ref(), Term::Lam(..)) && f.is_beta_normal() && a.is_beta_normal()
+            }
+            Term::Fst(p) | Term::Snd(p) => {
+                !matches!(p.as_ref(), Term::Pair(..)) && p.is_beta_normal()
+            }
             Term::Lam(_, b) => b.is_beta_normal(),
             Term::Pair(a, b) => a.is_beta_normal() && b.is_beta_normal(),
             Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => true,
@@ -328,7 +517,7 @@ impl Term {
     /// to demonstrate that hints are semantically inert.
     pub fn map_hints(&self, f: &mut impl FnMut(&Sym) -> Sym) -> Term {
         match self {
-            Term::Lam(h, b) => Term::Lam(f(h), Box::new(b.map_hints(f))),
+            Term::Lam(h, b) => Term::lam(f(h), b.map_hints(f)),
             Term::App(a, b) => Term::app(a.map_hints(f), b.map_hints(f)),
             Term::Pair(a, b) => Term::pair(a.map_hints(f), b.map_hints(f)),
             Term::Fst(b) => Term::fst(b.map_hints(f)),
@@ -340,6 +529,10 @@ impl Term {
 
 impl PartialEq for Term {
     /// Structural equality **modulo binder hints** — i.e. α-equivalence.
+    ///
+    /// Compound cases compare children as [`TermRef`]s, which short-circuit
+    /// on pointer identity and on cached-annotation mismatch before
+    /// recursing.
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Term::Var(i), Term::Var(j)) => i == j,
@@ -496,5 +689,63 @@ mod tests {
         let t = Term::lam("x", Term::app(x(), x()));
         let renamed = t.map_hints(&mut |_| Sym::new("fresh"));
         assert_eq!(t, renamed);
+    }
+
+    #[test]
+    fn annotations_on_construction() {
+        // max_free: λx. (0 1 2) has free vars 1 and 2 inside ⇒ 0 and 1
+        // outside ⇒ max_free 2.
+        let t = Term::lam("x", Term::apps(Term::Var(0), [Term::Var(1), Term::Var(2)]));
+        assert_eq!(t.max_free(), 2);
+        assert!(!t.is_locally_closed());
+        assert!(Term::lam("x", x()).is_locally_closed());
+        assert_eq!(Term::cnst("c").max_free(), 0);
+        // has_metas propagates.
+        let m = Term::Meta(MVar::new(0, "P"));
+        assert!(Term::pair(m, Term::Unit).has_metas());
+        assert!(!Term::pair(Term::Unit, Term::Unit).has_metas());
+    }
+
+    #[test]
+    fn termref_equality_and_hash_ignore_sharing() {
+        // The same structural term built twice (no sharing) vs once shared.
+        let mk = || Term::lam("x", Term::app(Term::Var(0), Term::cnst("c")));
+        let a = TermRef::new(mk());
+        let b = TermRef::new(mk());
+        assert!(!TermRef::ptr_eq(&a, &b));
+        assert_eq!(a, b);
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let mut h1 = DefaultHasher::new();
+        let mut h2 = DefaultHasher::new();
+        a.hash(&mut h1);
+        b.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn termref_into_term_is_shallow() {
+        let shared: TermRef = Term::lam("x", x()).into();
+        let t = Term::app(shared.clone(), Term::Unit);
+        // Extracting the function position must hand back the same node.
+        match &t {
+            Term::App(f, _) => assert!(TermRef::ptr_eq(f, &shared)),
+            _ => unreachable!(),
+        }
+        let back = shared.clone().into_term();
+        assert_eq!(back, Term::lam("y", x()));
+    }
+
+    #[test]
+    fn clone_is_shallow_sharing() {
+        let t = Term::app(Term::lam("x", x()), Term::cnst("c"));
+        let u = t.clone();
+        match (&t, &u) {
+            (Term::App(f1, a1), Term::App(f2, a2)) => {
+                assert!(TermRef::ptr_eq(f1, f2));
+                assert!(TermRef::ptr_eq(a1, a2));
+            }
+            _ => unreachable!(),
+        }
     }
 }

@@ -60,7 +60,10 @@ impl Ty {
     /// let t = Ty::arrows([tm.clone(), tm.clone()], tm.clone());
     /// assert_eq!(t.to_string(), "tm -> tm -> tm");
     /// ```
-    pub fn arrows(args: impl IntoIterator<Item = Ty, IntoIter: DoubleEndedIterator>, cod: Ty) -> Ty {
+    pub fn arrows(
+        args: impl IntoIterator<Item = Ty, IntoIter: DoubleEndedIterator>,
+        cod: Ty,
+    ) -> Ty {
         args.into_iter().rev().fold(cod, |acc, a| Ty::arrow(a, acc))
     }
 

@@ -35,13 +35,7 @@ use crate::ty::Ty;
 /// typeck::check(&sig, &MetaEnv::new(), &Ctx::new(), &t, &ty)?;
 /// # Ok::<(), hoas_core::Error>(())
 /// ```
-pub fn check(
-    sig: &Signature,
-    menv: &MetaEnv,
-    ctx: &Ctx,
-    t: &Term,
-    ty: &Ty,
-) -> Result<(), Error> {
+pub fn check(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<(), Error> {
     match (t, ty) {
         (Term::Lam(h, body), Ty::Arrow(dom, cod)) => {
             let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());

@@ -78,10 +78,7 @@ fn free_names(t: &DbTree) -> HashSet<String> {
     match t {
         DbTree::Var(_) => HashSet::new(),
         DbTree::Free(x) => std::iter::once(x.clone()).collect(),
-        DbTree::Node(_, scopes) => scopes
-            .iter()
-            .flat_map(|(_, b)| free_names(b))
-            .collect(),
+        DbTree::Node(_, scopes) => scopes.iter().flat_map(|(_, b)| free_names(b)).collect(),
     }
 }
 
@@ -125,7 +122,10 @@ mod tests {
     fn shadowing_resolves_to_innermost() {
         let t = lam("x", lam("x", v("x")));
         let db = to_debruijn(&t);
-        assert_eq!(db, DbTree::binder("lam", DbTree::binder("lam", DbTree::Var(0))));
+        assert_eq!(
+            db,
+            DbTree::binder("lam", DbTree::binder("lam", DbTree::Var(0)))
+        );
     }
 
     #[test]

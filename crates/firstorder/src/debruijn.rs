@@ -245,7 +245,10 @@ mod tests {
         assert_eq!(shifted, t, "no free vars, shift is identity");
         let open = DbTree::Node("let2".into(), vec![(2, app(v(2), v(0)))]);
         assert!(!open.is_locally_closed());
-        assert_eq!(open.shift(1), DbTree::Node("let2".into(), vec![(2, app(v(3), v(0)))]));
+        assert_eq!(
+            open.shift(1),
+            DbTree::Node("let2".into(), vec![(2, app(v(3), v(0)))])
+        );
     }
 
     #[test]

@@ -280,10 +280,16 @@ mod tests {
 
     #[test]
     fn close_open_roundtrip() {
-        let t = app(LnTree::fvar("a"), lam(app(LnTree::BVar(0), LnTree::fvar("a"))));
+        let t = app(
+            LnTree::fvar("a"),
+            lam(app(LnTree::BVar(0), LnTree::fvar("a"))),
+        );
         let closed = t.close_over(&["a"]);
         assert_eq!(closed.open_with(&["a"]), t);
-        assert!(!closed.is_locally_closed(), "closing leaves a dangling index");
+        assert!(
+            !closed.is_locally_closed(),
+            "closing leaves a dangling index"
+        );
     }
 
     #[test]
@@ -317,10 +323,7 @@ mod tests {
             Tree::node("app", [Tree::var("x"), Tree::var("free")]),
         );
         let ln = from_named(&named);
-        assert_eq!(
-            ln,
-            lam(app(LnTree::BVar(0), LnTree::fvar("free")))
-        );
+        assert_eq!(ln, lam(app(LnTree::BVar(0), LnTree::fvar("free"))));
         assert!(to_named(&ln).alpha_eq(&named));
     }
 
@@ -361,7 +364,11 @@ mod tests {
     fn substitution_commutes_with_named_subst() {
         // Named subst then convert == convert then LN subst_free (on a
         // closed replacement).
-        let named = Tree::binder("lam", "y", Tree::node("app", [Tree::var("x"), Tree::var("y")]));
+        let named = Tree::binder(
+            "lam",
+            "y",
+            Tree::node("app", [Tree::var("x"), Tree::var("y")]),
+        );
         let repl = Tree::binder("lam", "z", Tree::var("z"));
         let left = from_named(&named.subst("x", &repl));
         let right = from_named(&named).subst_free("x", &from_named(&repl));

@@ -67,10 +67,7 @@ impl Tree {
 
     /// Convenience constructor for an operator over unbound children.
     pub fn node(op: impl Into<String>, children: impl IntoIterator<Item = Tree>) -> Tree {
-        Tree::Node(
-            op.into(),
-            children.into_iter().map(Abs::plain).collect(),
-        )
+        Tree::Node(op.into(), children.into_iter().map(Abs::plain).collect())
     }
 
     /// Convenience constructor for a unary binder operator, e.g.
@@ -115,9 +112,9 @@ impl Tree {
     pub fn occurs_free(&self, x: &str) -> bool {
         match self {
             Tree::Var(y) => y == x,
-            Tree::Node(_, scopes) => scopes.iter().any(|s| {
-                !s.binders.iter().any(|b| b == x) && s.body.occurs_free(x)
-            }),
+            Tree::Node(_, scopes) => scopes
+                .iter()
+                .any(|s| !s.binders.iter().any(|b| b == x) && s.body.occurs_free(x)),
         }
     }
 
@@ -499,7 +496,10 @@ mod tests {
         let fvs = r.free_vars();
         assert_eq!(
             fvs,
-            ["a", "b"].iter().map(|s| s.to_string()).collect::<HashSet<_>>()
+            ["a", "b"]
+                .iter()
+                .map(|s| s.to_string())
+                .collect::<HashSet<_>>()
         );
         // And must not be α-equal to the captured version.
         let captured = lam("a", lam("b", app(app(app(v("a"), v("b")), v("a")), v("b"))));

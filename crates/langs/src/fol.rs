@@ -66,6 +66,9 @@ impl Formula {
         Formula::Imp(Box::new(a), Box::new(b))
     }
     /// Negation constructor.
+    // Not `impl Not`: these are by-value associated constructors, uniform
+    // with `and`/`or`/`imp`, not operators on `&self`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(a: Formula) -> Formula {
         Formula::Not(Box::new(a))
     }
@@ -82,9 +85,7 @@ impl Formula {
     pub fn size(&self) -> usize {
         match self {
             Formula::Pred(_, args) => 1 + args.iter().map(FoTerm::size).sum::<usize>(),
-            Formula::And(a, b) | Formula::Or(a, b) | Formula::Imp(a, b) => {
-                1 + a.size() + b.size()
-            }
+            Formula::And(a, b) | Formula::Or(a, b) | Formula::Imp(a, b) => 1 + a.size() + b.size(),
             Formula::Not(a) => 1 + a.size(),
             Formula::Forall(_, a) | Formula::Exists(_, a) => 1 + a.size(),
         }
@@ -230,14 +231,14 @@ impl Vocabulary {
         for (name, arity) in &self.functions {
             sig.declare_const(
                 name.as_str(),
-                Ty::arrows(std::iter::repeat(i.clone()).take(*arity), i.clone()),
+                Ty::arrows(std::iter::repeat_n(i.clone(), *arity), i.clone()),
             )
             .expect("function symbol collides with a connective");
         }
         for (name, arity) in &self.predicates {
             sig.declare_const(
                 name.as_str(),
-                Ty::arrows(std::iter::repeat(i.clone()).take(*arity), o.clone()),
+                Ty::arrows(std::iter::repeat_n(i.clone(), *arity), o.clone()),
             )
             .expect("predicate symbol collides with a connective");
         }
@@ -307,19 +308,13 @@ fn encode_formula(f: &Formula, env: &mut Vec<String>) -> Result<Term, LangError>
             env.push(x.clone());
             let body = encode_formula(a, env)?;
             env.pop();
-            Ok(Term::app(
-                Term::cnst("forall"),
-                Term::lam(x.as_str(), body),
-            ))
+            Ok(Term::app(Term::cnst("forall"), Term::lam(x.as_str(), body)))
         }
         Formula::Exists(x, a) => {
             env.push(x.clone());
             let body = encode_formula(a, env)?;
             env.pop();
-            Ok(Term::app(
-                Term::cnst("exists"),
-                Term::lam(x.as_str(), body),
-            ))
+            Ok(Term::app(Term::cnst("exists"), Term::lam(x.as_str(), body)))
         }
     }
 }
@@ -586,9 +581,7 @@ fn gen_t(vocab: &Vocabulary, rng: &mut impl Rng, depth: u32, bound: &[String]) -
     if candidates.is_empty() {
         // No constants and no bound vars: fall back to any symbol.
         let (name, arity) = &vocab.functions[rng.gen_range(0..vocab.functions.len())];
-        let args = (0..*arity)
-            .map(|_| gen_t(vocab, rng, 0, bound))
-            .collect();
+        let args = (0..*arity).map(|_| gen_t(vocab, rng, 0, bound)).collect();
         return FoTerm::Fun(name.clone(), args);
     }
     let (name, arity) = candidates[rng.gen_range(0..candidates.len())];
@@ -730,7 +723,10 @@ mod tests {
         let v = vocab();
         let f = Formula::or(
             Formula::Pred("p".into(), vec![FoTerm::Fun("a".into(), vec![])]),
-            Formula::not(Formula::Pred("p".into(), vec![FoTerm::Fun("a".into(), vec![])])),
+            Formula::not(Formula::Pred(
+                "p".into(),
+                vec![FoTerm::Fun("a".into(), vec![])],
+            )),
         );
         let mut rng = SmallRng::seed_from_u64(3);
         for _ in 0..20 {
@@ -740,7 +736,10 @@ mod tests {
         // p(a) ∧ ¬p(a) is unsatisfiable.
         let g = Formula::and(
             Formula::Pred("p".into(), vec![FoTerm::Fun("a".into(), vec![])]),
-            Formula::not(Formula::Pred("p".into(), vec![FoTerm::Fun("a".into(), vec![])])),
+            Formula::not(Formula::Pred(
+                "p".into(),
+                vec![FoTerm::Fun("a".into(), vec![])],
+            )),
         );
         for _ in 0..20 {
             let m = Model::random(&v, 3, &mut rng);
@@ -769,8 +768,14 @@ mod tests {
                 .into_iter()
                 .collect(),
         };
-        let forall_p = Formula::forall("x", Formula::Pred("p".into(), vec![FoTerm::Var("x".into())]));
-        let exists_p = Formula::exists("x", Formula::Pred("p".into(), vec![FoTerm::Var("x".into())]));
+        let forall_p = Formula::forall(
+            "x",
+            Formula::Pred("p".into(), vec![FoTerm::Var("x".into())]),
+        );
+        let exists_p = Formula::exists(
+            "x",
+            Formula::Pred("p".into(), vec![FoTerm::Var("x".into())]),
+        );
         assert!(all_true.eval_closed(&forall_p).unwrap());
         assert!(!one_false.eval_closed(&forall_p).unwrap());
         assert!(one_false.eval_closed(&exists_p).unwrap());
@@ -792,19 +797,22 @@ mod tests {
         };
         let f = Formula::forall(
             "x",
-            Formula::exists("x", Formula::Pred("p".into(), vec![FoTerm::Var("x".into())])),
+            Formula::exists(
+                "x",
+                Formula::Pred("p".into(), vec![FoTerm::Var("x".into())]),
+            ),
         );
         assert!(m.eval_closed(&f).unwrap());
         // And the encoding respects shadowing: decode gives fresh names.
         let e = encode(&f).unwrap();
         let back = decode(&e).unwrap();
         let mut env = HashMap::new();
-        assert_eq!(m.eval(&back, &mut env).unwrap(), true);
+        assert!(m.eval(&back, &mut env).unwrap());
     }
 
     #[test]
     fn is_prenex_detection() {
-        assert!(sample().is_prenex() == false);
+        assert!(!sample().is_prenex());
         let prenex = Formula::forall(
             "x",
             Formula::exists(

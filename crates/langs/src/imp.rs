@@ -83,6 +83,9 @@ pub enum Cmd {
     Local(String, Aexp, Box<Cmd>),
 }
 
+// Not the std ops traits: these are by-value associated constructors
+// mirroring the grammar, not operators on `&self`.
+#[allow(clippy::should_implement_trait)]
 impl Aexp {
     /// Addition constructor.
     pub fn add(a: Aexp, b: Aexp) -> Aexp {
@@ -120,6 +123,8 @@ impl Bexp {
         Bexp::Eq(Box::new(a), Box::new(b))
     }
     /// Negation.
+    // Same rationale as `Aexp`: a grammar constructor, not `impl Not`.
+    #[allow(clippy::should_implement_trait)]
     pub fn not(b: Bexp) -> Bexp {
         Bexp::Not(Box::new(b))
     }
@@ -406,11 +411,7 @@ pub fn decode(t: &Term) -> Result<Cmd, LangError> {
         let (head, args) = t.spine();
         let c = match head {
             Term::Const(c) => c.as_str().to_string(),
-            other => {
-                return Err(LangError::NotCanonical(format!(
-                    "aexp with head `{other}`"
-                )))
-            }
+            other => return Err(LangError::NotCanonical(format!("aexp with head `{other}`"))),
         };
         match (c.as_str(), args.as_slice()) {
             ("lit", [Term::Int(n)]) => Ok(Aexp::Num(*n)),
@@ -425,11 +426,7 @@ pub fn decode(t: &Term) -> Result<Cmd, LangError> {
         let (head, args) = t.spine();
         let c = match head {
             Term::Const(c) => c.as_str().to_string(),
-            other => {
-                return Err(LangError::NotCanonical(format!(
-                    "bexp with head `{other}`"
-                )))
-            }
+            other => return Err(LangError::NotCanonical(format!("bexp with head `{other}`"))),
         };
         match (c.as_str(), args.as_slice()) {
             ("le", [a, b]) => Ok(Bexp::le(aexp(a, env)?, aexp(b, env)?)),
@@ -443,11 +440,7 @@ pub fn decode(t: &Term) -> Result<Cmd, LangError> {
         let (head, args) = t.spine();
         let c = match head {
             Term::Const(c) => c.as_str().to_string(),
-            other => {
-                return Err(LangError::NotCanonical(format!(
-                    "cmd with head `{other}`"
-                )))
-            }
+            other => return Err(LangError::NotCanonical(format!("cmd with head `{other}`"))),
         };
         match (c.as_str(), args.as_slice()) {
             ("skip", []) => Ok(Cmd::Skip),

@@ -284,11 +284,7 @@ pub fn decode(t: &Term) -> Result<Exp, LangError> {
         let (head, args) = t.spine();
         let cname = match head {
             Term::Const(c) => c.as_str().to_string(),
-            other => {
-                return Err(LangError::NotCanonical(format!(
-                    "exp with head `{other}`"
-                )))
-            }
+            other => return Err(LangError::NotCanonical(format!("exp with head `{other}`"))),
         };
         let fresh = |hint: &hoas_core::Sym, env: &[String]| {
             let used: HashSet<String> = env.iter().cloned().collect();
@@ -940,11 +936,7 @@ mod tests {
     #[test]
     fn shadowing_respected() {
         // let x = 1 in let x = 2 in x  ==>  2
-        let prog = Exp::let_(
-            "x",
-            Exp::num(1),
-            Exp::let_("x", Exp::num(2), Exp::var("x")),
-        );
+        let prog = Exp::let_("x", Exp::num(1), Exp::let_("x", Exp::num(2), Exp::var("x")));
         assert_eq!(run_native(&prog).as_num(), Some(2));
         assert_eq!(run_hoas(&prog).as_num(), Some(2));
     }
@@ -973,7 +965,10 @@ mod tests {
         ));
         let t = encode(&omega).unwrap();
         let mut fuel = 1000;
-        assert!(matches!(eval_hoas(&t, &mut fuel), Err(LangError::OutOfFuel)));
+        assert!(matches!(
+            eval_hoas(&t, &mut fuel),
+            Err(LangError::OutOfFuel)
+        ));
     }
 
     #[test]

@@ -334,8 +334,14 @@ mod tests {
 
     #[test]
     fn library_functions_have_expected_types() {
-        assert_eq!(infer(&miniml::add_fn()).unwrap().to_string(), "nat -> nat -> nat");
-        assert_eq!(infer(&miniml::mul_fn()).unwrap().to_string(), "nat -> nat -> nat");
+        assert_eq!(
+            infer(&miniml::add_fn()).unwrap().to_string(),
+            "nat -> nat -> nat"
+        );
+        assert_eq!(
+            infer(&miniml::mul_fn()).unwrap().to_string(),
+            "nat -> nat -> nat"
+        );
         assert_eq!(infer(&miniml::fact_fn()).unwrap().to_string(), "nat -> nat");
     }
 
@@ -354,10 +360,7 @@ mod tests {
             "f",
             Exp::lam("x", Exp::var("x")),
             Exp::app(
-                Exp::app(
-                    Exp::var("f"),
-                    Exp::lam("y", Exp::s(Exp::var("y"))),
-                ),
+                Exp::app(Exp::var("f"), Exp::lam("y", Exp::s(Exp::var("y")))),
                 Exp::app(Exp::var("f"), Exp::Z),
             ),
         );

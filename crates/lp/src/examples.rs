@@ -171,8 +171,7 @@ mod tests {
     #[test]
     fn stlc_infers_identity() {
         let prog = stlc_program();
-        let (goal, menv) =
-            query_menv(prog.sig(), r"of (lam (\x. x)) ?T", &[("T", "tp")]).unwrap();
+        let (goal, menv) = query_menv(prog.sig(), r"of (lam (\x. x)) ?T", &[("T", "tp")]).unwrap();
         let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
         assert_eq!(out.answers.len(), 1);
         // Principal shape: arr ?A ?A (A stays free).
@@ -190,12 +189,8 @@ mod tests {
     #[test]
     fn stlc_infers_k_combinator() {
         let prog = stlc_program();
-        let (goal, menv) = query_menv(
-            prog.sig(),
-            r"of (lam (\x. lam (\y. x))) ?T",
-            &[("T", "tp")],
-        )
-        .unwrap();
+        let (goal, menv) =
+            query_menv(prog.sig(), r"of (lam (\x. lam (\y. x))) ?T", &[("T", "tp")]).unwrap();
         let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
         assert_eq!(out.answers.len(), 1);
         // arr ?A (arr ?B ?A)

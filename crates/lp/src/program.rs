@@ -95,11 +95,9 @@ impl Goal {
                 Box::new(d.map_terms(depth, f)),
                 Box::new(g.map_terms(depth, f)),
             ),
-            Goal::All(h, ty, b) => Goal::All(
-                h.clone(),
-                ty.clone(),
-                Box::new(b.map_terms(depth + 1, f)),
-            ),
+            Goal::All(h, ty, b) => {
+                Goal::All(h.clone(), ty.clone(), Box::new(b.map_terms(depth + 1, f)))
+            }
         }
     }
 }
@@ -173,10 +171,7 @@ impl Clause {
         }
         let mut var_list = Vec::with_capacity(vars.len());
         for (i, (name, ty)) in vars.iter().enumerate() {
-            let m = table
-                .get(name)
-                .expect("pre-allocated above")
-                .clone();
+            let m = table.get(name).expect("pre-allocated above").clone();
             debug_assert_eq!(m.id() as usize, i);
             var_list.push((Sym::new(*name), hoas_core::parse::parse_ty(ty)?));
         }

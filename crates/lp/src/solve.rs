@@ -5,7 +5,7 @@
 use crate::program::{Clause, Goal, Program};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
-use hoas_core::{MVar, Term};
+use hoas_core::{MVar, Term, TermRef};
 use hoas_unify::pattern;
 use hoas_unify::problem::Constraint;
 use hoas_unify::{MetaSubst, UnifyError};
@@ -340,16 +340,7 @@ fn solve_atom(
                 }
                 let mut stack2 = stack.clone();
                 stack2.push(Work::G(body));
-                dfs(
-                    prog,
-                    st2,
-                    stack2,
-                    depth - 1,
-                    cfg,
-                    query_metas,
-                    out,
-                    fuel,
-                )?;
+                dfs(prog, st2, stack2, depth - 1, cfg, query_metas, out, fuel)?;
             }
             Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => {}
             Err(UnifyError::NotPattern { .. }) => {
@@ -412,20 +403,37 @@ fn freshen(st: &mut St, clause: &Clause) -> (Term, Goal) {
 }
 
 fn rename_metas(t: &Term, n: u32, map: &HashMap<u32, MVar>) -> Term {
+    // Meta-free subtrees (cached annotation) are fixed points of the
+    // renaming: share them instead of deep-cloning the clause.
+    if !t.has_metas() {
+        return t.clone();
+    }
     match t {
         Term::Meta(m) if m.id() < n => Term::Meta(map[&m.id()].clone()),
         Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(rename_metas(b, n, map))),
-        Term::App(f, a) => Term::app(rename_metas(f, n, map), rename_metas(a, n, map)),
-        Term::Pair(a, b) => Term::pair(rename_metas(a, n, map), rename_metas(b, n, map)),
-        Term::Fst(p) => Term::fst(rename_metas(p, n, map)),
-        Term::Snd(p) => Term::snd(rename_metas(p, n, map)),
+        Term::Lam(h, b) => Term::lam(h.clone(), rename_metas_ref(b, n, map)),
+        Term::App(f, a) => Term::app(rename_metas_ref(f, n, map), rename_metas_ref(a, n, map)),
+        Term::Pair(a, b) => Term::pair(rename_metas_ref(a, n, map), rename_metas_ref(b, n, map)),
+        Term::Fst(p) => Term::fst(rename_metas_ref(p, n, map)),
+        Term::Snd(p) => Term::snd(rename_metas_ref(p, n, map)),
+    }
+}
+
+fn rename_metas_ref(t: &TermRef, n: u32, map: &HashMap<u32, MVar>) -> TermRef {
+    if !t.has_meta() {
+        t.clone()
+    } else {
+        TermRef::new(rename_metas(t, n, map))
     }
 }
 
 /// Replaces `Var(k)` with the closed term `c`, decrementing variables
 /// above `k` (goal-level binder instantiation).
 fn replace_and_lower(t: &Term, k: u32, c: &Term) -> Term {
+    // No free variable at or above `k`: identity, share the subtree.
+    if t.max_free() <= k {
+        return t.clone();
+    }
     match t {
         Term::Var(i) => {
             if *i == k {
@@ -436,17 +444,35 @@ fn replace_and_lower(t: &Term, k: u32, c: &Term) -> Term {
                 t.clone()
             }
         }
-        Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(replace_and_lower(b, k + 1, c))),
-        Term::App(f, a) => Term::app(replace_and_lower(f, k, c), replace_and_lower(a, k, c)),
-        Term::Pair(a, b) => Term::pair(replace_and_lower(a, k, c), replace_and_lower(b, k, c)),
-        Term::Fst(p) => Term::fst(replace_and_lower(p, k, c)),
-        Term::Snd(p) => Term::snd(replace_and_lower(p, k, c)),
+        Term::Lam(h, b) => Term::lam(h.clone(), replace_and_lower_ref(b, k + 1, c)),
+        Term::App(f, a) => Term::app(
+            replace_and_lower_ref(f, k, c),
+            replace_and_lower_ref(a, k, c),
+        ),
+        Term::Pair(a, b) => Term::pair(
+            replace_and_lower_ref(a, k, c),
+            replace_and_lower_ref(b, k, c),
+        ),
+        Term::Fst(p) => Term::fst(replace_and_lower_ref(p, k, c)),
+        Term::Snd(p) => Term::snd(replace_and_lower_ref(p, k, c)),
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
+fn replace_and_lower_ref(t: &TermRef, k: u32, c: &Term) -> TermRef {
+    if t.max_free() <= k {
+        t.clone()
+    } else {
+        TermRef::new(replace_and_lower(t, k, c))
+    }
+}
+
 /// Convenience: type of a goal metavariable by (hint, type) pairs.
-pub fn query_menv(sig: &Signature, goal_src: &str, vars: &[(&str, &str)]) -> Result<(Goal, MetaEnv), hoas_core::Error> {
+pub fn query_menv(
+    sig: &Signature,
+    goal_src: &str,
+    vars: &[(&str, &str)],
+) -> Result<(Goal, MetaEnv), hoas_core::Error> {
     let mut table = hoas_core::parse::MetaTable::new();
     for (name, _) in vars {
         table.get_or_insert(name);
@@ -514,8 +540,7 @@ mod tests {
     #[test]
     fn failing_query_is_empty_not_error() {
         let prog = examples::append_program();
-        let (goal, menv) =
-            query_menv(prog.sig(), "append (cons a nil) nil nil", &[]).unwrap();
+        let (goal, menv) = query_menv(prog.sig(), "append (cons a nil) nil nil", &[]).unwrap();
         let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
         assert!(out.answers.is_empty());
         assert!(!out.exhausted);
@@ -575,14 +600,9 @@ mod tests {
     #[test]
     fn universal_goal_introduces_fresh_constant() {
         // pi x. eq x x succeeds; pi x. eq x a fails (x ≠ a).
-        let sig = Signature::parse(
-            "type i. type o. const a : i. const eq : i -> i -> o.",
-        )
-        .unwrap();
+        let sig = Signature::parse("type i. type o. const a : i. const eq : i -> i -> o.").unwrap();
         let mut prog = Program::new(sig);
-        prog.push(
-            Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap(),
-        );
+        prog.push(Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
         let i = Ty::base("i");
         let refl = Goal::pi(
             "x",
@@ -595,7 +615,10 @@ mod tests {
         let bad = Goal::pi(
             "x",
             i,
-            Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Var(0), Term::cnst("a")])),
+            Goal::Atom(Term::apps(
+                Term::cnst("eq"),
+                [Term::Var(0), Term::cnst("a")],
+            )),
         );
         assert!(solve(&prog, &menv, &bad, &cfg).unwrap().answers.is_empty());
     }
@@ -604,10 +627,7 @@ mod tests {
     fn eigenvariable_scope_violation_rejected() {
         // pi x. eq ?Y x must FAIL: ?Y was created before x and must not
         // capture it (the essence of mixed-prefix unification).
-        let sig = Signature::parse(
-            "type i. type o. const eq : i -> i -> o.",
-        )
-        .unwrap();
+        let sig = Signature::parse("type i. type o. const eq : i -> i -> o.").unwrap();
         let mut prog = Program::new(sig);
         prog.push(Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
         let y = MVar::new(0, "Y");
@@ -616,10 +636,7 @@ mod tests {
         let goal = Goal::pi(
             "x",
             Ty::base("i"),
-            Goal::Atom(Term::apps(
-                Term::cnst("eq"),
-                [Term::Meta(y), Term::Var(0)],
-            )),
+            Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Meta(y), Term::Var(0)])),
         );
         let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
         assert!(

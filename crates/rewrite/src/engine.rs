@@ -202,11 +202,7 @@ impl<'a> Engine<'a> {
     /// # Errors
     ///
     /// Kernel/unification errors on malformed subjects.
-    pub fn rewrite_once(
-        &self,
-        ty: &Ty,
-        t: &Term,
-    ) -> Result<Option<(Term, String)>, RewriteError> {
+    pub fn rewrite_once(&self, ty: &Ty, t: &Term) -> Result<Option<(Term, String)>, RewriteError> {
         Ok(self
             .step(&Ctx::new(), ty, t)?
             .map(|(t2, step)| (t2, step.rule)))
@@ -270,7 +266,7 @@ impl<'a> Engine<'a> {
                 let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
                 Ok(self
                     .step(&ctx2, cod, body)?
-                    .map(|(b, step)| (Term::Lam(h.clone(), Box::new(b)), at(step, 0))))
+                    .map(|(b, step)| (Term::lam(h.clone(), b), at(step, 0))))
             }
             (Term::Pair(a, b), Ty::Prod(ta, tb)) => {
                 if let Some((a2, step)) = self.step(ctx, ta, a)? {
@@ -292,8 +288,7 @@ impl<'a> Engine<'a> {
                 let (arg_tys, _) = head_ty.uncurry();
                 for (i, (arg, aty)) in args.iter().zip(arg_tys).enumerate() {
                     if let Some((a2, step)) = self.step(ctx, aty, arg)? {
-                        let mut new_args: Vec<Term> =
-                            args.iter().map(|a| (*a).clone()).collect();
+                        let mut new_args: Vec<Term> = args.iter().map(|a| (*a).clone()).collect();
                         new_args[i] = a2;
                         return Ok(Some((
                             Term::apps(head.clone(), new_args),
@@ -398,7 +393,9 @@ mod tests {
         let s = sig();
         let rs = not_not();
         let e = Engine::new(&s, &rs);
-        let t = parse_term(&s, r"forall (\x. not (not (p x)))").unwrap().term;
+        let t = parse_term(&s, r"forall (\x. not (not (p x)))")
+            .unwrap()
+            .term;
         let r = e.normalize(&o(), &t).unwrap();
         assert!(r.fixpoint);
         assert_eq!(r.steps, 1);
@@ -466,10 +463,7 @@ mod tests {
         };
         let inner = Engine::with_config(&s, &rs, cfg);
         let (after_one, _) = inner.rewrite_once(&o(), &t).unwrap().unwrap();
-        assert_eq!(
-            after_one,
-            parse_term(&s, "and r (and r r)").unwrap().term
-        );
+        assert_eq!(after_one, parse_term(&s, "and r (and r r)").unwrap().term);
         // Both reach the same fixpoint.
         assert_eq!(outer.normalize(&o(), &t).unwrap().term, Term::cnst("r"));
         assert_eq!(inner.normalize(&o(), &t).unwrap().term, Term::cnst("r"));
@@ -525,8 +519,15 @@ mod trace_tests {
         let s = sig();
         let mut rs = RuleSet::new();
         rs.push(
-            Rule::parse(&s, "not-not", &parse_ty("o").unwrap(), &[("P", "o")], "not (not ?P)", "?P")
-                .unwrap(),
+            Rule::parse(
+                &s,
+                "not-not",
+                &parse_ty("o").unwrap(),
+                &[("P", "o")],
+                "not (not ?P)",
+                "?P",
+            )
+            .unwrap(),
         );
         let e = Engine::new(&s, &rs);
         // and (not (not r)) (and r (not (not r)))
@@ -547,8 +548,15 @@ mod trace_tests {
         let s = sig();
         let mut rs = RuleSet::new();
         rs.push(
-            Rule::parse(&s, "not-not", &parse_ty("o").unwrap(), &[("P", "o")], "not (not ?P)", "?P")
-                .unwrap(),
+            Rule::parse(
+                &s,
+                "not-not",
+                &parse_ty("o").unwrap(),
+                &[("P", "o")],
+                "not (not ?P)",
+                "?P",
+            )
+            .unwrap(),
         );
         let e = Engine::new(&s, &rs);
         let t = parse_term(&s, "not (not r)").unwrap().term;

@@ -124,8 +124,8 @@ impl Rule {
         };
         let table = MetaTable::new();
         let pl = parse_term_with(sig, lhs, table).map_err(|e| bad(format!("lhs: {e}")))?;
-        let pr = parse_term_with(sig, rhs, pl.metas.clone())
-            .map_err(|e| bad(format!("rhs: {e}")))?;
+        let pr =
+            parse_term_with(sig, rhs, pl.metas.clone()).map_err(|e| bad(format!("rhs: {e}")))?;
         let mut menv = MetaEnv::new();
         for (mname, mty) in metas {
             let m = pr
@@ -220,9 +220,16 @@ impl Rule {
 
 impl fmt::Display for Rule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {} ~> {} : {}", self.name, self.lhs, self.rhs, self.ty)
+        write!(
+            f,
+            "{}: {} ~> {} : {}",
+            self.name, self.lhs, self.rhs, self.ty
+        )
     }
 }
+
+/// The shared function backing a [`NativeRule`].
+type NativeFn = Arc<dyn Fn(&Term) -> Option<Term> + Send + Sync>;
 
 /// A δ-rule implemented as a Rust function; returns `Some(replacement)`
 /// when it fires. The replacement must be a well-typed canonical term of
@@ -232,7 +239,7 @@ impl fmt::Display for Rule {
 pub struct NativeRule {
     name: String,
     ty: Ty,
-    f: Arc<dyn Fn(&Term) -> Option<Term> + Send + Sync>,
+    f: NativeFn,
 }
 
 impl NativeRule {
@@ -353,15 +360,7 @@ mod tests {
     #[test]
     fn rejects_untyped_meta() {
         let s = sig();
-        let err = Rule::parse(
-            &s,
-            "bad",
-            &parse_ty("o").unwrap(),
-            &[],
-            "not ?P",
-            "?P",
-        )
-        .unwrap_err();
+        let err = Rule::parse(&s, "bad", &parse_ty("o").unwrap(), &[], "not ?P", "?P").unwrap_err();
         assert!(err.to_string().contains("no declared type"));
     }
 

@@ -112,7 +112,9 @@ mod tests {
                 Formula::Pred("p".into(), vec![fol::FoTerm::Fun("b".into(), vec![])]),
             ),
         );
-        let out = engine.normalize(&fol::o(), &fol::encode(&f).unwrap()).unwrap();
+        let out = engine
+            .normalize(&fol::o(), &fol::encode(&f).unwrap())
+            .unwrap();
         assert!(out.fixpoint);
         let g = fol::decode(&out.term).unwrap();
         assert!(is_cnf_matrix(&g), "not CNF: {g}");
@@ -164,9 +166,15 @@ mod tests {
                 ),
             ),
         );
-        let out = engine.normalize(&fol::o(), &fol::encode(&f).unwrap()).unwrap();
+        let out = engine
+            .normalize(&fol::o(), &fol::encode(&f).unwrap())
+            .unwrap();
         assert_eq!(out.steps, 1);
-        assert_eq!(out.trace[0].path, vec![0, 0], "forall arg 0, then the λ body");
+        assert_eq!(
+            out.trace[0].path,
+            vec![0, 0],
+            "forall arg 0, then the λ body"
+        );
         let g = fol::decode(&out.term).unwrap();
         assert!(is_cnf_matrix(strip_prefix(&g)), "{g}");
     }

@@ -36,7 +36,14 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
     let pq1 = [("P", "o"), ("Q", "i -> o")];
 
     // 1. implication elimination.
-    rs.push(Rule::parse(sig, "imp-elim", &o, &pq, "imp ?P ?Q", "or (not ?P) ?Q")?);
+    rs.push(Rule::parse(
+        sig,
+        "imp-elim",
+        &o,
+        &pq,
+        "imp ?P ?Q",
+        "or (not ?P) ?Q",
+    )?);
 
     // 2. negation normal form.
     rs.push(Rule::parse(sig, "not-not", &o, &p, "not (not ?P)", "?P")?);

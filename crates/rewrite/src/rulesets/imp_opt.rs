@@ -232,7 +232,10 @@ mod tests {
             "x",
             Aexp::Num(0),
             Cmd::seq(
-                Cmd::while_(Bexp::le(Aexp::Num(1), Aexp::Num(0)), Cmd::Print(Aexp::Num(9))),
+                Cmd::while_(
+                    Bexp::le(Aexp::Num(1), Aexp::Num(0)),
+                    Cmd::Print(Aexp::Num(9)),
+                ),
                 Cmd::Print(Aexp::Num(3)),
             ),
         );

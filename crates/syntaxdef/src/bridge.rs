@@ -73,18 +73,13 @@ fn encode_at(
     env: &mut Vec<(String, String)>,
 ) -> Result<Term, BridgeError> {
     match tree {
-        Tree::Var(x) => {
-            match env
-                .iter()
-                .rposition(|(n, s)| n == x && s == sort)
-            {
-                Some(pos) => Ok(Term::Var((env.len() - 1 - pos) as u32)),
-                None => Err(BridgeError::Unbound {
-                    name: x.clone(),
-                    expected: sort.to_string(),
-                }),
-            }
-        }
+        Tree::Var(x) => match env.iter().rposition(|(n, s)| n == x && s == sort) {
+            Some(pos) => Ok(Term::Var((env.len() - 1 - pos) as u32)),
+            None => Err(BridgeError::Unbound {
+                name: x.clone(),
+                expected: sort.to_string(),
+            }),
+        },
         Tree::Node(op, scopes) => {
             // Integer literals at Int positions are handled by the caller
             // (via args); a bare numeric leaf at a sort position is an
@@ -130,11 +125,10 @@ fn encode_at(
                         }
                         match &scope.body {
                             Tree::Node(n, children) if children.is_empty() => {
-                                let v: i64 =
-                                    n.parse().map_err(|_| BridgeError::BadOperator {
-                                        op: op.clone(),
-                                        reason: format!("`{n}` is not an integer literal"),
-                                    })?;
+                                let v: i64 = n.parse().map_err(|_| BridgeError::BadOperator {
+                                    op: op.clone(),
+                                    reason: format!("`{n}` is not an integer literal"),
+                                })?;
                                 Term::Int(v)
                             }
                             other => {
@@ -299,7 +293,11 @@ mod tests {
     fn encodes_lambda_terms() {
         let def = lc();
         // lam(x. app(x; x))
-        let tree = Tree::binder("lam", "x", Tree::node("app", [Tree::var("x"), Tree::var("x")]));
+        let tree = Tree::binder(
+            "lam",
+            "x",
+            Tree::node("app", [Tree::var("x"), Tree::var("x")]),
+        );
         let t = encode(&def, "tm", &tree).unwrap();
         assert_eq!(t.to_string(), r"lam (\x. app x x)");
         // The generated signature type-checks it.
@@ -310,11 +308,7 @@ mod tests {
     #[test]
     fn roundtrip_with_shadowing() {
         let def = lc();
-        let tree = Tree::binder(
-            "lam",
-            "x",
-            Tree::binder("lam", "x", Tree::var("x")),
-        );
+        let tree = Tree::binder("lam", "x", Tree::binder("lam", "x", Tree::var("x")));
         let t = encode(&def, "tm", &tree).unwrap();
         let back = decode(&def, "tm", &t).unwrap();
         assert!(back.alpha_eq(&tree));
@@ -325,7 +319,10 @@ mod tests {
         let def = arith();
         let tree = Tree::node(
             "plus",
-            [Tree::node("lit", [Tree::leaf("3")]), Tree::node("lit", [Tree::leaf("-4")])],
+            [
+                Tree::node("lit", [Tree::leaf("3")]),
+                Tree::node("lit", [Tree::leaf("-4")]),
+            ],
         );
         let t = encode(&def, "e", &tree).unwrap();
         assert_eq!(t.to_string(), "plus (lit 3) (lit -4)");
@@ -396,7 +393,10 @@ mod tests {
     #[test]
     fn decode_rejects_wrong_arity() {
         let def = arith();
-        let t = Term::app(Term::cnst("plus"), Term::app(Term::cnst("lit"), Term::Int(1)));
+        let t = Term::app(
+            Term::cnst("plus"),
+            Term::app(Term::cnst("lit"), Term::Int(1)),
+        );
         assert!(decode(&def, "e", &t).is_err());
     }
 
@@ -409,7 +409,10 @@ mod tests {
             "f",
             LTerm::lam(
                 "x",
-                LTerm::app(LTerm::var("f"), LTerm::app(LTerm::var("f"), LTerm::var("x"))),
+                LTerm::app(
+                    LTerm::var("f"),
+                    LTerm::app(LTerm::var("f"), LTerm::var("x")),
+                ),
             ),
         );
         let via_bridge = encode(&def, "tm", &lambda::to_tree(&term)).unwrap();

@@ -248,10 +248,7 @@ impl LanguageDef {
                 .expect("validated: no duplicate sorts");
         }
         for p in &self.prods {
-            let ty = Ty::arrows(
-                p.args.iter().map(Self::arg_ty),
-                Ty::base(p.sort.as_str()),
-            );
+            let ty = Ty::arrows(p.args.iter().map(Self::arg_ty), Ty::base(p.sort.as_str()));
             sig.declare_const(p.name.as_str(), TyScheme::mono(ty))
                 .expect("validated: no duplicate productions, sorts declared");
         }
@@ -283,11 +280,15 @@ mod tests {
         let def = LanguageDef::new("x")
             .sort("e")
             .prod("lit", "e", [Arg::Int])
-            .prod("let2", "e", [
-                Arg::sort("e"),
-                Arg::sort("e"),
-                Arg::binding_many(["e", "e"], "e"),
-            ]);
+            .prod(
+                "let2",
+                "e",
+                [
+                    Arg::sort("e"),
+                    Arg::sort("e"),
+                    Arg::binding_many(["e", "e"], "e"),
+                ],
+            );
         let sig = def.compile().unwrap();
         assert_eq!(sig.const_ty("lit").unwrap().to_string(), "int -> e");
         assert_eq!(
@@ -365,10 +366,18 @@ mod tests {
             .prod("skip", "cmd", [])
             .prod("assign", "cmd", [Arg::sort("loc"), Arg::sort("aexp")])
             .prod("seq", "cmd", [Arg::sort("cmd"), Arg::sort("cmd")])
-            .prod("ifc", "cmd", [Arg::sort("bexp"), Arg::sort("cmd"), Arg::sort("cmd")])
+            .prod(
+                "ifc",
+                "cmd",
+                [Arg::sort("bexp"), Arg::sort("cmd"), Arg::sort("cmd")],
+            )
             .prod("while", "cmd", [Arg::sort("bexp"), Arg::sort("cmd")])
             .prod("print", "cmd", [Arg::sort("aexp")])
-            .prod("local", "cmd", [Arg::sort("aexp"), Arg::binding("loc", "cmd")]);
+            .prod(
+                "local",
+                "cmd",
+                [Arg::sort("aexp"), Arg::binding("loc", "cmd")],
+            );
         let generated = def.compile().unwrap();
         let hand_written = hoas_langs::imp::signature();
         assert_eq!(generated.to_string(), hand_written.to_string());

@@ -297,9 +297,9 @@ pub fn parse_language_def(src: &str) -> Result<LanguageDef, GrammarError> {
                             args.push(Arg::binding_many(binders, body));
                         }
                         other => {
-                            return Err(p.err(format!(
-                                "expected an argument or `->`, found {other}"
-                            )))
+                            return Err(
+                                p.err(format!("expected an argument or `->`, found {other}"))
+                            )
                         }
                     }
                 }
@@ -330,9 +330,7 @@ impl fmt::Display for LanguageDef {
                 match a {
                     Arg::Sort(s) => write!(f, " {s}")?,
                     Arg::Int => write!(f, " int")?,
-                    Arg::Binding { binders, body } => {
-                        write!(f, " ({}) {body}", binders.join(" "))?
-                    }
+                    Arg::Binding { binders, body } => write!(f, " ({}) {body}", binders.join(" "))?,
                 }
             }
             writeln!(f, " -> {};", p.sort)?;
@@ -386,10 +384,8 @@ mod tests {
 
     #[test]
     fn multi_binder_scopes_parse() {
-        let def = parse_language_def(
-            "language x { sort e; prod let2 : e e (e e) e -> e; }",
-        )
-        .unwrap();
+        let def =
+            parse_language_def("language x { sort e; prod let2 : e e (e e) e -> e; }").unwrap();
         let sig = def.compile().unwrap();
         assert_eq!(
             sig.const_ty("let2").unwrap().to_string(),

@@ -43,7 +43,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> BenchmarkId {
-        BenchmarkId { name: s.to_string() }
+        BenchmarkId {
+            name: s.to_string(),
+        }
     }
 }
 
@@ -141,7 +143,11 @@ impl Criterion {
                 r.iterations,
                 thr,
             ));
-            out.push_str(if i + 1 < self.results.len() { ",\n" } else { "\n" });
+            out.push_str(if i + 1 < self.results.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
         }
         out.push(']');
         out.push('\n');

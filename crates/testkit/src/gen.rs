@@ -208,6 +208,10 @@ pub fn lp_reachability(rng: &mut impl Rng, n_nodes: usize, n_edges: usize) -> Lp
     LpSpec { n_nodes, edges }
 }
 
+/// A logic-program clause in concrete syntax: `(typed variables, head,
+/// body goals)`, as consumed by the `hoas-lp` clause parser.
+pub type ClauseSrc = (Vec<(String, String)>, String, Vec<String>);
+
 impl LpSpec {
     /// The program's signature in concrete syntax: node constants of type
     /// `i` plus `edge`/`path` predicates.
@@ -223,8 +227,8 @@ impl LpSpec {
     /// The clauses as `(vars, head, body)` triples in concrete syntax:
     /// one `edge` fact per edge, plus the two transitive-closure rules
     /// for `path`.
-    pub fn clause_srcs(&self) -> Vec<(Vec<(String, String)>, String, Vec<String>)> {
-        let mut out: Vec<(Vec<(String, String)>, String, Vec<String>)> = self
+    pub fn clause_srcs(&self) -> Vec<ClauseSrc> {
+        let mut out: Vec<ClauseSrc> = self
             .edges
             .iter()
             .map(|(a, b)| (Vec::new(), format!("edge n{a} n{b}"), Vec::new()))
@@ -295,7 +299,9 @@ pub fn rewrite_rules(sig: &Signature, rng: &mut impl Rng) -> Vec<RuleSpec> {
     }
     let mut rules = Vec::new();
     for (name, scheme) in sig.consts() {
-        let Some(mono) = scheme.as_mono() else { continue };
+        let Some(mono) = scheme.as_mono() else {
+            continue;
+        };
         let (args, cod) = mono.uncurry();
         if !args.iter().all(|a| meta_ok(a)) {
             continue;
@@ -379,7 +385,10 @@ mod tests {
                 ));
             }
         }
-        assert!(produced > 20, "generator inhabits most signatures: {produced}");
+        assert!(
+            produced > 20,
+            "generator inhabits most signatures: {produced}"
+        );
     }
 
     #[test]

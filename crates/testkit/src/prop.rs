@@ -369,7 +369,9 @@ pub fn check<S: Strategy>(
         let value = strat.generate(&mut rng);
         return match run_case(&test, &value) {
             Ok(()) => Ok(1),
-            Err(message) => Err(shrink_failure(cfg, strat, &test, case_seed, 0, value, message)),
+            Err(message) => Err(shrink_failure(
+                cfg, strat, &test, case_seed, 0, value, message,
+            )),
         };
     }
     let mut mix = SplitMix64::new(cfg.seed);
@@ -378,7 +380,9 @@ pub fn check<S: Strategy>(
         let mut rng = SmallRng::seed_from_u64(case_seed);
         let value = strat.generate(&mut rng);
         if let Err(message) = run_case(&test, &value) {
-            return Err(shrink_failure(cfg, strat, &test, case_seed, i, value, message));
+            return Err(shrink_failure(
+                cfg, strat, &test, case_seed, i, value, message,
+            ));
         }
     }
     Ok(cfg.cases)
@@ -593,7 +597,7 @@ mod tests {
         let collect = || {
             let seen = std::cell::RefCell::new(Vec::new());
             let _ = check(&cfg, &(seeds(), 0usize..1000), |v| {
-                seen.borrow_mut().push(v.clone());
+                seen.borrow_mut().push(*v);
                 Ok(())
             });
             seen.into_inner()
@@ -622,7 +626,13 @@ mod tests {
         // seed, and re-running with exactly that seed reproduces the
         // failure.
         let cfg = Config::with_cases(500);
-        let prop = |&(v,): &(u32,)| if v % 97 != 13 { Ok(()) } else { Err("hit".into()) };
+        let prop = |&(v,): &(u32,)| {
+            if v % 97 != 13 {
+                Ok(())
+            } else {
+                Err("hit".into())
+            }
+        };
         let f = check(&cfg, &(0u32..10_000,), prop).unwrap_err();
         // Re-run in single-case repro mode, as HOAS_PROP_CASE would.
         let repro = Config {
@@ -630,7 +640,10 @@ mod tests {
             ..Config::default()
         };
         let f2 = check(&repro, &(0u32..10_000,), prop).unwrap_err();
-        assert_eq!(f2.original.0, f.original.0, "case seed regenerates the same input");
+        assert_eq!(
+            f2.original.0, f.original.0,
+            "case seed regenerates the same input"
+        );
         // And a *different* case seed does not (almost surely) hit the
         // same original value.
         let other = Config {
@@ -652,7 +665,11 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(f.shrunk.0, 5);
-        assert!(f.message.contains("boom"), "panic message preserved: {}", f.message);
+        assert!(
+            f.message.contains("boom"),
+            "panic message preserved: {}",
+            f.message
+        );
     }
 
     #[test]

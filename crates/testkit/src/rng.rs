@@ -52,7 +52,12 @@ impl Xoshiro256StarStar {
     /// the seeding procedure recommended by the algorithm's authors.
     pub fn seed_from_u64(seed: u64) -> Xoshiro256StarStar {
         let mut mix = SplitMix64::new(seed);
-        let mut s = [mix.next_u64(), mix.next_u64(), mix.next_u64(), mix.next_u64()];
+        let mut s = [
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+            mix.next_u64(),
+        ];
         if s == [0; 4] {
             // The all-zero state is the one fixed point; nudge off it.
             s[0] = 0x9E37_79B9_7F4A_7C15;

@@ -134,9 +134,9 @@ impl AntiUnifier<'_> {
             Ty::Arrow(dom, cod) => match (l, r) {
                 (Term::Lam(h, bl), Term::Lam(_, br)) => {
                     let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
-                    Ok(Term::Lam(
+                    Ok(Term::lam(
                         h.clone(),
-                        Box::new(self.go(&ctx2, local + 1, cod, bl, br)?),
+                        self.go(&ctx2, local + 1, cod, bl, br)?,
                     ))
                 }
                 _ => Err(UnifyError::IllTyped(hoas_core::Error::CheckShape {

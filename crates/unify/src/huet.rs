@@ -253,14 +253,9 @@ fn simpl(sig: &Signature, st: &mut State, fuel: &mut u64) -> Result<Vec<Constrai
 enum BindingKind {
     /// Copy the rigid head (a constant, an ambient variable rendered in
     /// solution scope, or an integer literal).
-    Imitate {
-        head: Term,
-        head_ty: Ty,
-    },
+    Imitate { head: Term, head_ty: Ty },
     /// Return the k-th argument of `?M` (0-based, outermost first).
-    Project {
-        k: usize,
-    },
+    Project { k: usize },
 }
 
 /// Enumerates binding kinds for the stuck pair `?M x̄ ≐ rigid`.
@@ -410,15 +405,8 @@ mod tests {
                 .clone();
             menv.insert(m, parse_ty(t).unwrap());
         }
-        let out = pre_unify_terms(
-            &sig,
-            &menv,
-            &parse_ty(ty).unwrap(),
-            &pl.term,
-            &pr.term,
-            cfg,
-        )
-        .unwrap();
+        let out =
+            pre_unify_terms(&sig, &menv, &parse_ty(ty).unwrap(), &pl.term, &pr.term, cfg).unwrap();
         (out, pl.term, pr.term)
     }
 

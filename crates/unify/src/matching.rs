@@ -64,7 +64,13 @@ pub fn match_term(
             mvar: target.metas()[0].clone(),
         }));
     }
-    let constraint = Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
+    // Ground pattern (cached `has_meta` is false): matching degenerates to
+    // syntactic equality, which shared subterms decide by pointer identity.
+    if !pattern.has_metas() && pattern == target {
+        return Ok(Some(MetaSubst::new()));
+    }
+    let constraint =
+        Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
     match pattern::unify_constraints(sig, menv, vec![constraint.clone()]) {
         Ok(solution) => Ok(Some(solution.subst)),
         Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => Ok(None),
@@ -105,7 +111,11 @@ pub fn match_all(
             mvar: target.metas()[0].clone(),
         }));
     }
-    let constraint = Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
+    if !pattern.has_metas() && pattern == target {
+        return Ok(vec![MetaSubst::new()]);
+    }
+    let constraint =
+        Constraint::in_ambient(ctx.clone(), ty.clone(), pattern.clone(), target.clone());
     match pattern::unify_constraints(sig, menv, vec![constraint.clone()]) {
         Ok(solution) => Ok(vec![solution.subst]),
         Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => Ok(Vec::new()),
@@ -185,7 +195,10 @@ mod tests {
 
     #[test]
     fn matches_instance() {
-        let (s, menv, pat) = setup(&[("P", "o"), ("Q", "i -> o")], r"and ?P (forall (\x. ?Q x))");
+        let (s, menv, pat) = setup(
+            &[("P", "o"), ("Q", "i -> o")],
+            r"and ?P (forall (\x. ?Q x))",
+        );
         let target = parse_term(&s, r"and r (forall (\x. p x))").unwrap().term;
         let m = match_term(
             &s,
@@ -198,7 +211,10 @@ mod tests {
         )
         .unwrap()
         .expect("should match");
-        assert_eq!(m.apply(&pat), normalize::canon_closed(&s, &target, &o()).unwrap());
+        assert_eq!(
+            m.apply(&pat),
+            normalize::canon_closed(&s, &target, &o()).unwrap()
+        );
     }
 
     #[test]
@@ -238,9 +254,17 @@ mod tests {
         let (s, menv, pat) = setup(&[("P", "o")], "and ?P ?P");
         let ctx = Ctx::new().push(Sym::new("x"), o());
         let target = Term::apps(Term::cnst("and"), [Term::Var(0), Term::Var(0)]);
-        let m = match_term(&s, &menv, &ctx, &o(), &pat, &target, &MatchConfig::default())
-            .unwrap()
-            .expect("should match");
+        let m = match_term(
+            &s,
+            &menv,
+            &ctx,
+            &o(),
+            &pat,
+            &target,
+            &MatchConfig::default(),
+        )
+        .unwrap()
+        .expect("should match");
         let (_, sol) = m.iter().next().unwrap();
         assert_eq!(sol, &Term::Var(0));
     }
@@ -266,9 +290,11 @@ mod tests {
             huet_fallback: false,
             ..MatchConfig::default()
         };
-        assert!(match_term(&s, &menv, &Ctx::new(), &o(), &pat, &target, &cfg)
-            .unwrap()
-            .is_none());
+        assert!(
+            match_term(&s, &menv, &Ctx::new(), &o(), &pat, &target, &cfg)
+                .unwrap()
+                .is_none()
+        );
     }
 
     #[test]

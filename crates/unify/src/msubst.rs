@@ -7,7 +7,7 @@
 //! binder depth of the occurrence it replaces, then β-normalizes so that
 //! a solution `λx̄. b` grafted onto a spine `?M a₁ … aₙ` contracts.
 
-use hoas_core::{normalize, subst, MVar, Term};
+use hoas_core::{normalize, subst, MVar, Term, TermRef};
 use std::collections::HashMap;
 
 /// A finite map from metavariables to solution terms (in ambient scope).
@@ -58,7 +58,10 @@ impl MetaSubst {
     /// solution mentions `m` itself after normalization (occurs-checked by
     /// callers).
     pub fn bind(&mut self, m: MVar, solution: Term) {
-        assert!(!self.map.contains_key(&m), "MetaSubst::bind: {m} already solved");
+        assert!(
+            !self.map.contains_key(&m),
+            "MetaSubst::bind: {m} already solved"
+        );
         let solution = self.apply(&solution);
         assert!(
             !solution.metas().contains(&m),
@@ -78,7 +81,10 @@ impl MetaSubst {
     /// shifted by the binder depth at each occurrence (solutions live in
     /// ambient scope).
     pub fn apply(&self, t: &Term) -> Term {
-        if self.map.is_empty() {
+        // A term without metavariables is untouched by grafting, and if it
+        // is already β-normal the trailing normalization is the identity
+        // too — O(1) thanks to the cached annotations.
+        if self.map.is_empty() || (!t.has_metas() && t.is_beta_normal()) {
             return t.clone();
         }
         let grafted = self.graft(t, 0);
@@ -86,17 +92,30 @@ impl MetaSubst {
     }
 
     fn graft(&self, t: &Term, depth: u32) -> Term {
+        // Meta-free subtrees cannot be grafted into: share them wholesale.
+        if !t.has_metas() {
+            return t.clone();
+        }
         match t {
             Term::Meta(m) => match self.map.get(m) {
                 Some(sol) => subst::shift(sol, depth),
                 None => t.clone(),
             },
             Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => t.clone(),
-            Term::Lam(h, b) => Term::Lam(h.clone(), Box::new(self.graft(b, depth + 1))),
-            Term::App(f, a) => Term::app(self.graft(f, depth), self.graft(a, depth)),
-            Term::Pair(a, b) => Term::pair(self.graft(a, depth), self.graft(b, depth)),
-            Term::Fst(p) => Term::fst(self.graft(p, depth)),
-            Term::Snd(p) => Term::snd(self.graft(p, depth)),
+            Term::Lam(h, b) => Term::lam(h.clone(), self.graft_ref(b, depth + 1)),
+            Term::App(f, a) => Term::app(self.graft_ref(f, depth), self.graft_ref(a, depth)),
+            Term::Pair(a, b) => Term::pair(self.graft_ref(a, depth), self.graft_ref(b, depth)),
+            Term::Fst(p) => Term::fst(self.graft_ref(p, depth)),
+            Term::Snd(p) => Term::snd(self.graft_ref(p, depth)),
+        }
+    }
+
+    /// Grafts into a shared subterm, preserving the `Rc` when meta-free.
+    fn graft_ref(&self, t: &TermRef, depth: u32) -> TermRef {
+        if !t.has_meta() {
+            t.clone()
+        } else {
+            TermRef::new(self.graft(t, depth))
         }
     }
 
@@ -196,10 +215,7 @@ mod tests {
         let mut s = MetaSubst::new();
         s.bind(m(0, "A"), Term::Int(1));
         let t = Term::pair(Term::Meta(m(0, "A")), Term::Meta(m(1, "B")));
-        assert_eq!(
-            s.apply(&t),
-            Term::pair(Term::Int(1), Term::Meta(m(1, "B")))
-        );
+        assert_eq!(s.apply(&t), Term::pair(Term::Int(1), Term::Meta(m(1, "B"))));
     }
 
     #[test]

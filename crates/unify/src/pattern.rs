@@ -20,7 +20,7 @@ use crate::problem::{
     eta_expand_var, flex_view, head_ty, resolve_side, validate_meta_types, Constraint, MetaGen,
 };
 use hoas_core::term::{Head, MetaEnv};
-use hoas_core::{normalize, MVar, Sym, Term, Ty};
+use hoas_core::{normalize, MVar, Sym, Term, TermRef, Ty};
 
 /// A successful pattern unification: the most general unifier plus the
 /// extended metavariable environment (pruning and flex-flex steps allocate
@@ -104,7 +104,9 @@ pub(crate) fn solve_flex_rigid(
     rhs: &Term,
 ) -> Result<(), UnifyError> {
     let body = invert(gen, sol, m, spine, local, rhs, 0)?;
-    let hints: Vec<Sym> = (0..spine.len()).map(|i| Sym::new(format!("x{i}"))).collect();
+    let hints: Vec<Sym> = (0..spine.len())
+        .map(|i| Sym::new(format!("x{i}")))
+        .collect();
     sol.bind(m.clone(), Term::lams(hints, body));
     Ok(())
 }
@@ -129,6 +131,11 @@ fn invert(
     under: u32,
 ) -> Result<Term, UnifyError> {
     let n = spine.len() as u32;
+    // Subterms below the traversed binders with no metavariables are fixed
+    // points of the inversion: share them (O(1) occurs/escape handling).
+    if t.max_free() <= under && !t.has_metas() {
+        return Ok(t.clone());
+    }
     if let Some((Head::Meta(inner), args)) = t.head_spine() {
         if &inner == m {
             return Err(UnifyError::Occurs { mvar: m.clone() });
@@ -152,22 +159,41 @@ fn invert(
                 }
             }
         }
-        Term::Lam(h, b) => Ok(Term::Lam(
+        Term::Lam(h, b) => Ok(Term::lam(
             h.clone(),
-            Box::new(invert(gen, sol, m, spine, local, b, under + 1)?),
+            invert_ref(gen, sol, m, spine, local, b, under + 1)?,
         )),
         Term::App(f, a) => Ok(Term::app(
-            invert(gen, sol, m, spine, local, f, under)?,
-            invert(gen, sol, m, spine, local, a, under)?,
+            invert_ref(gen, sol, m, spine, local, f, under)?,
+            invert_ref(gen, sol, m, spine, local, a, under)?,
         )),
         Term::Pair(a, b) => Ok(Term::pair(
-            invert(gen, sol, m, spine, local, a, under)?,
-            invert(gen, sol, m, spine, local, b, under)?,
+            invert_ref(gen, sol, m, spine, local, a, under)?,
+            invert_ref(gen, sol, m, spine, local, b, under)?,
         )),
-        Term::Fst(p) => Ok(Term::fst(invert(gen, sol, m, spine, local, p, under)?)),
-        Term::Snd(p) => Ok(Term::snd(invert(gen, sol, m, spine, local, p, under)?)),
+        Term::Fst(p) => Ok(Term::fst(invert_ref(gen, sol, m, spine, local, p, under)?)),
+        Term::Snd(p) => Ok(Term::snd(invert_ref(gen, sol, m, spine, local, p, under)?)),
         Term::Const(_) | Term::Int(_) | Term::Unit => Ok(t.clone()),
         Term::Meta(_) => unreachable!("meta heads handled above"),
+    }
+}
+
+/// [`invert`] on a shared subterm, preserving the `Rc` when the subterm is
+/// a fixed point of the inversion.
+#[allow(clippy::too_many_arguments)]
+fn invert_ref(
+    gen: &mut MetaGen,
+    sol: &mut MetaSubst,
+    m: &MVar,
+    spine: &[u32],
+    local: u32,
+    t: &TermRef,
+    under: u32,
+) -> Result<TermRef, UnifyError> {
+    if t.max_free() <= under && !t.has_meta() {
+        Ok(t.clone())
+    } else {
+        Ok(TermRef::new(invert(gen, sol, m, spine, local, t, under)?))
     }
 }
 
@@ -351,7 +377,7 @@ pub(crate) fn decompose_step(
     match &ty {
         Ty::Arrow(dom, cod) => {
             let (hl, bl) = match left {
-                Term::Lam(h, b) => (h, *b),
+                Term::Lam(h, b) => (h, b.into_term()),
                 other => {
                     return Err(UnifyError::IllTyped(hoas_core::Error::CheckShape {
                         form: "non-λ canonical term",
@@ -360,7 +386,7 @@ pub(crate) fn decompose_step(
                 }
             };
             let br = match right {
-                Term::Lam(_, b) => *b,
+                Term::Lam(_, b) => b.into_term(),
                 other => {
                     return Err(UnifyError::IllTyped(hoas_core::Error::CheckShape {
                         form: "non-λ canonical term",
@@ -383,15 +409,15 @@ pub(crate) fn decompose_step(
                     ctx: ctx.clone(),
                     local,
                     ty: a.as_ref().clone(),
-                    left: *l1,
-                    right: *r1,
+                    left: l1.into_term(),
+                    right: r1.into_term(),
                 });
                 work.push(Constraint {
                     ctx,
                     local,
                     ty: b.as_ref().clone(),
-                    left: *l2,
-                    right: *r2,
+                    left: l2.into_term(),
+                    right: r2.into_term(),
                 });
                 Ok(())
             }
@@ -652,7 +678,11 @@ mod tests {
     #[test]
     fn flex_rigid_under_binder_with_spine() {
         // forall (\x. ?Q x) ≐ forall (\x. p x) solves ?Q := λx. p x.
-        let sol = assert_unifies(&[("Q", "i -> o")], r"forall (\x. ?Q x)", r"forall (\x. p x)");
+        let sol = assert_unifies(
+            &[("Q", "i -> o")],
+            r"forall (\x. ?Q x)",
+            r"forall (\x. p x)",
+        );
         assert_eq!(sol.subst.len(), 1);
     }
 

@@ -150,17 +150,14 @@ pub fn resolve_side(
 ///
 /// Unknown constants/variables/metas, and [`UnifyError::PolyConst`] for
 /// polymorphic constants.
-pub fn head_ty(
-    sig: &Signature,
-    gen: &MetaGen,
-    ctx: &Ctx,
-    head: &Head,
-) -> Result<Ty, UnifyError> {
+pub fn head_ty(sig: &Signature, gen: &MetaGen, ctx: &Ctx, head: &Head) -> Result<Ty, UnifyError> {
     match head {
         Head::Var(i) => ctx
             .lookup(*i)
             .map(|(_, ty)| ty.clone())
-            .ok_or_else(|| UnifyError::IllTyped(hoas_core::Error::UnboundVar { index: *i })),
+            .ok_or(UnifyError::IllTyped(hoas_core::Error::UnboundVar {
+                index: *i,
+            })),
         Head::Const(c) => {
             let scheme = sig.const_ty(c.as_str()).ok_or_else(|| {
                 UnifyError::IllTyped(hoas_core::Error::UnknownConst { name: c.clone() })
@@ -226,10 +223,7 @@ pub fn eta_expand_term(t: Term, ty: &Ty) -> Term {
         Ty::Arrow(a, b) => {
             let shifted = hoas_core::subst::shift(&t, 1);
             let arg = eta_expand_var(0, a);
-            Term::Lam(
-                Sym::new("x"),
-                Box::new(eta_expand_term(Term::app(shifted, arg), b)),
-            )
+            Term::lam(Sym::new("x"), eta_expand_term(Term::app(shifted, arg), b))
         }
         _ => t,
     }

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Cmd::seq(
                 Cmd::if_(
                     Bexp::le(Aexp::Num(1), Aexp::Num(2)),
-                    Cmd::Print(Aexp::add(Aexp::var("a"), Aexp::mul(Aexp::Num(2), Aexp::Num(5)))),
+                    Cmd::Print(Aexp::add(
+                        Aexp::var("a"),
+                        Aexp::mul(Aexp::Num(2), Aexp::Num(5)),
+                    )),
                     Cmd::Print(Aexp::Num(0)),
                 ),
                 Cmd::seq(
@@ -38,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         Bexp::le(Aexp::Num(5), Aexp::Num(1)),
                         Cmd::Assign("a".into(), Aexp::add(Aexp::var("a"), Aexp::Num(1))),
                     ),
-                    Cmd::seq(Cmd::Skip, Cmd::Print(Aexp::add(Aexp::Num(0), Aexp::var("a")))),
+                    Cmd::seq(
+                        Cmd::Skip,
+                        Cmd::Print(Aexp::add(Aexp::Num(0), Aexp::var("a"))),
+                    ),
                 ),
             ),
         ),
@@ -58,7 +64,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let trace_after = imp::run(&optimized, 10_000)?;
-    assert_eq!(trace_before, trace_after, "optimization must preserve output");
+    assert_eq!(
+        trace_before, trace_after,
+        "optimization must preserve output"
+    );
     println!("\noutput trace unchanged: {trace_before:?}");
     assert!(
         optimized.size() < prog.size() / 2,

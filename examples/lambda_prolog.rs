@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, term) in [
         ("I", r"lam (\x. x)"),
         ("K", r"lam (\x. lam (\y. x))"),
-        ("S", r"lam (\x. lam (\y. lam (\z. app (app x z) (app y z))))"),
+        (
+            "S",
+            r"lam (\x. lam (\y. lam (\z. app (app x z) (app y z))))",
+        ),
         ("ω", r"lam (\x. app x x)"),
     ] {
         let (goal, menv) = query_menv(prog.sig(), &format!("of ({term}) ?T"), &[("T", "tp")])?;

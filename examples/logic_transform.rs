@@ -8,7 +8,7 @@
 //!
 //! Run with `cargo run --example logic_transform`.
 
-use hoas::langs::fol::{self, Formula, FoTerm, Model, Vocabulary};
+use hoas::langs::fol::{self, FoTerm, Formula, Model, Vocabulary};
 use hoas::rewrite::rulesets::fol_prenex;
 use hoas::rewrite::Engine;
 use hoas_testkit::rng::SmallRng;
@@ -40,11 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = engine.normalize(&fol::o(), &encoded)?;
     let g = fol::decode(&result.term)?;
     println!("prenex:  {g}");
-    println!(
-        "steps:   {} ({})",
-        result.steps,
-        result.applied.join(", ")
-    );
+    println!("steps:   {} ({})", result.steps, result.applied.join(", "));
     assert!(result.fixpoint);
     assert!(g.is_prenex(), "rewriting must reach prenex form");
 

@@ -17,10 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("program: {prog}");
     // The object language's own type discipline (HM + let-polymorphism).
     println!("type:    {}", miniml_types::infer(&prog)?);
-    println!(
-        "fact:    {}\n",
-        miniml_types::infer(&miniml::fact_fn())?
-    );
+    println!("fact:    {}\n", miniml_types::infer(&miniml::fact_fn())?);
 
     // Reject an ill-typed program before running anything.
     assert!(miniml_types::infer(&Exp::app(Exp::Z, Exp::Z)).is_err());
@@ -45,9 +42,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let env_value = miniml::eval_env(&prog, &mut fuel)?;
     let env_time = t0.elapsed();
 
-    println!("native evaluator: {} ({native_time:?})", native.as_num().unwrap());
-    println!("HOAS evaluator:   {} ({hoas_time:?})", hoas.as_num().unwrap());
-    println!("env machine:      {} ({env_time:?})", env_value.as_num().unwrap());
+    println!(
+        "native evaluator: {} ({native_time:?})",
+        native.as_num().unwrap()
+    );
+    println!(
+        "HOAS evaluator:   {} ({hoas_time:?})",
+        hoas.as_num().unwrap()
+    );
+    println!(
+        "env machine:      {} ({env_time:?})",
+        env_value.as_num().unwrap()
+    );
     assert_eq!(native.as_num(), hoas.as_num());
     assert_eq!(native.as_num(), env_value.as_num());
     assert_eq!(native.as_num(), Some(120));

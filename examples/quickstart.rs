@@ -31,7 +31,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let redex = parse_term(&sig, r"(\x. app x x) (lam (\y. y))")?.term;
     let reduced = normalize::nf(&redex);
     println!("(\\x. app x x) (lam (\\y. y))  ⇒β  {reduced}");
-    assert_eq!(reduced, parse_term(&sig, r"app (lam (\y. y)) (lam (\y. y))")?.term);
+    assert_eq!(
+        reduced,
+        parse_term(&sig, r"app (lam (\y. y)) (lam (\y. y))")?.term
+    );
 
     // α-equivalence is structural equality — binder names are hints only.
     let a = parse_term(&sig, r"lam (\x. x)")?.term;
@@ -71,10 +74,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     menv2.insert(vac.metas.get("B").unwrap().clone(), parse_ty("tm")?);
     let constant_body = parse_term(&sig, r"lam (\x. lam (\y. y))")?.term;
     let uses_x = parse_term(&sig, r"lam (\x. app x x)")?.term;
-    let hit = match_term(&sig, &menv2, &Ctx::new(), &parse_ty("tm")?, &vac.term, &constant_body, &MatchConfig::default())?;
-    let miss = match_term(&sig, &menv2, &Ctx::new(), &parse_ty("tm")?, &vac.term, &uses_x, &MatchConfig::default())?;
+    let hit = match_term(
+        &sig,
+        &menv2,
+        &Ctx::new(),
+        &parse_ty("tm")?,
+        &vac.term,
+        &constant_body,
+        &MatchConfig::default(),
+    )?;
+    let miss = match_term(
+        &sig,
+        &menv2,
+        &Ctx::new(),
+        &parse_ty("tm")?,
+        &vac.term,
+        &uses_x,
+        &MatchConfig::default(),
+    )?;
     println!("vacuous pattern matches constant body: {}", hit.is_some());
-    println!("vacuous pattern matches self-application: {}", miss.is_some());
+    println!(
+        "vacuous pattern matches self-application: {}",
+        miss.is_some()
+    );
     assert!(hit.is_some() && miss.is_none());
 
     Ok(())

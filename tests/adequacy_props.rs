@@ -103,9 +103,13 @@ fn miniml_roundtrip_on_program_corpus() {
                 miniml::Exp::s(miniml::Exp::var("m")),
             ),
         ),
-        miniml::Exp::fix("f", miniml::Exp::lam("x", miniml::Exp::app(
-            miniml::Exp::var("f"), miniml::Exp::var("x"),
-        ))),
+        miniml::Exp::fix(
+            "f",
+            miniml::Exp::lam(
+                "x",
+                miniml::Exp::app(miniml::Exp::var("f"), miniml::Exp::var("x")),
+            ),
+        ),
     ];
     for p in corpus {
         let e = miniml::encode(&p).unwrap();
@@ -124,7 +128,10 @@ fn exotic_terms_rejected_across_languages() {
     assert!(fol::decode(&bad_fol).is_err());
     let bad_local = Term::apps(
         Term::cnst("local"),
-        [Term::app(Term::cnst("lit"), Term::Int(0)), Term::cnst("skip")],
+        [
+            Term::app(Term::cnst("lit"), Term::Int(0)),
+            Term::cnst("skip"),
+        ],
     );
     assert!(imp::decode(&bad_local).is_err());
     let bad_fix = Term::app(Term::cnst("fix"), Term::cnst("z"));

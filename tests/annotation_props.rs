@@ -1,0 +1,180 @@
+//! Property tests for the shared-representation annotation invariants.
+//!
+//! Every term node caches `max_free` (one past the maximal free de Bruijn
+//! index) and `has_meta`. Since `TermRef::new` is the only way to build a
+//! node, these can never go stale — but the computation itself must agree
+//! with a from-scratch traversal after every kernel operation: parsing,
+//! shifting, substitution, normalization, and unification solutions.
+//!
+//! The pointer-identity unit tests at the bottom pin down the zero-copy
+//! contract: `shift` on a closed term and `subst` into a term that does
+//! not mention the substituted variable return the original nodes.
+
+use hoas::core::prelude::*;
+use hoas::core::TermRef;
+use hoas::langs::{fol, lambda};
+use hoas::unify::pattern;
+use hoas_testkit::prelude::*;
+
+/// `max_free` by full traversal, ignoring every cached annotation.
+fn naive_max_free(t: &Term) -> u32 {
+    match t {
+        Term::Var(i) => i + 1,
+        Term::Lam(_, b) => naive_max_free(b).saturating_sub(1),
+        Term::App(a, b) | Term::Pair(a, b) => naive_max_free(a).max(naive_max_free(b)),
+        Term::Fst(p) | Term::Snd(p) => naive_max_free(p),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => 0,
+    }
+}
+
+/// `has_meta` by full traversal.
+fn naive_has_meta(t: &Term) -> bool {
+    match t {
+        Term::Meta(_) => true,
+        Term::Lam(_, b) => naive_has_meta(b),
+        Term::App(a, b) | Term::Pair(a, b) => naive_has_meta(a) || naive_has_meta(b),
+        Term::Fst(p) | Term::Snd(p) => naive_has_meta(p),
+        Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => false,
+    }
+}
+
+/// Checks the cached annotations of every node in `t` against the naive
+/// recomputation.
+fn annotations_ok(t: &Term) -> bool {
+    fn node_ok(r: &TermRef) -> bool {
+        r.max_free() == naive_max_free(r)
+            && r.has_meta() == naive_has_meta(r)
+            && annotations_ok_inner(r)
+    }
+    fn annotations_ok_inner(t: &Term) -> bool {
+        match t {
+            Term::Lam(_, b) => node_ok(b),
+            Term::App(a, b) | Term::Pair(a, b) => node_ok(a) && node_ok(b),
+            Term::Fst(p) | Term::Snd(p) => node_ok(p),
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => true,
+        }
+    }
+    t.max_free() == naive_max_free(t)
+        && t.has_metas() == naive_has_meta(t)
+        && annotations_ok_inner(t)
+}
+
+/// Well-typed closed terms of type `tm`, via the λ-calculus generator.
+fn well_typed_term(seed: u64, size: usize) -> Term {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
+}
+
+props! {
+    #![cases(128)]
+
+    fn annotations_agree_after_parse(seed in seeds(), size in 2usize..40) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let reparsed = parse_term(sig, &t.to_string()).unwrap().term;
+        prop_assert!(annotations_ok(&reparsed));
+    }
+
+    fn annotations_agree_after_shift_and_subst(seed in seeds(), size in 2usize..30, d in 0u32..4) {
+        let t = well_typed_term(seed, size);
+        prop_assert!(annotations_ok(&subst::shift(&t, d)));
+        // An open body that mentions Var(0) and a closed argument.
+        let body = Term::apps(Term::cnst("app"), [Term::Var(0), subst::shift(&t, 1)]);
+        let arg = well_typed_term(seed.wrapping_add(1), size / 2 + 2);
+        prop_assert!(annotations_ok(&subst::instantiate(&body, &arg)));
+        prop_assert!(annotations_ok(&subst::subst(&body, 0, &arg)));
+    }
+
+    fn annotations_agree_after_normalization(seed in seeds(), size in 2usize..30) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let redex = Term::app(Term::lam("y", Term::Var(0)), t);
+        prop_assert!(annotations_ok(&normalize::nf(&redex)));
+        prop_assert!(annotations_ok(&normalize::whnf(&redex)));
+        let c = normalize::canon_closed(sig, &redex, &lambda::tm()).unwrap();
+        prop_assert!(annotations_ok(&c));
+    }
+
+    fn annotations_agree_after_unification_solutions(seed in seeds(), depth in 1u32..4) {
+        let vocab = fol::Vocabulary::small();
+        let sig = vocab.signature();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let left = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        let right = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        // ?P ∧ left ≐ right ∧ left: the solution binds ?P to `right`.
+        let m = MVar::new(0, "P");
+        let mut menv = MetaEnv::new();
+        menv.insert(m.clone(), Ty::base("o"));
+        let pat = Term::apps(Term::cnst("and"), [Term::Meta(m), left.clone()]);
+        let target = Term::apps(Term::cnst("and"), [right, left]);
+        let sol = pattern::unify(&sig, &menv, &Ty::base("o"), &pat, &target).unwrap();
+        for (_, t) in sol.subst.iter() {
+            prop_assert!(annotations_ok(t));
+        }
+        prop_assert!(annotations_ok(&sol.subst.apply(&pat)));
+    }
+}
+
+/// `shift` on a closed term returns the very same nodes (`Rc` pointer
+/// identity below the root), i.e. performs zero node allocations.
+#[test]
+fn shift_on_closed_term_is_pointer_identical() {
+    let t = well_typed_term(0xC0FFEE, 24);
+    assert!(t.is_locally_closed());
+    let shifted = subst::shift(&t, 7);
+    assert_eq!(shifted, t);
+    match (&t, &shifted) {
+        (Term::App(f1, a1), Term::App(f2, a2)) => {
+            assert!(TermRef::ptr_eq(f1, f2), "function child must be shared");
+            assert!(TermRef::ptr_eq(a1, a2), "argument child must be shared");
+        }
+        (Term::Lam(_, b1), Term::Lam(_, b2)) => {
+            assert!(TermRef::ptr_eq(b1, b2), "λ body must be shared");
+        }
+        _ => panic!("generator produced an unexpected shape"),
+    }
+}
+
+/// `subst` into a term that does not mention the substituted variable
+/// returns the original nodes unchanged.
+#[test]
+fn subst_without_occurrence_is_pointer_identical() {
+    let t = well_typed_term(0xBEEF, 24);
+    assert!(t.is_locally_closed());
+    let arg = Term::cnst("lam");
+    // t is closed, so no variable — in particular not Var(0) — occurs.
+    let out = subst::subst(&t, 0, &arg);
+    assert_eq!(out, t);
+    match (&t, &out) {
+        (Term::App(f1, a1), Term::App(f2, a2)) => {
+            assert!(TermRef::ptr_eq(f1, f2));
+            assert!(TermRef::ptr_eq(a1, a2));
+        }
+        (Term::Lam(_, b1), Term::Lam(_, b2)) => {
+            assert!(TermRef::ptr_eq(b1, b2));
+        }
+        _ => panic!("generator produced an unexpected shape"),
+    }
+}
+
+/// Substitution into an open term shares the untouched siblings: only the
+/// spine from the root to the occurrence is rebuilt.
+#[test]
+fn subst_shares_untouched_siblings() {
+    let closed = well_typed_term(0xABCD, 16);
+    assert!(closed.is_locally_closed());
+    let body = Term::apps(Term::cnst("app"), [subst::shift(&closed, 1), Term::Var(0)]);
+    let arg = Term::cnst("lam");
+    let out = subst::instantiate(&body, &arg);
+    // The closed left branch survives by pointer.
+    let (Term::App(l1, _), Term::App(l2, _)) = (&body, &out) else {
+        panic!("expected applications");
+    };
+    let (Term::App(_, c1), Term::App(_, c2)) = (l1.as_ref(), l2.as_ref()) else {
+        panic!("expected nested applications");
+    };
+    assert!(
+        TermRef::ptr_eq(c1, c2),
+        "closed sibling must be shared, not cloned"
+    );
+}

@@ -121,7 +121,7 @@ fn imp_encodings_roundtrip_golden() {
 fn miniml_encodings_roundtrip_golden() {
     // Mini-ML has no random generator; pin the structured corpus.
     let sig = miniml::signature();
-    let corpus = vec![
+    let corpus = [
         miniml::add_fn(),
         miniml::mul_fn(),
         miniml::fact_fn(),

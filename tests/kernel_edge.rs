@@ -28,7 +28,13 @@ fn eta_long_at_unit_type_is_the_unit_value() {
     let t = Term::lam("x", Term::Var(0));
     let c = normalize::canon_closed(&s, &t, &ty).unwrap();
     assert_eq!(c, Term::lam("x", Term::Unit));
-    assert!(normalize::is_canonical(&s, &MetaEnv::new(), &Ctx::new(), &c, &ty));
+    assert!(normalize::is_canonical(
+        &s,
+        &MetaEnv::new(),
+        &Ctx::new(),
+        &c,
+        &ty
+    ));
     // A constant applied at unit argument type: the argument canonicalizes
     // to () too.
     let app_ty = Ty::base("b");
@@ -46,9 +52,18 @@ fn eta_long_at_product_type_is_a_pair_of_projections() {
     let c = normalize::canon_closed(&s, &t, &ty).unwrap();
     assert_eq!(
         c,
-        Term::lam("p", Term::pair(Term::fst(Term::Var(0)), Term::snd(Term::Var(0))))
+        Term::lam(
+            "p",
+            Term::pair(Term::fst(Term::Var(0)), Term::snd(Term::Var(0)))
+        )
     );
-    assert!(normalize::is_canonical(&s, &MetaEnv::new(), &Ctx::new(), &c, &ty));
+    assert!(normalize::is_canonical(
+        &s,
+        &MetaEnv::new(),
+        &Ctx::new(),
+        &c,
+        &ty
+    ));
     // Canonicalization is idempotent on the expanded form.
     assert_eq!(normalize::canon_closed(&s, &c, &ty).unwrap(), c);
 }
@@ -96,7 +111,10 @@ fn eta_long_under_nested_products_and_arrows() {
     // η-contraction undoes exactly the function expansion…
     let contracted = normalize::eta_contract(&cf);
     // …and re-canonicalization restores it.
-    assert_eq!(normalize::canon_closed(&s, &contracted, &fun_ty).unwrap(), cf);
+    assert_eq!(
+        normalize::canon_closed(&s, &contracted, &fun_ty).unwrap(),
+        cf
+    );
 }
 
 // --------------------------- capture avoidance under nested binders --
@@ -135,7 +153,9 @@ fn hoas_beta_is_capture_avoiding_by_construction() {
     // term Var(0) (an ambient "y") yields λy. Var(1) — the ambient
     // variable is *not* captured by the inner binder.
     let two = Term::lam("x", Term::lam("y", Term::Var(1)));
-    let Term::Lam(_, body) = &two else { unreachable!() };
+    let Term::Lam(_, body) = &two else {
+        unreachable!()
+    };
     let r = subst::instantiate(body, &Term::Var(0));
     assert_eq!(r, Term::lam("y", Term::Var(1)));
     assert_ne!(r, Term::lam("y", Term::Var(0)), "capture would give λy. y");
@@ -150,7 +170,10 @@ fn sub_identity_laws() {
         "x",
         Term::apps(
             Term::cnst("h"),
-            [Term::pair(Term::Var(0), Term::app(Term::cnst("f"), Term::Var(1)))],
+            [Term::pair(
+                Term::Var(0),
+                Term::app(Term::cnst("f"), Term::Var(1)),
+            )],
         ),
     );
     let _ = &s;
@@ -170,10 +193,7 @@ fn sub_composition_is_associative_on_subjects() {
     let a = Sub::cons(Term::cnst("c"), &Sub::weaken(2));
     let b = Sub::cons(Term::app(Term::cnst("f"), Term::Var(0)), &Sub::weaken(1));
     let c = Sub::cons(Term::Var(3), &Sub::id());
-    let subject = Term::apps(
-        Term::cnst("h"),
-        [Term::pair(Term::Var(0), Term::Var(2))],
-    );
+    let subject = Term::apps(Term::cnst("h"), [Term::pair(Term::Var(0), Term::Var(2))]);
     // (a ∘ b) ∘ c and a ∘ (b ∘ c) agree as substitutions.
     let left = a.compose(&b).compose(&c);
     let right = a.compose(&b.compose(&c));

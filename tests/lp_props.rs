@@ -199,7 +199,9 @@ fn known_combinators_agree() {
         // λ-calculus signature and decoding.
         let t = {
             let sig = lambda::signature();
-            let meta = hoas_core::parse::parse_term(sig, &encode_src(src)).unwrap().term;
+            let meta = hoas_core::parse::parse_term(sig, &encode_src(src))
+                .unwrap()
+                .term;
             lambda::decode(&meta).unwrap()
         };
         let hm = miniml_types::infer(&to_exp(&t));

@@ -1,0 +1,138 @@
+//! Sharing-safety: α-equality and `Hash` must be insensitive to binder
+//! hints *and* to how a term's nodes are shared.
+//!
+//! With the `Rc`-backed representation, two structurally equal terms can
+//! have wildly different sharing (every node distinct vs. maximal
+//! hash-consing-style sharing). Equality takes a pointer-identity fast
+//! path and hashing never looks at pointers, so both must be pure
+//! functions of the term's structure. Exercised across all four
+//! object-language encoders.
+
+use hoas::core::{Term, TermRef};
+use hoas::langs::{fol, imp, lambda, miniml};
+use hoas_testkit::prelude::*;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+fn hash_of(t: &Term) -> u64 {
+    let mut h = DefaultHasher::new();
+    t.hash(&mut h);
+    h.finish()
+}
+
+/// Rebuilds `t` with every binder hint replaced by `h`.
+fn rehint(t: &Term) -> Term {
+    match t {
+        Term::Lam(_, b) => Term::lam("h", rehint(b)),
+        Term::App(f, a) => Term::app(rehint(f), rehint(a)),
+        Term::Pair(a, b) => Term::pair(rehint(a), rehint(b)),
+        Term::Fst(p) => Term::fst(rehint(p)),
+        Term::Snd(p) => Term::snd(rehint(p)),
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// Rebuilds `t` with *maximal* sharing: structurally equal subterms all
+/// point at one node (a tiny hash-consing pass, quadratic but fine at
+/// test sizes).
+fn max_shared(t: &Term, pool: &mut Vec<TermRef>) -> Term {
+    fn share(r: &TermRef, pool: &mut Vec<TermRef>) -> TermRef {
+        let rebuilt = TermRef::new(max_shared(r, pool));
+        if let Some(existing) = pool.iter().find(|p| **p == rebuilt) {
+            existing.clone()
+        } else {
+            pool.push(rebuilt.clone());
+            rebuilt
+        }
+    }
+    match t {
+        Term::Lam(h, b) => Term::Lam(h.clone(), share(b, pool)),
+        Term::App(f, a) => Term::App(share(f, pool), share(a, pool)),
+        Term::Pair(a, b) => Term::Pair(share(a, pool), share(b, pool)),
+        Term::Fst(p) => Term::Fst(share(p, pool)),
+        Term::Snd(p) => Term::Snd(share(p, pool)),
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// The core assertion: a fresh unshared copy, a maximally shared copy,
+/// and a hint-scrubbed copy of `t` all compare equal to `t` and hash
+/// identically.
+fn sharing_and_hints_are_invisible(t: &Term) {
+    let shared = max_shared(t, &mut Vec::new());
+    assert_eq!(&shared, t, "sharing must not affect equality");
+    assert_eq!(hash_of(&shared), hash_of(t), "sharing must not affect hash");
+    let hinted = rehint(t);
+    assert_eq!(&hinted, t, "binder hints must not affect equality");
+    assert_eq!(
+        hash_of(&hinted),
+        hash_of(t),
+        "binder hints must not affect hash"
+    );
+    // And the combination: rehinted + reshared still equal and same hash.
+    let both = max_shared(&hinted, &mut Vec::new());
+    assert_eq!(&both, t);
+    assert_eq!(hash_of(&both), hash_of(t));
+}
+
+props! {
+    #![cases(64)]
+
+    fn lambda_encodings_are_sharing_insensitive(seed in seeds(), size in 2usize..40) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+        sharing_and_hints_are_invisible(&t);
+        // Two independent encodings of the same object term are equal
+        // regardless of their (disjoint) allocations.
+        let mut rng2 = SmallRng::seed_from_u64(seed);
+        let t2 = lambda::encode(&lambda::gen_closed(&mut rng2, size)).unwrap();
+        prop_assert_eq!(&t2, &t);
+        prop_assert_eq!(hash_of(&t2), hash_of(&t));
+    }
+
+    fn fol_encodings_are_sharing_insensitive(seed in seeds(), depth in 1u32..5) {
+        let vocab = fol::Vocabulary::small();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = fol::gen_formula(&vocab, &mut rng, depth);
+        let t = fol::encode(&f).unwrap();
+        sharing_and_hints_are_invisible(&t);
+        let t2 = fol::encode(&f).unwrap();
+        prop_assert_eq!(&t2, &t);
+        prop_assert_eq!(hash_of(&t2), hash_of(&t));
+    }
+
+    fn imp_encodings_are_sharing_insensitive(seed in seeds(), depth in 1u32..5) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c = imp::gen_cmd(&mut rng, depth);
+        let t = imp::encode(&c).unwrap();
+        sharing_and_hints_are_invisible(&t);
+        let t2 = imp::encode(&c).unwrap();
+        prop_assert_eq!(&t2, &t);
+        prop_assert_eq!(hash_of(&t2), hash_of(&t));
+    }
+}
+
+#[test]
+fn miniml_encodings_are_sharing_insensitive() {
+    for prog in [miniml::add_fn(), miniml::mul_fn(), miniml::fact_fn()] {
+        let t = miniml::encode(&prog).unwrap();
+        sharing_and_hints_are_invisible(&t);
+        let t2 = miniml::encode(&prog).unwrap();
+        assert_eq!(t2, t);
+        assert_eq!(hash_of(&t2), hash_of(&t));
+    }
+}
+
+/// A directly constructed example: `(c, c)` with the two components
+/// sharing one node vs. two separate allocations.
+#[test]
+fn explicit_sharing_vs_copies() {
+    let c = TermRef::new(Term::app(Term::cnst("f"), Term::cnst("a")));
+    let shared = Term::Pair(c.clone(), c);
+    let copies = Term::pair(
+        Term::app(Term::cnst("f"), Term::cnst("a")),
+        Term::app(Term::cnst("f"), Term::cnst("a")),
+    );
+    assert_eq!(shared, copies);
+    assert_eq!(hash_of(&shared), hash_of(&copies));
+}

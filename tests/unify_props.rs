@@ -146,15 +146,31 @@ fn regression_punched_pattern_unifies_with_origin() {
     assert_eq!(sol.subst.apply(&pat), target);
     // Matching.
     let m = match_term(
-        &sig, &menv, &Ctx::new(), &fol::o(), &pat, &target, &MatchConfig::default(),
+        &sig,
+        &menv,
+        &Ctx::new(),
+        &fol::o(),
+        &pat,
+        &target,
+        &MatchConfig::default(),
     )
     .unwrap()
     .expect("matching finds the same instantiation");
     assert_eq!(m.apply(&pat), target);
     // Huet pre-unification.
-    let out = pre_unify_terms(&sig, &menv, &fol::o(), &pat, &target, &HuetConfig::default())
-        .unwrap();
-    let s = out.solutions.first().expect("Huet finds the pattern solution");
+    let out = pre_unify_terms(
+        &sig,
+        &menv,
+        &fol::o(),
+        &pat,
+        &target,
+        &HuetConfig::default(),
+    )
+    .unwrap();
+    let s = out
+        .solutions
+        .first()
+        .expect("Huet finds the pattern solution");
     assert!(s.flex_flex.is_empty());
     assert_eq!(s.subst.apply(&pat), target);
 }
