@@ -1,0 +1,68 @@
+//! `hoas-analyze` — run every static check over named targets.
+//!
+//! ```text
+//! hoas-analyze                  # analyze all bundled targets
+//! hoas-analyze fol-cnf imp-opt  # analyze specific targets
+//! hoas-analyze --list           # list target names
+//! ```
+//!
+//! Exits 0 when no error-severity diagnostic was produced, 1 otherwise,
+//! and 2 on usage errors (unknown target or flag).
+
+use hoas_analyze::targets;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for (name, description) in targets::TARGETS {
+            println!("{name:12} {description}");
+        }
+        return;
+    }
+    if let Some(flag) = args.iter().find(|a| a.starts_with('-')) {
+        eprintln!("unknown flag `{flag}`\n\n{}", usage());
+        std::process::exit(2);
+    }
+
+    let reports = if args.is_empty() {
+        targets::run_all()
+    } else {
+        let mut reports = Vec::with_capacity(args.len());
+        for name in &args {
+            match targets::run(name) {
+                Some(report) => reports.push(report),
+                None => {
+                    eprintln!("unknown target `{name}` (try --list)");
+                    std::process::exit(2);
+                }
+            }
+        }
+        reports
+    };
+
+    let mut errors = 0;
+    for report in &reports {
+        print!("{}", report.render());
+        errors += report.error_count();
+    }
+    if errors > 0 {
+        eprintln!("{errors} error-severity finding(s)");
+        std::process::exit(1);
+    }
+}
+
+fn usage() -> String {
+    let targets: Vec<&str> = targets::TARGETS.iter().map(|(n, _)| *n).collect();
+    format!(
+        "usage: hoas-analyze [--list] [TARGET ...]\n\n\
+         Runs the static analyzer (pattern-fragment classification, rule\n\
+         lints, overlap detection, signature hygiene, kernel annotation\n\
+         validation) over the named targets, or all of them by default.\n\n\
+         targets: {}\n",
+        targets.join(", ")
+    )
+}

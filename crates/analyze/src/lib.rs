@@ -1,0 +1,36 @@
+//! # hoas-analyze — static analysis for HOAS artifacts
+//!
+//! A diagnostics front end over the workspace's declarative artifacts:
+//! rewrite-rule sets, signatures, and λProlog programs. Each check emits
+//! [`Diagnostic`]s with a stable code (`HA001`, `HA002`, …) and a
+//! severity, collected per target into a rendered [`Report`]; the
+//! `hoas-analyze` binary runs every check over named targets and exits
+//! non-zero if any error-severity finding remains.
+//!
+//! The checks lean on the paper's central observation from the analysis
+//! side: because binding structure is explicit in the metalanguage,
+//! questions about rules — "can these two left-hand sides ever meet?",
+//! "is this rule reachable?", "does this rule rewrite its own output?" —
+//! become *decidable* matching and unification problems inside Miller's
+//! pattern fragment ([`hoas_rewrite::analysis`] does the term work). On
+//! top of that sit signature hygiene lints and the kernel annotation
+//! validator ([`hoas_core::validate`]), which recomputes every cached
+//! `max_free`/`has_meta`/`beta_normal` bit by naive traversal and diffs
+//! it against the sharing-aware kernel.
+//!
+//! ```
+//! use hoas_analyze::targets;
+//! let report = targets::run("fol-prenex").unwrap();
+//! assert_eq!(report.error_count(), 0);
+//! println!("{}", report.render());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod checks;
+pub mod diag;
+pub mod targets;
+
+pub use checks::{check_program, check_ruleset};
+pub use diag::{Diagnostic, Report, Severity, CODES};

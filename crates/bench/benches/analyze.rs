@@ -1,0 +1,24 @@
+//! Analyzer wall-time: a full `hoas-analyze` run over every bundled
+//! target. The analyzer is meant to be cheap enough to run in CI on each
+//! push, so its cost is perf-tracked like the kernel operations.
+
+use hoas_analyze::targets;
+use hoas_testkit::bench::Criterion;
+use hoas_testkit::{criterion_group, criterion_main};
+
+fn bench_targets(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analyze");
+    group.sample_size(10);
+    for (name, _) in targets::TARGETS {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(targets::run(name).expect("bundled target exists")))
+        });
+    }
+    group.bench_function("all-targets", |b| {
+        b.iter(|| std::hint::black_box(targets::run_all()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_targets);
+criterion_main!(benches);

@@ -1,5 +1,5 @@
 //! `bench-baseline` — runs the perf-tracked benches and emits a single
-//! `BENCH_pr2.json` with per-bench medians, optionally merged with a set
+//! `BENCH_pr3.json` with per-bench medians, optionally merged with a set
 //! of "before" reports for A/B comparison.
 //!
 //! ```text
@@ -8,12 +8,12 @@
 //! ```
 //!
 //! * `--bench NAME` — which bench targets to run (default: `substitution`,
-//!   `unification`, `rewriting`, the three perf-tracked suites).
+//!   `unification`, `rewriting`, `analyze`, the four perf-tracked suites).
 //! * `--before FILE` — a JSON report produced by an earlier revision via
 //!   `HOAS_BENCH_JSON`; medians found there are recorded per benchmark as
 //!   `before_median_ns` next to the fresh `median_ns`, plus a `speedup`
 //!   ratio. May be given several times.
-//! * `--out PATH` — output path (default `BENCH_pr2.json`).
+//! * `--out PATH` — output path (default `BENCH_pr3.json`).
 //!
 //! Each bench target is executed as `cargo bench --offline -p hoas-bench
 //! --bench NAME` with `HOAS_BENCH_JSON` pointed at a scratch file, so the
@@ -33,7 +33,7 @@ struct Entry {
 fn main() -> ExitCode {
     let mut benches: Vec<String> = Vec::new();
     let mut before_files: Vec<PathBuf> = Vec::new();
-    let mut out = PathBuf::from("BENCH_pr2.json");
+    let mut out = PathBuf::from("BENCH_pr3.json");
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -60,7 +60,7 @@ fn main() -> ExitCode {
         }
     }
     if benches.is_empty() {
-        benches = ["substitution", "unification", "rewriting"]
+        benches = ["substitution", "unification", "rewriting", "analyze"]
             .map(String::from)
             .to_vec();
     }

@@ -73,6 +73,7 @@ pub mod subst;
 pub mod term;
 pub mod ty;
 pub mod typeck;
+pub mod validate;
 
 pub use error::Error;
 pub use intern::Sym;

@@ -311,7 +311,11 @@ pub fn eta_contract(t: &Term) -> Term {
 /// needs the type of every neutral head to expand its arguments).
 pub fn canon(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, Error> {
     let t = TermRef::new(nf(t));
-    eta_long(sig, menv, ctx, &t, ty).map(TermRef::into_term)
+    let out = eta_long(sig, menv, ctx, &t, ty).map(TermRef::into_term)?;
+    // Debug builds validate the cached annotations of every
+    // canonicalization result against a naive recomputation.
+    crate::validate::debug_assert_valid(&out);
+    Ok(out)
 }
 
 /// Like [`canon`] for closed terms with no metavariables.

@@ -180,6 +180,26 @@ impl TermRef {
             Err(rc) => rc.term.clone(),
         }
     }
+
+    /// Test-only backdoor: builds a node with the **supplied** annotations
+    /// instead of computing them, deliberately breaking the
+    /// correct-by-construction invariant so tests can prove
+    /// [`crate::validate::check_term`] detects corrupted caches. Never call
+    /// this outside tests.
+    #[doc(hidden)]
+    pub fn new_with_annotations_for_tests(
+        term: Term,
+        max_free: u32,
+        has_meta: bool,
+        beta_normal: bool,
+    ) -> TermRef {
+        TermRef(Rc::new(TermNode {
+            term,
+            max_free,
+            has_meta,
+            beta_normal,
+        }))
+    }
 }
 
 impl From<Term> for TermRef {

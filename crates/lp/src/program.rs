@@ -218,6 +218,20 @@ impl Clause {
             body: self.body.map_terms(depth, f),
         }
     }
+
+    /// Every term in the clause paired with its `Π` depth (the number of
+    /// enclosing universal-goal binders, whose eigenvariables occur as de
+    /// Bruijn indices below that depth). The head comes first, then the
+    /// body's atoms and nested clause heads in textual order. Used by the
+    /// `hoas-analyze` pattern-fragment checks.
+    pub fn terms(&self) -> Vec<(Term, u32)> {
+        let mut acc = Vec::new();
+        self.map_terms(0, &mut |t, depth| {
+            acc.push((t.clone(), depth));
+            t.clone()
+        });
+        acc
+    }
 }
 
 impl fmt::Display for Clause {

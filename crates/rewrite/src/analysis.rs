@@ -1,0 +1,406 @@
+//! Static analysis of rule sets.
+//!
+//! [`RuleSet::analyze`] inspects a rule set without rewriting anything,
+//! reporting per-rule facts and cross-rule interactions:
+//!
+//! * **Classification** — whether each left-hand side lies in Miller's
+//!   pattern fragment (the engine's deterministic fast path) or needs
+//!   general higher-order matching;
+//! * **Linearity** — metavariables occurring more than once in a
+//!   left-hand side (non-left-linear rules impose equality side
+//!   conditions that make overlap analysis incomplete);
+//! * **Scoping** — right-hand-side metavariables not bound by the
+//!   left-hand side (recomputed defensively; [`Rule::new`] rejects them);
+//! * **Shadowing** — a rule whose left-hand side is an instance of an
+//!   *earlier* rule's left-hand side can never fire (the engine tries
+//!   rules first-to-last);
+//! * **Trivial non-termination** — the rule rewrites its own result:
+//!   its left-hand side matches the (frozen) right-hand side at the root
+//!   or at any embedded position;
+//! * **Root overlaps** — two pattern-fragment left-hand sides unify after
+//!   renaming apart, so a term exists at which both rules apply (a
+//!   critical pair, hence possible non-confluence).
+//!
+//! Semi-decidable questions are answered conservatively: the analysis
+//! only reports facts it can establish within the pattern fragment, and
+//! stays silent where general higher-order unification would be needed.
+//!
+//! The `hoas-analyze` crate turns this report into diagnostics with
+//! stable codes and severities.
+
+use crate::engine::Engine;
+use crate::rule::{Rule, RuleSet};
+use hoas_core::ctx::Ctx;
+use hoas_core::sig::Signature;
+use hoas_core::{MVar, Term};
+use hoas_unify::classify::{freeze_metas, shift_menv, shift_metas, PatternClass};
+use hoas_unify::pattern;
+use std::collections::HashMap;
+
+/// Per-rule facts established by [`RuleSet::analyze`].
+#[derive(Clone, Debug)]
+pub struct RuleInfo {
+    /// The rule's name.
+    pub name: String,
+    /// Pattern-fragment classification of the left-hand side.
+    pub class: PatternClass,
+    /// Metavariables occurring more than once in the left-hand side
+    /// (hint names). Empty for left-linear rules.
+    pub nonlinear_metas: Vec<String>,
+    /// Right-hand-side metavariables not bound by the left-hand side.
+    /// Always empty for rules built through [`Rule::new`], which rejects
+    /// them; recomputed here so hand-assembled sets are checked too.
+    pub unbound_rhs_metas: Vec<String>,
+    /// Name of an earlier rule whose left-hand side generalizes this
+    /// one's, making this rule unreachable under first-to-last order.
+    pub shadowed_by: Option<String>,
+    /// Whether the rule applies somewhere inside its own (frozen)
+    /// right-hand side — a one-rule loop, hence non-termination.
+    pub self_applicable: bool,
+}
+
+/// A root overlap between two pattern-fragment rules: their left-hand
+/// sides unify after renaming apart, so some term admits both.
+#[derive(Clone, Debug)]
+pub struct Overlap {
+    /// Name of the earlier rule.
+    pub left: String,
+    /// Name of the later rule.
+    pub right: String,
+}
+
+/// The report produced by [`RuleSet::analyze`].
+#[derive(Clone, Debug)]
+pub struct RuleSetAnalysis {
+    /// Per-rule facts, in rule order (pattern rules only; native rules
+    /// have no term structure to analyze).
+    pub rules: Vec<RuleInfo>,
+    /// Names carried by more than one rule (pattern or native). Always
+    /// empty for sets built through [`RuleSet::push`], which rejects
+    /// duplicates; recomputed here for hand-assembled sets.
+    pub duplicate_names: Vec<String>,
+    /// Root overlaps between distinct pattern-fragment rules of the same
+    /// subject type.
+    pub overlaps: Vec<Overlap>,
+}
+
+impl RuleSet {
+    /// Analyzes the rule set against the signature its rules were built
+    /// from. Pure inspection: the set itself is not modified and no
+    /// subject term is rewritten.
+    pub fn analyze(&self, sig: &Signature) -> RuleSetAnalysis {
+        let rules = self
+            .rules
+            .iter()
+            .enumerate()
+            .map(|(i, rule)| RuleInfo {
+                name: rule.name().to_string(),
+                class: rule.classification(),
+                nonlinear_metas: nonlinear_metas(rule.lhs()),
+                unbound_rhs_metas: unbound_rhs_metas(rule),
+                shadowed_by: shadowed_by(sig, &self.rules, i),
+                self_applicable: self_applicable(sig, rule),
+            })
+            .collect();
+        RuleSetAnalysis {
+            rules,
+            duplicate_names: duplicate_names(self),
+            overlaps: overlaps(sig, &self.rules),
+        }
+    }
+}
+
+/// Hint names of metavariables with more than one occurrence in `lhs`.
+/// [`Term::metas`] deduplicates, so occurrences are counted by a raw
+/// structural walk.
+fn nonlinear_metas(lhs: &Term) -> Vec<String> {
+    let mut counts: HashMap<MVar, usize> = HashMap::new();
+    count_meta_occurrences(lhs, &mut counts);
+    let mut repeated: Vec<String> = counts
+        .into_iter()
+        .filter(|(_, n)| *n > 1)
+        .map(|(m, _)| m.hint().to_string())
+        .collect();
+    repeated.sort();
+    repeated
+}
+
+fn count_meta_occurrences(t: &Term, counts: &mut HashMap<MVar, usize>) {
+    if !t.has_metas() {
+        return;
+    }
+    match t {
+        Term::Meta(m) => *counts.entry(m.clone()).or_insert(0) += 1,
+        Term::Lam(_, b) => count_meta_occurrences(b, counts),
+        Term::App(f, a) => {
+            count_meta_occurrences(f, counts);
+            count_meta_occurrences(a, counts);
+        }
+        Term::Pair(a, b) => {
+            count_meta_occurrences(a, counts);
+            count_meta_occurrences(b, counts);
+        }
+        Term::Fst(p) | Term::Snd(p) => count_meta_occurrences(p, counts),
+        Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => {}
+    }
+}
+
+fn unbound_rhs_metas(rule: &Rule) -> Vec<String> {
+    let lhs_metas = rule.lhs().metas();
+    let mut unbound: Vec<String> = rule
+        .rhs()
+        .metas()
+        .into_iter()
+        .filter(|m| !lhs_metas.contains(m))
+        .map(|m| m.hint().to_string())
+        .collect();
+    unbound.sort();
+    unbound
+}
+
+/// Whether an earlier rule fires on every instance of rule `i`'s lhs,
+/// making rule `i` unreachable at its own root. Decided by running the
+/// earlier rules — with the engine's own dispatch, including its
+/// under-determined-match guard — on a most-general ground instance of
+/// the later lhs (metavariables frozen to fresh constants): a rewrite
+/// there rewrites *every* instance.
+fn shadowed_by(sig: &Signature, rules: &[Rule], i: usize) -> Option<String> {
+    if i == 0 {
+        return None;
+    }
+    let rule = &rules[i];
+    let (frozen_sig, frozen_lhs) = freeze_metas(sig, rule.menv(), rule.lhs()).ok()?;
+    let earlier = RuleSet {
+        rules: rules[..i].to_vec(),
+        native: Vec::new(),
+    };
+    let engine = Engine::new(&frozen_sig, &earlier);
+    match engine.rewrite_here(&Ctx::new(), rule.ty(), &frozen_lhs) {
+        Ok(Some((_, name, _))) => Some(name),
+        _ => None,
+    }
+}
+
+/// Whether the rule rewrites its own right-hand side: its lhs matches a
+/// most-general ground instance of the rhs at the root or at any embedded
+/// position. One engine step over a single-rule set decides both cases.
+fn self_applicable(sig: &Signature, rule: &Rule) -> bool {
+    let Ok((frozen_sig, frozen_rhs)) = freeze_metas(sig, rule.menv(), rule.rhs()) else {
+        return false;
+    };
+    let single = RuleSet {
+        rules: vec![rule.clone()],
+        native: Vec::new(),
+    };
+    let engine = Engine::new(&frozen_sig, &single);
+    matches!(engine.rewrite_once(rule.ty(), &frozen_rhs), Ok(Some(_)))
+}
+
+fn duplicate_names(rs: &RuleSet) -> Vec<String> {
+    let mut seen: HashMap<&str, usize> = HashMap::new();
+    for name in rs.names() {
+        *seen.entry(name).or_insert(0) += 1;
+    }
+    let mut dups: Vec<String> = seen
+        .into_iter()
+        .filter(|(_, n)| *n > 1)
+        .map(|(name, _)| name.to_string())
+        .collect();
+    dups.sort();
+    dups
+}
+
+/// Root overlaps between pattern-fragment rules: for each pair of Miller
+/// rules at the same subject type, rename the later rule's metavariables
+/// apart and run pattern unification on the two left-hand sides. Success
+/// exhibits a term both rules rewrite; a refutation proves none exists.
+/// Pairs outside the fragment (or exceeding the solver's budget) are
+/// skipped — overlap there is undecidable in general.
+fn overlaps(sig: &Signature, rules: &[Rule]) -> Vec<Overlap> {
+    let mut found = Vec::new();
+    for (i, left) in rules.iter().enumerate() {
+        if left.classification() != PatternClass::Miller {
+            continue;
+        }
+        let offset = max_meta_id(left.menv()).map_or(0, |id| id + 1);
+        for right in rules.iter().skip(i + 1) {
+            if right.classification() != PatternClass::Miller || right.ty() != left.ty() {
+                continue;
+            }
+            let mut menv = left.menv().clone();
+            for (m, ty) in shift_menv(right.menv(), offset).iter() {
+                menv.insert(m.clone(), ty.clone());
+            }
+            let renamed = shift_metas(right.lhs(), offset);
+            if pattern::unify(sig, &menv, left.ty(), left.lhs(), &renamed).is_ok() {
+                found.push(Overlap {
+                    left: left.name().to_string(),
+                    right: right.name().to_string(),
+                });
+            }
+        }
+    }
+    found
+}
+
+fn max_meta_id(menv: &hoas_core::term::MetaEnv) -> Option<u32> {
+    menv.keys().map(|m| m.id()).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::parse::parse_ty;
+    use hoas_core::Ty;
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const or : o -> o -> o.
+             const not : o -> o.
+             const forall : (i -> o) -> o.
+             const p : i -> o.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    fn o() -> Ty {
+        parse_ty("o").unwrap()
+    }
+
+    fn rule(s: &Signature, name: &str, metas: &[(&str, &str)], lhs: &str, rhs: &str) -> Rule {
+        Rule::parse(s, name, &o(), metas, lhs, rhs).unwrap()
+    }
+
+    #[test]
+    fn reports_classification_and_linearity() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(rule(&s, "idem", &[("P", "o")], "and ?P ?P", "?P"))
+            .unwrap();
+        rs.push(rule(
+            &s,
+            "beta",
+            &[("F", "i -> o"), ("X", "i")],
+            "?F ?X",
+            "?F ?X",
+        ))
+        .unwrap();
+        let a = rs.analyze(&s);
+        assert_eq!(a.rules[0].class, PatternClass::Miller);
+        assert_eq!(a.rules[0].nonlinear_metas, vec!["P"]);
+        assert_eq!(a.rules[1].class, PatternClass::General);
+        assert!(a.rules[1].nonlinear_metas.is_empty());
+        assert!(a.duplicate_names.is_empty());
+    }
+
+    #[test]
+    fn detects_shadowing() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        // `not ?P` generalizes `not (not ?P)`: the second can never fire.
+        rs.push(rule(&s, "general", &[("P", "o")], "not ?P", "?P"))
+            .unwrap();
+        rs.push(rule(&s, "specific", &[("P", "o")], "not (not ?P)", "?P"))
+            .unwrap();
+        let a = rs.analyze(&s);
+        assert_eq!(a.rules[0].shadowed_by, None);
+        assert_eq!(a.rules[1].shadowed_by.as_deref(), Some("general"));
+        // The reverse order is fine: specific first.
+        let mut rs = RuleSet::new();
+        rs.push(rule(&s, "specific", &[("P", "o")], "not (not ?P)", "?P"))
+            .unwrap();
+        rs.push(rule(&s, "general", &[("P", "o")], "not ?P", "?P"))
+            .unwrap();
+        let a = rs.analyze(&s);
+        assert!(a.rules.iter().all(|r| r.shadowed_by.is_none()));
+    }
+
+    #[test]
+    fn detects_trivial_non_termination() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        // Root loop: the rhs *is* an lhs instance.
+        rs.push(rule(
+            &s,
+            "swap",
+            &[("P", "o"), ("Q", "o")],
+            "and ?P ?Q",
+            "and ?Q ?P",
+        ))
+        .unwrap();
+        // Embedded loop: the rhs contains an lhs instance.
+        rs.push(rule(&s, "grow", &[], "r", "not (not r)")).unwrap();
+        // Shrinking rule: terminates.
+        rs.push(rule(&s, "not-not", &[("P", "o")], "not (not ?P)", "?P"))
+            .unwrap();
+        let a = rs.analyze(&s);
+        assert!(a.rules[0].self_applicable, "swap loops at the root");
+        assert!(a.rules[1].self_applicable, "grow loops under `not`");
+        assert!(!a.rules[2].self_applicable);
+    }
+
+    #[test]
+    fn detects_root_overlaps() {
+        let s = sig();
+        let mut rs = RuleSet::new();
+        rs.push(rule(&s, "skip-left", &[("P", "o")], "and r ?P", "?P"))
+            .unwrap();
+        rs.push(rule(&s, "skip-right", &[("P", "o")], "and ?P r", "?P"))
+            .unwrap();
+        rs.push(rule(&s, "or-id", &[("P", "o")], "or ?P ?P", "?P"))
+            .unwrap();
+        let a = rs.analyze(&s);
+        // `and r r` admits both skip rules; `or` never meets `and`.
+        assert_eq!(a.overlaps.len(), 1);
+        assert_eq!(
+            (a.overlaps[0].left.as_str(), a.overlaps[0].right.as_str()),
+            ("skip-left", "skip-right")
+        );
+    }
+
+    #[test]
+    fn recomputes_duplicates_on_hand_assembled_sets() {
+        let s = sig();
+        let r = rule(&s, "dup", &[("P", "o")], "not (not ?P)", "?P");
+        // Bypass `push` (which rejects duplicates) via the public fields.
+        let rs = RuleSet {
+            rules: vec![r.clone(), r],
+            native: Vec::new(),
+        };
+        let a = rs.analyze(&s);
+        assert_eq!(a.duplicate_names, vec!["dup"]);
+    }
+
+    #[test]
+    fn bundled_rulesets_have_no_errors() {
+        use crate::rulesets::{fol_cnf, fol_prenex};
+        let vocab_sig = Signature::parse(
+            "type i.
+             type o.
+             const and : o -> o -> o.
+             const or : o -> o -> o.
+             const imp : o -> o -> o.
+             const not : o -> o.
+             const forall : (i -> o) -> o.
+             const exists : (i -> o) -> o.",
+        )
+        .unwrap();
+        for rs in [
+            fol_prenex::rules(&vocab_sig).unwrap(),
+            fol_cnf::rules(&vocab_sig).unwrap(),
+        ] {
+            let a = rs.analyze(&vocab_sig);
+            assert!(a.duplicate_names.is_empty());
+            for info in &a.rules {
+                assert_eq!(info.class, PatternClass::Miller, "{}", info.name);
+                assert!(info.unbound_rhs_metas.is_empty(), "{}", info.name);
+                assert!(info.shadowed_by.is_none(), "{}", info.name);
+                assert!(!info.self_applicable, "{}", info.name);
+            }
+        }
+    }
+}

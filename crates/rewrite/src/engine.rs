@@ -12,7 +12,8 @@ use crate::rule::{RewriteError, Rule, RuleSet};
 use hoas_core::ctx::Ctx;
 use hoas_core::sig::Signature;
 use hoas_core::{normalize, typeck, Term, Ty};
-use hoas_unify::matching::{match_term, MatchConfig};
+use hoas_unify::classify::PatternClass;
+use hoas_unify::matching::{match_pattern, match_term, MatchConfig};
 
 /// Traversal strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -46,6 +47,29 @@ impl Default for EngineConfig {
     }
 }
 
+/// Which matching machinery produced a rewrite.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MatchPath {
+    /// The deterministic Miller-pattern matcher (the fast path taken by
+    /// rules classified as [`PatternClass::Miller`]).
+    Pattern,
+    /// General higher-order matching (pattern unifier with Huet
+    /// fallback).
+    General,
+    /// A native δ-rule fired.
+    Native,
+}
+
+impl std::fmt::Display for MatchPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatchPath::Pattern => f.write_str("pattern"),
+            MatchPath::General => f.write_str("general"),
+            MatchPath::Native => f.write_str("native"),
+        }
+    }
+}
+
 /// One rewrite in a trace: which rule fired, and where.
 ///
 /// The path addresses the rewritten subterm from the root: `0..` are
@@ -57,6 +81,8 @@ pub struct RewriteStep {
     pub rule: String,
     /// Position of the rewritten subterm.
     pub path: Vec<u32>,
+    /// Which matcher produced the rewrite.
+    pub via: MatchPath,
 }
 
 impl std::fmt::Display for RewriteStep {
@@ -116,7 +142,8 @@ impl<'a> Engine<'a> {
         &self.cfg
     }
 
-    /// Attempts the rules at this exact position (no descent).
+    /// Attempts the rules at this exact position (no descent), returning
+    /// the replacement, the rule's name, and which matcher produced it.
     ///
     /// # Errors
     ///
@@ -126,7 +153,7 @@ impl<'a> Engine<'a> {
         ctx: &Ctx,
         ty: &Ty,
         t: &Term,
-    ) -> Result<Option<(Term, String)>, RewriteError> {
+    ) -> Result<Option<(Term, String, MatchPath)>, RewriteError> {
         // Discrimination key: the subject's rigid head constant.
         let subject_head = match t.head_spine() {
             Some((hoas_core::term::Head::Const(c), _)) => Some(c),
@@ -147,7 +174,11 @@ impl<'a> Engine<'a> {
                 continue;
             }
             if let Some(replacement) = self.try_rule(rule, ctx, ty, t)? {
-                return Ok(Some((replacement, rule.name().to_string())));
+                let via = match rule.classification() {
+                    PatternClass::Miller => MatchPath::Pattern,
+                    PatternClass::General => MatchPath::General,
+                };
+                return Ok(Some((replacement, rule.name().to_string(), via)));
             }
         }
         for nrule in &self.rules.native {
@@ -157,7 +188,7 @@ impl<'a> Engine<'a> {
             if let Some(replacement) = nrule.apply(t) {
                 let canon = normalize::canon(self.sig, &Default::default(), ctx, &replacement, ty)
                     .map_err(RewriteError::Core)?;
-                return Ok(Some((canon, nrule.name().to_string())));
+                return Ok(Some((canon, nrule.name().to_string(), MatchPath::Native)));
             }
         }
         Ok(None)
@@ -170,15 +201,23 @@ impl<'a> Engine<'a> {
         ty: &Ty,
         t: &Term,
     ) -> Result<Option<Term>, RewriteError> {
-        let subst = match match_term(
-            self.sig,
-            rule.menv(),
-            ctx,
-            ty,
-            rule.lhs(),
-            t,
-            &self.cfg.match_cfg,
-        ) {
+        // Miller-classified rules take the deterministic fast path: one
+        // lockstep descent, no per-attempt canonicalization or
+        // environment cloning. General rules go through the pattern
+        // unifier with Huet fallback.
+        let matched = match rule.classification() {
+            PatternClass::Miller => match_pattern(rule.lhs(), t),
+            PatternClass::General => match_term(
+                self.sig,
+                rule.menv(),
+                ctx,
+                ty,
+                rule.lhs(),
+                t,
+                &self.cfg.match_cfg,
+            ),
+        };
+        let subst = match matched {
             Ok(Some(s)) => s,
             Ok(None) => return Ok(None),
             Err(e) => return Err(RewriteError::Unify(e)),
@@ -225,12 +264,13 @@ impl<'a> Engine<'a> {
         t: &Term,
     ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
         let here = |this: &Self| {
-            Ok::<_, RewriteError>(this.rewrite_here(ctx, ty, t)?.map(|(t2, rule)| {
+            Ok::<_, RewriteError>(this.rewrite_here(ctx, ty, t)?.map(|(t2, rule, via)| {
                 (
                     t2,
                     RewriteStep {
                         rule,
                         path: Vec::new(),
+                        via,
                     },
                 )
             }))
@@ -371,7 +411,8 @@ mod tests {
     fn not_not() -> RuleSet {
         let s = sig();
         let mut rs = RuleSet::new();
-        rs.push(Rule::parse(&s, "not-not", &o(), &[("P", "o")], "not (not ?P)", "?P").unwrap());
+        rs.push(Rule::parse(&s, "not-not", &o(), &[("P", "o")], "not (not ?P)", "?P").unwrap())
+            .unwrap();
         rs
     }
 
@@ -434,7 +475,8 @@ mod tests {
         // A looping rule: r ~> not (not r) grows forever.
         let s = sig();
         let mut rs = RuleSet::new();
-        rs.push(Rule::parse(&s, "grow", &o(), &[], "r", "not (not r)").unwrap());
+        rs.push(Rule::parse(&s, "grow", &o(), &[], "r", "not (not r)").unwrap())
+            .unwrap();
         let cfg = EngineConfig {
             max_steps: 10,
             ..EngineConfig::default()
@@ -450,7 +492,8 @@ mod tests {
         // Rule: and ?P ?P ~> ?P. Subject: and (and r r) (and r r).
         let s = sig();
         let mut rs = RuleSet::new();
-        rs.push(Rule::parse(&s, "idem", &o(), &[("P", "o")], "and ?P ?P", "?P").unwrap());
+        rs.push(Rule::parse(&s, "idem", &o(), &[("P", "o")], "and ?P ?P", "?P").unwrap())
+            .unwrap();
         let t = parse_term(&s, "and (and r r) (and r r)").unwrap().term;
         // Outermost: one step to `and r r`, then one more to r.
         let outer = Engine::new(&s, &rs);
@@ -485,7 +528,8 @@ mod tests {
                 "?P",
             )
             .unwrap(),
-        );
+        )
+        .unwrap();
         let e = Engine::new(&s, &rs);
         let vacuous = parse_term(&s, r"forall (\x. and r r)").unwrap().term;
         assert_eq!(
@@ -528,7 +572,8 @@ mod trace_tests {
                 "?P",
             )
             .unwrap(),
-        );
+        )
+        .unwrap();
         let e = Engine::new(&s, &rs);
         // and (not (not r)) (and r (not (not r)))
         let t = parse_term(&s, "and (not (not r)) (and r (not (not r)))")
@@ -557,7 +602,8 @@ mod trace_tests {
                 "?P",
             )
             .unwrap(),
-        );
+        )
+        .unwrap();
         let e = Engine::new(&s, &rs);
         let t = parse_term(&s, "not (not r)").unwrap().term;
         let (_, step) = e
@@ -566,5 +612,45 @@ mod trace_tests {
             .unwrap();
         assert!(step.path.is_empty());
         assert_eq!(step.to_string(), "not-not @ []");
+        assert_eq!(step.via, MatchPath::Pattern, "not-not is a Miller rule");
+    }
+
+    #[test]
+    fn trace_records_match_path() {
+        let s = Signature::parse(
+            "type i.
+             type o.
+             const p : i -> o.
+             const q : i -> o.
+             const all : (i -> o) -> o.
+             const a : i.",
+        )
+        .unwrap();
+        let o = parse_ty("o").unwrap();
+        let mut rs = RuleSet::new();
+        // Miller rule: fast path.
+        rs.push(
+            Rule::parse(
+                &s,
+                "all-swap",
+                &o,
+                &[("Q", "i -> o")],
+                r"all (\x. ?Q x)",
+                r"all (\x. ?Q x)",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        // General rule: ?F applied to a constant is outside the fragment.
+        rs.push(Rule::parse(&s, "f-at-a", &o, &[("F", "i -> o")], "?F a", "?F a").unwrap())
+            .unwrap();
+        let e = Engine::new(&s, &rs);
+        let ctx = Ctx::new();
+        let miller_subject = parse_term(&s, r"all (\x. p x)").unwrap().term;
+        let (_, name, via) = e.rewrite_here(&ctx, &o, &miller_subject).unwrap().unwrap();
+        assert_eq!((name.as_str(), via), ("all-swap", MatchPath::Pattern));
+        let general_subject = parse_term(&s, "p a").unwrap().term;
+        let (_, name, via) = e.rewrite_here(&ctx, &o, &general_subject).unwrap().unwrap();
+        assert_eq!((name.as_str(), via), ("f-at-a", MatchPath::General));
     }
 }

@@ -16,14 +16,20 @@
 //! * [`rulesets`] — the paper's transformation suites: prenex normal form
 //!   for first-order logic, optimization of the imperative language
 //!   (constant folding, dead-declaration elimination), and Mini-ML
-//!   simplifications.
+//!   simplifications;
+//! * [`analysis`] — static analysis of rule sets: pattern-fragment
+//!   classification, linearity and scoping lints, shadowing,
+//!   trivial-non-termination, and root-overlap (critical-pair) detection,
+//!   consumed by the `hoas-analyze` diagnostics front end.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod engine;
 pub mod rule;
 pub mod rulesets;
 
-pub use engine::{Engine, EngineConfig, NormalizeResult, RewriteStep, Strategy};
+pub use analysis::{Overlap, RuleInfo, RuleSetAnalysis};
+pub use engine::{Engine, EngineConfig, MatchPath, NormalizeResult, RewriteStep, Strategy};
 pub use rule::{NativeRule, RewriteError, Rule, RuleSet};

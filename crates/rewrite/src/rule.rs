@@ -10,6 +10,7 @@ use hoas_core::parse::{parse_term_with, MetaTable};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
 use hoas_core::{normalize, Term, Ty};
+use hoas_unify::classify::{classify, PatternClass};
 use hoas_unify::UnifyError;
 use std::fmt;
 use std::sync::Arc;
@@ -25,6 +26,12 @@ pub enum RewriteError {
         /// Explanation.
         reason: String,
     },
+    /// Two rules with the same name were added to a [`RuleSet`]; the
+    /// second would silently shadow (or be shadowed by) the first.
+    DuplicateRule {
+        /// The offending name.
+        name: String,
+    },
     /// A kernel error during traversal (ill-typed subject term).
     Core(hoas_core::Error),
     /// A unification error that indicates a malformed problem (not a
@@ -39,6 +46,9 @@ impl fmt::Display for RewriteError {
         match self {
             RewriteError::BadRule { name, reason } => {
                 write!(f, "invalid rule `{name}`: {reason}")
+            }
+            RewriteError::DuplicateRule { name } => {
+                write!(f, "duplicate rule name `{name}` in rule set")
             }
             RewriteError::Core(e) => write!(f, "kernel error during rewriting: {e}"),
             RewriteError::Unify(e) => write!(f, "unification error during rewriting: {e}"),
@@ -80,6 +90,10 @@ pub struct Rule {
     /// Rigid head constant of the lhs, if any — a cheap discrimination
     /// key the engine checks before attempting a full match.
     head: Option<hoas_core::Sym>,
+    /// Pattern-fragment classification of the lhs, computed once at
+    /// construction; `Miller` rules dispatch to the deterministic pattern
+    /// matcher instead of general higher-order matching.
+    class: PatternClass,
 }
 
 impl Rule {
@@ -181,6 +195,7 @@ impl Rule {
             Some((hoas_core::term::Head::Const(c), _)) => Some(c),
             _ => None,
         };
+        let class = classify(&lhs);
         Ok(Rule {
             name: name.to_string(),
             menv,
@@ -188,6 +203,7 @@ impl Rule {
             rhs,
             ty,
             head,
+            class,
         })
     }
 
@@ -215,6 +231,14 @@ impl Rule {
     /// discrimination before full matching).
     pub fn head_const(&self) -> Option<&hoas_core::Sym> {
         self.head.as_ref()
+    }
+    /// Pattern-fragment classification of the left-hand side, recorded at
+    /// construction. [`PatternClass::Miller`] rules are matched by the
+    /// deterministic pattern matcher (see
+    /// [`hoas_unify::matching::match_pattern`]); `General` rules need the
+    /// full pattern-unifier-plus-Huet pipeline.
+    pub fn classification(&self) -> PatternClass {
+        self.class
     }
 }
 
@@ -292,15 +316,37 @@ impl RuleSet {
     }
 
     /// Adds a pattern rule.
-    pub fn push(&mut self, rule: Rule) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::DuplicateRule`] if a rule (pattern or native) with
+    /// the same name is already present — a second rule of the same name
+    /// would be silently shadowed in traces and reports (analyzer
+    /// diagnostic `HA006`).
+    pub fn push(&mut self, rule: Rule) -> Result<&mut Self, RewriteError> {
+        self.check_fresh_name(rule.name())?;
         self.rules.push(rule);
-        self
+        Ok(self)
     }
 
     /// Adds a native rule.
-    pub fn push_native(&mut self, rule: NativeRule) -> &mut Self {
+    ///
+    /// # Errors
+    ///
+    /// [`RewriteError::DuplicateRule`] as for [`RuleSet::push`].
+    pub fn push_native(&mut self, rule: NativeRule) -> Result<&mut Self, RewriteError> {
+        self.check_fresh_name(rule.name())?;
         self.native.push(rule);
-        self
+        Ok(self)
+    }
+
+    fn check_fresh_name(&self, name: &str) -> Result<(), RewriteError> {
+        if self.names().contains(&name) {
+            return Err(RewriteError::DuplicateRule {
+                name: name.to_string(),
+            });
+        }
+        Ok(())
     }
 
     /// Total number of rules.
@@ -434,10 +480,64 @@ mod tests {
                 "?P",
             )
             .unwrap(),
-        );
-        rs.push_native(NativeRule::new("b", parse_ty("o").unwrap(), |_| None));
+        )
+        .unwrap();
+        rs.push_native(NativeRule::new("b", parse_ty("o").unwrap(), |_| None))
+            .unwrap();
         assert_eq!(rs.len(), 2);
         assert!(!rs.is_empty());
         assert_eq!(rs.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn ruleset_rejects_duplicate_names() {
+        let s = sig();
+        let rule = || {
+            Rule::parse(
+                &s,
+                "a",
+                &parse_ty("o").unwrap(),
+                &[("P", "o")],
+                "not (not ?P)",
+                "?P",
+            )
+            .unwrap()
+        };
+        let mut rs = RuleSet::new();
+        rs.push(rule()).unwrap();
+        let err = rs.push(rule()).unwrap_err();
+        assert!(matches!(err, RewriteError::DuplicateRule { ref name } if name == "a"));
+        assert!(err.to_string().contains("duplicate rule name `a`"));
+        // Pattern and native rules share one namespace.
+        let err = rs
+            .push_native(NativeRule::new("a", parse_ty("o").unwrap(), |_| None))
+            .unwrap_err();
+        assert!(matches!(err, RewriteError::DuplicateRule { .. }));
+        assert_eq!(rs.len(), 1, "rejected rules are not added");
+    }
+
+    #[test]
+    fn rules_record_their_classification() {
+        let s = sig();
+        let miller = Rule::parse(
+            &s,
+            "forall-triv",
+            &parse_ty("o").unwrap(),
+            &[("Q", "i -> o")],
+            r"forall (\x. ?Q x)",
+            r"forall (\x. ?Q x)",
+        )
+        .unwrap();
+        assert_eq!(miller.classification(), PatternClass::Miller);
+        let general = Rule::parse(
+            &s,
+            "beta-general",
+            &parse_ty("o").unwrap(),
+            &[("F", "i -> o"), ("X", "i")],
+            "?F ?X",
+            "?F ?X",
+        )
+        .unwrap();
+        assert_eq!(general.classification(), PatternClass::General);
     }
 }

@@ -32,7 +32,7 @@ pub fn distribution_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &pqr,
         "or (and ?P ?Q) ?R",
         "and (or ?P ?R) (or ?Q ?R)",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "distr-right",
@@ -40,7 +40,7 @@ pub fn distribution_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &pqr,
         "or ?R (and ?P ?Q)",
         "and (or ?R ?P) (or ?R ?Q)",
-    )?);
+    )?)?;
     Ok(rs)
 }
 
@@ -53,8 +53,11 @@ pub fn distribution_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
 /// As for [`fol_prenex::rules`].
 pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
     let mut rs = fol_prenex::rules(sig)?;
-    let distr = distribution_rules(sig)?;
-    rs.rules.extend(distr.rules);
+    // Push one by one so duplicate-name detection applies across the
+    // combined set.
+    for rule in distribution_rules(sig)?.rules {
+        rs.push(rule)?;
+    }
     Ok(rs)
 }
 

@@ -43,10 +43,10 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &pq,
         "imp ?P ?Q",
         "or (not ?P) ?Q",
-    )?);
+    )?)?;
 
     // 2. negation normal form.
-    rs.push(Rule::parse(sig, "not-not", &o, &p, "not (not ?P)", "?P")?);
+    rs.push(Rule::parse(sig, "not-not", &o, &p, "not (not ?P)", "?P")?)?;
     rs.push(Rule::parse(
         sig,
         "not-and",
@@ -54,7 +54,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &pq,
         "not (and ?P ?Q)",
         "or (not ?P) (not ?Q)",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "not-or",
@@ -62,7 +62,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &pq,
         "not (or ?P ?Q)",
         "and (not ?P) (not ?Q)",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "not-forall",
@@ -70,7 +70,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &q1,
         r"not (forall (\x. ?Q x))",
         r"exists (\x. not (?Q x))",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "not-exists",
@@ -78,7 +78,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &q1,
         r"not (exists (\x. ?Q x))",
         r"forall (\x. not (?Q x))",
-    )?);
+    )?)?;
 
     // 3. quantifier extraction. The vacuity of x in ?P is enforced by the
     // pattern structure — exactly the paper's point.
@@ -95,7 +95,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             &pq1,
             &format!(r"{conn} ({quant} (\x. ?Q x)) ?P"),
             &format!(r"{quant} (\x. {conn} (?Q x) ?P)"),
-        )?);
+        )?)?;
         rs.push(Rule::parse(
             sig,
             &format!("{quant}-{conn}-right"),
@@ -103,7 +103,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             &pq1,
             &format!(r"{conn} ?P ({quant} (\x. ?Q x))"),
             &format!(r"{quant} (\x. {conn} ?P (?Q x))"),
-        )?);
+        )?)?;
     }
     Ok(rs)
 }

@@ -47,7 +47,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("C", "cmd")],
         "seq skip ?C",
         "?C",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "seq-skip-right",
@@ -55,7 +55,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("C", "cmd")],
         "seq ?C skip",
         "?C",
-    )?);
+    )?)?;
     // Dead declaration: the scope ignores its variable — a vacuous-binder
     // pattern. Initializers are pure (aexp), so this is unconditionally
     // sound.
@@ -66,7 +66,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("E", "aexp"), ("C", "cmd")],
         r"local ?E (\x. ?C)",
         "?C",
-    )?);
+    )?)?;
     // If with identical branches (tests are pure).
     rs.push(Rule::parse(
         sig,
@@ -75,7 +75,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("B", "bexp"), ("C", "cmd")],
         "ifc ?B ?C ?C",
         "?C",
-    )?);
+    )?)?;
     // while with a test that is literally false never runs; handled by the
     // native branch-folding rules below (tests have no boolean literals).
 
@@ -96,7 +96,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             ("mul", Some(x), Some(y)) => Some(lit(x.wrapping_mul(y))),
             _ => None,
         }
-    }));
+    }))?;
     rs.push_native(NativeRule::new("arith-identities", aexp, |t| {
         let (head, args) = t.spine();
         let op = match head {
@@ -117,7 +117,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             ("mul", Some(0), _) | ("mul", _, Some(0)) => Some(lit(0)),
             _ => None,
         }
-    }));
+    }))?;
     // Fold conditionals/loops whose test compares literals.
     rs.push_native(NativeRule::new("fold-branch", Ty::base("cmd"), |t| {
         let (head, args) = t.spine();
@@ -153,7 +153,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             },
             _ => None,
         }
-    }));
+    }))?;
     Ok(rs)
 }
 

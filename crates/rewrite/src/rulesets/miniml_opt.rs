@@ -44,7 +44,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("Z", "exp"), ("S", "exp -> exp")],
         r"case z ?Z (\x. ?S x)",
         "?Z",
-    )?);
+    )?)?;
     rs.push(Rule::parse(
         sig,
         "case-s",
@@ -52,7 +52,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
         &[("N", "exp"), ("Z", "exp"), ("S", "exp -> exp")],
         r"case (s ?N) ?Z (\x. ?S x)",
         "?S ?N",
-    )?);
+    )?)?;
 
     // Value-restricted rules are native: check value-ness, then hand the
     // binding work back to the metalanguage (happly = object substitution).
@@ -70,7 +70,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             }
             _ => None,
         }
-    }));
+    }))?;
     rs.push_native(NativeRule::new("beta-value", exp, |t| {
         let (head, args) = t.spine();
         match (head, args.as_slice()) {
@@ -85,7 +85,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
             }
             _ => None,
         }
-    }));
+    }))?;
     Ok(rs)
 }
 

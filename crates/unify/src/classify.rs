@@ -1,0 +1,248 @@
+//! Pattern-fragment classification and metavariable renaming/freezing.
+//!
+//! These helpers back the `hoas-analyze` static analyzer and the rewrite
+//! engine's fast path:
+//!
+//! * [`classify`] decides whether a term lies in Miller's **pattern
+//!   fragment** — every metavariable occurrence applied to a spine of
+//!   distinct λ-bound variables — where unification and matching are
+//!   decidable with most general solutions;
+//! * [`shift_metas`]/[`shift_menv`] rename a term's metavariables apart
+//!   from another term's, as needed before unifying two rule LHSs for
+//!   overlap (critical-pair) detection;
+//! * [`freeze_metas`] turns metavariables into fresh constants, producing
+//!   a ground instance suitable as a *matching target* (matching requires
+//!   meta-free subjects), as needed for shadowing and self-application
+//!   checks.
+
+use crate::problem::flex_view;
+use hoas_core::sig::Signature;
+use hoas_core::term::MetaEnv;
+use hoas_core::{Error as CoreError, MVar, Sym, Term, TyScheme};
+use std::collections::HashMap;
+
+/// The verdict of [`classify`]: which matching machinery a term admits.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PatternClass {
+    /// Within Miller's pattern fragment: every metavariable occurrence is
+    /// applied to distinct λ-bound variables. Unification/matching against
+    /// ground terms is decidable and deterministic.
+    Miller,
+    /// At least one metavariable occurrence falls outside the fragment
+    /// (applied to a non-variable, a repeated variable, or a variable
+    /// bound outside the term). General higher-order machinery is needed.
+    General,
+}
+
+impl std::fmt::Display for PatternClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternClass::Miller => write!(f, "miller-pattern"),
+            PatternClass::General => write!(f, "general-higher-order"),
+        }
+    }
+}
+
+/// Classifies a closed term (e.g. a rewrite-rule LHS).
+pub fn classify(t: &Term) -> PatternClass {
+    classify_at(t, 0)
+}
+
+/// Classifies a term with `local` enclosing binders already counted as
+/// bound (e.g. a λProlog clause atom under `local` universal goals).
+pub fn classify_at(t: &Term, local: u32) -> PatternClass {
+    if is_pattern_at(t, local) {
+        PatternClass::Miller
+    } else {
+        PatternClass::General
+    }
+}
+
+fn is_pattern_at(t: &Term, local: u32) -> bool {
+    // Meta-free subterms are vacuously inside the fragment.
+    if !t.has_metas() {
+        return true;
+    }
+    // A flexible spine is judged as a whole: `?M a₁ … aₙ` is in the
+    // fragment iff the aᵢ η-contract to distinct bound variables. The
+    // check must happen at the spine root — decomposing the applications
+    // pairwise would misjudge the head.
+    if let Some(view) = flex_view(t, local) {
+        return view.pattern_spine.is_some();
+    }
+    match t {
+        Term::Lam(_, b) => is_pattern_at(b, local + 1),
+        Term::App(f, a) => is_pattern_at(f, local) && is_pattern_at(a, local),
+        Term::Pair(a, b) => is_pattern_at(a, local) && is_pattern_at(b, local),
+        Term::Fst(p) | Term::Snd(p) => is_pattern_at(p, local),
+        // `head_spine` returns None on β-redex heads; their components are
+        // covered by the App case above. Leaves are meta-free (the Meta
+        // leaf is a flexible spine of arity 0, handled by `flex_view`).
+        Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => true,
+        Term::Meta(_) => unreachable!("flexible heads handled by flex_view"),
+    }
+}
+
+/// Renames every metavariable id in `t` upward by `offset`, preserving
+/// hints. Together with [`shift_menv`] this renames one rule's
+/// metavariables apart from another's before unifying their LHSs.
+pub fn shift_metas(t: &Term, offset: u32) -> Term {
+    if !t.has_metas() {
+        return t.clone();
+    }
+    match t {
+        Term::Meta(m) => Term::Meta(MVar::new(m.id() + offset, m.hint().clone())),
+        Term::Lam(h, b) => Term::lam(h.clone(), shift_metas(b, offset)),
+        Term::App(f, a) => Term::app(shift_metas(f, offset), shift_metas(a, offset)),
+        Term::Pair(a, b) => Term::pair(shift_metas(a, offset), shift_metas(b, offset)),
+        Term::Fst(p) => Term::fst(shift_metas(p, offset)),
+        Term::Snd(p) => Term::snd(shift_metas(p, offset)),
+        Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+/// The [`MetaEnv`] counterpart of [`shift_metas`].
+pub fn shift_menv(menv: &MetaEnv, offset: u32) -> MetaEnv {
+    menv.iter()
+        .map(|(m, ty)| (MVar::new(m.id() + offset, m.hint().clone()), ty.clone()))
+        .collect()
+}
+
+/// Replaces every metavariable of `t` by a fresh constant of the same
+/// type, declared in a clone of `sig`. The result is a most-general
+/// ground instance of `t`: matching some pattern against it succeeds iff
+/// the pattern matches *every* instance of `t`. Canonicity is preserved —
+/// constants are neutral heads exactly like the metavariables they
+/// replace.
+///
+/// # Errors
+///
+/// [`CoreError::UnknownMeta`] if `t` mentions a metavariable absent from
+/// `menv`; [`CoreError::Redeclared`] if a frozen name collides (the names
+/// contain `#`, which the signature parser never produces).
+pub fn freeze_metas(
+    sig: &Signature,
+    menv: &MetaEnv,
+    t: &Term,
+) -> Result<(Signature, Term), CoreError> {
+    let mut frozen_sig = sig.clone();
+    let mut names: HashMap<MVar, Sym> = HashMap::new();
+    for m in t.metas() {
+        let ty = menv
+            .get(&m)
+            .ok_or_else(|| CoreError::UnknownMeta { mvar: m.clone() })?;
+        let name = format!("{}#{}", m.hint(), m.id());
+        frozen_sig.declare_const(name.as_str(), TyScheme::mono(ty.clone()))?;
+        names.insert(m, Sym::new(name));
+    }
+    let frozen = substitute_metas(t, &names);
+    Ok((frozen_sig, frozen))
+}
+
+fn substitute_metas(t: &Term, names: &HashMap<MVar, Sym>) -> Term {
+    if !t.has_metas() {
+        return t.clone();
+    }
+    match t {
+        Term::Meta(m) => match names.get(m) {
+            Some(name) => Term::Const(name.clone()),
+            None => t.clone(),
+        },
+        Term::Lam(h, b) => Term::lam(h.clone(), substitute_metas(b, names)),
+        Term::App(f, a) => Term::app(substitute_metas(f, names), substitute_metas(a, names)),
+        Term::Pair(a, b) => Term::pair(substitute_metas(a, names), substitute_metas(b, names)),
+        Term::Fst(p) => Term::fst(substitute_metas(p, names)),
+        Term::Snd(p) => Term::snd(substitute_metas(p, names)),
+        Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => t.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hoas_core::Ty;
+
+    fn meta(id: u32, hint: &str) -> Term {
+        Term::Meta(MVar::new(id, hint))
+    }
+
+    #[test]
+    fn classify_miller_patterns() {
+        // and ?P (forall (λx. ?Q x))
+        let t = Term::apps(
+            Term::cnst("and"),
+            [
+                meta(0, "P"),
+                Term::app(
+                    Term::cnst("forall"),
+                    Term::lam("x", Term::app(meta(1, "Q"), Term::Var(0))),
+                ),
+            ],
+        );
+        assert_eq!(classify(&t), PatternClass::Miller);
+        // Ground terms are vacuously patterns.
+        assert_eq!(classify(&Term::cnst("c")), PatternClass::Miller);
+        // A bare meta is a pattern spine of arity 0.
+        assert_eq!(classify(&meta(0, "P")), PatternClass::Miller);
+    }
+
+    #[test]
+    fn classify_general_occurrences() {
+        // ?F ?U — meta applied to a non-variable.
+        let t = Term::app(meta(0, "F"), meta(1, "U"));
+        assert_eq!(classify(&t), PatternClass::General);
+        // λx. ?Q x x — repeated spine variable.
+        let t = Term::lam("x", Term::apps(meta(0, "Q"), [Term::Var(0), Term::Var(0)]));
+        assert_eq!(classify(&t), PatternClass::General);
+        // ?Q c — meta applied to a constant.
+        let t = Term::app(meta(0, "Q"), Term::cnst("c"));
+        assert_eq!(classify(&t), PatternClass::General);
+        // The verdict is judged at the spine root, so the bad occurrence
+        // is found under a rigid head too.
+        let t = Term::app(Term::cnst("not"), Term::app(meta(0, "F"), meta(1, "U")));
+        assert_eq!(classify(&t), PatternClass::General);
+    }
+
+    #[test]
+    fn classify_counts_enclosing_binders() {
+        // ?Q x with x bound *outside* the term: general at local = 0,
+        // pattern with one enclosing binder counted.
+        let t = Term::app(meta(0, "Q"), Term::Var(0));
+        assert_eq!(classify_at(&t, 0), PatternClass::General);
+        assert_eq!(classify_at(&t, 1), PatternClass::Miller);
+    }
+
+    #[test]
+    fn shift_renames_apart() {
+        let t = Term::app(meta(0, "P"), Term::app(meta(1, "Q"), Term::cnst("c")));
+        let shifted = shift_metas(&t, 10);
+        assert_eq!(
+            shifted.metas().iter().map(MVar::id).collect::<Vec<_>>(),
+            vec![10, 11]
+        );
+        let mut menv = MetaEnv::new();
+        menv.insert(MVar::new(0, "P"), Ty::base("o"));
+        let shifted_menv = shift_menv(&menv, 10);
+        assert_eq!(shifted_menv.keys().next().unwrap().id(), 10);
+    }
+
+    #[test]
+    fn freeze_produces_ground_instance() {
+        let mut sig = Signature::new();
+        sig.declare_type("o").unwrap();
+        sig.declare_const(
+            "and",
+            Ty::arrows([Ty::base("o"), Ty::base("o")], Ty::base("o")),
+        )
+        .unwrap();
+        let mut menv = MetaEnv::new();
+        menv.insert(MVar::new(0, "P"), Ty::base("o"));
+        menv.insert(MVar::new(1, "Q"), Ty::base("o"));
+        let t = Term::apps(Term::cnst("and"), [meta(0, "P"), meta(1, "Q")]);
+        let (fsig, frozen) = freeze_metas(&sig, &menv, &t).unwrap();
+        assert!(!frozen.has_metas());
+        assert!(fsig.has_const("P#0") && fsig.has_const("Q#1"));
+        // Unknown metas are reported.
+        assert!(freeze_metas(&sig, &MetaEnv::new(), &t).is_err());
+    }
+}

@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 pub mod antiunify;
+pub mod classify;
 pub mod error;
 pub mod huet;
 pub mod matching;

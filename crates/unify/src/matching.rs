@@ -10,11 +10,11 @@ use crate::error::UnifyError;
 use crate::huet::{self, HuetConfig};
 use crate::msubst::MetaSubst;
 use crate::pattern;
-use crate::problem::Constraint;
+use crate::problem::{flex_view, Constraint};
 use hoas_core::ctx::Ctx;
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
-use hoas_core::{Term, Ty};
+use hoas_core::{MVar, Sym, Term, Ty};
 
 /// Configuration for matching.
 #[derive(Clone, Copy, Debug)]
@@ -87,6 +87,158 @@ pub fn match_term(
         }
         Err(UnifyError::NotPattern { .. }) => Ok(None),
         Err(e) => Err(e),
+    }
+}
+
+/// Deterministic matching for **Miller-pattern** left-hand sides: a
+/// single lockstep descent over canonical `pattern` and ground `target`,
+/// solving each flexible spine by inversion on the spot. No signature,
+/// context, type, or metavariable environment is consulted — which is the
+/// point: unlike [`match_term`], no constraint canonicalization or
+/// environment cloning happens per attempt, so the rewrite engine can
+/// afford to call this on every subterm.
+///
+/// Both inputs must be canonical (η-long β-normal) at a common type, as
+/// rewrite-rule LHSs and rewrite subjects always are; `pattern` must be in
+/// the pattern fragment relative to its own binders (see
+/// [`crate::classify::classify`]). For such inputs the result agrees with
+/// [`match_term`] on match/no-match and on the substitution.
+///
+/// Returns `Ok(None)` if the terms do not match (including the
+/// vacuous-binder side condition: a spine omitting a bound variable that
+/// occurs in the target).
+///
+/// # Errors
+///
+/// [`UnifyError::IllTyped`] if `target` contains metavariables;
+/// [`UnifyError::NotPattern`] if `pattern` leaves the fragment.
+pub fn match_pattern(pattern: &Term, target: &Term) -> Result<Option<MetaSubst>, UnifyError> {
+    if target.has_metas() {
+        return Err(UnifyError::IllTyped(hoas_core::Error::UnknownMeta {
+            mvar: target.metas()[0].clone(),
+        }));
+    }
+    let mut binds: Vec<(MVar, Term)> = Vec::new();
+    if walk_pattern(pattern, target, 0, &mut binds)? {
+        let mut subst = MetaSubst::new();
+        for (m, sol) in binds {
+            subst.bind(m, sol);
+        }
+        Ok(Some(subst))
+    } else {
+        Ok(None)
+    }
+}
+
+/// Lockstep descent at `depth` binders below the match root. Returns
+/// whether the subterms match, accumulating metavariable solutions.
+fn walk_pattern(
+    p: &Term,
+    t: &Term,
+    depth: u32,
+    binds: &mut Vec<(MVar, Term)>,
+) -> Result<bool, UnifyError> {
+    // Ground pattern subtree: matching is syntactic equality (pointer
+    // fast path via shared nodes, then structure).
+    if !p.has_metas() {
+        return Ok(p == t);
+    }
+    // A flexible spine must be solved as a whole, *before* decomposing
+    // applications — `?Q x ≐ p c` matches (with `?Q := λx. p c`) even
+    // though a pairwise descent through the `App` nodes would refute it.
+    if let Some(view) = flex_view(p, depth) {
+        let Some(spine) = view.pattern_spine else {
+            return Err(UnifyError::not_pattern(p));
+        };
+        return solve_spine(&view.mvar, &spine, depth, t, binds);
+    }
+    match (p, t) {
+        (Term::Lam(_, pb), Term::Lam(_, tb)) => walk_pattern(pb, tb, depth + 1, binds),
+        (Term::App(pf, pa), Term::App(tf, ta)) => {
+            Ok(walk_pattern(pf, tf, depth, binds)? && walk_pattern(pa, ta, depth, binds)?)
+        }
+        (Term::Pair(pa, pb), Term::Pair(ta, tb)) => {
+            Ok(walk_pattern(pa, ta, depth, binds)? && walk_pattern(pb, tb, depth, binds)?)
+        }
+        (Term::Fst(pp), Term::Fst(tp)) | (Term::Snd(pp), Term::Snd(tp)) => {
+            walk_pattern(pp, tp, depth, binds)
+        }
+        // Shape mismatch (the pattern side has metas, so it is not a leaf).
+        _ => Ok(false),
+    }
+}
+
+/// Solves `?M x̄ ≐ t` at `local` binders by inverting `t` along the spine.
+/// A repeated occurrence of a bound metavariable must invert to the same
+/// solution (non-left-linear patterns compare ground solutions).
+fn solve_spine(
+    m: &MVar,
+    spine: &[u32],
+    local: u32,
+    t: &Term,
+    binds: &mut Vec<(MVar, Term)>,
+) -> Result<bool, UnifyError> {
+    let Some(body) = invert_ground(spine, local, t, 0) else {
+        // A constraint-local variable outside the spine occurs in `t`:
+        // the vacuous-binder side condition refutes the match.
+        return Ok(false);
+    };
+    let hints: Vec<Sym> = (0..spine.len())
+        .map(|i| Sym::new(format!("x{i}")))
+        .collect();
+    let sol = Term::lams(hints, body);
+    if let Some((_, prev)) = binds.iter().find(|(bm, _)| bm == m) {
+        Ok(*prev == sol)
+    } else {
+        binds.push((m.clone(), sol));
+        Ok(true)
+    }
+}
+
+/// [`pattern`]-style inversion specialized to ground targets: no pruning
+/// and no occurs check can be needed, so the only failure is a
+/// constraint-local variable escaping the spine (`None`). The variable
+/// mapping mirrors the pattern unifier's `invert`.
+fn invert_ground(spine: &[u32], local: u32, t: &Term, under: u32) -> Option<Term> {
+    let n = spine.len() as u32;
+    // Subterms closed under the traversed binders are fixed points of the
+    // inversion: share them.
+    if t.max_free() <= under {
+        return Some(t.clone());
+    }
+    match t {
+        Term::Var(i) => {
+            let i = *i;
+            if i < under {
+                Some(Term::Var(i))
+            } else {
+                let j = i - under;
+                if j < local {
+                    spine
+                        .iter()
+                        .position(|&s| s == j)
+                        .map(|k| Term::Var(under + (n - 1 - k as u32)))
+                } else {
+                    Some(Term::Var(under + n + (j - local)))
+                }
+            }
+        }
+        Term::Lam(h, b) => Some(Term::lam(
+            h.clone(),
+            invert_ground(spine, local, b, under + 1)?,
+        )),
+        Term::App(f, a) => Some(Term::app(
+            invert_ground(spine, local, f, under)?,
+            invert_ground(spine, local, a, under)?,
+        )),
+        Term::Pair(a, b) => Some(Term::pair(
+            invert_ground(spine, local, a, under)?,
+            invert_ground(spine, local, b, under)?,
+        )),
+        Term::Fst(p) => Some(Term::fst(invert_ground(spine, local, p, under)?)),
+        Term::Snd(p) => Some(Term::snd(invert_ground(spine, local, p, under)?)),
+        Term::Const(_) | Term::Int(_) | Term::Unit => Some(t.clone()),
+        Term::Meta(_) => unreachable!("targets are ground"),
     }
 }
 
@@ -316,6 +468,116 @@ mod tests {
             let want = normalize::canon_closed(&s, &target, &o()).unwrap();
             assert_eq!(inst, want);
         }
+    }
+
+    type AgreementCase = (
+        &'static [(&'static str, &'static str)],
+        &'static str,
+        &'static str,
+        bool,
+    );
+
+    #[test]
+    fn fast_path_agrees_with_general_matching() {
+        let cases: &[AgreementCase] = &[
+            (
+                &[("P", "o"), ("Q", "i -> o")],
+                r"and ?P (forall (\x. ?Q x))",
+                r"and r (forall (\x. p x))",
+                true,
+            ),
+            // Flexible spine must be solved at its root, not through the
+            // App nodes: ?Q x ≐ p a with x unused in the solution.
+            (
+                &[("Q", "i -> o")],
+                r"forall (\x. ?Q x)",
+                r"forall (\x. p a)",
+                true,
+            ),
+            // Vacuous-binder side condition.
+            (
+                &[("P", "o")],
+                r"forall (\x. ?P)",
+                r"forall (\x. p x)",
+                false,
+            ),
+            (&[("P", "o")], r"forall (\x. ?P)", r"forall (\x. r)", true),
+            // Non-linear pattern: equal vs unequal arguments.
+            (&[("P", "o")], "and ?P ?P", "and (or r r) (or r r)", true),
+            (&[("P", "o")], "and ?P ?P", "and r (or r r)", false),
+            // Head clash.
+            (&[("P", "o")], "and ?P r", "or r r", false),
+        ];
+        for (metas, pat, tgt, want) in cases {
+            let (s, menv, pat) = setup(metas, pat);
+            let target = parse_term(&s, tgt).unwrap().term;
+            let target = normalize::canon_closed(&s, &target, &o()).unwrap();
+            let pat = normalize::canon(&s, &menv, &Ctx::new(), &pat, &o()).unwrap();
+            let fast = match_pattern(&pat, &target).unwrap();
+            let general = match_term(
+                &s,
+                &menv,
+                &Ctx::new(),
+                &o(),
+                &pat,
+                &target,
+                &MatchConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(fast.is_some(), *want, "fast path on {pat} ≐ {target}");
+            assert_eq!(
+                fast.is_some(),
+                general.is_some(),
+                "agreement on {pat} ≐ {target}"
+            );
+            if let (Some(f), Some(_)) = (&fast, &general) {
+                // The fast path's substitution is a genuine matcher: it
+                // instantiates the pattern to the target.
+                let inst = normalize::canon_closed(&s, &f.apply(&pat), &o()).unwrap();
+                assert_eq!(inst, target);
+            }
+        }
+    }
+
+    #[test]
+    fn fast_path_under_ambient_binders() {
+        // The target may mention variables bound outside the match root;
+        // solutions carry them through unchanged.
+        let (s, menv, pat) = setup(&[("P", "o")], "and ?P ?P");
+        let target = Term::apps(Term::cnst("and"), [Term::Var(0), Term::Var(0)]);
+        let m = match_pattern(&pat, &target).unwrap().expect("should match");
+        let (_, sol) = m.iter().next().unwrap();
+        assert_eq!(sol, &Term::Var(0));
+        // And it agrees with the general matcher posed in that context.
+        let ctx = Ctx::new().push(Sym::new("x"), o());
+        let g = match_term(
+            &s,
+            &menv,
+            &ctx,
+            &o(),
+            &pat,
+            &target,
+            &MatchConfig::default(),
+        )
+        .unwrap()
+        .expect("should match");
+        assert_eq!(g.get(&pat.metas()[0]), m.get(&pat.metas()[0]));
+    }
+
+    #[test]
+    fn fast_path_rejects_bad_inputs() {
+        let (_, _, pat) = setup(&[("F", "i -> o")], "?F a");
+        // Outside the fragment: an explicit error, not a silent miss.
+        assert!(matches!(
+            match_pattern(&pat, &Term::cnst("r")),
+            Err(UnifyError::NotPattern { .. })
+        ));
+        // Targets must be ground.
+        let (_, _, pat2) = setup(&[("P", "o")], "?P");
+        assert!(matches!(
+            match_pattern(&pat2, &Term::Meta(MVar::new(9, "X"))),
+            Err(UnifyError::IllTyped(_))
+        ));
     }
 
     #[test]

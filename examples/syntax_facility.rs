@@ -59,7 +59,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &[("V", "e"), ("B", "e -> e")],
         r"letx ?V (\x. ?B x)",
         "?B ?V",
-    )?);
+    )?)?;
     let engine = Engine::new(&sig, &rules);
     let out = engine.normalize(&parse_ty("e")?, &encoded)?;
     println!(

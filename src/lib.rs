@@ -23,6 +23,7 @@
 //! | [`langs`] | object languages (λ-calculus, first-order logic, Mini-ML, an imperative language) with adequate encodings |
 //! | [`syntaxdef`] | the Ergo-style "syntax" facility: grammar declarations compiled to signatures with generic encode/decode |
 //! | [`firstorder`] | the conventional first-order representation the paper compares against |
+//! | [`analyze`] | static analysis: pattern-fragment classification, rule-set lints, overlap detection, kernel annotation validation (`hoas-analyze` CLI) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use hoas_analyze as analyze;
 pub use hoas_core as core;
 pub use hoas_firstorder as firstorder;
 pub use hoas_langs as langs;

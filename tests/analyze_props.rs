@@ -1,0 +1,172 @@
+//! Property tests for the static-analysis layer (PR 3).
+//!
+//! Three families of properties back the `hoas-analyze` checks:
+//!
+//! 1. *Generalization stays in the fragment*: replacing formula subterms
+//!    of a random closed FOL formula with fresh metavariables applied to
+//!    every enclosing binder yields a Miller pattern — the construction
+//!    the analyzer's HA001 classification and the engine's fast path both
+//!    rely on.
+//! 2. *Matcher agreement*: on such patterns the deterministic pattern
+//!    matcher and the general (Huet-capable) matcher agree on
+//!    match/no-match and on the substitution, against both the formula
+//!    the pattern was carved from and an unrelated formula.
+//! 3. *Annotation validator*: `validate::check_term` accepts everything
+//!    the kernel produces (parse, shift/subst, normalization) and rejects
+//!    nodes whose cached annotations lie, built through the test-only
+//!    backdoor.
+
+use hoas::core::prelude::*;
+use hoas::core::{validate, TermRef};
+use hoas::langs::{fol, lambda};
+use hoas::unify::classify::{classify, PatternClass};
+use hoas::unify::matching::{match_pattern, match_term, MatchConfig};
+use hoas_testkit::prelude::*;
+
+/// Replaces formula-typed subterms of an encoded FOL formula with fresh
+/// metavariables applied to every enclosing bound variable (outermost
+/// first). The spine lists distinct variables, so the result is a Miller
+/// pattern; because the spine is *complete*, matching the pattern against
+/// the original formula can never fail on the vacuous-binder condition.
+fn generalize(
+    t: &Term,
+    depth: u32,
+    rng: &mut SmallRng,
+    next_meta: &mut u32,
+    menv: &mut MetaEnv,
+) -> Term {
+    if rng.gen_bool(0.3) {
+        let id = *next_meta;
+        *next_meta += 1;
+        let m = MVar::new(id, format!("M{id}"));
+        menv.insert(
+            m.clone(),
+            Ty::arrows((0..depth).map(|_| fol::i()), fol::o()),
+        );
+        return Term::apps(Term::Meta(m), (0..depth).rev().map(Term::Var));
+    }
+    match t {
+        Term::App(f, a) => match f.as_ref() {
+            Term::Const(c) if c.as_str() == "not" => Term::app(
+                Term::cnst("not"),
+                generalize(a, depth, rng, next_meta, menv),
+            ),
+            Term::Const(c) if c.as_str() == "forall" || c.as_str() == "exists" => {
+                let Term::Lam(h, b) = a.as_ref() else {
+                    return t.clone();
+                };
+                Term::app(
+                    Term::cnst(c.as_str()),
+                    Term::lam(h.clone(), generalize(b, depth + 1, rng, next_meta, menv)),
+                )
+            }
+            Term::App(g, l) => match g.as_ref() {
+                Term::Const(c) if matches!(c.as_str(), "and" | "or" | "imp") => Term::apps(
+                    Term::cnst(c.as_str()),
+                    [
+                        generalize(l, depth, rng, next_meta, menv),
+                        generalize(a, depth, rng, next_meta, menv),
+                    ],
+                ),
+                // Binary predicate atom: individuals stay concrete.
+                _ => t.clone(),
+            },
+            // Unary predicate atom.
+            _ => t.clone(),
+        },
+        // Nullary predicate (`r`).
+        _ => t.clone(),
+    }
+}
+
+/// A random closed formula, its signature, and a generalized (Miller)
+/// pattern carved out of it with the accompanying metavariable types.
+fn generalized(seed: u64, depth: u32) -> (Signature, MetaEnv, Term, Term) {
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let orig = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+    let mut menv = MetaEnv::new();
+    let mut next_meta = 0;
+    let pat = generalize(&orig, 0, &mut rng, &mut next_meta, &mut menv);
+    (sig, menv, orig, pat)
+}
+
+/// Well-typed closed terms of type `tm`, via the λ-calculus generator.
+fn well_typed_term(seed: u64, size: usize) -> Term {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
+}
+
+props! {
+    #![cases(128)]
+
+    fn generalized_formulas_are_miller_patterns(seed in seeds(), depth in 1u32..5) {
+        let (_, _, _, pat) = generalized(seed, depth);
+        prop_assert_eq!(classify(&pat), PatternClass::Miller);
+    }
+
+    fn pattern_matcher_recovers_the_generalized_formula(seed in seeds(), depth in 1u32..5) {
+        let (_, _, orig, pat) = generalized(seed, depth);
+        let sub = match_pattern(&pat, &orig).unwrap();
+        prop_assert!(sub.is_some(), "a pattern matches what it generalizes");
+        prop_assert_eq!(sub.unwrap().apply(&pat), orig);
+    }
+
+    fn pattern_and_general_matcher_agree(seed in seeds(), depth in 1u32..5) {
+        let (sig, menv, orig, pat) = generalized(seed, depth);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x5EED);
+        let vocab = fol::Vocabulary::small();
+        let other = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        for target in [&orig, &other] {
+            let fast = match_pattern(&pat, target).unwrap();
+            let general = match_term(
+                &sig,
+                &menv,
+                &Ctx::new(),
+                &fol::o(),
+                &pat,
+                target,
+                &MatchConfig::default(),
+            )
+            .unwrap();
+            prop_assert_eq!(fast.is_some(), general.is_some());
+            if let (Some(f), Some(g)) = (&fast, &general) {
+                for (m, _) in menv.iter() {
+                    prop_assert_eq!(f.get(m), g.get(m));
+                }
+                prop_assert_eq!(&f.apply(&pat), target);
+            }
+        }
+    }
+
+    fn validator_accepts_kernel_outputs(seed in seeds(), size in 2usize..30) {
+        let sig = lambda::signature();
+        let t = well_typed_term(seed, size);
+        let reparsed = parse_term(sig, &t.to_string()).unwrap().term;
+        prop_assert!(validate::check_term(&reparsed).is_ok());
+        let body = Term::apps(Term::cnst("app"), [Term::Var(0), subst::shift(&t, 1)]);
+        let arg = well_typed_term(seed.wrapping_add(1), size / 2 + 2);
+        prop_assert!(validate::check_term(&subst::instantiate(&body, &arg)).is_ok());
+        let redex = Term::app(Term::lam("y", Term::Var(0)), t);
+        prop_assert!(validate::check_term(&normalize::nf(&redex)).is_ok());
+    }
+
+    fn validator_rejects_corrupted_annotations(seed in seeds(), size in 2usize..30) {
+        let t = well_typed_term(seed, size);
+        // A closed, meta-free, β-normal term annotated as open: the lie
+        // is one field; the other two caches stay truthful.
+        let lies = TermRef::new_with_annotations_for_tests(t.clone(), t.max_free() + 1, false, true);
+        let err = validate::check_term(&Term::Fst(lies)).unwrap_err();
+        prop_assert_eq!(err.field, "max_free");
+        // The same term annotated as containing a metavariable.
+        let lies = TermRef::new_with_annotations_for_tests(t.clone(), t.max_free(), true, true);
+        let err = validate::check_term(&Term::Snd(lies)).unwrap_err();
+        prop_assert_eq!(err.field, "has_meta");
+        // A β-redex annotated as normal.
+        let redex = Term::app(Term::lam("y", Term::Var(0)), t);
+        let lies = TermRef::new_with_annotations_for_tests(redex, 0, false, true);
+        let err = validate::check_term(&Term::Fst(lies)).unwrap_err();
+        prop_assert_eq!(err.field, "beta_normal");
+    }
+}

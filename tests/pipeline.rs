@@ -117,17 +117,19 @@ fn syntaxdef_language_drives_the_rewrite_engine() {
 
     let mut rules = hoas::rewrite::RuleSet::new();
     // Dead let via vacuous binder — against a *generated* signature.
-    rules.push(
-        hoas::rewrite::Rule::parse(
-            &sig,
-            "dead-let",
-            &parse_ty("e").unwrap(),
-            &[("V", "e"), ("B", "e")],
-            r"letx ?V (\x. ?B)",
-            "?B",
+    rules
+        .push(
+            hoas::rewrite::Rule::parse(
+                &sig,
+                "dead-let",
+                &parse_ty("e").unwrap(),
+                &[("V", "e"), ("B", "e")],
+                r"letx ?V (\x. ?B)",
+                "?B",
+            )
+            .unwrap(),
         )
-        .unwrap(),
-    );
+        .unwrap();
     let engine = Engine::new(&sig, &rules);
 
     let tree = Tree::Node(
@@ -312,7 +314,7 @@ fn rule_synthesis_by_anti_unification() {
     )
     .unwrap();
     let mut rules = hoas::rewrite::RuleSet::new();
-    rules.push(rule);
+    rules.push(rule).unwrap();
     let engine = Engine::new(&sig, &rules);
 
     // Reproduces both training examples…

@@ -122,7 +122,7 @@ props! {
             let metas: Vec<(&str, &str)> =
                 sp.vars.iter().map(|(v, t)| (v.as_str(), t.as_str())).collect();
             let ty = parse_ty(&sp.ty).unwrap();
-            rules.push(Rule::parse(&sig, &sp.name, &ty, &metas, &sp.lhs, &sp.rhs).unwrap());
+            rules.push(Rule::parse(&sig, &sp.name, &ty, &metas, &sp.lhs, &sp.rhs).unwrap()).unwrap();
         }
         if rules.is_empty() {
             return Ok(());
