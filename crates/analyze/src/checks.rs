@@ -16,7 +16,7 @@ use std::collections::BTreeSet;
 pub fn check_ruleset(target: &str, sig: &Signature, rs: &RuleSet) -> Report {
     let mut report = Report::new(target);
     push_analysis(&mut report, &rs.analyze(sig));
-    for rule in &rs.rules {
+    for rule in rs.rules() {
         for (side, t) in [("lhs", rule.lhs()), ("rhs", rule.rhs())] {
             if let Err(e) = validate::check_term(t) {
                 report.push("HA010", rule.name(), format!("{side}: {e}"));
@@ -25,9 +25,9 @@ pub fn check_ruleset(target: &str, sig: &Signature, rs: &RuleSet) -> Report {
     }
     // Native rules mention constants only inside opaque Rust closures, so
     // "never mentioned" cannot be decided for sets that have any.
-    if rs.native.is_empty() {
+    if rs.native_rules().is_empty() {
         let used = rs
-            .rules
+            .rules()
             .iter()
             .flat_map(|r| r.lhs().constants().into_iter().chain(r.rhs().constants()))
             .map(|c| c.as_str().to_string())

@@ -1,0 +1,49 @@
+//! `cache-smoke` — CI gate for the rewrite engine's normal-form cache.
+//!
+//! Runs the prenex bench workload (the same instances as the `prenex`
+//! Criterion group) through one `Engine` and asserts a nonzero cache-hit
+//! rate: the restart-from-root normalization loop revisits already-proven
+//! subtrees on every pass, so a healthy cache must hit. Exits nonzero if
+//! the cache never fires — the regression this guards against is a cache
+//! that silently stops being consulted (e.g. a key change that never
+//! matches), which would show up only as a slow bench otherwise.
+//!
+//! Run with `cargo run --release -p hoas-bench --bin cache-smoke`.
+
+use hoas_bench::workloads;
+use hoas_langs::fol;
+use hoas_rewrite::rulesets::fol_prenex;
+use hoas_rewrite::Engine;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, 5, 10);
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let engine = Engine::new(&sig, &rules);
+    for f in &fs {
+        let encoded = fol::encode(f).expect("closed");
+        let out = engine.normalize(&fol::o(), &encoded).expect("well-typed");
+        assert!(out.fixpoint, "prenex workload must normalize");
+    }
+    let stats = engine.stats();
+    println!(
+        "cache-smoke: prenex depth-5 workload: {} nodes visited, \
+         {} lookups, {} hits ({:.1}% hit rate), {} misses",
+        stats.nodes_visited,
+        stats.cache_lookups,
+        stats.cache_hits,
+        100.0 * stats.cache_hit_rate(),
+        stats.cache_misses,
+    );
+    if stats.cache_hits + stats.cache_misses != stats.cache_lookups {
+        eprintln!("cache-smoke: FAIL — hits + misses != lookups");
+        return ExitCode::FAILURE;
+    }
+    if stats.cache_hits == 0 {
+        eprintln!("cache-smoke: FAIL — the normal-form cache never hit on the prenex workload");
+        return ExitCode::FAILURE;
+    }
+    println!("cache-smoke: ok");
+    ExitCode::SUCCESS
+}

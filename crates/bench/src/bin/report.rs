@@ -7,13 +7,14 @@
 //! iterations — shapes (who wins, by what factor, where crossovers fall)
 //! are the reproduction target, not absolute values.
 
-use hoas_bench::{baseline, workloads};
+use hoas_bench::{baseline, history, workloads};
 use hoas_core::prelude::*;
 use hoas_langs::{fol, imp, lambda, miniml};
 use hoas_rewrite::rulesets::{fol_prenex, imp_opt};
 use hoas_rewrite::Engine;
 use hoas_unify::huet::{pre_unify_terms, HuetConfig};
 use hoas_unify::pattern;
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 fn median(mut xs: Vec<Duration>) -> Duration {
@@ -49,6 +50,68 @@ fn main() {
     e7_encode();
     e8_miniml();
     e9_logic();
+    perf_history();
+}
+
+/// Diffs the two most recent committed `BENCH_pr*.json` baselines and
+/// prints per-suite speedups (geometric mean over the benchmarks both
+/// files share), plus the per-bench extremes.
+fn perf_history() {
+    let baselines = history::committed_baselines(std::path::Path::new("."));
+    let [.., prev, last] = baselines.as_slice() else {
+        println!(
+            "## Perf history: fewer than two committed BENCH_pr*.json baselines, nothing to diff\n"
+        );
+        return;
+    };
+    println!(
+        "## Perf history — {} vs {} (speedup = before/after)",
+        last.name, prev.name
+    );
+    let before: BTreeMap<&str, u128> = prev
+        .entries
+        .iter()
+        .map(|(id, ns)| (id.as_str(), *ns))
+        .collect();
+    let mut suites: BTreeMap<&str, Vec<(&str, f64)>> = BTreeMap::new();
+    for (id, after_ns) in &last.entries {
+        let Some(&before_ns) = before.get(id.as_str()) else {
+            continue;
+        };
+        let speedup = before_ns as f64 / (*after_ns).max(1) as f64;
+        suites
+            .entry(history::suite(id))
+            .or_default()
+            .push((id.as_str(), speedup));
+    }
+    println!(
+        "{:>20} {:>8} {:>10} {:>28} {:>28}",
+        "suite", "benches", "geomean", "worst (id)", "best (id)"
+    );
+    for (suite, members) in &suites {
+        let geomean =
+            (members.iter().map(|(_, s)| s.ln()).sum::<f64>() / members.len() as f64).exp();
+        let (worst_id, worst) = members
+            .iter()
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+        let (best_id, best) = members
+            .iter()
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("nonempty");
+        let short = |id: &str| {
+            id.split_once('/')
+                .map_or_else(|| id.to_string(), |(_, r)| r.to_string())
+        };
+        println!(
+            "{suite:>20} {:>8} {geomean:>9.2}x {:>28} {:>28}",
+            members.len(),
+            format!("{:.2}x ({})", worst, short(worst_id)),
+            format!("{:.2}x ({})", best, short(best_id)),
+        );
+    }
+    println!("# speedups > 1 are improvements; the committed gate is ≥2x on the rewrite-engine");
+    println!("# suites and ≥0.9x everywhere else.\n");
 }
 
 fn e1_capture() {

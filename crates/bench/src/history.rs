@@ -1,0 +1,131 @@
+//! Parsing and diffing of committed `BENCH_pr*.json` perf baselines.
+//!
+//! Each PR that touches performance commits a `BENCH_pr<N>.json` at the
+//! workspace root (written by the `bench-baseline` bin). The files are
+//! line-oriented JSON — one `{"id": ..., "median_ns": ...}` object per
+//! line — so a scan suffices; no general JSON parser is needed (nor
+//! available offline).
+
+use std::path::Path;
+
+/// One committed baseline file: its PR number and `(id, median_ns)`
+/// entries.
+pub struct Baseline {
+    /// The `N` of `BENCH_pr<N>.json`.
+    pub pr: u32,
+    /// File name (for display).
+    pub name: String,
+    /// Benchmark medians, keyed by `group/function/param` id.
+    pub entries: Vec<(String, u128)>,
+}
+
+/// Extracts `(id, median_ns)` pairs from a `HOAS_BENCH_JSON` report or a
+/// committed `BENCH_pr*.json`.
+pub fn parse_report(text: &str) -> Vec<(String, u128)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(id) = field_str(line, "id") else {
+            continue;
+        };
+        let Some(median) = field_u128(line, "median_ns") else {
+            continue;
+        };
+        out.push((id, median));
+    }
+    out
+}
+
+/// The string value of `"key": "..."` on a single JSON line.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find('"')?;
+    // Ids produced by the harness never contain escapes; reject if one
+    // sneaks in rather than mis-parse.
+    let s = &rest[..end];
+    if s.ends_with('\\') {
+        return None;
+    }
+    Some(s.to_string())
+}
+
+/// The integer value of `"key": 123` on a single JSON line.
+pub fn field_u128(line: &str, key: &str) -> Option<u128> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits.parse().ok()
+}
+
+/// Loads every `BENCH_pr<N>.json` in `dir`, sorted by PR number.
+pub fn committed_baselines(dir: &Path) -> Vec<Baseline> {
+    let mut out = Vec::new();
+    let Ok(read) = std::fs::read_dir(dir) else {
+        return out;
+    };
+    for entry in read.flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        let Some(pr) = name
+            .strip_prefix("BENCH_pr")
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|n| n.parse::<u32>().ok())
+        else {
+            continue;
+        };
+        let Ok(text) = std::fs::read_to_string(entry.path()) else {
+            continue;
+        };
+        out.push(Baseline {
+            pr,
+            name,
+            entries: parse_report(&text),
+        });
+    }
+    out.sort_by_key(|b| b.pr);
+    out
+}
+
+/// The suite of a benchmark id: the `group` prefix of `group/function/param`.
+pub fn suite(id: &str) -> &str {
+    id.split('/').next().unwrap_or(id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_line_oriented_reports() {
+        let text = concat!(
+            "[\n",
+            "  {\"id\": \"prenex/hoas-rules/3\", \"median_ns\": 227931},\n",
+            "  {\"id\": \"imp-opt/native/4\", \"median_ns\": 12, \"speedup\": 1.50}\n",
+            "]\n"
+        );
+        let entries = parse_report(text);
+        assert_eq!(
+            entries,
+            vec![
+                ("prenex/hoas-rules/3".to_string(), 227931),
+                ("imp-opt/native/4".to_string(), 12),
+            ]
+        );
+    }
+
+    #[test]
+    fn suite_is_the_group_prefix() {
+        assert_eq!(suite("prenex/hoas-rules/3"), "prenex");
+        assert_eq!(suite("strategy-ablation/outermost"), "strategy-ablation");
+        assert_eq!(suite("bare"), "bare");
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped() {
+        let entries = parse_report("{\"id\": \"x\\\\\", \"median_ns\": 1}\nnot json\n");
+        assert!(entries.is_empty());
+    }
+}

@@ -8,7 +8,9 @@
 //! * [`baseline`] — hand-written **first-order** implementations of the
 //!   paper's transformations (prenex normal form with explicit renaming,
 //!   an imperative-language optimizer on the named AST). These are the
-//!   comparators: the code HOAS renders unnecessary.
+//!   comparators: the code HOAS renders unnecessary;
+//! * [`history`] — parsing and diffing of the committed `BENCH_pr*.json`
+//!   perf baselines, shared by the `report` and `bench-baseline` bins.
 //!
 //! Run `cargo run --release -p hoas-bench --bin report` to regenerate
 //! every experiment table, or `cargo bench` for the Criterion series.
@@ -17,4 +19,5 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod history;
 pub mod workloads;

@@ -26,6 +26,8 @@ use crate::sig::Signature;
 use crate::subst::shift;
 use crate::term::{MetaEnv, Term, TermRef};
 use crate::ty::Ty;
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
 
 /// Applies a function term to an argument, contracting the β-redex (and
 /// any redexes the substitution creates) if the function is a λ.
@@ -311,7 +313,7 @@ pub fn eta_contract(t: &Term) -> Term {
 /// needs the type of every neutral head to expand its arguments).
 pub fn canon(sig: &Signature, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, Error> {
     let t = TermRef::new(nf(t));
-    let out = eta_long(sig, menv, ctx, &t, ty).map(TermRef::into_term)?;
+    let out = eta_long(sig, menv, ctx, &t, ty, None).map(TermRef::into_term)?;
     // Debug builds validate the cached annotations of every
     // canonicalization result against a naive recomputation.
     crate::validate::debug_assert_valid(&out);
@@ -323,20 +325,219 @@ pub fn canon_closed(sig: &Signature, t: &Term, ty: &Ty) -> Result<Term, Error> {
     canon(sig, &MetaEnv::new(), &Ctx::new(), t, ty)
 }
 
+/// [`canon`] with a memo table: subtrees the cache has already proven
+/// canonical (by pointer identity) are returned in O(1) instead of being
+/// re-traversed.
+///
+/// This is what makes repeated canonicalization of rewrite-step
+/// replacements cheap: the metavariable substitution shares matched
+/// subject subtrees as the *same* `Rc` nodes, so after the subject has
+/// been canonicalized once, each later [`canon_with`] call only pays for
+/// the fresh nodes of the rule's right-hand-side skeleton.
+///
+/// # Errors
+///
+/// Same contract as [`canon`].
+pub fn canon_with(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &Term,
+    ty: &Ty,
+    cache: &CanonCache,
+) -> Result<Term, Error> {
+    let t = TermRef::new(nf(t));
+    let out = eta_long(sig, menv, ctx, &t, ty, Some(cache)).map(TermRef::into_term)?;
+    crate::validate::debug_assert_valid(&out);
+    Ok(out)
+}
+
+/// Upper bound on memoized canonical-form entries; the table is cleared
+/// wholesale when it fills (clearing is always sound — the cache is a
+/// pure optimization).
+const CANON_CACHE_CAP: usize = 1 << 20;
+
+/// A pointer-keyed memo table for [`canon_with`].
+///
+/// Each entry maps a specific term *node* to its canonical form at a
+/// specific type, together with everything the η-expander read while
+/// computing it:
+///
+/// * the type the node was canonicalized at,
+/// * the types of its free de Bruijn variables in the ambient context
+///   (the only part of the context [`canon`] consults — binder name
+///   hints never influence the result),
+/// * the keyed node itself as a keep-alive `TermRef`, so its address
+///   cannot be recycled by a later allocation while the entry is live.
+///
+/// Already-canonical nodes map to themselves, so a table warmed by one
+/// [`canon_with`] call answers in O(1) both for re-canonicalizations of
+/// the same source node and for canonical subtrees that rewrite-step
+/// replacements share by pointer.
+///
+/// Pointer identity is a sound key because smart constructors are the
+/// sole builders of term nodes: a given address holds one immutable node
+/// for as long as any `Rc` to it exists, and the entry itself holds one.
+/// Nodes containing metavariables are never cached (their canonical form
+/// depends on the meta environment). A cache must only ever be used with
+/// a single signature; [`canon_with`] callers own that pairing.
+#[derive(Debug, Default, Clone)]
+pub struct CanonCache {
+    entries: RefCell<HashMap<usize, Vec<CanonEntry>>>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+#[derive(Debug, Clone)]
+struct CanonEntry {
+    ty: Ty,
+    free_tys: Vec<Ty>,
+    /// The keyed node, pinned so its address stays valid.
+    #[allow(dead_code)]
+    input: TermRef,
+    /// Canonical form of `input` at `ty` (possibly `input` itself).
+    result: TermRef,
+}
+
+impl CanonCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of lookups answered from the table.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Number of lookups that fell through to a real traversal.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Does `e` memoize canonicalization at `ty` for a node with `n`
+    /// free variables whose types in `ctx` match the recorded ones?
+    fn entry_matches(e: &CanonEntry, ctx: &Ctx, ty: &Ty, n: u32) -> bool {
+        e.ty == *ty
+            && e.free_tys.len() == n as usize
+            && e.free_tys
+                .iter()
+                .enumerate()
+                .all(|(i, fty)| ctx.lookup(i as u32).is_some_and(|(_, t2)| t2 == fty))
+    }
+
+    fn lookup(&self, ctx: &Ctx, t: &TermRef, ty: &Ty) -> Option<TermRef> {
+        let entries = self.entries.borrow();
+        let hit = entries.get(&t.addr()).and_then(|v| {
+            v.iter()
+                .find(|e| Self::entry_matches(e, ctx, ty, t.max_free()))
+        });
+        match hit {
+            Some(e) => {
+                self.hits.set(self.hits.get() + 1);
+                Some(e.result.clone())
+            }
+            None => {
+                self.misses.set(self.misses.get() + 1);
+                None
+            }
+        }
+    }
+
+    /// Records `key ↦ result` at `ty` in `ctx`. Skips nodes whose
+    /// free-variable types cannot all be resolved (nothing to replay
+    /// against), nodes containing metavariables, and identity mappings on
+    /// childless nodes (re-proving a leaf is as cheap as a table probe).
+    fn insert(&self, ctx: &Ctx, key: &TermRef, result: &TermRef, ty: &Ty) {
+        if key.has_meta() || result.has_meta() {
+            return;
+        }
+        if TermRef::ptr_eq(key, result)
+            && matches!(
+                key.as_ref(),
+                Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit
+            )
+        {
+            return;
+        }
+        let free_tys: Option<Vec<Ty>> = (0..key.max_free())
+            .map(|i| ctx.lookup(i).map(|(_, fty)| fty.clone()))
+            .collect();
+        let Some(free_tys) = free_tys else { return };
+        let mut entries = self.entries.borrow_mut();
+        if entries.len() >= CANON_CACHE_CAP {
+            entries.clear();
+        }
+        let bucket = entries.entry(key.addr()).or_default();
+        if bucket
+            .iter()
+            .any(|e| Self::entry_matches(e, ctx, ty, key.max_free()))
+        {
+            return;
+        }
+        bucket.push(CanonEntry {
+            ty: ty.clone(),
+            free_tys,
+            input: key.clone(),
+            result: result.clone(),
+        });
+    }
+}
+
 /// Already-η-long subterms come back as the input `Rc` (pointer-equal),
 /// so canonicalizing a canonical term allocates nothing below the root.
+///
+/// With a `cache`, subtrees already proven canonical at this type (under
+/// a context binding their free variables at the same types) short-cut
+/// in O(1) without being traversed at all; every freshly proven subtree
+/// is recorded on the way out.
 fn eta_long(
     sig: &Signature,
     menv: &MetaEnv,
     ctx: &Ctx,
     t: &TermRef,
     ty: &Ty,
+    cache: Option<&CanonCache>,
+) -> Result<TermRef, Error> {
+    if let Some(c) = cache {
+        if !t.has_meta() {
+            if let Some(hit) = c.lookup(ctx, t, ty) {
+                return Ok(hit);
+            }
+        }
+    }
+    let out = eta_long_node(sig, menv, ctx, t, ty, cache)?;
+    if let Some(c) = cache {
+        // Record both directions: the source node maps to its canonical
+        // form (so re-canonicalizing the same source is O(1)), and the
+        // canonical form maps to itself (so replacements sharing it by
+        // pointer short-cut).
+        c.insert(ctx, t, &out, ty);
+        if !TermRef::ptr_eq(t, &out) {
+            c.insert(ctx, &out, &out, ty);
+        }
+    }
+    Ok(out)
+}
+
+/// One node of the η-long traversal; callers go through [`eta_long`],
+/// which wraps this with the memo lookup/insert.
+fn eta_long_node(
+    sig: &Signature,
+    menv: &MetaEnv,
+    ctx: &Ctx,
+    t: &TermRef,
+    ty: &Ty,
+    cache: Option<&CanonCache>,
 ) -> Result<TermRef, Error> {
     match ty {
         Ty::Arrow(dom, cod) => match t.as_ref() {
             Term::Lam(h, b) => {
                 let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
-                let b2 = eta_long(sig, menv, &ctx2, b, cod)?;
+                let b2 = eta_long(sig, menv, &ctx2, b, cod, cache)?;
                 if TermRef::ptr_eq(&b2, b) {
                     Ok(t.clone())
                 } else {
@@ -349,14 +550,14 @@ fn eta_long(
                 let ctx2 = ctx.push(hint.clone(), dom.as_ref().clone());
                 let body = Term::app(shift(t, 1), Term::Var(0));
                 let body = TermRef::new(nf(&body));
-                let body = eta_long(sig, menv, &ctx2, &body, cod)?;
+                let body = eta_long(sig, menv, &ctx2, &body, cod, cache)?;
                 Ok(TermRef::new(Term::lam(hint, body)))
             }
         },
         Ty::Prod(a, b) => match t.as_ref() {
             Term::Pair(x, y) => {
-                let x2 = eta_long(sig, menv, ctx, x, a)?;
-                let y2 = eta_long(sig, menv, ctx, y, b)?;
+                let x2 = eta_long(sig, menv, ctx, x, a, cache)?;
+                let y2 = eta_long(sig, menv, ctx, y, b, cache)?;
                 if TermRef::ptr_eq(&x2, x) && TermRef::ptr_eq(&y2, y) {
                     Ok(t.clone())
                 } else {
@@ -367,8 +568,8 @@ fn eta_long(
                 let x = TermRef::new(hfst(t.as_ref().clone()));
                 let y = TermRef::new(hsnd(t.as_ref().clone()));
                 Ok(TermRef::new(Term::pair(
-                    eta_long(sig, menv, ctx, &x, a)?,
-                    eta_long(sig, menv, ctx, &y, b)?,
+                    eta_long(sig, menv, ctx, &x, a, cache)?,
+                    eta_long(sig, menv, ctx, &y, b, cache)?,
                 )))
             }
         },
@@ -393,7 +594,7 @@ fn eta_long(
                     found: Ty::Unit,
                 }),
                 _ => {
-                    let (t2, found) = eta_long_neutral(sig, menv, ctx, t)?;
+                    let (t2, found) = eta_long_neutral(sig, menv, ctx, t, cache)?;
                     if matches!(ty, Ty::Var(_)) || &found == ty || matches!(found, Ty::Var(_)) {
                         Ok(t2)
                     } else {
@@ -415,6 +616,7 @@ fn eta_long_neutral(
     menv: &MetaEnv,
     ctx: &Ctx,
     t: &TermRef,
+    cache: Option<&CanonCache>,
 ) -> Result<(TermRef, Ty), Error> {
     match t.as_ref() {
         Term::Var(i) => {
@@ -441,10 +643,10 @@ fn eta_long_neutral(
             Ok((t.clone(), ty.clone()))
         }
         Term::App(f, a) => {
-            let (f2, fty) = eta_long_neutral(sig, menv, ctx, f)?;
+            let (f2, fty) = eta_long_neutral(sig, menv, ctx, f, cache)?;
             match fty {
                 Ty::Arrow(dom, cod) => {
-                    let a2 = eta_long(sig, menv, ctx, a, &dom)?;
+                    let a2 = eta_long(sig, menv, ctx, a, &dom, cache)?;
                     if TermRef::ptr_eq(&f2, f) && TermRef::ptr_eq(&a2, a) {
                         Ok((t.clone(), *cod))
                     } else {
@@ -455,7 +657,7 @@ fn eta_long_neutral(
             }
         }
         Term::Fst(p) => {
-            let (p2, pty) = eta_long_neutral(sig, menv, ctx, p)?;
+            let (p2, pty) = eta_long_neutral(sig, menv, ctx, p, cache)?;
             match pty {
                 Ty::Prod(a, _) => {
                     if TermRef::ptr_eq(&p2, p) {
@@ -468,7 +670,7 @@ fn eta_long_neutral(
             }
         }
         Term::Snd(p) => {
-            let (p2, pty) = eta_long_neutral(sig, menv, ctx, p)?;
+            let (p2, pty) = eta_long_neutral(sig, menv, ctx, p, cache)?;
             match pty {
                 Ty::Prod(_, b) => {
                     if TermRef::ptr_eq(&p2, p) {

@@ -172,6 +172,16 @@ impl TermRef {
         Rc::ptr_eq(&a.0, &b.0)
     }
 
+    /// The node's address, usable as a pointer-identity map key.
+    ///
+    /// Two live refs have equal addresses iff [`TermRef::ptr_eq`] holds.
+    /// The address is only meaningful while some ref keeps the node
+    /// alive: a key derived from it must not outlive the last clone of
+    /// this ref, or a later allocation may reuse the address.
+    pub fn addr(&self) -> usize {
+        Rc::as_ptr(&self.0) as usize
+    }
+
     /// Extracts the term, avoiding a clone when this is the last reference.
     /// The fallback clone is *shallow* (children stay shared).
     pub fn into_term(self) -> Term {
@@ -383,6 +393,24 @@ impl Term {
         }
         args.reverse();
         (cur, args)
+    }
+
+    /// Like [`Term::spine`], but exposes the shared [`TermRef`] nodes of
+    /// the application chain: returns the head and, innermost-first, one
+    /// `(function, argument)` pair per application — `pairs[i].0` holds
+    /// `head a₀ … aᵢ₋₁` and `pairs[i].1` is `aᵢ`. Rebuilding a spine
+    /// around one changed argument can then reuse the unchanged prefix
+    /// node and every sibling argument node by pointer, preserving the
+    /// sharing that pointer-identity caches key on.
+    pub fn spine_apps(&self) -> (&Term, Vec<(&TermRef, &TermRef)>) {
+        let mut pairs = Vec::new();
+        let mut cur = self;
+        while let Term::App(f, a) = cur {
+            pairs.push((f, a));
+            cur = f.as_ref();
+        }
+        pairs.reverse();
+        (cur, pairs)
     }
 
     /// Like [`Term::spine`] but classifies the head, returning `None` if
@@ -635,6 +663,44 @@ mod tests {
         let (head, args2) = t.head_spine().unwrap();
         assert_eq!(head, Head::Const(Sym::new("f")));
         assert_eq!(args2.len(), 3);
+    }
+
+    #[test]
+    fn spine_apps_exposes_shared_nodes() {
+        let t = Term::apps(Term::cnst("f"), [Term::Int(1), Term::Int(2), Term::Int(3)]);
+        let (h, pairs) = t.spine_apps();
+        assert_eq!(h, &Term::cnst("f"));
+        assert_eq!(pairs.len(), 3);
+        assert_eq!(pairs[0].0.as_ref(), &Term::cnst("f"));
+        assert_eq!(
+            pairs[1].0.as_ref(),
+            &Term::app(Term::cnst("f"), Term::Int(1))
+        );
+        assert_eq!(pairs[2].1.as_ref(), &Term::Int(3));
+        // Rebuilding around argument 1 reuses the prefix node and the
+        // sibling argument node by pointer.
+        let rebuilt = Term::App(
+            TermRef::new(Term::App(pairs[1].0.clone(), TermRef::new(Term::Int(9)))),
+            pairs[2].1.clone(),
+        );
+        match &rebuilt {
+            Term::App(_, a) => assert!(TermRef::ptr_eq(a, pairs[2].1)),
+            _ => unreachable!(),
+        }
+        assert_eq!(
+            rebuilt,
+            Term::apps(Term::cnst("f"), [Term::Int(1), Term::Int(9), Term::Int(3)])
+        );
+    }
+
+    #[test]
+    fn addr_tracks_pointer_identity() {
+        let a: TermRef = Term::cnst("c").into();
+        let b = a.clone();
+        let c: TermRef = Term::cnst("c").into();
+        assert_eq!(a.addr(), b.addr());
+        assert!(TermRef::ptr_eq(&a, &b));
+        assert_ne!(a.addr(), c.addr());
     }
 
     #[test]

@@ -4,6 +4,7 @@ use hoas_core::parse::{parse_term_with, MetaTable};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
 use hoas_core::{MVar, Sym, Term, Ty};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A goal formula of the hereditary Harrop fragment.
@@ -244,11 +245,18 @@ impl fmt::Display for Clause {
     }
 }
 
-/// A logic program: a signature plus an ordered clause list.
+/// A logic program: a signature plus an ordered clause list, indexed by
+/// head predicate for backchaining.
 #[derive(Clone, Debug)]
 pub struct Program {
     sig: Signature,
     clauses: Vec<Clause>,
+    /// First-argument-free indexing: clause positions per head predicate,
+    /// in insertion order. Clauses whose head is not headed by a constant
+    /// (ill-formed; rejected by `hoas-analyze` as HA011) are unindexed —
+    /// backchaining can never select them, so dropping them from every
+    /// bucket preserves solver behavior exactly.
+    by_pred: HashMap<Sym, Vec<usize>>,
 }
 
 impl Program {
@@ -257,11 +265,18 @@ impl Program {
         Program {
             sig,
             clauses: Vec::new(),
+            by_pred: HashMap::new(),
         }
     }
 
     /// Adds a clause (tried in insertion order).
     pub fn push(&mut self, clause: Clause) -> &mut Self {
+        if let Some(p) = clause.head_pred() {
+            self.by_pred
+                .entry(p.clone())
+                .or_default()
+                .push(self.clauses.len());
+        }
         self.clauses.push(clause);
         self
     }
@@ -274,6 +289,16 @@ impl Program {
     /// The clauses, in order.
     pub fn clauses(&self) -> &[Clause] {
         &self.clauses
+    }
+
+    /// The clauses whose head predicate is `pred`, in insertion order —
+    /// an O(bucket) lookup instead of a scan over the whole program.
+    pub fn clauses_for(&self, pred: &Sym) -> impl Iterator<Item = &Clause> {
+        self.by_pred
+            .get(pred)
+            .into_iter()
+            .flatten()
+            .map(|&i| &self.clauses[i])
     }
 }
 
@@ -338,6 +363,29 @@ mod tests {
         assert!(matches!(g, Goal::And(..)));
         let g = Goal::pi("x", Ty::base("i"), Goal::Atom(Term::Var(0)));
         assert_eq!(g.to_string(), "(pi x:i. #0)");
+    }
+
+    #[test]
+    fn clauses_for_indexes_by_head_predicate() {
+        let s = Signature::parse(
+            "type i.
+             type o.
+             const nil : i.
+             const p : i -> o.
+             const q : i -> o.",
+        )
+        .unwrap();
+        let mut prog = Program::new(s);
+        prog.push(Clause::parse(prog.sig(), &[], "p nil", &[]).unwrap());
+        prog.push(Clause::parse(prog.sig(), &[], "q nil", &[]).unwrap());
+        prog.push(Clause::parse(prog.sig(), &[("X", "i")], "p ?X", &["q ?X"]).unwrap());
+        let ps: Vec<String> = prog
+            .clauses_for(&Sym::new("p"))
+            .map(|c| c.to_string())
+            .collect();
+        assert_eq!(ps, vec!["p nil", "p ?X :- q ?X"]);
+        assert_eq!(prog.clauses_for(&Sym::new("q")).count(), 1);
+        assert_eq!(prog.clauses_for(&Sym::new("nil")).count(), 0);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 use crate::program::{Clause, Goal, Program};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
-use hoas_core::{MVar, Term, TermRef};
+use hoas_core::{MVar, Sym, Term, TermRef};
 use hoas_unify::pattern;
 use hoas_unify::problem::Constraint;
 use hoas_unify::{MetaSubst, UnifyError};
@@ -134,7 +134,10 @@ struct St {
     next_eigen: u32,
     level: u32,
     sol: MetaSubst,
-    locals: Vec<Clause>,
+    /// Stack-scoped hypothetical clauses, each paired with its
+    /// precomputed head predicate so candidate selection need not re-walk
+    /// the head spine per atom.
+    locals: Vec<(Clause, Option<Sym>)>,
 }
 
 /// Runs a query against a program.
@@ -234,7 +237,8 @@ fn dfs(
                 if !d.vars.is_empty() {
                     return Err(LpError::LocalClauseWithVars(d.to_string()));
                 }
-                st.locals.push(*d);
+                let head = d.head_pred().cloned();
+                st.locals.push((*d, head));
                 stack.push(Work::PopClause);
                 stack.push(Work::G(*g));
             }
@@ -291,13 +295,16 @@ fn solve_atom(
         out.exhausted = true;
         return Ok(());
     }
-    // Local clauses first (newest first), then the program.
+    // Local clauses first (newest first, filtered by their precomputed
+    // head predicate), then the program's bucket for this predicate —
+    // O(locals + bucket), not a scan over every program clause.
     let candidates: Vec<&Clause> = st
         .locals
         .iter()
         .rev()
-        .chain(prog.clauses().iter())
-        .filter(|c| c.head_pred() == Some(&pred))
+        .filter(|(_, p)| p.as_ref() == Some(&pred))
+        .map(|(c, _)| c)
+        .chain(prog.clauses_for(&pred))
         .collect();
     for clause in candidates {
         if out.answers.len() >= cfg.max_solutions {

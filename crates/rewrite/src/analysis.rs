@@ -90,7 +90,7 @@ impl RuleSet {
     /// subject term is rewritten.
     pub fn analyze(&self, sig: &Signature) -> RuleSetAnalysis {
         let rules = self
-            .rules
+            .rules()
             .iter()
             .enumerate()
             .map(|(i, rule)| RuleInfo {
@@ -98,14 +98,14 @@ impl RuleSet {
                 class: rule.classification(),
                 nonlinear_metas: nonlinear_metas(rule.lhs()),
                 unbound_rhs_metas: unbound_rhs_metas(rule),
-                shadowed_by: shadowed_by(sig, &self.rules, i),
+                shadowed_by: shadowed_by(sig, self.rules(), i),
                 self_applicable: self_applicable(sig, rule),
             })
             .collect();
         RuleSetAnalysis {
             rules,
             duplicate_names: duplicate_names(self),
-            overlaps: overlaps(sig, &self.rules),
+            overlaps: overlaps(sig, self.rules()),
         }
     }
 }
@@ -170,11 +170,8 @@ fn shadowed_by(sig: &Signature, rules: &[Rule], i: usize) -> Option<String> {
     }
     let rule = &rules[i];
     let (frozen_sig, frozen_lhs) = freeze_metas(sig, rule.menv(), rule.lhs()).ok()?;
-    let earlier = RuleSet {
-        rules: rules[..i].to_vec(),
-        native: Vec::new(),
-    };
-    let engine = Engine::new(&frozen_sig, &earlier);
+    let earlier = RuleSet::from_parts(rules[..i].to_vec(), Vec::new());
+    let engine = one_shot_engine(&frozen_sig, &earlier);
     match engine.rewrite_here(&Ctx::new(), rule.ty(), &frozen_lhs) {
         Ok(Some((_, name, _))) => Some(name),
         _ => None,
@@ -188,12 +185,23 @@ fn self_applicable(sig: &Signature, rule: &Rule) -> bool {
     let Ok((frozen_sig, frozen_rhs)) = freeze_metas(sig, rule.menv(), rule.rhs()) else {
         return false;
     };
-    let single = RuleSet {
-        rules: vec![rule.clone()],
-        native: Vec::new(),
-    };
-    let engine = Engine::new(&frozen_sig, &single);
+    let single = RuleSet::from_parts(vec![rule.clone()], Vec::new());
+    let engine = one_shot_engine(&frozen_sig, &single);
     matches!(engine.rewrite_once(rule.ty(), &frozen_rhs), Ok(Some(_)))
+}
+
+/// An engine for a single probe: every analysis engine is used for one
+/// rewrite attempt and dropped, so the normal-form caches would only pay
+/// their fill cost without ever replaying an entry.
+fn one_shot_engine<'a>(sig: &'a Signature, rules: &'a RuleSet) -> Engine<'a> {
+    Engine::with_config(
+        sig,
+        rules,
+        crate::engine::EngineConfig {
+            cache: false,
+            ..Default::default()
+        },
+    )
 }
 
 fn duplicate_names(rs: &RuleSet) -> Vec<String> {
@@ -366,11 +374,9 @@ mod tests {
     fn recomputes_duplicates_on_hand_assembled_sets() {
         let s = sig();
         let r = rule(&s, "dup", &[("P", "o")], "not (not ?P)", "?P");
-        // Bypass `push` (which rejects duplicates) via the public fields.
-        let rs = RuleSet {
-            rules: vec![r.clone(), r],
-            native: Vec::new(),
-        };
+        // Bypass `push` (which rejects duplicates) via `from_parts`, which
+        // skips the freshness check for hand-assembled sets.
+        let rs = RuleSet::from_parts(vec![r.clone(), r], Vec::new());
         let a = rs.analyze(&s);
         assert_eq!(a.duplicate_names, vec!["dup"]);
     }

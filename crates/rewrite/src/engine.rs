@@ -7,13 +7,42 @@
 //! higher-order matching with the crossed binders as *ambient* context
 //! (so matched subterms may mention them), and the instantiated
 //! right-hand side is spliced back at the same depth.
+//!
+//! # Normalization cache and dispatch index
+//!
+//! Three layers keep a `normalize` call from re-doing work:
+//!
+//! * a **rule-normal-form cache** keyed on [`TermRef`] pointer identity:
+//!   once a shared subterm has been proven rule-normal (no rule fires
+//!   anywhere inside it), every later pass skips it in O(1). Rewrites
+//!   rebuild only the spine from the rewrite site to the root — sibling
+//!   subtrees keep their nodes, so their cache entries survive and the
+//!   restart-from-root loop degenerates to a resume-at-site traversal
+//!   while producing byte-identical [`RewriteStep`] traces;
+//! * a **head-type table** filled lazily from the signature, so
+//!   descending a neutral spine no longer re-synthesizes the head's type
+//!   at every application node;
+//! * a **canonical-form memo** ([`normalize::CanonCache`]) so that
+//!   canonicalizing each rewrite's replacement only pays for the fresh
+//!   right-hand-side skeleton, never for the matched subject subtrees it
+//!   shares by pointer;
+//! * the [`RuleSet`] **discrimination index**, which hands each position
+//!   only the rules whose left-hand-side head (and shallow argument
+//!   fingerprint) could match there.
+//!
+//! [`EngineStats`] counts what each layer did, so the wins are measurable
+//! rather than asserted.
 
 use crate::rule::{RewriteError, Rule, RuleSet};
 use hoas_core::ctx::Ctx;
 use hoas_core::sig::Signature;
-use hoas_core::{normalize, typeck, Term, Ty};
+use hoas_core::term::{Head, MetaEnv, TermRef};
+use hoas_core::{normalize, typeck, Sym, Term, Ty};
 use hoas_unify::classify::PatternClass;
 use hoas_unify::matching::{match_pattern, match_term, MatchConfig};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::rc::Rc;
 
 /// Traversal strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -35,6 +64,11 @@ pub struct EngineConfig {
     pub max_steps: usize,
     /// Traversal strategy.
     pub strategy: Strategy,
+    /// Whether to keep the rule-normal-form cache (on by default).
+    /// Disabling it forces the pre-cache full re-traversal; results are
+    /// identical either way, which `tests/engine_cache_props.rs`
+    /// property-checks.
+    pub cache: bool,
 }
 
 impl Default for EngineConfig {
@@ -43,6 +77,7 @@ impl Default for EngineConfig {
             match_cfg: MatchConfig::default(),
             max_steps: 100_000,
             strategy: Strategy::LeftmostOutermost,
+            cache: true,
         }
     }
 }
@@ -98,6 +133,80 @@ impl std::fmt::Display for RewriteStep {
     }
 }
 
+/// Work counters for an engine (or the delta of one [`Engine::normalize`]
+/// call): traversal volume, cache effectiveness, dispatch-index shape,
+/// and match attempts by [`MatchPath`].
+///
+/// Invariant: `cache_hits + cache_misses == cache_lookups`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct EngineStats {
+    /// Subterm positions visited by the strategy traversal.
+    pub nodes_visited: u64,
+    /// Rule-normal-form cache lookups.
+    pub cache_lookups: u64,
+    /// Lookups that found the subterm already proven rule-normal (the
+    /// whole subtree is skipped).
+    pub cache_hits: u64,
+    /// Lookups that found nothing.
+    pub cache_misses: u64,
+    /// Match attempts through the deterministic Miller pattern matcher.
+    pub pattern_attempts: u64,
+    /// Match attempts through general higher-order matching.
+    pub general_attempts: u64,
+    /// Native δ-rule attempts.
+    pub native_attempts: u64,
+    /// Canonical-form memo hits: replacement subtrees whose η-long form
+    /// was replayed by pointer identity instead of re-traversed.
+    pub canon_hits: u64,
+    /// Canonical-form memo lookups that fell through to a traversal.
+    pub canon_misses: u64,
+    /// Root-step memo hits: whole strategy steps on a closed subject
+    /// whose outcome (rewritten term, rule, position) was replayed by
+    /// shallow pointer identity instead of re-derived.
+    pub memo_hits: u64,
+    /// Root-step memo lookups that fell through to a full traversal.
+    pub memo_misses: u64,
+    /// Number of buckets in the rule discrimination index (head buckets
+    /// plus the flex fallback when nonempty).
+    pub index_buckets: usize,
+    /// Size of the largest index bucket.
+    pub index_max_bucket: usize,
+}
+
+impl EngineStats {
+    /// Counter difference `self - earlier` (index shape fields, which are
+    /// static per engine, are carried over unchanged). Used to report
+    /// per-call stats from cumulative engine counters.
+    #[must_use]
+    pub fn delta(&self, earlier: &EngineStats) -> EngineStats {
+        EngineStats {
+            nodes_visited: self.nodes_visited - earlier.nodes_visited,
+            cache_lookups: self.cache_lookups - earlier.cache_lookups,
+            cache_hits: self.cache_hits - earlier.cache_hits,
+            cache_misses: self.cache_misses - earlier.cache_misses,
+            pattern_attempts: self.pattern_attempts - earlier.pattern_attempts,
+            general_attempts: self.general_attempts - earlier.general_attempts,
+            native_attempts: self.native_attempts - earlier.native_attempts,
+            canon_hits: self.canon_hits - earlier.canon_hits,
+            canon_misses: self.canon_misses - earlier.canon_misses,
+            memo_hits: self.memo_hits - earlier.memo_hits,
+            memo_misses: self.memo_misses - earlier.memo_misses,
+            index_buckets: self.index_buckets,
+            index_max_bucket: self.index_max_bucket,
+        }
+    }
+
+    /// Fraction of cache lookups that hit, in `[0, 1]` (0 when the cache
+    /// was never consulted).
+    pub fn cache_hit_rate(&self) -> f64 {
+        if self.cache_lookups == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+}
+
 /// Result of running the engine to a fixpoint (or budget).
 #[derive(Clone, Debug)]
 pub struct NormalizeResult {
@@ -112,6 +221,110 @@ pub struct NormalizeResult {
     /// Whether a fixpoint was reached (`false` means the step budget ran
     /// out first).
     pub fixpoint: bool,
+    /// Work counters for this call (cache state carried over from earlier
+    /// calls on the same engine still counts as hits here).
+    pub stats: EngineStats,
+}
+
+/// Interior-mutable counters: the traversal takes `&self` everywhere.
+#[derive(Clone, Debug, Default)]
+struct Counters {
+    nodes_visited: Cell<u64>,
+    cache_lookups: Cell<u64>,
+    cache_hits: Cell<u64>,
+    cache_misses: Cell<u64>,
+    pattern_attempts: Cell<u64>,
+    general_attempts: Cell<u64>,
+    native_attempts: Cell<u64>,
+    memo_hits: Cell<u64>,
+    memo_misses: Cell<u64>,
+}
+
+fn bump(c: &Cell<u64>) {
+    c.set(c.get() + 1);
+}
+
+/// One proven-rule-normal record. An entry means: no rule of this engine
+/// fires anywhere inside the node when it appears at subject type `ty`
+/// with its free de Bruijn variables typed `free_tys` — the only inputs
+/// (besides the node's own structure) that rule matching consults.
+#[derive(Clone, Debug)]
+struct CacheEntry {
+    /// Subject type at which the subterm was proven rule-normal.
+    ty: Ty,
+    /// Types of the subterm's free variables, innermost (`Var(0)`) first.
+    free_tys: Vec<Ty>,
+    /// Keeps the node alive so its address cannot be reused by a later
+    /// allocation — the soundness condition for pointer-identity keys.
+    #[allow(dead_code)]
+    keepalive: TermRef,
+}
+
+/// Shallow identity of a composite root node: a variant tag plus child
+/// addresses (second slot zero for one-child variants).
+type RootKey = (u8, usize, usize);
+
+/// One memoized root-level strategy step (see [`Engine::step_root`]).
+#[derive(Clone, Debug)]
+struct RootEntry {
+    /// The subject; keeping it alive pins the child addresses used by
+    /// the [`RootKey`], so a key cannot be re-minted by a later
+    /// allocation.
+    input: Term,
+    /// Subject type the step was taken at.
+    ty: Ty,
+    /// The recorded outcome, replayed verbatim on a hit.
+    outcome: Option<(Term, RewriteStep)>,
+}
+
+/// The [`RootKey`] of a term, or `None` for childless nodes (leaves
+/// terminate a step immediately; memoizing them would cost more than the
+/// probe it saves).
+fn root_key(t: &Term) -> Option<RootKey> {
+    match t {
+        Term::App(f, a) => Some((0, f.addr(), a.addr())),
+        Term::Lam(_, b) => Some((1, b.addr(), 0)),
+        Term::Pair(a, b) => Some((2, a.addr(), b.addr())),
+        Term::Fst(p) => Some((3, p.addr(), 0)),
+        Term::Snd(p) => Some((4, p.addr(), 0)),
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => None,
+    }
+}
+
+/// Whether two composite roots are equal given that child pointers
+/// certify child equality. Binder hints are compared too so a memo hit
+/// reproduces the uncached output byte for byte, hints included.
+fn shallow_eq(a: &Term, b: &Term) -> bool {
+    match (a, b) {
+        (Term::App(f1, a1), Term::App(f2, a2)) => f1.addr() == f2.addr() && a1.addr() == a2.addr(),
+        (Term::Lam(h1, b1), Term::Lam(h2, b2)) => h1 == h2 && b1.addr() == b2.addr(),
+        (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
+            a1.addr() == a2.addr() && b1.addr() == b2.addr()
+        }
+        (Term::Fst(p1), Term::Fst(p2)) | (Term::Snd(p1), Term::Snd(p2)) => p1.addr() == p2.addr(),
+        _ => false,
+    }
+}
+
+/// Root-step memo size bound; the table is dropped wholesale when full.
+const ROOT_MEMO_CAP: usize = 1 << 20;
+
+/// Argument types of a neutral spine's head, with ownership depending on
+/// where they came from (memo table, context, or fresh synthesis).
+enum ArgTys<'t> {
+    Shared(Rc<Vec<Ty>>),
+    Borrowed(Vec<&'t Ty>),
+    Owned(Vec<Ty>),
+}
+
+impl ArgTys<'_> {
+    fn get(&self, i: usize) -> Option<&Ty> {
+        match self {
+            ArgTys::Shared(v) => v.get(i),
+            ArgTys::Borrowed(v) => v.get(i).copied(),
+            ArgTys::Owned(v) => v.get(i),
+        }
+    }
 }
 
 /// A rewrite engine for one signature and rule set.
@@ -120,26 +333,86 @@ pub struct Engine<'a> {
     sig: &'a Signature,
     rules: &'a RuleSet,
     cfg: EngineConfig,
+    /// Memoized uncurried argument types per (monomorphic) constant,
+    /// filled lazily on first use: descending a neutral spine costs a
+    /// hash lookup instead of a `typeck::synth` call per node, and
+    /// engine construction stays O(1) no matter how large the signature
+    /// (analysis passes build an engine per rule). `None` records a
+    /// polymorphic constant, which must take the synthesis path.
+    head_arg_tys: RefCell<HashMap<Sym, Option<Rc<Vec<Ty>>>>>,
+    /// Canonical-form memo for replacement canonicalization, shared by
+    /// every rewrite this engine performs (see
+    /// [`hoas_core::normalize::CanonCache`] for the soundness argument).
+    canon_cache: normalize::CanonCache,
+    /// Rule-normal-form cache, keyed on node address. Entries are never
+    /// invalidated: a rewrite allocates fresh nodes for the spine above
+    /// the rewrite site (and only that spine), so stale pointers simply
+    /// stop occurring in the subject, while `keepalive` pins each keyed
+    /// address for the engine's lifetime.
+    cache: RefCell<HashMap<usize, Vec<CacheEntry>>>,
+    /// Root-step memo: the outcome of one whole strategy step on a
+    /// closed subject, keyed by the root's shallow identity. Because the
+    /// canonical-form memo hands back pointer-identical subtrees for a
+    /// repeated subject, an entire rewrite run re-played on the same
+    /// input collapses to one probe per step.
+    root_memo: RefCell<HashMap<RootKey, Vec<RootEntry>>>,
+    counters: Counters,
 }
 
 impl<'a> Engine<'a> {
     /// Creates an engine with default configuration.
     pub fn new(sig: &'a Signature, rules: &'a RuleSet) -> Engine<'a> {
-        Engine {
-            sig,
-            rules,
-            cfg: EngineConfig::default(),
-        }
+        Engine::with_config(sig, rules, EngineConfig::default())
     }
 
     /// Creates an engine with explicit configuration.
     pub fn with_config(sig: &'a Signature, rules: &'a RuleSet, cfg: EngineConfig) -> Engine<'a> {
-        Engine { sig, rules, cfg }
+        Engine {
+            sig,
+            rules,
+            cfg,
+            head_arg_tys: RefCell::new(HashMap::new()),
+            canon_cache: normalize::CanonCache::new(),
+            cache: RefCell::new(HashMap::new()),
+            root_memo: RefCell::new(HashMap::new()),
+            counters: Counters::default(),
+        }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &EngineConfig {
         &self.cfg
+    }
+
+    /// Cumulative work counters since the engine was created.
+    pub fn stats(&self) -> EngineStats {
+        let (index_buckets, index_max_bucket) = self.rules.index_stats();
+        EngineStats {
+            nodes_visited: self.counters.nodes_visited.get(),
+            cache_lookups: self.counters.cache_lookups.get(),
+            cache_hits: self.counters.cache_hits.get(),
+            cache_misses: self.counters.cache_misses.get(),
+            pattern_attempts: self.counters.pattern_attempts.get(),
+            general_attempts: self.counters.general_attempts.get(),
+            native_attempts: self.counters.native_attempts.get(),
+            canon_hits: self.canon_cache.hits(),
+            canon_misses: self.canon_cache.misses(),
+            memo_hits: self.counters.memo_hits.get(),
+            memo_misses: self.counters.memo_misses.get(),
+            index_buckets,
+            index_max_bucket,
+        }
+    }
+
+    /// Canonicalizes a replacement at its splice position, through the
+    /// canonical-form memo when caching is enabled.
+    fn canonize(&self, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, RewriteError> {
+        if self.cfg.cache {
+            normalize::canon_with(self.sig, menv, ctx, t, ty, &self.canon_cache)
+        } else {
+            normalize::canon(self.sig, menv, ctx, t, ty)
+        }
+        .map_err(RewriteError::Core)
     }
 
     /// Attempts the rules at this exact position (no descent), returning
@@ -154,24 +427,34 @@ impl<'a> Engine<'a> {
         ty: &Ty,
         t: &Term,
     ) -> Result<Option<(Term, String, MatchPath)>, RewriteError> {
-        // Discrimination key: the subject's rigid head constant.
-        let subject_head = match t.head_spine() {
-            Some((hoas_core::term::Head::Const(c), _)) => Some(c),
+        // Discrimination key: the subject's rigid head constant, found by
+        // walking the application spine without materializing the
+        // argument list — most positions have no candidate rules at all,
+        // and the allocation would be wasted.
+        let mut head = t;
+        while let Term::App(f, _) = head {
+            head = f.term();
+        }
+        let subject_head = match head {
+            Term::Const(c) => Some(c),
             _ => None,
         };
-        for rule in &self.rules.rules {
+        // Spine arguments, materialized lazily for the first candidate
+        // that carries a shallow fingerprint.
+        let mut subject_args: Option<Vec<&Term>> = None;
+        for rule in self.rules.candidates(subject_head) {
             if rule.ty() != ty {
                 continue;
             }
-            // A rule whose lhs has a rigid head can only match subjects
-            // with the same head.
-            if let (Some(rh), Some(sh)) = (rule.head_const(), subject_head.as_ref()) {
-                if rh != sh {
+            if !rule.arg_fingerprint().is_empty() {
+                let args = subject_args.get_or_insert_with(|| spine_args(t));
+                if !fingerprint_admits(rule.arg_fingerprint(), args) {
                     continue;
                 }
             }
-            if rule.head_const().is_some() && subject_head.is_none() {
-                continue;
+            match rule.classification() {
+                PatternClass::Miller => bump(&self.counters.pattern_attempts),
+                PatternClass::General => bump(&self.counters.general_attempts),
             }
             if let Some(replacement) = self.try_rule(rule, ctx, ty, t)? {
                 let via = match rule.classification() {
@@ -181,13 +464,13 @@ impl<'a> Engine<'a> {
                 return Ok(Some((replacement, rule.name().to_string(), via)));
             }
         }
-        for nrule in &self.rules.native {
+        for nrule in self.rules.native_rules() {
             if nrule.ty() != ty {
                 continue;
             }
+            bump(&self.counters.native_attempts);
             if let Some(replacement) = nrule.apply(t) {
-                let canon = normalize::canon(self.sig, &Default::default(), ctx, &replacement, ty)
-                    .map_err(RewriteError::Core)?;
+                let canon = self.canonize(&Default::default(), ctx, &replacement, ty)?;
                 return Ok(Some((canon, nrule.name().to_string(), MatchPath::Native)));
             }
         }
@@ -228,8 +511,27 @@ impl<'a> Engine<'a> {
             // the target); be conservative and do not rewrite.
             return Ok(None);
         }
-        let replacement = normalize::canon(self.sig, rule.menv(), ctx, &replacement, ty)
-            .map_err(RewriteError::Core)?;
+        // Miller instantiations are canonical by construction: the rhs is
+        // canonicalized when the rule is built, the deterministic matcher
+        // binds every pattern variable to a λ-abstracted canonical
+        // subject subtree, and canonical forms are closed under
+        // hereditary substitution — so re-canonicalizing here would be
+        // the identity, and the fast path skips it (debug builds check).
+        // General higher-order matches may produce non-canonical
+        // instantiations and go through full canonicalization.
+        let replacement = match rule.classification() {
+            PatternClass::Miller => {
+                debug_assert!(
+                    normalize::canon(self.sig, rule.menv(), ctx, &replacement, ty)
+                        .map(|c| c == replacement)
+                        .unwrap_or(false),
+                    "Miller instantiation of rule `{}` must already be canonical",
+                    rule.name()
+                );
+                replacement
+            }
+            PatternClass::General => self.canonize(rule.menv(), ctx, &replacement, ty)?,
+        };
         Ok(Some(replacement))
     }
 
@@ -242,9 +544,7 @@ impl<'a> Engine<'a> {
     ///
     /// Kernel/unification errors on malformed subjects.
     pub fn rewrite_once(&self, ty: &Ty, t: &Term) -> Result<Option<(Term, String)>, RewriteError> {
-        Ok(self
-            .step(&Ctx::new(), ty, t)?
-            .map(|(t2, step)| (t2, step.rule)))
+        Ok(self.step_root(ty, t)?.map(|(t2, step)| (t2, step.rule)))
     }
 
     /// Like [`Engine::rewrite_once`], also reporting the rewrite
@@ -254,7 +554,7 @@ impl<'a> Engine<'a> {
         ty: &Ty,
         t: &Term,
     ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
-        self.step(&Ctx::new(), ty, t)
+        self.step_root(ty, t)
     }
 
     fn step(
@@ -263,6 +563,7 @@ impl<'a> Engine<'a> {
         ty: &Ty,
         t: &Term,
     ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        bump(&self.counters.nodes_visited);
         let here = |this: &Self| {
             Ok::<_, RewriteError>(this.rewrite_here(ctx, ty, t)?.map(|(t2, rule, via)| {
                 (
@@ -291,6 +592,164 @@ impl<'a> Engine<'a> {
         }
     }
 
+    /// [`Engine::step`] on a shared child node, going through the
+    /// rule-normal-form cache: a hit skips the whole subtree, and a
+    /// rewrite-free traversal marks the subtree for every later pass.
+    ///
+    /// Soundness of the `None` short-circuit: whether any rule fires
+    /// inside `t` is a function of `t`'s structure (never its binder
+    /// hints), the subject type, and the types of `t`'s free variables —
+    /// the Miller matcher is purely structural, and general matching
+    /// consults the ambient context only for those types. All three are
+    /// part of the cache key; rules, signature, and budgets are fixed per
+    /// engine.
+    fn step_ref(
+        &self,
+        ctx: &Ctx,
+        ty: &Ty,
+        t: &TermRef,
+    ) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        // Childless nodes bypass the cache entirely: re-proving a leaf
+        // rule-normal costs one indexed candidate probe, which is cheaper
+        // than a cache entry (key, type clones) plus a lookup.
+        let cacheable = self.cfg.cache
+            && !matches!(
+                t.term(),
+                Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit
+            );
+        if cacheable {
+            bump(&self.counters.cache_lookups);
+            if self.cache_contains(ctx, ty, t) {
+                bump(&self.counters.cache_hits);
+                return Ok(None);
+            }
+            bump(&self.counters.cache_misses);
+        }
+        let r = self.step(ctx, ty, t.term())?;
+        if cacheable && r.is_none() {
+            self.cache_insert(ctx, ty, t);
+        }
+        Ok(r)
+    }
+
+    /// [`Engine::step`] at the root (closed subject, empty context),
+    /// through the root-step memo: the full outcome of one strategy step
+    /// — rewritten term, rule name, and position — is replayed by
+    /// shallow pointer identity.
+    ///
+    /// Soundness: with a fixed engine (rules, signature, strategy, match
+    /// configuration), the outcome of a step on a closed, meta-free
+    /// subject is a function of the subject's structure and type alone.
+    /// Two roots that agree on their own node data and have
+    /// pointer-identical children are structurally equal, so the
+    /// recorded outcome — trace entry included — is exactly what a fresh
+    /// traversal would produce. Native δ-rules are assumed deterministic
+    /// engine-wide; the rule-normal-form cache's `None` short-circuit
+    /// already relies on the same assumption.
+    fn step_root(&self, ty: &Ty, t: &Term) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
+        let ctx = Ctx::new();
+        if !self.cfg.cache || t.has_metas() {
+            return self.step(&ctx, ty, t);
+        }
+        let Some(key) = root_key(t) else {
+            return self.step(&ctx, ty, t);
+        };
+        {
+            let memo = self.root_memo.borrow();
+            if let Some(e) = memo
+                .get(&key)
+                .and_then(|es| es.iter().find(|e| e.ty == *ty && shallow_eq(&e.input, t)))
+            {
+                bump(&self.counters.memo_hits);
+                return Ok(e.outcome.clone());
+            }
+        }
+        bump(&self.counters.memo_misses);
+        let r = self.step(&ctx, ty, t)?;
+        let mut memo = self.root_memo.borrow_mut();
+        if memo.len() >= ROOT_MEMO_CAP {
+            memo.clear();
+        }
+        memo.entry(key).or_default().push(RootEntry {
+            input: t.clone(),
+            ty: ty.clone(),
+            outcome: r.clone(),
+        });
+        Ok(r)
+    }
+
+    fn cache_contains(&self, ctx: &Ctx, ty: &Ty, t: &TermRef) -> bool {
+        let cache = self.cache.borrow();
+        let Some(entries) = cache.get(&t.addr()) else {
+            return false;
+        };
+        entries.iter().any(|e| {
+            e.ty == *ty
+                && e.free_tys.len() == t.max_free() as usize
+                && e.free_tys
+                    .iter()
+                    .enumerate()
+                    .all(|(i, ft)| ctx.lookup(i as u32).map(|(_, vt)| vt) == Some(ft))
+        })
+    }
+
+    fn cache_insert(&self, ctx: &Ctx, ty: &Ty, t: &TermRef) {
+        let mut free_tys = Vec::with_capacity(t.max_free() as usize);
+        for i in 0..t.max_free() {
+            match ctx.lookup(i) {
+                Some((_, vt)) => free_tys.push(vt.clone()),
+                // Free variable without a context entry: the subject is
+                // ill-scoped here; refuse to cache rather than key on a
+                // partial context.
+                None => return,
+            }
+        }
+        self.cache
+            .borrow_mut()
+            .entry(t.addr())
+            .or_default()
+            .push(CacheEntry {
+                ty: ty.clone(),
+                free_tys,
+                keepalive: t.clone(),
+            });
+    }
+
+    /// Argument types for descending a neutral spine: memo table for
+    /// constant heads, context lookup for variable heads, full synthesis
+    /// otherwise (also the error path for unknown heads).
+    fn arg_tys_for<'t>(&self, ctx: &'t Ctx, head: &Term) -> Result<ArgTys<'t>, RewriteError> {
+        match head {
+            Term::Const(c) => {
+                let memo = self
+                    .head_arg_tys
+                    .borrow_mut()
+                    .entry(c.clone())
+                    .or_insert_with(|| {
+                        self.sig.const_ty(c.as_str()).and_then(|scheme| {
+                            scheme.as_mono().map(|ty| {
+                                Rc::new(ty.uncurry().0.into_iter().cloned().collect::<Vec<Ty>>())
+                            })
+                        })
+                    })
+                    .clone();
+                if let Some(tys) = memo {
+                    return Ok(ArgTys::Shared(tys));
+                }
+            }
+            Term::Var(i) => {
+                if let Some((_, ty)) = ctx.lookup(*i) {
+                    return Ok(ArgTys::Borrowed(ty.uncurry().0));
+                }
+            }
+            _ => {}
+        }
+        let head_ty =
+            typeck::synth(self.sig, &Default::default(), ctx, head).map_err(RewriteError::Core)?;
+        let (args, _) = head_ty.uncurry();
+        Ok(ArgTys::Owned(args.into_iter().cloned().collect()))
+    }
+
     fn step_children(
         &self,
         ctx: &Ctx,
@@ -305,35 +764,39 @@ impl<'a> Engine<'a> {
             (Term::Lam(h, body), Ty::Arrow(dom, cod)) => {
                 let ctx2 = ctx.push(h.clone(), dom.as_ref().clone());
                 Ok(self
-                    .step(&ctx2, cod, body)?
+                    .step_ref(&ctx2, cod, body)?
                     .map(|(b, step)| (Term::lam(h.clone(), b), at(step, 0))))
             }
             (Term::Pair(a, b), Ty::Prod(ta, tb)) => {
-                if let Some((a2, step)) = self.step(ctx, ta, a)? {
-                    return Ok(Some((Term::pair(a2, b.as_ref().clone()), at(step, 0))));
+                // Rebuild around the rewritten component only: the
+                // untouched sibling keeps its node (and cache entries).
+                if let Some((a2, step)) = self.step_ref(ctx, ta, a)? {
+                    return Ok(Some((Term::Pair(TermRef::new(a2), b.clone()), at(step, 0))));
                 }
                 Ok(self
-                    .step(ctx, tb, b)?
-                    .map(|(b2, step)| (Term::pair(a.as_ref().clone(), b2), at(step, 1))))
+                    .step_ref(ctx, tb, b)?
+                    .map(|(b2, step)| (Term::Pair(a.clone(), TermRef::new(b2)), at(step, 1))))
             }
             _ => {
                 // Neutral (or literal): descend into spine arguments using
-                // the head's synthesized type.
-                let (head, args) = t.spine();
-                if args.is_empty() {
+                // the head's argument types.
+                let (head, apps) = t.spine_apps();
+                if apps.is_empty() {
                     return Ok(None);
                 }
-                let head_ty = typeck::synth(self.sig, &Default::default(), ctx, head)
-                    .map_err(RewriteError::Core)?;
-                let (arg_tys, _) = head_ty.uncurry();
-                for (i, (arg, aty)) in args.iter().zip(arg_tys).enumerate() {
-                    if let Some((a2, step)) = self.step(ctx, aty, arg)? {
-                        let mut new_args: Vec<Term> = args.iter().map(|a| (*a).clone()).collect();
-                        new_args[i] = a2;
-                        return Ok(Some((
-                            Term::apps(head.clone(), new_args),
-                            at(step, i as u32),
-                        )));
+                let arg_tys = self.arg_tys_for(ctx, head)?;
+                for (i, (prefix, arg)) in apps.iter().enumerate() {
+                    let Some(aty) = arg_tys.get(i) else { break };
+                    if let Some((a2, step)) = self.step_ref(ctx, aty, arg)? {
+                        // Splice the new argument onto the unchanged
+                        // prefix node, then re-attach the sibling
+                        // argument nodes by pointer: only the spine from
+                        // the rewrite site to the root is reallocated.
+                        let mut acc = Term::App((*prefix).clone(), TermRef::new(a2));
+                        for (_, sib) in &apps[i + 1..] {
+                            acc = Term::App(TermRef::new(acc), (*sib).clone());
+                        }
+                        return Ok(Some((acc, at(step, i as u32))));
                     }
                 }
                 Ok(None)
@@ -348,24 +811,28 @@ impl<'a> Engine<'a> {
     ///
     /// Kernel/unification errors on malformed subjects or rules.
     pub fn normalize(&self, ty: &Ty, t: &Term) -> Result<NormalizeResult, RewriteError> {
-        let mut cur = normalize::canon(self.sig, &Default::default(), &Ctx::new(), t, ty)
-            .map_err(RewriteError::Core)?;
+        let before = self.stats();
+        // Canonicalizing the subject through the memo also seeds it with
+        // every subject subtree, which later replacement
+        // canonicalizations share by pointer.
+        let mut cur = self.canonize(&Default::default(), &Ctx::new(), t, ty)?;
         let mut applied = Vec::new();
         let mut trace = Vec::new();
         loop {
             if applied.len() >= self.cfg.max_steps {
                 // Budget spent: report whether a fixpoint happens to have
                 // been reached anyway.
-                let at_fixpoint = self.step(&Ctx::new(), ty, &cur)?.is_none();
+                let at_fixpoint = self.step_root(ty, &cur)?.is_none();
                 return Ok(NormalizeResult {
                     term: cur,
                     steps: applied.len(),
                     applied,
                     trace,
                     fixpoint: at_fixpoint,
+                    stats: self.stats().delta(&before),
                 });
             }
-            match self.step(&Ctx::new(), ty, &cur)? {
+            match self.step_root(ty, &cur)? {
                 Some((next, step)) => {
                     applied.push(step.rule.clone());
                     trace.push(step);
@@ -378,11 +845,45 @@ impl<'a> Engine<'a> {
                         applied,
                         trace,
                         fixpoint: true,
+                        stats: self.stats().delta(&before),
                     })
                 }
             }
         }
     }
+}
+
+/// Whether a rule's shallow argument fingerprint admits the subject's
+/// spine arguments. Only rigid-constant-vs-rigid-constant disagreements
+/// are rejected — everything else defers to the matcher — so skipping is
+/// sound: a canonical pattern argument with rigid head `c` can only match
+/// a canonical subject argument with the same rigid head.
+/// Spine arguments of a neutral term, outermost application last.
+fn spine_args(t: &Term) -> Vec<&Term> {
+    let mut args = Vec::new();
+    let mut cur = t;
+    while let Term::App(f, a) = cur {
+        args.push(a.term());
+        cur = f.term();
+    }
+    args.reverse();
+    args
+}
+
+fn fingerprint_admits(fp: &[Option<Sym>], args: &[&Term]) -> bool {
+    if fp.is_empty() {
+        return true;
+    }
+    if fp.len() != args.len() {
+        return false;
+    }
+    fp.iter().zip(args).all(|(want, arg)| match want {
+        None => true,
+        Some(c) => match arg.head_spine() {
+            Some((Head::Const(d), _)) => *c == d,
+            _ => true,
+        },
+    })
 }
 
 #[cfg(test)]
@@ -539,6 +1040,124 @@ mod tests {
         let dependent = parse_term(&s, r"forall (\x. p x)").unwrap().term;
         let r = e.normalize(&o(), &dependent).unwrap();
         assert_eq!(r.steps, 0, "must not drop a used binder");
+    }
+}
+
+#[cfg(test)]
+mod cache_tests {
+    use super::*;
+    use hoas_core::parse::{parse_term, parse_ty};
+
+    fn sig() -> Signature {
+        Signature::parse(
+            "type o.
+             const and : o -> o -> o.
+             const not : o -> o.
+             const r : o.",
+        )
+        .unwrap()
+    }
+
+    fn o() -> Ty {
+        parse_ty("o").unwrap()
+    }
+
+    fn not_not(s: &Signature) -> RuleSet {
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(s, "not-not", &o(), &[("P", "o")], "not (not ?P)", "?P").unwrap())
+            .unwrap();
+        rs
+    }
+
+    #[test]
+    fn cache_hits_accumulate_and_stats_are_consistent() {
+        let s = sig();
+        let rs = not_not(&s);
+        let e = Engine::new(&s, &rs);
+        // The left subtree is rule-normal; after the rewrite at [1] the
+        // second pass must skip it via the cache.
+        let t = parse_term(&s, "and (and r r) (not (not r))").unwrap().term;
+        let r = e.normalize(&o(), &t).unwrap();
+        assert_eq!(r.steps, 1);
+        assert_eq!(r.trace[0].path, vec![1]);
+        assert!(r.stats.cache_hits >= 1, "stats: {:?}", r.stats);
+        assert_eq!(
+            r.stats.cache_hits + r.stats.cache_misses,
+            r.stats.cache_lookups
+        );
+        assert!(r.stats.nodes_visited > 0);
+        assert_eq!(r.stats.index_buckets, 1, "only `not` is indexed");
+        // Cumulative engine stats cover the call.
+        let total = e.stats();
+        assert!(total.cache_lookups >= r.stats.cache_lookups);
+        assert_eq!(total.cache_hits + total.cache_misses, total.cache_lookups);
+    }
+
+    #[test]
+    fn cache_survives_across_normalize_calls() {
+        let s = sig();
+        let rs = not_not(&s);
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, "and (and r r) (not (not r))").unwrap().term;
+        let first = e.normalize(&o(), &t).unwrap();
+        let second = e.normalize(&o(), &t).unwrap();
+        assert_eq!(first.term, second.term);
+        assert_eq!(first.trace, second.trace);
+        // The replay is memoized end to end: the canonical-form memo
+        // hands back the first call's subject by pointer, so every
+        // root-level step of the second call replays from the root-step
+        // memo without touching the traversal at all.
+        assert!(
+            second.stats.memo_hits >= 1,
+            "second call re-uses marks from the first: {:?}",
+            second.stats
+        );
+        assert_eq!(
+            second.stats.nodes_visited, 0,
+            "fully memoized replay should not traverse: {:?}",
+            second.stats
+        );
+    }
+
+    #[test]
+    fn disabled_cache_agrees_and_reports_no_lookups() {
+        let s = sig();
+        let rs = not_not(&s);
+        let cached = Engine::new(&s, &rs);
+        let uncached = Engine::with_config(
+            &s,
+            &rs,
+            EngineConfig {
+                cache: false,
+                ..EngineConfig::default()
+            },
+        );
+        let t = parse_term(&s, "and (not (not r)) (and r (not (not r)))")
+            .unwrap()
+            .term;
+        let a = cached.normalize(&o(), &t).unwrap();
+        let b = uncached.normalize(&o(), &t).unwrap();
+        assert_eq!(a.term, b.term);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(b.stats.cache_lookups, 0);
+        assert!(a.stats.cache_lookups > 0);
+    }
+
+    #[test]
+    fn spine_rebuild_preserves_sibling_nodes() {
+        // Rewrite inside argument 1 of a 2-argument spine: argument 0's
+        // node must survive by pointer so its cache entry stays valid.
+        let s = sig();
+        let rs = not_not(&s);
+        let e = Engine::new(&s, &rs);
+        let t = parse_term(&s, "and (and r r) (not (not r))").unwrap().term;
+        let canon = normalize::canon(&s, &Default::default(), &Ctx::new(), &t, &o()).unwrap();
+        let (next, _) = e.rewrite_once(&o(), &canon).unwrap().unwrap();
+        let (_, before_apps) = canon.spine_apps();
+        let (_, after_apps) = next.spine_apps();
+        assert!(TermRef::ptr_eq(before_apps[0].1, after_apps[0].1));
     }
 }
 

@@ -31,5 +31,7 @@ pub mod rule;
 pub mod rulesets;
 
 pub use analysis::{Overlap, RuleInfo, RuleSetAnalysis};
-pub use engine::{Engine, EngineConfig, MatchPath, NormalizeResult, RewriteStep, Strategy};
-pub use rule::{NativeRule, RewriteError, Rule, RuleSet};
+pub use engine::{
+    Engine, EngineConfig, EngineStats, MatchPath, NormalizeResult, RewriteStep, Strategy,
+};
+pub use rule::{Candidates, NativeRule, RewriteError, Rule, RuleSet};

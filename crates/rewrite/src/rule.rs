@@ -12,6 +12,7 @@ use hoas_core::term::MetaEnv;
 use hoas_core::{normalize, Term, Ty};
 use hoas_unify::classify::{classify, PatternClass};
 use hoas_unify::UnifyError;
+use std::collections::HashMap;
 use std::fmt;
 use std::sync::Arc;
 
@@ -90,6 +91,10 @@ pub struct Rule {
     /// Rigid head constant of the lhs, if any — a cheap discrimination
     /// key the engine checks before attempting a full match.
     head: Option<hoas_core::Sym>,
+    /// Shallow argument fingerprint of the lhs spine: for each spine
+    /// argument, its rigid head constant if it has one (`None` is a
+    /// wildcard). Empty unless the lhs is neutral with a constant head.
+    fingerprint: Vec<Option<hoas_core::Sym>>,
     /// Pattern-fragment classification of the lhs, computed once at
     /// construction; `Miller` rules dispatch to the deterministic pattern
     /// matcher instead of general higher-order matching.
@@ -191,9 +196,18 @@ impl Rule {
             .map_err(|e| bad(format!("lhs ill-typed at `{ty}`: {e}")))?;
         let rhs = normalize::canon(sig, &menv, &ctx, &rhs, &ty)
             .map_err(|e| bad(format!("rhs ill-typed at `{ty}`: {e}")))?;
-        let head = match lhs.head_spine() {
-            Some((hoas_core::term::Head::Const(c), _)) => Some(c),
-            _ => None,
+        let (head, fingerprint) = match lhs.head_spine() {
+            Some((hoas_core::term::Head::Const(c), args)) => {
+                let fp = args
+                    .iter()
+                    .map(|a| match a.head_spine() {
+                        Some((hoas_core::term::Head::Const(c), _)) => Some(c),
+                        _ => None,
+                    })
+                    .collect();
+                (Some(c), fp)
+            }
+            _ => (None, Vec::new()),
         };
         let class = classify(&lhs);
         Ok(Rule {
@@ -203,6 +217,7 @@ impl Rule {
             rhs,
             ty,
             head,
+            fingerprint,
             class,
         })
     }
@@ -231,6 +246,17 @@ impl Rule {
     /// discrimination before full matching).
     pub fn head_const(&self) -> Option<&hoas_core::Sym> {
         self.head.as_ref()
+    }
+    /// Shallow argument fingerprint of the lhs spine, nonempty only when
+    /// the lhs is neutral with a constant head: entry `i` is `Some(c)`
+    /// when spine argument `i` is itself neutral with rigid head constant
+    /// `c`, `None` otherwise (a wildcard). A rigid constant head in a
+    /// canonical pattern argument can only match a subject argument with
+    /// the same rigid head, so the engine skips the full match when a
+    /// `Some` entry disagrees with the subject's corresponding argument
+    /// head.
+    pub fn arg_fingerprint(&self) -> &[Option<hoas_core::Sym>] {
+        &self.fingerprint
     }
     /// Pattern-fragment classification of the left-hand side, recorded at
     /// construction. [`PatternClass::Miller`] rules are matched by the
@@ -301,18 +327,53 @@ impl fmt::Debug for NativeRule {
 }
 
 /// An ordered collection of rules tried first-to-last at each position.
+///
+/// Alongside the rule list, the set maintains a **discrimination index**:
+/// pattern rules are bucketed by the rigid head constant of their
+/// left-hand side, with head-less (flex) rules in a fallback bucket. The
+/// engine asks for [`RuleSet::candidates`] at each subject position and
+/// only ever sees the rules that could possibly match there, in the same
+/// first-to-last order a linear scan would have produced. The index is
+/// rebuilt incrementally on [`RuleSet::push`], so it can never go stale.
 #[derive(Clone, Debug, Default)]
 pub struct RuleSet {
-    /// Pattern rules.
-    pub rules: Vec<Rule>,
-    /// Native δ-rules.
-    pub native: Vec<NativeRule>,
+    rules: Vec<Rule>,
+    native: Vec<NativeRule>,
+    /// Rule indices bucketed by rigid lhs head constant, each bucket in
+    /// ascending (insertion) order.
+    by_head: HashMap<hoas_core::Sym, Vec<usize>>,
+    /// Indices of rules whose lhs has no rigid head constant; these can
+    /// match any subject and are merged into every candidate list.
+    flex: Vec<usize>,
 }
 
 impl RuleSet {
     /// An empty rule set.
     pub fn new() -> RuleSet {
         RuleSet::default()
+    }
+
+    /// Assembles a rule set from parts, rebuilding the discrimination
+    /// index. Unlike [`RuleSet::push`] this performs **no** duplicate-name
+    /// check: it is the entry point for hand-assembled sets (including
+    /// deliberately malformed ones fed to [`RuleSet::analyze`], which
+    /// recomputes duplicates itself).
+    ///
+    /// [`RuleSet::analyze`]: crate::analysis
+    pub fn from_parts(rules: Vec<Rule>, native: Vec<NativeRule>) -> RuleSet {
+        let mut rs = RuleSet {
+            rules,
+            native,
+            by_head: HashMap::new(),
+            flex: Vec::new(),
+        };
+        rs.rebuild_index();
+        rs
+    }
+
+    /// Decomposes the set into its pattern and native rules, consuming it.
+    pub fn into_parts(self) -> (Vec<Rule>, Vec<NativeRule>) {
+        (self.rules, self.native)
     }
 
     /// Adds a pattern rule.
@@ -325,6 +386,7 @@ impl RuleSet {
     /// diagnostic `HA006`).
     pub fn push(&mut self, rule: Rule) -> Result<&mut Self, RewriteError> {
         self.check_fresh_name(rule.name())?;
+        self.index_rule(self.rules.len(), &rule);
         self.rules.push(rule);
         Ok(self)
     }
@@ -340,6 +402,31 @@ impl RuleSet {
         Ok(self)
     }
 
+    /// Keeps only the first `n` pattern rules (native rules are
+    /// untouched), rebuilding the index.
+    pub fn truncate_rules(&mut self, n: usize) {
+        self.rules.truncate(n);
+        self.rebuild_index();
+    }
+
+    fn index_rule(&mut self, idx: usize, rule: &Rule) {
+        match rule.head_const() {
+            Some(c) => self.by_head.entry(c.clone()).or_default().push(idx),
+            None => self.flex.push(idx),
+        }
+    }
+
+    fn rebuild_index(&mut self) {
+        self.by_head.clear();
+        self.flex.clear();
+        for i in 0..self.rules.len() {
+            match self.rules[i].head_const().cloned() {
+                Some(c) => self.by_head.entry(c).or_default().push(i),
+                None => self.flex.push(i),
+            }
+        }
+    }
+
     fn check_fresh_name(&self, name: &str) -> Result<(), RewriteError> {
         if self.names().contains(&name) {
             return Err(RewriteError::DuplicateRule {
@@ -347,6 +434,49 @@ impl RuleSet {
             });
         }
         Ok(())
+    }
+
+    /// The pattern rules, in insertion order.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The native δ-rules, in insertion order.
+    pub fn native_rules(&self) -> &[NativeRule] {
+        &self.native
+    }
+
+    /// The pattern rules that could match a subject whose rigid head
+    /// constant is `head` (`None` for subjects without one), in the same
+    /// first-to-last order a scan of the full list would try them: the
+    /// head's bucket merged with the flex fallback bucket by ascending
+    /// insertion index. O(bucket), not O(rules).
+    pub fn candidates(&self, head: Option<&hoas_core::Sym>) -> Candidates<'_> {
+        static EMPTY: &[usize] = &[];
+        let bucket = head
+            .and_then(|c| self.by_head.get(c))
+            .map_or(EMPTY, Vec::as_slice);
+        Candidates {
+            rules: &self.rules,
+            bucket,
+            flex: &self.flex,
+            bi: 0,
+            fi: 0,
+        }
+    }
+
+    /// Index shape: `(number of head buckets, size of the largest
+    /// bucket)` where the flex fallback counts as a bucket when nonempty.
+    pub fn index_stats(&self) -> (usize, usize) {
+        let buckets = self.by_head.len() + usize::from(!self.flex.is_empty());
+        let max = self
+            .by_head
+            .values()
+            .map(Vec::len)
+            .chain(std::iter::once(self.flex.len()))
+            .max()
+            .unwrap_or(0);
+        (buckets, max)
     }
 
     /// Total number of rules.
@@ -366,6 +496,51 @@ impl RuleSet {
             .map(|r| r.name())
             .chain(self.native.iter().map(|r| r.name()))
             .collect()
+    }
+}
+
+/// Iterator over the pattern rules that could match a given subject head,
+/// produced by [`RuleSet::candidates`]: a two-pointer merge of the head's
+/// bucket and the flex fallback bucket, yielding rules in ascending
+/// insertion order (i.e. exactly the order a linear scan would try them).
+pub struct Candidates<'a> {
+    rules: &'a [Rule],
+    bucket: &'a [usize],
+    flex: &'a [usize],
+    bi: usize,
+    fi: usize,
+}
+
+impl<'a> Iterator for Candidates<'a> {
+    type Item = &'a Rule;
+
+    fn next(&mut self) -> Option<&'a Rule> {
+        let idx = match (self.bucket.get(self.bi), self.flex.get(self.fi)) {
+            (Some(&b), Some(&f)) => {
+                if b < f {
+                    self.bi += 1;
+                    b
+                } else {
+                    self.fi += 1;
+                    f
+                }
+            }
+            (Some(&b), None) => {
+                self.bi += 1;
+                b
+            }
+            (None, Some(&f)) => {
+                self.fi += 1;
+                f
+            }
+            (None, None) => return None,
+        };
+        Some(&self.rules[idx])
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = (self.bucket.len() - self.bi) + (self.flex.len() - self.fi);
+        (n, Some(n))
     }
 }
 
@@ -514,6 +689,104 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RewriteError::DuplicateRule { .. }));
         assert_eq!(rs.len(), 1, "rejected rules are not added");
+    }
+
+    #[test]
+    fn index_dispatch_finds_rules_pushed_out_of_head_order() {
+        // Interleave heads (not, and, not, flex, and) so every bucket is
+        // built up across non-adjacent pushes, then check that candidate
+        // dispatch still sees exactly the rules a linear scan would, in
+        // the same order.
+        let s = sig();
+        let o = parse_ty("o").unwrap();
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(&s, "n1", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap())
+            .unwrap();
+        rs.push(Rule::parse(&s, "a1", &o, &[("P", "o")], "and ?P ?P", "?P").unwrap())
+            .unwrap();
+        rs.push(Rule::parse(&s, "n2", &o, &[("P", "o")], "not (and ?P ?P)", "not ?P").unwrap())
+            .unwrap();
+        // Flex lhs (metavariable head): lands in the fallback bucket.
+        rs.push(
+            Rule::parse(
+                &s,
+                "flex",
+                &o,
+                &[("F", "i -> o"), ("X", "i")],
+                "?F ?X",
+                "?F ?X",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        rs.push(Rule::parse(&s, "a2", &o, &[("P", "o"), ("Q", "o")], "and ?P ?Q", "?Q").unwrap())
+            .unwrap();
+
+        let names = |head: Option<&str>| -> Vec<&str> {
+            rs.candidates(head.map(hoas_core::Sym::new).as_ref())
+                .map(Rule::name)
+                .collect()
+        };
+        // Bucket + flex merged in insertion order, exactly as a scan.
+        assert_eq!(names(Some("not")), vec!["n1", "n2", "flex"]);
+        assert_eq!(names(Some("and")), vec!["a1", "flex", "a2"]);
+        assert_eq!(names(Some("forall")), vec!["flex"]);
+        assert_eq!(names(None), vec!["flex"]);
+        // Every pattern rule is reachable through some bucket.
+        let mut reachable: Vec<&str> = names(Some("not"));
+        reachable.extend(names(Some("and")));
+        for rule in rs.rules() {
+            assert!(reachable.contains(&rule.name()), "{} lost", rule.name());
+        }
+        let (buckets, max) = rs.index_stats();
+        assert_eq!(buckets, 3, "not, and, flex");
+        assert_eq!(max, 2);
+    }
+
+    #[test]
+    fn from_parts_and_truncate_rebuild_the_index() {
+        let s = sig();
+        let o = parse_ty("o").unwrap();
+        let r1 = Rule::parse(&s, "n1", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap();
+        let r2 = Rule::parse(&s, "a1", &o, &[("P", "o")], "and ?P ?P", "?P").unwrap();
+        let mut rs = RuleSet::from_parts(vec![r1, r2], Vec::new());
+        assert_eq!(
+            rs.candidates(Some(&hoas_core::Sym::new("and")))
+                .map(Rule::name)
+                .collect::<Vec<_>>(),
+            vec!["a1"]
+        );
+        rs.truncate_rules(1);
+        assert_eq!(rs.len(), 1);
+        assert!(rs
+            .candidates(Some(&hoas_core::Sym::new("and")))
+            .next()
+            .is_none());
+        assert_eq!(
+            rs.candidates(Some(&hoas_core::Sym::new("not")))
+                .map(Rule::name)
+                .collect::<Vec<_>>(),
+            vec!["n1"]
+        );
+    }
+
+    #[test]
+    fn arg_fingerprints_record_rigid_arg_heads() {
+        let s = sig();
+        let o = parse_ty("o").unwrap();
+        let rule = Rule::parse(
+            &s,
+            "extract",
+            &o,
+            &[("P", "o"), ("Q", "i -> o")],
+            r"and (forall (\x. ?Q x)) ?P",
+            r"forall (\x. and (?Q x) ?P)",
+        )
+        .unwrap();
+        assert_eq!(
+            rule.arg_fingerprint(),
+            &[Some(hoas_core::Sym::new("forall")), None]
+        );
     }
 
     #[test]

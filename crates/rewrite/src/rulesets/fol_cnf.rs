@@ -55,7 +55,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
     let mut rs = fol_prenex::rules(sig)?;
     // Push one by one so duplicate-name detection applies across the
     // combined set.
-    for rule in distribution_rules(sig)?.rules {
+    for rule in distribution_rules(sig)?.into_parts().0 {
         rs.push(rule)?;
     }
     Ok(rs)

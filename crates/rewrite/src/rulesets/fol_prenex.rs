@@ -115,7 +115,7 @@ pub fn rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
 /// As for [`rules`].
 pub fn nnf_rules(sig: &Signature) -> Result<RuleSet, RewriteError> {
     let mut all = rules(sig)?;
-    all.rules.truncate(6);
+    all.truncate_rules(6);
     Ok(all)
 }
 
@@ -208,7 +208,7 @@ mod tests {
     fn nnf_subset_produces_nnf() {
         let (sig, _) = setup();
         let rs = nnf_rules(&sig).unwrap();
-        assert_eq!(rs.rules.len(), 6);
+        assert_eq!(rs.rules().len(), 6);
         let engine = Engine::new(&sig, &rs);
         // ¬(r ∧ ¬r)
         let f = Formula::not(Formula::and(

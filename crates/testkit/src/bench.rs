@@ -22,6 +22,17 @@ use std::time::{Duration, Instant};
 /// Target minimum duration of one measurement sample.
 pub const MIN_SAMPLE_TIME: Duration = Duration::from_millis(2);
 
+/// Minimum number of timed samples per benchmark, settable via
+/// `HOAS_BENCH_SAMPLES`. Individual groups pick small sample counts for
+/// quick interactive runs; a recorded baseline (`bench-baseline`) raises
+/// the floor so medians are robust against scheduler jitter.
+fn sample_floor() -> usize {
+    std::env::var("HOAS_BENCH_SAMPLES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
 /// Re-export so benches can `black_box` without naming `std::hint`.
 pub use std::hint::black_box;
 
@@ -256,7 +267,7 @@ pub struct Bencher {
 impl Bencher {
     fn new(sample_size: usize, smoke: bool) -> Bencher {
         Bencher {
-            sample_size,
+            sample_size: sample_size.max(sample_floor()),
             smoke,
             samples: None,
             iterations: 0,

@@ -1,0 +1,169 @@
+//! Property tests for the normal-form cache: a cached engine must be
+//! observationally identical to a cache-disabled one — same normal form,
+//! same step count, same applied-rule list, and the same full
+//! [`RewriteStep`] trace — across all four bundled rule sets and both
+//! strategies. Also checks the `EngineStats` bookkeeping invariants and
+//! the strategy-confluence regression on the strategy-ablation workload.
+//!
+//! [`RewriteStep`]: hoas::rewrite::RewriteStep
+
+use hoas::core::prelude::*;
+use hoas::langs::{fol, imp, miniml};
+use hoas::rewrite::rulesets::{fol_cnf, fol_prenex, imp_opt, miniml_opt};
+use hoas::rewrite::{Engine, EngineConfig, RuleSet, Strategy};
+use hoas_testkit::prelude::*;
+
+const STRATEGIES: [Strategy; 2] = [Strategy::LeftmostOutermost, Strategy::LeftmostInnermost];
+
+/// Runs the same normalization with the cache on and off and asserts the
+/// two engines are indistinguishable through every observable of
+/// `NormalizeResult`, plus the stats invariants.
+fn assert_cache_transparent(
+    sig: &Signature,
+    rules: &RuleSet,
+    ty: &Ty,
+    subject: &Term,
+    strategy: Strategy,
+) {
+    let cached = Engine::with_config(
+        sig,
+        rules,
+        EngineConfig {
+            strategy,
+            ..EngineConfig::default()
+        },
+    );
+    let uncached = Engine::with_config(
+        sig,
+        rules,
+        EngineConfig {
+            strategy,
+            cache: false,
+            ..EngineConfig::default()
+        },
+    );
+    let a = cached.normalize(ty, subject).unwrap();
+    let b = uncached.normalize(ty, subject).unwrap();
+    assert_eq!(a.term, b.term, "normal forms differ ({strategy:?})");
+    assert_eq!(a.steps, b.steps, "step counts differ ({strategy:?})");
+    assert_eq!(a.applied, b.applied, "applied lists differ ({strategy:?})");
+    assert_eq!(a.trace, b.trace, "traces differ ({strategy:?})");
+    assert_eq!(a.fixpoint, b.fixpoint);
+    // Stats bookkeeping: every lookup is a hit or a miss, and only the
+    // cached engine performs lookups.
+    assert_eq!(
+        a.stats.cache_hits + a.stats.cache_misses,
+        a.stats.cache_lookups
+    );
+    assert_eq!(b.stats.cache_lookups, 0);
+    assert_eq!(b.stats.cache_hits, 0);
+    let total = cached.stats();
+    assert_eq!(total.cache_hits + total.cache_misses, total.cache_lookups);
+    assert!(total.cache_lookups >= a.stats.cache_lookups);
+}
+
+props! {
+    #![cases(48)]
+
+    fn fol_rulesets_cache_transparent(seed in seeds(), depth in 2u32..5) {
+        let vocab = fol::Vocabulary::small();
+        let sig = vocab.signature();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = fol::gen_formula(&vocab, &mut rng, depth);
+        let t = fol::encode(&f).unwrap();
+        for rules in [fol_prenex::rules(&sig).unwrap(), fol_cnf::rules(&sig).unwrap()] {
+            for strategy in STRATEGIES {
+                assert_cache_transparent(&sig, &rules, &fol::o(), &t, strategy);
+            }
+        }
+    }
+
+    fn imp_ruleset_cache_transparent(seed in seeds(), depth in 2u32..5) {
+        let sig = imp::signature();
+        let rules = imp_opt::rules(sig).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c = imp::gen_cmd(&mut rng, depth);
+        let t = imp::encode(&c).unwrap();
+        for strategy in STRATEGIES {
+            assert_cache_transparent(sig, &rules, &imp::cmd_ty(), &t, strategy);
+        }
+    }
+}
+
+/// Mini-ML programs are structured (not generator-driven), so the fourth
+/// rule set is exercised on the standard arithmetic workload.
+#[test]
+fn miniml_ruleset_cache_transparent() {
+    let sig = miniml::signature();
+    let rules = miniml_opt::rules(sig).unwrap();
+    use hoas::langs::miniml::Exp;
+    let programs = [
+        Exp::app(Exp::app(miniml::add_fn(), Exp::num(6)), Exp::num(7)),
+        Exp::app(Exp::app(miniml::mul_fn(), Exp::num(3)), Exp::num(4)),
+        Exp::app(miniml::fact_fn(), Exp::num(3)),
+        Exp::let_("x", Exp::num(2), Exp::var("x")),
+        Exp::case(Exp::num(2), Exp::num(0), "n", Exp::var("n")),
+    ];
+    for p in &programs {
+        let t = miniml::encode(p).unwrap();
+        for strategy in STRATEGIES {
+            assert_cache_transparent(sig, &rules, &miniml::exp(), &t, strategy);
+        }
+    }
+}
+
+/// The cache must actually fire on a realistic multi-pass workload: the
+/// bench prenex instances restart from the root after every rewrite, so
+/// already-proven subtrees are revisited and must hit.
+#[test]
+fn prenex_workload_has_cache_hits() {
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let engine = Engine::new(&sig, &rules);
+    let mut rng = SmallRng::seed_from_u64(0x4F_50_55_53);
+    let mut hits = 0;
+    for _ in 0..10 {
+        let f = fol::gen_formula(&vocab, &mut rng, 5);
+        let out = engine
+            .normalize(&fol::o(), &fol::encode(&f).unwrap())
+            .unwrap();
+        assert!(out.fixpoint);
+        hits += out.stats.cache_hits;
+    }
+    let total = engine.stats();
+    assert!(hits > 0, "no cache hits on the prenex workload: {total:?}");
+    assert!(total.cache_hit_rate() > 0.0);
+}
+
+/// Strategy-confluence regression on the strategy-ablation bench
+/// workload: leftmost-outermost and leftmost-innermost must reach α-equal
+/// fixpoints on every instance (term equality is α-equality — binder
+/// hints are ignored).
+#[test]
+fn strategy_ablation_workload_is_confluent() {
+    let sig = imp::signature();
+    let rules = imp_opt::rules(sig).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x4F_50_55_53);
+    let outer = Engine::new(sig, &rules);
+    let inner = Engine::with_config(
+        sig,
+        &rules,
+        EngineConfig {
+            strategy: Strategy::LeftmostInnermost,
+            ..EngineConfig::default()
+        },
+    );
+    for _ in 0..10 {
+        let c = imp::gen_cmd(&mut rng, 4);
+        let t = imp::encode(&c).unwrap();
+        let a = outer.normalize(&imp::cmd_ty(), &t).unwrap();
+        let b = inner.normalize(&imp::cmd_ty(), &t).unwrap();
+        assert!(a.fixpoint && b.fixpoint);
+        assert_eq!(
+            a.term, b.term,
+            "strategies diverged on {c}: {} vs {}",
+            a.term, b.term
+        );
+    }
+}

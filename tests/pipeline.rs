@@ -209,7 +209,7 @@ fn unifier_validates_rule_instances_across_languages() {
     ];
     let mut checked = 0;
     for (sig, rs) in &rule_sets {
-        for rule in &rs.rules {
+        for rule in rs.rules() {
             // lhs trivially matches itself.
             let got = hoas::unify::matching::match_term(
                 sig,
