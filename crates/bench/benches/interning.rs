@@ -1,0 +1,68 @@
+//! PR 5 — the hash-consed term store: α-equivalence as id comparison,
+//! and interning (dedup) throughput on warm and cold paths.
+
+use hoas_bench::workloads;
+use hoas_core::{Term, TermRef};
+use hoas_langs::lambda;
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
+
+/// Rebuilds a term bottom-up through the smart constructors: pure
+/// intern traffic, every node a store lookup.
+fn rebuild(t: &Term) -> Term {
+    match t {
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        Term::Lam(x, b) => Term::lam(x.clone(), rebuild(b.term())),
+        Term::App(f, a) => Term::app(rebuild(f.term()), rebuild(a.term())),
+        Term::Pair(a, b) => Term::pair(rebuild(a.term()), rebuild(b.term())),
+        Term::Fst(p) => Term::fst(rebuild(p.term())),
+        Term::Snd(p) => Term::snd(rebuild(p.term())),
+    }
+}
+
+fn bench_alpha_eq(c: &mut Criterion) {
+    // E1 revisited: α-equivalence of HOAS encodings is now an id
+    // comparison. The structural recursion is kept as the reference.
+    let mut group = c.benchmark_group("alpha-eq");
+    for size in [50usize, 200, 800] {
+        let inst = workloads::alpha_instance(workloads::SEED, size);
+        let (l, r) = (inst.left_hoas, inst.right_hoas);
+        assert!(l.alpha_eq(&r), "workload pair must be α-equivalent");
+        group.bench_with_input(BenchmarkId::new("id-fast-path", size), &size, |b, _| {
+            b.iter(|| l.alpha_eq(&r))
+        });
+        group.bench_with_input(BenchmarkId::new("structural", size), &size, |b, _| {
+            b.iter(|| l.alpha_eq_structural(&r))
+        });
+    }
+    group.finish();
+}
+
+fn bench_intern_dedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intern-dedup");
+    for size in [50usize, 200, 800] {
+        // Warm interning: re-encoding an already-interned program is all
+        // store hits — the steady state of a long-running engine.
+        let batch = workloads::lambda_encodings(workloads::SEED, size, 4);
+        group.bench_with_input(BenchmarkId::new("reencode-warm", size), &size, |b, _| {
+            b.iter(|| {
+                for (t, _) in &batch {
+                    lambda::encode(t).expect("closed");
+                }
+            })
+        });
+        // Smart-constructor rebuild: one intern lookup per node, no
+        // encoder overhead — isolates raw store throughput.
+        group.bench_with_input(BenchmarkId::new("rebuild-warm", size), &size, |b, _| {
+            b.iter(|| {
+                for (_, e) in &batch {
+                    TermRef::new(rebuild(e));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_alpha_eq, bench_intern_dedup);
+criterion_main!(benches);

@@ -311,7 +311,7 @@ fn opt_cmd(c: &Cmd) -> Cmd {
             let body2 = opt_cmd(body);
             // The explicit occurs check HOAS replaces with a vacuous
             // binder pattern.
-            if !body2.free_vars().contains(x.as_str()) {
+            if !body2.mentions(x.as_str()) {
                 body2
             } else {
                 Cmd::local(x.clone(), opt_aexp(init), body2)

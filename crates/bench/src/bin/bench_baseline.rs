@@ -1,5 +1,5 @@
 //! `bench-baseline` — runs the perf-tracked benches and emits a single
-//! `BENCH_pr4.json` with per-bench medians, optionally merged with a set
+//! `BENCH_pr5.json` with per-bench medians, optionally merged with a set
 //! of "before" reports for A/B comparison.
 //!
 //! ```text
@@ -8,12 +8,13 @@
 //! ```
 //!
 //! * `--bench NAME` — which bench targets to run (default: `substitution`,
-//!   `unification`, `rewriting`, `analyze`, the four perf-tracked suites).
+//!   `unification`, `rewriting`, `analyze`, `interning`, the five
+//!   perf-tracked suites).
 //! * `--before FILE` — a JSON report produced by an earlier revision via
 //!   `HOAS_BENCH_JSON`; medians found there are recorded per benchmark as
 //!   `before_median_ns` next to the fresh `median_ns`, plus a `speedup`
 //!   ratio. May be given several times.
-//! * `--out PATH` — output path (default `BENCH_pr4.json`).
+//! * `--out PATH` — output path (default `BENCH_pr5.json`).
 //! * `--runs N` — run each bench target `N` times and record, per
 //!   benchmark, the smallest of the `N` medians (default 3). Scheduler
 //!   and host interference only ever inflate a wall-clock median, never
@@ -40,7 +41,7 @@ struct Entry {
 fn main() -> ExitCode {
     let mut benches: Vec<String> = Vec::new();
     let mut before_files: Vec<PathBuf> = Vec::new();
-    let mut out = PathBuf::from("BENCH_pr4.json");
+    let mut out = PathBuf::from("BENCH_pr5.json");
     let mut runs: u32 = 3;
 
     let mut args = std::env::args().skip(1);
@@ -78,9 +79,15 @@ fn main() -> ExitCode {
         }
     }
     if benches.is_empty() {
-        benches = ["substitution", "unification", "rewriting", "analyze"]
-            .map(String::from)
-            .to_vec();
+        benches = [
+            "substitution",
+            "unification",
+            "rewriting",
+            "analyze",
+            "interning",
+        ]
+        .map(String::from)
+        .to_vec();
     }
 
     let mut entries: BTreeMap<String, Entry> = BTreeMap::new();

@@ -6,7 +6,10 @@
 //! subtrees on every pass, so a healthy cache must hit. Exits nonzero if
 //! the cache never fires — the regression this guards against is a cache
 //! that silently stops being consulted (e.g. a key change that never
-//! matches), which would show up only as a slow bench otherwise.
+//! matches), which would show up only as a slow bench otherwise. Also
+//! asserts a nonzero term-store dedup ratio: rewriting rebuilds shared
+//! subterms constantly, so a healthy interner must answer a large share
+//! of lookups from existing nodes.
 //!
 //! Run with `cargo run --release -p hoas-bench --bin cache-smoke`.
 
@@ -42,6 +45,17 @@ fn main() -> ExitCode {
     }
     if stats.cache_hits == 0 {
         eprintln!("cache-smoke: FAIL — the normal-form cache never hit on the prenex workload");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "cache-smoke: term store: {} lookups, {} hits ({:.1}% dedup), {} distinct nodes",
+        stats.intern_lookups,
+        stats.intern_hits,
+        100.0 * stats.intern_dedup_ratio(),
+        stats.intern_distinct,
+    );
+    if stats.intern_lookups == 0 || stats.intern_dedup_ratio() <= 0.0 {
+        eprintln!("cache-smoke: FAIL — the term store deduplicated nothing on the prenex workload");
         return ExitCode::FAILURE;
     }
     println!("cache-smoke: ok");

@@ -68,6 +68,7 @@ pub mod normalize;
 pub mod parse;
 pub mod print;
 pub mod sig;
+pub mod store;
 pub mod sub;
 pub mod subst;
 pub mod term;
@@ -77,6 +78,7 @@ pub mod validate;
 
 pub use error::Error;
 pub use intern::Sym;
+pub use store::{InternStats, NodeId};
 pub use term::{MVar, Term, TermRef};
 pub use ty::{Ty, TyScheme};
 
@@ -90,6 +92,7 @@ pub mod prelude {
     pub use crate::normalize;
     pub use crate::parse::{parse_term, parse_ty};
     pub use crate::sig::Signature;
+    pub use crate::store::{InternStats, NodeId};
     pub use crate::subst;
     pub use crate::term::{MVar, MetaEnv, Term, TermRef};
     pub use crate::ty::{Ty, TyScheme};

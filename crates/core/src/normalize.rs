@@ -326,14 +326,16 @@ pub fn canon_closed(sig: &Signature, t: &Term, ty: &Ty) -> Result<Term, Error> {
 }
 
 /// [`canon`] with a memo table: subtrees the cache has already proven
-/// canonical (by pointer identity) are returned in O(1) instead of being
-/// re-traversed.
+/// canonical (keyed by stable [`crate::store::NodeId`]) are returned in
+/// O(1) instead of being re-traversed.
 ///
 /// This is what makes repeated canonicalization of rewrite-step
-/// replacements cheap: the metavariable substitution shares matched
-/// subject subtrees as the *same* `Rc` nodes, so after the subject has
-/// been canonicalized once, each later [`canon_with`] call only pays for
-/// the fresh nodes of the rule's right-hand-side skeleton.
+/// replacements cheap: interning gives matched subject subtrees the
+/// *same* nodes in the replacement, so after the subject has been
+/// canonicalized once, each later [`canon_with`] call only pays for the
+/// fresh nodes of the rule's right-hand-side skeleton. The table's keys
+/// stay valid across calls (ids are never reused), so one long-lived
+/// cache can serve many `canon_with` calls and engine instances.
 ///
 /// # Errors
 ///
@@ -357,33 +359,34 @@ pub fn canon_with(
 /// pure optimization).
 const CANON_CACHE_CAP: usize = 1 << 20;
 
-/// A pointer-keyed memo table for [`canon_with`].
+/// A [`NodeId`]-keyed memo table for [`canon_with`].
 ///
-/// Each entry maps a specific term *node* to its canonical form at a
-/// specific type, together with everything the η-expander read while
-/// computing it:
+/// Each entry maps an interned term node (by its stable id) to its
+/// canonical form at a specific type, together with everything the
+/// η-expander read while computing it:
 ///
 /// * the type the node was canonicalized at,
 /// * the types of its free de Bruijn variables in the ambient context
 ///   (the only part of the context [`canon`] consults — binder name
-///   hints never influence the result),
-/// * the keyed node itself as a keep-alive `TermRef`, so its address
-///   cannot be recycled by a later allocation while the entry is live.
+///   hints never influence the result).
 ///
 /// Already-canonical nodes map to themselves, so a table warmed by one
 /// [`canon_with`] call answers in O(1) both for re-canonicalizations of
 /// the same source node and for canonical subtrees that rewrite-step
-/// replacements share by pointer.
+/// replacements share.
 ///
-/// Pointer identity is a sound key because smart constructors are the
-/// sole builders of term nodes: a given address holds one immutable node
-/// for as long as any `Rc` to it exists, and the entry itself holds one.
-/// Nodes containing metavariables are never cached (their canonical form
-/// depends on the meta environment). A cache must only ever be used with
-/// a single signature; [`canon_with`] callers own that pairing.
+/// `NodeId` is a durable key — no keepalive pinning needed: ids are
+/// assigned from a monotonic per-thread counter and never reused while
+/// the thread's [`crate::store`] lives, so an entry whose node has died
+/// is merely unreachable (no live term can carry that id again), never
+/// wrong. The cache may therefore outlive any particular `normalize` or
+/// engine run and be shared between them. Nodes containing metavariables
+/// are never cached (their canonical form depends on the meta
+/// environment). A cache must only ever be used with a single signature;
+/// [`canon_with`] callers own that pairing.
 #[derive(Debug, Default, Clone)]
 pub struct CanonCache {
-    entries: RefCell<HashMap<usize, Vec<CanonEntry>>>,
+    entries: RefCell<HashMap<crate::store::NodeId, Vec<CanonEntry>>>,
     hits: Cell<u64>,
     misses: Cell<u64>,
 }
@@ -392,10 +395,8 @@ pub struct CanonCache {
 struct CanonEntry {
     ty: Ty,
     free_tys: Vec<Ty>,
-    /// The keyed node, pinned so its address stays valid.
-    #[allow(dead_code)]
-    input: TermRef,
-    /// Canonical form of `input` at `ty` (possibly `input` itself).
+    /// Canonical form of the keyed node at `ty` (possibly that node
+    /// itself).
     result: TermRef,
 }
 
@@ -431,7 +432,7 @@ impl CanonCache {
 
     fn lookup(&self, ctx: &Ctx, t: &TermRef, ty: &Ty) -> Option<TermRef> {
         let entries = self.entries.borrow();
-        let hit = entries.get(&t.addr()).and_then(|v| {
+        let hit = entries.get(&t.id()).and_then(|v| {
             v.iter()
                 .find(|e| Self::entry_matches(e, ctx, ty, t.max_free()))
         });
@@ -471,7 +472,7 @@ impl CanonCache {
         if entries.len() >= CANON_CACHE_CAP {
             entries.clear();
         }
-        let bucket = entries.entry(key.addr()).or_default();
+        let bucket = entries.entry(key.id()).or_default();
         if bucket
             .iter()
             .any(|e| Self::entry_matches(e, ctx, ty, key.max_free()))
@@ -481,7 +482,6 @@ impl CanonCache {
         bucket.push(CanonEntry {
             ty: ty.clone(),
             free_tys,
-            input: key.clone(),
             result: result.clone(),
         });
     }

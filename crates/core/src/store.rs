@@ -1,0 +1,495 @@
+//! Hash-consed term store: every [`TermRef`](crate::term::TermRef) is
+//! interned here.
+//!
+//! [`TermRef::new`](crate::term::TermRef::new) computes a shallow
+//! structural key over the de Bruijn skeleton of the node — children are
+//! identified by their already-assigned [`NodeId`]s, binder hints are
+//! ignored — and looks it up in a thread-local [`TermStore`]. A hit
+//! returns the existing node (a reference-count bump, no allocation), so
+//! α-equivalent-modulo-hints subterms share **one** node and the cached
+//! annotations (`max_free`/`has_meta`/`beta_normal`) are computed once per
+//! distinct term. A miss allocates the node and assigns it the next id
+//! from a monotonic counter.
+//!
+//! # Stable ids as cache keys
+//!
+//! `NodeId`s are never reused while the store lives: the counter only
+//! moves forward, and once a class is evicted its id can never be
+//! *probed* again (probing requires a live `TermRef` carrying that id —
+//! while the class is merely dead-but-cached, rebuilding it resurrects
+//! the *same* node and id, never a different class under that id).
+//! Downstream caches — the rewrite engine's rule-normal-form cache and
+//! root-step memo, [`normalize::CanonCache`](crate::normalize::CanonCache)
+//! — therefore key on `NodeId` with no keepalive pinning: a stale entry
+//! under a dead id is unreachable garbage, not a soundness hazard, and the
+//! caches may outlive any particular engine instance or `normalize` call.
+//!
+//! # Scope and lifetime
+//!
+//! The store is **thread-local** (terms are `Rc`-based and `!Send`, so
+//! every term a thread can see was interned by that thread). It holds
+//! **strong** references: a node whose last external `TermRef` dies stays
+//! cached, and rebuilding the same skeleton *resurrects* it — same node,
+//! same id, no allocation — which is what makes rebuild-heavy loops
+//! (hereditary substitution, normalization) run at hit speed instead of
+//! re-allocating every round. Dead classes (entries only the store still
+//! holds) are evicted when the map grows past a high-water mark, so
+//! memory is amortized-bounded by twice the live term graph; evicting a
+//! dead class is always safe because its id cannot be probed without a
+//! live `TermRef`. Within one thread, two
+//! live `TermRef`s have equal ids **iff** they are α-equivalent modulo
+//! hints — the O(1) `alpha_eq` fast path.
+//!
+//! Because the first interning of an α-class fixes its node, *binder hints
+//! are canonicalized*: later constructions of the same skeleton under
+//! different hints return the first node, and printing uses the first
+//! hints. Hints were already semantically inert (equality, hashing,
+//! matching, and rewriting all ignore them); decode/round-trip guarantees
+//! hold up to α-equivalence, which is exactly the paper's notion of
+//! object-language identity.
+
+use crate::term::{Term, TermNode};
+use std::cell::{Cell, RefCell};
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{BuildHasher, Hasher};
+use std::rc::Rc;
+
+/// Stable, store-scoped identity of an interned term node.
+///
+/// Ids are assigned from a monotonic per-thread counter starting at `1`
+/// and are **never reused** while the store (i.e. the thread) lives, so a
+/// `NodeId` is a durable cache key: entries recorded under an id that has
+/// since died can never be matched by a live term again. `0` is never
+/// assigned, so callers may use [`NodeId::SENTINEL`] as a "no node" slot
+/// in packed keys.
+///
+/// Within one thread, two **live** [`TermRef`](crate::term::TermRef)s
+/// carry the same id iff they are α-equivalent modulo binder hints.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(u64);
+
+impl NodeId {
+    /// The never-assigned id `0`, usable as a "no node" marker.
+    pub const SENTINEL: NodeId = NodeId(0);
+
+    /// The raw id value (`0` only for [`NodeId::SENTINEL`]).
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Counters describing the thread's interner traffic; see [`stats`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct InternStats {
+    /// Total intern lookups (one per [`TermRef::new`](crate::term::TermRef::new)).
+    pub lookups: u64,
+    /// Lookups answered by an existing node (no allocation).
+    pub hits: u64,
+    /// Distinct nodes ever created (misses; monotonic, ignores deaths).
+    pub distinct_nodes: u64,
+}
+
+impl InternStats {
+    /// Fraction of lookups deduplicated to an existing node (`0.0` when no
+    /// lookups happened).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Counter-wise difference `self - earlier`, for per-call deltas
+    /// against a snapshot taken before the call.
+    pub fn since(&self, earlier: &InternStats) -> InternStats {
+        InternStats {
+            lookups: self.lookups - earlier.lookups,
+            hits: self.hits - earlier.hits,
+            distinct_nodes: self.distinct_nodes - earlier.distinct_nodes,
+        }
+    }
+}
+
+/// Shallow structural key of a node: the constructor plus the child
+/// [`NodeId`]s. Binder hints are excluded (`Lam` keys on the body only,
+/// `Meta` on the numeric id), so the key identifies the α-class modulo
+/// hints. O(1) to build and hash because children are already interned.
+#[derive(PartialEq, Eq, Hash)]
+enum NodeKey {
+    Var(u32),
+    Const(crate::intern::Sym),
+    Meta(u32),
+    Int(i64),
+    Unit,
+    Lam(NodeId),
+    App(NodeId, NodeId),
+    Pair(NodeId, NodeId),
+    Fst(NodeId),
+    Snd(NodeId),
+}
+
+impl NodeKey {
+    fn of(t: &Term) -> NodeKey {
+        match t {
+            Term::Var(i) => NodeKey::Var(*i),
+            Term::Const(c) => NodeKey::Const(c.clone()),
+            Term::Meta(m) => NodeKey::Meta(m.id()),
+            Term::Int(n) => NodeKey::Int(*n),
+            Term::Unit => NodeKey::Unit,
+            Term::Lam(_, b) => NodeKey::Lam(b.id()),
+            Term::App(f, a) => NodeKey::App(f.id(), a.id()),
+            Term::Pair(a, b) => NodeKey::Pair(a.id(), b.id()),
+            Term::Fst(p) => NodeKey::Fst(p.id()),
+            Term::Snd(p) => NodeKey::Snd(p.id()),
+        }
+    }
+
+    /// Does this key denote `node`'s skeleton? Shallow — children compare
+    /// by id — so O(1); used to verify front-cache candidates.
+    fn matches(&self, node: &TermNode) -> bool {
+        match (self, &node.term) {
+            (NodeKey::Var(i), Term::Var(j)) => i == j,
+            (NodeKey::Const(c), Term::Const(d)) => c == d,
+            (NodeKey::Meta(m), Term::Meta(n)) => *m == n.id(),
+            (NodeKey::Int(a), Term::Int(b)) => a == b,
+            (NodeKey::Unit, Term::Unit) => true,
+            (NodeKey::Lam(b), Term::Lam(_, b2)) => *b == b2.id(),
+            (NodeKey::App(f, a), Term::App(f2, a2)) => *f == f2.id() && *a == a2.id(),
+            (NodeKey::Pair(a, b), Term::Pair(a2, b2)) => *a == a2.id() && *b == b2.id(),
+            (NodeKey::Fst(p), Term::Fst(p2)) => *p == p2.id(),
+            (NodeKey::Snd(p), Term::Snd(p2)) => *p == p2.id(),
+            _ => false,
+        }
+    }
+}
+
+/// Vendored Fx-style hasher (the `rustc-hash` recurrence): per 8-byte
+/// word, `hash = (hash.rotate_left(5) ^ word) * K`. Interning sits on the
+/// hot path of *every* term construction, where SipHash's per-lookup cost
+/// would be a measurable tax; `NodeKey`s are tiny fixed-shape values
+/// (discriminant + one or two ids), for which this mix is both fast and
+/// well distributed. Not DoS-resistant — fine for a process-internal
+/// table keyed by our own ids.
+const FX_K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(FX_K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" differ.
+            self.add(u64::from_le_bytes(buf) ^ (rest.len() as u64) << 56);
+        }
+    }
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64)
+    }
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add(n as u64)
+    }
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64)
+    }
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n)
+    }
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64)
+    }
+    #[inline]
+    fn write_i64(&mut self, n: i64) {
+        self.add(n as u64)
+    }
+}
+
+#[derive(Clone, Default)]
+struct FxBuild;
+
+impl BuildHasher for FxBuild {
+    type Hasher = FxHasher;
+    #[inline]
+    fn build_hasher(&self) -> FxHasher {
+        FxHasher::default()
+    }
+}
+
+/// Evict dead classes no earlier than this map size (keeps tiny
+/// workloads eviction-free).
+const MIN_SWEEP: usize = 1 << 12;
+
+/// Slots in the direct-mapped front cache (8 KiB of pointers — L1-sized).
+const FRONT_SLOTS: usize = 1 << 10;
+
+/// The interner's two tables, behind one `RefCell` so the hot path pays a
+/// single borrow.
+struct Tables {
+    /// Direct-mapped front cache indexed by hash bits: 8 KiB of pointers
+    /// that stay L1-resident, so steady-state rebuild loops (hereditary
+    /// substitution, normalization) hit here without touching the big
+    /// map. Lazily sized on first intern (keeps `new` const). Cleared on
+    /// every sweep so its strong refs never distort liveness counts.
+    front: Vec<Option<Rc<TermNode>>>,
+    map: HashMap<NodeKey, Rc<TermNode>, FxBuild>,
+}
+
+/// The per-thread interner, keyed by [`NodeKey`]. Entries are **strong**:
+/// a class whose external refs all died stays cached until the map grows
+/// past its high-water mark, so an immediate rebuild of the same skeleton
+/// is a pure map hit — same node, same id, no allocation. On growth past
+/// the mark, entries with `strong_count == 1` (only the store holds them)
+/// are evicted and the mark resets to twice the live size, making
+/// eviction amortized O(1) per insertion and memory proportional to the
+/// live term graph.
+struct TermStore {
+    tables: RefCell<Tables>,
+    next_id: Cell<u64>,
+    lookups: Cell<u64>,
+    hits: Cell<u64>,
+    distinct: Cell<u64>,
+    sweep_at: Cell<usize>,
+}
+
+impl TermStore {
+    const fn new() -> TermStore {
+        TermStore {
+            tables: RefCell::new(Tables {
+                front: Vec::new(),
+                map: HashMap::with_hasher(FxBuild),
+            }),
+            next_id: Cell::new(1),
+            lookups: Cell::new(0),
+            hits: Cell::new(0),
+            distinct: Cell::new(0),
+            sweep_at: Cell::new(MIN_SWEEP),
+        }
+    }
+
+    fn fresh_id(&self) -> NodeId {
+        let id = self.next_id.get();
+        self.next_id.set(id + 1);
+        NodeId(id)
+    }
+
+    fn intern(&self, term: Term) -> Rc<TermNode> {
+        self.lookups.set(self.lookups.get() + 1);
+        let key = NodeKey::of(&term);
+        let hash = FxBuild.hash_one(&key);
+        let mut borrow = self.tables.borrow_mut();
+        let tables = &mut *borrow;
+        if tables.front.is_empty() {
+            tables.front.resize(FRONT_SLOTS, None);
+        }
+        let slot = (hash as usize) & (FRONT_SLOTS - 1);
+        if let Some(node) = &tables.front[slot] {
+            if key.matches(node) {
+                self.hits.set(self.hits.get() + 1);
+                let node = Rc::clone(node);
+                // Release the borrow before `term` (and its child refs)
+                // drops — keep the scopes disjoint.
+                drop(borrow);
+                return node;
+            }
+        }
+        let mut missed = false;
+        // Single-hash probe-or-insert: the miss path must not hash twice.
+        let node = match tables.map.entry(key) {
+            Entry::Occupied(e) => {
+                self.hits.set(self.hits.get() + 1);
+                Rc::clone(e.get())
+            }
+            Entry::Vacant(e) => {
+                missed = true;
+                let node = Rc::new(TermNode {
+                    id: self.fresh_id(),
+                    max_free: term.max_free(),
+                    has_meta: term.has_metas(),
+                    beta_normal: term.is_beta_normal(),
+                    term,
+                });
+                self.distinct.set(self.distinct.get() + 1);
+                e.insert(Rc::clone(&node));
+                node
+            }
+        };
+        tables.front[slot] = Some(Rc::clone(&node));
+        if missed && tables.map.len() >= self.sweep_at.get() {
+            // Evicting a dead class is always sound: without a live
+            // external ref its id cannot be probed, so a later rebuild
+            // under a fresh id can never alias it. The front cache is
+            // cleared first so its refs don't inflate liveness counts.
+            // Entry drops release child refs, which may turn further
+            // entries dead — they go in a later sweep.
+            tables.front.clear();
+            tables.map.retain(|_, node| Rc::strong_count(node) > 1);
+            self.sweep_at.set((tables.map.len() * 2).max(MIN_SWEEP));
+        }
+        drop(borrow);
+        node
+    }
+
+    fn stats(&self) -> InternStats {
+        InternStats {
+            lookups: self.lookups.get(),
+            hits: self.hits.get(),
+            distinct_nodes: self.distinct.get(),
+        }
+    }
+}
+
+thread_local! {
+    static STORE: TermStore = const { TermStore::new() };
+}
+
+/// Interns `term` in the thread's store; called by
+/// [`TermRef::new`](crate::term::TermRef::new).
+pub(crate) fn intern(term: Term) -> Rc<TermNode> {
+    STORE.with(|s| s.intern(term))
+}
+
+/// A fresh id that is *not* associated with any store entry, for the
+/// test-only corrupted-node backdoor: the node stays outside the map (so
+/// it can never be returned by interning) but its id still never collides
+/// with a real node's.
+pub(crate) fn fresh_unregistered_id() -> NodeId {
+    STORE.with(|s| s.fresh_id())
+}
+
+/// This thread's interner counters (monotonic totals). Take a snapshot
+/// before a workload and diff with [`InternStats::since`] for per-call
+/// numbers.
+pub fn stats() -> InternStats {
+    STORE.with(|s| s.stats())
+}
+
+/// Evicts every dead class *now* and shrinks the interner to its smallest
+/// footprint (the front cache is dropped too; it re-sizes lazily on the
+/// next intern). Semantics are unaffected — live nodes always survive —
+/// this is memory/benchmark hygiene: it stops one workload's dead-class
+/// cache from occupying heap while an unrelated workload is measured.
+pub fn trim() {
+    STORE.with(|s| {
+        let mut borrow = s.tables.borrow_mut();
+        let tables = &mut *borrow;
+        tables.front = Vec::new();
+        tables.map.retain(|_, node| Rc::strong_count(node) > 1);
+        tables.map.shrink_to_fit();
+        s.sweep_at.set((tables.map.len() * 2).max(MIN_SWEEP));
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::TermRef;
+
+    #[test]
+    fn identical_skeletons_share_one_node() {
+        let a = TermRef::new(Term::lam("x", Term::Var(0)));
+        let b = TermRef::new(Term::lam("y", Term::Var(0)));
+        assert!(TermRef::ptr_eq(&a, &b));
+        assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn distinct_skeletons_get_distinct_ids() {
+        let a = TermRef::new(Term::lam("x", Term::Var(0)));
+        let b = TermRef::new(Term::lam("x", Term::Var(1)));
+        assert_ne!(a.id(), b.id());
+        assert_ne!(a.id(), NodeId::SENTINEL);
+        assert_ne!(b.id(), NodeId::SENTINEL);
+    }
+
+    #[test]
+    fn stats_count_hits_and_misses() {
+        let before = stats();
+        // A fresh, never-before-interned shape (unique constant name per
+        // test binary run is not guaranteed, so measure deltas only).
+        let t = || Term::app(Term::cnst("store-test-c"), Term::Int(41));
+        let a = TermRef::new(t());
+        let after_first = stats();
+        let b = TermRef::new(t());
+        let after_second = stats();
+        assert!(TermRef::ptr_eq(&a, &b));
+        let d1 = after_first.since(&before);
+        let d2 = after_second.since(&after_first);
+        assert_eq!(d1.lookups, 3); // c, 41, app
+        assert_eq!(d2.lookups, 3);
+        // The second build is fully deduplicated.
+        assert_eq!(d2.hits, 3);
+        assert_eq!(d2.distinct_nodes, 0);
+        assert!(after_second.dedup_ratio() > 0.0);
+    }
+
+    #[test]
+    fn dead_classes_resurrect_with_the_same_id() {
+        let id1 = {
+            let t = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
+            t.id()
+        };
+        // All external refs died, but the strong store entry survives
+        // until an eviction sweep; rebuilding the skeleton immediately
+        // (no interleaving misses, hence no sweep) resurrects the same
+        // node under the same id.
+        let t2 = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
+        assert_eq!(t2.id(), id1);
+    }
+
+    #[test]
+    fn evicted_classes_reintern_under_fresh_ids() {
+        let id1 = {
+            let t = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
+            t.id()
+        };
+        // Flood the store with transient distinct skeletons, holding none
+        // of them. Whatever high-water mark this thread's store currently
+        // has, enough dead-entry growth forces at least one sweep after
+        // `id1`'s entry went dead, evicting it.
+        for i in 0..(3 * MIN_SWEEP as i64) {
+            let _ = TermRef::new(Term::app(
+                Term::cnst("store-test-evict-flood"),
+                Term::Int(i),
+            ));
+        }
+        let t2 = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
+        // Evicted means gone for good: the skeleton comes back under a
+        // fresh id, and the old id can never be observed again.
+        assert_ne!(t2.id(), id1);
+        assert!(t2.id() > id1);
+    }
+}

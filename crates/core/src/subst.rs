@@ -13,9 +13,10 @@
 //! Every traversal here consults the cached `max_free` annotation (see
 //! [`crate::term::TermRef`]) before descending: a subterm whose free
 //! variables all lie below the cutoff cannot be changed by a shift or a
-//! substitution, so the traversal returns the **same** `Rc` node — a
-//! pointer copy, zero allocations. On closed subterms (`max_free == 0`)
-//! every operation in this module is O(1).
+//! substitution, so the traversal returns the **same** interned node — a
+//! pointer copy under the same [`crate::store::NodeId`], zero allocations
+//! and zero store lookups. On closed subterms (`max_free == 0`) every
+//! operation in this module is O(1).
 
 use crate::term::{Term, TermRef};
 

@@ -12,11 +12,14 @@
 //! and matching solve for. A metavariable applied to a spine of distinct
 //! bound variables is a *Miller pattern*; see `hoas-unify`.
 //!
-//! # Shared, annotation-carrying representation
+//! # Hash-consed, annotation-carrying representation
 //!
 //! Subterms are [`TermRef`]s — reference-counted pointers to immutable
-//! nodes ([`Rc<TermNode>`](std::rc::Rc)) that cache three structural
-//! annotations, computed **bottom-up in O(1)** at construction time:
+//! nodes ([`Rc<TermNode>`](std::rc::Rc)) **interned** in a thread-local
+//! [`crate::store`]: constructing a term whose de Bruijn skeleton (modulo
+//! binder hints) was already built returns the *same* node. Each node
+//! carries a stable [`NodeId`] and caches three structural annotations,
+//! computed **bottom-up in O(1)** once per distinct term:
 //!
 //! * `max_free` — the maximal free de Bruijn index **plus one** (so `0`
 //!   means *closed*): an O(1) closedness/scope test;
@@ -26,18 +29,21 @@
 //!
 //! All three are functions of the term's structure alone (never of binder
 //! hints), so they are stable under α-renaming and safe to share. The
-//! kernel's traversals exploit them aggressively: `shift`/`subst` return
-//! the *same* `Rc` (a pointer copy, zero allocations) on subterms the
-//! operation cannot change, substitution application skips meta-free
-//! subtrees, and normalization skips already-normal ones. Equality takes a
-//! pointer-identity fast path before structural comparison, making
-//! α-equivalence O(shared structure) instead of O(term size).
+//! kernel's traversals exploit the sharing aggressively: `shift`/`subst`
+//! return the *same* `Rc` (a pointer copy, zero allocations) on subterms
+//! the operation cannot change, substitution application skips meta-free
+//! subtrees, and normalization skips already-normal ones. Because
+//! interning makes node identity coincide with α-equivalence modulo
+//! hints, [`TermRef`] equality **is** a single id comparison — O(1)
+//! α-equivalence — and downstream caches key durably on [`NodeId`]
+//! (see [`crate::store`] for the no-reuse argument).
 //!
-//! Annotations cannot go stale: [`TermNode`] internals are private, every
-//! node is built by [`TermRef::new`] (directly or via the [`Term`] smart
-//! constructors), and the node is immutable afterwards.
+//! Annotations cannot go stale: [`TermNode`] internals are crate-private,
+//! every node is built by [`TermRef::new`] (directly or via the [`Term`]
+//! smart constructors), and the node is immutable afterwards.
 
 use crate::intern::Sym;
+use crate::store::{self, NodeId};
 use crate::ty::Ty;
 use std::collections::HashMap;
 use std::fmt;
@@ -103,43 +109,45 @@ impl fmt::Display for MVar {
 /// Typing environment for metavariables: the type each hole must fill.
 pub type MetaEnv = HashMap<MVar, Ty>;
 
-/// An immutable, annotated term node. Private: the only way to obtain one
-/// is through [`TermRef::new`], which computes the annotations, so the
-/// cached values are correct by construction.
+/// An immutable, annotated, interned term node. Crate-private: the only
+/// way to obtain one is through [`TermRef::new`], which interns the term
+/// in the thread's [`crate::store`], so id equality coincides with
+/// α-equivalence and the cached annotations are correct by construction.
 #[derive(Debug)]
-struct TermNode {
-    term: Term,
+pub(crate) struct TermNode {
+    pub(crate) term: Term,
+    /// Stable store-scoped identity; equal iff α-equivalent modulo hints.
+    pub(crate) id: NodeId,
     /// Maximal free de Bruijn index + 1 (`0` = locally closed).
-    max_free: u32,
+    pub(crate) max_free: u32,
     /// Whether any metavariable occurs in the subterm.
-    has_meta: bool,
+    pub(crate) has_meta: bool,
     /// Whether the subterm is β-normal (no β/projection redex).
-    beta_normal: bool,
+    pub(crate) beta_normal: bool,
 }
 
-/// A shared, annotation-carrying reference to a subterm: `Rc<TermNode>`.
+/// A shared, annotation-carrying reference to an interned subterm:
+/// `Rc<TermNode>`.
 ///
-/// Cloning is a reference-count bump. Equality takes a pointer-identity
-/// fast path, then compares cached annotations (a cheap negative filter),
-/// then falls back to structural α-equivalence. [`Hash`] ignores sharing
-/// and binder hints, so it remains consistent with `==`.
+/// Cloning is a reference-count bump. Because nodes are hash-consed,
+/// equality is a single [`NodeId`] comparison — O(1) α-equivalence —
+/// and [`TermRef::ptr_eq`] holds exactly when `==` does. [`Hash`] ignores
+/// binder hints (it hashes the skeleton via child ids), so it remains
+/// consistent with `==`.
 #[derive(Clone)]
 pub struct TermRef(Rc<TermNode>);
 
 impl TermRef {
-    /// Wraps a term in a new annotated node, computing `max_free`,
-    /// `has_meta`, and `beta_normal` in O(1) from the (already annotated)
-    /// children.
+    /// Interns a term in the thread's store, returning the canonical node
+    /// for its α-class: if the same de Bruijn skeleton (modulo binder
+    /// hints) was interned before and is still alive, that node is
+    /// returned unchanged — a reference-count bump, no allocation, and
+    /// the *first* interning's hints win for printing. Otherwise a new
+    /// node is allocated, its `max_free`/`has_meta`/`beta_normal`
+    /// annotations computed in O(1) from the (already interned) children,
+    /// and a fresh [`NodeId`] assigned.
     pub fn new(term: Term) -> TermRef {
-        let max_free = term.max_free();
-        let has_meta = term.has_metas();
-        let beta_normal = term.is_beta_normal();
-        TermRef(Rc::new(TermNode {
-            term,
-            max_free,
-            has_meta,
-            beta_normal,
-        }))
+        TermRef(store::intern(term))
     }
 
     /// The underlying term.
@@ -167,35 +175,39 @@ impl TermRef {
         self.0.max_free == 0
     }
 
-    /// Pointer identity: do both refs share the very same node?
+    /// Pointer identity: do both refs share the very same node? With
+    /// interning this coincides with `==` (and with id equality) for all
+    /// store-built refs.
     pub fn ptr_eq(a: &TermRef, b: &TermRef) -> bool {
         Rc::ptr_eq(&a.0, &b.0)
     }
 
-    /// The node's address, usable as a pointer-identity map key.
+    /// The node's stable [`NodeId`], usable as a durable cache key.
     ///
-    /// Two live refs have equal addresses iff [`TermRef::ptr_eq`] holds.
-    /// The address is only meaningful while some ref keeps the node
-    /// alive: a key derived from it must not outlive the last clone of
-    /// this ref, or a later allocation may reuse the address.
-    pub fn addr(&self) -> usize {
-        Rc::as_ptr(&self.0) as usize
+    /// Two live refs have equal ids iff they are α-equivalent modulo
+    /// binder hints. Ids are never reused while the thread lives, so —
+    /// unlike a raw address — a key derived from an id stays sound after
+    /// the last ref dies: it simply can never be probed again (see
+    /// [`crate::store`]).
+    pub fn id(&self) -> NodeId {
+        self.0.id
     }
 
-    /// Extracts the term, avoiding a clone when this is the last reference.
-    /// The fallback clone is *shallow* (children stay shared).
+    /// Extracts the term. The clone is *shallow* — children stay shared —
+    /// so this costs a few reference-count bumps, never a deep copy. (The
+    /// node cannot be dismantled in place: the store keeps a strong entry,
+    /// so this is never the last reference.)
     pub fn into_term(self) -> Term {
-        match Rc::try_unwrap(self.0) {
-            Ok(node) => node.term,
-            Err(rc) => rc.term.clone(),
-        }
+        self.0.term.clone()
     }
 
     /// Test-only backdoor: builds a node with the **supplied** annotations
     /// instead of computing them, deliberately breaking the
     /// correct-by-construction invariant so tests can prove
-    /// [`crate::validate::check_term`] detects corrupted caches. Never call
-    /// this outside tests.
+    /// [`crate::validate::check_term`] detects corrupted caches. The node
+    /// bypasses the interner: it gets a fresh id that is registered in no
+    /// store entry, so `check_term`'s interning check can detect it too.
+    /// Never call this outside tests.
     #[doc(hidden)]
     pub fn new_with_annotations_for_tests(
         term: Term,
@@ -205,6 +217,7 @@ impl TermRef {
     ) -> TermRef {
         TermRef(Rc::new(TermNode {
             term,
+            id: store::fresh_unregistered_id(),
             max_free,
             has_meta,
             beta_normal,
@@ -238,21 +251,21 @@ impl std::borrow::Borrow<Term> for TermRef {
 }
 
 impl PartialEq for TermRef {
-    /// α-equivalence with a pointer-identity fast path and an O(1)
-    /// annotation mismatch filter (equal terms have equal annotations).
+    /// α-equivalence in O(1): interning gives every α-class (modulo binder
+    /// hints) exactly one live node, so comparing the stable ids decides
+    /// α-equivalence outright. (Nodes from the test-only annotation
+    /// backdoor sit outside the store under fresh ids and thus compare
+    /// unequal to everything but their own clones.)
     fn eq(&self, other: &Self) -> bool {
-        Rc::ptr_eq(&self.0, &other.0)
-            || (self.0.max_free == other.0.max_free
-                && self.0.has_meta == other.0.has_meta
-                && self.0.beta_normal == other.0.beta_normal
-                && self.0.term == other.0.term)
+        self.0.id == other.0.id
     }
 }
 impl Eq for TermRef {}
 
 impl std::hash::Hash for TermRef {
-    /// Delegates to the term's hint-insensitive hash: sharing and
-    /// annotations never leak into the hash.
+    /// Delegates to the term's hint-insensitive skeleton hash (shallow:
+    /// children contribute their ids), keeping `Hash` consistent with the
+    /// [`Borrow<Term>`](std::borrow::Borrow) impl.
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         self.0.term.hash(state)
     }
@@ -400,8 +413,8 @@ impl Term {
     /// `(function, argument)` pair per application — `pairs[i].0` holds
     /// `head a₀ … aᵢ₋₁` and `pairs[i].1` is `aᵢ`. Rebuilding a spine
     /// around one changed argument can then reuse the unchanged prefix
-    /// node and every sibling argument node by pointer, preserving the
-    /// sharing that pointer-identity caches key on.
+    /// node and every sibling argument node directly, skipping the store
+    /// lookups a bottom-up re-intern of those subtrees would pay.
     pub fn spine_apps(&self) -> (&Term, Vec<(&TermRef, &TermRef)>) {
         let mut pairs = Vec::new();
         let mut cur = self;
@@ -561,6 +574,38 @@ impl Term {
         }
     }
 
+    /// α-equivalence (modulo binder hints). With hash-consing this is the
+    /// same as `==`: children are compared by stable [`NodeId`], so the
+    /// test is O(1) — one id comparison per child — rather than a
+    /// traversal. [`Term::alpha_eq_structural`] is the traversal-based
+    /// reference implementation the property suite checks this against.
+    pub fn alpha_eq(&self, other: &Term) -> bool {
+        self == other
+    }
+
+    /// Reference implementation of α-equivalence: a full structural
+    /// recursion over both terms that never consults node identity,
+    /// sharing, or cached annotations. O(term size). Exists to
+    /// cross-check the O(1) id-comparison path ([`Term::alpha_eq`], `==`)
+    /// in tests and benches; prefer `==` everywhere else.
+    pub fn alpha_eq_structural(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::Var(i), Term::Var(j)) => i == j,
+            (Term::Const(a), Term::Const(b)) => a == b,
+            (Term::Meta(a), Term::Meta(b)) => a == b,
+            (Term::Int(a), Term::Int(b)) => a == b,
+            (Term::Unit, Term::Unit) => true,
+            (Term::Lam(_, a), Term::Lam(_, b)) => a.term().alpha_eq_structural(b.term()),
+            (Term::App(f, a), Term::App(g, b)) | (Term::Pair(f, a), Term::Pair(g, b)) => {
+                f.term().alpha_eq_structural(g.term()) && a.term().alpha_eq_structural(b.term())
+            }
+            (Term::Fst(a), Term::Fst(b)) | (Term::Snd(a), Term::Snd(b)) => {
+                a.term().alpha_eq_structural(b.term())
+            }
+            _ => false,
+        }
+    }
+
     /// Renames every binder hint using `f`; used by pretty-printing tests
     /// to demonstrate that hints are semantically inert.
     pub fn map_hints(&self, f: &mut impl FnMut(&Sym) -> Sym) -> Term {
@@ -578,9 +623,8 @@ impl Term {
 impl PartialEq for Term {
     /// Structural equality **modulo binder hints** — i.e. α-equivalence.
     ///
-    /// Compound cases compare children as [`TermRef`]s, which short-circuit
-    /// on pointer identity and on cached-annotation mismatch before
-    /// recursing.
+    /// Shallow and O(1) in the compound cases: children are interned
+    /// [`TermRef`]s, compared by id alone.
     fn eq(&self, other: &Self) -> bool {
         match (self, other) {
             (Term::Var(i), Term::Var(j)) => i == j,
@@ -600,6 +644,11 @@ impl PartialEq for Term {
 impl Eq for Term {}
 
 impl std::hash::Hash for Term {
+    /// Shallow skeleton hash, consistent with `==`: binder hints are
+    /// ignored and children contribute their stable [`NodeId`]s (equal
+    /// terms have id-equal children), so hashing is O(1) per node instead
+    /// of O(term size). Like the ids themselves, hashes are only
+    /// meaningful within one thread's store.
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         std::mem::discriminant(self).hash(state);
         match self {
@@ -607,12 +656,12 @@ impl std::hash::Hash for Term {
             Term::Const(c) => c.hash(state),
             Term::Meta(m) => m.hash(state),
             Term::Int(n) => n.hash(state),
-            Term::Lam(_, b) => b.hash(state),
+            Term::Lam(_, b) => b.id().hash(state),
             Term::App(a, b) | Term::Pair(a, b) => {
-                a.hash(state);
-                b.hash(state);
+                a.id().hash(state);
+                b.id().hash(state);
             }
-            Term::Fst(b) | Term::Snd(b) => b.hash(state),
+            Term::Fst(b) | Term::Snd(b) => b.id().hash(state),
             Term::Unit => {}
         }
     }
@@ -694,13 +743,30 @@ mod tests {
     }
 
     #[test]
-    fn addr_tracks_pointer_identity() {
+    fn id_tracks_interned_alpha_class() {
         let a: TermRef = Term::cnst("c").into();
         let b = a.clone();
+        // Rebuilding the same skeleton interns to the very same node…
         let c: TermRef = Term::cnst("c").into();
-        assert_eq!(a.addr(), b.addr());
+        assert_eq!(a.id(), b.id());
         assert!(TermRef::ptr_eq(&a, &b));
-        assert_ne!(a.addr(), c.addr());
+        assert_eq!(a.id(), c.id());
+        assert!(TermRef::ptr_eq(&a, &c));
+        // …while a different skeleton gets a different id.
+        let d: TermRef = Term::cnst("d").into();
+        assert_ne!(a.id(), d.id());
+        assert!(!TermRef::ptr_eq(&a, &d));
+    }
+
+    #[test]
+    fn alpha_eq_fast_path_agrees_with_structural() {
+        let a = Term::lam("x", Term::app(Term::Var(0), Term::cnst("c")));
+        let b = Term::lam("y", Term::app(Term::Var(0), Term::cnst("c")));
+        let c = Term::lam("x", Term::app(Term::Var(0), Term::cnst("d")));
+        assert!(a.alpha_eq(&b));
+        assert!(a.alpha_eq_structural(&b));
+        assert!(!a.alpha_eq(&c));
+        assert!(!a.alpha_eq_structural(&c));
     }
 
     #[test]
@@ -793,12 +859,12 @@ mod tests {
     }
 
     #[test]
-    fn termref_equality_and_hash_ignore_sharing() {
-        // The same structural term built twice (no sharing) vs once shared.
-        let mk = || Term::lam("x", Term::app(Term::Var(0), Term::cnst("c")));
-        let a = TermRef::new(mk());
-        let b = TermRef::new(mk());
-        assert!(!TermRef::ptr_eq(&a, &b));
+    fn termref_equality_and_hash_ignore_hints() {
+        // The same skeleton built twice under different hints interns to
+        // one node: equal, pointer-identical, and hash-identical.
+        let a = TermRef::new(Term::lam("x", Term::app(Term::Var(0), Term::cnst("c"))));
+        let b = TermRef::new(Term::lam("y", Term::app(Term::Var(0), Term::cnst("c"))));
+        assert!(TermRef::ptr_eq(&a, &b));
         assert_eq!(a, b);
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};

@@ -1,5 +1,6 @@
 //! Kernel annotation validation: recompute every cached [`TermRef`]
-//! annotation by naive traversal and diff it against the stored value.
+//! annotation by naive traversal and diff it against the stored value,
+//! then check each node's interning invariant.
 //!
 //! The shared representation caches `max_free`, `has_meta`, and
 //! `beta_normal` on every node, maintained by the smart constructors.
@@ -7,6 +8,14 @@
 //! trusting: this module recomputes all three bottom-up **without ever
 //! consulting a cache** and reports the first node whose stored
 //! annotation disagrees.
+//!
+//! With the hash-consed store, a second invariant holds: every node
+//! reachable through `TermRef`s must be the store's canonical
+//! representative of its α-class — re-interning its skeleton (a key
+//! built from the child ids, which this check thereby also verifies are
+//! live in the store) must hand back the very same node id. A node that
+//! bypassed the interner, or whose id diverged from the store's, is
+//! reported as an `interned_id` mismatch.
 //!
 //! Two entry points:
 //!
@@ -19,11 +28,12 @@
 use crate::term::{Term, TermRef};
 use std::fmt;
 
-/// A cached annotation disagreed with its naive recomputation.
+/// A cached annotation disagreed with its naive recomputation, or a node
+/// violated the interning invariant.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct AnnotationMismatch {
-    /// Which annotation field disagreed (`max_free`, `has_meta`, or
-    /// `beta_normal`).
+    /// Which invariant failed (`max_free`, `has_meta`, `beta_normal`, or
+    /// `interned_id`).
     pub field: &'static str,
     /// The value cached on the node.
     pub cached: String,
@@ -150,6 +160,17 @@ fn check_node(r: &TermRef) -> Result<Annotations, AnnotationMismatch> {
             got.beta_normal.to_string(),
         ));
     }
+    // Interning invariant: the node must be the store's canonical
+    // representative — re-interning its skeleton (keyed over the child
+    // ids, so those must be live store entries too) returns the same id.
+    let canonical = TermRef::new(r.term().clone());
+    if canonical.id() != r.id() {
+        return Err(mismatch(
+            "interned_id",
+            r.id().to_string(),
+            canonical.id().to_string(),
+        ));
+    }
     Ok(got)
 }
 
@@ -201,5 +222,17 @@ mod tests {
         let t = Term::Fst(lies);
         let err = check_term(&t).unwrap_err();
         assert_eq!(err.field, "beta_normal");
+    }
+
+    #[test]
+    fn uninterned_node_is_caught() {
+        // A node with *correct* annotations that nevertheless bypassed
+        // the interner: the annotation checks pass, but re-interning its
+        // skeleton yields the canonical node under a different id.
+        let inner = Term::app(Term::cnst("f"), Term::Var(0));
+        let stray = TermRef::new_with_annotations_for_tests(inner, 1, false, true);
+        let t = Term::Snd(stray);
+        let err = check_term(&t).unwrap_err();
+        assert_eq!(err.field, "interned_id");
     }
 }

@@ -121,6 +121,23 @@ impl Formula {
             Formula::Forall(_, a) | Formula::Exists(_, a) => 1 + a.quantifier_count(),
         }
     }
+
+    /// α-equivalence: equality up to consistent renaming of quantified
+    /// variables. Decided *through the HOAS encoding* — binding structure
+    /// lives in metalanguage λs there, so kernel term equality (itself
+    /// O(1) id comparison in the hash-consed store) is exactly
+    /// object-language α-equivalence; this is the paper's adequacy claim
+    /// used as an algorithm. Encode/decode round-trips are stable up to
+    /// `alpha_eq` (the store canonicalizes binder-name hints, so decode
+    /// may resurface different names). Formulas the encoder rejects
+    /// (unbound variables) fall back to the name-sensitive derived
+    /// equality.
+    pub fn alpha_eq(&self, other: &Formula) -> bool {
+        match (encode(self), encode(other)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => self == other,
+        }
+    }
 }
 
 impl FoTerm {
@@ -678,7 +695,9 @@ mod tests {
     fn decode_roundtrip() {
         let f = sample();
         let e = encode(&f).unwrap();
-        assert_eq!(decode(&e).unwrap(), f);
+        // Round-trips hold up to α-equivalence: the interned store
+        // canonicalizes binder hints, so decode may pick fresh names.
+        assert!(decode(&e).unwrap().alpha_eq(&f));
     }
 
     #[test]
@@ -709,7 +728,7 @@ mod tests {
             let f = gen_formula(&v, &mut rng, 5);
             let e = encode(&f).unwrap();
             hoas_core::typeck::check_closed(&sig, &e, &o()).unwrap();
-            assert_eq!(decode(&e).unwrap(), f);
+            assert!(decode(&e).unwrap().alpha_eq(&f));
             // Canonicalization is the identity on encodings (they are
             // already canonical).
             let c = normalize::canon_closed(&sig, &e, &o()).unwrap();

@@ -173,6 +173,21 @@ impl Cmd {
         }
     }
 
+    /// α-equivalence: equality up to consistent renaming of
+    /// `local`-bound variables, decided through the HOAS encoding (kernel
+    /// term equality is α-equivalence — an O(1) id comparison in the
+    /// hash-consed store). Encode/decode round-trips are stable up to
+    /// `alpha_eq`, not derived `==` (the store canonicalizes binder-name
+    /// hints). Commands the encoder rejects (globals read before
+    /// assignment, which `encode` cannot scope) fall back to the
+    /// name-sensitive derived equality.
+    pub fn alpha_eq(&self, other: &Cmd) -> bool {
+        match (encode(self), encode(other)) {
+            (Ok(a), Ok(b)) => a == b,
+            _ => self == other,
+        }
+    }
+
     /// Variables read or written, excluding locally declared ones.
     pub fn free_vars(&self) -> HashSet<String> {
         fn aexp(e: &Aexp, acc: &mut HashSet<String>, bound: &[String]) {
@@ -236,6 +251,39 @@ impl Cmd {
         let mut acc = HashSet::new();
         cmd(self, &mut acc, &mut Vec::new());
         acc
+    }
+
+    /// Does `x` occur free in this command? Equivalent to
+    /// `free_vars().contains(x)` without materializing the set, so
+    /// single-binder queries (dead-`local` elimination) stay
+    /// allocation-free and can short-circuit on the first occurrence.
+    pub fn mentions(&self, x: &str) -> bool {
+        fn aexp(e: &Aexp, x: &str) -> bool {
+            match e {
+                Aexp::Num(_) => false,
+                Aexp::Var(y) => y == x,
+                Aexp::Add(a, b) | Aexp::Sub(a, b) | Aexp::Mul(a, b) => aexp(a, x) || aexp(b, x),
+            }
+        }
+        fn bexp(e: &Bexp, x: &str) -> bool {
+            match e {
+                Bexp::Le(a, b) | Bexp::Eq(a, b) => aexp(a, x) || aexp(b, x),
+                Bexp::Not(b) => bexp(b, x),
+                Bexp::And(a, b) => bexp(a, x) || bexp(b, x),
+            }
+        }
+        fn cmd(c: &Cmd, x: &str) -> bool {
+            match c {
+                Cmd::Skip => false,
+                Cmd::Assign(y, e) => y == x || aexp(e, x),
+                Cmd::Print(e) => aexp(e, x),
+                Cmd::Seq(a, b) => cmd(a, x) || cmd(b, x),
+                Cmd::If(b, t, e) => bexp(b, x) || cmd(t, x) || cmd(e, x),
+                Cmd::While(b, body) => bexp(b, x) || cmd(body, x),
+                Cmd::Local(y, init, body) => aexp(init, x) || (y != x && cmd(body, x)),
+            }
+        }
+        cmd(self, x)
     }
 }
 
@@ -695,7 +743,9 @@ mod tests {
         let c = sample();
         let t = encode(&c).unwrap();
         hoas_core::typeck::check_closed(signature(), &t, &cmd_ty()).unwrap();
-        assert_eq!(decode(&t).unwrap(), c);
+        // Round-trips hold up to α-equivalence (binder hints are
+        // canonicalized by the interned store).
+        assert!(decode(&t).unwrap().alpha_eq(&c));
     }
 
     #[test]
@@ -792,5 +842,28 @@ mod tests {
         let open = Cmd::Assign("x".into(), Aexp::var("y"));
         let fv = open.free_vars();
         assert!(fv.contains("x") && fv.contains("y"));
+    }
+
+    #[test]
+    fn mentions_agrees_with_free_vars() {
+        let mut rng = SmallRng::seed_from_u64(4025);
+        for _ in 0..60 {
+            let c = gen_cmd(&mut rng, 4);
+            let fv = c.free_vars();
+            for x in ["x", "y", "z", "w", "i0", "nope"] {
+                assert_eq!(c.mentions(x), fv.contains(x), "var {x} in {c}");
+            }
+        }
+        // Shadowing: the outer binder's body occurrence is captured by the
+        // inner rebinding, but the inner init still sees the outer `x`.
+        let c = Cmd::local(
+            "x",
+            Aexp::Num(1),
+            Cmd::local("x", Aexp::var("x"), Cmd::Print(Aexp::var("x"))),
+        );
+        assert!(!c.mentions("x"));
+        let inner = Cmd::local("x", Aexp::var("x"), Cmd::Print(Aexp::var("x")));
+        assert!(inner.mentions("x"));
+        assert!(inner.free_vars().contains("x"));
     }
 }

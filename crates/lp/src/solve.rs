@@ -155,12 +155,19 @@ pub fn solve(
     goal: &Goal,
     cfg: &SolveConfig,
 ) -> Result<Outcome, LpError> {
-    let query_metas = goal.metas();
-    for m in &query_metas {
-        if !menv.contains_key(m) {
-            return Err(LpError::Unify(UnifyError::IllTyped(
-                hoas_core::Error::UnknownMeta { mvar: m.clone() },
-            )));
+    // Resolve each goal metavariable to the caller's `menv` key: the
+    // interned term store canonicalizes `MVar` hints per numeric id, so
+    // hints recovered from the goal term may differ from the ones the
+    // caller declared (and later looks answers up by via `Answer::get`).
+    let mut query_metas = goal.metas();
+    for m in &mut query_metas {
+        match menv.get_key_value(m) {
+            Some((k, _)) => *m = k.clone(),
+            None => {
+                return Err(LpError::Unify(UnifyError::IllTyped(
+                    hoas_core::Error::UnknownMeta { mvar: m.clone() },
+                )))
+            }
         }
     }
     let next_meta = menv.keys().map(|m| m.id() + 1).max().unwrap_or(0);

@@ -10,15 +10,19 @@
 //!
 //! # Normalization cache and dispatch index
 //!
-//! Three layers keep a `normalize` call from re-doing work:
+//! Three layers keep a `normalize` call from re-doing work. All of them
+//! key on stable [`NodeId`](hoas_core::NodeId)s from the hash-consed term
+//! store — durable keys that are never reused — so the caches live in a
+//! shareable [`EngineCaches`] handle that can outlive any single engine
+//! instance (see [`Engine::with_caches`]):
 //!
-//! * a **rule-normal-form cache** keyed on [`TermRef`] pointer identity:
-//!   once a shared subterm has been proven rule-normal (no rule fires
-//!   anywhere inside it), every later pass skips it in O(1). Rewrites
-//!   rebuild only the spine from the rewrite site to the root — sibling
-//!   subtrees keep their nodes, so their cache entries survive and the
-//!   restart-from-root loop degenerates to a resume-at-site traversal
-//!   while producing byte-identical [`RewriteStep`] traces;
+//! * a **rule-normal-form cache** keyed on node id: once a shared subterm
+//!   has been proven rule-normal (no rule fires anywhere inside it),
+//!   every later pass skips it in O(1). Rewrites rebuild only the spine
+//!   from the rewrite site to the root — sibling subtrees keep their
+//!   nodes, so their cache entries survive and the restart-from-root loop
+//!   degenerates to a resume-at-site traversal while producing identical
+//!   [`RewriteStep`] traces;
 //! * a **head-type table** filled lazily from the signature, so
 //!   descending a neutral spine no longer re-synthesizes the head's type
 //!   at every application node;
@@ -37,7 +41,7 @@ use crate::rule::{RewriteError, Rule, RuleSet};
 use hoas_core::ctx::Ctx;
 use hoas_core::sig::Signature;
 use hoas_core::term::{Head, MetaEnv, TermRef};
-use hoas_core::{normalize, typeck, Sym, Term, Ty};
+use hoas_core::{normalize, store, typeck, NodeId, Sym, Term, Ty};
 use hoas_unify::classify::PatternClass;
 use hoas_unify::matching::{match_pattern, match_term, MatchConfig};
 use std::cell::{Cell, RefCell};
@@ -156,16 +160,24 @@ pub struct EngineStats {
     /// Native δ-rule attempts.
     pub native_attempts: u64,
     /// Canonical-form memo hits: replacement subtrees whose η-long form
-    /// was replayed by pointer identity instead of re-traversed.
+    /// was replayed by interned node id instead of re-traversed.
     pub canon_hits: u64,
     /// Canonical-form memo lookups that fell through to a traversal.
     pub canon_misses: u64,
     /// Root-step memo hits: whole strategy steps on a closed subject
     /// whose outcome (rewritten term, rule, position) was replayed by
-    /// shallow pointer identity instead of re-derived.
+    /// shallow node-id identity instead of re-derived.
     pub memo_hits: u64,
     /// Root-step memo lookups that fell through to a full traversal.
     pub memo_misses: u64,
+    /// Term-store intern lookups (one per constructed node); thread-wide,
+    /// see [`hoas_core::store::stats`].
+    pub intern_lookups: u64,
+    /// Intern lookups answered by an existing node (no allocation; the
+    /// dedup that makes node-id caching effective).
+    pub intern_hits: u64,
+    /// Distinct nodes created in the term store (thread-wide, monotonic).
+    pub intern_distinct: u64,
     /// Number of buckets in the rule discrimination index (head buckets
     /// plus the flex fallback when nonempty).
     pub index_buckets: usize,
@@ -191,6 +203,9 @@ impl EngineStats {
             canon_misses: self.canon_misses - earlier.canon_misses,
             memo_hits: self.memo_hits - earlier.memo_hits,
             memo_misses: self.memo_misses - earlier.memo_misses,
+            intern_lookups: self.intern_lookups - earlier.intern_lookups,
+            intern_hits: self.intern_hits - earlier.intern_hits,
+            intern_distinct: self.intern_distinct - earlier.intern_distinct,
             index_buckets: self.index_buckets,
             index_max_bucket: self.index_max_bucket,
         }
@@ -203,6 +218,16 @@ impl EngineStats {
             0.0
         } else {
             self.cache_hits as f64 / self.cache_lookups as f64
+        }
+    }
+
+    /// Fraction of term-store intern lookups deduplicated to an existing
+    /// node, in `[0, 1]` (0 when nothing was constructed).
+    pub fn intern_dedup_ratio(&self) -> f64 {
+        if self.intern_lookups == 0 {
+            0.0
+        } else {
+            self.intern_hits as f64 / self.intern_lookups as f64
         }
     }
 }
@@ -254,25 +279,27 @@ struct CacheEntry {
     ty: Ty,
     /// Types of the subterm's free variables, innermost (`Var(0)`) first.
     free_tys: Vec<Ty>,
-    /// Keeps the node alive so its address cannot be reused by a later
-    /// allocation — the soundness condition for pointer-identity keys.
-    #[allow(dead_code)]
-    keepalive: TermRef,
 }
 
-/// Shallow identity of a composite root node: a variant tag plus child
-/// addresses (second slot zero for one-child variants).
-type RootKey = (u8, usize, usize);
+/// Shallow identity of a composite root: a variant tag plus the stable
+/// [`NodeId`]s of the children (second slot `0` — never a real id — for
+/// one-child variants). Hash-consing makes child-id equality certify
+/// child α-equality, and ids are never reused, so the key stays sound
+/// without pinning the subject.
+type RootKey = (u8, u64, u64);
 
 /// One memoized root-level strategy step (see [`Engine::step_root`]).
 #[derive(Clone, Debug)]
 struct RootEntry {
-    /// The subject; keeping it alive pins the child addresses used by
-    /// the [`RootKey`], so a key cannot be re-minted by a later
-    /// allocation.
-    input: Term,
     /// Subject type the step was taken at.
     ty: Ty,
+    /// Root binder hint (`Lam` roots only): the one root datum the
+    /// [`RootKey`] does not capture. Compared on lookup so a replay
+    /// reproduces the uncached output, hints included.
+    hint: Option<Sym>,
+    /// Strategy the step was recorded under; caches may be shared
+    /// between engines, and the chosen redex position depends on it.
+    strategy: Strategy,
     /// The recorded outcome, replayed verbatim on a hit.
     outcome: Option<(Term, RewriteStep)>,
 }
@@ -282,32 +309,36 @@ struct RootEntry {
 /// probe it saves).
 fn root_key(t: &Term) -> Option<RootKey> {
     match t {
-        Term::App(f, a) => Some((0, f.addr(), a.addr())),
-        Term::Lam(_, b) => Some((1, b.addr(), 0)),
-        Term::Pair(a, b) => Some((2, a.addr(), b.addr())),
-        Term::Fst(p) => Some((3, p.addr(), 0)),
-        Term::Snd(p) => Some((4, p.addr(), 0)),
+        Term::App(f, a) => Some((0, f.id().get(), a.id().get())),
+        Term::Lam(_, b) => Some((1, b.id().get(), 0)),
+        Term::Pair(a, b) => Some((2, a.id().get(), b.id().get())),
+        Term::Fst(p) => Some((3, p.id().get(), 0)),
+        Term::Snd(p) => Some((4, p.id().get(), 0)),
         Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => None,
     }
 }
 
-/// Whether two composite roots are equal given that child pointers
-/// certify child equality. Binder hints are compared too so a memo hit
-/// reproduces the uncached output byte for byte, hints included.
-fn shallow_eq(a: &Term, b: &Term) -> bool {
-    match (a, b) {
-        (Term::App(f1, a1), Term::App(f2, a2)) => f1.addr() == f2.addr() && a1.addr() == a2.addr(),
-        (Term::Lam(h1, b1), Term::Lam(h2, b2)) => h1 == h2 && b1.addr() == b2.addr(),
-        (Term::Pair(a1, b1), Term::Pair(a2, b2)) => {
-            a1.addr() == a2.addr() && b1.addr() == b2.addr()
-        }
-        (Term::Fst(p1), Term::Fst(p2)) | (Term::Snd(p1), Term::Snd(p2)) => p1.addr() == p2.addr(),
-        _ => false,
+/// The root's binder hint, the only root datum [`root_key`] ignores.
+fn root_hint(t: &Term) -> Option<&Sym> {
+    match t {
+        Term::Lam(h, _) => Some(h),
+        _ => None,
     }
 }
 
 /// Root-step memo size bound; the table is dropped wholesale when full.
 const ROOT_MEMO_CAP: usize = 1 << 20;
+
+/// Rule-normal-form cache size bound (number of keyed nodes); the table
+/// is dropped wholesale when full. PR 4's engine-lifetime cache needed no
+/// bound because keepalive pins tied its size to live terms; a durable
+/// shared cache can outlive every subject, so it gets the same cap
+/// discipline as the other memo layers.
+const RULE_NF_CAP: usize = 1 << 20;
+
+/// The head-type table's value: uncurried argument types for a
+/// monomorphic constant, `None` for a polymorphic one.
+type HeadArgTys = Option<Rc<Vec<Ty>>>;
 
 /// Argument types of a neutral spine's head, with ownership depending on
 /// where they came from (memo table, context, or fresh synthesis).
@@ -327,35 +358,62 @@ impl ArgTys<'_> {
     }
 }
 
-/// A rewrite engine for one signature and rule set.
-#[derive(Clone, Debug)]
-pub struct Engine<'a> {
-    sig: &'a Signature,
-    rules: &'a RuleSet,
-    cfg: EngineConfig,
+/// The engine's durable cache state: rule-normal-form cache, root-step
+/// memo, canonical-form memo, and head-type table, bundled behind one
+/// cheaply clonable handle (`Clone` shares, it does not copy).
+///
+/// Every key in here is a stable [`NodeId`] (or a signature symbol), so
+/// the handle stays sound after the engine — and even every subject term
+/// — is gone: ids are never reused while the thread lives, so an entry
+/// for a dead node can never be probed again. Warm caches can therefore
+/// be carried from one engine instance to the next with
+/// [`Engine::caches`]/[`Engine::with_caches`].
+///
+/// Entries record everything they depend on *except* the signature, rule
+/// set, and match configuration, which are fixed per engine: only share a
+/// handle between engines that agree on those (the root-step memo checks
+/// the strategy itself, so engines may differ in strategy).
+#[derive(Clone, Debug, Default)]
+pub struct EngineCaches {
     /// Memoized uncurried argument types per (monomorphic) constant,
     /// filled lazily on first use: descending a neutral spine costs a
     /// hash lookup instead of a `typeck::synth` call per node, and
     /// engine construction stays O(1) no matter how large the signature
     /// (analysis passes build an engine per rule). `None` records a
     /// polymorphic constant, which must take the synthesis path.
-    head_arg_tys: RefCell<HashMap<Sym, Option<Rc<Vec<Ty>>>>>,
-    /// Canonical-form memo for replacement canonicalization, shared by
-    /// every rewrite this engine performs (see
+    head_arg_tys: Rc<RefCell<HashMap<Sym, HeadArgTys>>>,
+    /// Canonical-form memo for replacement canonicalization (see
     /// [`hoas_core::normalize::CanonCache`] for the soundness argument).
-    canon_cache: normalize::CanonCache,
-    /// Rule-normal-form cache, keyed on node address. Entries are never
-    /// invalidated: a rewrite allocates fresh nodes for the spine above
-    /// the rewrite site (and only that spine), so stale pointers simply
-    /// stop occurring in the subject, while `keepalive` pins each keyed
-    /// address for the engine's lifetime.
-    cache: RefCell<HashMap<usize, Vec<CacheEntry>>>,
+    canon: Rc<normalize::CanonCache>,
+    /// Rule-normal-form cache, keyed on stable node id. Entries are never
+    /// invalidated: whether a rule fires inside a node is a function of
+    /// its α-class (plus the recorded types), which the id pins down
+    /// forever.
+    rule_nf: Rc<RefCell<HashMap<NodeId, Vec<CacheEntry>>>>,
     /// Root-step memo: the outcome of one whole strategy step on a
-    /// closed subject, keyed by the root's shallow identity. Because the
-    /// canonical-form memo hands back pointer-identical subtrees for a
-    /// repeated subject, an entire rewrite run re-played on the same
-    /// input collapses to one probe per step.
-    root_memo: RefCell<HashMap<RootKey, Vec<RootEntry>>>,
+    /// closed subject, keyed by the root's shallow id identity. Because
+    /// interning hands back id-identical subtrees for a repeated
+    /// subject, an entire rewrite run re-played on the same input
+    /// collapses to one probe per step.
+    root_memo: Rc<RefCell<HashMap<RootKey, Vec<RootEntry>>>>,
+}
+
+impl EngineCaches {
+    /// Creates an empty cache bundle.
+    #[must_use]
+    pub fn new() -> EngineCaches {
+        EngineCaches::default()
+    }
+}
+
+/// A rewrite engine for one signature and rule set.
+#[derive(Clone, Debug)]
+pub struct Engine<'a> {
+    sig: &'a Signature,
+    rules: &'a RuleSet,
+    cfg: EngineConfig,
+    /// Durable cache state; shareable across engine instances.
+    caches: EngineCaches,
     counters: Counters,
 }
 
@@ -365,18 +423,38 @@ impl<'a> Engine<'a> {
         Engine::with_config(sig, rules, EngineConfig::default())
     }
 
-    /// Creates an engine with explicit configuration.
+    /// Creates an engine with explicit configuration and fresh caches.
     pub fn with_config(sig: &'a Signature, rules: &'a RuleSet, cfg: EngineConfig) -> Engine<'a> {
+        Engine::with_caches(sig, rules, cfg, EngineCaches::new())
+    }
+
+    /// Creates an engine that starts from an existing cache bundle —
+    /// typically [`Engine::caches`] of a previous engine over the same
+    /// signature, rule set, and match configuration (the sharing
+    /// contract; see [`EngineCaches`]). Node-id keys make the warm
+    /// entries sound even though the old engine, and possibly every term
+    /// it ever saw, is gone.
+    pub fn with_caches(
+        sig: &'a Signature,
+        rules: &'a RuleSet,
+        cfg: EngineConfig,
+        caches: EngineCaches,
+    ) -> Engine<'a> {
         Engine {
             sig,
             rules,
             cfg,
-            head_arg_tys: RefCell::new(HashMap::new()),
-            canon_cache: normalize::CanonCache::new(),
-            cache: RefCell::new(HashMap::new()),
-            root_memo: RefCell::new(HashMap::new()),
+            caches,
             counters: Counters::default(),
         }
+    }
+
+    /// A handle to this engine's cache state, for warm-starting another
+    /// engine via [`Engine::with_caches`]. Cloning shares the underlying
+    /// tables.
+    #[must_use]
+    pub fn caches(&self) -> EngineCaches {
+        self.caches.clone()
     }
 
     /// The engine's configuration.
@@ -385,8 +463,15 @@ impl<'a> Engine<'a> {
     }
 
     /// Cumulative work counters since the engine was created.
+    ///
+    /// The canonical-form memo and interner counters are properties of
+    /// shared state (the cache bundle and the thread's term store), so
+    /// they are cumulative over everything that touched that state, not
+    /// just this engine; per-call deltas via [`NormalizeResult::stats`]
+    /// are attributable to the call that reports them.
     pub fn stats(&self) -> EngineStats {
         let (index_buckets, index_max_bucket) = self.rules.index_stats();
+        let intern = store::stats();
         EngineStats {
             nodes_visited: self.counters.nodes_visited.get(),
             cache_lookups: self.counters.cache_lookups.get(),
@@ -395,10 +480,13 @@ impl<'a> Engine<'a> {
             pattern_attempts: self.counters.pattern_attempts.get(),
             general_attempts: self.counters.general_attempts.get(),
             native_attempts: self.counters.native_attempts.get(),
-            canon_hits: self.canon_cache.hits(),
-            canon_misses: self.canon_cache.misses(),
+            canon_hits: self.caches.canon.hits(),
+            canon_misses: self.caches.canon.misses(),
             memo_hits: self.counters.memo_hits.get(),
             memo_misses: self.counters.memo_misses.get(),
+            intern_lookups: intern.lookups,
+            intern_hits: intern.hits,
+            intern_distinct: intern.distinct_nodes,
             index_buckets,
             index_max_bucket,
         }
@@ -408,7 +496,7 @@ impl<'a> Engine<'a> {
     /// canonical-form memo when caching is enabled.
     fn canonize(&self, menv: &MetaEnv, ctx: &Ctx, t: &Term, ty: &Ty) -> Result<Term, RewriteError> {
         if self.cfg.cache {
-            normalize::canon_with(self.sig, menv, ctx, t, ty, &self.canon_cache)
+            normalize::canon_with(self.sig, menv, ctx, t, ty, &self.caches.canon)
         } else {
             normalize::canon(self.sig, menv, ctx, t, ty)
         }
@@ -635,17 +723,17 @@ impl<'a> Engine<'a> {
     /// [`Engine::step`] at the root (closed subject, empty context),
     /// through the root-step memo: the full outcome of one strategy step
     /// — rewritten term, rule name, and position — is replayed by
-    /// shallow pointer identity.
+    /// shallow node-id identity.
     ///
-    /// Soundness: with a fixed engine (rules, signature, strategy, match
-    /// configuration), the outcome of a step on a closed, meta-free
-    /// subject is a function of the subject's structure and type alone.
-    /// Two roots that agree on their own node data and have
-    /// pointer-identical children are structurally equal, so the
-    /// recorded outcome — trace entry included — is exactly what a fresh
-    /// traversal would produce. Native δ-rules are assumed deterministic
-    /// engine-wide; the rule-normal-form cache's `None` short-circuit
-    /// already relies on the same assumption.
+    /// Soundness: with fixed rules, signature, and match configuration
+    /// (the cache-sharing contract) and the strategy recorded per entry,
+    /// the outcome of a step on a closed, meta-free subject is a function
+    /// of the subject's structure and type alone. Two roots that agree on
+    /// their own node data and have id-identical children are
+    /// α-equivalent, so the recorded outcome — trace entry included — is
+    /// exactly what a fresh traversal would produce. Native δ-rules are
+    /// assumed deterministic engine-wide; the rule-normal-form cache's
+    /// `None` short-circuit already relies on the same assumption.
     fn step_root(&self, ty: &Ty, t: &Term) -> Result<Option<(Term, RewriteStep)>, RewriteError> {
         let ctx = Ctx::new();
         if !self.cfg.cache || t.has_metas() {
@@ -655,32 +743,36 @@ impl<'a> Engine<'a> {
             return self.step(&ctx, ty, t);
         };
         {
-            let memo = self.root_memo.borrow();
-            if let Some(e) = memo
-                .get(&key)
-                .and_then(|es| es.iter().find(|e| e.ty == *ty && shallow_eq(&e.input, t)))
-            {
+            let memo = self.caches.root_memo.borrow();
+            if let Some(e) = memo.get(&key).and_then(|es| {
+                es.iter().find(|e| {
+                    e.ty == *ty
+                        && e.strategy == self.cfg.strategy
+                        && e.hint.as_ref() == root_hint(t)
+                })
+            }) {
                 bump(&self.counters.memo_hits);
                 return Ok(e.outcome.clone());
             }
         }
         bump(&self.counters.memo_misses);
         let r = self.step(&ctx, ty, t)?;
-        let mut memo = self.root_memo.borrow_mut();
+        let mut memo = self.caches.root_memo.borrow_mut();
         if memo.len() >= ROOT_MEMO_CAP {
             memo.clear();
         }
         memo.entry(key).or_default().push(RootEntry {
-            input: t.clone(),
             ty: ty.clone(),
+            hint: root_hint(t).cloned(),
+            strategy: self.cfg.strategy,
             outcome: r.clone(),
         });
         Ok(r)
     }
 
     fn cache_contains(&self, ctx: &Ctx, ty: &Ty, t: &TermRef) -> bool {
-        let cache = self.cache.borrow();
-        let Some(entries) = cache.get(&t.addr()) else {
+        let cache = self.caches.rule_nf.borrow();
+        let Some(entries) = cache.get(&t.id()) else {
             return false;
         };
         entries.iter().any(|e| {
@@ -704,15 +796,14 @@ impl<'a> Engine<'a> {
                 None => return,
             }
         }
-        self.cache
-            .borrow_mut()
-            .entry(t.addr())
-            .or_default()
-            .push(CacheEntry {
-                ty: ty.clone(),
-                free_tys,
-                keepalive: t.clone(),
-            });
+        let mut cache = self.caches.rule_nf.borrow_mut();
+        if cache.len() >= RULE_NF_CAP {
+            cache.clear();
+        }
+        cache.entry(t.id()).or_default().push(CacheEntry {
+            ty: ty.clone(),
+            free_tys,
+        });
     }
 
     /// Argument types for descending a neutral spine: memo table for
@@ -722,6 +813,7 @@ impl<'a> Engine<'a> {
         match head {
             Term::Const(c) => {
                 let memo = self
+                    .caches
                     .head_arg_tys
                     .borrow_mut()
                     .entry(c.clone())

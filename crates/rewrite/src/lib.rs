@@ -32,6 +32,7 @@ pub mod rulesets;
 
 pub use analysis::{Overlap, RuleInfo, RuleSetAnalysis};
 pub use engine::{
-    Engine, EngineConfig, EngineStats, MatchPath, NormalizeResult, RewriteStep, Strategy,
+    Engine, EngineCaches, EngineConfig, EngineStats, MatchPath, NormalizeResult, RewriteStep,
+    Strategy,
 };
 pub use rule::{Candidates, NativeRule, RewriteError, Rule, RuleSet};

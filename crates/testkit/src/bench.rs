@@ -204,6 +204,10 @@ impl BenchGroup<'_> {
         mut f: impl FnMut(&mut Bencher, &I),
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into().name);
+        // Start every benchmark from a trimmed term store so one
+        // workload's dead-class cache doesn't skew the heap state (and
+        // allocator behavior) another workload is measured under.
+        hoas_core::store::trim();
         let mut b = Bencher::new(self.sample_size, self.criterion.smoke);
         f(&mut b, input);
         self.record(full, b);
@@ -217,6 +221,7 @@ impl BenchGroup<'_> {
         mut f: impl FnMut(&mut Bencher),
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id.into().name);
+        hoas_core::store::trim();
         let mut b = Bencher::new(self.sample_size, self.criterion.smoke);
         f(&mut b);
         self.record(full, b);

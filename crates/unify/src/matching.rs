@@ -65,7 +65,7 @@ pub fn match_term(
         }));
     }
     // Ground pattern (cached `has_meta` is false): matching degenerates to
-    // syntactic equality, which shared subterms decide by pointer identity.
+    // α-equality, which the hash-consed store decides in O(1) by node id.
     if !pattern.has_metas() && pattern == target {
         return Ok(Some(MetaSubst::new()));
     }
@@ -138,8 +138,8 @@ fn walk_pattern(
     depth: u32,
     binds: &mut Vec<(MVar, Term)>,
 ) -> Result<bool, UnifyError> {
-    // Ground pattern subtree: matching is syntactic equality (pointer
-    // fast path via shared nodes, then structure).
+    // Ground pattern subtree: matching is α-equality, an O(1) interned
+    // node-id comparison per child.
     if !p.has_metas() {
         return Ok(p == t);
     }

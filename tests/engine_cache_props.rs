@@ -136,6 +136,59 @@ fn prenex_workload_has_cache_hits() {
     assert!(total.cache_hit_rate() > 0.0);
 }
 
+/// Caches survive their engine: a second engine built over the first
+/// engine's [`EngineCaches`] handle must replay an identical workload
+/// from warm caches — same results, nonzero hit counters — even though
+/// the first engine (and its result terms) have been dropped. Sound
+/// because cache keys are store-scoped `NodeId`s that are never reused,
+/// so a dead subject's entries are merely unreachable, never stale.
+#[test]
+fn caches_are_reusable_across_engine_instances() {
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let mut rng = SmallRng::seed_from_u64(0x50_52_35);
+    let subjects: Vec<Term> = (0..8)
+        .map(|_| fol::encode(&fol::gen_formula(&vocab, &mut rng, 5)).unwrap())
+        .collect();
+
+    let first = Engine::new(&sig, &rules);
+    let cold: Vec<_> = subjects
+        .iter()
+        .map(|t| first.normalize(&fol::o(), t).unwrap())
+        .collect();
+    let caches = first.caches();
+    drop(first);
+
+    let second = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches);
+    let mut warm_memo_hits = 0;
+    let mut warm_visited = 0;
+    let mut cold_visited = 0;
+    for (t, a) in subjects.iter().zip(&cold) {
+        let b = second.normalize(&fol::o(), t).unwrap();
+        assert_eq!(a.term, b.term, "replay changed the normal form");
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.trace, b.trace);
+        // Replay is pure cache: every step the cold run derived is
+        // replayed from the root-step memo, so nothing falls through to
+        // a traversal (no memo or rule-normal-form misses).
+        assert_eq!(b.stats.memo_misses, 0, "replay re-derived a root step");
+        assert_eq!(b.stats.cache_misses, 0, "replay re-proved a subtree");
+        warm_memo_hits += b.stats.memo_hits;
+        warm_visited += b.stats.nodes_visited;
+        cold_visited += a.stats.nodes_visited;
+    }
+    assert!(
+        warm_memo_hits > 0,
+        "shared root-step memo never hit on replay"
+    );
+    assert!(
+        warm_visited < cold_visited,
+        "replay did not reduce traversal ({warm_visited} vs {cold_visited})"
+    );
+}
+
 /// Strategy-confluence regression on the strategy-ablation bench
 /// workload: leftmost-outermost and leftmost-innermost must reach α-equal
 /// fixpoints on every instance (term equality is α-equality — binder

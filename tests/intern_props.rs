@@ -1,0 +1,146 @@
+//! Property tests for the hash-consed term store (experiment for PR 5):
+//! interning identifies terms **exactly up to α-equivalence modulo
+//! binder hints**. Both directions are checked over all four object
+//! languages' encoders:
+//!
+//! * same `NodeId` ⇒ structurally α-equivalent (soundness of sharing);
+//! * α-equivalent modulo hints ⇒ same `NodeId` (completeness — a
+//!   hint-scrambled rebuild of any encoding lands on the same node);
+//!
+//! plus agreement of the O(1) id-comparison `alpha_eq` fast path with
+//! the full structural recursion on generated term pairs.
+
+use hoas::core::prelude::*;
+use hoas::langs::{fol, imp, lambda, miniml};
+use hoas_testkit::prelude::*;
+
+/// Rebuilds `t` bottom-up with every binder hint replaced by a fresh
+/// synthetic name. The de Bruijn skeleton is untouched, so the result is
+/// α-equivalent modulo hints by construction.
+fn scramble_hints(t: &Term, counter: &mut u32) -> Term {
+    match t {
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        Term::Lam(_, b) => {
+            *counter += 1;
+            Term::lam(
+                format!("scrambled{counter}"),
+                scramble_hints(b.term(), counter),
+            )
+        }
+        Term::App(f, a) => Term::app(
+            scramble_hints(f.term(), counter),
+            scramble_hints(a.term(), counter),
+        ),
+        Term::Pair(a, b) => Term::pair(
+            scramble_hints(a.term(), counter),
+            scramble_hints(b.term(), counter),
+        ),
+        Term::Fst(p) => Term::fst(scramble_hints(p.term(), counter)),
+        Term::Snd(p) => Term::snd(scramble_hints(p.term(), counter)),
+    }
+}
+
+/// Checks both directions of `same NodeId ⇔ α-equivalent modulo hints`
+/// for one encoding, plus fast-path/structural agreement.
+fn assert_interning_respects_alpha(e: &Term) {
+    let mut counter = 0;
+    let scrambled = scramble_hints(e, &mut counter);
+    let a = TermRef::new(e.clone());
+    let b = TermRef::new(scrambled.clone());
+    // Completeness: hint-scrambled rebuild shares the node.
+    assert_eq!(
+        a.id(),
+        b.id(),
+        "hint-scrambled rebuild of {e} changed the node id"
+    );
+    assert!(e.alpha_eq(&scrambled));
+    // Soundness: the shared node really is α-equivalent structurally.
+    assert!(e.alpha_eq_structural(&scrambled));
+}
+
+/// Cross-checks the O(1) `alpha_eq` fast path against the structural
+/// reference on a pair of (possibly unrelated) terms: equal ids must
+/// mean α-equivalent, distinct ids must mean α-distinct.
+fn assert_fast_path_agrees(x: &Term, y: &Term) {
+    assert_eq!(
+        x.alpha_eq(y),
+        x.alpha_eq_structural(y),
+        "fast-path alpha_eq disagrees with structural comparison on {x} vs {y}"
+    );
+    let same_id = TermRef::new(x.clone()).id() == TermRef::new(y.clone()).id();
+    assert_eq!(same_id, x.alpha_eq_structural(y));
+}
+
+props! {
+    #![cases(96)]
+
+    fn lambda_encodings_intern_up_to_alpha(seed in seeds(), size in 2usize..50) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+        assert_interning_respects_alpha(&t);
+        let u = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+        assert_fast_path_agrees(&t, &u);
+    }
+
+    fn fol_encodings_intern_up_to_alpha(seed in seeds(), depth in 1u32..6) {
+        let vocab = fol::Vocabulary::small();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        assert_interning_respects_alpha(&t);
+        let u = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        assert_fast_path_agrees(&t, &u);
+    }
+
+    fn imp_encodings_intern_up_to_alpha(seed in seeds(), depth in 1u32..5) {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let t = imp::encode(&imp::gen_cmd(&mut rng, depth)).unwrap();
+        assert_interning_respects_alpha(&t);
+        let u = imp::encode(&imp::gen_cmd(&mut rng, depth)).unwrap();
+        assert_fast_path_agrees(&t, &u);
+    }
+}
+
+#[test]
+fn miniml_encodings_intern_up_to_alpha() {
+    // Mini-ML has no random generator; sweep the structured corpus.
+    let corpus = [
+        miniml::add_fn(),
+        miniml::mul_fn(),
+        miniml::fact_fn(),
+        miniml::Exp::app(
+            miniml::Exp::app(miniml::add_fn(), miniml::Exp::num(4)),
+            miniml::Exp::num(5),
+        ),
+        miniml::Exp::fix(
+            "f",
+            miniml::Exp::lam(
+                "x",
+                miniml::Exp::app(miniml::Exp::var("f"), miniml::Exp::var("x")),
+            ),
+        ),
+    ];
+    let encoded: Vec<Term> = corpus.iter().map(|p| miniml::encode(p).unwrap()).collect();
+    for e in &encoded {
+        assert_interning_respects_alpha(e);
+    }
+    for x in &encoded {
+        for y in &encoded {
+            assert_fast_path_agrees(x, y);
+        }
+    }
+}
+
+/// Object-language-level α-renaming (not just hint scrambling): a
+/// λ-term and its decode∘encode round-trip — which freshens every
+/// binder name — must encode to the *same* interned node.
+#[test]
+fn renamed_lambda_terms_share_nodes() {
+    let mut rng = SmallRng::seed_from_u64(0x616c7068);
+    for size in [4usize, 9, 16, 25, 40] {
+        let t = lambda::gen_closed(&mut rng, size);
+        let e = TermRef::new(lambda::encode(&t).unwrap());
+        let renamed = lambda::decode(e.term()).unwrap();
+        let e2 = TermRef::new(lambda::encode(&renamed).unwrap());
+        assert_eq!(e.id(), e2.id(), "α-renamed {t} interned to a new node");
+    }
+}
