@@ -1,0 +1,96 @@
+//! Parallel scaling of the batch driver over the sharded term store:
+//! normalize one fixed batch of independent prenex instances at 1, 2, and
+//! 4 worker threads ([`parallel::normalize_batch`]), plus a shared-cache
+//! variant. The 1-thread series doubles as the single-thread-regression
+//! guard for the concurrent store (same engine, same workload, through
+//! the same driver).
+//!
+//! Interpretation note: the `N`-thread medians divided into the 1-thread
+//! median give the machine's actual scaling curve — on a single-core host
+//! (CI containers pinned to one CPU) they are expected to be ≈ 1×, and
+//! the `parallel-smoke` bin gates its speedup assertion on
+//! `available_parallelism` accordingly.
+
+use hoas_bench::parallel::{self, CacheMode};
+use hoas_bench::workloads;
+use hoas_core::Term;
+use hoas_langs::fol;
+use hoas_rewrite::rulesets::fol_prenex;
+use hoas_rewrite::{Engine, EngineConfig};
+use hoas_testkit::bench::{BenchmarkId, Criterion};
+use hoas_testkit::{criterion_group, criterion_main};
+
+const BATCH: usize = 24;
+const DEPTH: u32 = 5;
+
+fn batch_subjects() -> (fol::Vocabulary, Vec<Term>) {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, DEPTH, BATCH);
+    let subjects = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+    (vocab, subjects)
+}
+
+fn bench_batch_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel");
+    group.sample_size(10);
+    let (vocab, subjects) = batch_subjects();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let cfg = EngineConfig::default();
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("batch-normalize", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let out = parallel::normalize_batch(
+                        &sig,
+                        &rules,
+                        &cfg,
+                        &fol::o(),
+                        &subjects,
+                        threads,
+                        &CacheMode::PerWorker,
+                    )
+                    .expect("well-typed batch");
+                    std::hint::black_box(out);
+                })
+            },
+        );
+    }
+    // Shared warm caches at 4 threads: adds memo-table lock traffic but
+    // lets workers replay each other's derivations.
+    group.bench_with_input(BenchmarkId::new("batch-shared-caches", 4), &4, |b, _| {
+        let engine = Engine::new(&sig, &rules);
+        for t in &subjects {
+            engine.normalize(&fol::o(), t).expect("well-typed");
+        }
+        let warm = engine.caches();
+        b.iter(|| {
+            let out = parallel::normalize_batch(
+                &sig,
+                &rules,
+                &cfg,
+                &fol::o(),
+                &subjects,
+                4,
+                &CacheMode::Shared(warm.clone()),
+            )
+            .expect("well-typed batch");
+            std::hint::black_box(out);
+        })
+    });
+    // The no-driver comparator: the same batch on the calling thread
+    // through a plain engine, so driver overhead is measurable.
+    group.bench_with_input(BenchmarkId::new("sequential-engine", 0), &0, |b, _| {
+        let engine = Engine::with_config(&sig, &rules, cfg.clone());
+        b.iter(|| {
+            for t in &subjects {
+                std::hint::black_box(engine.normalize(&fol::o(), t).expect("well-typed"));
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_normalize);
+criterion_main!(benches);

@@ -8,8 +8,8 @@
 //! ```
 //!
 //! * `--bench NAME` — which bench targets to run (default: `substitution`,
-//!   `unification`, `rewriting`, `analyze`, `interning`, the five
-//!   perf-tracked suites).
+//!   `unification`, `rewriting`, `analyze`, `interning`, `parallel` — the
+//!   six perf-tracked suites).
 //! * `--before FILE` — a JSON report produced by an earlier revision via
 //!   `HOAS_BENCH_JSON`; medians found there are recorded per benchmark as
 //!   `before_median_ns` next to the fresh `median_ns`, plus a `speedup`
@@ -85,6 +85,7 @@ fn main() -> ExitCode {
             "rewriting",
             "analyze",
             "interning",
+            "parallel",
         ]
         .map(String::from)
         .to_vec();

@@ -1,0 +1,97 @@
+//! `parallel-smoke` — CI gate for the batch driver's scaling.
+//!
+//! Times the prenex batch workload through [`parallel::normalize_batch`]
+//! at 1 worker and at 4 workers (minimum of several repetitions each,
+//! interleaved to even out machine noise), verifies the 4-thread results
+//! are identical to the 1-thread results, and asserts a >1× speedup at 4
+//! threads — **when the machine can express one**: on a host where
+//! `std::thread::available_parallelism()` reports a single CPU (CI
+//! containers are often core-pinned), parallel speedup is physically
+//! unmeasurable, so the gate degrades to the correctness comparison plus
+//! a warning instead of asserting a number the hardware cannot produce.
+//!
+//! Run with `cargo run --release -p hoas-bench --bin parallel-smoke`.
+
+use hoas_bench::parallel::{normalize_batch, CacheMode};
+use hoas_bench::workloads;
+use hoas_core::Term;
+use hoas_langs::fol;
+use hoas_rewrite::rulesets::fol_prenex;
+use hoas_rewrite::{EngineConfig, NormalizeResult};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const BATCH: usize = 24;
+const DEPTH: u32 = 5;
+const REPS: usize = 5;
+
+fn main() -> ExitCode {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, DEPTH, BATCH);
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let subjects: Vec<Term> = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+    let cfg = EngineConfig::default();
+
+    let run = |threads: usize| -> (Duration, Vec<NormalizeResult>) {
+        let start = Instant::now();
+        let out = normalize_batch(
+            &sig,
+            &rules,
+            &cfg,
+            &fol::o(),
+            &subjects,
+            threads,
+            &CacheMode::PerWorker,
+        )
+        .expect("well-typed batch");
+        (start.elapsed(), out)
+    };
+
+    // Warm up (first run pays interning of the shared subject skeletons),
+    // then interleave timed repetitions and keep the minimum per arm.
+    let (_, baseline_out) = run(1);
+    let mut t1 = Duration::MAX;
+    let mut t4 = Duration::MAX;
+    let mut out4 = Vec::new();
+    for _ in 0..REPS {
+        let (d1, _) = run(1);
+        t1 = t1.min(d1);
+        let (d4, o4) = run(4);
+        t4 = t4.min(d4);
+        out4 = o4;
+    }
+
+    // Correctness first: the 4-thread batch must be observationally
+    // identical to the 1-thread batch, subject by subject.
+    for (i, (a, b)) in baseline_out.iter().zip(&out4).enumerate() {
+        if a.term != b.term || a.steps != b.steps || a.applied != b.applied || a.trace != b.trace {
+            eprintln!("parallel-smoke: FAIL — subject {i} diverged between 1 and 4 threads");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let speedup = t1.as_secs_f64() / t4.as_secs_f64();
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    println!(
+        "parallel-smoke: batch of {BATCH} prenex depth-{DEPTH} instances: \
+         1 thread {t1:?}, 4 threads {t4:?} ({speedup:.2}x), {cores} core(s) available"
+    );
+    if cores < 2 {
+        println!(
+            "parallel-smoke: single-core host — speedup gate skipped \
+             (results verified identical across thread counts)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    if speedup <= 1.0 {
+        eprintln!(
+            "parallel-smoke: FAIL — 4 threads are not faster than 1 \
+             ({speedup:.2}x) on a {cores}-core host"
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("parallel-smoke: ok");
+    ExitCode::SUCCESS
+}

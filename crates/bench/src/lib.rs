@@ -10,7 +10,10 @@
 //!   an imperative-language optimizer on the named AST). These are the
 //!   comparators: the code HOAS renders unnecessary;
 //! * [`history`] — parsing and diffing of the committed `BENCH_pr*.json`
-//!   perf baselines, shared by the `report` and `bench-baseline` bins.
+//!   perf baselines, shared by the `report` and `bench-baseline` bins;
+//! * [`parallel`] — the work-stealing batch driver that fans independent
+//!   normalization queries across a thread pool over one shared term
+//!   store (the scaling harness for the sharded interner).
 //!
 //! Run `cargo run --release -p hoas-bench --bin report` to regenerate
 //! every experiment table, or `cargo bench` for the Criterion series.
@@ -20,4 +23,5 @@
 
 pub mod baseline;
 pub mod history;
+pub mod parallel;
 pub mod workloads;

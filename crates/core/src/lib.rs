@@ -78,7 +78,7 @@ pub mod validate;
 
 pub use error::Error;
 pub use intern::Sym;
-pub use store::{InternStats, NodeId};
+pub use store::{InternStats, NodeId, StoreHandle};
 pub use term::{MVar, Term, TermRef};
 pub use ty::{Ty, TyScheme};
 
@@ -92,7 +92,7 @@ pub mod prelude {
     pub use crate::normalize;
     pub use crate::parse::{parse_term, parse_ty};
     pub use crate::sig::Signature;
-    pub use crate::store::{InternStats, NodeId};
+    pub use crate::store::{InternStats, NodeId, StoreHandle};
     pub use crate::subst;
     pub use crate::term::{MVar, MetaEnv, Term, TermRef};
     pub use crate::ty::{Ty, TyScheme};

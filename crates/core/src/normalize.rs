@@ -26,8 +26,9 @@ use crate::sig::Signature;
 use crate::subst::shift;
 use crate::term::{MetaEnv, Term, TermRef};
 use crate::ty::Ty;
-use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// Applies a function term to an argument, contracting the β-redex (and
 /// any redexes the substitution creates) if the function is a λ.
@@ -101,7 +102,7 @@ fn hsub(t: &Term, k: u32, s: &Term) -> Term {
     }
 }
 
-/// [`hsub`] on a shared subterm, preserving the `Rc` when untouched.
+/// [`hsub`] on a shared subterm, preserving the `Arc` when untouched.
 fn hsub_ref(t: &TermRef, k: u32, s: &Term) -> TermRef {
     if t.max_free() <= k && t.is_beta_normal() {
         t.clone()
@@ -130,7 +131,7 @@ pub fn nf(t: &Term) -> Term {
     }
 }
 
-/// [`nf`] on a shared subterm, preserving the `Rc` when already normal.
+/// [`nf`] on a shared subterm, preserving the `Arc` when already normal.
 fn nf_ref(t: &TermRef) -> TermRef {
     if t.is_beta_normal() {
         t.clone()
@@ -376,19 +377,21 @@ const CANON_CACHE_CAP: usize = 1 << 20;
 /// replacements share.
 ///
 /// `NodeId` is a durable key — no keepalive pinning needed: ids are
-/// assigned from a monotonic per-thread counter and never reused while
-/// the thread's [`crate::store`] lives, so an entry whose node has died
-/// is merely unreachable (no live term can carry that id again), never
-/// wrong. The cache may therefore outlive any particular `normalize` or
-/// engine run and be shared between them. Nodes containing metavariables
-/// are never cached (their canonical form depends on the meta
-/// environment). A cache must only ever be used with a single signature;
-/// [`canon_with`] callers own that pairing.
-#[derive(Debug, Default, Clone)]
+/// assigned from a monotonic process-wide counter and never reused, so an
+/// entry whose node has died is merely unreachable (no live term can
+/// carry that id again), never wrong. The cache may therefore outlive any
+/// particular `normalize` or engine run and be shared between them — and,
+/// being `Send + Sync` (a mutex around the table, atomic counters), it
+/// may also be shared between *threads* working over one term store.
+/// Nodes containing metavariables are never cached (their canonical form
+/// depends on the meta environment). A cache must only ever be used with
+/// a single signature and a single store; [`canon_with`] callers own that
+/// pairing.
+#[derive(Debug, Default)]
 pub struct CanonCache {
-    entries: RefCell<HashMap<crate::store::NodeId, Vec<CanonEntry>>>,
-    hits: Cell<u64>,
-    misses: Cell<u64>,
+    entries: Mutex<HashMap<crate::store::NodeId, Vec<CanonEntry>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 #[derive(Debug, Clone)]
@@ -407,16 +410,17 @@ impl CanonCache {
         Self::default()
     }
 
-    /// Number of lookups answered from the table.
+    /// Number of lookups answered from the table (all threads).
     #[must_use]
     pub fn hits(&self) -> u64 {
-        self.hits.get()
+        self.hits.load(Ordering::Relaxed)
     }
 
-    /// Number of lookups that fell through to a real traversal.
+    /// Number of lookups that fell through to a real traversal (all
+    /// threads).
     #[must_use]
     pub fn misses(&self) -> u64 {
-        self.misses.get()
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Does `e` memoize canonicalization at `ty` for a node with `n`
@@ -431,18 +435,18 @@ impl CanonCache {
     }
 
     fn lookup(&self, ctx: &Ctx, t: &TermRef, ty: &Ty) -> Option<TermRef> {
-        let entries = self.entries.borrow();
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         let hit = entries.get(&t.id()).and_then(|v| {
             v.iter()
                 .find(|e| Self::entry_matches(e, ctx, ty, t.max_free()))
         });
         match hit {
             Some(e) => {
-                self.hits.set(self.hits.get() + 1);
+                self.hits.fetch_add(1, Ordering::Relaxed);
                 Some(e.result.clone())
             }
             None => {
-                self.misses.set(self.misses.get() + 1);
+                self.misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -468,7 +472,7 @@ impl CanonCache {
             .map(|i| ctx.lookup(i).map(|(_, fty)| fty.clone()))
             .collect();
         let Some(free_tys) = free_tys else { return };
-        let mut entries = self.entries.borrow_mut();
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
         if entries.len() >= CANON_CACHE_CAP {
             entries.clear();
         }
@@ -487,7 +491,7 @@ impl CanonCache {
     }
 }
 
-/// Already-η-long subterms come back as the input `Rc` (pointer-equal),
+/// Already-η-long subterms come back as the input `Arc` (pointer-equal),
 /// so canonicalizing a canonical term allocates nothing below the root.
 ///
 /// With a `cache`, subtrees already proven canonical at this type (under
@@ -610,7 +614,7 @@ fn eta_long_node(
 }
 
 /// η-expands the arguments of a neutral term, synthesizing its type.
-/// Shares the input `Rc` when every argument was already η-long.
+/// Shares the input `Arc` when every argument was already η-long.
 fn eta_long_neutral(
     sig: &Signature,
     menv: &MetaEnv,

@@ -200,10 +200,14 @@ mod tests {
 
     #[test]
     fn prints_lambdas_and_apps() {
-        let t = Term::lam("x", Term::app(v(0), v(0)));
-        assert_eq!(t.to_string(), r"\x. x x");
-        let t = Term::app(Term::lam("x", v(0)), Term::cnst("c"));
-        assert_eq!(t.to_string(), r"(\x. x) c");
+        crate::store::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let t = Term::lam("x", Term::app(v(0), v(0)));
+            assert_eq!(t.to_string(), r"\x. x x");
+            let t = Term::app(Term::lam("x", v(0)), Term::cnst("c"));
+            assert_eq!(t.to_string(), r"(\x. x) c");
+        })
     }
 
     #[test]
@@ -217,9 +221,13 @@ mod tests {
 
     #[test]
     fn freshens_shadowed_hints() {
-        // λx. λx. (inner outer) — both hints "x".
-        let t = Term::lam("x", Term::lam("x", Term::app(v(0), v(1))));
-        assert_eq!(t.to_string(), r"\x. \x1. x1 x");
+        crate::store::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            // λx. λx. (inner outer) — both hints "x".
+            let t = Term::lam("x", Term::lam("x", Term::app(v(0), v(1))));
+            assert_eq!(t.to_string(), r"\x. \x1. x1 x");
+        })
     }
 
     #[test]
@@ -241,8 +249,12 @@ mod tests {
 
     #[test]
     fn metas_print_with_hint() {
-        let t = Term::Meta(MVar::new(0, "P"));
-        assert_eq!(t.to_string(), "?P");
+        crate::store::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let t = Term::Meta(MVar::new(0, "P"));
+            assert_eq!(t.to_string(), "?P");
+        })
     }
 
     #[test]

@@ -1,71 +1,108 @@
-//! Hash-consed term store: every [`TermRef`](crate::term::TermRef) is
-//! interned here.
+//! Sharded, hash-consed term store: every
+//! [`TermRef`](crate::term::TermRef) is interned here.
 //!
 //! [`TermRef::new`](crate::term::TermRef::new) computes a shallow
 //! structural key over the de Bruijn skeleton of the node — children are
 //! identified by their already-assigned [`NodeId`]s, binder hints are
-//! ignored — and looks it up in a thread-local [`TermStore`]. A hit
-//! returns the existing node (a reference-count bump, no allocation), so
+//! ignored — and looks it up in a [`TermStore`]. A hit returns the
+//! existing node (a reference-count bump, no allocation), so
 //! α-equivalent-modulo-hints subterms share **one** node and the cached
 //! annotations (`max_free`/`has_meta`/`beta_normal`) are computed once per
 //! distinct term. A miss allocates the node and assigns it the next id
-//! from a monotonic counter.
+//! from a process-wide monotonic counter.
+//!
+//! # Concurrency model
+//!
+//! Since PR 6 the store is **shared between threads**: nodes are
+//! `Arc<TermNode>` and the store is split into [`SHARDS`] independent
+//! shards, each a mutex around its slice of the interning map. A shard is
+//! selected by the high bits of the skeleton hash, so concurrent interns
+//! of unrelated terms take unrelated locks; one intern touches exactly
+//! one shard (children are already interned), so there is no lock
+//! ordering and no deadlock. Each *thread* additionally keeps a private,
+//! lock-free, direct-mapped front cache of [`FRONT_SLOTS`] recently
+//! interned nodes, so steady-state rebuild loops (hereditary
+//! substitution, normalization) intern without touching a lock at all.
+//!
+//! The store is no longer hidden global state: it is an explicit,
+//! shareable, `Send + Sync` handle — [`StoreHandle`] — passed around the
+//! way `EngineCaches` already is. The thread-local that remains is *just
+//! a default*: [`TermRef::new`](crate::term::TermRef::new) interns into
+//! the thread's **current** store, which is the process-wide global store
+//! unless the thread is inside [`StoreHandle::enter`]. Worker threads
+//! that must share an isolated store (tests, batch drivers) capture
+//! [`current()`] and `enter` it on the worker.
 //!
 //! # Stable ids as cache keys
 //!
-//! `NodeId`s are never reused while the store lives: the counter only
-//! moves forward, and once a class is evicted its id can never be
+//! `NodeId`s are allocated from one **process-wide** atomic counter
+//! shared by every store, so an id is never reused — not by this store,
+//! not by an isolated one. Once a class is evicted its id can never be
 //! *probed* again (probing requires a live `TermRef` carrying that id —
 //! while the class is merely dead-but-cached, rebuilding it resurrects
 //! the *same* node and id, never a different class under that id).
 //! Downstream caches — the rewrite engine's rule-normal-form cache and
 //! root-step memo, [`normalize::CanonCache`](crate::normalize::CanonCache)
 //! — therefore key on `NodeId` with no keepalive pinning: a stale entry
-//! under a dead id is unreachable garbage, not a soundness hazard, and the
-//! caches may outlive any particular engine instance or `normalize` call.
+//! under a dead id is unreachable garbage, not a soundness hazard, and
+//! the caches may outlive any particular engine instance, `normalize`
+//! call, or thread.
 //!
-//! # Scope and lifetime
+//! Within one store, two live `TermRef`s have equal ids **iff** they are
+//! α-equivalent modulo hints — the O(1) `alpha_eq` fast path. Across
+//! *different* stores only the soundness direction survives (equal ids ⇒
+//! the same node ⇒ α-equivalent; completeness needs one interning map),
+//! which is why terms from an isolated store must not be compared against
+//! terms of another store. The default — every thread interning into the
+//! global store — gives the full iff process-wide.
 //!
-//! The store is **thread-local** (terms are `Rc`-based and `!Send`, so
-//! every term a thread can see was interned by that thread). It holds
-//! **strong** references: a node whose last external `TermRef` dies stays
-//! cached, and rebuilding the same skeleton *resurrects* it — same node,
-//! same id, no allocation — which is what makes rebuild-heavy loops
-//! (hereditary substitution, normalization) run at hit speed instead of
-//! re-allocating every round. Dead classes (entries only the store still
-//! holds) are evicted when the map grows past a high-water mark, so
-//! memory is amortized-bounded by twice the live term graph; evicting a
-//! dead class is always safe because its id cannot be probed without a
-//! live `TermRef`. Within one thread, two
-//! live `TermRef`s have equal ids **iff** they are α-equivalent modulo
-//! hints — the O(1) `alpha_eq` fast path.
+//! # Eviction safety under contention
 //!
-//! Because the first interning of an α-class fixes its node, *binder hints
-//! are canonicalized*: later constructions of the same skeleton under
-//! different hints return the first node, and printing uses the first
-//! hints. Hints were already semantically inert (equality, hashing,
+//! Entries are **strong**: a node whose last external `TermRef` dies
+//! stays cached, and rebuilding the same skeleton *resurrects* it — same
+//! node, same id, no allocation. Dead classes are evicted when a shard
+//! grows past its high-water mark. The sweep holds the shard lock and
+//! keeps every entry with `Arc::strong_count > 1`. That check is
+//! race-free, not merely heuristic: a count of 1 under the shard lock
+//! means the map holds the only reference anywhere — every external
+//! acquisition path either clones an existing `Arc` (so the count was
+//! already ≥ 2: map + the clone source, which is itself a live ref or a
+//! front-cache slot) or goes through this shard's lock, which the sweep
+//! holds. A concurrent *release* can at worst leave a freshly dead entry
+//! looking live for one sweep — it is collected by the next. The same
+//! argument covers [`trim`]. Per-thread front caches hold strong refs,
+//! which pins at most [`FRONT_SLOTS`] nodes per thread; every sweep bumps
+//! the store's epoch, and a front that observes a stale epoch discards
+//! itself on its next probe, so those pins are transient.
+//!
+//! Because the first interning of an α-class fixes its node, *binder
+//! hints are canonicalized*: later constructions of the same skeleton
+//! under different hints return the first node, and printing uses the
+//! first hints. Hints were already semantically inert (equality, hashing,
 //! matching, and rewriting all ignore them); decode/round-trip guarantees
 //! hold up to α-equivalence, which is exactly the paper's notion of
 //! object-language identity.
 
 use crate::term::{Term, TermNode};
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasher, Hasher};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
 /// Stable, store-scoped identity of an interned term node.
 ///
-/// Ids are assigned from a monotonic per-thread counter starting at `1`
-/// and are **never reused** while the store (i.e. the thread) lives, so a
-/// `NodeId` is a durable cache key: entries recorded under an id that has
-/// since died can never be matched by a live term again. `0` is never
-/// assigned, so callers may use [`NodeId::SENTINEL`] as a "no node" slot
-/// in packed keys.
+/// Ids are assigned from a **process-wide** monotonic counter starting at
+/// `1` — shared by the global store and every isolated one — and are
+/// **never reused**, so a `NodeId` is a durable cache key: entries
+/// recorded under an id that has since died can never be matched by a
+/// live term again, no matter which thread probes. `0` is never assigned,
+/// so callers may use [`NodeId::SENTINEL`] as a "no node" slot in packed
+/// keys.
 ///
-/// Within one thread, two **live** [`TermRef`](crate::term::TermRef)s
+/// Within one store, two **live** [`TermRef`](crate::term::TermRef)s
 /// carry the same id iff they are α-equivalent modulo binder hints.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct NodeId(u64);
@@ -86,14 +123,15 @@ impl fmt::Display for NodeId {
     }
 }
 
-/// Counters describing the thread's interner traffic; see [`stats`].
+/// Counters describing **this thread's** interner traffic; see [`stats`].
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub struct InternStats {
     /// Total intern lookups (one per [`TermRef::new`](crate::term::TermRef::new)).
     pub lookups: u64,
     /// Lookups answered by an existing node (no allocation).
     pub hits: u64,
-    /// Distinct nodes ever created (misses; monotonic, ignores deaths).
+    /// Distinct nodes this thread created (misses; monotonic, ignores
+    /// deaths).
     pub distinct_nodes: u64,
 }
 
@@ -123,7 +161,7 @@ impl InternStats {
 /// [`NodeId`]s. Binder hints are excluded (`Lam` keys on the body only,
 /// `Meta` on the numeric id), so the key identifies the α-class modulo
 /// hints. O(1) to build and hash because children are already interned.
-#[derive(PartialEq, Eq, Hash)]
+#[derive(PartialEq, Eq, Hash, Debug)]
 enum NodeKey {
     Var(u32),
     Const(crate::intern::Sym),
@@ -238,7 +276,7 @@ impl Hasher for FxHasher {
     }
 }
 
-#[derive(Clone, Default)]
+#[derive(Clone, Default, Debug)]
 struct FxBuild;
 
 impl BuildHasher for FxBuild {
@@ -249,167 +287,382 @@ impl BuildHasher for FxBuild {
     }
 }
 
-/// Evict dead classes no earlier than this map size (keeps tiny
-/// workloads eviction-free).
+/// Number of lock shards. One intern takes exactly one shard lock (its
+/// children are already interned), chosen by the top bits of the skeleton
+/// hash, so threads working on unrelated terms contend only by hash
+/// accident.
+const SHARDS: usize = 16;
+
+/// Evict dead classes no earlier than this aggregate map size (keeps tiny
+/// workloads eviction-free). Each shard sweeps independently at
+/// `MIN_SWEEP / SHARDS`.
 const MIN_SWEEP: usize = 1 << 12;
 
-/// Slots in the direct-mapped front cache (8 KiB of pointers — L1-sized).
-const FRONT_SLOTS: usize = 1 << 10;
+/// Per-shard eviction floor.
+const SHARD_MIN_SWEEP: usize = MIN_SWEEP / SHARDS;
 
-/// The interner's two tables, behind one `RefCell` so the hot path pays a
-/// single borrow.
+/// Slots in each thread's private direct-mapped front cache (32 KiB of
+/// pointers). Larger than PR 5's 8 KiB: a front conflict-miss now costs a
+/// shard `Mutex` round-trip instead of a same-`RefCell` map probe, so
+/// buying a lower miss rate with one more cache level of footprint is a
+/// clear win on rebuild-heavy workloads (terms of ~2k distinct subterms
+/// thrash 1k slots).
+const FRONT_SLOTS: usize = 1 << 12;
+
+/// One shard's slice of the interning map, plus its private high-water
+/// mark; both live behind the shard mutex, so the sweep condition and the
+/// sweep itself are atomic with respect to concurrent interns.
+#[derive(Debug)]
 struct Tables {
-    /// Direct-mapped front cache indexed by hash bits: 8 KiB of pointers
-    /// that stay L1-resident, so steady-state rebuild loops (hereditary
-    /// substitution, normalization) hit here without touching the big
-    /// map. Lazily sized on first intern (keeps `new` const). Cleared on
-    /// every sweep so its strong refs never distort liveness counts.
-    front: Vec<Option<Rc<TermNode>>>,
-    map: HashMap<NodeKey, Rc<TermNode>, FxBuild>,
+    map: HashMap<NodeKey, Arc<TermNode>, FxBuild>,
+    sweep_at: usize,
 }
 
-/// The per-thread interner, keyed by [`NodeKey`]. Entries are **strong**:
-/// a class whose external refs all died stays cached until the map grows
-/// past its high-water mark, so an immediate rebuild of the same skeleton
-/// is a pure map hit — same node, same id, no allocation. On growth past
-/// the mark, entries with `strong_count == 1` (only the store holds them)
-/// are evicted and the mark resets to twice the live size, making
-/// eviction amortized O(1) per insertion and memory proportional to the
-/// live term graph.
-struct TermStore {
-    tables: RefCell<Tables>,
-    next_id: Cell<u64>,
-    lookups: Cell<u64>,
-    hits: Cell<u64>,
-    distinct: Cell<u64>,
-    sweep_at: Cell<usize>,
+#[derive(Debug)]
+struct Shard {
+    tables: Mutex<Tables>,
+}
+
+/// Ignore mutex poisoning: a shard critical section only performs
+/// exception-safe `HashMap` operations (probe, insert, retain), so the
+/// tables are consistent even if a thread panicked mid-intern; refusing
+/// all further interning would turn one test panic into a cascade.
+fn lock(shard: &Shard) -> MutexGuard<'_, Tables> {
+    shard.tables.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A sharded, lock-striped, hash-consed interner, shared between threads
+/// through [`StoreHandle`]. Entries are **strong**: a class whose
+/// external refs all died stays cached until its shard grows past the
+/// high-water mark, so an immediate rebuild of the same skeleton is a
+/// pure map hit — same node, same id, no allocation. On growth past the
+/// mark, entries with `strong_count == 1` (only the store holds them) are
+/// evicted and the mark resets to twice the live size, making eviction
+/// amortized O(1) per insertion and memory proportional to the live term
+/// graph (plus the bounded per-thread front-cache pins; see the module
+/// docs).
+#[derive(Debug)]
+pub struct TermStore {
+    shards: [Shard; SHARDS],
+    /// Distinguishes stores for the per-thread front caches (never
+    /// reused; `0` is the "no store" tag of an empty front).
+    store_token: u64,
+    /// Bumped by every sweep/trim; fronts that observe a stale epoch
+    /// discard themselves, releasing their pins.
+    sweep_epoch: AtomicU64,
+}
+
+/// Process-wide [`NodeId`] allocator, shared by **all** stores so ids are
+/// unique across the global store and every isolated one.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Allocator for [`TermStore::store_token`] (`0` reserved for "none").
+static NEXT_STORE_TOKEN: AtomicU64 = AtomicU64::new(1);
+
+/// The process-wide default store.
+static GLOBAL: OnceLock<Arc<TermStore>> = OnceLock::new();
+
+fn global_store() -> &'static Arc<TermStore> {
+    GLOBAL.get_or_init(|| Arc::new(TermStore::new()))
 }
 
 impl TermStore {
-    const fn new() -> TermStore {
+    fn new() -> TermStore {
         TermStore {
-            tables: RefCell::new(Tables {
-                front: Vec::new(),
-                map: HashMap::with_hasher(FxBuild),
+            shards: std::array::from_fn(|_| Shard {
+                tables: Mutex::new(Tables {
+                    map: HashMap::with_hasher(FxBuild),
+                    sweep_at: SHARD_MIN_SWEEP,
+                }),
             }),
-            next_id: Cell::new(1),
-            lookups: Cell::new(0),
-            hits: Cell::new(0),
-            distinct: Cell::new(0),
-            sweep_at: Cell::new(MIN_SWEEP),
+            store_token: NEXT_STORE_TOKEN.fetch_add(1, Ordering::Relaxed),
+            sweep_epoch: AtomicU64::new(0),
         }
     }
 
-    fn fresh_id(&self) -> NodeId {
-        let id = self.next_id.get();
-        self.next_id.set(id + 1);
-        NodeId(id)
+    fn fresh_id() -> NodeId {
+        NodeId(NEXT_ID.fetch_add(1, Ordering::Relaxed))
     }
 
-    fn intern(&self, term: Term) -> Rc<TermNode> {
-        self.lookups.set(self.lookups.get() + 1);
-        let key = NodeKey::of(&term);
-        let hash = FxBuild.hash_one(&key);
-        let mut borrow = self.tables.borrow_mut();
-        let tables = &mut *borrow;
-        if tables.front.is_empty() {
-            tables.front.resize(FRONT_SLOTS, None);
-        }
-        let slot = (hash as usize) & (FRONT_SLOTS - 1);
-        if let Some(node) = &tables.front[slot] {
-            if key.matches(node) {
-                self.hits.set(self.hits.get() + 1);
-                let node = Rc::clone(node);
-                // Release the borrow before `term` (and its child refs)
-                // drops — keep the scopes disjoint.
-                drop(borrow);
-                return node;
-            }
-        }
+    /// The slow path: probe-or-insert in the owning shard. `front_miss`
+    /// is true when the caller's front cache was consulted and missed
+    /// (i.e. the map hit still counts as a hit for the stats).
+    fn intern_in_shard(&self, key: NodeKey, hash: u64, term: Term) -> (Arc<TermNode>, bool) {
+        let shard = &self.shards[(hash >> 60) as usize & (SHARDS - 1)];
+        let mut guard = lock(shard);
+        let tables = &mut *guard;
         let mut missed = false;
         // Single-hash probe-or-insert: the miss path must not hash twice.
         let node = match tables.map.entry(key) {
-            Entry::Occupied(e) => {
-                self.hits.set(self.hits.get() + 1);
-                Rc::clone(e.get())
-            }
+            Entry::Occupied(e) => Arc::clone(e.get()),
             Entry::Vacant(e) => {
                 missed = true;
-                let node = Rc::new(TermNode {
-                    id: self.fresh_id(),
+                let node = Arc::new(TermNode {
+                    id: TermStore::fresh_id(),
                     max_free: term.max_free(),
                     has_meta: term.has_metas(),
                     beta_normal: term.is_beta_normal(),
                     term,
                 });
-                self.distinct.set(self.distinct.get() + 1);
-                e.insert(Rc::clone(&node));
+                e.insert(Arc::clone(&node));
                 node
             }
         };
-        tables.front[slot] = Some(Rc::clone(&node));
-        if missed && tables.map.len() >= self.sweep_at.get() {
+        if missed && tables.map.len() >= tables.sweep_at {
             // Evicting a dead class is always sound: without a live
             // external ref its id cannot be probed, so a later rebuild
-            // under a fresh id can never alias it. The front cache is
-            // cleared first so its refs don't inflate liveness counts.
-            // Entry drops release child refs, which may turn further
-            // entries dead — they go in a later sweep.
-            tables.front.clear();
-            tables.map.retain(|_, node| Rc::strong_count(node) > 1);
-            self.sweep_at.set((tables.map.len() * 2).max(MIN_SWEEP));
+            // under a fresh id can never alias it. `strong_count == 1`
+            // under the shard lock *means* dead — see the module docs for
+            // the race-freedom argument. Entry drops release child refs,
+            // which may turn further entries dead — they go in a later
+            // sweep.
+            tables.map.retain(|_, node| Arc::strong_count(node) > 1);
+            tables.sweep_at = (tables.map.len() * 2).max(SHARD_MIN_SWEEP);
+            self.sweep_epoch.fetch_add(1, Ordering::Relaxed);
         }
-        drop(borrow);
-        node
+        (node, missed)
     }
 
-    fn stats(&self) -> InternStats {
-        InternStats {
-            lookups: self.lookups.get(),
-            hits: self.hits.get(),
-            distinct_nodes: self.distinct.get(),
+    /// Evicts every dead class *now* and shrinks each shard to its
+    /// smallest footprint.
+    fn trim_now(&self) {
+        for shard in &self.shards {
+            let mut guard = lock(shard);
+            let tables = &mut *guard;
+            tables.map.retain(|_, node| Arc::strong_count(node) > 1);
+            tables.map.shrink_to_fit();
+            tables.sweep_at = (tables.map.len() * 2).max(SHARD_MIN_SWEEP);
         }
+        self.sweep_epoch.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of cached classes (live + dead-but-cached), summed
+    /// over the shards. Diagnostic only: the value is stale the moment a
+    /// concurrent intern lands.
+    fn len(&self) -> usize {
+        self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+}
+
+/// An explicit, shareable (`Send + Sync + Clone`) handle to a
+/// [`TermStore`]. Cloning shares the store; dropping the last handle (and
+/// last interned node holding it alive — nodes do not point back at the
+/// store) frees it.
+///
+/// The handle is how the store crosses threads without hidden global
+/// state: a batch driver captures [`current()`] on the coordinating
+/// thread and [`StoreHandle::enter`]s it on every worker, so the workers
+/// intern into the same maps and the "same id ⇔ α-equivalent" invariant
+/// holds across all of them.
+#[derive(Clone, Debug)]
+pub struct StoreHandle(Arc<TermStore>);
+
+impl StoreHandle {
+    /// The process-wide default store — what every thread uses unless it
+    /// is inside [`StoreHandle::enter`].
+    pub fn global() -> StoreHandle {
+        StoreHandle(Arc::clone(global_store()))
+    }
+
+    /// A fresh, empty store, fully independent of the global one except
+    /// for the shared [`NodeId`] allocator (so ids never collide across
+    /// stores). For tests that depend on eviction timing and for bench
+    /// heap hygiene; terms interned here must not be compared against
+    /// terms of other stores (see the module docs).
+    pub fn isolated() -> StoreHandle {
+        StoreHandle(Arc::new(TermStore::new()))
+    }
+
+    /// Runs `f` with this store as the thread's current store, restoring
+    /// the previous current store afterwards (also on unwind). All
+    /// interning inside `f` — every [`TermRef::new`](crate::term::TermRef::new),
+    /// every smart constructor — lands in this store.
+    pub fn enter<T>(&self, f: impl FnOnce() -> T) -> T {
+        struct Restore(Option<StoreHandle>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                let prev = self.0.take();
+                CTX.with(|ctx| ctx.borrow_mut().current = prev);
+            }
+        }
+        let prev = CTX.with(|ctx| ctx.borrow_mut().current.replace(self.clone()));
+        let _restore = Restore(prev);
+        f()
+    }
+
+    /// Do two handles share one store?
+    pub fn same_store(a: &StoreHandle, b: &StoreHandle) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// Total number of cached classes (live + dead-but-cached) right now.
+    /// Diagnostic: stale as soon as another thread interns.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the store currently caches no classes at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// This thread's interner-facing state: the current store override, the
+/// private front cache, and the traffic counters — one `RefCell` so the
+/// hot path pays a single thread-local access and borrow.
+struct ThreadCtx {
+    /// `None` means "the global store".
+    current: Option<StoreHandle>,
+    front: Front,
+    lookups: u64,
+    hits: u64,
+    distinct: u64,
+}
+
+/// A per-thread, lock-free, direct-mapped cache of recently interned
+/// nodes, validated against the store it was filled from (`store` token)
+/// and the store's sweep epoch. Any node found here is guaranteed still
+/// to be in the store's map — the front's own strong ref keeps its
+/// `strong_count` above 1 through every sweep — so a front hit never
+/// resurrects an evicted class under a stale id. The epoch check is a
+/// memory bound, not a correctness gate: it makes the front drop its pins
+/// soon after a sweep.
+struct Front {
+    /// `0` = unattached.
+    store: u64,
+    epoch: u64,
+    slots: Vec<Option<Arc<TermNode>>>,
+}
+
+impl Front {
+    const fn empty() -> Front {
+        Front {
+            store: 0,
+            epoch: 0,
+            slots: Vec::new(),
+        }
+    }
+
+    fn reset(&mut self, store: u64, epoch: u64) {
+        self.store = store;
+        self.epoch = epoch;
+        self.slots.clear();
+        self.slots.resize(FRONT_SLOTS, None);
+    }
+
+    fn invalidate(&mut self) {
+        self.store = 0;
+        self.slots = Vec::new();
     }
 }
 
 thread_local! {
-    static STORE: TermStore = const { TermStore::new() };
+    static CTX: RefCell<ThreadCtx> = const {
+        RefCell::new(ThreadCtx {
+            current: None,
+            front: Front::empty(),
+            lookups: 0,
+            hits: 0,
+            distinct: 0,
+        })
+    };
 }
 
-/// Interns `term` in the thread's store; called by
+/// Interns `term` in the thread's current store; called by
 /// [`TermRef::new`](crate::term::TermRef::new).
-pub(crate) fn intern(term: Term) -> Rc<TermNode> {
-    STORE.with(|s| s.intern(term))
+pub(crate) fn intern(term: Term) -> Arc<TermNode> {
+    CTX.with(|ctx| {
+        let mut borrow = ctx.borrow_mut();
+        let ThreadCtx {
+            current,
+            front,
+            lookups,
+            hits,
+            distinct,
+        } = &mut *borrow;
+        *lookups += 1;
+        let store: &TermStore = match current {
+            Some(h) => &h.0,
+            None => global_store(),
+        };
+        let key = NodeKey::of(&term);
+        let hash = FxBuild.hash_one(&key);
+        let slot = (hash as usize) & (FRONT_SLOTS - 1);
+        let epoch = store.sweep_epoch.load(Ordering::Relaxed);
+        if front.store != store.store_token || front.epoch != epoch {
+            front.reset(store.store_token, epoch);
+        } else if let Some(node) = &front.slots[slot] {
+            if key.matches(node) {
+                *hits += 1;
+                return Arc::clone(node);
+            }
+        }
+        let (node, missed) = store.intern_in_shard(key, hash, term);
+        if missed {
+            *distinct += 1;
+        } else {
+            *hits += 1;
+        }
+        // Publish to the front only if no sweep interleaved (a stale
+        // front must discard itself wholesale on the next probe, and a
+        // fresh entry tagged with the old epoch would survive that).
+        if store.sweep_epoch.load(Ordering::Relaxed) == epoch {
+            front.slots[slot] = Some(Arc::clone(&node));
+        }
+        node
+    })
 }
 
 /// A fresh id that is *not* associated with any store entry, for the
-/// test-only corrupted-node backdoor: the node stays outside the map (so
-/// it can never be returned by interning) but its id still never collides
-/// with a real node's.
+/// test-only corrupted-node backdoor: the node stays outside every map
+/// (so it can never be returned by interning) but its id still never
+/// collides with a real node's.
 pub(crate) fn fresh_unregistered_id() -> NodeId {
-    STORE.with(|s| s.fresh_id())
+    TermStore::fresh_id()
 }
 
-/// This thread's interner counters (monotonic totals). Take a snapshot
-/// before a workload and diff with [`InternStats::since`] for per-call
-/// numbers.
+/// The thread's current store: the store set by the innermost enclosing
+/// [`StoreHandle::enter`], or the process-wide global store. Capture this
+/// on a coordinating thread and `enter` it on workers to intern into one
+/// shared store.
+pub fn current() -> StoreHandle {
+    CTX.with(|ctx| ctx.borrow().current.clone())
+        .unwrap_or_else(StoreHandle::global)
+}
+
+/// This thread's interner counters (monotonic totals of the **thread's**
+/// traffic, whichever stores it touched). Take a snapshot before a
+/// workload and diff with [`InternStats::since`] for per-call numbers;
+/// per-thread counters keep those deltas deterministic even while other
+/// threads intern concurrently.
 pub fn stats() -> InternStats {
-    STORE.with(|s| s.stats())
+    CTX.with(|ctx| {
+        let ctx = ctx.borrow();
+        InternStats {
+            lookups: ctx.lookups,
+            hits: ctx.hits,
+            distinct_nodes: ctx.distinct,
+        }
+    })
 }
 
-/// Evicts every dead class *now* and shrinks the interner to its smallest
-/// footprint (the front cache is dropped too; it re-sizes lazily on the
-/// next intern). Semantics are unaffected — live nodes always survive —
-/// this is memory/benchmark hygiene: it stops one workload's dead-class
-/// cache from occupying heap while an unrelated workload is measured.
+/// Evicts every dead class of the thread's current store *now* and
+/// shrinks it to its smallest footprint (this thread's front cache is
+/// dropped too; other threads' fronts release their pins on their next
+/// intern, after they observe the epoch bump). Semantics are unaffected —
+/// live nodes always survive — this is memory/benchmark hygiene: it stops
+/// one workload's dead-class cache from occupying heap while an unrelated
+/// workload is measured.
 pub fn trim() {
-    STORE.with(|s| {
-        let mut borrow = s.tables.borrow_mut();
-        let tables = &mut *borrow;
-        tables.front = Vec::new();
-        tables.map.retain(|_, node| Rc::strong_count(node) > 1);
-        tables.map.shrink_to_fit();
-        s.sweep_at.set((tables.map.len() * 2).max(MIN_SWEEP));
+    CTX.with(|ctx| {
+        let mut borrow = ctx.borrow_mut();
+        let ThreadCtx { current, front, .. } = &mut *borrow;
+        front.invalidate();
+        let store: &TermStore = match current {
+            Some(h) => &h.0,
+            None => global_store(),
+        };
+        store.trim_now();
     });
 }
 
@@ -437,9 +690,10 @@ mod tests {
 
     #[test]
     fn stats_count_hits_and_misses() {
+        // Stats are per-thread, so concurrently running tests cannot
+        // perturb the deltas; `a` stays live, so the rebuild is
+        // guaranteed to dedup even if another thread sweeps.
         let before = stats();
-        // A fresh, never-before-interned shape (unique constant name per
-        // test binary run is not guaranteed, so measure deltas only).
         let t = || Term::app(Term::cnst("store-test-c"), Term::Int(41));
         let a = TermRef::new(t());
         let after_first = stats();
@@ -458,38 +712,152 @@ mod tests {
 
     #[test]
     fn dead_classes_resurrect_with_the_same_id() {
-        let id1 = {
-            let t = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
-            t.id()
-        };
-        // All external refs died, but the strong store entry survives
-        // until an eviction sweep; rebuilding the skeleton immediately
-        // (no interleaving misses, hence no sweep) resurrects the same
-        // node under the same id.
-        let t2 = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
-        assert_eq!(t2.id(), id1);
+        // Isolated store: eviction timing must not depend on other tests
+        // hammering the global store from sibling threads.
+        StoreHandle::isolated().enter(|| {
+            let id1 = {
+                let t = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
+                t.id()
+            };
+            // All external refs died, but the strong store entry survives
+            // until an eviction sweep; rebuilding the skeleton immediately
+            // (no interleaving misses, hence no sweep) resurrects the same
+            // node under the same id.
+            let t2 = TermRef::new(Term::app(Term::cnst("store-test-dead"), Term::Int(7)));
+            assert_eq!(t2.id(), id1);
+        });
     }
 
     #[test]
     fn evicted_classes_reintern_under_fresh_ids() {
-        let id1 = {
-            let t = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
-            t.id()
+        StoreHandle::isolated().enter(|| {
+            let id1 = {
+                let t = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
+                t.id()
+            };
+            // Flood the store with transient distinct skeletons, holding
+            // none of them. The flood spreads over the shards by hash;
+            // every shard takes far more misses than its floor, so each
+            // sweeps at least once after `id1`'s entry went dead.
+            for i in 0..(3 * MIN_SWEEP as i64) {
+                let _ = TermRef::new(Term::app(
+                    Term::cnst("store-test-evict-flood"),
+                    Term::Int(i),
+                ));
+            }
+            let t2 = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
+            // Evicted means gone for good: the skeleton comes back under a
+            // fresh id, and the old id can never be observed again.
+            assert_ne!(t2.id(), id1);
+            assert!(t2.id() > id1);
+        });
+    }
+
+    #[test]
+    fn isolated_stores_never_reuse_ids() {
+        // The same skeleton interned in two stores gets two ids — the
+        // allocator is process-wide, so ids can never alias even across
+        // stores.
+        let a = StoreHandle::isolated().enter(|| TermRef::new(Term::cnst("store-test-iso")));
+        let b = StoreHandle::isolated().enter(|| TermRef::new(Term::cnst("store-test-iso")));
+        assert_ne!(a.id(), b.id());
+        // Within each isolated store the usual sharing held; and the
+        // global store is untouched by either (fresh interning there
+        // allocates yet another id).
+        let c = TermRef::new(Term::cnst("store-test-iso-global"));
+        assert_ne!(c.id(), a.id());
+        assert_ne!(c.id(), b.id());
+    }
+
+    #[test]
+    fn enter_restores_the_previous_store() {
+        let outer = current();
+        let iso = StoreHandle::isolated();
+        iso.enter(|| {
+            assert!(StoreHandle::same_store(&current(), &iso));
+            let nested = StoreHandle::isolated();
+            nested.enter(|| assert!(StoreHandle::same_store(&current(), &nested)));
+            assert!(StoreHandle::same_store(&current(), &iso));
+        });
+        assert!(StoreHandle::same_store(&current(), &outer));
+    }
+
+    #[test]
+    fn cross_thread_interning_shares_nodes() {
+        // Two threads interning the same skeleton into one shared store
+        // land on one node: same id from both sides.
+        let h = StoreHandle::isolated();
+        let t = || {
+            Term::lam(
+                "x",
+                Term::app(Term::Var(0), Term::cnst("store-test-xthread")),
+            )
         };
-        // Flood the store with transient distinct skeletons, holding none
-        // of them. Whatever high-water mark this thread's store currently
-        // has, enough dead-entry growth forces at least one sweep after
-        // `id1`'s entry went dead, evicting it.
-        for i in 0..(3 * MIN_SWEEP as i64) {
-            let _ = TermRef::new(Term::app(
-                Term::cnst("store-test-evict-flood"),
-                Term::Int(i),
-            ));
-        }
-        let t2 = TermRef::new(Term::app(Term::cnst("store-test-evict"), Term::Int(9)));
-        // Evicted means gone for good: the skeleton comes back under a
-        // fresh id, and the old id can never be observed again.
-        assert_ne!(t2.id(), id1);
-        assert!(t2.id() > id1);
+        let ids: Vec<NodeId> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let h = h.clone();
+                    s.spawn(move || h.enter(|| TermRef::new(t()).id()))
+                })
+                .collect();
+            handles.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        assert!(
+            ids.windows(2).all(|w| w[0] == w[1]),
+            "ids diverged: {ids:?}"
+        );
+    }
+
+    #[test]
+    fn trim_under_contention_keeps_live_terms_valid() {
+        // The eviction-race regression: workers intern overlapping
+        // families (dropping most, holding some) while another thread
+        // trims in a loop. Every *held* ref must keep its class: a
+        // rebuild of its skeleton — from its own thread or any other —
+        // must land on the same id.
+        let h = StoreHandle::isolated();
+        std::thread::scope(|s| {
+            for w in 0..3u32 {
+                let h = h.clone();
+                s.spawn(move || {
+                    h.enter(|| {
+                        let mut held = Vec::new();
+                        for i in 0..3000i64 {
+                            let t = TermRef::new(Term::app(
+                                Term::cnst("store-test-contend"),
+                                Term::Int(i),
+                            ));
+                            if i % 10 == i64::from(w) {
+                                held.push(t);
+                            } // other refs drop: dead classes for the trimmer
+                        }
+                        for t in &held {
+                            let again = TermRef::new(t.term().clone());
+                            assert_eq!(
+                                again.id(),
+                                t.id(),
+                                "live class lost its id under concurrent trim"
+                            );
+                        }
+                    });
+                });
+            }
+            let trimmer = h.clone();
+            s.spawn(move || {
+                trimmer.enter(|| {
+                    for _ in 0..300 {
+                        trim();
+                        std::thread::yield_now();
+                    }
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn store_handles_are_send_sync() {
+        const fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StoreHandle>();
+        assert_send_sync::<TermStore>();
     }
 }

@@ -42,7 +42,7 @@ pub fn shift_above(t: &Term, d: u32, cutoff: u32) -> Term {
     }
 }
 
-/// [`shift_above`] on a shared subterm: returns the *identical* `Rc` when
+/// [`shift_above`] on a shared subterm: returns the *identical* `Arc` when
 /// the subterm is unaffected.
 fn shift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
     if t.max_free() <= cutoff {

@@ -14,10 +14,12 @@
 //!
 //! # Hash-consed, annotation-carrying representation
 //!
-//! Subterms are [`TermRef`]s — reference-counted pointers to immutable
-//! nodes ([`Rc<TermNode>`](std::rc::Rc)) **interned** in a thread-local
-//! [`crate::store`]: constructing a term whose de Bruijn skeleton (modulo
-//! binder hints) was already built returns the *same* node. Each node
+//! Subterms are [`TermRef`]s — atomically reference-counted pointers to
+//! immutable nodes ([`Arc<TermNode>`](std::sync::Arc)) **interned** in the
+//! thread's current [`crate::store`] (the process-wide shared store unless
+//! a [`StoreHandle`](crate::store::StoreHandle) is entered): constructing
+//! a term whose de Bruijn skeleton (modulo binder hints) was already built
+//! returns the *same* node — from any thread. Each node
 //! carries a stable [`NodeId`] and caches three structural annotations,
 //! computed **bottom-up in O(1)** once per distinct term:
 //!
@@ -30,7 +32,7 @@
 //! All three are functions of the term's structure alone (never of binder
 //! hints), so they are stable under α-renaming and safe to share. The
 //! kernel's traversals exploit the sharing aggressively: `shift`/`subst`
-//! return the *same* `Rc` (a pointer copy, zero allocations) on subterms
+//! return the *same* `Arc` (a pointer copy, zero allocations) on subterms
 //! the operation cannot change, substitution application skips meta-free
 //! subtrees, and normalization skips already-normal ones. Because
 //! interning makes node identity coincide with α-equivalence modulo
@@ -47,7 +49,7 @@ use crate::store::{self, NodeId};
 use crate::ty::Ty;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A metavariable: a typed hole solved by unification or matching.
 ///
@@ -127,7 +129,8 @@ pub(crate) struct TermNode {
 }
 
 /// A shared, annotation-carrying reference to an interned subterm:
-/// `Rc<TermNode>`.
+/// `Arc<TermNode>` — `Send + Sync`, so terms flow freely between threads
+/// sharing a store.
 ///
 /// Cloning is a reference-count bump. Because nodes are hash-consed,
 /// equality is a single [`NodeId`] comparison — O(1) α-equivalence —
@@ -135,11 +138,20 @@ pub(crate) struct TermNode {
 /// binder hints (it hashes the skeleton via child ids), so it remains
 /// consistent with `==`.
 #[derive(Clone)]
-pub struct TermRef(Rc<TermNode>);
+pub struct TermRef(Arc<TermNode>);
+
+// Terms are immutable shared data: they must keep crossing thread
+// boundaries. A field change that loses `Send + Sync` should fail here,
+// not in downstream crates.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TermRef>();
+    assert_send_sync::<Term>();
+};
 
 impl TermRef {
-    /// Interns a term in the thread's store, returning the canonical node
-    /// for its α-class: if the same de Bruijn skeleton (modulo binder
+    /// Interns a term in the thread's current store, returning the
+    /// canonical node for its α-class: if the same de Bruijn skeleton (modulo binder
     /// hints) was interned before and is still alive, that node is
     /// returned unchanged — a reference-count bump, no allocation, and
     /// the *first* interning's hints win for printing. Otherwise a new
@@ -179,16 +191,16 @@ impl TermRef {
     /// interning this coincides with `==` (and with id equality) for all
     /// store-built refs.
     pub fn ptr_eq(a: &TermRef, b: &TermRef) -> bool {
-        Rc::ptr_eq(&a.0, &b.0)
+        Arc::ptr_eq(&a.0, &b.0)
     }
 
     /// The node's stable [`NodeId`], usable as a durable cache key.
     ///
-    /// Two live refs have equal ids iff they are α-equivalent modulo
-    /// binder hints. Ids are never reused while the thread lives, so —
-    /// unlike a raw address — a key derived from an id stays sound after
-    /// the last ref dies: it simply can never be probed again (see
-    /// [`crate::store`]).
+    /// Two live refs from one store have equal ids iff they are
+    /// α-equivalent modulo binder hints. Ids are never reused — the
+    /// allocator is process-wide — so, unlike a raw address, a key derived
+    /// from an id stays sound after the last ref dies: it simply can never
+    /// be probed again (see [`crate::store`]).
     pub fn id(&self) -> NodeId {
         self.0.id
     }
@@ -215,7 +227,7 @@ impl TermRef {
         has_meta: bool,
         beta_normal: bool,
     ) -> TermRef {
-        TermRef(Rc::new(TermNode {
+        TermRef(Arc::new(TermNode {
             term,
             id: store::fresh_unregistered_id(),
             max_free,
@@ -648,7 +660,7 @@ impl std::hash::Hash for Term {
     /// ignored and children contribute their stable [`NodeId`]s (equal
     /// terms have id-equal children), so hashing is O(1) per node instead
     /// of O(term size). Like the ids themselves, hashes are only
-    /// meaningful within one thread's store.
+    /// meaningful within one store.
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         std::mem::discriminant(self).hash(state);
         match self {

@@ -68,6 +68,13 @@ struct Annotations {
 /// children, never a cache — and diffs each [`TermRef`] node's stored
 /// annotations against the recomputation.
 ///
+/// The interning check re-interns each skeleton through the **thread's
+/// current store**, so call this with the term's own store current (the
+/// default when everything uses the global store; inside
+/// [`StoreHandle::enter`](crate::store::StoreHandle::enter) for terms of
+/// an isolated store). Validating a term against a foreign store would
+/// report spurious `interned_id` mismatches.
+///
 /// # Errors
 ///
 /// [`AnnotationMismatch`] describing the first disagreeing node.

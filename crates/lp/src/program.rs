@@ -330,29 +330,37 @@ mod tests {
 
     #[test]
     fn parse_horn_clause() {
-        let s = sig();
-        let c = Clause::parse(
-            &s,
-            &[("X", "i"), ("XS", "i"), ("YS", "i"), ("ZS", "i")],
-            "append (cons ?X ?XS) ?YS (cons ?X ?ZS)",
-            &["append ?XS ?YS ?ZS"],
-        )
-        .unwrap();
-        assert_eq!(c.vars.len(), 4);
-        assert_eq!(
-            c.to_string(),
-            "append (cons ?X ?XS) ?YS (cons ?X ?ZS) :- append ?XS ?YS ?ZS"
-        );
-        assert_eq!(c.var_menv().len(), 4);
-        assert_eq!(c.metas().len(), 4);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let s = sig();
+            let c = Clause::parse(
+                &s,
+                &[("X", "i"), ("XS", "i"), ("YS", "i"), ("ZS", "i")],
+                "append (cons ?X ?XS) ?YS (cons ?X ?ZS)",
+                &["append ?XS ?YS ?ZS"],
+            )
+            .unwrap();
+            assert_eq!(c.vars.len(), 4);
+            assert_eq!(
+                c.to_string(),
+                "append (cons ?X ?XS) ?YS (cons ?X ?ZS) :- append ?XS ?YS ?ZS"
+            );
+            assert_eq!(c.var_menv().len(), 4);
+            assert_eq!(c.metas().len(), 4);
+        })
     }
 
     #[test]
     fn fact_displays_without_body() {
-        let s = sig();
-        let c = Clause::parse(&s, &[("Y", "i")], "append nil ?Y ?Y", &[]).unwrap();
-        assert_eq!(c.to_string(), "append nil ?Y ?Y");
-        assert_eq!(c.body, Goal::True);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let s = sig();
+            let c = Clause::parse(&s, &[("Y", "i")], "append nil ?Y ?Y", &[]).unwrap();
+            assert_eq!(c.to_string(), "append nil ?Y ?Y");
+            assert_eq!(c.body, Goal::True);
+        })
     }
 
     #[test]
@@ -367,25 +375,29 @@ mod tests {
 
     #[test]
     fn clauses_for_indexes_by_head_predicate() {
-        let s = Signature::parse(
-            "type i.
-             type o.
-             const nil : i.
-             const p : i -> o.
-             const q : i -> o.",
-        )
-        .unwrap();
-        let mut prog = Program::new(s);
-        prog.push(Clause::parse(prog.sig(), &[], "p nil", &[]).unwrap());
-        prog.push(Clause::parse(prog.sig(), &[], "q nil", &[]).unwrap());
-        prog.push(Clause::parse(prog.sig(), &[("X", "i")], "p ?X", &["q ?X"]).unwrap());
-        let ps: Vec<String> = prog
-            .clauses_for(&Sym::new("p"))
-            .map(|c| c.to_string())
-            .collect();
-        assert_eq!(ps, vec!["p nil", "p ?X :- q ?X"]);
-        assert_eq!(prog.clauses_for(&Sym::new("q")).count(), 1);
-        assert_eq!(prog.clauses_for(&Sym::new("nil")).count(), 0);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let s = Signature::parse(
+                "type i.
+                 type o.
+                 const nil : i.
+                 const p : i -> o.
+                 const q : i -> o.",
+            )
+            .unwrap();
+            let mut prog = Program::new(s);
+            prog.push(Clause::parse(prog.sig(), &[], "p nil", &[]).unwrap());
+            prog.push(Clause::parse(prog.sig(), &[], "q nil", &[]).unwrap());
+            prog.push(Clause::parse(prog.sig(), &[("X", "i")], "p ?X", &["q ?X"]).unwrap());
+            let ps: Vec<String> = prog
+                .clauses_for(&Sym::new("p"))
+                .map(|c| c.to_string())
+                .collect();
+            assert_eq!(ps, vec!["p nil", "p ?X :- q ?X"]);
+            assert_eq!(prog.clauses_for(&Sym::new("q")).count(), 1);
+            assert_eq!(prog.clauses_for(&Sym::new("nil")).count(), 0);
+        })
     }
 
     #[test]

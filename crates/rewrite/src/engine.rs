@@ -44,9 +44,9 @@ use hoas_core::term::{Head, MetaEnv, TermRef};
 use hoas_core::{normalize, store, typeck, NodeId, Sym, Term, Ty};
 use hoas_unify::classify::PatternClass;
 use hoas_unify::matching::{match_pattern, match_term, MatchConfig};
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Traversal strategy.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -338,12 +338,12 @@ const RULE_NF_CAP: usize = 1 << 20;
 
 /// The head-type table's value: uncurried argument types for a
 /// monomorphic constant, `None` for a polymorphic one.
-type HeadArgTys = Option<Rc<Vec<Ty>>>;
+type HeadArgTys = Option<Arc<Vec<Ty>>>;
 
 /// Argument types of a neutral spine's head, with ownership depending on
 /// where they came from (memo table, context, or fresh synthesis).
 enum ArgTys<'t> {
-    Shared(Rc<Vec<Ty>>),
+    Shared(Arc<Vec<Ty>>),
     Borrowed(Vec<&'t Ty>),
     Owned(Vec<Ty>),
 }
@@ -364,15 +364,20 @@ impl ArgTys<'_> {
 ///
 /// Every key in here is a stable [`NodeId`] (or a signature symbol), so
 /// the handle stays sound after the engine — and even every subject term
-/// — is gone: ids are never reused while the thread lives, so an entry
-/// for a dead node can never be probed again. Warm caches can therefore
-/// be carried from one engine instance to the next with
-/// [`Engine::caches`]/[`Engine::with_caches`].
+/// — is gone: ids are never reused, process-wide, so an entry for a dead
+/// node can never be probed again. Warm caches can therefore be carried
+/// from one engine instance to the next with
+/// [`Engine::caches`]/[`Engine::with_caches`] — and, the bundle being
+/// `Send + Sync` (each table behind its own mutex), shared between
+/// *threads*: workers over one term store build private `Engine`s around
+/// one clone of the handle and warm each other's caches.
 ///
 /// Entries record everything they depend on *except* the signature, rule
 /// set, and match configuration, which are fixed per engine: only share a
 /// handle between engines that agree on those (the root-step memo checks
-/// the strategy itself, so engines may differ in strategy).
+/// the strategy itself, so engines may differ in strategy). A handle is
+/// also implicitly tied to the term store its node ids came from; engines
+/// in different stores must not share one.
 #[derive(Clone, Debug, Default)]
 pub struct EngineCaches {
     /// Memoized uncurried argument types per (monomorphic) constant,
@@ -381,21 +386,21 @@ pub struct EngineCaches {
     /// engine construction stays O(1) no matter how large the signature
     /// (analysis passes build an engine per rule). `None` records a
     /// polymorphic constant, which must take the synthesis path.
-    head_arg_tys: Rc<RefCell<HashMap<Sym, HeadArgTys>>>,
+    head_arg_tys: Arc<Mutex<HashMap<Sym, HeadArgTys>>>,
     /// Canonical-form memo for replacement canonicalization (see
     /// [`hoas_core::normalize::CanonCache`] for the soundness argument).
-    canon: Rc<normalize::CanonCache>,
+    canon: Arc<normalize::CanonCache>,
     /// Rule-normal-form cache, keyed on stable node id. Entries are never
     /// invalidated: whether a rule fires inside a node is a function of
     /// its α-class (plus the recorded types), which the id pins down
     /// forever.
-    rule_nf: Rc<RefCell<HashMap<NodeId, Vec<CacheEntry>>>>,
+    rule_nf: Arc<Mutex<HashMap<NodeId, Vec<CacheEntry>>>>,
     /// Root-step memo: the outcome of one whole strategy step on a
     /// closed subject, keyed by the root's shallow id identity. Because
     /// interning hands back id-identical subtrees for a repeated
     /// subject, an entire rewrite run re-played on the same input
     /// collapses to one probe per step.
-    root_memo: Rc<RefCell<HashMap<RootKey, Vec<RootEntry>>>>,
+    root_memo: Arc<Mutex<HashMap<RootKey, Vec<RootEntry>>>>,
 }
 
 impl EngineCaches {
@@ -404,6 +409,23 @@ impl EngineCaches {
     pub fn new() -> EngineCaches {
         EngineCaches::default()
     }
+}
+
+// The whole point of the bundle since PR 6: it must keep crossing thread
+// boundaries (workers share one handle). Guard it here, next to the
+// fields, rather than letting a future `Rc`/`RefCell` field break a
+// downstream crate.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<EngineCaches>();
+};
+
+/// Cache tables ignore mutex poisoning: every critical section performs
+/// only exception-safe `HashMap` operations, so a panicking thread leaves
+/// a consistent table; the caches are pure memoization and must not turn
+/// one panic into a process-wide poison cascade.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A rewrite engine for one signature and rule set.
@@ -743,7 +765,7 @@ impl<'a> Engine<'a> {
             return self.step(&ctx, ty, t);
         };
         {
-            let memo = self.caches.root_memo.borrow();
+            let memo = lock(&self.caches.root_memo);
             if let Some(e) = memo.get(&key).and_then(|es| {
                 es.iter().find(|e| {
                     e.ty == *ty
@@ -757,7 +779,7 @@ impl<'a> Engine<'a> {
         }
         bump(&self.counters.memo_misses);
         let r = self.step(&ctx, ty, t)?;
-        let mut memo = self.caches.root_memo.borrow_mut();
+        let mut memo = lock(&self.caches.root_memo);
         if memo.len() >= ROOT_MEMO_CAP {
             memo.clear();
         }
@@ -771,7 +793,7 @@ impl<'a> Engine<'a> {
     }
 
     fn cache_contains(&self, ctx: &Ctx, ty: &Ty, t: &TermRef) -> bool {
-        let cache = self.caches.rule_nf.borrow();
+        let cache = lock(&self.caches.rule_nf);
         let Some(entries) = cache.get(&t.id()) else {
             return false;
         };
@@ -796,7 +818,7 @@ impl<'a> Engine<'a> {
                 None => return,
             }
         }
-        let mut cache = self.caches.rule_nf.borrow_mut();
+        let mut cache = lock(&self.caches.rule_nf);
         if cache.len() >= RULE_NF_CAP {
             cache.clear();
         }
@@ -812,15 +834,12 @@ impl<'a> Engine<'a> {
     fn arg_tys_for<'t>(&self, ctx: &'t Ctx, head: &Term) -> Result<ArgTys<'t>, RewriteError> {
         match head {
             Term::Const(c) => {
-                let memo = self
-                    .caches
-                    .head_arg_tys
-                    .borrow_mut()
+                let memo = lock(&self.caches.head_arg_tys)
                     .entry(c.clone())
                     .or_insert_with(|| {
                         self.sig.const_ty(c.as_str()).and_then(|scheme| {
                             scheme.as_mono().map(|ty| {
-                                Rc::new(ty.uncurry().0.into_iter().cloned().collect::<Vec<Ty>>())
+                                Arc::new(ty.uncurry().0.into_iter().cloned().collect::<Vec<Ty>>())
                             })
                         })
                     })

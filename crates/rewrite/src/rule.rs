@@ -564,18 +564,22 @@ mod tests {
 
     #[test]
     fn parse_and_display() {
-        let s = sig();
-        let rule = Rule::parse(
-            &s,
-            "not-not",
-            &parse_ty("o").unwrap(),
-            &[("P", "o")],
-            "not (not ?P)",
-            "?P",
-        )
-        .unwrap();
-        assert_eq!(rule.to_string(), "not-not: not (not ?P) ~> ?P : o");
-        assert_eq!(rule.menv().len(), 1);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let s = sig();
+            let rule = Rule::parse(
+                &s,
+                "not-not",
+                &parse_ty("o").unwrap(),
+                &[("P", "o")],
+                "not (not ?P)",
+                "?P",
+            )
+            .unwrap();
+            assert_eq!(rule.to_string(), "not-not: not (not ?P) ~> ?P : o");
+            assert_eq!(rule.menv().len(), 1);
+        })
     }
 
     #[test]

@@ -36,6 +36,26 @@ impl SplitMix64 {
     }
 }
 
+/// The `thread_index`-th per-thread seed derived from a master seed: the
+/// `(thread_index + 1)`-th output of a [`SplitMix64`] stream over
+/// `master_seed`.
+///
+/// Concurrent test suites give worker thread *i* the seed
+/// `per_thread_seed(cfg.seed, i)`, so every thread draws from its own
+/// deterministic stream — no shared generator, no lock, no
+/// scheduling-dependent interleaving of draws. A multi-thread failure is
+/// replayed exactly by re-running with the same `HOAS_PROP_SEED` (and the
+/// same `HOAS_STRESS_THREADS` count): thread *i* regenerates the very
+/// same term family regardless of how the OS schedules the threads.
+pub fn per_thread_seed(master_seed: u64, thread_index: usize) -> u64 {
+    let mut mix = SplitMix64::new(master_seed);
+    let mut seed = mix.next_u64();
+    for _ in 0..thread_index {
+        seed = mix.next_u64();
+    }
+    seed
+}
+
 /// xoshiro256**: the workhorse generator. 256 bits of state, period
 /// 2²⁵⁶ − 1, equidistributed in four dimensions.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -251,6 +271,24 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = SmallRng::seed_from_u64(0);
         let _ = rng.gen_range(3u32..3);
+    }
+
+    #[test]
+    fn per_thread_seeds_are_the_splitmix_stream() {
+        // Thread i's seed is the (i+1)-th SplitMix64 output of the master
+        // seed — a pure function of (master, i), independent of call
+        // order or scheduling.
+        let mut mix = SplitMix64::new(0xD00D);
+        for i in 0..8 {
+            let expected = mix.next_u64();
+            assert_eq!(per_thread_seed(0xD00D, i), expected);
+        }
+        // Distinct threads get distinct streams.
+        let seeds: Vec<u64> = (0..16).map(|i| per_thread_seed(42, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len());
     }
 
     #[test]

@@ -289,13 +289,17 @@ mod tests {
 
     #[test]
     fn first_order_disagreement() {
-        let s = sig();
-        let l = t(&s, "and r (p a)");
-        let r = t(&s, "and r (p b)");
-        let g = anti_unify(&s, &o(), &l, &r).unwrap();
-        assert_eq!(g.holes(), 1);
-        assert_eq!(g.term.to_string(), "and r (p ?H0)");
-        check(&g, &s, &o(), &l, &r);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            let s = sig();
+            let l = t(&s, "and r (p a)");
+            let r = t(&s, "and r (p b)");
+            let g = anti_unify(&s, &o(), &l, &r).unwrap();
+            assert_eq!(g.holes(), 1);
+            assert_eq!(g.term.to_string(), "and r (p ?H0)");
+            check(&g, &s, &o(), &l, &r);
+        })
     }
 
     #[test]
@@ -327,64 +331,80 @@ mod tests {
 
     #[test]
     fn generalizes_under_binders_with_spines() {
-        // ∀x. p x  vs  ∀x. q x x: the hole must capture x via its spine.
-        let s = sig();
-        let l = t(&s, r"forall (\x. p x)");
-        let r = t(&s, r"forall (\x. q x x)");
-        let g = anti_unify(&s, &o(), &l, &r).unwrap();
-        assert_eq!(g.holes(), 1);
-        assert_eq!(g.term.to_string(), r"forall (\x. ?H0 x)");
-        check(&g, &s, &o(), &l, &r);
-        // The hole's type records the binder.
-        let (m, hty) = g.menv.iter().next().unwrap();
-        assert_eq!(hty.to_string(), "i -> o");
-        assert_eq!(m.hint().as_str(), "H0");
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            // ∀x. p x  vs  ∀x. q x x: the hole must capture x via its spine.
+            let s = sig();
+            let l = t(&s, r"forall (\x. p x)");
+            let r = t(&s, r"forall (\x. q x x)");
+            let g = anti_unify(&s, &o(), &l, &r).unwrap();
+            assert_eq!(g.holes(), 1);
+            assert_eq!(g.term.to_string(), r"forall (\x. ?H0 x)");
+            check(&g, &s, &o(), &l, &r);
+            // The hole's type records the binder.
+            let (m, hty) = g.menv.iter().next().unwrap();
+            assert_eq!(hty.to_string(), "i -> o");
+            assert_eq!(m.hint().as_str(), "H0");
+        })
     }
 
     #[test]
     fn rule_synthesis_shape() {
-        // The motivating use: two before/after examples of the same
-        // transformation generalize to the rule's lhs.
-        // Examples: and r (forall (\x. p x)) and and (p a) (forall (\x. q x x)).
-        let s = sig();
-        let ex1 = t(&s, r"and r (forall (\x. p x))");
-        let ex2 = t(&s, r"and (p a) (forall (\x. q x x))");
-        let g = anti_unify(&s, &o(), &ex1, &ex2).unwrap();
-        // Shape: and ?H0 (forall (\x. ?H1 x)) — exactly the lhs of the
-        // quantifier-extraction rule.
-        assert_eq!(g.term.to_string(), r"and ?H0 (forall (\x. ?H1 x))");
-        check(&g, &s, &o(), &ex1, &ex2);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            // The motivating use: two before/after examples of the same
+            // transformation generalize to the rule's lhs.
+            // Examples: and r (forall (\x. p x)) and and (p a) (forall (\x. q x x)).
+            let s = sig();
+            let ex1 = t(&s, r"and r (forall (\x. p x))");
+            let ex2 = t(&s, r"and (p a) (forall (\x. q x x))");
+            let g = anti_unify(&s, &o(), &ex1, &ex2).unwrap();
+            // Shape: and ?H0 (forall (\x. ?H1 x)) — exactly the lhs of the
+            // quantifier-extraction rule.
+            assert_eq!(g.term.to_string(), r"and ?H0 (forall (\x. ?H1 x))");
+            check(&g, &s, &o(), &ex1, &ex2);
+        })
     }
 
     #[test]
     fn nested_binders_spine_order() {
-        // q x y vs q y x: the heads agree, so decomposition reaches the
-        // arguments and each disagreeing argument gets its own hole —
-        // which is *more specific* (hence "least" general) than a single
-        // formula-level hole would be.
-        let s = sig();
-        let l = t(&s, r"forall (\x. forall (\y. q x y))");
-        let r = t(&s, r"forall (\x. forall (\y. q y x))");
-        let g = anti_unify(&s, &o(), &l, &r).unwrap();
-        assert_eq!(g.holes(), 2);
-        check(&g, &s, &o(), &l, &r);
-        // Spines are outermost-first: ?H x y.
-        assert_eq!(
-            g.term.to_string(),
-            r"forall (\x. forall (\y. q (?H0 x y) (?H1 x y)))"
-        );
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            // q x y vs q y x: the heads agree, so decomposition reaches the
+            // arguments and each disagreeing argument gets its own hole —
+            // which is *more specific* (hence "least" general) than a single
+            // formula-level hole would be.
+            let s = sig();
+            let l = t(&s, r"forall (\x. forall (\y. q x y))");
+            let r = t(&s, r"forall (\x. forall (\y. q y x))");
+            let g = anti_unify(&s, &o(), &l, &r).unwrap();
+            assert_eq!(g.holes(), 2);
+            check(&g, &s, &o(), &l, &r);
+            // Spines are outermost-first: ?H x y.
+            assert_eq!(
+                g.term.to_string(),
+                r"forall (\x. forall (\y. q (?H0 x y) (?H1 x y)))"
+            );
+        })
     }
 
     #[test]
     fn clashing_heads_under_binders_get_one_spined_hole() {
-        // p x vs r (different heads): one hole over the binder.
-        let s = sig();
-        let l = t(&s, r"forall (\x. and (p x) r)");
-        let r = t(&s, r"forall (\x. and r r)");
-        let g = anti_unify(&s, &o(), &l, &r).unwrap();
-        assert_eq!(g.holes(), 1);
-        assert_eq!(g.term.to_string(), r"forall (\x. and (?H0 x) r)");
-        check(&g, &s, &o(), &l, &r);
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test asserts printed hints, which are
+            // canonical per α-class per store (first intern wins).
+            // p x vs r (different heads): one hole over the binder.
+            let s = sig();
+            let l = t(&s, r"forall (\x. and (p x) r)");
+            let r = t(&s, r"forall (\x. and r r)");
+            let g = anti_unify(&s, &o(), &l, &r).unwrap();
+            assert_eq!(g.holes(), 1);
+            assert_eq!(g.term.to_string(), r"forall (\x. and (?H0 x) r)");
+            check(&g, &s, &o(), &l, &r);
+        })
     }
 
     #[test]

@@ -228,21 +228,25 @@ mod tests {
 
     #[test]
     fn freeze_produces_ground_instance() {
-        let mut sig = Signature::new();
-        sig.declare_type("o").unwrap();
-        sig.declare_const(
-            "and",
-            Ty::arrows([Ty::base("o"), Ty::base("o")], Ty::base("o")),
-        )
-        .unwrap();
-        let mut menv = MetaEnv::new();
-        menv.insert(MVar::new(0, "P"), Ty::base("o"));
-        menv.insert(MVar::new(1, "Q"), Ty::base("o"));
-        let t = Term::apps(Term::cnst("and"), [meta(0, "P"), meta(1, "Q")]);
-        let (fsig, frozen) = freeze_metas(&sig, &menv, &t).unwrap();
-        assert!(!frozen.has_metas());
-        assert!(fsig.has_const("P#0") && fsig.has_const("Q#1"));
-        // Unknown metas are reported.
-        assert!(freeze_metas(&sig, &MetaEnv::new(), &t).is_err());
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test matches metavariables by printing
+            // hint, and hints are canonical per α-class per store.
+            let mut sig = Signature::new();
+            sig.declare_type("o").unwrap();
+            sig.declare_const(
+                "and",
+                Ty::arrows([Ty::base("o"), Ty::base("o")], Ty::base("o")),
+            )
+            .unwrap();
+            let mut menv = MetaEnv::new();
+            menv.insert(MVar::new(0, "P"), Ty::base("o"));
+            menv.insert(MVar::new(1, "Q"), Ty::base("o"));
+            let t = Term::apps(Term::cnst("and"), [meta(0, "P"), meta(1, "Q")]);
+            let (fsig, frozen) = freeze_metas(&sig, &menv, &t).unwrap();
+            assert!(!frozen.has_metas());
+            assert!(fsig.has_const("P#0") && fsig.has_const("Q#1"));
+            // Unknown metas are reported.
+            assert!(freeze_metas(&sig, &MetaEnv::new(), &t).is_err());
+        })
     }
 }

@@ -440,37 +440,41 @@ mod tests {
 
     #[test]
     fn non_pattern_solved_by_imitation() {
-        // ?F a ≐ p a — outside the pattern fragment. Solutions include
-        // ?F := λx. p x and ?F := λx. p a.
-        let cfg = HuetConfig {
-            max_solutions: 8,
-            ..HuetConfig::default()
-        };
-        let (out, l, r) = solve(&[("F", "i -> o")], "o", "?F a", "p a", &cfg);
-        assert!(out.solutions.len() >= 2, "found {}", out.solutions.len());
-        assert_sound(&out, &l, &r, &fol_sig(), &o());
-        // Check the two classic solutions appear.
-        let sig = fol_sig();
-        let rendered: Vec<String> = out
-            .solutions
-            .iter()
-            .filter_map(|s| {
-                let m = s.subst.iter().find(|(m, _)| m.hint().as_str() == "F")?;
-                Some(
-                    normalize::canon_closed(&sig, m.1, &parse_ty("i -> o").unwrap())
-                        .unwrap()
-                        .to_string(),
-                )
-            })
-            .collect();
-        assert!(
-            rendered.iter().any(|s| s == r"\x0. p x0"),
-            "missing projection-based solution in {rendered:?}"
-        );
-        assert!(
-            rendered.iter().any(|s| s == r"\x0. p a"),
-            "missing constant solution in {rendered:?}"
-        );
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test matches metavariables by printing
+            // hint, and hints are canonical per α-class per store.
+            // ?F a ≐ p a — outside the pattern fragment. Solutions include
+            // ?F := λx. p x and ?F := λx. p a.
+            let cfg = HuetConfig {
+                max_solutions: 8,
+                ..HuetConfig::default()
+            };
+            let (out, l, r) = solve(&[("F", "i -> o")], "o", "?F a", "p a", &cfg);
+            assert!(out.solutions.len() >= 2, "found {}", out.solutions.len());
+            assert_sound(&out, &l, &r, &fol_sig(), &o());
+            // Check the two classic solutions appear.
+            let sig = fol_sig();
+            let rendered: Vec<String> = out
+                .solutions
+                .iter()
+                .filter_map(|s| {
+                    let m = s.subst.iter().find(|(m, _)| m.hint().as_str() == "F")?;
+                    Some(
+                        normalize::canon_closed(&sig, m.1, &parse_ty("i -> o").unwrap())
+                            .unwrap()
+                            .to_string(),
+                    )
+                })
+                .collect();
+            assert!(
+                rendered.iter().any(|s| s == r"\x0. p x0"),
+                "missing projection-based solution in {rendered:?}"
+            );
+            assert!(
+                rendered.iter().any(|s| s == r"\x0. p a"),
+                "missing constant solution in {rendered:?}"
+            );
+        })
     }
 
     #[test]

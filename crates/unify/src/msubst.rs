@@ -110,7 +110,7 @@ impl MetaSubst {
         }
     }
 
-    /// Grafts into a shared subterm, preserving the `Rc` when meta-free.
+    /// Grafts into a shared subterm, preserving the `Arc` when meta-free.
     fn graft_ref(&self, t: &TermRef, depth: u32) -> TermRef {
         if !t.has_meta() {
             t.clone()

@@ -178,7 +178,7 @@ fn invert(
     }
 }
 
-/// [`invert`] on a shared subterm, preserving the `Rc` when the subterm is
+/// [`invert`] on a shared subterm, preserving the `Arc` when the subterm is
 /// a fixed point of the inversion.
 #[allow(clippy::too_many_arguments)]
 fn invert_ref(
@@ -772,28 +772,32 @@ mod tests {
 
     #[test]
     fn pruning_nested_meta() {
-        // forall (\x. ?P) ≐ forall (\x. and r (?R x)) — ?R's argument x must
-        // be pruned for ?P's solution to be well-scoped: ?R := λx. ?R'.
-        let (sol, tl, tr) = go_typed(
-            &[("P", "o"), ("R", "i -> o")],
-            r"forall (\x. ?P)",
-            r"forall (\x. and r (?R x))",
-        )
-        .unwrap();
-        let al = sol.subst.apply(&tl);
-        let ar = sol.subst.apply(&tr);
-        assert_eq!(al, ar);
-        // ?R must have been pruned to a constant function.
-        let r_sol = sol
-            .subst
-            .iter()
-            .find(|(m, _)| m.hint().as_str() == "R")
-            .map(|(_, t)| t.clone())
-            .expect("R was pruned");
-        match r_sol {
-            Term::Lam(_, body) => assert!(!body.occurs_free(0), "R still uses its argument"),
-            other => panic!("expected λ, got {other}"),
-        }
+        hoas_core::StoreHandle::isolated().enter(|| {
+            // Isolated store: this test matches metavariables by printing
+            // hint, and hints are canonical per α-class per store.
+            // forall (\x. ?P) ≐ forall (\x. and r (?R x)) — ?R's argument x must
+            // be pruned for ?P's solution to be well-scoped: ?R := λx. ?R'.
+            let (sol, tl, tr) = go_typed(
+                &[("P", "o"), ("R", "i -> o")],
+                r"forall (\x. ?P)",
+                r"forall (\x. and r (?R x))",
+            )
+            .unwrap();
+            let al = sol.subst.apply(&tl);
+            let ar = sol.subst.apply(&tr);
+            assert_eq!(al, ar);
+            // ?R must have been pruned to a constant function.
+            let r_sol = sol
+                .subst
+                .iter()
+                .find(|(m, _)| m.hint().as_str() == "R")
+                .map(|(_, t)| t.clone())
+                .expect("R was pruned");
+            match r_sol {
+                Term::Lam(_, body) => assert!(!body.occurs_free(0), "R still uses its argument"),
+                other => panic!("expected λ, got {other}"),
+            }
+        })
     }
 
     #[test]

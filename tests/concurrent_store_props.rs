@@ -1,0 +1,206 @@
+//! Cross-thread property tests for the sharded term store (PR 6): N
+//! worker threads intern *overlapping* randomly-generated term families
+//! through one shared store, and the hash-consing contract must hold
+//! **across** the threads, not just within each:
+//!
+//! * same `NodeId` ⇒ structurally α-equivalent (soundness of sharing);
+//! * α-equivalent modulo hints ⇒ same `NodeId` (completeness — two
+//!   threads independently building the same skeleton land on one node);
+//! * per α-class, every thread observes the same cached annotations;
+//! * `validate::check_term` passes on every thread's terms;
+//! * `store::trim`'s eviction never disturbs a class some thread still
+//!   holds live, even while other threads are mid-intern.
+//!
+//! Determinism: worker `i` draws from the SplitMix64-derived stream
+//! `per_thread_seed(HOAS_PROP_SEED, i)`, so any failure replays exactly
+//! under the same seed and the same `HOAS_STRESS_THREADS` count,
+//! regardless of OS scheduling.
+
+use hoas::core::prelude::*;
+use hoas::core::{store, validate};
+use hoas::langs::{fol, lambda};
+use hoas_testkit::prelude::*;
+
+/// Rebuilds `t` bottom-up with every binder hint replaced; the de Bruijn
+/// skeleton is untouched, so the result is α-equivalent modulo hints by
+/// construction (same helper as `tests/intern_props.rs`).
+fn scramble_hints(t: &Term, counter: &mut u32) -> Term {
+    match t {
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        Term::Lam(_, b) => {
+            *counter += 1;
+            Term::lam(
+                format!("scrambled{counter}"),
+                scramble_hints(b.term(), counter),
+            )
+        }
+        Term::App(f, a) => Term::app(
+            scramble_hints(f.term(), counter),
+            scramble_hints(a.term(), counter),
+        ),
+        Term::Pair(a, b) => Term::pair(
+            scramble_hints(a.term(), counter),
+            scramble_hints(b.term(), counter),
+        ),
+        Term::Fst(p) => Term::fst(scramble_hints(p.term(), counter)),
+        Term::Snd(p) => Term::snd(scramble_hints(p.term(), counter)),
+    }
+}
+
+/// One deterministic term family: a mix of λ-calculus and first-order
+/// logic encodings, a pure function of `family_seed`. Two threads given
+/// the same family seed build α-identical terms independently.
+fn family(family_seed: u64) -> Vec<Term> {
+    let mut rng = SmallRng::seed_from_u64(family_seed);
+    let vocab = fol::Vocabulary::small();
+    let mut terms = Vec::new();
+    for size in [3usize, 8, 15, 24] {
+        terms.push(lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap());
+    }
+    for depth in [1u32, 2, 3, 4] {
+        terms.push(fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap());
+    }
+    terms
+}
+
+/// The tentpole invariant: N threads intern overlapping families (thread
+/// `t` builds families `t` and `t+1 mod n`, so every family is built by
+/// two distinct threads) into one shared store; afterwards, over *all*
+/// terms from *all* threads, `same id ⇔ α-equivalent` must hold, with
+/// annotation agreement per class.
+#[test]
+fn concurrent_interning_identifies_terms_up_to_alpha() {
+    let cfg = Config::from_env(1);
+    let n = stress_threads();
+    let h = StoreHandle::isolated();
+    let per_thread: Vec<Vec<(usize, TermRef)>> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..n)
+            .map(|t| {
+                let h = h.clone();
+                s.spawn(move || {
+                    h.enter(|| {
+                        let mut out = Vec::new();
+                        for fam in [t, (t + 1) % n] {
+                            let mut counter = 0;
+                            for e in family(per_thread_seed(cfg.seed, fam)) {
+                                let r = TermRef::new(e.clone());
+                                // Completeness across hint scrambling,
+                                // concurrently with other threads
+                                // interning the same skeletons.
+                                let scrambled = TermRef::new(scramble_hints(&e, &mut counter));
+                                assert_eq!(
+                                    r.id(),
+                                    scrambled.id(),
+                                    "hint-scrambled rebuild changed the id on thread {t}"
+                                );
+                                // Annotation validation inside the store's
+                                // scope (check_term re-interns through the
+                                // thread's current store).
+                                validate::check_term(r.term()).unwrap();
+                                out.push((t, r));
+                            }
+                        }
+                        out
+                    })
+                })
+            })
+            .collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+
+    let all: Vec<(usize, TermRef)> = per_thread.into_iter().flatten().collect();
+    assert!(!all.is_empty());
+    // Both directions of the contract, across every cross-thread pair.
+    // (Structural α-equivalence never consults the store, so the check is
+    // independent of the machinery it verifies.)
+    for (i, (ta, a)) in all.iter().enumerate() {
+        for (tb, b) in &all[i + 1..] {
+            let same_id = a.id() == b.id();
+            let alpha = a.term().alpha_eq_structural(b.term());
+            assert_eq!(
+                same_id, alpha,
+                "cross-thread id/α disagreement between thread {ta}'s {a} and thread {tb}'s {b}"
+            );
+            if same_id {
+                // One class, one set of annotations, whichever thread
+                // interned it first.
+                assert_eq!(a.max_free(), b.max_free());
+                assert_eq!(a.has_meta(), b.has_meta());
+                assert_eq!(a.is_beta_normal(), b.is_beta_normal());
+                assert!(TermRef::ptr_eq(a, b), "equal ids must be one node");
+            }
+        }
+    }
+}
+
+/// Eviction-race regression on generated terms: workers intern families
+/// (dropping most terms, holding some) while a dedicated thread runs
+/// `store::trim` in a loop. Every class a worker still holds must keep
+/// its node: rebuilding the skeleton afterwards lands on the same id, and
+/// the held terms still validate.
+#[test]
+fn trim_under_contention_preserves_live_classes() {
+    let cfg = Config::from_env(1);
+    let n = stress_threads();
+    let h = StoreHandle::isolated();
+    std::thread::scope(|s| {
+        for t in 0..n {
+            let h = h.clone();
+            s.spawn(move || {
+                h.enter(|| {
+                    let mut rng =
+                        SmallRng::seed_from_u64(per_thread_seed(cfg.seed ^ 0x7261_6365, t));
+                    let mut held = Vec::new();
+                    for round in 0..120 {
+                        let size = rng.gen_range(3usize..24);
+                        let e = lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap();
+                        let r = TermRef::new(e);
+                        if round % 4 == 0 {
+                            held.push(r);
+                        } // other refs drop here: food for the trimmer
+                    }
+                    for r in &held {
+                        let again = TermRef::new(r.term().clone());
+                        assert_eq!(
+                            again.id(),
+                            r.id(),
+                            "live class lost its node under concurrent trim"
+                        );
+                        validate::check_term(r.term()).unwrap();
+                    }
+                });
+            });
+        }
+        let trimmer = h.clone();
+        s.spawn(move || {
+            trimmer.enter(|| {
+                for _ in 0..400 {
+                    store::trim();
+                    std::thread::yield_now();
+                }
+            });
+        });
+    });
+}
+
+/// The global store gives the same cross-thread guarantee without any
+/// handle plumbing: plain threads (no `enter`) interning one skeleton
+/// share a node.
+#[test]
+fn global_store_shares_across_plain_threads() {
+    let build = || {
+        TermRef::new(Term::lam(
+            "x",
+            Term::app(Term::Var(0), Term::cnst("concurrent-global-probe")),
+        ))
+    };
+    let ids: Vec<NodeId> = std::thread::scope(|s| {
+        let joins: Vec<_> = (0..4).map(|_| s.spawn(|| build().id())).collect();
+        joins.into_iter().map(|j| j.join().unwrap()).collect()
+    });
+    let local = build().id();
+    assert!(
+        ids.iter().all(|&i| i == local),
+        "global store diverged across threads: {ids:?} vs {local}"
+    );
+}

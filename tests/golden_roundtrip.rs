@@ -10,11 +10,24 @@
 //!
 //! To regenerate after an intentional printer change:
 //! `HOAS_UPDATE_GOLDEN=1 cargo test --test golden_roundtrip`.
+//!
+//! Each test body runs inside [`StoreHandle::isolated`]: binder hints are
+//! canonicalized per α-class by whichever intern happens *first* in a
+//! store, and since PR 6 the default store is process-global, so printed
+//! hints would otherwise depend on which other tests in this binary ran
+//! earlier. A private store makes the printed output a pure function of
+//! the test's own seed again.
 
 use hoas::core::prelude::*;
 use hoas::langs::{fol, imp, lambda, miniml};
 use hoas_testkit::prelude::*;
 use std::path::PathBuf;
+
+/// Runs `f` with a fresh private term store as the thread's current
+/// store, so hint canonicalization can't leak across tests.
+fn in_fresh_store<R>(f: impl FnOnce() -> R) -> R {
+    StoreHandle::isolated().enter(f)
+}
 
 fn golden_path(name: &str) -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR"))
@@ -55,98 +68,110 @@ fn compare_golden(name: &str, lines: &[String]) {
 
 #[test]
 fn core_types_roundtrip_golden() {
-    // Types exercise arrow/product precedence and grouping.
-    let mut rng = SmallRng::seed_from_u64(0x7479);
-    let mut tys: Vec<Ty> = (0..12)
-        .map(|i| hoas_testkit::gen::ty(&mut rng, 1 + (i % 4)))
-        .collect();
-    tys.push(Ty::arrow(
-        Ty::arrow(Ty::base("tm"), Ty::base("tm")),
-        Ty::prod(Ty::Int, Ty::Unit),
-    ));
-    let printed: Vec<String> = tys.iter().map(|t| t.to_string()).collect();
-    for (ty, src) in tys.iter().zip(&printed) {
-        assert_eq!(&parse_ty(src).unwrap(), ty, "parse ∘ print ≠ id on {src}");
-    }
-    compare_golden("core_types", &printed);
+    in_fresh_store(|| {
+        // Types exercise arrow/product precedence and grouping.
+        let mut rng = SmallRng::seed_from_u64(0x7479);
+        let mut tys: Vec<Ty> = (0..12)
+            .map(|i| hoas_testkit::gen::ty(&mut rng, 1 + (i % 4)))
+            .collect();
+        tys.push(Ty::arrow(
+            Ty::arrow(Ty::base("tm"), Ty::base("tm")),
+            Ty::prod(Ty::Int, Ty::Unit),
+        ));
+        let printed: Vec<String> = tys.iter().map(|t| t.to_string()).collect();
+        for (ty, src) in tys.iter().zip(&printed) {
+            assert_eq!(&parse_ty(src).unwrap(), ty, "parse ∘ print ≠ id on {src}");
+        }
+        compare_golden("core_types", &printed);
+    })
 }
 
 #[test]
 fn core_terms_roundtrip_golden() {
-    // Canonical λ-calculus encodings exercise the core printer's binders,
-    // application spines, and name freshening.
-    let sig = lambda::signature();
-    let mut rng = SmallRng::seed_from_u64(0x636f7265);
-    let terms: Vec<Term> = (0..10)
-        .map(|i| {
-            let t = lambda::encode(&lambda::gen_closed(&mut rng, 6 + 3 * i)).unwrap();
-            normalize::canon_closed(sig, &t, &lambda::tm()).unwrap()
-        })
-        .collect();
-    roundtrip_and_compare("core_terms", sig, &terms);
+    in_fresh_store(|| {
+        // Canonical λ-calculus encodings exercise the core printer's binders,
+        // application spines, and name freshening.
+        let sig = lambda::signature();
+        let mut rng = SmallRng::seed_from_u64(0x636f7265);
+        let terms: Vec<Term> = (0..10)
+            .map(|i| {
+                let t = lambda::encode(&lambda::gen_closed(&mut rng, 6 + 3 * i)).unwrap();
+                normalize::canon_closed(sig, &t, &lambda::tm()).unwrap()
+            })
+            .collect();
+        roundtrip_and_compare("core_terms", sig, &terms);
+    })
 }
 
 #[test]
 fn lambda_encodings_roundtrip_golden() {
-    let sig = lambda::signature();
-    let mut rng = SmallRng::seed_from_u64(0x6c616d);
-    let terms: Vec<Term> = (0..10)
-        .map(|_| lambda::encode(&lambda::gen_closed(&mut rng, 12)).unwrap())
-        .collect();
-    roundtrip_and_compare("lambda", sig, &terms);
+    in_fresh_store(|| {
+        let sig = lambda::signature();
+        let mut rng = SmallRng::seed_from_u64(0x6c616d);
+        let terms: Vec<Term> = (0..10)
+            .map(|_| lambda::encode(&lambda::gen_closed(&mut rng, 12)).unwrap())
+            .collect();
+        roundtrip_and_compare("lambda", sig, &terms);
+    })
 }
 
 #[test]
 fn fol_encodings_roundtrip_golden() {
-    let vocab = fol::Vocabulary::small();
-    let sig = vocab.signature();
-    let mut rng = SmallRng::seed_from_u64(0x666f6c);
-    let terms: Vec<Term> = (0..10)
-        .map(|i| fol::encode(&fol::gen_formula(&vocab, &mut rng, 1 + (i % 4))).unwrap())
-        .collect();
-    roundtrip_and_compare("fol", &sig, &terms);
+    in_fresh_store(|| {
+        let vocab = fol::Vocabulary::small();
+        let sig = vocab.signature();
+        let mut rng = SmallRng::seed_from_u64(0x666f6c);
+        let terms: Vec<Term> = (0..10)
+            .map(|i| fol::encode(&fol::gen_formula(&vocab, &mut rng, 1 + (i % 4))).unwrap())
+            .collect();
+        roundtrip_and_compare("fol", &sig, &terms);
+    })
 }
 
 #[test]
 fn imp_encodings_roundtrip_golden() {
-    let sig = imp::signature();
-    let mut rng = SmallRng::seed_from_u64(0x696d70);
-    let terms: Vec<Term> = (0..10)
-        .map(|i| imp::encode(&imp::gen_cmd(&mut rng, 1 + (i % 3))).unwrap())
-        .collect();
-    roundtrip_and_compare("imp", sig, &terms);
+    in_fresh_store(|| {
+        let sig = imp::signature();
+        let mut rng = SmallRng::seed_from_u64(0x696d70);
+        let terms: Vec<Term> = (0..10)
+            .map(|i| imp::encode(&imp::gen_cmd(&mut rng, 1 + (i % 3))).unwrap())
+            .collect();
+        roundtrip_and_compare("imp", sig, &terms);
+    })
 }
 
 #[test]
 fn miniml_encodings_roundtrip_golden() {
-    // Mini-ML has no random generator; pin the structured corpus.
-    let sig = miniml::signature();
-    let corpus = [
-        miniml::add_fn(),
-        miniml::mul_fn(),
-        miniml::fact_fn(),
-        miniml::Exp::app(
-            miniml::Exp::app(miniml::add_fn(), miniml::Exp::num(2)),
-            miniml::Exp::num(3),
-        ),
-        miniml::Exp::case(
-            miniml::Exp::num(1),
-            miniml::Exp::Z,
-            "n",
-            miniml::Exp::let_(
-                "m",
-                miniml::Exp::var("n"),
-                miniml::Exp::s(miniml::Exp::var("m")),
+    in_fresh_store(|| {
+        // Mini-ML has no random generator; pin the structured corpus.
+        let sig = miniml::signature();
+        let corpus = [
+            miniml::add_fn(),
+            miniml::mul_fn(),
+            miniml::fact_fn(),
+            miniml::Exp::app(
+                miniml::Exp::app(miniml::add_fn(), miniml::Exp::num(2)),
+                miniml::Exp::num(3),
             ),
-        ),
-        miniml::Exp::fix(
-            "f",
-            miniml::Exp::lam(
-                "x",
-                miniml::Exp::app(miniml::Exp::var("f"), miniml::Exp::var("x")),
+            miniml::Exp::case(
+                miniml::Exp::num(1),
+                miniml::Exp::Z,
+                "n",
+                miniml::Exp::let_(
+                    "m",
+                    miniml::Exp::var("n"),
+                    miniml::Exp::s(miniml::Exp::var("m")),
+                ),
             ),
-        ),
-    ];
-    let terms: Vec<Term> = corpus.iter().map(|p| miniml::encode(p).unwrap()).collect();
-    roundtrip_and_compare("miniml", sig, &terms);
+            miniml::Exp::fix(
+                "f",
+                miniml::Exp::lam(
+                    "x",
+                    miniml::Exp::app(miniml::Exp::var("f"), miniml::Exp::var("x")),
+                ),
+            ),
+        ];
+        let terms: Vec<Term> = corpus.iter().map(|p| miniml::encode(p).unwrap()).collect();
+        roundtrip_and_compare("miniml", sig, &terms);
+    })
 }

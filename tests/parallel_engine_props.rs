@@ -1,0 +1,233 @@
+//! Property tests for the parallel batch driver (PR 6): the work-stealing
+//! pool in [`hoas_bench::parallel`] must be *observationally transparent*
+//! — for every subject, the batch result (term, steps, applied rules,
+//! full trace, fixpoint flag) equals what a sequential engine produces —
+//! across all four bundled rule sets, both strategies, and both cache
+//! modes (per-worker fresh bundles and one shared [`EngineCaches`]).
+//! This extends the cache-transparency contract of
+//! `tests/engine_cache_props.rs` from "cache on vs off" to "N threads vs
+//! one".
+//!
+//! Also pins the cross-thread warm-replay guarantee: a cache bundle
+//! warmed on one thread lets a two-worker batch replay the workload with
+//! **zero** memo or subtree-proof misses — the second thread re-derives
+//! nothing.
+//!
+//! Thread counts come from `HOAS_STRESS_THREADS` (default 4) and subject
+//! generation from `HOAS_PROP_SEED`, so failures replay deterministically.
+
+use hoas::core::prelude::*;
+use hoas::langs::{fol, imp, miniml};
+use hoas::rewrite::rulesets::{fol_cnf, fol_prenex, imp_opt, miniml_opt};
+use hoas::rewrite::{Engine, EngineCaches, EngineConfig, RuleSet, Strategy};
+use hoas_bench::parallel::{normalize_batch, CacheMode};
+use hoas_testkit::prelude::*;
+
+const STRATEGIES: [Strategy; 2] = [Strategy::LeftmostOutermost, Strategy::LeftmostInnermost];
+
+/// Normalizes `subjects` sequentially, then through the batch driver at
+/// `stress_threads()` workers in both cache modes, and asserts every
+/// observable of every [`NormalizeResult`] matches subject-for-subject.
+fn assert_batch_transparent(
+    sig: &Signature,
+    rules: &RuleSet,
+    ty: &Ty,
+    subjects: &[Term],
+    strategy: Strategy,
+) {
+    let cfg = EngineConfig {
+        strategy,
+        ..EngineConfig::default()
+    };
+    let sequential = Engine::with_config(sig, rules, cfg.clone());
+    let expected: Vec<_> = subjects
+        .iter()
+        .map(|t| sequential.normalize(ty, t).unwrap())
+        .collect();
+    let threads = stress_threads();
+    for mode in [CacheMode::PerWorker, CacheMode::Shared(EngineCaches::new())] {
+        let got = normalize_batch(sig, rules, &cfg, ty, subjects, threads, &mode).unwrap();
+        assert_eq!(got.len(), expected.len());
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                g.term, e.term,
+                "subject {i}: normal forms differ ({strategy:?}, {mode:?})"
+            );
+            assert_eq!(g.steps, e.steps, "subject {i}: step counts differ");
+            assert_eq!(g.applied, e.applied, "subject {i}: applied lists differ");
+            assert_eq!(g.trace, e.trace, "subject {i}: traces differ");
+            assert_eq!(g.fixpoint, e.fixpoint);
+        }
+    }
+}
+
+#[test]
+fn fol_rulesets_batch_transparent() {
+    let cfg = Config::from_env(1);
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let subjects: Vec<Term> = (0..10)
+        .map(|i| fol::encode(&fol::gen_formula(&vocab, &mut rng, 2 + (i % 3) as u32)).unwrap())
+        .collect();
+    for rules in [
+        fol_prenex::rules(&sig).unwrap(),
+        fol_cnf::rules(&sig).unwrap(),
+    ] {
+        for strategy in STRATEGIES {
+            assert_batch_transparent(&sig, &rules, &fol::o(), &subjects, strategy);
+        }
+    }
+}
+
+#[test]
+fn imp_ruleset_batch_transparent() {
+    let cfg = Config::from_env(1);
+    let sig = imp::signature();
+    let rules = imp_opt::rules(sig).unwrap();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x0069_6d70);
+    let subjects: Vec<Term> = (0..10)
+        .map(|i| imp::encode(&imp::gen_cmd(&mut rng, 2 + (i % 3) as u32)).unwrap())
+        .collect();
+    for strategy in STRATEGIES {
+        assert_batch_transparent(sig, &rules, &imp::cmd_ty(), &subjects, strategy);
+    }
+}
+
+/// Mini-ML programs are structured (not generator-driven), mirroring the
+/// corpus in `tests/engine_cache_props.rs`.
+#[test]
+fn miniml_ruleset_batch_transparent() {
+    let sig = miniml::signature();
+    let rules = miniml_opt::rules(sig).unwrap();
+    use hoas::langs::miniml::Exp;
+    let programs = [
+        Exp::app(Exp::app(miniml::add_fn(), Exp::num(6)), Exp::num(7)),
+        Exp::app(Exp::app(miniml::mul_fn(), Exp::num(3)), Exp::num(4)),
+        Exp::app(miniml::fact_fn(), Exp::num(3)),
+        Exp::let_("x", Exp::num(2), Exp::var("x")),
+        Exp::case(Exp::num(2), Exp::num(0), "n", Exp::var("n")),
+    ];
+    let subjects: Vec<Term> = programs
+        .iter()
+        .map(|p| miniml::encode(p).unwrap())
+        .collect();
+    for strategy in STRATEGIES {
+        assert_batch_transparent(sig, &rules, &miniml::exp(), &subjects, strategy);
+    }
+}
+
+/// Cross-thread warm replay: warm a cache bundle on the calling thread,
+/// then hand it to a two-worker batch over the same subjects. Every
+/// worker replays purely from the shared root-step memo — no memo misses,
+/// no subtree re-proofs, strictly fewer nodes visited than the cold run —
+/// extending `caches_are_reusable_across_engine_instances` across the
+/// thread boundary.
+#[test]
+fn shared_caches_replay_across_threads() {
+    let cfg = Config::from_env(1);
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x7265_706c_6179);
+    let subjects: Vec<Term> = (0..8)
+        .map(|_| fol::encode(&fol::gen_formula(&vocab, &mut rng, 5)).unwrap())
+        .collect();
+
+    let first = Engine::new(&sig, &rules);
+    let cold: Vec<_> = subjects
+        .iter()
+        .map(|t| first.normalize(&fol::o(), t).unwrap())
+        .collect();
+    let warm = first.caches();
+    drop(first);
+
+    let got = normalize_batch(
+        &sig,
+        &rules,
+        &EngineConfig::default(),
+        &fol::o(),
+        &subjects,
+        2,
+        &CacheMode::Shared(warm),
+    )
+    .unwrap();
+    let mut warm_memo_hits = 0;
+    let mut warm_visited = 0;
+    let mut cold_visited = 0;
+    for (i, (a, b)) in cold.iter().zip(&got).enumerate() {
+        assert_eq!(
+            a.term, b.term,
+            "subject {i}: replay changed the normal form"
+        );
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(
+            b.stats.memo_misses, 0,
+            "subject {i}: a worker re-derived a root step"
+        );
+        assert_eq!(
+            b.stats.cache_misses, 0,
+            "subject {i}: a worker re-proved a subtree"
+        );
+        warm_memo_hits += b.stats.memo_hits;
+        warm_visited += b.stats.nodes_visited;
+        cold_visited += a.stats.nodes_visited;
+    }
+    assert!(
+        warm_memo_hits > 0,
+        "shared root-step memo never hit across threads"
+    );
+    assert!(
+        warm_visited < cold_visited,
+        "parallel replay did not reduce traversal ({warm_visited} vs {cold_visited})"
+    );
+}
+
+/// Concurrent *cold* sharing is also exact: when all workers share one
+/// initially-empty bundle, whichever worker proves a subtree first seeds
+/// the others, yet every observable stays identical to the sequential
+/// run (covered mode-by-mode above). Here we additionally pin that the
+/// batch leaves the shared bundle warm enough that a sequential replay
+/// through it re-derives nothing.
+#[test]
+fn batch_warmed_caches_replay_sequentially() {
+    let cfg = Config::from_env(1);
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let mut rng = SmallRng::seed_from_u64(cfg.seed ^ 0x636f_6c64);
+    let subjects: Vec<Term> = (0..8)
+        .map(|_| fol::encode(&fol::gen_formula(&vocab, &mut rng, 4)).unwrap())
+        .collect();
+
+    let shared = EngineCaches::new();
+    let batch = normalize_batch(
+        &sig,
+        &rules,
+        &EngineConfig::default(),
+        &fol::o(),
+        &subjects,
+        stress_threads(),
+        &CacheMode::Shared(shared.clone()),
+    )
+    .unwrap();
+
+    let replay = Engine::with_caches(&sig, &rules, EngineConfig::default(), shared);
+    for (i, (t, a)) in subjects.iter().zip(&batch).enumerate() {
+        let b = replay.normalize(&fol::o(), t).unwrap();
+        assert_eq!(a.term, b.term, "subject {i}: replay diverged from batch");
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.applied, b.applied);
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(
+            b.stats.memo_misses, 0,
+            "subject {i}: batch left a cold memo"
+        );
+        assert_eq!(
+            b.stats.cache_misses, 0,
+            "subject {i}: batch left a cold subtree"
+        );
+    }
+}

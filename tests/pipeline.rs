@@ -284,6 +284,15 @@ fn rule_synthesis_by_anti_unification() {
     // Ergo-style rule synthesis: give the system two before/after example
     // pairs of a transformation; anti-unify the befores and the afters;
     // check the resulting rule reproduces both examples and generalizes.
+    //
+    // Runs in a private store: the `?H0` assertions below depend on the
+    // hole's printing hint, and hints are canonical per α-class per store
+    // (first intern wins) — in the shared global store another test's
+    // meta with the same numeric id would pre-empt the name.
+    StoreHandle::isolated().enter(rule_synthesis_body)
+}
+
+fn rule_synthesis_body() {
     use hoas::unify::antiunify::anti_unify;
     let vocab = fol::Vocabulary::small();
     let sig = vocab.signature();
