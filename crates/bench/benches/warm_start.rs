@@ -1,0 +1,106 @@
+//! Warm-start vs cold-start normalization: how much of a prenex run a
+//! reloaded warm image answers from its caches.
+//!
+//! Both benchmarks normalize the same pre-built subjects; what differs
+//! is the cache bundle the engine starts from. `cold` hands every
+//! iteration a fresh, empty bundle — every rule-NF proof, canonical
+//! form, and root step is derived from scratch. `warm` starts from a
+//! bundle filled by [`load_warm_image`] from an image written in a
+//! *different* store (so every key went through the id remap), and the
+//! replay collapses to root-memo probes — the bench asserts zero
+//! rule-NF misses before timing. Workload construction and the image
+//! load itself are setup, outside the timed region: the measured
+//! quantity is normalization, which is what a warm process repeats.
+//!
+//! `bootstrap` keeps the end-to-end number honest alongside: one full
+//! fresh-store cold start — build workload, build rules, normalize —
+//! per iteration, the cost a process pays when it cannot load an image.
+
+use hoas_bench::workloads;
+use hoas_core::{StoreHandle, Term};
+use hoas_langs::fol;
+use hoas_rewrite::image::{load_warm_image, save_warm_image};
+use hoas_rewrite::rulesets::fol_prenex;
+use hoas_rewrite::{Engine, EngineCaches, EngineConfig};
+use hoas_testkit::bench::Criterion;
+use hoas_testkit::{criterion_group, criterion_main};
+
+/// Builds the workload inside the current store.
+fn workload() -> (hoas_core::sig::Signature, Vec<Term>) {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, 5, 10);
+    let sig = vocab.signature();
+    let encoded = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+    (sig, encoded)
+}
+
+fn bench_warm_start(c: &mut Criterion) {
+    // Write the image in its own store, as a separate process would.
+    let image = StoreHandle::isolated().enter(|| {
+        let (sig, encoded) = workload();
+        let rules = fol_prenex::rules(&sig).expect("connectives present");
+        let caches = EngineCaches::new();
+        let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches.clone());
+        for e in &encoded {
+            engine.normalize(&fol::o(), e).expect("well-typed");
+        }
+        // `encoded` still alive: subjects' source skeletons must reach
+        // the pool for their cache keys to survive the round trip.
+        save_warm_image(&caches)
+    });
+
+    StoreHandle::isolated().enter(|| {
+        let (sig, encoded) = workload();
+        let rules = fol_prenex::rules(&sig).expect("connectives present");
+        let mut group = c.benchmark_group("warm-start");
+        group.sample_size(20);
+
+        group.bench_function("cold", |b| {
+            b.iter(|| {
+                let engine =
+                    Engine::with_caches(&sig, &rules, EngineConfig::default(), EngineCaches::new());
+                for e in &encoded {
+                    engine.normalize(&fol::o(), e).expect("well-typed");
+                }
+            })
+        });
+
+        let caches = EngineCaches::new();
+        load_warm_image(&image, &caches).expect("image loads");
+        let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches);
+        for e in &encoded {
+            engine.normalize(&fol::o(), e).expect("well-typed");
+        }
+        assert_eq!(
+            engine.stats().cache_misses,
+            0,
+            "warm replay must take zero rule-NF misses"
+        );
+        group.bench_function("warm", |b| {
+            b.iter(|| {
+                for e in &encoded {
+                    engine.normalize(&fol::o(), e).expect("well-typed");
+                }
+            })
+        });
+        group.finish();
+    });
+
+    let mut group = c.benchmark_group("warm-start");
+    group.sample_size(10);
+    group.bench_function("bootstrap", |b| {
+        b.iter(|| {
+            StoreHandle::isolated().enter(|| {
+                let (sig, encoded) = workload();
+                let rules = fol_prenex::rules(&sig).expect("connectives present");
+                let engine = Engine::new(&sig, &rules);
+                for e in &encoded {
+                    engine.normalize(&fol::o(), e).expect("well-typed");
+                }
+            })
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_warm_start);
+criterion_main!(benches);

@@ -86,6 +86,7 @@ fn main() -> ExitCode {
             "analyze",
             "interning",
             "parallel",
+            "warm_start",
         ]
         .map(String::from)
         .to_vec();
@@ -145,7 +146,19 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut json = String::from("[\n");
+    // Host metadata as the report's first element. Its key is "meta",
+    // not "id", so `parse_report` (which requires a quoted "id" field)
+    // skips it when the file is later fed back through `--before`.
+    let threads = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
+    let host_cpus = std::fs::read_to_string("/proc/cpuinfo")
+        .map(|s| s.lines().filter(|l| l.starts_with("processor")).count())
+        .ok()
+        .filter(|&n| n > 0)
+        .unwrap_or(threads);
+    let mut json = format!(
+        "[\n  {{\"meta\": \"host\", \"available_parallelism\": {threads}, \
+         \"host_cpus\": {host_cpus}}},\n"
+    );
     let mut first = true;
     for (id, e) in &entries {
         let Some(after) = e.median_ns else {

@@ -1,0 +1,198 @@
+//! `hoas-image` — save, load, and inspect warm images of the bundled
+//! prenex workload.
+//!
+//! ```text
+//! cargo run --release -p hoas-bench --bin hoas-image -- save PATH
+//! cargo run --release -p hoas-bench --bin hoas-image -- load PATH
+//! cargo run --release -p hoas-bench --bin hoas-image -- inspect PATH
+//! ```
+//!
+//! * `save PATH` — normalize the bundled prenex workload (the same
+//!   instances as `cache-smoke`), then serialize the term store and the
+//!   engine's cache bundle to `PATH`.
+//! * `load PATH` — the CI round-trip gate: reload `PATH` into a fresh
+//!   process, replay the same workload, and **fail** unless the warm
+//!   caches answer everything — zero rule-NF cache misses, nonzero
+//!   root-memo hits, and nonzero persistence counters.
+//! * `inspect PATH` — full validation (checksum, pool digest, semantic
+//!   decode) plus a section-by-section content report, without touching
+//!   any live cache.
+
+use hoas_bench::workloads;
+use hoas_core::Term;
+use hoas_langs::fol;
+use hoas_rewrite::image::{inspect_warm_image, load_warm_image, save_warm_image};
+use hoas_rewrite::rulesets::fol_prenex;
+use hoas_rewrite::{Engine, EngineCaches, EngineConfig};
+use std::process::ExitCode;
+
+/// The workload both `save` and `load` replay: identical construction on
+/// both sides is what lets re-interning land on the image's pool nodes.
+fn workload() -> (hoas_core::sig::Signature, Vec<Term>) {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, 5, 10);
+    let sig = vocab.signature();
+    let encoded = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+    (sig, encoded)
+}
+
+fn save(path: &str) -> ExitCode {
+    let (sig, encoded) = workload();
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let caches = EngineCaches::new();
+    let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches.clone());
+    for e in &encoded {
+        let out = engine.normalize(&fol::o(), e).expect("well-typed");
+        assert!(out.fixpoint, "prenex workload must normalize");
+    }
+    // `encoded` is still alive here: the subjects' source skeletons must
+    // be in the store so their cache keys reach the image's pool.
+    let image = save_warm_image(&caches);
+    if let Err(e) = std::fs::write(path, &image) {
+        eprintln!("hoas-image: cannot write {path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    let stats = engine.stats();
+    println!(
+        "hoas-image: saved {} bytes to {path} ({} nodes hashed, {} cache lookups warm)",
+        image.len(),
+        stats.hashed_nodes,
+        stats.cache_lookups,
+    );
+    ExitCode::SUCCESS
+}
+
+fn load(path: &str) -> ExitCode {
+    let image = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hoas-image: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Build the workload *before* loading, plus a few salt terms the
+    // writer never interned: id assignment is deterministic, so without
+    // the salt a same-binary loader would re-derive the writer's ids
+    // exactly and never exercise the remap path. The salt shifts the id
+    // counter the way any real consumer process's own allocations
+    // would, forcing the load to translate ids for real.
+    let (sig, encoded) = workload();
+    for k in 0..7 {
+        std::hint::black_box(hoas_core::TermRef::new(Term::Int(0x5a17 + k)));
+    }
+    let caches = EngineCaches::new();
+    let loaded = match load_warm_image(&image, &caches) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("hoas-image: {path} rejected: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches);
+    for e in &encoded {
+        let out = engine.normalize(&fol::o(), e).expect("well-typed");
+        assert!(out.fixpoint, "prenex workload must normalize");
+    }
+    let stats = engine.stats();
+    println!(
+        "hoas-image: warm replay: {} rule-NF lookups, {} misses, {} memo hits; \
+         image {} bytes, {} ids remapped, {} entries reloaded, {} dropped, \
+         {} nodes hashed",
+        stats.cache_lookups,
+        stats.cache_misses,
+        stats.memo_hits,
+        stats.image_bytes,
+        stats.remapped_ids,
+        stats.cache_entries_reloaded,
+        stats.cache_entries_dropped,
+        stats.hashed_nodes,
+    );
+    let mut ok = true;
+    if stats.cache_misses != 0 {
+        eprintln!(
+            "hoas-image: FAIL — warm replay took {} rule-NF cache misses (want 0)",
+            stats.cache_misses
+        );
+        ok = false;
+    }
+    if stats.memo_hits == 0 {
+        eprintln!("hoas-image: FAIL — the root-step memo never hit on warm replay");
+        ok = false;
+    }
+    // The persistence counters CI asserts on (nonzero by construction
+    // after a real load; zero means the gauges came unwired).
+    if stats.image_bytes == 0
+        || stats.remapped_ids == 0
+        || stats.cache_entries_reloaded == 0
+        || stats.hashed_nodes == 0
+    {
+        eprintln!(
+            "hoas-image: FAIL — persistence counters not all nonzero \
+             (bytes {}, remapped {}, reloaded {}, hashed {})",
+            stats.image_bytes, stats.remapped_ids, stats.cache_entries_reloaded, stats.hashed_nodes,
+        );
+        ok = false;
+    }
+    if loaded.entries_reloaded == 0 || loaded.pool_nodes == 0 {
+        eprintln!("hoas-image: FAIL — image loaded no pool nodes or cache entries");
+        ok = false;
+    }
+    if ok {
+        println!("hoas-image: warm replay OK — zero rule-NF misses");
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn inspect(path: &str) -> ExitCode {
+    let image = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("hoas-image: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match inspect_warm_image(&image) {
+        Ok(s) => {
+            println!(
+                "hoas-image: {path}: {} bytes, valid\n\
+                 \x20 pool nodes          {}\n\
+                 \x20 remapped ids        {}\n\
+                 \x20 canon entries       {}\n\
+                 \x20 rule-NF entries     {}\n\
+                 \x20 head-type entries   {}\n\
+                 \x20 root-memo entries   {}\n\
+                 \x20 entries reloadable  {}\n\
+                 \x20 entries dropped     {}",
+                s.bytes,
+                s.pool_nodes,
+                s.remapped_ids,
+                s.canon_entries,
+                s.rule_nf_entries,
+                s.head_ty_entries,
+                s.root_memo_entries,
+                s.entries_reloaded,
+                s.entries_dropped,
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("hoas-image: {path} rejected: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [cmd, path] if cmd == "save" => save(path),
+        [cmd, path] if cmd == "load" => load(path),
+        [cmd, path] if cmd == "inspect" => inspect(path),
+        _ => {
+            eprintln!("usage: hoas-image save|load|inspect PATH");
+            ExitCode::from(2)
+        }
+    }
+}

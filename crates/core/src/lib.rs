@@ -60,6 +60,7 @@
 #![warn(missing_docs)]
 
 pub mod build;
+pub mod codec;
 pub mod ctx;
 pub mod error;
 pub mod infer;

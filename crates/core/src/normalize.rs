@@ -89,15 +89,38 @@ fn hsub(t: &Term, k: u32, s: &Term) -> Term {
                 Term::Var(*i)
             }
         }
-        Term::Lam(h, b) => Term::lam(h.clone(), hsub_ref(b, k + 1, s)),
+        Term::Lam(h, b) => Term::Lam(h.clone(), hsub_ref(b, k + 1, s)),
+        // Children are rebuilt through `hsub_ref` and the variants are
+        // assembled directly from the resulting `TermRef`s: an untouched
+        // child costs one `Arc` bump (no intern probe, no clone/drop pair
+        // per grandchild), where `Term::app(hsub(..), hsub(..))`-style
+        // rebuilds paid a store lookup per child even when nothing
+        // changed — the PR 6 refcount tax this routine was measured to
+        // carry (DESIGN §7). The parent is interned by the caller's
+        // `TermRef::new`, exactly as before.
         Term::App(f, a) => {
-            let a2 = hsub(a, k, s);
-            let f2 = hsub(f, k, s);
-            happly(f2, a2)
+            let a2 = hsub_ref(a, k, s);
+            let f2 = hsub_ref(f, k, s);
+            match f2.term() {
+                Term::Lam(_, body) => hinstantiate(body, a2.term()),
+                _ => Term::App(f2, a2),
+            }
         }
-        Term::Pair(a, b) => Term::pair(hsub(a, k, s), hsub(b, k, s)),
-        Term::Fst(p) => hfst(hsub(p, k, s)),
-        Term::Snd(p) => hsnd(hsub(p, k, s)),
+        Term::Pair(a, b) => Term::Pair(hsub_ref(a, k, s), hsub_ref(b, k, s)),
+        Term::Fst(p) => {
+            let p2 = hsub_ref(p, k, s);
+            match p2.term() {
+                Term::Pair(a, _) => a.as_ref().clone(),
+                _ => Term::Fst(p2),
+            }
+        }
+        Term::Snd(p) => {
+            let p2 = hsub_ref(p, k, s);
+            match p2.term() {
+                Term::Pair(_, b) => b.as_ref().clone(),
+                _ => Term::Snd(p2),
+            }
+        }
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
@@ -489,6 +512,78 @@ impl CanonCache {
             result: result.clone(),
         });
     }
+
+    /// Every memoized entry, sorted by key then subject type (rendered as
+    /// text — `Ty` is not `Ord`) so the export is deterministic for a
+    /// given cache state. Feeds warm-image serialization; the entries
+    /// re-enter a (possibly fresh) cache through [`CanonCache::absorb`]
+    /// after their key ids are remapped.
+    pub fn export(&self) -> Vec<CanonExport> {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut out: Vec<CanonExport> = entries
+            .iter()
+            .flat_map(|(key, bucket)| {
+                bucket.iter().map(|e| CanonExport {
+                    key: *key,
+                    ty: e.ty.clone(),
+                    free_tys: e.free_tys.clone(),
+                    result: e.result.clone(),
+                })
+            })
+            .collect();
+        out.sort_by(|a, b| {
+            a.key
+                .cmp(&b.key)
+                .then_with(|| a.ty.to_string().cmp(&b.ty.to_string()))
+        });
+        out
+    }
+
+    /// Re-inserts an exported entry under an already-remapped key.
+    /// Sound for the same reason [`CanonCache::insert`] is: the entry
+    /// asserts "the node now known by `key` canonicalizes to `result` at
+    /// `ty` under these free-variable types", and the remap table maps
+    /// the writer's id to the node of the *same α-class* in this store,
+    /// so the assertion carries over verbatim.
+    pub fn absorb(&self, e: CanonExport) {
+        let mut entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        if entries.len() >= CANON_CACHE_CAP {
+            entries.clear();
+        }
+        let bucket = entries.entry(e.key).or_default();
+        if bucket
+            .iter()
+            .any(|x| x.ty == e.ty && x.free_tys == e.free_tys)
+        {
+            return;
+        }
+        bucket.push(CanonEntry {
+            ty: e.ty,
+            free_tys: e.free_tys,
+            result: e.result,
+        });
+    }
+
+    /// Total number of memoized `(key, type)` entries.
+    #[must_use]
+    pub fn entry_count(&self) -> usize {
+        let entries = self.entries.lock().unwrap_or_else(PoisonError::into_inner);
+        entries.values().map(Vec::len).sum()
+    }
+}
+
+/// One exported [`CanonCache`] entry, in the open form warm images
+/// serialize (see [`CanonCache::export`] / [`CanonCache::absorb`]).
+#[derive(Debug, Clone)]
+pub struct CanonExport {
+    /// The memoized node's id (remapped on reload).
+    pub key: crate::store::NodeId,
+    /// Subject type the canonicalization was proven at.
+    pub ty: Ty,
+    /// Types of the node's free variables in the recording context.
+    pub free_tys: Vec<Ty>,
+    /// The canonical form.
+    pub result: TermRef,
 }
 
 /// Already-η-long subterms come back as the input `Arc` (pointer-equal),

@@ -83,6 +83,8 @@
 //! hold up to α-equivalence, which is exactly the paper's notion of
 //! object-language identity.
 
+pub mod image;
+
 use crate::term::{Term, TermNode};
 use std::cell::RefCell;
 use std::collections::hash_map::Entry;
@@ -133,6 +135,9 @@ pub struct InternStats {
     /// Distinct nodes this thread created (misses; monotonic, ignores
     /// deaths).
     pub distinct_nodes: u64,
+    /// Content hashes computed by this thread — one per created node
+    /// (every miss hashes exactly once; hits reuse the stored hash).
+    pub hashed_nodes: u64,
 }
 
 impl InternStats {
@@ -153,6 +158,7 @@ impl InternStats {
             lookups: self.lookups - earlier.lookups,
             hits: self.hits - earlier.hits,
             distinct_nodes: self.distinct_nodes - earlier.distinct_nodes,
+            hashed_nodes: self.hashed_nodes - earlier.hashed_nodes,
         }
     }
 }
@@ -287,6 +293,71 @@ impl BuildHasher for FxBuild {
     }
 }
 
+/// Seed of the vendored 128-bit content hash (the first 32 hex digits of
+/// π's fractional part — a "nothing up my sleeve" constant). Fixed, never
+/// randomized: content hashes must agree across processes.
+const CH_SEED: u128 = 0x243F_6A88_85A3_08D3_1319_8A2E_0370_7344;
+
+/// Odd 128-bit multiplier of the content-hash mixer (the 128-bit golden
+/// gamma, ⌊2¹²⁸/φ⌋ rounded to odd — the multiplier family used by
+/// SplitMix-style generators).
+const CH_MULT: u128 = 0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835;
+
+/// One step of the keyed multiply–rotate–xorshift mix behind
+/// [`content_hash_of`]: full-width 128-bit state, so each step is
+/// invertible (rotate and xorshift are bijections, the multiplier is odd)
+/// and no structure is lost between steps. Also used by
+/// [`crate::codec`] to fold per-node hashes into a pool digest.
+#[inline]
+pub(crate) const fn ch_mix(h: u128, w: u128) -> u128 {
+    let h = (h.rotate_left(29) ^ w).wrapping_mul(CH_MULT);
+    h ^ (h >> 61)
+}
+
+/// Folds a byte string (a constant name) into a content-hash state:
+/// little-endian 16-byte words, with the length xored into the final
+/// word so `"ab"` and `"ab\0"` differ.
+fn ch_bytes(mut h: u128, bytes: &[u8]) -> u128 {
+    let mut chunks = bytes.chunks_exact(16);
+    for chunk in &mut chunks {
+        h = ch_mix(h, u128::from_le_bytes(chunk.try_into().unwrap()));
+    }
+    let rest = chunks.remainder();
+    let mut buf = [0u8; 16];
+    buf[..rest.len()].copy_from_slice(rest);
+    ch_mix(h, u128::from_le_bytes(buf) ^ ((bytes.len() as u128) << 120))
+}
+
+/// The stable 128-bit structural content hash of a term whose children
+/// are already interned (and so already carry their hashes): one mix
+/// chain over the constructor tag and the children's **content hashes**
+/// — never their process-local ids — so the result depends only on the
+/// de Bruijn skeleton. Binder hints are excluded and `Meta` is keyed by
+/// numeric id, mirroring [`NodeKey`]: content-hash equality is meant to
+/// coincide with id equality, store by store.
+///
+/// O(1) per node. Collision stance: 128 keyed bits make accidental
+/// collisions vanishingly unlikely (~2⁻⁶⁴ birthday bound at 2³² nodes),
+/// and the codec never *relies* on that — images re-intern structurally
+/// and use the hash only as an integrity cross-check (see
+/// [`crate::codec`]).
+pub(crate) fn content_hash_of(t: &Term) -> u128 {
+    let h = CH_SEED;
+    match t {
+        Term::Var(i) => ch_mix(ch_mix(h, 1), *i as u128),
+        Term::Const(c) => ch_bytes(ch_mix(h, 2), c.as_str().as_bytes()),
+        Term::Meta(m) => ch_mix(ch_mix(h, 3), m.id() as u128),
+        // `as u128` sign-extends, so the map `i64 → u128` is injective.
+        Term::Int(n) => ch_mix(ch_mix(h, 4), *n as u128),
+        Term::Unit => ch_mix(h, 5),
+        Term::Lam(_, b) => ch_mix(ch_mix(h, 6), b.content_hash()),
+        Term::App(f, a) => ch_mix(ch_mix(ch_mix(h, 7), f.content_hash()), a.content_hash()),
+        Term::Pair(a, b) => ch_mix(ch_mix(ch_mix(h, 8), a.content_hash()), b.content_hash()),
+        Term::Fst(p) => ch_mix(ch_mix(h, 9), p.content_hash()),
+        Term::Snd(p) => ch_mix(ch_mix(h, 10), p.content_hash()),
+    }
+}
+
 /// Number of lock shards. One intern takes exactly one shard lock (its
 /// children are already interned), chosen by the top bits of the skeleton
 /// hash, so threads working on unrelated terms contend only by hash
@@ -402,6 +473,7 @@ impl TermStore {
                     max_free: term.max_free(),
                     has_meta: term.has_metas(),
                     beta_normal: term.is_beta_normal(),
+                    content: content_hash_of(&term),
                     term,
                 });
                 e.insert(Arc::clone(&node));
@@ -441,6 +513,20 @@ impl TermStore {
     /// concurrent intern lands.
     fn len(&self) -> usize {
         self.shards.iter().map(|s| lock(s).map.len()).sum()
+    }
+
+    /// Every cached class (live *and* dead-but-cached), sorted by id —
+    /// the raw material of a warm image (see [`image`]). The per-shard
+    /// locks are taken one at a time, so the snapshot is only
+    /// shard-atomic; image writers run on a quiescent store.
+    fn snapshot(&self) -> Vec<Arc<TermNode>> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let guard = lock(shard);
+            out.extend(guard.map.values().cloned());
+        }
+        out.sort_by_key(|n| n.id);
+        out
     }
 }
 
@@ -517,6 +603,7 @@ struct ThreadCtx {
     lookups: u64,
     hits: u64,
     distinct: u64,
+    hashed: u64,
 }
 
 /// A per-thread, lock-free, direct-mapped cache of recently interned
@@ -564,6 +651,7 @@ thread_local! {
             lookups: 0,
             hits: 0,
             distinct: 0,
+            hashed: 0,
         })
     };
 }
@@ -579,6 +667,7 @@ pub(crate) fn intern(term: Term) -> Arc<TermNode> {
             lookups,
             hits,
             distinct,
+            hashed,
         } = &mut *borrow;
         *lookups += 1;
         let store: &TermStore = match current {
@@ -600,6 +689,7 @@ pub(crate) fn intern(term: Term) -> Arc<TermNode> {
         let (node, missed) = store.intern_in_shard(key, hash, term);
         if missed {
             *distinct += 1;
+            *hashed += 1;
         } else {
             *hits += 1;
         }
@@ -642,6 +732,7 @@ pub fn stats() -> InternStats {
             lookups: ctx.lookups,
             hits: ctx.hits,
             distinct_nodes: ctx.distinct,
+            hashed_nodes: ctx.hashed,
         }
     })
 }
@@ -852,6 +943,49 @@ mod tests {
                 });
             });
         });
+    }
+
+    #[test]
+    fn content_hash_ignores_binder_hints_and_is_store_independent() {
+        let t = |hint: &str| Term::lam(hint, Term::app(Term::Var(0), Term::cnst("ch-test")));
+        let a = TermRef::new(t("x"));
+        let b = TermRef::new(t("totally-different-hint"));
+        assert_eq!(a.content_hash(), b.content_hash());
+        // A different store reaches the same hash for the same skeleton,
+        // even though the id differs (the cross-process story in
+        // miniature: isolated stores model separate processes).
+        let (iso_hash, iso_id) = StoreHandle::isolated().enter(|| {
+            let c = TermRef::new(t("y"));
+            (c.content_hash(), c.id())
+        });
+        assert_eq!(a.content_hash(), iso_hash);
+        assert_ne!(a.id(), iso_id);
+    }
+
+    #[test]
+    fn content_hash_separates_skeletons() {
+        let pairs = [
+            (Term::Var(0), Term::Var(1)),
+            (Term::Int(1), Term::Int(-1)),
+            (Term::cnst("ch-a"), Term::cnst("ch-b")),
+            (Term::Unit, Term::Int(5)),
+            (Term::fst(Term::cnst("ch-p")), Term::snd(Term::cnst("ch-p"))),
+            (
+                Term::app(Term::cnst("ch-f"), Term::cnst("ch-x")),
+                Term::pair(Term::cnst("ch-f"), Term::cnst("ch-x")),
+            ),
+        ];
+        for (l, r) in pairs {
+            let a = TermRef::new(l);
+            let b = TermRef::new(r);
+            assert_ne!(
+                a.content_hash(),
+                b.content_hash(),
+                "distinct skeletons {} and {} collided",
+                a.term(),
+                b.term()
+            );
+        }
     }
 
     #[test]

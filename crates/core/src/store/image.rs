@@ -1,0 +1,70 @@
+//! Store-side warm-image support: snapshotting the live interner.
+//!
+//! A warm image persists the term store's α-classes plus downstream
+//! caches so a cold process can load them instead of re-deriving them.
+//! The split of responsibilities: this module exposes the store's raw
+//! material — a stable snapshot of every cached class — while
+//! [`crate::codec`] owns the byte format (the node pool with its
+//! `NodeId → NodeId` remap table) and the `rewrite` crate assembles full
+//! engine images on top (its `image` module), because the engine caches
+//! live there.
+//!
+//! Snapshots include dead-but-cached classes on purpose: a class whose
+//! external refs died is exactly the kind of node a warm start
+//! resurrects (the cache entries keyed on it are still valid), so
+//! dropping it would silently shrink the reloaded cache coverage.
+
+use crate::store;
+use crate::term::TermRef;
+
+/// Every cached class of the thread's **current** store — live and
+/// dead-but-cached — as strong refs, sorted by [`store::NodeId`] so the
+/// order (and therefore an image built from it) is deterministic for a
+/// given store state.
+///
+/// Children always precede parents in the result: a parent node is
+/// interned after its children, ids are monotonic, and the snapshot is
+/// id-sorted. Image writers rely on this to emit a pool in which child
+/// references point backwards only.
+pub fn snapshot() -> Vec<TermRef> {
+    let handle = store::current();
+    handle
+        .0
+        .snapshot()
+        .into_iter()
+        .map(TermRef::from_node)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::StoreHandle;
+    use crate::term::Term;
+
+    #[test]
+    fn snapshot_is_id_sorted_and_contains_live_and_dead_classes() {
+        StoreHandle::isolated().enter(|| {
+            let live = TermRef::new(Term::app(Term::cnst("img-snap-live"), Term::Int(1)));
+            let dead_id = {
+                let t = TermRef::new(Term::app(Term::cnst("img-snap-dead"), Term::Int(2)));
+                t.id()
+            };
+            let snap = snapshot();
+            assert!(snap.windows(2).all(|w| w[0].id() < w[1].id()));
+            assert!(snap.iter().any(|n| n.id() == live.id()));
+            // No sweep ran (few misses), so the dead class is still cached.
+            assert!(snap.iter().any(|n| n.id() == dead_id));
+            // Children precede parents.
+            for n in &snap {
+                match n.term() {
+                    Term::App(f, a) => {
+                        assert!(f.id() < n.id() && a.id() < n.id());
+                    }
+                    Term::Lam(_, b) => assert!(b.id() < n.id()),
+                    _ => {}
+                }
+            }
+        });
+    }
+}

@@ -126,6 +126,10 @@ pub(crate) struct TermNode {
     pub(crate) has_meta: bool,
     /// Whether the subterm is β-normal (no β/projection redex).
     pub(crate) beta_normal: bool,
+    /// Stable 128-bit structural content hash of the de Bruijn skeleton
+    /// (binder hints excluded), identical across processes and stores —
+    /// the cross-process counterpart of `id` (see [`crate::store`]).
+    pub(crate) content: u128,
 }
 
 /// A shared, annotation-carrying reference to an interned subterm:
@@ -205,6 +209,25 @@ impl TermRef {
         self.0.id
     }
 
+    /// The node's stable 128-bit structural content hash.
+    ///
+    /// Unlike [`TermRef::id`] — which is only stable within a process —
+    /// the content hash is computed from the de Bruijn skeleton alone
+    /// (binder hints excluded, [`MVar`]s keyed by numeric id), so two
+    /// α-equivalent-modulo-hints terms hash identically in *any* process
+    /// and *any* store. It is the identity that [`crate::codec`] images
+    /// carry across process boundaries; the store computes it once per
+    /// α-class at intern time, in O(1) from the children's hashes.
+    pub fn content_hash(&self) -> u128 {
+        self.0.content
+    }
+
+    /// Wraps an existing node without re-interning (crate-internal; used
+    /// by the store when handing out snapshot views of its entries).
+    pub(crate) fn from_node(node: Arc<TermNode>) -> TermRef {
+        TermRef(node)
+    }
+
     /// Extracts the term. The clone is *shallow* — children stay shared —
     /// so this costs a few reference-count bumps, never a deep copy. (The
     /// node cannot be dismantled in place: the store keeps a strong entry,
@@ -227,12 +250,14 @@ impl TermRef {
         has_meta: bool,
         beta_normal: bool,
     ) -> TermRef {
+        let content = store::content_hash_of(&term);
         TermRef(Arc::new(TermNode {
             term,
             id: store::fresh_unregistered_id(),
             max_free,
             has_meta,
             beta_normal,
+            content,
         }))
     }
 }

@@ -1,0 +1,171 @@
+//! Binary codec for λProlog programs, on top of [`hoas_core::codec`].
+//!
+//! A program stream ([`Kind::Program`]) embeds its signature (decoding
+//! replays the declarations) followed by the clause list. Clause heads
+//! and atomic goals are terms and ride the shared node pool, so a
+//! program's syntax trees are deduplicated across clauses exactly as
+//! they are in the live store; goal structure (`⊤`, `∧`, `⇒`, `Π`) is
+//! a tagged tree with a decode-side depth cap so corrupt input cannot
+//! recurse unboundedly.
+
+use crate::program::{Clause, Goal, Program};
+use hoas_core::codec::{CodecError, Decoder, Encoder, Kind};
+
+/// Goal tags on the wire.
+const TAG_TRUE: u8 = 0;
+const TAG_ATOM: u8 = 1;
+const TAG_AND: u8 = 2;
+const TAG_IMPL: u8 = 3;
+const TAG_ALL: u8 = 4;
+
+/// Maximum goal nesting depth the decoder accepts.
+const MAX_GOAL_DEPTH: u32 = 10_000;
+
+/// Encodes a program: its signature, then its clauses in order.
+#[must_use]
+pub fn encode_program(p: &Program) -> Vec<u8> {
+    let mut enc = Encoder::new(Kind::Program);
+    enc.put_signature(p.sig());
+    let clauses = p.clauses();
+    enc.put_u64(clauses.len() as u64);
+    for c in clauses {
+        put_clause(&mut enc, c);
+    }
+    enc.finish()
+}
+
+/// Decodes a [`Kind::Program`] stream.
+///
+/// # Errors
+///
+/// Any [`CodecError`]; [`CodecError::Invalid`] when a replayed
+/// signature declaration is rejected.
+pub fn decode_program(bytes: &[u8]) -> Result<Program, CodecError> {
+    let mut dec = Decoder::new(bytes, Kind::Program)?;
+    let sig = dec.get_signature()?;
+    let mut program = Program::new(sig);
+    let n = dec.get_u64()?;
+    for _ in 0..n {
+        let clause = get_clause(&mut dec, 0)?;
+        program.push(clause);
+    }
+    dec.finish()?;
+    Ok(program)
+}
+
+fn put_clause(enc: &mut Encoder, c: &Clause) {
+    enc.put_u64(c.vars.len() as u64);
+    for (sym, ty) in &c.vars {
+        enc.put_sym(sym);
+        enc.put_ty(ty);
+    }
+    enc.put_term(&c.head);
+    put_goal(enc, &c.body);
+}
+
+fn get_clause(dec: &mut Decoder<'_>, depth: u32) -> Result<Clause, CodecError> {
+    let n_vars = dec.get_u64()?;
+    let mut vars = Vec::new();
+    for _ in 0..n_vars {
+        let sym = dec.get_sym()?;
+        let ty = dec.get_ty()?;
+        vars.push((sym, ty));
+    }
+    let head = dec.get_term()?.into_term();
+    let body = get_goal(dec, depth)?;
+    Ok(Clause { vars, head, body })
+}
+
+fn put_goal(enc: &mut Encoder, g: &Goal) {
+    match g {
+        Goal::True => enc.put_u8(TAG_TRUE),
+        Goal::Atom(t) => {
+            enc.put_u8(TAG_ATOM);
+            enc.put_term(t);
+        }
+        Goal::And(a, b) => {
+            enc.put_u8(TAG_AND);
+            put_goal(enc, a);
+            put_goal(enc, b);
+        }
+        Goal::Impl(d, g) => {
+            enc.put_u8(TAG_IMPL);
+            put_clause(enc, d);
+            put_goal(enc, g);
+        }
+        Goal::All(hint, ty, body) => {
+            enc.put_u8(TAG_ALL);
+            enc.put_sym(hint);
+            enc.put_ty(ty);
+            put_goal(enc, body);
+        }
+    }
+}
+
+fn get_goal(dec: &mut Decoder<'_>, depth: u32) -> Result<Goal, CodecError> {
+    if depth > MAX_GOAL_DEPTH {
+        return Err(CodecError::Corrupt("goal nesting too deep"));
+    }
+    match dec.get_u8()? {
+        TAG_TRUE => Ok(Goal::True),
+        TAG_ATOM => Ok(Goal::Atom(dec.get_term()?.into_term())),
+        TAG_AND => {
+            let a = get_goal(dec, depth + 1)?;
+            let b = get_goal(dec, depth + 1)?;
+            Ok(Goal::and(a, b))
+        }
+        TAG_IMPL => {
+            let d = get_clause(dec, depth + 1)?;
+            let g = get_goal(dec, depth + 1)?;
+            Ok(Goal::implies(d, g))
+        }
+        TAG_ALL => {
+            let hint = dec.get_sym()?;
+            let ty = dec.get_ty()?;
+            let body = get_goal(dec, depth + 1)?;
+            Ok(Goal::All(hint, ty, Box::new(body)))
+        }
+        _ => Err(CodecError::Corrupt("unknown goal tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+    use hoas_core::StoreHandle;
+
+    // Isolated stores: interning is first-hint-wins per α-class, so
+    // tests that intern example programs would otherwise leak binder
+    // and metavariable hints into sibling tests' printed output.
+    #[test]
+    fn stlc_program_round_trips() {
+        StoreHandle::isolated().enter(|| {
+            let p = examples::stlc_program();
+            let bytes = encode_program(&p);
+            let q = decode_program(&bytes).expect("decodes");
+            assert_eq!(p.clauses(), q.clauses());
+            assert_eq!(
+                p.sig().types().collect::<Vec<_>>(),
+                q.sig().types().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                p.sig().consts().collect::<Vec<_>>(),
+                q.sig().consts().collect::<Vec<_>>()
+            );
+        });
+    }
+
+    #[test]
+    fn corrupt_program_bytes_are_rejected() {
+        StoreHandle::isolated().enter(|| {
+            let p = examples::stlc_program();
+            let bytes = encode_program(&p);
+            assert!(decode_program(&bytes[..bytes.len() - 2]).is_err());
+            let mut flipped = bytes.clone();
+            let mid = flipped.len() / 2;
+            flipped[mid] ^= 0x10;
+            assert!(decode_program(&flipped).is_err());
+        });
+    }
+}

@@ -1,0 +1,98 @@
+//! Binary codec for rule sets, on top of [`hoas_core::codec`].
+//!
+//! A rule is persisted as its raw ingredients — name, subject type,
+//! metavariable environment, lhs, rhs — and decoding replays
+//! [`Rule::new`], which re-canonicalizes and re-type-checks both sides
+//! against the caller's signature. Replaying the constructor (rather
+//! than trusting serialized derived data: head constant, fingerprint,
+//! pattern class) keeps the codec's trust base at zero: a decoded rule
+//! is definitionally one the constructor accepted, and since the stored
+//! sides are already canonical, canonicalization is idempotent and the
+//! round trip is the identity.
+//!
+//! [`crate::rule::NativeRule`]s are Rust closures and cannot cross a process
+//! boundary; encoding records their *names* so the decoder can report
+//! exactly what was dropped, and callers re-attach native rules by name
+//! after decoding.
+
+use crate::rule::{Rule, RuleSet};
+use hoas_core::codec::{CodecError, Decoder, Encoder, Kind};
+use hoas_core::sig::Signature;
+
+/// Encodes a rule set (named pattern rules fully; native δ-rules by
+/// name only — see the module docs).
+pub fn encode_rule_set(rules: &RuleSet) -> Vec<u8> {
+    let mut enc = Encoder::new(Kind::Rules);
+    put_rules(&mut enc, rules);
+    enc.finish()
+}
+
+/// Writes a rule set into an already-open encoder (shared with the warm
+/// image writer, which embeds rule-set payloads in [`Kind::Image`]
+/// streams).
+pub(crate) fn put_rules(enc: &mut Encoder, rules: &RuleSet) {
+    let pattern = rules.rules();
+    enc.put_u64(pattern.len() as u64);
+    for r in pattern {
+        enc.put_str(r.name());
+        enc.put_ty(r.ty());
+        enc.put_menv(r.menv());
+        enc.put_term(r.lhs());
+        enc.put_term(r.rhs());
+    }
+    let native = rules.native_rules();
+    enc.put_u64(native.len() as u64);
+    for n in native {
+        enc.put_str(n.name());
+    }
+}
+
+/// Decodes a [`Kind::Rules`] stream against `sig`, returning the rule
+/// set plus the names of native rules the writer had attached (which
+/// the caller must re-create, e.g. via [`crate::rule::NativeRule::new`]).
+///
+/// # Errors
+///
+/// Any [`CodecError`]; [`CodecError::Invalid`] when a replayed
+/// [`Rule::new`] rejects a rule under `sig`.
+pub fn decode_rule_set(
+    sig: &Signature,
+    bytes: &[u8],
+) -> Result<(RuleSet, Vec<String>), CodecError> {
+    let mut dec = Decoder::new(bytes, Kind::Rules)?;
+    let (rules, native_names) = get_rules(sig, &mut dec)?;
+    dec.finish()?;
+    Ok((rules, native_names))
+}
+
+/// Reads a rule set from an already-open decoder (counterpart of
+/// [`put_rules`]).
+pub(crate) fn get_rules(
+    sig: &Signature,
+    dec: &mut Decoder<'_>,
+) -> Result<(RuleSet, Vec<String>), CodecError> {
+    let n = dec.get_u64()?;
+    let mut rules = Vec::new();
+    for _ in 0..n {
+        let name = dec.get_str()?;
+        let ty = dec.get_ty()?;
+        let menv = dec.get_menv()?;
+        let lhs = dec.get_term()?;
+        let rhs = dec.get_term()?;
+        let rule = Rule::new(sig, &name, ty, menv, lhs.into_term(), rhs.into_term())
+            .map_err(|e| CodecError::Invalid(format!("rule `{name}`: {e}")))?;
+        rules.push(rule);
+    }
+    let n_native = dec.get_u64()?;
+    let mut native_names = Vec::new();
+    for _ in 0..n_native {
+        native_names.push(dec.get_str()?);
+    }
+    let mut set = RuleSet::new();
+    for rule in rules {
+        let name = rule.name().to_string();
+        set.push(rule)
+            .map_err(|e| CodecError::Invalid(format!("rule `{name}`: {e}")))?;
+    }
+    Ok((set, native_names))
+}

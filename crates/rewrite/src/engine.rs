@@ -46,6 +46,7 @@ use hoas_unify::classify::PatternClass;
 use hoas_unify::matching::{match_pattern, match_term, MatchConfig};
 use std::cell::Cell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 /// Traversal strategy.
@@ -183,6 +184,21 @@ pub struct EngineStats {
     pub index_buckets: usize,
     /// Size of the largest index bucket.
     pub index_max_bucket: usize,
+    /// Content hashes computed by the term store — one per node created
+    /// on this thread (see [`hoas_core::InternStats::hashed_nodes`]).
+    pub hashed_nodes: u64,
+    /// Size in bytes of the last warm image loaded into this cache
+    /// bundle (`0` when none was).
+    pub image_bytes: u64,
+    /// Pool nodes whose writer-process id was remapped to a different id
+    /// by the last warm-image load.
+    pub remapped_ids: u64,
+    /// Cache entries (all four layers) re-keyed and absorbed by the last
+    /// warm-image load.
+    pub cache_entries_reloaded: u64,
+    /// Cache entries the last warm-image load had to drop because their
+    /// key node was not in the image's pool.
+    pub cache_entries_dropped: u64,
 }
 
 impl EngineStats {
@@ -208,6 +224,13 @@ impl EngineStats {
             intern_distinct: self.intern_distinct - earlier.intern_distinct,
             index_buckets: self.index_buckets,
             index_max_bucket: self.index_max_bucket,
+            hashed_nodes: self.hashed_nodes - earlier.hashed_nodes,
+            // Persistence gauges describe the cache bundle's last image
+            // load, not per-call work: carried over like the index shape.
+            image_bytes: self.image_bytes,
+            remapped_ids: self.remapped_ids,
+            cache_entries_reloaded: self.cache_entries_reloaded,
+            cache_entries_dropped: self.cache_entries_dropped,
         }
     }
 
@@ -274,11 +297,11 @@ fn bump(c: &Cell<u64>) {
 /// with its free de Bruijn variables typed `free_tys` — the only inputs
 /// (besides the node's own structure) that rule matching consults.
 #[derive(Clone, Debug)]
-struct CacheEntry {
+pub(crate) struct CacheEntry {
     /// Subject type at which the subterm was proven rule-normal.
-    ty: Ty,
+    pub(crate) ty: Ty,
     /// Types of the subterm's free variables, innermost (`Var(0)`) first.
-    free_tys: Vec<Ty>,
+    pub(crate) free_tys: Vec<Ty>,
 }
 
 /// Shallow identity of a composite root: a variant tag plus the stable
@@ -286,22 +309,22 @@ struct CacheEntry {
 /// one-child variants). Hash-consing makes child-id equality certify
 /// child α-equality, and ids are never reused, so the key stays sound
 /// without pinning the subject.
-type RootKey = (u8, u64, u64);
+pub(crate) type RootKey = (u8, u64, u64);
 
 /// One memoized root-level strategy step (see [`Engine::step_root`]).
 #[derive(Clone, Debug)]
-struct RootEntry {
+pub(crate) struct RootEntry {
     /// Subject type the step was taken at.
-    ty: Ty,
+    pub(crate) ty: Ty,
     /// Root binder hint (`Lam` roots only): the one root datum the
     /// [`RootKey`] does not capture. Compared on lookup so a replay
     /// reproduces the uncached output, hints included.
-    hint: Option<Sym>,
+    pub(crate) hint: Option<Sym>,
     /// Strategy the step was recorded under; caches may be shared
     /// between engines, and the chosen redex position depends on it.
-    strategy: Strategy,
+    pub(crate) strategy: Strategy,
     /// The recorded outcome, replayed verbatim on a hit.
-    outcome: Option<(Term, RewriteStep)>,
+    pub(crate) outcome: Option<(Term, RewriteStep)>,
 }
 
 /// The [`RootKey`] of a term, or `None` for childless nodes (leaves
@@ -327,18 +350,18 @@ fn root_hint(t: &Term) -> Option<&Sym> {
 }
 
 /// Root-step memo size bound; the table is dropped wholesale when full.
-const ROOT_MEMO_CAP: usize = 1 << 20;
+pub(crate) const ROOT_MEMO_CAP: usize = 1 << 20;
 
 /// Rule-normal-form cache size bound (number of keyed nodes); the table
 /// is dropped wholesale when full. PR 4's engine-lifetime cache needed no
 /// bound because keepalive pins tied its size to live terms; a durable
 /// shared cache can outlive every subject, so it gets the same cap
 /// discipline as the other memo layers.
-const RULE_NF_CAP: usize = 1 << 20;
+pub(crate) const RULE_NF_CAP: usize = 1 << 20;
 
 /// The head-type table's value: uncurried argument types for a
 /// monomorphic constant, `None` for a polymorphic one.
-type HeadArgTys = Option<Arc<Vec<Ty>>>;
+pub(crate) type HeadArgTys = Option<Arc<Vec<Ty>>>;
 
 /// Argument types of a neutral spine's head, with ownership depending on
 /// where they came from (memo table, context, or fresh synthesis).
@@ -386,21 +409,36 @@ pub struct EngineCaches {
     /// engine construction stays O(1) no matter how large the signature
     /// (analysis passes build an engine per rule). `None` records a
     /// polymorphic constant, which must take the synthesis path.
-    head_arg_tys: Arc<Mutex<HashMap<Sym, HeadArgTys>>>,
+    pub(crate) head_arg_tys: Arc<Mutex<HashMap<Sym, HeadArgTys>>>,
     /// Canonical-form memo for replacement canonicalization (see
     /// [`hoas_core::normalize::CanonCache`] for the soundness argument).
-    canon: Arc<normalize::CanonCache>,
+    pub(crate) canon: Arc<normalize::CanonCache>,
     /// Rule-normal-form cache, keyed on stable node id. Entries are never
     /// invalidated: whether a rule fires inside a node is a function of
     /// its α-class (plus the recorded types), which the id pins down
     /// forever.
-    rule_nf: Arc<Mutex<HashMap<NodeId, Vec<CacheEntry>>>>,
+    pub(crate) rule_nf: Arc<Mutex<HashMap<NodeId, Vec<CacheEntry>>>>,
     /// Root-step memo: the outcome of one whole strategy step on a
     /// closed subject, keyed by the root's shallow id identity. Because
     /// interning hands back id-identical subtrees for a repeated
     /// subject, an entire rewrite run re-played on the same input
     /// collapses to one probe per step.
-    root_memo: Arc<Mutex<HashMap<RootKey, Vec<RootEntry>>>>,
+    pub(crate) root_memo: Arc<Mutex<HashMap<RootKey, Vec<RootEntry>>>>,
+    /// Gauges describing the last warm-image load into this bundle (zero
+    /// until one happens); written by the crate's `image` module,
+    /// surfaced through [`EngineStats`].
+    pub(crate) persist: Arc<PersistStats>,
+}
+
+/// Persistence gauges of a cache bundle — set (not accumulated) by each
+/// warm-image load, so they always describe the bundle's current warm
+/// state.
+#[derive(Debug, Default)]
+pub(crate) struct PersistStats {
+    pub(crate) image_bytes: AtomicU64,
+    pub(crate) remapped_ids: AtomicU64,
+    pub(crate) entries_reloaded: AtomicU64,
+    pub(crate) entries_dropped: AtomicU64,
 }
 
 impl EngineCaches {
@@ -424,7 +462,7 @@ const _: () = {
 /// only exception-safe `HashMap` operations, so a panicking thread leaves
 /// a consistent table; the caches are pure memoization and must not turn
 /// one panic into a process-wide poison cascade.
-fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
@@ -511,6 +549,11 @@ impl<'a> Engine<'a> {
             intern_distinct: intern.distinct_nodes,
             index_buckets,
             index_max_bucket,
+            hashed_nodes: intern.hashed_nodes,
+            image_bytes: self.caches.persist.image_bytes.load(Ordering::Relaxed),
+            remapped_ids: self.caches.persist.remapped_ids.load(Ordering::Relaxed),
+            cache_entries_reloaded: self.caches.persist.entries_reloaded.load(Ordering::Relaxed),
+            cache_entries_dropped: self.caches.persist.entries_dropped.load(Ordering::Relaxed),
         }
     }
 

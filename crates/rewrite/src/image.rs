@@ -1,0 +1,519 @@
+//! Warm images: persisting a live term store together with the engine's
+//! cache bundle, and reloading both into a fresh process.
+//!
+//! A warm image is one [`Kind::Image`] codec stream whose node pool *is*
+//! the store snapshot: [`save_warm_image`] registers every live node
+//! from [`hoas_core::store::image::snapshot`] into the encoder pool, so
+//! decoding the pool re-interns the entire store before any cache
+//! section is read. The body then carries the four cache tables of an
+//! [`EngineCaches`] bundle — canonical-form memo, rule-normal-form
+//! cache, head-type table, and root-step memo — each with its
+//! [`NodeId`] keys written as the *writer's* raw ids.
+//!
+//! [`load_warm_image`] replays the pool into the current store and
+//! translates every key through the decoder's `old id → new id` remap
+//! table. A key that fails to remap (its node was swept between
+//! normalize and save, so it never reached the pool) drops that entry —
+//! counted, never guessed. Everything else lands id-correct in the
+//! target bundle, so a re-built subject re-interns onto pool nodes and
+//! replays against the warm caches with zero rule-NF misses: the root
+//! memo hands back whole strategy steps, and the canon memo hands back
+//! replacement canonicalizations, without traversing the subject at
+//! all.
+//!
+//! The image does **not** carry the signature or rule set (persist those
+//! with [`hoas_core::codec::encode_signature`] and
+//! [`crate::codec::encode_rule_set`] if needed): cache soundness only
+//! requires that the loading engine agrees with the writer on both,
+//! which is the same contract [`EngineCaches`] already imposes on
+//! cross-engine sharing.
+
+use crate::engine::{lock, CacheEntry, EngineCaches, RootEntry, RootKey};
+use crate::engine::{MatchPath, RewriteStep, Strategy};
+use hoas_core::codec::{CodecError, Decoder, Encoder, Kind};
+use hoas_core::normalize::CanonExport;
+use hoas_core::store;
+use hoas_core::{Sym, Ty};
+use std::collections::HashMap;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// What a warm image contained and what a load did with it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ImageStats {
+    /// Total image size in bytes.
+    pub bytes: u64,
+    /// Nodes in the store-snapshot pool.
+    pub pool_nodes: u64,
+    /// Pool nodes whose id changed between writer and loader.
+    pub remapped_ids: u64,
+    /// Canonical-form memo entries carried by the image.
+    pub canon_entries: u64,
+    /// Rule-normal-form cache entries carried by the image.
+    pub rule_nf_entries: u64,
+    /// Head-type table entries carried by the image.
+    pub head_ty_entries: u64,
+    /// Root-step memo entries carried by the image.
+    pub root_memo_entries: u64,
+    /// Cache entries whose keys remapped and were installed.
+    pub entries_reloaded: u64,
+    /// Cache entries dropped because a key failed to remap.
+    pub entries_dropped: u64,
+}
+
+/// Serializes the current term store and `caches` into one warm image.
+///
+/// Call this while the terms you intend to replay against are still
+/// alive (or at least un-swept): cache keys whose nodes are missing
+/// from the store at save time cannot be remapped on load and are
+/// dropped there.
+#[must_use]
+pub fn save_warm_image(caches: &EngineCaches) -> Vec<u8> {
+    let mut enc = Encoder::new(Kind::Image);
+
+    // The pool is the store: registering the snapshot (id order, so
+    // children precede parents) makes pool decode rebuild every live
+    // α-class before the cache sections reference one.
+    for t in store::image::snapshot() {
+        enc.register(&t);
+    }
+
+    // Canonical-form memo.
+    let canon = caches.canon.export();
+    enc.put_u64(canon.len() as u64);
+    for e in &canon {
+        enc.put_u64(e.key.get());
+        enc.put_ty(&e.ty);
+        put_tys(&mut enc, &e.free_tys);
+        enc.put_term_ref(&e.result);
+    }
+
+    // Rule-normal-form cache, sorted by key for a deterministic image.
+    {
+        let map = lock(&caches.rule_nf);
+        let mut keys: Vec<_> = map.keys().copied().collect();
+        keys.sort_unstable();
+        enc.put_u64(keys.len() as u64);
+        for key in keys {
+            let bucket = &map[&key];
+            enc.put_u64(key.get());
+            enc.put_u64(bucket.len() as u64);
+            for e in bucket {
+                enc.put_ty(&e.ty);
+                put_tys(&mut enc, &e.free_tys);
+            }
+        }
+    }
+
+    // Head-type table (symbol-keyed, so no remap on load).
+    {
+        let map = lock(&caches.head_arg_tys);
+        let mut entries: Vec<(&Sym, &Option<Arc<Vec<Ty>>>)> = map.iter().collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(b.0));
+        enc.put_u64(entries.len() as u64);
+        for (sym, tys) in entries {
+            enc.put_sym(sym);
+            match tys {
+                Some(tys) => {
+                    enc.put_bool(true);
+                    put_tys(&mut enc, tys);
+                }
+                None => enc.put_bool(false),
+            }
+        }
+    }
+
+    // Root-step memo, sorted by key tuple.
+    {
+        let map = lock(&caches.root_memo);
+        let mut keys: Vec<RootKey> = map.keys().copied().collect();
+        keys.sort_unstable();
+        enc.put_u64(keys.len() as u64);
+        for key in keys {
+            let bucket = &map[&key];
+            enc.put_u8(key.0);
+            enc.put_u64(key.1);
+            enc.put_u64(key.2);
+            enc.put_u64(bucket.len() as u64);
+            for e in bucket {
+                enc.put_ty(&e.ty);
+                match &e.hint {
+                    Some(h) => {
+                        enc.put_bool(true);
+                        enc.put_sym(h);
+                    }
+                    None => enc.put_bool(false),
+                }
+                enc.put_u8(strategy_tag(e.strategy));
+                match &e.outcome {
+                    Some((t, step)) => {
+                        enc.put_bool(true);
+                        enc.put_term(t);
+                        enc.put_str(&step.rule);
+                        enc.put_u64(step.path.len() as u64);
+                        for p in &step.path {
+                            enc.put_u32(*p);
+                        }
+                        enc.put_u8(via_tag(step.via));
+                    }
+                    None => enc.put_bool(false),
+                }
+            }
+        }
+    }
+
+    enc.finish()
+}
+
+/// Loads a warm image into the current term store and `caches`.
+///
+/// The pool is re-interned first (that *is* the store reload); every
+/// cache entry is then installed under its remapped key, or counted as
+/// dropped when the key's node did not survive to the image. The
+/// bundle's persistence gauges (surfaced through
+/// [`crate::engine::EngineStats`]) are set — not accumulated — to
+/// describe this load.
+///
+/// # Errors
+///
+/// Any [`CodecError`]: a corrupt, truncated, bit-flipped,
+/// wrong-version, or wrong-kind image is rejected without touching
+/// `caches` beyond entries already absorbed before the error.
+pub fn load_warm_image(bytes: &[u8], caches: &EngineCaches) -> Result<ImageStats, CodecError> {
+    let mut dec = Decoder::new(bytes, Kind::Image)?;
+    let mut stats = ImageStats {
+        bytes: bytes.len() as u64,
+        pool_nodes: dec.pool_len(),
+        ..ImageStats::default()
+    };
+
+    // Canonical-form memo.
+    let n_canon = dec.get_u64()?;
+    for _ in 0..n_canon {
+        let old = dec.get_u64()?;
+        let ty = dec.get_ty()?;
+        let free_tys = get_tys(&mut dec)?;
+        let result = dec.get_term()?;
+        stats.canon_entries += 1;
+        match dec.remap_id(old) {
+            Some(key) => {
+                caches.canon.absorb(CanonExport {
+                    key,
+                    ty,
+                    free_tys,
+                    result,
+                });
+                stats.entries_reloaded += 1;
+            }
+            None => stats.entries_dropped += 1,
+        }
+    }
+
+    // Rule-normal-form cache.
+    let n_keys = dec.get_u64()?;
+    for _ in 0..n_keys {
+        let old = dec.get_u64()?;
+        let n_entries = dec.get_u64()?;
+        let mut bucket = Vec::new();
+        for _ in 0..n_entries {
+            let ty = dec.get_ty()?;
+            let free_tys = get_tys(&mut dec)?;
+            bucket.push(CacheEntry { ty, free_tys });
+        }
+        stats.rule_nf_entries += n_entries;
+        match dec.remap_id(old) {
+            Some(key) => {
+                stats.entries_reloaded += n_entries;
+                absorb_rule_nf(caches, key, bucket);
+            }
+            None => stats.entries_dropped += n_entries,
+        }
+    }
+
+    // Head-type table.
+    let n_heads = dec.get_u64()?;
+    for _ in 0..n_heads {
+        let sym = dec.get_sym()?;
+        let tys = if dec.get_bool()? {
+            Some(Arc::new(get_tys(&mut dec)?))
+        } else {
+            None
+        };
+        stats.head_ty_entries += 1;
+        stats.entries_reloaded += 1;
+        lock(&caches.head_arg_tys).insert(sym, tys);
+    }
+
+    // Root-step memo.
+    let n_roots = dec.get_u64()?;
+    for _ in 0..n_roots {
+        let tag = dec.get_u8()?;
+        let old_a = dec.get_u64()?;
+        let old_b = dec.get_u64()?;
+        let n_entries = dec.get_u64()?;
+        let mut bucket = Vec::new();
+        for _ in 0..n_entries {
+            let ty = dec.get_ty()?;
+            let hint = if dec.get_bool()? {
+                Some(dec.get_sym()?)
+            } else {
+                None
+            };
+            let strategy = strategy_from_tag(dec.get_u8()?)?;
+            let outcome = if dec.get_bool()? {
+                let t = dec.get_term()?.into_term();
+                let rule = dec.get_str()?;
+                let n_path = dec.get_u64()?;
+                let mut path = Vec::new();
+                for _ in 0..n_path {
+                    path.push(dec.get_u32()?);
+                }
+                let via = via_from_tag(dec.get_u8()?)?;
+                Some((t, RewriteStep { rule, path, via }))
+            } else {
+                None
+            };
+            bucket.push(RootEntry {
+                ty,
+                hint,
+                strategy,
+                outcome,
+            });
+        }
+        stats.root_memo_entries += n_entries;
+        // The second child slot uses `0` as "no child"; only real ids
+        // go through the remap table.
+        let new_a = dec.remap_id(old_a);
+        let new_b = if old_b == 0 {
+            Some(0)
+        } else {
+            dec.remap_id(old_b).map(hoas_core::NodeId::get)
+        };
+        match (new_a, new_b) {
+            (Some(a), Some(b)) => {
+                stats.entries_reloaded += n_entries;
+                absorb_root_memo(caches, (tag, a.get(), b), bucket);
+            }
+            _ => stats.entries_dropped += n_entries,
+        }
+    }
+
+    stats.remapped_ids = dec.remapped_ids();
+    dec.finish()?;
+
+    let p = &caches.persist;
+    p.image_bytes.store(stats.bytes, Ordering::Relaxed);
+    p.remapped_ids.store(stats.remapped_ids, Ordering::Relaxed);
+    p.entries_reloaded
+        .store(stats.entries_reloaded, Ordering::Relaxed);
+    p.entries_dropped
+        .store(stats.entries_dropped, Ordering::Relaxed);
+    Ok(stats)
+}
+
+/// Decodes a warm image into a throwaway cache bundle (the pool still
+/// re-interns into the current store), returning what it contained.
+/// This is the `hoas-image inspect` entry point: full validation —
+/// checksum, digest, semantic decode — without touching live caches.
+///
+/// # Errors
+///
+/// Any [`CodecError`], as for [`load_warm_image`].
+pub fn inspect_warm_image(bytes: &[u8]) -> Result<ImageStats, CodecError> {
+    load_warm_image(bytes, &EngineCaches::new())
+}
+
+/// Installs one reloaded rule-NF bucket, deduplicating against (and
+/// respecting the cap discipline of) whatever the live table holds.
+fn absorb_rule_nf(caches: &EngineCaches, key: hoas_core::NodeId, entries: Vec<CacheEntry>) {
+    let mut map = lock(&caches.rule_nf);
+    cap_clear(&mut map, crate::engine::RULE_NF_CAP);
+    let bucket = map.entry(key).or_default();
+    for e in entries {
+        if !bucket
+            .iter()
+            .any(|x| x.ty == e.ty && x.free_tys == e.free_tys)
+        {
+            bucket.push(e);
+        }
+    }
+}
+
+/// Installs one reloaded root-memo bucket (same discipline as
+/// [`absorb_rule_nf`]).
+fn absorb_root_memo(caches: &EngineCaches, key: RootKey, entries: Vec<RootEntry>) {
+    let mut map = lock(&caches.root_memo);
+    cap_clear(&mut map, crate::engine::ROOT_MEMO_CAP);
+    let bucket = map.entry(key).or_default();
+    for e in entries {
+        if !bucket
+            .iter()
+            .any(|x| x.ty == e.ty && x.hint == e.hint && x.strategy == e.strategy)
+        {
+            bucket.push(e);
+        }
+    }
+}
+
+/// The wholesale-drop cap discipline shared with the engine's own
+/// insert paths.
+fn cap_clear<K, V>(map: &mut HashMap<K, V>, cap: usize) {
+    if map.len() >= cap {
+        map.clear();
+    }
+}
+
+fn put_tys(enc: &mut Encoder, tys: &[Ty]) {
+    enc.put_u64(tys.len() as u64);
+    for ty in tys {
+        enc.put_ty(ty);
+    }
+}
+
+fn get_tys(dec: &mut Decoder<'_>) -> Result<Vec<Ty>, CodecError> {
+    let n = dec.get_u64()?;
+    let mut tys = Vec::new();
+    for _ in 0..n {
+        tys.push(dec.get_ty()?);
+    }
+    Ok(tys)
+}
+
+fn strategy_tag(s: Strategy) -> u8 {
+    match s {
+        Strategy::LeftmostOutermost => 0,
+        Strategy::LeftmostInnermost => 1,
+    }
+}
+
+fn strategy_from_tag(tag: u8) -> Result<Strategy, CodecError> {
+    match tag {
+        0 => Ok(Strategy::LeftmostOutermost),
+        1 => Ok(Strategy::LeftmostInnermost),
+        _ => Err(CodecError::Corrupt("unknown strategy tag")),
+    }
+}
+
+fn via_tag(v: MatchPath) -> u8 {
+    match v {
+        MatchPath::Pattern => 0,
+        MatchPath::General => 1,
+        MatchPath::Native => 2,
+    }
+}
+
+fn via_from_tag(tag: u8) -> Result<MatchPath, CodecError> {
+    match tag {
+        0 => Ok(MatchPath::Pattern),
+        1 => Ok(MatchPath::General),
+        2 => Ok(MatchPath::Native),
+        _ => Err(CodecError::Corrupt("unknown match-path tag")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{Engine, EngineCaches, EngineConfig};
+    use crate::rulesets::fol_prenex;
+    use hoas_core::prelude::*;
+
+    fn workload(sig: &Signature) -> Vec<Term> {
+        [
+            r"and (forall (\x. p x)) (q c0)",
+            r"not (and (exists (\x. p x)) (q c0))",
+            r"imp (forall (\x. p x)) (exists (\y. q y))",
+        ]
+        .iter()
+        .map(|s| parse_term(sig, s).expect("workload parses").term)
+        .collect()
+    }
+
+    fn fol_sig() -> Signature {
+        Signature::parse(
+            "type o. type i.
+             const and : o -> o -> o. const or : o -> o -> o.
+             const imp : o -> o -> o. const not : o -> o.
+             const forall : (i -> o) -> o. const exists : (i -> o) -> o.
+             const p : i -> o. const q : i -> o. const c0 : i.",
+        )
+        .expect("signature parses")
+    }
+
+    #[test]
+    fn warm_image_round_trips_and_replays_without_misses() {
+        let o = Ty::Base(Sym::from("o"));
+
+        // Terms (rule sides included) carry store-specific node ids, so
+        // each isolated store builds its own signature, rules, and
+        // subjects; cold results cross over as strings only.
+        let (image, cold_results) = StoreHandle::isolated().enter(|| {
+            let sig = fol_sig();
+            let rules = fol_prenex::rules(&sig).expect("rules build");
+            let caches = EngineCaches::new();
+            let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches.clone());
+            let subjects = workload(&sig);
+            let results: Vec<String> = subjects
+                .iter()
+                .map(|t| {
+                    engine
+                        .normalize(&o, t)
+                        .expect("normalizes")
+                        .term
+                        .to_string()
+                })
+                .collect();
+            // Subjects stay alive until after the save so their cache
+            // keys are still in the store.
+            let image = save_warm_image(&caches);
+            drop(subjects);
+            (image, results)
+        });
+
+        StoreHandle::isolated().enter(|| {
+            let caches = EngineCaches::new();
+            let stats = load_warm_image(&image, &caches).expect("image loads");
+            assert!(stats.pool_nodes > 0);
+            assert!(stats.canon_entries > 0, "canon section persisted");
+            assert!(stats.rule_nf_entries > 0, "rule-NF section persisted");
+            assert!(stats.root_memo_entries > 0, "root memo persisted");
+            assert!(stats.entries_reloaded > 0);
+
+            let sig = fol_sig();
+            let rules = fol_prenex::rules(&sig).expect("rules build");
+            let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches);
+            for (subject, cold) in workload(&sig).iter().zip(&cold_results) {
+                let warm = engine.normalize(&o, subject).expect("normalizes");
+                assert_eq!(&warm.term.to_string(), cold, "warm replay matches cold");
+            }
+            let es = engine.stats();
+            assert_eq!(es.cache_misses, 0, "warm replay takes zero rule-NF misses");
+            assert!(es.memo_hits > 0, "root memo replays whole steps");
+            assert!(es.image_bytes > 0 && es.cache_entries_reloaded > 0);
+        });
+    }
+
+    #[test]
+    fn corrupt_images_are_rejected() {
+        let o = Ty::Base(Sym::from("o"));
+        let image = StoreHandle::isolated().enter(|| {
+            let sig = fol_sig();
+            let rules = fol_prenex::rules(&sig).expect("rules build");
+            let caches = EngineCaches::new();
+            let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches.clone());
+            let subjects = workload(&sig);
+            for t in &subjects {
+                engine.normalize(&o, t).expect("normalizes");
+            }
+            save_warm_image(&caches)
+        });
+
+        StoreHandle::isolated().enter(|| {
+            assert!(load_warm_image(&image[..image.len() - 1], &EngineCaches::new()).is_err());
+            let mut flipped = image.clone();
+            let mid = flipped.len() / 2;
+            flipped[mid] ^= 0x40;
+            assert!(load_warm_image(&flipped, &EngineCaches::new()).is_err());
+        });
+    }
+}

@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod codec;
 pub mod engine;
+pub mod image;
 pub mod rule;
 pub mod rulesets;
 

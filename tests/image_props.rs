@@ -1,0 +1,115 @@
+//! Integration tests for warm images (PR 7): a store + cache bundle
+//! saved from one isolated store and reloaded into another must replay
+//! the same workload with **zero rule-NF cache misses**, identical
+//! results, and live persistence counters; corrupted images must be
+//! rejected outright.
+
+use hoas::core::prelude::*;
+use hoas::langs::fol;
+use hoas::rewrite::image::{inspect_warm_image, load_warm_image, save_warm_image};
+use hoas::rewrite::rulesets::fol_prenex;
+use hoas::rewrite::{Engine, EngineCaches, EngineConfig};
+use hoas_bench::workloads;
+
+/// Builds the shared workload inside the current store.
+fn workload() -> (Signature, Vec<Term>) {
+    let (vocab, fs) = workloads::formulas(workloads::SEED, 3, 6);
+    let sig = vocab.signature();
+    let encoded = fs.iter().map(|f| fol::encode(f).expect("closed")).collect();
+    (sig, encoded)
+}
+
+/// Normalizes the workload against `caches`, returning printed results
+/// (strings cross store boundaries; terms do not).
+fn normalize_all(caches: EngineCaches) -> (Vec<String>, hoas::rewrite::EngineStats) {
+    let (sig, encoded) = workload();
+    let rules = fol_prenex::rules(&sig).expect("connectives present");
+    let engine = Engine::with_caches(&sig, &rules, EngineConfig::default(), caches);
+    let results = encoded
+        .iter()
+        .map(|e| {
+            let out = engine.normalize(&fol::o(), e).expect("well-typed");
+            assert!(out.fixpoint);
+            out.term.to_string()
+        })
+        .collect();
+    (results, engine.stats())
+}
+
+/// Saves a warm image (and the cold results) from an isolated store.
+fn build_image() -> (Vec<u8>, Vec<String>) {
+    StoreHandle::isolated().enter(|| {
+        let caches = EngineCaches::new();
+        let (results, _) = normalize_all(caches.clone());
+        // The workload is rebuilt inside `normalize_all`, whose terms
+        // die with it — but interned nodes persist until a sweep, so
+        // the snapshot still carries every cache key.
+        (save_warm_image(&caches), results)
+    })
+}
+
+#[test]
+fn warm_reload_replays_with_zero_misses() {
+    let (image, cold_results) = build_image();
+
+    StoreHandle::isolated().enter(|| {
+        // Pre-intern a salt term so the loader's ids cannot all
+        // coincide with the writer's; the remap path must do real work.
+        let _salt = TermRef::new(Term::Int(0x1a6e));
+        let caches = EngineCaches::new();
+        let stats = load_warm_image(&image, &caches).expect("image loads");
+        assert!(stats.pool_nodes > 0);
+        assert!(stats.canon_entries > 0);
+        assert!(stats.rule_nf_entries > 0);
+        assert!(stats.root_memo_entries > 0);
+        assert!(stats.entries_reloaded > 0);
+        assert!(stats.remapped_ids > 0, "salted store must remap ids");
+
+        let (warm_results, es) = normalize_all(caches);
+        assert_eq!(warm_results, cold_results, "warm results differ from cold");
+        assert_eq!(es.cache_misses, 0, "warm replay took rule-NF misses");
+        assert!(es.memo_hits > 0, "root memo never hit on warm replay");
+        // The persistence counters CI asserts on.
+        assert!(es.image_bytes > 0);
+        assert!(es.remapped_ids > 0);
+        assert!(es.cache_entries_reloaded > 0);
+        assert!(es.hashed_nodes > 0);
+    });
+}
+
+#[test]
+fn image_inspect_validates_without_caches() {
+    let (image, _) = build_image();
+    StoreHandle::isolated().enter(|| {
+        let stats = inspect_warm_image(&image).expect("image inspects");
+        assert_eq!(stats.bytes, image.len() as u64);
+        assert!(stats.pool_nodes > 0 && stats.entries_reloaded > 0);
+    });
+}
+
+#[test]
+fn corrupt_images_are_rejected() {
+    let (image, _) = build_image();
+    StoreHandle::isolated().enter(|| {
+        // Truncations at coarse strides (every byte would be slow on a
+        // multi-KB image; codec_props covers the exhaustive sweep on
+        // smaller streams of the same framing).
+        for len in (0..image.len()).step_by(7) {
+            assert!(
+                load_warm_image(&image[..len], &EngineCaches::new()).is_err(),
+                "truncation to {len} bytes was accepted"
+            );
+        }
+        // Bit flips, one per stride.
+        let mut work = image.clone();
+        for i in (0..work.len()).step_by(5) {
+            let bit = 1u8 << (i % 8);
+            work[i] ^= bit;
+            assert!(
+                load_warm_image(&work, &EngineCaches::new()).is_err(),
+                "bit flip in byte {i} was accepted"
+            );
+            work[i] ^= bit;
+        }
+    });
+}
