@@ -92,6 +92,46 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Info,
         "clause body atom is outside the Miller pattern fragment",
     ),
+    (
+        "HA013",
+        Severity::Info,
+        "predicate admits a consistent input/output mode",
+    ),
+    (
+        "HA014",
+        Severity::Warn,
+        "predicate admits no consistent input/output mode",
+    ),
+    (
+        "HA015",
+        Severity::Info,
+        "predicate is committed-choice (clause heads pairwise non-unifiable on its input positions)",
+    ),
+    (
+        "HA016",
+        Severity::Info,
+        "rule set proven terminating by size-change analysis",
+    ),
+    (
+        "HA017",
+        Severity::Warn,
+        "rule set not proven terminating by size-change analysis",
+    ),
+    (
+        "HA018",
+        Severity::Error,
+        "dynamic mode sanitizer observed a violation of a static verdict",
+    ),
+    (
+        "HA019",
+        Severity::Warn,
+        "call site uses a predicate outside every inferred mode",
+    ),
+    (
+        "HA020",
+        Severity::Info,
+        "analysis certificate issued for engine-enforced verdicts",
+    ),
 ];
 
 /// The severity of a known code.

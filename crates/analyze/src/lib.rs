@@ -30,7 +30,11 @@
 
 pub mod checks;
 pub mod diag;
+pub mod modes;
 pub mod targets;
+pub mod termination;
 
 pub use checks::{check_program, check_ruleset};
 pub use diag::{Diagnostic, Report, Severity, CODES};
+pub use modes::{analyze_program, ModeOutcome};
+pub use termination::{analyze_ruleset, SctOutcome};

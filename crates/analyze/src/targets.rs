@@ -2,7 +2,7 @@
 //! program shipped by the workspace, addressable by name from the
 //! `hoas-analyze` CLI.
 
-use crate::checks::{check_program, check_ruleset};
+use crate::checks::{check_program, check_program_gen1, check_ruleset, check_ruleset_gen1};
 use crate::diag::Report;
 use hoas_langs::fol::Vocabulary;
 use hoas_langs::{imp, miniml};
@@ -70,6 +70,40 @@ pub fn run_all() -> Vec<Report> {
         .collect()
 }
 
+/// Like [`run`], but with only the first-generation checks — the fixed
+/// workload the perf-tracked `analyze` bench suite has timed since it
+/// was introduced. The second-generation verdict passes (size-change
+/// termination, mode/determinacy) are timed by the `verdicts` suite.
+pub fn run_gen1(name: &str) -> Option<Report> {
+    let report = match name {
+        "fol-prenex" => {
+            let sig = Vocabulary::small().signature();
+            let rs = fol_prenex::rules(&sig).expect("bundled ruleset builds");
+            check_ruleset_gen1(name, &sig, &rs)
+        }
+        "fol-cnf" => {
+            let sig = Vocabulary::small().signature();
+            let rs = fol_cnf::rules(&sig).expect("bundled ruleset builds");
+            check_ruleset_gen1(name, &sig, &rs)
+        }
+        "imp-opt" => {
+            let sig = imp::signature();
+            let rs = imp_opt::rules(sig).expect("bundled ruleset builds");
+            check_ruleset_gen1(name, sig, &rs)
+        }
+        "miniml-opt" => {
+            let sig = miniml::signature();
+            let rs = miniml_opt::rules(sig).expect("bundled ruleset builds");
+            check_ruleset_gen1(name, sig, &rs)
+        }
+        "lp-append" => check_program_gen1(name, &examples::append_program()),
+        "lp-stlc" => check_program_gen1(name, &examples::stlc_program()),
+        "lp-eval" => check_program_gen1(name, &examples::eval_program()),
+        _ => return None,
+    };
+    Some(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +148,70 @@ mod tests {
         // append declares list atoms its clauses never mention.
         let append = run("lp-append").unwrap();
         assert!(append.diagnostics.iter().any(|d| d.code == "HA008"));
+    }
+
+    #[test]
+    fn gen1_is_a_prefix_of_the_full_report() {
+        for (name, _) in TARGETS {
+            let full = run(name).unwrap();
+            let gen1 = run_gen1(name).unwrap();
+            // The fixed bench workload reports no second-generation code…
+            assert!(gen1
+                .diagnostics
+                .iter()
+                .all(|d| d.code < "HA013"), "{name}");
+            // …and the full report is exactly gen1 plus appended verdicts.
+            assert!(full.diagnostics.len() >= gen1.diagnostics.len());
+            for (f, g) in full.diagnostics.iter().zip(&gen1.diagnostics) {
+                assert_eq!((&f.code, &f.subject), (&g.code, &g.subject), "{name}");
+            }
+            assert!(full.diagnostics[gen1.diagnostics.len()..]
+                .iter()
+                .all(|d| d.code >= "HA013"), "{name}");
+        }
+    }
+
+    #[test]
+    fn second_generation_verdicts_cover_the_bundle() {
+        // SCT proves termination of both first-order rule sets…
+        for name in ["fol-prenex", "fol-cnf"] {
+            let r = run(name).unwrap();
+            assert!(
+                r.diagnostics.iter().any(|d| d.code == "HA016"),
+                "{name} should be SCT-proven:\n{}",
+                r.render()
+            );
+        }
+        // …and refuses the native-rule optimizers rather than guessing.
+        for name in ["imp-opt", "miniml-opt"] {
+            let r = run(name).unwrap();
+            assert!(
+                r.diagnostics.iter().any(|d| d.code == "HA017"),
+                "{name} has native rules, so SCT must refuse:\n{}",
+                r.render()
+            );
+        }
+        // Every bundled program gets a mode verdict, a determinacy
+        // verdict (all three predicates are first-argument indexed), and
+        // a certificate.
+        for name in ["lp-append", "lp-stlc", "lp-eval"] {
+            let r = run(name).unwrap();
+            for code in ["HA015", "HA020"] {
+                assert!(
+                    r.diagnostics.iter().any(|d| d.code == code),
+                    "{name} lacks {code}:\n{}",
+                    r.render()
+                );
+            }
+            assert!(r
+                .diagnostics
+                .iter()
+                .any(|d| d.code == "HA013" || d.code == "HA014"));
+        }
+        // The STLC checker's hypothetical context kills every mode of
+        // `of`, and its app clause contains the one ill-moded call.
+        let stlc = run("lp-stlc").unwrap();
+        assert!(stlc.diagnostics.iter().any(|d| d.code == "HA014"));
+        assert!(stlc.diagnostics.iter().any(|d| d.code == "HA019"));
     }
 }

@@ -1,0 +1,42 @@
+use hoas_analyze::termination::analyze_ruleset;
+use hoas_core::parse::{parse_term, parse_ty};
+use hoas_core::sig::Signature;
+use hoas_rewrite::{Engine, EngineConfig, Rule, RuleSet};
+
+#[test]
+fn probe_encoded_beta_loops() {
+    let sig = Signature::parse(
+        "type i.
+         const app : i -> i -> i.
+         const lam : (i -> i) -> i.",
+    )
+    .unwrap();
+    let i = parse_ty("i").unwrap();
+    let mut rs = RuleSet::new();
+    rs.push(
+        Rule::parse(
+            &sig,
+            "beta",
+            &i,
+            &[("F", "i -> i"), ("X", "i")],
+            "app (lam ?F) ?X",
+            "?F ?X",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let out = analyze_ruleset(&rs);
+    eprintln!("proven = {}, reason = {}", out.proven(), out.reason);
+
+    // omega: app (lam x. app x x) (lam x. app x x)
+    let omega = parse_term(&sig, "app (lam (\\x. app x x)) (lam (\\x. app x x))")
+        .or_else(|_| parse_term(&sig, "app (lam (fun x => app x x)) (lam (fun x => app x x))"));
+    eprintln!("omega parse: {:?}", omega.as_ref().map(|t| t.to_string()));
+    if let Ok(omega) = omega {
+        let cfg = EngineConfig { max_steps: 50, ..EngineConfig::default() };
+        let mut eng = Engine::with_config(&sig, &rs, cfg);
+        let res = eng.normalize(&i, &omega).unwrap();
+        eprintln!("steps = {}, fixpoint = {}, term = {}", res.steps, res.fixpoint, res.term);
+        assert!(!res.fixpoint, "omega should exhaust the budget, never a fixpoint");
+    }
+}

@@ -1,8 +1,22 @@
-//! Analyzer wall-time: a full `hoas-analyze` run over every bundled
-//! target. The analyzer is meant to be cheap enough to run in CI on each
-//! push, so its cost is perf-tracked like the kernel operations.
+//! Analyzer wall-time. The analyzer is meant to be cheap enough to run
+//! in CI on each push, so its cost is perf-tracked like the kernel
+//! operations.
+//!
+//! Two suites:
+//!
+//! * `analyze` — the first-generation checks (HA001–HA012) over every
+//!   bundled target. This is the *fixed workload* the suite has timed
+//!   since PR 3, so its ids stay comparable across `BENCH_*.json`
+//!   baselines even as the analyzer grows new passes.
+//! * `verdicts` — the second-generation passes added in PR 8: the
+//!   size-change termination prover per rule set, the mode/determinacy
+//!   inference (certificate minting included) per λProlog program, and
+//!   the full `run_all` including both generations.
 
-use hoas_analyze::targets;
+use hoas_analyze::{modes, targets, termination};
+use hoas_langs::fol::Vocabulary;
+use hoas_lp::examples;
+use hoas_rewrite::rulesets::{fol_cnf, fol_prenex};
 use hoas_testkit::bench::Criterion;
 use hoas_testkit::{criterion_group, criterion_main};
 
@@ -11,14 +25,49 @@ fn bench_targets(c: &mut Criterion) {
     group.sample_size(10);
     for (name, _) in targets::TARGETS {
         group.bench_function(*name, |b| {
-            b.iter(|| std::hint::black_box(targets::run(name).expect("bundled target exists")))
+            b.iter(|| std::hint::black_box(targets::run_gen1(name).expect("bundled target exists")))
         });
     }
     group.bench_function("all-targets", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                targets::TARGETS
+                    .iter()
+                    .map(|(name, _)| targets::run_gen1(name).expect("bundled target exists"))
+                    .collect::<Vec<_>>(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_verdicts(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verdicts");
+    group.sample_size(10);
+    let sig = Vocabulary::small().signature();
+    let prenex = fol_prenex::rules(&sig).expect("bundled ruleset builds");
+    let cnf = fol_cnf::rules(&sig).expect("bundled ruleset builds");
+    group.bench_function("sct-fol-prenex", |b| {
+        b.iter(|| std::hint::black_box(termination::analyze_ruleset(&prenex)))
+    });
+    group.bench_function("sct-fol-cnf", |b| {
+        b.iter(|| std::hint::black_box(termination::analyze_ruleset(&cnf)))
+    });
+    let programs = [
+        ("modes-lp-append", examples::append_program()),
+        ("modes-lp-stlc", examples::stlc_program()),
+        ("modes-lp-eval", examples::eval_program()),
+    ];
+    for (name, prog) in &programs {
+        group.bench_function(*name, |b| {
+            b.iter(|| std::hint::black_box(modes::analyze_program(prog)))
+        });
+    }
+    group.bench_function("full-all-targets", |b| {
         b.iter(|| std::hint::black_box(targets::run_all()))
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_targets);
+criterion_group!(benches, bench_targets, bench_verdicts);
 criterion_main!(benches);

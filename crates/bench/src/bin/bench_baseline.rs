@@ -87,6 +87,7 @@ fn main() -> ExitCode {
             "interning",
             "parallel",
             "warm_start",
+            "solver_det",
         ]
         .map(String::from)
         .to_vec();

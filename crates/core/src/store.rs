@@ -90,7 +90,7 @@ use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::fmt;
-use std::hash::{BuildHasher, Hasher};
+use std::hash::{BuildHasher, Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock, PoisonError};
 
@@ -167,7 +167,12 @@ impl InternStats {
 /// [`NodeId`]s. Binder hints are excluded (`Lam` keys on the body only,
 /// `Meta` on the numeric id), so the key identifies the α-class modulo
 /// hints. O(1) to build and hash because children are already interned.
-#[derive(PartialEq, Eq, Hash, Debug)]
+///
+/// Built only on the intern slow path: the hot path hashes and compares
+/// the *borrowed* term directly ([`probe_hash`], [`term_matches`]), so a
+/// warm rebuild (front or map hit on a `Const`) never pays the `Sym`
+/// `Arc` refcount bump that `NodeKey::of` needs for the owned key.
+#[derive(PartialEq, Eq, Debug)]
 enum NodeKey {
     Var(u32),
     Const(crate::intern::Sym),
@@ -179,6 +184,68 @@ enum NodeKey {
     Pair(NodeId, NodeId),
     Fst(NodeId),
     Snd(NodeId),
+}
+
+/// Constructor tags shared by [`NodeKey`]'s `Hash` and [`probe_hash`] —
+/// the two must stay bit-for-bit identical: the probe hash picks the
+/// shard and the map bucket that the owned key is then inserted under.
+mod tag {
+    pub const VAR: u8 = 0;
+    pub const CONST: u8 = 1;
+    pub const META: u8 = 2;
+    pub const INT: u8 = 3;
+    pub const UNIT: u8 = 4;
+    pub const LAM: u8 = 5;
+    pub const APP: u8 = 6;
+    pub const PAIR: u8 = 7;
+    pub const FST: u8 = 8;
+    pub const SND: u8 = 9;
+}
+
+impl Hash for NodeKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            NodeKey::Var(i) => {
+                state.write_u8(tag::VAR);
+                state.write_u32(*i);
+            }
+            NodeKey::Const(c) => {
+                state.write_u8(tag::CONST);
+                c.hash(state);
+            }
+            NodeKey::Meta(m) => {
+                state.write_u8(tag::META);
+                state.write_u32(*m);
+            }
+            NodeKey::Int(n) => {
+                state.write_u8(tag::INT);
+                state.write_i64(*n);
+            }
+            NodeKey::Unit => state.write_u8(tag::UNIT),
+            NodeKey::Lam(b) => {
+                state.write_u8(tag::LAM);
+                state.write_u64(b.0);
+            }
+            NodeKey::App(f, a) => {
+                state.write_u8(tag::APP);
+                state.write_u64(f.0);
+                state.write_u64(a.0);
+            }
+            NodeKey::Pair(a, b) => {
+                state.write_u8(tag::PAIR);
+                state.write_u64(a.0);
+                state.write_u64(b.0);
+            }
+            NodeKey::Fst(p) => {
+                state.write_u8(tag::FST);
+                state.write_u64(p.0);
+            }
+            NodeKey::Snd(p) => {
+                state.write_u8(tag::SND);
+                state.write_u64(p.0);
+            }
+        }
+    }
 }
 
 impl NodeKey {
@@ -196,23 +263,72 @@ impl NodeKey {
             Term::Snd(p) => NodeKey::Snd(p.id()),
         }
     }
+}
 
-    /// Does this key denote `node`'s skeleton? Shallow — children compare
-    /// by id — so O(1); used to verify front-cache candidates.
-    fn matches(&self, node: &TermNode) -> bool {
-        match (self, &node.term) {
-            (NodeKey::Var(i), Term::Var(j)) => i == j,
-            (NodeKey::Const(c), Term::Const(d)) => c == d,
-            (NodeKey::Meta(m), Term::Meta(n)) => *m == n.id(),
-            (NodeKey::Int(a), Term::Int(b)) => a == b,
-            (NodeKey::Unit, Term::Unit) => true,
-            (NodeKey::Lam(b), Term::Lam(_, b2)) => *b == b2.id(),
-            (NodeKey::App(f, a), Term::App(f2, a2)) => *f == f2.id() && *a == a2.id(),
-            (NodeKey::Pair(a, b), Term::Pair(a2, b2)) => *a == a2.id() && *b == b2.id(),
-            (NodeKey::Fst(p), Term::Fst(p2)) => *p == p2.id(),
-            (NodeKey::Snd(p), Term::Snd(p2)) => *p == p2.id(),
-            _ => false,
+/// The borrowed twin of hashing `NodeKey::of(t)`: same tags, same write
+/// sequence, same [`FxHasher`] — asserted bit-for-bit by a unit test —
+/// but no `Sym` clone and no key allocation on the lookup path.
+fn probe_hash(t: &Term) -> u64 {
+    let mut h = FxHasher::default();
+    match t {
+        Term::Var(i) => {
+            h.write_u8(tag::VAR);
+            h.write_u32(*i);
         }
+        Term::Const(c) => {
+            h.write_u8(tag::CONST);
+            c.hash(&mut h);
+        }
+        Term::Meta(m) => {
+            h.write_u8(tag::META);
+            h.write_u32(m.id());
+        }
+        Term::Int(n) => {
+            h.write_u8(tag::INT);
+            h.write_i64(*n);
+        }
+        Term::Unit => h.write_u8(tag::UNIT),
+        Term::Lam(_, b) => {
+            h.write_u8(tag::LAM);
+            h.write_u64(b.id().0);
+        }
+        Term::App(f, a) => {
+            h.write_u8(tag::APP);
+            h.write_u64(f.id().0);
+            h.write_u64(a.id().0);
+        }
+        Term::Pair(a, b) => {
+            h.write_u8(tag::PAIR);
+            h.write_u64(a.id().0);
+            h.write_u64(b.id().0);
+        }
+        Term::Fst(p) => {
+            h.write_u8(tag::FST);
+            h.write_u64(p.id().0);
+        }
+        Term::Snd(p) => {
+            h.write_u8(tag::SND);
+            h.write_u64(p.id().0);
+        }
+    }
+    h.finish()
+}
+
+/// Does `t`'s skeleton denote `node`? Shallow — children compare by id —
+/// so O(1); verifies front-cache candidates without building a key.
+fn term_matches(t: &Term, node: &TermNode) -> bool {
+    match (t, &node.term) {
+        (Term::Var(i), Term::Var(j)) => i == j,
+        (Term::Const(c), Term::Const(d)) => c == d,
+        (Term::Meta(m), Term::Meta(n)) => m.id() == n.id(),
+        (Term::Int(a), Term::Int(b)) => a == b,
+        (Term::Unit, Term::Unit) => true,
+        (Term::Lam(_, b), Term::Lam(_, b2)) => b.id() == b2.id(),
+        (Term::App(f, a), Term::App(f2, a2)) => f.id() == f2.id() && a.id() == a2.id(),
+        (Term::Pair(a, b), Term::Pair(a2, b2)) => a.id() == a2.id() && b.id() == b2.id(),
+        (Term::Fst(p), Term::Fst(p2)) => p.id() == p2.id(),
+        (Term::Snd(p), Term::Snd(p2)) => p.id() == p2.id(),
+        _ => false,
     }
 }
 
@@ -674,19 +790,21 @@ pub(crate) fn intern(term: Term) -> Arc<TermNode> {
             Some(h) => &h.0,
             None => global_store(),
         };
-        let key = NodeKey::of(&term);
-        let hash = FxBuild.hash_one(&key);
+        // Borrowed probe: hash and front-match the term itself; the owned
+        // key (with its `Sym` clone for `Const`) is built only after both
+        // caches missed, off the warm-rebuild hot path.
+        let hash = probe_hash(&term);
         let slot = (hash as usize) & (FRONT_SLOTS - 1);
         let epoch = store.sweep_epoch.load(Ordering::Relaxed);
         if front.store != store.store_token || front.epoch != epoch {
             front.reset(store.store_token, epoch);
         } else if let Some(node) = &front.slots[slot] {
-            if key.matches(node) {
+            if term_matches(&term, node) {
                 *hits += 1;
                 return Arc::clone(node);
             }
         }
-        let (node, missed) = store.intern_in_shard(key, hash, term);
+        let (node, missed) = store.intern_in_shard(NodeKey::of(&term), hash, term);
         if missed {
             *distinct += 1;
             *hashed += 1;
@@ -768,6 +886,35 @@ mod tests {
         let b = TermRef::new(Term::lam("y", Term::Var(0)));
         assert!(TermRef::ptr_eq(&a, &b));
         assert_eq!(a.id(), b.id());
+    }
+
+    #[test]
+    fn borrowed_probe_agrees_with_owned_key_for_every_constructor() {
+        // The probe hash picks the shard and bucket that the owned key is
+        // inserted under; any divergence would split one α-class across
+        // buckets. Cover all ten constructors.
+        let samples = [
+            Term::Var(7),
+            Term::cnst("append"),
+            Term::Meta(crate::term::MVar::new(3, "X")),
+            Term::Int(-42),
+            Term::Unit,
+            Term::lam("x", Term::Var(0)),
+            Term::app(Term::cnst("f"), Term::Var(0)),
+            Term::pair(Term::Unit, Term::Int(1)),
+            Term::fst(Term::pair(Term::Unit, Term::Unit)),
+            Term::snd(Term::pair(Term::Unit, Term::Unit)),
+        ];
+        for t in samples {
+            assert_eq!(
+                probe_hash(&t),
+                FxBuild.hash_one(&NodeKey::of(&t)),
+                "probe/key hash divergence on {t:?}"
+            );
+            let node = intern(t.clone());
+            assert!(term_matches(&t, &node));
+            assert!(!term_matches(&Term::Var(999), &node) || matches!(t, Term::Var(999)));
+        }
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Program certificates: mode and determinacy verdicts the solver
+//! enforces.
+//!
+//! The static analyzer (crate `hoas-analyze`) runs a mode/groundness
+//! abstract interpretation and a determinacy analysis over a
+//! [`Program`] and mints a [`ProgramCert`] recording, per predicate:
+//!
+//! * the **modes** it admits — bit vectors marking input positions;
+//!   a call whose input positions are ground is guaranteed (by the
+//!   analysis) to succeed only with ground output positions;
+//! * whether it is **committed-choice** — its program clause heads are
+//!   pairwise non-unifiable when restricted to a set of input
+//!   positions, so once one clause's head matches a call whose
+//!   committed positions are ground, no other clause can, and the
+//!   solver may skip the remaining choice points without losing
+//!   answers.
+//!
+//! Trust boundary: certificates are minted only through
+//! [`ProgramCert::issue`] (`#[doc(hidden)]`, analyzer use only), carry
+//! a fingerprint of the exact program they were proven for, and
+//! [`crate::solve::solve_certified`] ignores a certificate whose
+//! fingerprint does not match. In debug builds the solver additionally
+//! runs a **dynamic mode sanitizer**: committed calls are cross-checked
+//! against the remaining clauses (a second match panics citing
+//! `HA015`), and moded calls re-verify output groundness at exit
+//! (a violation panics citing `HA018`). Release builds trust the
+//! certificate and take the pruned paths without the cross-checks.
+
+use crate::program::{Clause, Goal, Program};
+use hoas_core::Sym;
+use std::collections::HashMap;
+
+/// One admitted mode for a predicate: `inputs[i]` is `true` when
+/// argument position `i` is an input (must be ground at call for the
+/// mode's guarantee to apply); the remaining positions are outputs
+/// (guaranteed ground at every success).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mode {
+    /// Input-position mask, one entry per predicate argument.
+    pub inputs: Vec<bool>,
+}
+
+impl Mode {
+    /// Renders as the conventional `(+,-,…)` notation.
+    pub fn render(&self) -> String {
+        let marks: Vec<&str> = self
+            .inputs
+            .iter()
+            .map(|&i| if i { "+" } else { "-" })
+            .collect();
+        format!("({})", marks.join(","))
+    }
+}
+
+/// Per-predicate verdicts recorded in a certificate.
+#[derive(Clone, Debug, Default)]
+pub struct PredVerdict {
+    /// Admitted modes (possibly empty: no consistent mode was found).
+    pub modes: Vec<Mode>,
+    /// Input positions on which the predicate's program clause heads
+    /// are pairwise non-unifiable, when the analysis proved it; the
+    /// solver commits to the first matching clause whenever every
+    /// listed position is ground at the call and no hypothetical
+    /// clause for the predicate is in scope.
+    pub commit: Option<Vec<usize>>,
+}
+
+/// Mixes one 64-bit word into a running fingerprint (same scheme as
+/// `hoas_rewrite::cert`, duplicated to keep the crates independent).
+fn mix(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0100_0000_01b3).rotate_left(23)
+}
+
+fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(w));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+fn mix_term(h: u64, t: &hoas_core::Term) -> u64 {
+    let ch = hoas_core::TermRef::new(t.clone()).content_hash();
+    mix(mix(h, ch as u64), (ch >> 64) as u64)
+}
+
+fn mix_goal(mut h: u64, g: &Goal) -> u64 {
+    match g {
+        Goal::True => mix(h, 1),
+        Goal::Atom(t) => mix_term(mix(h, 2), t),
+        Goal::And(a, b) => mix_goal(mix_goal(mix(h, 3), a), b),
+        Goal::Impl(c, g) => mix_goal(mix_clause(mix(h, 4), c), g),
+        Goal::All(x, ty, g) => {
+            h = mix_bytes(mix(h, 5), x.as_str().as_bytes());
+            h = mix_bytes(h, ty.to_string().as_bytes());
+            mix_goal(h, g)
+        }
+    }
+}
+
+fn mix_clause(mut h: u64, c: &Clause) -> u64 {
+    h = mix(h, c.vars.len() as u64);
+    for (x, ty) in &c.vars {
+        h = mix_bytes(h, x.as_str().as_bytes());
+        h = mix_bytes(h, ty.to_string().as_bytes());
+    }
+    mix_goal(mix_term(h, &c.head), &c.body)
+}
+
+impl Program {
+    /// A store-independent fingerprint of the program's clauses (heads,
+    /// bodies, universal variables). Clause order matters — it is the
+    /// solver's trial order.
+    pub fn fingerprint64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for c in self.clauses() {
+            h = mix_clause(h, c);
+        }
+        mix(h, self.clauses().len() as u64)
+    }
+}
+
+/// Proof token: mode and determinacy verdicts for one specific
+/// program. See the module docs for the trust story.
+#[derive(Clone, Debug)]
+pub struct ProgramCert {
+    fingerprint: u64,
+    preds: HashMap<Sym, PredVerdict>,
+}
+
+impl ProgramCert {
+    /// Mints a certificate. **Analyzer use only** — the verdicts must
+    /// come from an actual run of the mode/determinacy analysis.
+    #[doc(hidden)]
+    pub fn issue(prog: &Program, preds: HashMap<Sym, PredVerdict>) -> ProgramCert {
+        ProgramCert {
+            fingerprint: prog.fingerprint64(),
+            preds,
+        }
+    }
+
+    /// Whether the certificate was issued for exactly this program.
+    pub fn covers(&self, prog: &Program) -> bool {
+        self.fingerprint == prog.fingerprint64()
+    }
+
+    /// The verdict for a predicate, if any was recorded.
+    pub fn verdict(&self, pred: &Sym) -> Option<&PredVerdict> {
+        self.preds.get(pred)
+    }
+
+    /// All recorded verdicts, for reporting.
+    pub fn verdicts(&self) -> impl Iterator<Item = (&Sym, &PredVerdict)> {
+        self.preds.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::examples;
+
+    #[test]
+    fn certificate_covers_only_the_fingerprinted_program() {
+        let prog = examples::append_program();
+        let cert = ProgramCert::issue(&prog, HashMap::new());
+        assert!(cert.covers(&prog));
+
+        let mut extended = prog.clone();
+        extended.push(Clause {
+            vars: vec![],
+            head: hoas_core::Term::apps(
+                hoas_core::Term::cnst("append"),
+                [
+                    hoas_core::Term::cnst("nil"),
+                    hoas_core::Term::cnst("nil"),
+                    hoas_core::Term::cnst("nil"),
+                ],
+            ),
+            body: Goal::True,
+        });
+        assert!(!cert.covers(&extended));
+    }
+
+    #[test]
+    fn mode_renders_conventionally() {
+        let m = Mode {
+            inputs: vec![true, true, false],
+        };
+        assert_eq!(m.render(), "(+,+,-)");
+    }
+}

@@ -36,10 +36,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cert;
 pub mod codec;
 pub mod examples;
 pub mod program;
 pub mod solve;
 
+pub use cert::{Mode, PredVerdict, ProgramCert};
 pub use program::{Clause, Goal, Program};
-pub use solve::{solve, Answer, LpError, SolveConfig};
+pub use solve::{solve, solve_certified, Answer, LpError, SolveConfig};

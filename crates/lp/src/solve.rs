@@ -2,6 +2,7 @@
 //! pattern-unification-based clause matching, eigenvariable scope
 //! checking, and hypothetical clauses with stack-scoped lifetimes.
 
+use crate::cert::ProgramCert;
 use crate::program::{Clause, Goal, Program};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
@@ -122,6 +123,13 @@ impl From<UnifyError> for LpError {
 enum Work {
     G(Goal),
     PopClause,
+    /// Debug-build mode sanitizer marker (pushed only when a
+    /// certificate mode matched the call): when this pops, the atom's
+    /// subtree of work is fully discharged, so the recorded output
+    /// positions must be ground under the current solution — anything
+    /// else falsifies the static mode verdict.
+    #[allow(dead_code)]
+    ModeExit(Term, Vec<usize>),
 }
 
 #[derive(Clone)]
@@ -154,6 +162,43 @@ pub fn solve(
     menv: &MetaEnv,
     goal: &Goal,
     cfg: &SolveConfig,
+) -> Result<Outcome, LpError> {
+    solve_inner(prog, menv, goal, cfg, None)
+}
+
+/// Like [`solve`], but enforcing the verdicts of an analysis
+/// certificate: calls to committed-choice predicates whose committed
+/// argument positions are ground (and for which no hypothetical clause
+/// is in scope) commit to the first matching clause without allocating
+/// the remaining choice points — no search-state clone per candidate.
+/// In debug builds the dynamic mode sanitizer cross-checks every
+/// enforced verdict (see [`crate::cert`]) and panics with the violated
+/// HA code.
+///
+/// A certificate that does not cover `prog` (fingerprint mismatch —
+/// e.g. minted for an earlier revision of the program) is ignored and
+/// the search proceeds exactly as [`solve`].
+///
+/// # Errors
+///
+/// As [`solve`].
+pub fn solve_certified(
+    prog: &Program,
+    menv: &MetaEnv,
+    goal: &Goal,
+    cfg: &SolveConfig,
+    cert: &ProgramCert,
+) -> Result<Outcome, LpError> {
+    let cert = cert.covers(prog).then_some(cert);
+    solve_inner(prog, menv, goal, cfg, cert)
+}
+
+fn solve_inner(
+    prog: &Program,
+    menv: &MetaEnv,
+    goal: &Goal,
+    cfg: &SolveConfig,
+    cert: Option<&ProgramCert>,
 ) -> Result<Outcome, LpError> {
     // Resolve each goal metavariable to the caller's `menv` key: the
     // interned term store canonicalizes `MVar` hints per numeric id, so
@@ -190,6 +235,7 @@ pub fn solve(
         vec![Work::G(goal.clone())],
         cfg.max_depth,
         cfg,
+        cert,
         &query_metas,
         &mut out,
         &mut fuel,
@@ -204,6 +250,7 @@ fn dfs(
     mut stack: Vec<Work>,
     depth: u32,
     cfg: &SolveConfig,
+    cert: Option<&ProgramCert>,
     query_metas: &[MVar],
     out: &mut Outcome,
     fuel: &mut u64,
@@ -235,6 +282,19 @@ fn dfs(
             Work::PopClause => {
                 st.locals.pop();
             }
+            Work::ModeExit(atom, outputs) => {
+                // Debug-build sanitizer: the moded call succeeded, so
+                // its output positions must now be ground.
+                let atom = st.sol.apply(&atom);
+                let (_, args) = atom.spine();
+                for &i in &outputs {
+                    assert!(
+                        args.get(i).is_none_or(|a| !a.has_metas()),
+                        "HA018 violated: output argument {i} of `{atom}` is \
+                         not ground at exit despite a matched static mode",
+                    );
+                }
+            }
             Work::G(Goal::True) => {}
             Work::G(Goal::And(a, b)) => {
                 stack.push(Work::G(*b));
@@ -263,20 +323,118 @@ fn dfs(
                 stack.push(Work::G(instantiated));
             }
             Work::G(Goal::Atom(t)) => {
-                return solve_atom(prog, st, stack, t, depth, cfg, query_metas, out, fuel);
+                return solve_atom(prog, st, stack, t, depth, cfg, cert, query_metas, out, fuel);
             }
         }
     }
+}
+
+/// Merges a unifier solution into `st`, checking eigenvariable scope: a
+/// metavariable may only mention eigenvariables that existed when it
+/// was created. Returns `false` (state partially updated, caller must
+/// discard the branch) on a scope violation.
+fn merge_solution(st: &mut St, solution: pattern::PatternSolution) -> bool {
+    st.menv = solution.menv;
+    for m in st.menv.keys() {
+        st.next_meta = st.next_meta.max(m.id() + 1);
+        st.meta_level.entry(m.id()).or_insert(0);
+    }
+    for (m, t) in solution.subst.iter() {
+        let lvl = st.meta_level.get(&m.id()).copied().unwrap_or(0);
+        for c in t.constants() {
+            if let Some(&el) = st.eigen_level.get(c.as_str()) {
+                if el > lvl {
+                    return false;
+                }
+            }
+        }
+    }
+    for (m, t) in solution.subst.iter() {
+        if !st.sol.contains(m) {
+            st.sol.bind(m.clone(), t.clone());
+        }
+    }
+    true
+}
+
+/// Whether the certificate allows committing to the first matching
+/// clause for this call: the predicate is committed-choice on a set of
+/// positions, every one of those argument positions is ground in the
+/// (solution-applied) atom, and no hypothetical clause for the
+/// predicate is in scope (the determinacy analysis only accounts for
+/// program clauses; locals reopen the choice).
+fn commit_positions<'c>(
+    cert: Option<&'c ProgramCert>,
+    st: &St,
+    pred: &Sym,
+    args: &[&Term],
+) -> Option<&'c [usize]> {
+    let verdict = cert?.verdict(pred)?;
+    let commit = verdict.commit.as_deref()?;
+    if st.locals.iter().any(|(_, p)| p.as_ref() == Some(pred)) {
+        return None;
+    }
+    commit
+        .iter()
+        .all(|&i| args.get(i).is_some_and(|a| !a.has_metas()))
+        .then_some(commit)
+}
+
+/// Debug-build half of the mode sanitizer: if the certificate records a
+/// mode whose input positions are all ground at this call, push a
+/// [`Work::ModeExit`] marker so output groundness is re-verified when
+/// the call's subtree is discharged.
+#[cfg(debug_assertions)]
+fn push_mode_exit(
+    cert: Option<&ProgramCert>,
+    stack: &mut Vec<Work>,
+    pred: &Sym,
+    atom: &Term,
+    args: &[&Term],
+) {
+    let Some(verdict) = cert.and_then(|c| c.verdict(pred)) else {
+        return;
+    };
+    let matched = verdict.modes.iter().find(|m| {
+        m.inputs.len() == args.len()
+            && m.inputs
+                .iter()
+                .zip(args)
+                .all(|(&input, a)| !input || !a.has_metas())
+    });
+    if let Some(mode) = matched {
+        let outputs: Vec<usize> = mode
+            .inputs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &input)| (!input).then_some(i))
+            .collect();
+        if !outputs.is_empty() {
+            stack.push(Work::ModeExit(atom.clone(), outputs));
+        }
+    }
+}
+
+/// Release builds skip the exit-time sanitizer entirely.
+#[cfg(not(debug_assertions))]
+fn push_mode_exit(
+    _cert: Option<&ProgramCert>,
+    _stack: &mut Vec<Work>,
+    _pred: &Sym,
+    _atom: &Term,
+    _args: &[&Term],
+) {
 }
 
 #[allow(clippy::too_many_arguments)]
 fn solve_atom(
     prog: &Program,
     st: St,
-    stack: Vec<Work>,
+    mut stack: Vec<Work>,
     atom: Term,
     depth: u32,
     cfg: &SolveConfig,
+    cert: Option<&ProgramCert>,
     query_metas: &[MVar],
     out: &mut Outcome,
     fuel: &mut u64,
@@ -302,6 +460,26 @@ fn solve_atom(
         out.exhausted = true;
         return Ok(());
     }
+
+    if let Some(commit) = commit_positions(cert, &st, &pred, &atom.spine().1) {
+        return solve_atom_committed(
+            prog,
+            st,
+            stack,
+            atom,
+            pred,
+            target,
+            commit,
+            depth,
+            cfg,
+            cert,
+            query_metas,
+            out,
+            fuel,
+        );
+    }
+    push_mode_exit(cert, &mut stack, &pred, &atom, &atom.spine().1);
+
     // Local clauses first (newest first, filtered by their precomputed
     // head predicate), then the program's bucket for this predicate —
     // O(locals + bucket), not a scan over every program clause.
@@ -325,36 +503,102 @@ fn solve_atom(
         let constraint = Constraint::closed(target.clone(), atom.clone(), head);
         match pattern::unify_constraints(&st2.sig, &st2.menv, vec![constraint]) {
             Ok(solution) => {
-                // Merge the unifier's bindings, checking eigenvariable
-                // scope: a metavariable may only mention eigenvariables
-                // that existed when it was created.
-                st2.menv = solution.menv;
-                for m in st2.menv.keys() {
-                    st2.next_meta = st2.next_meta.max(m.id() + 1);
-                    st2.meta_level.entry(m.id()).or_insert(0);
-                }
-                let mut scope_ok = true;
-                for (m, t) in solution.subst.iter() {
-                    let lvl = st2.meta_level.get(&m.id()).copied().unwrap_or(0);
-                    for c in t.constants() {
-                        if let Some(&el) = st2.eigen_level.get(c.as_str()) {
-                            if el > lvl {
-                                scope_ok = false;
-                            }
-                        }
-                    }
-                }
-                if !scope_ok {
+                if !merge_solution(&mut st2, solution) {
                     continue;
-                }
-                for (m, t) in solution.subst.iter() {
-                    if !st2.sol.contains(m) {
-                        st2.sol.bind(m.clone(), t.clone());
-                    }
                 }
                 let mut stack2 = stack.clone();
                 stack2.push(Work::G(body));
-                dfs(prog, st2, stack2, depth - 1, cfg, query_metas, out, fuel)?;
+                dfs(
+                    prog,
+                    st2,
+                    stack2,
+                    depth - 1,
+                    cfg,
+                    cert,
+                    query_metas,
+                    out,
+                    fuel,
+                )?;
+            }
+            Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => {}
+            Err(UnifyError::NotPattern { .. }) => {
+                out.floundered = true;
+            }
+            Err(e) => return Err(LpError::Unify(e)),
+        }
+    }
+    Ok(())
+}
+
+/// The committed-choice fast path: the predicate's program clause heads
+/// are pairwise non-unifiable on `commit`, and those argument positions
+/// are ground here — so at most one clause head can match, and the
+/// search state is threaded through **by move** instead of being cloned
+/// per candidate (each clone copies the whole signature and
+/// metavariable maps, which dominates subgoal-heavy workloads).
+///
+/// Failed head unifications leave behind only unused fresh
+/// metavariables (the environment is monotone), so trying the next
+/// candidate on the same state is sound. The first full-head success
+/// consumes the commitment: even if its eigenvariable scope check then
+/// fails, no other clause could have matched the ground committed
+/// positions, so the whole call fails rather than backtracking.
+#[allow(clippy::too_many_arguments)]
+#[cfg_attr(not(debug_assertions), allow(unused_variables))]
+fn solve_atom_committed(
+    prog: &Program,
+    mut st: St,
+    mut stack: Vec<Work>,
+    atom: Term,
+    pred: Sym,
+    target: hoas_core::Ty,
+    commit: &[usize],
+    depth: u32,
+    cfg: &SolveConfig,
+    cert: Option<&ProgramCert>,
+    query_metas: &[MVar],
+    out: &mut Outcome,
+    fuel: &mut u64,
+) -> Result<(), LpError> {
+    push_mode_exit(cert, &mut stack, &pred, &atom, &atom.spine().1);
+    let clauses: Vec<&Clause> = prog.clauses_for(&pred).collect();
+    for (ci, clause) in clauses.iter().enumerate() {
+        let (head, body) = freshen(&mut st, clause);
+        let head = st.sol.apply(&head);
+        let constraint = Constraint::closed(target.clone(), atom.clone(), head);
+        match pattern::unify_constraints(&st.sig, &st.menv, vec![constraint]) {
+            Ok(solution) => {
+                // Sanitizer cross-check: no later clause may also match
+                // — two matches on ground committed positions falsify
+                // the determinacy verdict.
+                #[cfg(debug_assertions)]
+                for other in &clauses[ci + 1..] {
+                    let mut scratch = st.clone();
+                    let (ohead, _) = freshen(&mut scratch, other);
+                    let ohead = scratch.sol.apply(&ohead);
+                    let c = Constraint::closed(target.clone(), atom.clone(), ohead);
+                    assert!(
+                        pattern::unify_constraints(&scratch.sig, &scratch.menv, vec![c]).is_err(),
+                        "HA015 violated: committed-choice predicate `{pred}` \
+                         has two matching clauses for `{atom}` \
+                         (committed positions {commit:?})",
+                    );
+                }
+                if !merge_solution(&mut st, solution) {
+                    return Ok(());
+                }
+                stack.push(Work::G(body));
+                return dfs(
+                    prog,
+                    st,
+                    stack,
+                    depth - 1,
+                    cfg,
+                    cert,
+                    query_metas,
+                    out,
+                    fuel,
+                );
             }
             Err(e) if e.is_refutation() || matches!(e, UnifyError::Escape { .. }) => {}
             Err(UnifyError::NotPattern { .. }) => {

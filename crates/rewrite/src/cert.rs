@@ -1,0 +1,146 @@
+//! Termination certificates: engine-enforced analysis verdicts.
+//!
+//! The static analyzer (crate `hoas-analyze`) proves facts about a
+//! [`RuleSet`] — today, size-change termination — and mints a
+//! [`TerminationCert`] recording the verdict together with a
+//! fingerprint of the exact rule set it was proven for. The engine
+//! accepts a certificate only when the fingerprint matches the rule
+//! set it is running ([`crate::Engine::attach_certificate`]), and then
+//! drops per-call step-budget bookkeeping from the normalization loop:
+//! a proven-terminating rule set cannot run forever, so counting steps
+//! against `max_steps` is pure overhead.
+//!
+//! Trust boundary: certificates can only be constructed through
+//! [`TerminationCert::issue`], which is `#[doc(hidden)]` and intended
+//! solely for the analyzer. The fields are private, so a certificate
+//! cannot be forged by literal construction, and the fingerprint check
+//! prevents replaying a certificate against a different (e.g. extended)
+//! rule set. Debug builds keep counting steps even under a certificate
+//! and panic — citing diagnostic `HA016` — if a "proven terminating"
+//! set exceeds a generous multiple of the configured budget, so a bug
+//! in the analyzer surfaces as a loud cross-check failure instead of a
+//! hang.
+
+use crate::rule::RuleSet;
+
+/// Mixes one 64-bit word into a running FNV-style fingerprint.
+fn mix(h: u64, w: u64) -> u64 {
+    (h ^ w).wrapping_mul(0x0100_0000_01b3).rotate_left(23)
+}
+
+/// Mixes a byte string into a running fingerprint.
+fn mix_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for chunk in bytes.chunks(8) {
+        let mut w = [0u8; 8];
+        w[..chunk.len()].copy_from_slice(chunk);
+        h = mix(h, u64::from_le_bytes(w));
+    }
+    mix(h, bytes.len() as u64)
+}
+
+impl RuleSet {
+    /// A store-independent fingerprint of the rule set's observable
+    /// content: rule names, both sides' content hashes, and subject
+    /// types, plus native-rule names. Order-sensitive — rule order
+    /// affects engine behavior, so reordered sets fingerprint apart.
+    pub fn fingerprint64(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for r in self.rules() {
+            h = mix_bytes(h, r.name().as_bytes());
+            let lh = hoas_core::TermRef::new(r.lhs().clone()).content_hash();
+            let rh = hoas_core::TermRef::new(r.rhs().clone()).content_hash();
+            h = mix(h, lh as u64);
+            h = mix(h, (lh >> 64) as u64);
+            h = mix(h, rh as u64);
+            h = mix(h, (rh >> 64) as u64);
+            h = mix_bytes(h, r.ty().to_string().as_bytes());
+        }
+        for n in self.native_rules() {
+            h = mix_bytes(h, n.name().as_bytes());
+        }
+        mix(h, self.rules().len() as u64)
+    }
+}
+
+/// Proof token: the analyzer established size-change termination for
+/// one specific rule set. See the module docs for the trust story.
+#[derive(Clone, Debug)]
+pub struct TerminationCert {
+    fingerprint: u64,
+    /// Human-readable justification recorded by the analyzer (e.g.
+    /// which descent measure closed every idempotent graph).
+    reason: String,
+}
+
+impl TerminationCert {
+    /// Mints a certificate for `rs`. **Analyzer use only** — calling
+    /// this without having actually run the size-change analysis
+    /// forfeits the termination guarantee the engine relies on.
+    #[doc(hidden)]
+    pub fn issue(rs: &RuleSet, reason: impl Into<String>) -> TerminationCert {
+        TerminationCert {
+            fingerprint: rs.fingerprint64(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Whether the certificate was issued for exactly this rule set.
+    pub fn covers(&self, rs: &RuleSet) -> bool {
+        self.fingerprint == rs.fingerprint64()
+    }
+
+    /// The analyzer's recorded justification.
+    pub fn reason(&self) -> &str {
+        &self.reason
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rule::Rule;
+    use hoas_core::parse::parse_ty;
+    use hoas_core::sig::Signature;
+
+    fn demo() -> (Signature, RuleSet) {
+        let sig = Signature::parse(
+            "type o. const not : o -> o. const and : o -> o -> o.",
+        )
+        .unwrap();
+        let o = parse_ty("o").unwrap();
+        let mut rs = RuleSet::new();
+        rs.push(Rule::parse(&sig, "nn", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap())
+            .unwrap();
+        (sig, rs)
+    }
+
+    #[test]
+    fn certificate_covers_only_the_fingerprinted_set() {
+        let (sig, rs) = demo();
+        let cert = TerminationCert::issue(&rs, "sct: all idempotent graphs descend");
+        assert!(cert.covers(&rs));
+        assert_eq!(cert.reason(), "sct: all idempotent graphs descend");
+
+        // Extending the set invalidates the certificate.
+        let mut extended = rs.clone();
+        let o = parse_ty("o").unwrap();
+        extended
+            .push(Rule::parse(&sig, "ai", &o, &[("P", "o")], "and ?P ?P", "?P").unwrap())
+            .unwrap();
+        assert!(!cert.covers(&extended));
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive() {
+        let sig = Signature::parse(
+            "type o. const not : o -> o. const and : o -> o -> o.",
+        )
+        .unwrap();
+        let o = parse_ty("o").unwrap();
+        let r1 = Rule::parse(&sig, "nn", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap();
+        let r2 = Rule::parse(&sig, "ai", &o, &[("P", "o")], "and ?P ?P", "?P").unwrap();
+        let ab = RuleSet::from_parts(vec![r1.clone(), r2.clone()], Vec::new());
+        let ba = RuleSet::from_parts(vec![r2, r1], Vec::new());
+        assert_ne!(ab.fingerprint64(), ba.fingerprint64());
+    }
+}

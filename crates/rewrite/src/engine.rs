@@ -475,6 +475,11 @@ pub struct Engine<'a> {
     /// Durable cache state; shareable across engine instances.
     caches: EngineCaches,
     counters: Counters,
+    /// A validated termination certificate for `rules`, if one was
+    /// attached. When present, [`Engine::normalize`] runs without
+    /// per-step budget bookkeeping (debug builds keep counting as a
+    /// cross-check; see [`Engine::attach_certificate`]).
+    cert: Option<crate::cert::TerminationCert>,
 }
 
 impl<'a> Engine<'a> {
@@ -506,7 +511,35 @@ impl<'a> Engine<'a> {
             cfg,
             caches,
             counters: Counters::default(),
+            cert: None,
         }
+    }
+
+    /// Attaches a termination certificate, enabling budget-free
+    /// normalization. Returns `false` (and attaches nothing) when the
+    /// certificate does not cover this engine's rule set — the
+    /// fingerprint check is the trust boundary, so a certificate minted
+    /// for a different (or since-extended) rule set is rejected rather
+    /// than trusted.
+    ///
+    /// With a certificate attached, [`Engine::normalize`] stops
+    /// charging steps against [`EngineConfig::max_steps`] in release
+    /// builds. Debug builds keep the counter and panic — citing
+    /// analyzer diagnostic `HA016` — if the run exceeds a 64× multiple
+    /// of the configured budget, so an unsound certificate shows up as
+    /// a loud failure instead of a hang.
+    pub fn attach_certificate(&mut self, cert: &crate::cert::TerminationCert) -> bool {
+        if cert.covers(self.rules) {
+            self.cert = Some(cert.clone());
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether a validated termination certificate is attached.
+    pub fn is_certified(&self) -> bool {
+        self.cert.is_some()
     }
 
     /// A handle to this engine's cache state, for warm-starting another
@@ -973,7 +1006,7 @@ impl<'a> Engine<'a> {
         let mut applied = Vec::new();
         let mut trace = Vec::new();
         loop {
-            if applied.len() >= self.cfg.max_steps {
+            if self.cert.is_none() && applied.len() >= self.cfg.max_steps {
                 // Budget spent: report whether a fixpoint happens to have
                 // been reached anyway.
                 let at_fixpoint = self.step_root(ty, &cur)?.is_none();
@@ -985,6 +1018,20 @@ impl<'a> Engine<'a> {
                     fixpoint: at_fixpoint,
                     stats: self.stats().delta(&before),
                 });
+            }
+            // Cross-check a "proven terminating" certificate in debug
+            // builds: a certified run that exceeds a generous multiple
+            // of the budget means the size-change analysis (or the
+            // fingerprint check) is unsound, which must be loud.
+            #[cfg(debug_assertions)]
+            if let Some(cert) = &self.cert {
+                assert!(
+                    applied.len() < self.cfg.max_steps.saturating_mul(64),
+                    "HA016 violated: certified-terminating rule set exceeded \
+                     {} steps (certificate: {})",
+                    self.cfg.max_steps.saturating_mul(64),
+                    cert.reason(),
+                );
             }
             match self.step_root(ty, &cur)? {
                 Some((next, step)) => {

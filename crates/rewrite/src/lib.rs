@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cert;
 pub mod codec;
 pub mod engine;
 pub mod image;
@@ -33,6 +34,7 @@ pub mod rule;
 pub mod rulesets;
 
 pub use analysis::{Overlap, RuleInfo, RuleSetAnalysis};
+pub use cert::TerminationCert;
 pub use engine::{
     Engine, EngineCaches, EngineConfig, EngineStats, MatchPath, NormalizeResult, RewriteStep,
     Strategy,

@@ -402,6 +402,33 @@ impl RuleSet {
         Ok(self)
     }
 
+    /// Adds a batch of pattern rules, attempting *every* rule before
+    /// reporting: duplicates are skipped and all of them returned, so
+    /// one bad name does not mask later ones (unlike a `push` loop,
+    /// which stops — and stays silent about — everything after the
+    /// first error).
+    ///
+    /// # Errors
+    ///
+    /// One [`RewriteError::DuplicateRule`] per rejected rule, in input
+    /// order. The accepted rules are in the set either way.
+    pub fn push_all(
+        &mut self,
+        rules: impl IntoIterator<Item = Rule>,
+    ) -> Result<&mut Self, Vec<RewriteError>> {
+        let mut rejected = Vec::new();
+        for rule in rules {
+            if let Err(e) = self.push(rule) {
+                rejected.push(e);
+            }
+        }
+        if rejected.is_empty() {
+            Ok(self)
+        } else {
+            Err(rejected)
+        }
+    }
+
     /// Keeps only the first `n` pattern rules (native rules are
     /// untouched), rebuilding the index.
     pub fn truncate_rules(&mut self, n: usize) {
@@ -693,6 +720,29 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, RewriteError::DuplicateRule { .. }));
         assert_eq!(rs.len(), 1, "rejected rules are not added");
+    }
+
+    #[test]
+    fn push_all_reports_every_duplicate_not_just_the_first() {
+        let s = sig();
+        let o = parse_ty("o").unwrap();
+        let named = |name: &str| {
+            Rule::parse(&s, name, &o, &[("P", "o")], "not (not ?P)", "?P").unwrap()
+        };
+        let mut rs = RuleSet::new();
+        let errs = rs
+            .push_all([named("a"), named("a"), named("b"), named("b"), named("c")])
+            .unwrap_err();
+        // Both collisions are reported, and the good rules all landed.
+        assert_eq!(errs.len(), 2);
+        assert!(
+            matches!(&errs[0], RewriteError::DuplicateRule { name } if name == "a"),
+            "{errs:?}"
+        );
+        assert!(matches!(&errs[1], RewriteError::DuplicateRule { name } if name == "b"));
+        assert_eq!(rs.names(), vec!["a", "b", "c"]);
+        rs.push_all([named("d")]).unwrap();
+        assert_eq!(rs.len(), 4);
     }
 
     #[test]

@@ -15,10 +15,30 @@
 //!    the kernel produces (parse, shift/subst, normalization) and rejects
 //!    nodes whose cached annotations lie, built through the test-only
 //!    backdoor.
+//!
+//! PR 8 adds three families over the second-generation verdicts:
+//!
+//! 4. *Sanitizer agreement*: randomly generated well-moded list-transform
+//!    programs are inferred mode `(+,-)` and committed-choice, and the
+//!    certified solver (whose debug-build dynamic mode sanitizer panics
+//!    on any verdict violation) runs them without tripping it.
+//! 5. *SCT-certified budget freedom*: a rule set the size-change analysis
+//!    proved terminating normalizes random formulas to a fixpoint even
+//!    when the configured step budget is far too small — the certificate
+//!    drops the budget bookkeeping, and the result agrees with an
+//!    uncertified engine given a generous budget.
+//! 6. *Determinacy-pruning agreement*: on programs mixing committed and
+//!    genuinely nondeterministic predicates, `solve_certified` returns
+//!    exactly the answers `solve` does, in the same order.
 
+use hoas::analyze::{modes, termination};
 use hoas::core::prelude::*;
 use hoas::core::{validate, TermRef};
 use hoas::langs::{fol, lambda};
+use hoas::lp::solve::{query_menv, solve, solve_certified};
+use hoas::lp::{Clause, Program, SolveConfig};
+use hoas::rewrite::rulesets::fol_cnf;
+use hoas::rewrite::{Engine, EngineConfig};
 use hoas::unify::classify::{classify, PatternClass};
 use hoas::unify::matching::{match_pattern, match_term, MatchConfig};
 use hoas_testkit::prelude::*;
@@ -98,6 +118,85 @@ fn well_typed_term(seed: u64, size: usize) -> Term {
     lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
 }
 
+/// A random well-moded, terminating list-transform program.
+///
+/// Predicates `t0..t{n-1} : i -> i -> o` are each either a structural
+/// map (base clause plus a first-argument-indexed recursive clause) or a
+/// single composition clause threading ground data left to right through
+/// earlier predicates — so every `t_j` admits mode `(+,-)`, is
+/// committed-choice by construction, and is functional (exactly one
+/// answer per ground input). A deliberately nondeterministic
+/// `mem : i -> i -> o` rides along so determinacy pruning has something
+/// it must *not* prune.
+fn moded_program(seed: u64) -> (Program, usize) {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = rng.gen_range(2usize..5);
+    let mut decls = String::from(
+        "type i.
+         type o.
+         const nil : i.
+         const cons : i -> i -> i.
+         const a : i.
+         const b : i.
+         const c : i.
+         const mem : i -> i -> o.",
+    );
+    for j in 0..n {
+        decls.push_str(&format!("\nconst t{j} : i -> i -> o."));
+    }
+    let sig = Signature::parse(&decls).expect("generated signature");
+    let mut prog = Program::new(sig);
+    let c = |prog: &Program, vars: &[(&str, &str)], head: &str, body: &[&str]| {
+        Clause::parse(prog.sig(), vars, head, body).expect("generated clause")
+    };
+    let mem1 = c(&prog, &[("X", "i"), ("YS", "i")], "mem ?X (cons ?X ?YS)", &[]);
+    prog.push(mem1);
+    let mem2 = c(
+        &prog,
+        &[("X", "i"), ("Y", "i"), ("YS", "i")],
+        "mem ?X (cons ?Y ?YS)",
+        &["mem ?X ?YS"],
+    );
+    prog.push(mem2);
+    for j in 0..n {
+        if j >= 2 && rng.gen_bool(0.4) {
+            let p = rng.gen_range(0..j);
+            let q = rng.gen_range(0..j);
+            let (b1, b2) = (format!("t{p} ?XS ?ZS"), format!("t{q} ?ZS ?YS"));
+            let comp = c(
+                &prog,
+                &[("XS", "i"), ("YS", "i"), ("ZS", "i")],
+                &format!("t{j} ?XS ?YS"),
+                &[&b1, &b2],
+            );
+            prog.push(comp);
+        } else {
+            let elem = ["?X", "a", "b", "c"][rng.gen_range(0..4)];
+            let base = c(&prog, &[], &format!("t{j} nil nil"), &[]);
+            prog.push(base);
+            let body = format!("t{j} ?XS ?YS");
+            let step = c(
+                &prog,
+                &[("X", "i"), ("XS", "i"), ("YS", "i")],
+                &format!("t{j} (cons ?X ?XS) (cons {elem} ?YS)"),
+                &[&body],
+            );
+            prog.push(step);
+        }
+    }
+    (prog, n)
+}
+
+/// A random ground list literal like `cons a (cons c nil)`.
+fn ground_list(rng: &mut SmallRng, len: usize) -> String {
+    let mut s = String::from("nil");
+    for _ in 0..len {
+        let e = ["a", "b", "c"][rng.gen_range(0..3)];
+        s = format!("cons {e} ({s})");
+    }
+    s
+}
+
 props! {
     #![cases(128)]
 
@@ -168,5 +267,95 @@ props! {
         let lies = TermRef::new_with_annotations_for_tests(redex, 0, false, true);
         let err = validate::check_term(&Term::Fst(lies)).unwrap_err();
         prop_assert_eq!(err.field, "beta_normal");
+    }
+
+    fn sanitizer_agrees_with_the_static_mode_verdict(seed in seeds(), len in 1usize..6) {
+        let (prog, n) = moded_program(seed);
+        let outcome = modes::analyze_program(&prog);
+        for j in 0..n {
+            let report = outcome
+                .preds
+                .iter()
+                .find(|(p, _)| p.as_str() == format!("t{j}"))
+                .map(|(_, r)| r)
+                .expect("every generated predicate is analyzed");
+            prop_assert!(
+                report.modes.iter().any(|m| m.render() == "(+,-)"),
+                "t{} lost its construction mode; inferred {:?}",
+                j,
+                report.modes.iter().map(|m| m.render()).collect::<Vec<_>>()
+            );
+            prop_assert!(report.commit.is_some(), "t{} should be committed-choice", j);
+        }
+        // Tests run in a debug build, so the dynamic mode sanitizer is
+        // live inside `solve_certified`: any divergence between the
+        // static verdict and the search panics with the HA018 code.
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xD1CE);
+        let list = ground_list(&mut rng, len);
+        let query = format!("t{} ({list}) ?Z", n - 1);
+        let (goal, menv) = query_menv(prog.sig(), &query, &[("Z", "i")]).unwrap();
+        let cfg = SolveConfig { max_solutions: 8, ..SolveConfig::default() };
+        let out = solve_certified(&prog, &menv, &goal, &cfg, &outcome.cert).unwrap();
+        prop_assert_eq!(out.answers.len(), 1, "generated transforms are functional");
+        let z = out.answers[0].get("Z").expect("output is bound");
+        prop_assert!(z.metas().is_empty(), "well-moded output must be ground: {}", z);
+    }
+
+    fn determinacy_pruning_preserves_all_solutions(seed in seeds(), len in 1usize..6) {
+        let (prog, n) = moded_program(seed);
+        let cert = modes::analyze_program(&prog).cert;
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xA11);
+        let list = ground_list(&mut rng, len);
+        let cfg = SolveConfig { max_solutions: 32, ..SolveConfig::default() };
+        // A committed query (one answer) and a nondeterministic one
+        // (`mem` enumerates every element occurrence): the pruned search
+        // must return exactly the unpruned answers, in order.
+        let committed = format!("t{} ({list}) ?Z", n - 1);
+        let member = format!("mem ?Z ({list})");
+        for query in [&committed, &member] {
+            let (goal, menv) = query_menv(prog.sig(), query, &[("Z", "i")]).unwrap();
+            let plain = solve(&prog, &menv, &goal, &cfg).unwrap();
+            let pruned = solve_certified(&prog, &menv, &goal, &cfg, &cert).unwrap();
+            prop_assert_eq!(
+                plain.answers.len(),
+                pruned.answers.len(),
+                "answer counts differ on `{}`",
+                query
+            );
+            for (a, b) in plain.answers.iter().zip(&pruned.answers) {
+                prop_assert_eq!(&a.bindings, &b.bindings);
+            }
+        }
+        let (goal, menv) = query_menv(prog.sig(), &member, &[("Z", "i")]).unwrap();
+        let all = solve(&prog, &menv, &goal, &cfg).unwrap();
+        prop_assert_eq!(all.answers.len(), len, "mem hits every occurrence");
+    }
+
+    fn sct_certified_sets_ignore_the_step_budget(seed in seeds(), depth in 1u32..4) {
+        let vocab = fol::Vocabulary::small();
+        let sig = vocab.signature();
+        let rs = fol_cnf::rules(&sig).unwrap();
+        let cert = termination::analyze_ruleset(&rs)
+            .cert
+            .expect("fol-cnf is SCT-proven");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = fol::encode(&fol::gen_formula(&vocab, &mut rng, depth)).unwrap();
+        // A step budget far too small for CNF conversion: the certificate
+        // drops the budget bookkeeping, so the certified engine still
+        // reaches a genuine fixpoint...
+        let cfg = EngineConfig { max_steps: 4, ..EngineConfig::default() };
+        let mut certified = Engine::with_config(&sig, &rs, cfg.clone());
+        prop_assert!(certified.attach_certificate(&cert), "certificate covers its own set");
+        let got = certified.normalize(&fol::o(), &f).unwrap();
+        prop_assert!(got.fixpoint, "certified run must not stop early");
+        // ...agreeing with an uncertified engine under a generous budget,
+        // while the same small budget does cut the uncertified engine off.
+        let reference = Engine::new(&sig, &rs).normalize(&fol::o(), &f).unwrap();
+        prop_assert!(reference.fixpoint);
+        prop_assert_eq!(&got.term, &reference.term);
+        prop_assert_eq!(got.steps, reference.steps);
+        let budgeted = Engine::with_config(&sig, &rs, cfg).normalize(&fol::o(), &f).unwrap();
+        prop_assert!(budgeted.steps <= 4);
+        prop_assert_eq!(budgeted.fixpoint, budgeted.steps == got.steps);
     }
 }
