@@ -22,8 +22,8 @@ fn check(name: &str, prog: &Program, query: &str, vars: &[(&str, &str)]) -> Resu
         ..SolveConfig::default()
     };
     let plain = solve(prog, &menv, &goal, &cfg).map_err(|e| format!("{name}: {e}"))?;
-    let certified =
-        solve_certified(prog, &menv, &goal, &cfg, &outcome.cert).map_err(|e| format!("{name}: {e}"))?;
+    let certified = solve_certified(prog, &menv, &goal, &cfg, &outcome.cert)
+        .map_err(|e| format!("{name}: {e}"))?;
     if plain.answers.len() != certified.answers.len() {
         return Err(format!(
             "{name}: certified search returned {} answer(s), uncertified {}",
@@ -82,6 +82,7 @@ fn main() {
         "compiled out (release profile)"
     };
     println!("dynamic mode sanitizer: {sanitizer}");
+    #[allow(clippy::type_complexity)]
     let cases: Vec<(&str, Program, &str, &[(&str, &str)])> = vec![
         (
             "lp-append",

@@ -406,9 +406,7 @@ mod tests {
         codes.sort_unstable();
         assert_eq!(
             codes,
-            vec![
-                "HA001", "HA002", "HA004", "HA004", "HA005", "HA005", "HA007", "HA008", "HA017"
-            ],
+            vec!["HA001", "HA002", "HA004", "HA004", "HA005", "HA005", "HA007", "HA008", "HA017"],
             "the flexible-headed beta rule also blocks the SCT proof"
         );
         let shadowed: Vec<(&str, &str)> = report

@@ -281,7 +281,13 @@ fn infer_modes(prog: &Program, arities: &BTreeMap<Sym, usize>) -> BTreeMap<Sym, 
 
 /// Whether two (renamed-apart) clause heads are provably non-unifiable
 /// when restricted to `positions`.
-fn pair_apart(prog: &Program, arg_tys: &[&Ty], c1: &Clause, c2: &Clause, positions: &[usize]) -> bool {
+fn pair_apart(
+    prog: &Program,
+    arg_tys: &[&Ty],
+    c1: &Clause,
+    c2: &Clause,
+    positions: &[usize],
+) -> bool {
     let n1 = c1.vars.len() as u32;
     let mut menv = c1.var_menv();
     menv.extend(shift_menv(&c2.var_menv(), n1));
@@ -335,10 +341,7 @@ fn commit_positions(prog: &Program, pred: &Sym, arity: usize) -> Option<Vec<usiz
 /// metavariable ground, the atom fits no surviving mode. After a
 /// finding the atom's metavariables are optimistically grounded so one
 /// bad call does not cascade into findings on every later atom.
-fn find_unmoded_calls(
-    prog: &Program,
-    preds: &BTreeMap<Sym, PredReport>,
-) -> Vec<UnmodedCall> {
+fn find_unmoded_calls(prog: &Program, preds: &BTreeMap<Sym, PredReport>) -> Vec<UnmodedCall> {
     let cands: BTreeMap<Sym, Vec<Mode>> = preds
         .iter()
         .map(|(p, r)| (p.clone(), r.modes.clone()))
@@ -474,10 +477,9 @@ mod tests {
 
     #[test]
     fn single_clause_predicates_commit_vacuously() {
-        let sig = hoas_core::sig::Signature::parse(
-            "type i. type o. const z : i. const p : i -> o.",
-        )
-        .unwrap();
+        let sig =
+            hoas_core::sig::Signature::parse("type i. type o. const z : i. const p : i -> o.")
+                .unwrap();
         let mut prog = Program::new(sig);
         prog.push(Clause::parse(prog.sig(), &[], "p z", &[]).unwrap());
         let out = analyze_program(&prog);

@@ -156,18 +156,18 @@ mod tests {
             let full = run(name).unwrap();
             let gen1 = run_gen1(name).unwrap();
             // The fixed bench workload reports no second-generation code…
-            assert!(gen1
-                .diagnostics
-                .iter()
-                .all(|d| d.code < "HA013"), "{name}");
+            assert!(gen1.diagnostics.iter().all(|d| d.code < "HA013"), "{name}");
             // …and the full report is exactly gen1 plus appended verdicts.
             assert!(full.diagnostics.len() >= gen1.diagnostics.len());
             for (f, g) in full.diagnostics.iter().zip(&gen1.diagnostics) {
                 assert_eq!((&f.code, &f.subject), (&g.code, &g.subject), "{name}");
             }
-            assert!(full.diagnostics[gen1.diagnostics.len()..]
-                .iter()
-                .all(|d| d.code >= "HA013"), "{name}");
+            assert!(
+                full.diagnostics[gen1.diagnostics.len()..]
+                    .iter()
+                    .all(|d| d.code >= "HA013"),
+                "{name}"
+            );
         }
     }
 

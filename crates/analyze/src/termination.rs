@@ -188,7 +188,10 @@ fn descends(u: &Term, p: &Term) -> Option<bool> {
     let mut budget: BTreeMap<(u32, usize), Vec<u64>> = BTreeMap::new();
     for o in &p_occs {
         if o.pattern {
-            budget.entry((o.meta, o.argc)).or_default().push(o.sym_weight);
+            budget
+                .entry((o.meta, o.argc))
+                .or_default()
+                .push(o.sym_weight);
         }
     }
     for o in &u_occs {
@@ -199,7 +202,12 @@ fn descends(u: &Term, p: &Term) -> Option<bool> {
         .values()
         .flatten()
         .map(|w| w - 1)
-        .chain(p_occs.iter().filter(|o| !o.pattern).map(|o| o.sym_weight - 1))
+        .chain(
+            p_occs
+                .iter()
+                .filter(|o| !o.pattern)
+                .map(|o| o.sym_weight - 1),
+        )
         .sum();
     let wu = weight(u) + penalty;
     let wp = weight(p);

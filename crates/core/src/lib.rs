@@ -66,8 +66,10 @@ pub mod error;
 pub mod infer;
 pub mod intern;
 pub mod normalize;
+mod opmemo;
 pub mod parse;
 pub mod print;
+pub mod scratch;
 pub mod sig;
 pub mod store;
 pub mod sub;

@@ -22,8 +22,10 @@
 use crate::ctx::Ctx;
 use crate::error::Error;
 use crate::intern::Sym;
+use crate::opmemo::{self, Key, Table, MEMO_LVLS, OP_HSUB, OP_NF};
 use crate::sig::Signature;
-use crate::subst::shift;
+use crate::store::{self, InternSession, NodeView};
+use crate::subst::{shift, shift_interned};
 use crate::term::{MetaEnv, Term, TermRef};
 use crate::ty::Ty;
 use std::collections::HashMap;
@@ -66,101 +68,299 @@ pub fn hsnd(p: Term) -> Term {
 /// Hereditary instantiation: `(λ. body) arg` in one β-normality-preserving
 /// pass. Substitutes `arg` for the bound variable of `body` and contracts
 /// every redex created at substitution sites.
+///
+/// Subterms that are β-normal and cannot mention the opened variable
+/// (cached `max_free`/`beta_normal` check) are shared, not copied. Rebuilt
+/// spines are interned bottom-up in one store session through borrowed
+/// views, and the top interned-subtree levels of the rebuild are memoized
+/// by [`NodeId`] ([`crate::opmemo`]): instantiating the same
+/// (body, argument) pair again — the signature pattern of rewrite engines
+/// — is a single probe, while fresh-id workloads pay only a constant
+/// handful of probes per call.
+///
+/// [`NodeId`]: crate::store::NodeId
 pub fn hinstantiate(body: &Term, arg: &Term) -> Term {
-    hsub(body, 0, arg)
+    if body.max_free() == 0 && body.is_beta_normal() {
+        return body.clone();
+    }
+    // Intern the substituend once, before opening the session: its id
+    // keys the hereditary-substitution memo.
+    let aref = TermRef::new(arg.clone());
+    store::with_session(|sess| {
+        opmemo::with_table(sess.store_token(), |tab| hsub_root(body, &aref, sess, tab))
+    })
 }
 
-/// Substitutes `s` (shifted appropriately) for variable `k` in `t`,
-/// decrementing variables above `k`, contracting created redexes.
-///
-/// Subterms that are β-normal and cannot mention variable `k` (cached
-/// `max_free`/`beta_normal` check) are returned as-is, sharing their nodes.
-fn hsub(t: &Term, k: u32, s: &Term) -> Term {
-    if t.max_free() <= k && t.is_beta_normal() {
-        return t.clone();
-    }
+/// Hereditary substitution at the call root (cutoff 0): substitutes `s`
+/// for variable 0 of `t`, decrements the remaining free variables, and
+/// contracts every redex created. Returns an owned (uninterned) root.
+fn hsub_root(t: &Term, s: &TermRef, sess: &mut InternSession<'_>, tab: &mut Table) -> Term {
     match t {
+        // Cutoff 0: a hit needs no shift, and no variable lies below it.
         Term::Var(i) => {
-            if *i == k {
-                shift(s, k)
-            } else if *i > k {
-                Term::Var(i - 1)
+            if *i == 0 {
+                s.as_ref().clone()
             } else {
-                Term::Var(*i)
+                Term::Var(*i - 1)
             }
         }
-        Term::Lam(h, b) => Term::Lam(h.clone(), hsub_ref(b, k + 1, s)),
-        // Children are rebuilt through `hsub_ref` and the variants are
-        // assembled directly from the resulting `TermRef`s: an untouched
-        // child costs one `Arc` bump (no intern probe, no clone/drop pair
-        // per grandchild), where `Term::app(hsub(..), hsub(..))`-style
-        // rebuilds paid a store lookup per child even when nothing
-        // changed — the PR 6 refcount tax this routine was measured to
-        // carry (DESIGN §7). The parent is interned by the caller's
-        // `TermRef::new`, exactly as before.
+        Term::Lam(h, b) => Term::Lam(h.clone(), hsub_ref(b, 1, s, sess, tab, 0)),
         Term::App(f, a) => {
-            let a2 = hsub_ref(a, k, s);
-            let f2 = hsub_ref(f, k, s);
-            match f2.term() {
-                Term::Lam(_, body) => hinstantiate(body, a2.term()),
-                _ => Term::App(f2, a2),
+            let a2 = hsub_ref(a, 0, s, sess, tab, 0);
+            let f2 = hsub_ref(f, 0, s, sess, tab, 0);
+            if let Term::Lam(_, body) = f2.as_ref() {
+                let body = body.clone();
+                hered_root(&body, &a2, sess, tab)
+            } else {
+                Term::App(f2, a2)
             }
         }
-        Term::Pair(a, b) => Term::Pair(hsub_ref(a, k, s), hsub_ref(b, k, s)),
+        Term::Pair(a, b) => Term::Pair(
+            hsub_ref(a, 0, s, sess, tab, 0),
+            hsub_ref(b, 0, s, sess, tab, 0),
+        ),
         Term::Fst(p) => {
-            let p2 = hsub_ref(p, k, s);
-            match p2.term() {
-                Term::Pair(a, _) => a.as_ref().clone(),
-                _ => Term::Fst(p2),
+            let p2 = hsub_ref(p, 0, s, sess, tab, 0);
+            if let Term::Pair(a, _) = p2.as_ref() {
+                a.as_ref().clone()
+            } else {
+                Term::Fst(p2)
             }
         }
         Term::Snd(p) => {
-            let p2 = hsub_ref(p, k, s);
-            match p2.term() {
-                Term::Pair(_, b) => b.as_ref().clone(),
-                _ => Term::Snd(p2),
+            let p2 = hsub_ref(p, 0, s, sess, tab, 0);
+            if let Term::Pair(_, b) = p2.as_ref() {
+                b.as_ref().clone()
+            } else {
+                Term::Snd(p2)
             }
         }
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
-/// [`hsub`] on a shared subterm, preserving the `Arc` when untouched.
-fn hsub_ref(t: &TermRef, k: u32, s: &Term) -> TermRef {
+/// Hereditary substitution over an interned subtree: share when the
+/// subtree is β-normal and cannot mention variable `k`, replay from the
+/// operation memo, or rebuild bottom-up through the session.
+fn hsub_ref(
+    t: &TermRef,
+    k: u32,
+    s: &TermRef,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+    lvl: u32,
+) -> TermRef {
     if t.max_free() <= k && t.is_beta_normal() {
-        t.clone()
-    } else {
-        TermRef::new(hsub(t, k, s))
+        return t.clone();
     }
+    // A variable resolves in O(1) (or one shift) — skip the memo.
+    if let Term::Var(i) = t.as_ref() {
+        return if *i == k {
+            shift_interned(s, k, sess, tab)
+        } else if *i > k {
+            sess.intern_view(&NodeView::Var(*i - 1))
+        } else {
+            sess.intern_view(&NodeView::Var(*i))
+        };
+    }
+    let memo = lvl < MEMO_LVLS;
+    let key = Key {
+        op: OP_HSUB,
+        t: t.id().get(),
+        s: s.id().get(),
+        k: u64::from(k),
+    };
+    if memo {
+        if let Some(hit) = tab.probe(&key) {
+            return hit;
+        }
+    }
+    let out = match t.as_ref() {
+        Term::Lam(h, b) => {
+            let b2 = hsub_ref(b, k + 1, s, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Lam(h, &b2))
+        }
+        Term::App(f, a) => {
+            let a2 = hsub_ref(a, k, s, sess, tab, lvl + 1);
+            let f2 = hsub_ref(f, k, s, sess, tab, lvl + 1);
+            if let Term::Lam(_, body) = f2.as_ref() {
+                let body = body.clone();
+                hered_ref(&body, &a2, sess, tab, lvl)
+            } else {
+                sess.intern_view(&NodeView::App(&f2, &a2))
+            }
+        }
+        Term::Pair(a, b) => {
+            let a2 = hsub_ref(a, k, s, sess, tab, lvl + 1);
+            let b2 = hsub_ref(b, k, s, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Pair(&a2, &b2))
+        }
+        Term::Fst(p) => {
+            let p2 = hsub_ref(p, k, s, sess, tab, lvl + 1);
+            if let Term::Pair(a, _) = p2.as_ref() {
+                a.clone()
+            } else {
+                sess.intern_view(&NodeView::Fst(&p2))
+            }
+        }
+        Term::Snd(p) => {
+            let p2 = hsub_ref(p, k, s, sess, tab, lvl + 1);
+            if let Term::Pair(_, b) = p2.as_ref() {
+                b.clone()
+            } else {
+                sess.intern_view(&NodeView::Snd(&p2))
+            }
+        }
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    };
+    if memo {
+        tab.insert(key, &out);
+    }
+    out
+}
+
+/// In-session [`hinstantiate`] with an uninterned root: contracts the
+/// redex a substitution created at the call root.
+fn hered_root(
+    body: &TermRef,
+    arg: &TermRef,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+) -> Term {
+    if body.max_free() == 0 && body.is_beta_normal() {
+        return body.as_ref().clone();
+    }
+    hsub_root(body, arg, sess, tab)
+}
+
+/// In-session [`hinstantiate`] below the root: contracts a redex created
+/// at a substitution site, returning the interned contractum.
+fn hered_ref(
+    body: &TermRef,
+    arg: &TermRef,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+    lvl: u32,
+) -> TermRef {
+    if body.max_free() == 0 && body.is_beta_normal() {
+        return body.clone();
+    }
+    hsub_ref(body, 0, arg, sess, tab, lvl)
 }
 
 /// Full β-normal form (also contracts projection redexes).
 ///
 /// O(1) on terms whose cached `beta_normal` annotation already holds;
-/// normal subterms are shared, not rebuilt.
+/// normal subterms are shared, not rebuilt. Everything else is normalized
+/// in one store session, with the top interned-subtree levels memoized by
+/// [`NodeId`] ([`crate::opmemo`]): normalizing a term seen before (in
+/// this call or an earlier one) replays from a single probe.
+///
+/// [`NodeId`]: crate::store::NodeId
 ///
 /// Diverges on ill-typed divergent terms; see [`nf_fuel`].
 pub fn nf(t: &Term) -> Term {
     if t.is_beta_normal() {
         return t.clone();
     }
+    store::with_session(|sess| opmemo::with_table(sess.store_token(), |tab| nf_root(t, sess, tab)))
+}
+
+/// [`nf`] at the call root, returning an owned (uninterned) root.
+fn nf_root(t: &Term, sess: &mut InternSession<'_>, tab: &mut Table) -> Term {
     match t {
-        Term::App(f, a) => happly(nf(f), nf(a)),
-        Term::Lam(h, b) => Term::lam(h.clone(), nf_ref(b)),
-        Term::Pair(a, b) => Term::pair(nf_ref(a), nf_ref(b)),
-        Term::Fst(p) => hfst(nf(p)),
-        Term::Snd(p) => hsnd(nf(p)),
+        Term::App(f, a) => {
+            let f2 = nf_ref(f, sess, tab, 0);
+            let a2 = nf_ref(a, sess, tab, 0);
+            if let Term::Lam(_, body) = f2.as_ref() {
+                let body = body.clone();
+                hered_root(&body, &a2, sess, tab)
+            } else {
+                Term::App(f2, a2)
+            }
+        }
+        Term::Lam(h, b) => Term::Lam(h.clone(), nf_ref(b, sess, tab, 0)),
+        Term::Pair(a, b) => Term::Pair(nf_ref(a, sess, tab, 0), nf_ref(b, sess, tab, 0)),
+        Term::Fst(p) => {
+            let p2 = nf_ref(p, sess, tab, 0);
+            if let Term::Pair(a, _) = p2.as_ref() {
+                a.as_ref().clone()
+            } else {
+                Term::Fst(p2)
+            }
+        }
+        Term::Snd(p) => {
+            let p2 = nf_ref(p, sess, tab, 0);
+            if let Term::Pair(_, b) = p2.as_ref() {
+                b.as_ref().clone()
+            } else {
+                Term::Snd(p2)
+            }
+        }
         Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
-/// [`nf`] on a shared subterm, preserving the `Arc` when already normal.
-fn nf_ref(t: &TermRef) -> TermRef {
+/// [`nf`] over an interned subtree: share cached-normal nodes, replay
+/// from the operation memo, or normalize and intern bottom-up.
+fn nf_ref(t: &TermRef, sess: &mut InternSession<'_>, tab: &mut Table, lvl: u32) -> TermRef {
     if t.is_beta_normal() {
-        t.clone()
-    } else {
-        TermRef::new(nf(t))
+        return t.clone();
     }
+    let memo = lvl < MEMO_LVLS;
+    let key = Key {
+        op: OP_NF,
+        t: t.id().get(),
+        s: 0,
+        k: 0,
+    };
+    if memo {
+        if let Some(hit) = tab.probe(&key) {
+            return hit;
+        }
+    }
+    let out = match t.as_ref() {
+        Term::App(f, a) => {
+            let f2 = nf_ref(f, sess, tab, lvl + 1);
+            let a2 = nf_ref(a, sess, tab, lvl + 1);
+            if let Term::Lam(_, body) = f2.as_ref() {
+                let body = body.clone();
+                hered_ref(&body, &a2, sess, tab, lvl)
+            } else {
+                sess.intern_view(&NodeView::App(&f2, &a2))
+            }
+        }
+        Term::Lam(h, b) => {
+            let b2 = nf_ref(b, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Lam(h, &b2))
+        }
+        Term::Pair(a, b) => {
+            let a2 = nf_ref(a, sess, tab, lvl + 1);
+            let b2 = nf_ref(b, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Pair(&a2, &b2))
+        }
+        Term::Fst(p) => {
+            let p2 = nf_ref(p, sess, tab, lvl + 1);
+            if let Term::Pair(a, _) = p2.as_ref() {
+                a.clone()
+            } else {
+                sess.intern_view(&NodeView::Fst(&p2))
+            }
+        }
+        Term::Snd(p) => {
+            let p2 = nf_ref(p, sess, tab, lvl + 1);
+            if let Term::Pair(_, b) = p2.as_ref() {
+                b.clone()
+            } else {
+                sess.intern_view(&NodeView::Snd(&p2))
+            }
+        }
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    };
+    if memo {
+        tab.insert(key, &out);
+    }
+    out
 }
 
 /// Weak head normal form: reduces only the head redex chain, leaving

@@ -1,0 +1,832 @@
+//! Per-thread scratch arena for building transient terms without interning.
+//!
+//! Interning every intermediate node a traversal builds pays a store probe
+//! plus an `Arc`/`Sym` clone/drop pair per child — the single-thread
+//! refcount tax DESIGN §7 measured after the `Rc → Arc` switch. This
+//! module offers an alternative construction strategy that avoids the tax
+//! without giving up hash-consing:
+//!
+//! * Callers build their intermediates as **uninterned scratch nodes**
+//!   ([`SId`]-indexed slots in a [`ScratchArena`]) carrying the same cached
+//!   annotations (`max_free`/`has_meta`/`beta_normal`) interned nodes do,
+//!   so every sharing guard behaves identically.
+//! * Subtrees a traversal does not change are captured as interned leaves —
+//!   one `Arc` clone at the point of capture, zero per-grandchild churn.
+//! * Only the **final** result is interned, bottom-up, through the store's
+//!   batch entry point (one thread-context borrow for the whole tree,
+//!   borrowed-parts probes that touch no child refcount on a hit), and
+//!   [`ScratchArena::finish_term`] resolves scratch nodes by **moving**
+//!   their `Sym`s and `TermRef`s into the output (`mem::replace`) — no
+//!   refcount operation at all for payloads that survive.
+//!
+//! Scratch nodes that β-contraction discards (the λ and application
+//! wrappers of a redex, pairs consumed by projections) are simply dropped
+//! with the arena — they were never interned, so they cost a `Vec` slot
+//! instead of an allocate/intern/drop round trip. The `scratch_nodes` /
+//! `batch_interned` / `refcount_ops_saved` counters in
+//! [`crate::store::InternStats`] make the effect observable.
+//!
+//! The kernel's production hot paths do **not** route through the arena:
+//! session-threaded rebuilds plus the [`crate::opmemo`] apply cache
+//! measured faster there, because the fused arena path forfeits the cached
+//! `max_free`/`beta_normal` guards and the memo (DESIGN §7). The arena is
+//! kept for explicitly transient construction and is exercised directly by
+//! the scratch-transparency suite.
+//!
+//! # Transparency
+//!
+//! The arena is a pure construction-strategy change: for every kernel
+//! operation the final interned result has the **same**
+//! [`crate::store::NodeId`] the old intern-every-node path produced (the
+//! scratch-transparency property suite locks this down), and recursion
+//! order matches the old traversals exactly, so divergence behavior is
+//! unchanged too.
+
+use crate::intern::Sym;
+use crate::store::{self, NodeView};
+use crate::term::{MVar, Term, TermRef};
+use std::cell::RefCell;
+
+/// Index of a node in a [`ScratchArena`]. Only meaningful for the arena
+/// that issued it, within one [`with_arena`] run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SId(u32);
+
+/// The shape of one scratch node. Children are arena-local [`SId`]s;
+/// subtrees that already exist in the store are captured whole as
+/// [`SKind::Interned`] leaves.
+enum SKind {
+    /// An already-interned subtree, reused as-is.
+    Interned(TermRef),
+    /// De Bruijn variable.
+    Var(u32),
+    /// Constant.
+    Const(Sym),
+    /// Metavariable.
+    Meta(MVar),
+    /// Integer literal.
+    Int(i64),
+    /// Unit value. Also the sentinel left behind when a resolved node's
+    /// payload is moved out (sound: a moved node is never read again —
+    /// `uses` counting plus the memo guarantee it).
+    Unit,
+    /// λ-abstraction.
+    Lam(Sym, SId),
+    /// Application.
+    App(SId, SId),
+    /// Pair.
+    Pair(SId, SId),
+    /// First projection.
+    Fst(SId),
+    /// Second projection.
+    Snd(SId),
+}
+
+/// One arena slot: a shape plus the same O(1) annotations interned nodes
+/// cache, and a reference count (`uses`) maintained by the constructors so
+/// [`ScratchArena::finish_term`] knows which nodes need memoization.
+struct SNode {
+    kind: SKind,
+    max_free: u32,
+    has_meta: bool,
+    beta_normal: bool,
+    uses: u32,
+}
+
+/// A bump-allocated workspace for transient term construction.
+///
+/// Obtain one through [`with_arena`]; build with the constructor methods
+/// (annotations are computed bottom-up exactly as the interning smart
+/// constructors do); extract the result once with
+/// [`ScratchArena::finish_term`], which batch-interns every surviving node.
+#[derive(Default)]
+pub struct ScratchArena {
+    nodes: Vec<SNode>,
+    /// Parallel to `nodes`: interned result of a node that resolved with
+    /// `uses > 1`, so later parents reuse it with one clone instead of
+    /// re-resolving a moved-out slot.
+    memo: Vec<Option<TermRef>>,
+    /// Nodes consumed into the finished output (the rest were transient).
+    resolved: u64,
+}
+
+/// Runs `f` with the calling thread's scratch arena, cleared on entry and
+/// on exit (so panics never leak stale state into the next run, and held
+/// `Arc`s are dropped promptly).
+///
+/// Re-entrant calls — a kernel operation invoked while another one is
+/// mid-flight on the same thread — fall back to a fresh temporary arena,
+/// so nesting is always safe, just not pooled.
+pub fn with_arena<R>(f: impl FnOnce(&mut ScratchArena) -> R) -> R {
+    thread_local! {
+        static ARENA: RefCell<ScratchArena> = RefCell::new(ScratchArena::default());
+    }
+    ARENA.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ar) => {
+            ar.reset();
+            let out = f(&mut ar);
+            ar.reset();
+            out
+        }
+        Err(_) => f(&mut ScratchArena::default()),
+    })
+}
+
+impl ScratchArena {
+    fn reset(&mut self) {
+        // Bound the pooled footprint: a pathological term can grow the
+        // arena arbitrarily; don't keep that capacity forever.
+        if self.nodes.capacity() > (1 << 20) {
+            self.nodes = Vec::new();
+            self.memo = Vec::new();
+        } else {
+            self.nodes.clear();
+            self.memo.clear();
+        }
+        self.resolved = 0;
+    }
+
+    fn push(&mut self, kind: SKind, max_free: u32, has_meta: bool, beta_normal: bool) -> SId {
+        let id = SId(self.nodes.len() as u32);
+        self.nodes.push(SNode {
+            kind,
+            max_free,
+            has_meta,
+            beta_normal,
+            uses: 0,
+        });
+        self.memo.push(None);
+        id
+    }
+
+    fn bump(&mut self, c: SId) {
+        self.nodes[c.0 as usize].uses += 1;
+    }
+
+    fn node(&self, t: SId) -> &SNode {
+        &self.nodes[t.0 as usize]
+    }
+
+    fn is_lam(&self, t: SId) -> bool {
+        match &self.node(t).kind {
+            SKind::Lam(..) => true,
+            SKind::Interned(r) => matches!(r.term(), Term::Lam(..)),
+            _ => false,
+        }
+    }
+
+    fn is_pair(&self, t: SId) -> bool {
+        match &self.node(t).kind {
+            SKind::Pair(..) => true,
+            SKind::Interned(r) => matches!(r.term(), Term::Pair(..)),
+            _ => false,
+        }
+    }
+
+    // ---- constructors ------------------------------------------------
+
+    /// Captures an already-interned subtree as a scratch leaf (one `Arc`
+    /// clone; the annotations are copied from the node).
+    pub fn of_ref(&mut self, r: &TermRef) -> SId {
+        let (mf, hm, bn) = (r.max_free(), r.has_meta(), r.is_beta_normal());
+        self.push(SKind::Interned(r.clone()), mf, hm, bn)
+    }
+
+    /// Converts a borrowed [`Term`] into a scratch node: leaves are copied,
+    /// a compound root becomes one scratch node over its (already interned)
+    /// children.
+    pub fn of_term(&mut self, t: &Term) -> SId {
+        match t {
+            Term::Var(i) => self.var(*i),
+            Term::Const(c) => self.push(SKind::Const(c.clone()), 0, false, true),
+            Term::Meta(m) => self.push(SKind::Meta(m.clone()), 0, true, true),
+            Term::Int(n) => self.push(SKind::Int(*n), 0, false, true),
+            Term::Unit => self.push(SKind::Unit, 0, false, true),
+            Term::Lam(h, b) => {
+                let b2 = self.of_ref(b);
+                self.lam(h.clone(), b2)
+            }
+            Term::App(f, a) => {
+                let f2 = self.of_ref(f);
+                let a2 = self.of_ref(a);
+                self.app(f2, a2)
+            }
+            Term::Pair(a, b) => {
+                let a2 = self.of_ref(a);
+                let b2 = self.of_ref(b);
+                self.pair(a2, b2)
+            }
+            Term::Fst(p) => {
+                let p2 = self.of_ref(p);
+                self.fst_of(p2)
+            }
+            Term::Snd(p) => {
+                let p2 = self.of_ref(p);
+                self.snd_of(p2)
+            }
+        }
+    }
+
+    pub(crate) fn var(&mut self, i: u32) -> SId {
+        self.push(SKind::Var(i), i + 1, false, true)
+    }
+
+    /// λ-abstraction scratch node; annotations combined exactly as
+    /// [`Term::max_free`]/[`Term::has_metas`]/[`Term::is_beta_normal`] do.
+    pub fn lam(&mut self, hint: Sym, body: SId) -> SId {
+        self.bump(body);
+        let b = self.node(body);
+        let (mf, hm, bn) = (b.max_free.saturating_sub(1), b.has_meta, b.beta_normal);
+        self.push(SKind::Lam(hint, body), mf, hm, bn)
+    }
+
+    /// Application scratch node (not β-normal when `f` is a λ).
+    pub fn app(&mut self, f: SId, a: SId) -> SId {
+        self.bump(f);
+        self.bump(a);
+        let bn = !self.is_lam(f) && self.node(f).beta_normal && self.node(a).beta_normal;
+        let mf = self.node(f).max_free.max(self.node(a).max_free);
+        let hm = self.node(f).has_meta || self.node(a).has_meta;
+        self.push(SKind::App(f, a), mf, hm, bn)
+    }
+
+    /// Pair scratch node.
+    pub fn pair(&mut self, a: SId, b: SId) -> SId {
+        self.bump(a);
+        self.bump(b);
+        let mf = self.node(a).max_free.max(self.node(b).max_free);
+        let hm = self.node(a).has_meta || self.node(b).has_meta;
+        let bn = self.node(a).beta_normal && self.node(b).beta_normal;
+        self.push(SKind::Pair(a, b), mf, hm, bn)
+    }
+
+    /// First-projection scratch node (not β-normal when `p` is a pair).
+    pub fn fst_of(&mut self, p: SId) -> SId {
+        self.bump(p);
+        let bn = self.node(p).beta_normal && !self.is_pair(p);
+        let (mf, hm) = (self.node(p).max_free, self.node(p).has_meta);
+        self.push(SKind::Fst(p), mf, hm, bn)
+    }
+
+    /// Second-projection scratch node (not β-normal when `p` is a pair).
+    pub fn snd_of(&mut self, p: SId) -> SId {
+        self.bump(p);
+        let bn = self.node(p).beta_normal && !self.is_pair(p);
+        let (mf, hm) = (self.node(p).max_free, self.node(p).has_meta);
+        self.push(SKind::Snd(p), mf, hm, bn)
+    }
+
+    // ---- shifting ----------------------------------------------------
+
+    /// Shifts free variables of a borrowed term up by `d`, as a scratch
+    /// subtree. O(1) (a single capture) when nothing can move.
+    pub fn shift_term(&mut self, s: &Term, d: u32) -> SId {
+        if d == 0 || s.max_free() == 0 {
+            self.of_term(s)
+        } else {
+            self.reindex_term(s, d, 0, true)
+        }
+    }
+
+    /// Shared traversal behind `shift_above` and `unshift_above`: renumbers
+    /// free variables `>= cutoff` up (`up = true`) or down by `d`.
+    /// Callers have already ruled out the identity case
+    /// (`d == 0 || max_free <= cutoff`).
+    ///
+    /// # Panics
+    ///
+    /// In the downward direction, panics if a variable in
+    /// `[cutoff, cutoff + d)` occurs — such a term would dangle.
+    pub(crate) fn reindex_term(&mut self, t: &Term, d: u32, cutoff: u32, up: bool) -> SId {
+        match t {
+            // `max_free > cutoff` for a variable means `i >= cutoff`.
+            Term::Var(i) => {
+                if up {
+                    self.var(i + d)
+                } else if *i >= cutoff + d {
+                    self.var(i - d)
+                } else {
+                    assert!(
+                        *i < cutoff,
+                        "unshift_above: variable {i} would dangle (cutoff {cutoff}, d {d})"
+                    );
+                    self.var(*i)
+                }
+            }
+            Term::Lam(h, b) => {
+                let b2 = self.reindex_ref(b, d, cutoff + 1, up);
+                self.lam(h.clone(), b2)
+            }
+            Term::App(f, a) => {
+                let f2 = self.reindex_ref(f, d, cutoff, up);
+                let a2 = self.reindex_ref(a, d, cutoff, up);
+                self.app(f2, a2)
+            }
+            Term::Pair(a, b) => {
+                let a2 = self.reindex_ref(a, d, cutoff, up);
+                let b2 = self.reindex_ref(b, d, cutoff, up);
+                self.pair(a2, b2)
+            }
+            Term::Fst(p) => {
+                let p2 = self.reindex_ref(p, d, cutoff, up);
+                self.fst_of(p2)
+            }
+            Term::Snd(p) => {
+                let p2 = self.reindex_ref(p, d, cutoff, up);
+                self.snd_of(p2)
+            }
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => self.of_term(t),
+        }
+    }
+
+    fn reindex_ref(&mut self, t: &TermRef, d: u32, cutoff: u32, up: bool) -> SId {
+        if t.max_free() <= cutoff {
+            self.of_ref(t)
+        } else {
+            self.reindex_term(t.term(), d, cutoff, up)
+        }
+    }
+
+    /// [`ScratchArena::shift_term`] over an existing scratch subtree.
+    fn shift_sid(&mut self, t: SId, d: u32, cutoff: u32) -> SId {
+        if d == 0 || self.node(t).max_free <= cutoff {
+            return t;
+        }
+        match &self.nodes[t.0 as usize].kind {
+            SKind::Interned(r) => {
+                let r = r.clone();
+                self.reindex_term(r.term(), d, cutoff, true)
+            }
+            SKind::Var(i) => {
+                let i = *i;
+                self.var(i + d)
+            }
+            SKind::Lam(h, b) => {
+                let (h, b) = (h.clone(), *b);
+                let b2 = self.shift_sid(b, d, cutoff + 1);
+                self.lam(h, b2)
+            }
+            SKind::App(f, a) => {
+                let (f, a) = (*f, *a);
+                let f2 = self.shift_sid(f, d, cutoff);
+                let a2 = self.shift_sid(a, d, cutoff);
+                self.app(f2, a2)
+            }
+            SKind::Pair(a, b) => {
+                let (a, b) = (*a, *b);
+                let a2 = self.shift_sid(a, d, cutoff);
+                let b2 = self.shift_sid(b, d, cutoff);
+                self.pair(a2, b2)
+            }
+            SKind::Fst(p) => {
+                let p = *p;
+                let p2 = self.shift_sid(p, d, cutoff);
+                self.fst_of(p2)
+            }
+            SKind::Snd(p) => {
+                let p = *p;
+                let p2 = self.shift_sid(p, d, cutoff);
+                self.snd_of(p2)
+            }
+            // Closed leaves were caught by the `max_free` guard above.
+            SKind::Const(_) | SKind::Meta(_) | SKind::Int(_) | SKind::Unit => t,
+        }
+    }
+
+    // ---- hereditary substitution & normalization ---------------------
+
+    /// Hereditary substitution of scratch subtree `s` for variable `k` in
+    /// a borrowed term, contracting every redex the substitution creates.
+    /// Callers have already ruled out the share case
+    /// (`max_free <= k && beta_normal`).
+    pub(crate) fn hsub_term(&mut self, t: &Term, k: u32, s: SId) -> SId {
+        match t {
+            Term::Var(i) => {
+                if *i == k {
+                    self.shift_sid(s, k, 0)
+                } else if *i > k {
+                    self.var(i - 1)
+                } else {
+                    self.var(*i)
+                }
+            }
+            Term::Lam(h, b) => {
+                let b2 = self.hsub_tref(b, k + 1, s);
+                self.lam(h.clone(), b2)
+            }
+            Term::App(f, a) => {
+                let a2 = self.hsub_tref(a, k, s);
+                let f2 = self.hsub_tref(f, k, s);
+                self.happly(f2, a2)
+            }
+            Term::Pair(a, b) => {
+                let a2 = self.hsub_tref(a, k, s);
+                let b2 = self.hsub_tref(b, k, s);
+                self.pair(a2, b2)
+            }
+            Term::Fst(p) => {
+                let p2 = self.hsub_tref(p, k, s);
+                self.hfst(p2)
+            }
+            Term::Snd(p) => {
+                let p2 = self.hsub_tref(p, k, s);
+                self.hsnd(p2)
+            }
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => self.of_term(t),
+        }
+    }
+
+    fn hsub_tref(&mut self, t: &TermRef, k: u32, s: SId) -> SId {
+        if t.max_free() <= k && t.is_beta_normal() {
+            self.of_ref(t)
+        } else {
+            self.hsub_term(t.term(), k, s)
+        }
+    }
+
+    /// [`ScratchArena::hsub_term`] over an existing scratch subtree.
+    fn hsub_sid(&mut self, t: SId, k: u32, s: SId) -> SId {
+        {
+            let n = self.node(t);
+            if n.max_free <= k && n.beta_normal {
+                return t;
+            }
+        }
+        match &self.nodes[t.0 as usize].kind {
+            SKind::Interned(r) => {
+                let r = r.clone();
+                self.hsub_term(r.term(), k, s)
+            }
+            SKind::Var(i) => {
+                let i = *i;
+                if i == k {
+                    self.shift_sid(s, k, 0)
+                } else if i > k {
+                    self.var(i - 1)
+                } else {
+                    self.var(i)
+                }
+            }
+            SKind::Lam(h, b) => {
+                let (h, b) = (h.clone(), *b);
+                let b2 = self.hsub_sid(b, k + 1, s);
+                self.lam(h, b2)
+            }
+            SKind::App(f, a) => {
+                let (f, a) = (*f, *a);
+                let a2 = self.hsub_sid(a, k, s);
+                let f2 = self.hsub_sid(f, k, s);
+                self.happly(f2, a2)
+            }
+            SKind::Pair(a, b) => {
+                let (a, b) = (*a, *b);
+                let a2 = self.hsub_sid(a, k, s);
+                let b2 = self.hsub_sid(b, k, s);
+                self.pair(a2, b2)
+            }
+            SKind::Fst(p) => {
+                let p = *p;
+                let p2 = self.hsub_sid(p, k, s);
+                self.hfst(p2)
+            }
+            SKind::Snd(p) => {
+                let p = *p;
+                let p2 = self.hsub_sid(p, k, s);
+                self.hsnd(p2)
+            }
+            // Leaves were caught by the share guard above.
+            SKind::Const(_) | SKind::Meta(_) | SKind::Int(_) | SKind::Unit => t,
+        }
+    }
+
+    /// Application with hereditary β-contraction: if `f` is a λ, opens its
+    /// body with `a` (contracting created redexes), otherwise builds the
+    /// application node.
+    pub fn happly(&mut self, f: SId, a: SId) -> SId {
+        let (sb, rb) = match &self.nodes[f.0 as usize].kind {
+            SKind::Lam(_, b) => (Some(*b), None),
+            SKind::Interned(r) => match r.term() {
+                Term::Lam(_, b) => (None, Some(b.clone())),
+                _ => (None, None),
+            },
+            _ => (None, None),
+        };
+        if let Some(b) = sb {
+            return self.hsub_sid(b, 0, a);
+        }
+        if let Some(b) = rb {
+            if b.max_free() == 0 && b.is_beta_normal() {
+                return self.of_ref(&b);
+            }
+            return self.hsub_term(b.term(), 0, a);
+        }
+        self.app(f, a)
+    }
+
+    /// First projection with contraction: `fst (a, b) ⇒ a`.
+    pub fn hfst(&mut self, p: SId) -> SId {
+        let (sa, ra) = match &self.nodes[p.0 as usize].kind {
+            SKind::Pair(a, _) => (Some(*a), None),
+            SKind::Interned(r) => match r.term() {
+                Term::Pair(a, _) => (None, Some(a.clone())),
+                _ => (None, None),
+            },
+            _ => (None, None),
+        };
+        if let Some(a) = sa {
+            return a;
+        }
+        if let Some(a) = ra {
+            return self.of_ref(&a);
+        }
+        self.fst_of(p)
+    }
+
+    /// Second projection with contraction: `snd (a, b) ⇒ b`.
+    pub fn hsnd(&mut self, p: SId) -> SId {
+        let (sb, rb) = match &self.nodes[p.0 as usize].kind {
+            SKind::Pair(_, b) => (Some(*b), None),
+            SKind::Interned(r) => match r.term() {
+                Term::Pair(_, b) => (None, Some(b.clone())),
+                _ => (None, None),
+            },
+            _ => (None, None),
+        };
+        if let Some(b) = sb {
+            return b;
+        }
+        if let Some(b) = rb {
+            return self.of_ref(&b);
+        }
+        self.snd_of(p)
+    }
+
+    /// Full β-normal form of a borrowed term, over scratch. Callers have
+    /// already ruled out the cached-normal case.
+    pub(crate) fn nf_term(&mut self, t: &Term) -> SId {
+        match t {
+            Term::App(f, a) => {
+                let f2 = self.nf_tref(f);
+                let a2 = self.nf_tref(a);
+                self.happly(f2, a2)
+            }
+            Term::Lam(h, b) => {
+                let b2 = self.nf_tref(b);
+                self.lam(h.clone(), b2)
+            }
+            Term::Pair(a, b) => {
+                let a2 = self.nf_tref(a);
+                let b2 = self.nf_tref(b);
+                self.pair(a2, b2)
+            }
+            Term::Fst(p) => {
+                let p2 = self.nf_tref(p);
+                self.hfst(p2)
+            }
+            Term::Snd(p) => {
+                let p2 = self.nf_tref(p);
+                self.hsnd(p2)
+            }
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => {
+                self.of_term(t)
+            }
+        }
+    }
+
+    fn nf_tref(&mut self, t: &TermRef) -> SId {
+        if t.is_beta_normal() {
+            self.of_ref(t)
+        } else {
+            self.nf_term(t.term())
+        }
+    }
+
+    /// Full β-normal form of an existing scratch subtree.
+    pub fn nf_sid(&mut self, t: SId) -> SId {
+        if self.node(t).beta_normal {
+            return t;
+        }
+        match &self.nodes[t.0 as usize].kind {
+            SKind::Interned(r) => {
+                let r = r.clone();
+                self.nf_term(r.term())
+            }
+            SKind::App(f, a) => {
+                let (f, a) = (*f, *a);
+                let f2 = self.nf_sid(f);
+                let a2 = self.nf_sid(a);
+                self.happly(f2, a2)
+            }
+            SKind::Lam(h, b) => {
+                let (h, b) = (h.clone(), *b);
+                let b2 = self.nf_sid(b);
+                self.lam(h, b2)
+            }
+            SKind::Pair(a, b) => {
+                let (a, b) = (*a, *b);
+                let a2 = self.nf_sid(a);
+                let b2 = self.nf_sid(b);
+                self.pair(a2, b2)
+            }
+            SKind::Fst(p) => {
+                let p = *p;
+                let p2 = self.nf_sid(p);
+                self.hfst(p2)
+            }
+            SKind::Snd(p) => {
+                let p = *p;
+                let p2 = self.nf_sid(p);
+                self.hsnd(p2)
+            }
+            // β-normal leaves were caught by the guard above.
+            SKind::Var(_) | SKind::Const(_) | SKind::Meta(_) | SKind::Int(_) | SKind::Unit => t,
+        }
+    }
+
+    // ---- batch intern ------------------------------------------------
+
+    /// Resolves one scratch node to an interned [`TermRef`] inside an open
+    /// intern session, moving payloads out of the arena (`mem::replace`)
+    /// so surviving `Sym`s and `TermRef`s transfer with zero refcount
+    /// operations. Nodes referenced more than once are memoized.
+    fn resolve(&mut self, t: SId, sess: &mut store::InternSession<'_>) -> TermRef {
+        if let Some(r) = &self.memo[t.0 as usize] {
+            return r.clone();
+        }
+        let uses = self.nodes[t.0 as usize].uses;
+        let kind = std::mem::replace(&mut self.nodes[t.0 as usize].kind, SKind::Unit);
+        self.resolved += 1;
+        let out = match kind {
+            SKind::Interned(r) => r,
+            SKind::Var(i) => sess.intern_view(&NodeView::Var(i)),
+            SKind::Const(c) => sess.intern_view(&NodeView::Const(&c)),
+            SKind::Meta(m) => sess.intern_view(&NodeView::Meta(&m)),
+            SKind::Int(n) => sess.intern_view(&NodeView::Int(n)),
+            SKind::Unit => sess.intern_view(&NodeView::Unit),
+            SKind::Lam(h, b) => {
+                let b2 = self.resolve(b, sess);
+                sess.intern_view(&NodeView::Lam(&h, &b2))
+            }
+            SKind::App(f, a) => {
+                let f2 = self.resolve(f, sess);
+                let a2 = self.resolve(a, sess);
+                sess.intern_view(&NodeView::App(&f2, &a2))
+            }
+            SKind::Pair(a, b) => {
+                let a2 = self.resolve(a, sess);
+                let b2 = self.resolve(b, sess);
+                sess.intern_view(&NodeView::Pair(&a2, &b2))
+            }
+            SKind::Fst(p) => {
+                let p2 = self.resolve(p, sess);
+                sess.intern_view(&NodeView::Fst(&p2))
+            }
+            SKind::Snd(p) => {
+                let p2 = self.resolve(p, sess);
+                sess.intern_view(&NodeView::Snd(&p2))
+            }
+        };
+        if uses > 1 {
+            self.memo[t.0 as usize] = Some(out.clone());
+        }
+        out
+    }
+
+    /// Batch-interns the subtree rooted at `root` and returns it as a
+    /// [`Term`] — children interned, the root itself left uninterned,
+    /// mirroring what the old `Term`-returning kernel entry points
+    /// produced. One intern session serves the whole tree.
+    pub fn finish_term(&mut self, root: SId) -> Term {
+        store::with_session(|sess| {
+            let kind = std::mem::replace(&mut self.nodes[root.0 as usize].kind, SKind::Unit);
+            self.resolved += 1;
+            let out = match kind {
+                SKind::Interned(r) => r.into_term(),
+                SKind::Var(i) => Term::Var(i),
+                SKind::Const(c) => Term::Const(c),
+                SKind::Meta(m) => Term::Meta(m),
+                SKind::Int(n) => Term::Int(n),
+                SKind::Unit => Term::Unit,
+                SKind::Lam(h, b) => {
+                    let b2 = self.resolve(b, sess);
+                    Term::Lam(h, b2)
+                }
+                SKind::App(f, a) => {
+                    let f2 = self.resolve(f, sess);
+                    let a2 = self.resolve(a, sess);
+                    Term::App(f2, a2)
+                }
+                SKind::Pair(a, b) => {
+                    let a2 = self.resolve(a, sess);
+                    let b2 = self.resolve(b, sess);
+                    Term::Pair(a2, b2)
+                }
+                SKind::Fst(p) => {
+                    let p2 = self.resolve(p, sess);
+                    Term::Fst(p2)
+                }
+                SKind::Snd(p) => {
+                    let p2 = self.resolve(p, sess);
+                    Term::Snd(p2)
+                }
+            };
+            let built = self.nodes.len() as u64;
+            let dead = built.saturating_sub(self.resolved);
+            sess.record_scratch(built, dead);
+            out
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> Term {
+        Term::Var(i)
+    }
+
+    #[test]
+    fn finish_reproduces_direct_intern_ids() {
+        // λx. (x c) rebuilt through scratch lands on the same NodeId as a
+        // direct smart-constructor build.
+        let direct = TermRef::new(Term::lam("x", Term::app(v(0), Term::cnst("c"))));
+        let scratch = with_arena(|ar| {
+            let x = ar.var(0);
+            let c = ar.of_term(&Term::cnst("c"));
+            let body = ar.app(x, c);
+            let l = ar.lam(Sym::new("x"), body);
+            ar.finish_term(l)
+        });
+        assert_eq!(TermRef::new(scratch).id(), direct.id());
+    }
+
+    #[test]
+    fn annotations_match_smart_constructors() {
+        with_arena(|ar| {
+            // (λx. x) y — a redex: not β-normal, max_free 1.
+            let x = ar.var(0);
+            let l = ar.lam(Sym::new("x"), x);
+            let y = ar.var(0);
+            let r = ar.app(l, y);
+            assert_eq!(ar.node(r).max_free, 1);
+            assert!(!ar.node(r).beta_normal);
+            assert!(!ar.node(r).has_meta);
+            let t = ar.finish_term(r);
+            assert_eq!(t.max_free(), 1);
+            assert!(!t.is_beta_normal());
+        });
+    }
+
+    #[test]
+    fn happly_contracts_hereditarily() {
+        // (λf. f c) (λx. x) ⇒ c in one pass, over scratch.
+        let out = with_arena(|ar| {
+            let fun = ar.of_term(&Term::lam("f", Term::app(v(0), Term::cnst("c"))));
+            let id = ar.of_term(&Term::lam("x", v(0)));
+            let r = ar.happly(fun, id);
+            ar.finish_term(r)
+        });
+        assert_eq!(out, Term::cnst("c"));
+        assert!(out.is_beta_normal());
+    }
+
+    #[test]
+    fn shared_substituend_resolves_once() {
+        // subst body (x x) with s: both occurrences share one scratch node,
+        // which must resolve through the memo (exercises `uses > 1`).
+        let out = with_arena(|ar| {
+            let s = ar.of_term(&Term::app(Term::cnst("a"), Term::cnst("b")));
+            let r = ar.app(s, s);
+            ar.finish_term(r)
+        });
+        let ab = Term::app(Term::cnst("a"), Term::cnst("b"));
+        assert_eq!(out, Term::app(ab.clone(), ab));
+    }
+
+    #[test]
+    fn nested_with_arena_is_safe() {
+        let out = with_arena(|outer| {
+            let inner = with_arena(|ar| {
+                let c = ar.of_term(&Term::cnst("k"));
+                ar.finish_term(c)
+            });
+            let i = outer.of_term(&inner);
+            outer.finish_term(i)
+        });
+        assert_eq!(out, Term::cnst("k"));
+    }
+
+    #[test]
+    fn scratch_counters_are_recorded() {
+        let before = crate::store::stats();
+        let _ = with_arena(|ar| {
+            let t = ar.of_term(&Term::lam("x", Term::app(v(0), v(0))));
+            let n = ar.nf_sid(t);
+            ar.finish_term(n)
+        });
+        let after = crate::store::stats();
+        let d = after.since(&before);
+        assert!(d.scratch_nodes > 0, "scratch nodes should be counted");
+    }
+}

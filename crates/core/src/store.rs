@@ -85,7 +85,8 @@
 
 pub mod image;
 
-use crate::term::{Term, TermNode};
+use crate::intern::Sym;
+use crate::term::{MVar, Term, TermNode, TermRef};
 use std::cell::RefCell;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
@@ -138,6 +139,22 @@ pub struct InternStats {
     /// Content hashes computed by this thread — one per created node
     /// (every miss hashes exactly once; hits reuse the stored hash).
     pub hashed_nodes: u64,
+    /// Transient nodes built in a [`crate::scratch`] arena: candidate
+    /// terms that existed only as uninterned scratch storage. The gap
+    /// between this and [`InternStats::batch_interned`] is work the old
+    /// always-intern path would have paid for intermediates that died
+    /// inside hereditary contraction.
+    pub scratch_nodes: u64,
+    /// Nodes interned through the bottom-up batch entry point (one
+    /// interner session per finished scratch tree, borrowed-parts probe —
+    /// no owned `Term` is built on a hit).
+    pub batch_interned: u64,
+    /// *Estimated* atomic reference-count operations avoided by the
+    /// scratch/batch path versus per-node interning: ~4 per batch front
+    /// hit (the owned probe `Term`'s child clone/drop pairs) and ~6 per
+    /// scratch node that was never interned at all. An observability
+    /// gauge, not an exact accounting.
+    pub refcount_ops_saved: u64,
 }
 
 impl InternStats {
@@ -159,6 +176,9 @@ impl InternStats {
             hits: self.hits - earlier.hits,
             distinct_nodes: self.distinct_nodes - earlier.distinct_nodes,
             hashed_nodes: self.hashed_nodes - earlier.hashed_nodes,
+            scratch_nodes: self.scratch_nodes - earlier.scratch_nodes,
+            batch_interned: self.batch_interned - earlier.batch_interned,
+            refcount_ops_saved: self.refcount_ops_saved - earlier.refcount_ops_saved,
         }
     }
 }
@@ -249,6 +269,21 @@ impl Hash for NodeKey {
 }
 
 impl NodeKey {
+    fn of_view(v: &NodeView<'_>) -> NodeKey {
+        match v {
+            NodeView::Var(i) => NodeKey::Var(*i),
+            NodeView::Const(c) => NodeKey::Const((*c).clone()),
+            NodeView::Meta(m) => NodeKey::Meta(m.id()),
+            NodeView::Int(n) => NodeKey::Int(*n),
+            NodeView::Unit => NodeKey::Unit,
+            NodeView::Lam(_, b) => NodeKey::Lam(b.id()),
+            NodeView::App(f, a) => NodeKey::App(f.id(), a.id()),
+            NodeView::Pair(a, b) => NodeKey::Pair(a.id(), b.id()),
+            NodeView::Fst(p) => NodeKey::Fst(p.id()),
+            NodeView::Snd(p) => NodeKey::Snd(p.id()),
+        }
+    }
+
     fn of(t: &Term) -> NodeKey {
         match t {
             Term::Var(i) => NodeKey::Var(*i),
@@ -328,6 +363,136 @@ fn term_matches(t: &Term, node: &TermNode) -> bool {
         (Term::Pair(a, b), Term::Pair(a2, b2)) => a.id() == a2.id() && b.id() == b2.id(),
         (Term::Fst(p), Term::Fst(p2)) => p.id() == p2.id(),
         (Term::Snd(p), Term::Snd(p2)) => p.id() == p2.id(),
+        _ => false,
+    }
+}
+
+/// A *borrowed* description of one node to intern, with the children
+/// already interned: the batch-intern twin of passing an owned [`Term`]
+/// to [`intern`]. On a cache hit nothing is cloned — no child `Arc`
+/// bump, no `Sym` refcount touch — which is what makes the
+/// scratch-arena finish pass ([`crate::scratch`]) refcount-lean: the
+/// owned `Term` (and its clone/drop churn) is built only on a genuine
+/// miss, when the node must be allocated anyway.
+pub(crate) enum NodeView<'a> {
+    /// `Term::Var`.
+    Var(u32),
+    /// `Term::Const`.
+    Const(&'a Sym),
+    /// `Term::Meta`.
+    Meta(&'a MVar),
+    /// `Term::Int`.
+    Int(i64),
+    /// `Term::Unit`.
+    Unit,
+    /// `Term::Lam` — hint plus interned body.
+    Lam(&'a Sym, &'a TermRef),
+    /// `Term::App`.
+    App(&'a TermRef, &'a TermRef),
+    /// `Term::Pair`.
+    Pair(&'a TermRef, &'a TermRef),
+    /// `Term::Fst`.
+    Fst(&'a TermRef),
+    /// `Term::Snd`.
+    Snd(&'a TermRef),
+}
+
+impl NodeView<'_> {
+    /// The owned term this view denotes; built only on the intern miss
+    /// path (children are cloned — an `Arc` bump each — because the new
+    /// node must own them).
+    fn to_term(&self) -> Term {
+        match self {
+            NodeView::Var(i) => Term::Var(*i),
+            NodeView::Const(c) => Term::Const((*c).clone()),
+            NodeView::Meta(m) => Term::Meta((*m).clone()),
+            NodeView::Int(n) => Term::Int(*n),
+            NodeView::Unit => Term::Unit,
+            NodeView::Lam(h, b) => Term::Lam((*h).clone(), (*b).clone()),
+            NodeView::App(f, a) => Term::App((*f).clone(), (*a).clone()),
+            NodeView::Pair(a, b) => Term::Pair((*a).clone(), (*b).clone()),
+            NodeView::Fst(p) => Term::Fst((*p).clone()),
+            NodeView::Snd(p) => Term::Snd((*p).clone()),
+        }
+    }
+
+    /// Estimated atomic refcount ops a front hit on this view avoids
+    /// versus probing with an owned `Term`: one clone/drop pair per
+    /// child `Arc` and per carried `Sym`/[`MVar`] hint.
+    fn refcount_ops_avoided(&self) -> u64 {
+        match self {
+            NodeView::Var(_) | NodeView::Int(_) | NodeView::Unit => 0,
+            NodeView::Const(_) | NodeView::Meta(_) => 2,
+            NodeView::Fst(_) | NodeView::Snd(_) => 2,
+            NodeView::Lam(..) | NodeView::App(..) | NodeView::Pair(..) => 4,
+        }
+    }
+}
+
+/// [`probe_hash`] for a borrowed [`NodeView`]: same tags, same write
+/// sequence, same hasher as `NodeKey`'s `Hash` — the view denotes the
+/// same skeleton its `to_term()` would, so the three hash paths must
+/// agree bit for bit (unit-test asserted alongside the term probe).
+fn view_hash(v: &NodeView<'_>) -> u64 {
+    let mut h = FxHasher::default();
+    match v {
+        NodeView::Var(i) => {
+            h.write_u8(tag::VAR);
+            h.write_u32(*i);
+        }
+        NodeView::Const(c) => {
+            h.write_u8(tag::CONST);
+            c.hash(&mut h);
+        }
+        NodeView::Meta(m) => {
+            h.write_u8(tag::META);
+            h.write_u32(m.id());
+        }
+        NodeView::Int(n) => {
+            h.write_u8(tag::INT);
+            h.write_i64(*n);
+        }
+        NodeView::Unit => h.write_u8(tag::UNIT),
+        NodeView::Lam(_, b) => {
+            h.write_u8(tag::LAM);
+            h.write_u64(b.id().get());
+        }
+        NodeView::App(f, a) => {
+            h.write_u8(tag::APP);
+            h.write_u64(f.id().get());
+            h.write_u64(a.id().get());
+        }
+        NodeView::Pair(a, b) => {
+            h.write_u8(tag::PAIR);
+            h.write_u64(a.id().get());
+            h.write_u64(b.id().get());
+        }
+        NodeView::Fst(p) => {
+            h.write_u8(tag::FST);
+            h.write_u64(p.id().get());
+        }
+        NodeView::Snd(p) => {
+            h.write_u8(tag::SND);
+            h.write_u64(p.id().get());
+        }
+    }
+    h.finish()
+}
+
+/// Does the view's skeleton denote `node`? The borrowed twin of
+/// [`term_matches`], shallow and `Sym`-refcount-free.
+fn view_matches(v: &NodeView<'_>, node: &TermNode) -> bool {
+    match (v, &node.term) {
+        (NodeView::Var(i), Term::Var(j)) => *i == *j,
+        (NodeView::Const(c), Term::Const(d)) => *c == d,
+        (NodeView::Meta(m), Term::Meta(n)) => m.id() == n.id(),
+        (NodeView::Int(a), Term::Int(b)) => *a == *b,
+        (NodeView::Unit, Term::Unit) => true,
+        (NodeView::Lam(_, b), Term::Lam(_, b2)) => b.id() == b2.id(),
+        (NodeView::App(f, a), Term::App(f2, a2)) => f.id() == f2.id() && a.id() == a2.id(),
+        (NodeView::Pair(a, b), Term::Pair(a2, b2)) => a.id() == a2.id() && b.id() == b2.id(),
+        (NodeView::Fst(p), Term::Fst(p2)) => p.id() == p2.id(),
+        (NodeView::Snd(p), Term::Snd(p2)) => p.id() == p2.id(),
         _ => false,
     }
 }
@@ -611,6 +776,39 @@ impl TermStore {
         (node, missed)
     }
 
+    /// [`TermStore::intern_in_shard`] for a borrowed [`NodeView`]: the
+    /// owned `Term` (with its child `Arc` clones) is materialized only
+    /// inside the vacant arm, where the node must own its children anyway.
+    fn intern_view_in_shard(&self, hash: u64, v: &NodeView<'_>) -> (Arc<TermNode>, bool) {
+        let shard = &self.shards[(hash >> 60) as usize & (SHARDS - 1)];
+        let mut guard = lock(shard);
+        let tables = &mut *guard;
+        let mut missed = false;
+        let node = match tables.map.entry(NodeKey::of_view(v)) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(e) => {
+                missed = true;
+                let term = v.to_term();
+                let node = Arc::new(TermNode {
+                    id: TermStore::fresh_id(),
+                    max_free: term.max_free(),
+                    has_meta: term.has_metas(),
+                    beta_normal: term.is_beta_normal(),
+                    content: content_hash_of(&term),
+                    term,
+                });
+                e.insert(Arc::clone(&node));
+                node
+            }
+        };
+        if missed && tables.map.len() >= tables.sweep_at {
+            tables.map.retain(|_, node| Arc::strong_count(node) > 1);
+            tables.sweep_at = (tables.map.len() * 2).max(SHARD_MIN_SWEEP);
+            self.sweep_epoch.fetch_add(1, Ordering::Relaxed);
+        }
+        (node, missed)
+    }
+
     /// Evicts every dead class *now* and shrinks each shard to its
     /// smallest footprint.
     fn trim_now(&self) {
@@ -720,6 +918,9 @@ struct ThreadCtx {
     hits: u64,
     distinct: u64,
     hashed: u64,
+    scratch: u64,
+    batch: u64,
+    saved: u64,
 }
 
 /// A per-thread, lock-free, direct-mapped cache of recently interned
@@ -768,13 +969,44 @@ thread_local! {
             hits: 0,
             distinct: 0,
             hashed: 0,
+            scratch: 0,
+            batch: 0,
+            saved: 0,
         })
     };
 }
 
-/// Interns `term` in the thread's current store; called by
-/// [`TermRef::new`](crate::term::TermRef::new).
-pub(crate) fn intern(term: Term) -> Arc<TermNode> {
+/// An open interner session: the thread-local context (current store,
+/// front cache, counters) borrowed **once** for a whole batch of
+/// interns, instead of once per node. This is the batch-intern entry
+/// point the scratch arena's finish pass drives: one `CTX` access and
+/// one epoch resolution per *tree*, one [`InternSession::intern_view`]
+/// per distinct subtree class.
+///
+/// While a session is open the thread context stays mutably borrowed, so
+/// code running inside [`with_session`] must not re-enter the store —
+/// no [`TermRef::new`](crate::term::TermRef::new), no smart
+/// constructors, no [`StoreHandle::enter`] — only the session's own
+/// methods. The callers are the kernel's session-threaded traversals
+/// ([`crate::subst`], [`crate::normalize`]) and the scratch arena's
+/// finish pass ([`crate::scratch`]); all observe that discipline by
+/// construction — they only walk already-interned children (interning
+/// any fresh root *before* opening the session) or arena nodes.
+pub(crate) struct InternSession<'a> {
+    store: &'a TermStore,
+    front: &'a mut Front,
+    lookups: &'a mut u64,
+    hits: &'a mut u64,
+    distinct: &'a mut u64,
+    hashed: &'a mut u64,
+    scratch: &'a mut u64,
+    batch: &'a mut u64,
+    saved: &'a mut u64,
+}
+
+/// Opens an interner session on the thread's current store and runs `f`
+/// inside it. See [`InternSession`] for the re-entrancy contract.
+pub(crate) fn with_session<R>(f: impl FnOnce(&mut InternSession<'_>) -> R) -> R {
     CTX.with(|ctx| {
         let mut borrow = ctx.borrow_mut();
         let ThreadCtx {
@@ -784,41 +1016,116 @@ pub(crate) fn intern(term: Term) -> Arc<TermNode> {
             hits,
             distinct,
             hashed,
+            scratch,
+            batch,
+            saved,
         } = &mut *borrow;
-        *lookups += 1;
         let store: &TermStore = match current {
             Some(h) => &h.0,
             None => global_store(),
         };
+        f(&mut InternSession {
+            store,
+            front,
+            lookups,
+            hits,
+            distinct,
+            hashed,
+            scratch,
+            batch,
+            saved,
+        })
+    })
+}
+
+impl InternSession<'_> {
+    /// Interns one node described by a borrowed view (children already
+    /// interned). The hot path — a front hit — clones exactly one `Arc`
+    /// (the returned node) and touches no child or `Sym` refcount.
+    pub(crate) fn intern_view(&mut self, v: &NodeView<'_>) -> TermRef {
+        *self.lookups += 1;
+        *self.batch += 1;
+        let store = self.store;
+        let hash = view_hash(v);
+        let slot = (hash as usize) & (FRONT_SLOTS - 1);
+        let epoch = store.sweep_epoch.load(Ordering::Relaxed);
+        if self.front.store != store.store_token || self.front.epoch != epoch {
+            self.front.reset(store.store_token, epoch);
+        } else if let Some(node) = &self.front.slots[slot] {
+            if view_matches(v, node) {
+                *self.hits += 1;
+                *self.saved += v.refcount_ops_avoided();
+                return TermRef::from_node(Arc::clone(node));
+            }
+        }
+        let (node, missed) = store.intern_view_in_shard(hash, v);
+        if missed {
+            *self.distinct += 1;
+            *self.hashed += 1;
+        } else {
+            *self.hits += 1;
+        }
+        // Publish to the front only if no sweep interleaved (a stale
+        // front must discard itself wholesale on the next probe, and a
+        // fresh entry tagged with the old epoch would survive that).
+        if store.sweep_epoch.load(Ordering::Relaxed) == epoch {
+            self.front.slots[slot] = Some(Arc::clone(&node));
+        }
+        TermRef::from_node(node)
+    }
+
+    /// Interns an owned term — the classic single-node path, shared by
+    /// [`intern`] so both entry points run identical probe/publish logic.
+    fn intern_owned(&mut self, term: Term) -> Arc<TermNode> {
+        *self.lookups += 1;
+        let store = self.store;
         // Borrowed probe: hash and front-match the term itself; the owned
         // key (with its `Sym` clone for `Const`) is built only after both
         // caches missed, off the warm-rebuild hot path.
         let hash = probe_hash(&term);
         let slot = (hash as usize) & (FRONT_SLOTS - 1);
         let epoch = store.sweep_epoch.load(Ordering::Relaxed);
-        if front.store != store.store_token || front.epoch != epoch {
-            front.reset(store.store_token, epoch);
-        } else if let Some(node) = &front.slots[slot] {
+        if self.front.store != store.store_token || self.front.epoch != epoch {
+            self.front.reset(store.store_token, epoch);
+        } else if let Some(node) = &self.front.slots[slot] {
             if term_matches(&term, node) {
-                *hits += 1;
+                *self.hits += 1;
                 return Arc::clone(node);
             }
         }
         let (node, missed) = store.intern_in_shard(NodeKey::of(&term), hash, term);
         if missed {
-            *distinct += 1;
-            *hashed += 1;
+            *self.distinct += 1;
+            *self.hashed += 1;
         } else {
-            *hits += 1;
+            *self.hits += 1;
         }
-        // Publish to the front only if no sweep interleaved (a stale
-        // front must discard itself wholesale on the next probe, and a
-        // fresh entry tagged with the old epoch would survive that).
         if store.sweep_epoch.load(Ordering::Relaxed) == epoch {
-            front.slots[slot] = Some(Arc::clone(&node));
+            self.front.slots[slot] = Some(Arc::clone(&node));
         }
         node
-    })
+    }
+
+    /// Records that `built` transient nodes were constructed in a scratch
+    /// arena and `dead` of them died uninterned (each dead node saves the
+    /// full per-node intern cost: ~6 estimated refcount ops).
+    pub(crate) fn record_scratch(&mut self, built: u64, dead: u64) {
+        *self.scratch += built;
+        *self.saved += dead.saturating_mul(6);
+    }
+
+    /// Token of the store this session interns into. Keys the per-thread
+    /// operation memo ([`crate::opmemo`]) so cached results never leak
+    /// across a [`StoreHandle::enter`] switch.
+    pub(crate) fn store_token(&self) -> u64 {
+        self.store.store_token
+    }
+}
+
+/// Interns `term` in the thread's current store; called by
+/// [`TermRef::new`](crate::term::TermRef::new).
+pub(crate) fn intern(term: Term) -> Arc<TermNode> {
+    with_session(|s| s.intern_owned(term))
 }
 
 /// A fresh id that is *not* associated with any store entry, for the
@@ -851,6 +1158,9 @@ pub fn stats() -> InternStats {
             hits: ctx.hits,
             distinct_nodes: ctx.distinct,
             hashed_nodes: ctx.hashed,
+            scratch_nodes: ctx.scratch,
+            batch_interned: ctx.batch,
+            refcount_ops_saved: ctx.saved,
         }
     })
 }
@@ -905,15 +1215,47 @@ mod tests {
             Term::fst(Term::pair(Term::Unit, Term::Unit)),
             Term::snd(Term::pair(Term::Unit, Term::Unit)),
         ];
+        fn view_of(t: &Term) -> NodeView<'_> {
+            match t {
+                Term::Var(i) => NodeView::Var(*i),
+                Term::Const(c) => NodeView::Const(c),
+                Term::Meta(m) => NodeView::Meta(m),
+                Term::Int(n) => NodeView::Int(*n),
+                Term::Unit => NodeView::Unit,
+                Term::Lam(h, b) => NodeView::Lam(h, b),
+                Term::App(f, a) => NodeView::App(f, a),
+                Term::Pair(a, b) => NodeView::Pair(a, b),
+                Term::Fst(p) => NodeView::Fst(p),
+                Term::Snd(p) => NodeView::Snd(p),
+            }
+        }
         for t in samples {
             assert_eq!(
                 probe_hash(&t),
-                FxBuild.hash_one(&NodeKey::of(&t)),
+                FxBuild.hash_one(NodeKey::of(&t)),
                 "probe/key hash divergence on {t:?}"
             );
+            // The borrowed batch-intern view must land in the same shard
+            // and bucket as both the term probe and the owned key.
+            assert_eq!(
+                view_hash(&view_of(&t)),
+                probe_hash(&t),
+                "view/probe hash divergence on {t:?}"
+            );
+            assert_eq!(
+                FxBuild.hash_one(NodeKey::of_view(&view_of(&t))),
+                FxBuild.hash_one(NodeKey::of(&t)),
+                "view/owned key divergence on {t:?}"
+            );
+            assert_eq!(view_of(&t).to_term(), t, "view round-trip on {t:?}");
             let node = intern(t.clone());
             assert!(term_matches(&t, &node));
+            assert!(view_matches(&view_of(&t), &node));
             assert!(!term_matches(&Term::Var(999), &node) || matches!(t, Term::Var(999)));
+            // Batch-interning the same skeleton through the view path
+            // returns the very same node.
+            let via_view = with_session(|s| s.intern_view(&view_of(&t)));
+            assert_eq!(via_view.id(), node.id);
         }
     }
 

@@ -17,39 +17,49 @@
 //! pointer copy under the same [`crate::store::NodeId`], zero allocations
 //! and zero store lookups. On closed subterms (`max_free == 0`) every
 //! operation in this module is O(1).
+//!
+//! # Refcount-lean rebuilds
+//!
+//! The traversals that *do* rebuild are single-pass and session-threaded:
+//! one interner session ([`crate::store::with_session`]) is opened per
+//! call, each rebuilt node is interned bottom-up through a borrowed
+//! [`NodeView`] (one `Arc` clone on a hit, no child or `Sym` refcount
+//! churn), and subtrees the sharing guard admits are returned as pointer
+//! copies. On top of that, compound interned-subtree steps in the **top
+//! [`opmemo::MEMO_LVLS`] levels** of each call consult the per-thread
+//! operation memo ([`crate::opmemo`], borrowed once per call):
+//! hash-consing makes `shift`/`subst` pure functions of [`NodeId`]s, so a
+//! (subtree, substituend, cutoff) triple computed once — in this call
+//! because the subtree occurs twice, or in an earlier call — is replayed
+//! with a single probe instead of a traversal. Gating the memo to the top
+//! levels is deliberate: a repeat replays from its topmost probe anyway,
+//! while fresh-id workloads (where the memo cannot hit) pay a constant
+//! handful of probes per call rather than a cache-missing table access
+//! per rebuilt node. Leaves always skip the memo: renumbering a variable
+//! is cheaper than a table hit.
+//!
+//! [`NodeId`]: crate::store::NodeId
+//! [`NodeView`]: crate::store::NodeView
 
+use crate::opmemo::{self, Key, Table, MEMO_LVLS, OP_INST, OP_SHIFT_DOWN, OP_SHIFT_UP, OP_SUBST};
+use crate::store::{self, InternSession, NodeView};
 use crate::term::{Term, TermRef};
 
 /// Shifts every free variable with index `>= cutoff` up by `d`.
 ///
 /// Returns a clone of the input (sharing all subterm nodes) when no free
 /// variable reaches the cutoff — in particular, O(1) on closed terms.
+/// Rebuilt spines are interned bottom-up in one store session and
+/// memoized per interned subtree (see the module docs).
 pub fn shift_above(t: &Term, d: u32, cutoff: u32) -> Term {
     if d == 0 || t.max_free() <= cutoff {
         return t.clone();
     }
-    match t {
-        // `max_free > cutoff` for a variable means `i >= cutoff`.
-        Term::Var(i) => Term::Var(i + d),
-        Term::Lam(h, b) => Term::lam(h.clone(), shift_above_ref(b, d, cutoff + 1)),
-        Term::App(f, a) => Term::app(shift_above_ref(f, d, cutoff), shift_above_ref(a, d, cutoff)),
-        Term::Pair(a, b) => {
-            Term::pair(shift_above_ref(a, d, cutoff), shift_above_ref(b, d, cutoff))
-        }
-        Term::Fst(p) => Term::fst(shift_above_ref(p, d, cutoff)),
-        Term::Snd(p) => Term::snd(shift_above_ref(p, d, cutoff)),
-        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
-    }
-}
-
-/// [`shift_above`] on a shared subterm: returns the *identical* `Arc` when
-/// the subterm is unaffected.
-fn shift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
-    if t.max_free() <= cutoff {
-        t.clone()
-    } else {
-        TermRef::new(shift_above(t, d, cutoff))
-    }
+    store::with_session(|sess| {
+        opmemo::with_table(sess.store_token(), |tab| {
+            reindex_root(t, d, cutoff, true, sess, tab)
+        })
+    })
 }
 
 /// Shifts every free variable up by `d`. O(1) on closed terms.
@@ -68,39 +78,135 @@ pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
     if d == 0 || t.max_free() <= cutoff {
         return t.clone();
     }
+    store::with_session(|sess| {
+        opmemo::with_table(sess.store_token(), |tab| {
+            reindex_root(t, d, cutoff, false, sess, tab)
+        })
+    })
+}
+
+/// Renumbers one variable occurrence: the shared index arithmetic of
+/// [`shift_above`] (`up`) and [`unshift_above`] (`!up`).
+fn reindex_var(i: u32, d: u32, cutoff: u32, up: bool) -> u32 {
+    if i < cutoff {
+        i
+    } else if up {
+        i + d
+    } else {
+        assert!(
+            i >= cutoff + d,
+            "unshift_above: variable {i} would dangle (cutoff {cutoff}, d {d})"
+        );
+        i - d
+    }
+}
+
+/// Root of the shared shift/unshift traversal: rebuilds the top node as an
+/// owned (uninterned) [`Term`] whose children come out of [`reindex_ref`].
+fn reindex_root(
+    t: &Term,
+    d: u32,
+    cutoff: u32,
+    up: bool,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+) -> Term {
     match t {
-        Term::Var(i) => {
-            if *i >= cutoff + d {
-                Term::Var(i - d)
-            } else {
-                assert!(
-                    *i < cutoff,
-                    "unshift_above: variable {i} would dangle (cutoff {cutoff}, d {d})"
-                );
-                Term::Var(*i)
-            }
-        }
-        Term::Lam(h, b) => Term::lam(h.clone(), unshift_above_ref(b, d, cutoff + 1)),
-        Term::App(f, a) => Term::app(
-            unshift_above_ref(f, d, cutoff),
-            unshift_above_ref(a, d, cutoff),
+        Term::Var(i) => Term::Var(reindex_var(*i, d, cutoff, up)),
+        Term::Lam(h, b) => Term::Lam(h.clone(), reindex_ref(b, d, cutoff + 1, up, sess, tab, 0)),
+        Term::App(f, a) => Term::App(
+            reindex_ref(f, d, cutoff, up, sess, tab, 0),
+            reindex_ref(a, d, cutoff, up, sess, tab, 0),
         ),
-        Term::Pair(a, b) => Term::pair(
-            unshift_above_ref(a, d, cutoff),
-            unshift_above_ref(b, d, cutoff),
+        Term::Pair(a, b) => Term::Pair(
+            reindex_ref(a, d, cutoff, up, sess, tab, 0),
+            reindex_ref(b, d, cutoff, up, sess, tab, 0),
         ),
-        Term::Fst(p) => Term::fst(unshift_above_ref(p, d, cutoff)),
-        Term::Snd(p) => Term::snd(unshift_above_ref(p, d, cutoff)),
+        Term::Fst(p) => Term::Fst(reindex_ref(p, d, cutoff, up, sess, tab, 0)),
+        Term::Snd(p) => Term::Snd(reindex_ref(p, d, cutoff, up, sess, tab, 0)),
         Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
 }
 
-fn unshift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
+/// Shift/unshift over an interned subtree: share below the cutoff, replay
+/// from the operation memo, or rebuild bottom-up through the session.
+fn reindex_ref(
+    t: &TermRef,
+    d: u32,
+    cutoff: u32,
+    up: bool,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+    lvl: u32,
+) -> TermRef {
     if t.max_free() <= cutoff {
-        t.clone()
-    } else {
-        TermRef::new(unshift_above(t, d, cutoff))
+        return t.clone();
     }
+    // A variable renumbers in O(1) — cheaper than a memo round-trip.
+    if let Term::Var(i) = t.as_ref() {
+        return sess.intern_view(&NodeView::Var(reindex_var(*i, d, cutoff, up)));
+    }
+    let memo = lvl < MEMO_LVLS;
+    let key = Key {
+        op: if up { OP_SHIFT_UP } else { OP_SHIFT_DOWN },
+        t: t.id().get(),
+        s: u64::from(d),
+        k: u64::from(cutoff),
+    };
+    if memo {
+        if let Some(hit) = tab.probe(&key) {
+            return hit;
+        }
+    }
+    let out = match t.as_ref() {
+        Term::Lam(h, b) => {
+            let b2 = reindex_ref(b, d, cutoff + 1, up, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Lam(h, &b2))
+        }
+        Term::App(f, a) => {
+            let f2 = reindex_ref(f, d, cutoff, up, sess, tab, lvl + 1);
+            let a2 = reindex_ref(a, d, cutoff, up, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::App(&f2, &a2))
+        }
+        Term::Pair(a, b) => {
+            let a2 = reindex_ref(a, d, cutoff, up, sess, tab, lvl + 1);
+            let b2 = reindex_ref(b, d, cutoff, up, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Pair(&a2, &b2))
+        }
+        Term::Fst(p) => {
+            let p2 = reindex_ref(p, d, cutoff, up, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Fst(&p2))
+        }
+        Term::Snd(p) => {
+            let p2 = reindex_ref(p, d, cutoff, up, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Snd(&p2))
+        }
+        // `Var` returned above; other leaves are closed, so the cutoff
+        // guard already returned them.
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    };
+    if memo {
+        tab.insert(key, &out);
+    }
+    out
+}
+
+/// `shift(s, d)` for an already-interned substituend, inside a session.
+/// Used at variable-hit sites by [`subst`], [`instantiate`], and the
+/// hereditary traversals in [`crate::normalize`].
+pub(crate) fn shift_interned(
+    s: &TermRef,
+    d: u32,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+) -> TermRef {
+    if d == 0 {
+        return s.clone();
+    }
+    // A fresh logical operation: restart the memo gate at level 0 so a
+    // substituend shifted once per occurrence replays in O(1) from the
+    // second occurrence on.
+    reindex_ref(s, d, 0, true, sess, tab, 0)
 }
 
 /// Substitutes `s` for the free variable `j` of `t`, *keeping* the variable
@@ -108,37 +214,119 @@ fn unshift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
 ///
 /// `s` is interpreted in the same context as `t`; it is shifted as the
 /// traversal crosses binders. Subterms that cannot mention variable `j`
-/// (cached `max_free` check) are shared, not copied.
+/// (cached `max_free` check) are shared, not copied; rebuilt spines are
+/// interned bottom-up in one store session and memoized per interned
+/// subtree.
 pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
-    fn go(t: &Term, j: u32, s: &Term, depth: u32) -> Term {
-        // Variable `j + depth` cannot occur below: identity, share.
-        if t.max_free() <= j + depth {
-            return t.clone();
-        }
-        match t {
-            Term::Var(i) => {
-                if *i == j + depth {
-                    shift(s, depth)
-                } else {
-                    Term::Var(*i)
-                }
+    // Variable `j` cannot occur: identity, share.
+    if t.max_free() <= j {
+        return t.clone();
+    }
+    // Intern the substituend once, *before* opening the session: its id
+    // keys the memo, and `TermRef::new` must not run while the session
+    // holds the thread context.
+    let sref = TermRef::new(s.clone());
+    store::with_session(|sess| {
+        opmemo::with_table(sess.store_token(), |tab| subst_root(t, j, &sref, sess, tab))
+    })
+}
+
+/// Root of [`subst`] (binder depth 0): rebuilds the top node as an owned
+/// [`Term`].
+fn subst_root(
+    t: &Term,
+    j: u32,
+    s: &TermRef,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+) -> Term {
+    match t {
+        // Depth 0: a hit needs no shift.
+        Term::Var(i) => {
+            if *i == j {
+                s.as_ref().clone()
+            } else {
+                Term::Var(*i)
             }
-            Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, j, s, depth + 1)),
-            Term::App(f, a) => Term::app(go_ref(f, j, s, depth), go_ref(a, j, s, depth)),
-            Term::Pair(a, b) => Term::pair(go_ref(a, j, s, depth), go_ref(b, j, s, depth)),
-            Term::Fst(p) => Term::fst(go_ref(p, j, s, depth)),
-            Term::Snd(p) => Term::snd(go_ref(p, j, s, depth)),
-            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
         }
+        Term::Lam(h, b) => Term::Lam(h.clone(), subst_ref(b, j, s, 1, sess, tab, 0)),
+        Term::App(f, a) => Term::App(
+            subst_ref(f, j, s, 0, sess, tab, 0),
+            subst_ref(a, j, s, 0, sess, tab, 0),
+        ),
+        Term::Pair(a, b) => Term::Pair(
+            subst_ref(a, j, s, 0, sess, tab, 0),
+            subst_ref(b, j, s, 0, sess, tab, 0),
+        ),
+        Term::Fst(p) => Term::Fst(subst_ref(p, j, s, 0, sess, tab, 0)),
+        Term::Snd(p) => Term::Snd(subst_ref(p, j, s, 0, sess, tab, 0)),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
-    fn go_ref(t: &TermRef, j: u32, s: &Term, depth: u32) -> TermRef {
-        if t.max_free() <= j + depth {
-            t.clone()
+}
+
+/// [`subst`] over an interned subtree at binder depth `depth`. The memo
+/// key carries both `j` and `depth`: a binder crossing changes which
+/// variable is hit *and* how far the substituend is shifted.
+fn subst_ref(
+    t: &TermRef,
+    j: u32,
+    s: &TermRef,
+    depth: u32,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+    lvl: u32,
+) -> TermRef {
+    if t.max_free() <= j + depth {
+        return t.clone();
+    }
+    if let Term::Var(i) = t.as_ref() {
+        return if *i == j + depth {
+            shift_interned(s, depth, sess, tab)
         } else {
-            TermRef::new(go(t, j, s, depth))
+            sess.intern_view(&NodeView::Var(*i))
+        };
+    }
+    let memo = lvl < MEMO_LVLS;
+    let key = Key {
+        op: OP_SUBST,
+        t: t.id().get(),
+        s: s.id().get(),
+        k: (u64::from(j) << 32) | u64::from(depth),
+    };
+    if memo {
+        if let Some(hit) = tab.probe(&key) {
+            return hit;
         }
     }
-    go(t, j, s, 0)
+    let out = match t.as_ref() {
+        Term::Lam(h, b) => {
+            let b2 = subst_ref(b, j, s, depth + 1, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Lam(h, &b2))
+        }
+        Term::App(f, a) => {
+            let f2 = subst_ref(f, j, s, depth, sess, tab, lvl + 1);
+            let a2 = subst_ref(a, j, s, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::App(&f2, &a2))
+        }
+        Term::Pair(a, b) => {
+            let a2 = subst_ref(a, j, s, depth, sess, tab, lvl + 1);
+            let b2 = subst_ref(b, j, s, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Pair(&a2, &b2))
+        }
+        Term::Fst(p) => {
+            let p2 = subst_ref(p, j, s, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Fst(&p2))
+        }
+        Term::Snd(p) => {
+            let p2 = subst_ref(p, j, s, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Snd(&p2))
+        }
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    };
+    if memo {
+        tab.insert(key, &out);
+    }
+    out
 }
 
 /// Opens the body of a binder: substitutes `arg` for the binder's variable
@@ -149,46 +337,112 @@ pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
 /// The result may contain new β-redexes; see
 /// [`crate::normalize::hinstantiate`] for the redex-contracting version.
 /// Subterms not mentioning the opened variable (or anything freer) are
-/// shared, not copied.
+/// shared, not copied; rebuilt spines are interned bottom-up in one store
+/// session and memoized per interned subtree.
 pub fn instantiate(body: &Term, arg: &Term) -> Term {
-    fn go(t: &Term, arg: &Term, depth: u32) -> Term {
-        // No free variable at or above `depth`: nothing to replace or
-        // renumber below this node.
-        if t.max_free() <= depth {
-            return t.clone();
-        }
-        match t {
-            Term::Var(i) => {
-                if *i == depth {
-                    shift(arg, depth)
-                } else if *i > depth {
-                    Term::Var(i - 1)
-                } else {
-                    Term::Var(*i)
-                }
+    // No free variable at all: nothing to replace or renumber.
+    if body.max_free() == 0 {
+        return body.clone();
+    }
+    let aref = TermRef::new(arg.clone());
+    store::with_session(|sess| {
+        opmemo::with_table(sess.store_token(), |tab| inst_root(body, &aref, sess, tab))
+    })
+}
+
+/// Root of [`instantiate`] (binder depth 0).
+fn inst_root(t: &Term, arg: &TermRef, sess: &mut InternSession<'_>, tab: &mut Table) -> Term {
+    match t {
+        Term::Var(i) => {
+            if *i == 0 {
+                arg.as_ref().clone()
+            } else {
+                Term::Var(*i - 1)
             }
-            Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, arg, depth + 1)),
-            Term::App(f, a) => Term::app(go_ref(f, arg, depth), go_ref(a, arg, depth)),
-            Term::Pair(a, b) => Term::pair(go_ref(a, arg, depth), go_ref(b, arg, depth)),
-            Term::Fst(p) => Term::fst(go_ref(p, arg, depth)),
-            Term::Snd(p) => Term::snd(go_ref(p, arg, depth)),
-            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
         }
+        Term::Lam(h, b) => Term::Lam(h.clone(), inst_ref(b, arg, 1, sess, tab, 0)),
+        Term::App(f, a) => Term::App(
+            inst_ref(f, arg, 0, sess, tab, 0),
+            inst_ref(a, arg, 0, sess, tab, 0),
+        ),
+        Term::Pair(a, b) => Term::Pair(
+            inst_ref(a, arg, 0, sess, tab, 0),
+            inst_ref(b, arg, 0, sess, tab, 0),
+        ),
+        Term::Fst(p) => Term::Fst(inst_ref(p, arg, 0, sess, tab, 0)),
+        Term::Snd(p) => Term::Snd(inst_ref(p, arg, 0, sess, tab, 0)),
+        Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
     }
-    fn go_ref(t: &TermRef, arg: &Term, depth: u32) -> TermRef {
-        if t.max_free() <= depth {
-            t.clone()
+}
+
+/// [`instantiate`] over an interned subtree at binder depth `depth`.
+fn inst_ref(
+    t: &TermRef,
+    arg: &TermRef,
+    depth: u32,
+    sess: &mut InternSession<'_>,
+    tab: &mut Table,
+    lvl: u32,
+) -> TermRef {
+    if t.max_free() <= depth {
+        return t.clone();
+    }
+    if let Term::Var(i) = t.as_ref() {
+        return if *i == depth {
+            shift_interned(arg, depth, sess, tab)
+        } else if *i > depth {
+            sess.intern_view(&NodeView::Var(*i - 1))
         } else {
-            TermRef::new(go(t, arg, depth))
+            sess.intern_view(&NodeView::Var(*i))
+        };
+    }
+    let memo = lvl < MEMO_LVLS;
+    let key = Key {
+        op: OP_INST,
+        t: t.id().get(),
+        s: arg.id().get(),
+        k: u64::from(depth),
+    };
+    if memo {
+        if let Some(hit) = tab.probe(&key) {
+            return hit;
         }
     }
-    go(body, arg, 0)
+    let out = match t.as_ref() {
+        Term::Lam(h, b) => {
+            let b2 = inst_ref(b, arg, depth + 1, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Lam(h, &b2))
+        }
+        Term::App(f, a) => {
+            let f2 = inst_ref(f, arg, depth, sess, tab, lvl + 1);
+            let a2 = inst_ref(a, arg, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::App(&f2, &a2))
+        }
+        Term::Pair(a, b) => {
+            let a2 = inst_ref(a, arg, depth, sess, tab, lvl + 1);
+            let b2 = inst_ref(b, arg, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Pair(&a2, &b2))
+        }
+        Term::Fst(p) => {
+            let p2 = inst_ref(p, arg, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Fst(&p2))
+        }
+        Term::Snd(p) => {
+            let p2 = inst_ref(p, arg, depth, sess, tab, lvl + 1);
+            sess.intern_view(&NodeView::Snd(&p2))
+        }
+        Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+    };
+    if memo {
+        tab.insert(key, &out);
+    }
+    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::term::Term;
+    use crate::term::{Term, TermRef};
 
     fn v(i: u32) -> Term {
         Term::Var(i)
@@ -310,5 +564,17 @@ mod tests {
             }
             _ => unreachable!(),
         }
+    }
+
+    #[test]
+    fn repeated_shift_hits_the_operation_memo() {
+        // Same (subtree, d, cutoff) twice: the second call must return the
+        // identical interned node (memo or not, ids must agree — this
+        // pins the memo's transparency on the simplest possible case).
+        let t = Term::apps(v(0), [v(1), Term::lam("x", v(3))]);
+        let a = TermRef::new(shift(&t, 2));
+        let b = TermRef::new(shift(&t, 2));
+        assert_eq!(a.id(), b.id());
+        assert!(TermRef::ptr_eq(&a, &b));
     }
 }

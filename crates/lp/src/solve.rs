@@ -439,6 +439,10 @@ fn solve_atom(
     out: &mut Outcome,
     fuel: &mut u64,
 ) -> Result<(), LpError> {
+    // Solution instantiation is graft + β-normalize; the normalizer's
+    // operation memo replays repeated (body, argument) contractions —
+    // the signature access pattern of resolution — in O(1). See
+    // `MetaSubst::apply` and `hoas_core::normalize`.
     let atom = st.sol.apply(&atom);
     let pred = match atom.spine().0 {
         Term::Const(c) => c.clone(),

@@ -103,10 +103,7 @@ mod tests {
     use hoas_core::sig::Signature;
 
     fn demo() -> (Signature, RuleSet) {
-        let sig = Signature::parse(
-            "type o. const not : o -> o. const and : o -> o -> o.",
-        )
-        .unwrap();
+        let sig = Signature::parse("type o. const not : o -> o. const and : o -> o -> o.").unwrap();
         let o = parse_ty("o").unwrap();
         let mut rs = RuleSet::new();
         rs.push(Rule::parse(&sig, "nn", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap())
@@ -132,10 +129,7 @@ mod tests {
 
     #[test]
     fn fingerprint_is_order_sensitive() {
-        let sig = Signature::parse(
-            "type o. const not : o -> o. const and : o -> o -> o.",
-        )
-        .unwrap();
+        let sig = Signature::parse("type o. const not : o -> o. const and : o -> o -> o.").unwrap();
         let o = parse_ty("o").unwrap();
         let r1 = Rule::parse(&sig, "nn", &o, &[("P", "o")], "not (not ?P)", "?P").unwrap();
         let r2 = Rule::parse(&sig, "ai", &o, &[("P", "o")], "and ?P ?P", "?P").unwrap();

@@ -187,6 +187,18 @@ pub struct EngineStats {
     /// Content hashes computed by the term store — one per node created
     /// on this thread (see [`hoas_core::InternStats::hashed_nodes`]).
     pub hashed_nodes: u64,
+    /// Transient scratch-arena nodes built by kernel hot paths on this
+    /// thread — intermediates that were never interned (see
+    /// [`hoas_core::InternStats::scratch_nodes`]).
+    pub scratch_nodes: u64,
+    /// Nodes interned through the bottom-up batch path (one store-session
+    /// borrow per finished tree; see
+    /// [`hoas_core::InternStats::batch_interned`]).
+    pub batch_interned: u64,
+    /// Estimated refcount operations the scratch/batch path avoided
+    /// versus intern-every-intermediate (see
+    /// [`hoas_core::InternStats::refcount_ops_saved`]).
+    pub refcount_ops_saved: u64,
     /// Size in bytes of the last warm image loaded into this cache
     /// bundle (`0` when none was).
     pub image_bytes: u64,
@@ -225,6 +237,9 @@ impl EngineStats {
             index_buckets: self.index_buckets,
             index_max_bucket: self.index_max_bucket,
             hashed_nodes: self.hashed_nodes - earlier.hashed_nodes,
+            scratch_nodes: self.scratch_nodes - earlier.scratch_nodes,
+            batch_interned: self.batch_interned - earlier.batch_interned,
+            refcount_ops_saved: self.refcount_ops_saved - earlier.refcount_ops_saved,
             // Persistence gauges describe the cache bundle's last image
             // load, not per-call work: carried over like the index shape.
             image_bytes: self.image_bytes,
@@ -583,6 +598,9 @@ impl<'a> Engine<'a> {
             index_buckets,
             index_max_bucket,
             hashed_nodes: intern.hashed_nodes,
+            scratch_nodes: intern.scratch_nodes,
+            batch_interned: intern.batch_interned,
+            refcount_ops_saved: intern.refcount_ops_saved,
             image_bytes: self.caches.persist.image_bytes.load(Ordering::Relaxed),
             remapped_ids: self.caches.persist.remapped_ids.load(Ordering::Relaxed),
             cache_entries_reloaded: self.caches.persist.entries_reloaded.load(Ordering::Relaxed),

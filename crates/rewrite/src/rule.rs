@@ -726,9 +726,8 @@ mod tests {
     fn push_all_reports_every_duplicate_not_just_the_first() {
         let s = sig();
         let o = parse_ty("o").unwrap();
-        let named = |name: &str| {
-            Rule::parse(&s, name, &o, &[("P", "o")], "not (not ?P)", "?P").unwrap()
-        };
+        let named =
+            |name: &str| Rule::parse(&s, name, &o, &[("P", "o")], "not (not ?P)", "?P").unwrap();
         let mut rs = RuleSet::new();
         let errs = rs
             .push_all([named("a"), named("a"), named("b"), named("b"), named("c")])

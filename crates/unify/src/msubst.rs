@@ -87,12 +87,20 @@ impl MetaSubst {
         if self.map.is_empty() || (!t.has_metas() && t.is_beta_normal()) {
             return t.clone();
         }
+        // Graft, then β-normalize. The trailing `nf` is the kernel's
+        // session-threaded, memoized normalizer: contractions created by
+        // grafting a solution `λx̄. b` onto a spine `?M a₁ … aₙ` replay
+        // from the operation memo when the same (body, argument) pairs
+        // recur — the signature pattern of resolution and rewriting. (A
+        // fused graft+normalize over the scratch arena was measured here
+        // and lost: it forfeits the cached `max_free`/`beta_normal`
+        // guards and the memo, which beat avoided interning of the
+        // transient spine — see DESIGN §7.)
         let grafted = self.graft(t, 0);
         normalize::nf(&grafted)
     }
 
     fn graft(&self, t: &Term, depth: u32) -> Term {
-        // Meta-free subtrees cannot be grafted into: share them wholesale.
         if !t.has_metas() {
             return t.clone();
         }
@@ -115,7 +123,7 @@ impl MetaSubst {
         if !t.has_meta() {
             t.clone()
         } else {
-            TermRef::new(self.graft(t, depth))
+            TermRef::new(self.graft(t.term(), depth))
         }
     }
 

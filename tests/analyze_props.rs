@@ -38,7 +38,7 @@ use hoas::langs::{fol, lambda};
 use hoas::lp::solve::{query_menv, solve, solve_certified};
 use hoas::lp::{Clause, Program, SolveConfig};
 use hoas::rewrite::rulesets::fol_cnf;
-use hoas::rewrite::{Engine, EngineConfig};
+use hoas::rewrite::{Engine, EngineConfig, Rule, RuleSet};
 use hoas::unify::classify::{classify, PatternClass};
 use hoas::unify::matching::{match_pattern, match_term, MatchConfig};
 use hoas_testkit::prelude::*;
@@ -149,7 +149,12 @@ fn moded_program(seed: u64) -> (Program, usize) {
     let c = |prog: &Program, vars: &[(&str, &str)], head: &str, body: &[&str]| {
         Clause::parse(prog.sig(), vars, head, body).expect("generated clause")
     };
-    let mem1 = c(&prog, &[("X", "i"), ("YS", "i")], "mem ?X (cons ?X ?YS)", &[]);
+    let mem1 = c(
+        &prog,
+        &[("X", "i"), ("YS", "i")],
+        "mem ?X (cons ?X ?YS)",
+        &[],
+    );
     prog.push(mem1);
     let mem2 = c(
         &prog,
@@ -358,4 +363,63 @@ props! {
         prop_assert!(budgeted.steps <= 4);
         prop_assert_eq!(budgeted.fixpoint, budgeted.steps == got.steps);
     }
+}
+
+/// Promoted from the PR 8 scratch probe (`crates/analyze/tests/tmp_sct_probe.rs`):
+/// the size-change analysis certifies the encoded-β rule only *vacuously* —
+/// its right-hand side `?F ?X` mentions no ruleset constant, so there are
+/// no call graphs to refute — yet Ω loops forever under that rule. The
+/// probe pinned down that this combination is safe in practice because
+/// certificates must be attached explicitly: a plain engine keeps its step
+/// budget and stops Ω without ever claiming a fixpoint.
+#[test]
+fn encoded_beta_sct_proof_is_vacuous_and_omega_exhausts_the_budget() {
+    let sig = Signature::parse(
+        "type i.
+         const app : i -> i -> i.
+         const lam : (i -> i) -> i.",
+    )
+    .unwrap();
+    let i = parse_ty("i").unwrap();
+    let mut rs = RuleSet::new();
+    rs.push(
+        Rule::parse(
+            &sig,
+            "beta",
+            &i,
+            &[("F", "i -> i"), ("X", "i")],
+            "app (lam ?F) ?X",
+            "?F ?X",
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    let out = termination::analyze_ruleset(&rs);
+    assert!(
+        out.proven(),
+        "the β RHS has no ruleset-constant calls, so SCT proves it vacuously: {}",
+        out.reason
+    );
+    assert!(
+        out.reason.contains("0 call graph"),
+        "the proof must be the vacuous one: {}",
+        out.reason
+    );
+
+    // Ω = app (lam x. app x x) (lam x. app x x) loops under the rule; a
+    // budgeted engine must stop at the budget without claiming a fixpoint.
+    let omega = parse_term(&sig, r"app (lam (\x. app x x)) (lam (\x. app x x))")
+        .unwrap()
+        .term;
+    let cfg = EngineConfig {
+        max_steps: 50,
+        ..EngineConfig::default()
+    };
+    let eng = Engine::with_config(&sig, &rs, cfg);
+    let res = eng.normalize(&i, &omega).unwrap();
+    assert!(
+        !res.fixpoint,
+        "omega should exhaust the budget, never reach a fixpoint"
+    );
+    assert_eq!(res.steps, 50, "every budgeted step is a β step");
 }

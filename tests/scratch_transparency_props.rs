@@ -1,0 +1,552 @@
+//! Transparency battery for the scratch-arena kernel (PR 9): the
+//! refcount-lean hot paths — scratch-term construction, batch interning,
+//! and move-out rebuilds — must be **observationally invisible**. Every
+//! kernel operation rewritten over the scratch arena is compared against a
+//! reference re-implementation of the old always-intern path (each
+//! intermediate node built with the smart constructors and interned via
+//! `TermRef::new`), and the results must be *id-identical*: the same
+//! [`NodeId`] out of the same store, not merely α-equal.
+//!
+//! The battery mirrors the shape of `engine_cache_props`: generator-driven
+//! properties across all four bundled encoders (λ-calculus, FOL, IMP,
+//! Mini-ML) and engine-level coverage across both strategies. Every
+//! batch-interned result is additionally re-validated with
+//! [`validate::check_term`] (the cached `max_free`/`has_meta`/`beta_normal`
+//! annotations computed bottom-up inside the arena must agree with the
+//! smart constructors'), and the new `scratch_nodes`/`batch_interned`/
+//! `refcount_ops_saved` counters are asserted live end-to-end.
+//!
+//! [`NodeId`]: hoas::core::store::NodeId
+
+use hoas::core::prelude::*;
+use hoas::core::{store, validate};
+use hoas::langs::{fol, imp, lambda, miniml};
+use hoas::rewrite::rulesets::{fol_cnf, fol_prenex, imp_opt, miniml_opt};
+use hoas::rewrite::{Engine, EngineConfig, RuleSet, Strategy};
+use hoas::unify::MetaSubst;
+use hoas_testkit::gen;
+use hoas_testkit::prelude::*;
+
+const STRATEGIES: [Strategy; 2] = [Strategy::LeftmostOutermost, Strategy::LeftmostInnermost];
+
+/// The pre-PR 9 kernel, reproduced verbatim as an executable reference:
+/// every traversal rebuilds with the smart constructors and interns each
+/// intermediate node through [`TermRef::new`]. Same guards, same recursion
+/// orders (`hsub` reduces the argument before the function, `nf` the
+/// function before the argument) — only the allocation discipline differs.
+mod reference {
+    use hoas::core::prelude::*;
+
+    pub fn shift_above(t: &Term, d: u32, cutoff: u32) -> Term {
+        if d == 0 || t.max_free() <= cutoff {
+            return t.clone();
+        }
+        match t {
+            Term::Var(i) => Term::Var(i + d),
+            Term::Lam(h, b) => Term::lam(h.clone(), shift_above_ref(b, d, cutoff + 1)),
+            Term::App(f, a) => {
+                Term::app(shift_above_ref(f, d, cutoff), shift_above_ref(a, d, cutoff))
+            }
+            Term::Pair(a, b) => {
+                Term::pair(shift_above_ref(a, d, cutoff), shift_above_ref(b, d, cutoff))
+            }
+            Term::Fst(p) => Term::fst(shift_above_ref(p, d, cutoff)),
+            Term::Snd(p) => Term::snd(shift_above_ref(p, d, cutoff)),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+
+    fn shift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
+        if t.max_free() <= cutoff {
+            t.clone()
+        } else {
+            TermRef::new(shift_above(t, d, cutoff))
+        }
+    }
+
+    pub fn shift(t: &Term, d: u32) -> Term {
+        shift_above(t, d, 0)
+    }
+
+    pub fn unshift_above(t: &Term, d: u32, cutoff: u32) -> Term {
+        if d == 0 || t.max_free() <= cutoff {
+            return t.clone();
+        }
+        match t {
+            Term::Var(i) => {
+                if *i >= cutoff + d {
+                    Term::Var(i - d)
+                } else {
+                    assert!(*i < cutoff, "reference unshift_above: dangling variable");
+                    Term::Var(*i)
+                }
+            }
+            Term::Lam(h, b) => Term::lam(h.clone(), unshift_above_ref(b, d, cutoff + 1)),
+            Term::App(f, a) => Term::app(
+                unshift_above_ref(f, d, cutoff),
+                unshift_above_ref(a, d, cutoff),
+            ),
+            Term::Pair(a, b) => Term::pair(
+                unshift_above_ref(a, d, cutoff),
+                unshift_above_ref(b, d, cutoff),
+            ),
+            Term::Fst(p) => Term::fst(unshift_above_ref(p, d, cutoff)),
+            Term::Snd(p) => Term::snd(unshift_above_ref(p, d, cutoff)),
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+
+    fn unshift_above_ref(t: &TermRef, d: u32, cutoff: u32) -> TermRef {
+        if t.max_free() <= cutoff {
+            t.clone()
+        } else {
+            TermRef::new(unshift_above(t, d, cutoff))
+        }
+    }
+
+    pub fn subst(t: &Term, j: u32, s: &Term) -> Term {
+        fn go(t: &Term, j: u32, s: &Term, depth: u32) -> Term {
+            if t.max_free() <= j + depth {
+                return t.clone();
+            }
+            match t {
+                Term::Var(i) => {
+                    if *i == j + depth {
+                        shift(s, depth)
+                    } else {
+                        Term::Var(*i)
+                    }
+                }
+                Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, j, s, depth + 1)),
+                Term::App(f, a) => Term::app(go_ref(f, j, s, depth), go_ref(a, j, s, depth)),
+                Term::Pair(a, b) => Term::pair(go_ref(a, j, s, depth), go_ref(b, j, s, depth)),
+                Term::Fst(p) => Term::fst(go_ref(p, j, s, depth)),
+                Term::Snd(p) => Term::snd(go_ref(p, j, s, depth)),
+                Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+            }
+        }
+        fn go_ref(t: &TermRef, j: u32, s: &Term, depth: u32) -> TermRef {
+            if t.max_free() <= j + depth {
+                t.clone()
+            } else {
+                TermRef::new(go(t, j, s, depth))
+            }
+        }
+        go(t, j, s, 0)
+    }
+
+    pub fn instantiate(body: &Term, arg: &Term) -> Term {
+        fn go(t: &Term, arg: &Term, depth: u32) -> Term {
+            if t.max_free() <= depth {
+                return t.clone();
+            }
+            match t {
+                Term::Var(i) => {
+                    if *i == depth {
+                        shift(arg, depth)
+                    } else if *i > depth {
+                        Term::Var(i - 1)
+                    } else {
+                        Term::Var(*i)
+                    }
+                }
+                Term::Lam(h, b) => Term::lam(h.clone(), go_ref(b, arg, depth + 1)),
+                Term::App(f, a) => Term::app(go_ref(f, arg, depth), go_ref(a, arg, depth)),
+                Term::Pair(a, b) => Term::pair(go_ref(a, arg, depth), go_ref(b, arg, depth)),
+                Term::Fst(p) => Term::fst(go_ref(p, arg, depth)),
+                Term::Snd(p) => Term::snd(go_ref(p, arg, depth)),
+                Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+            }
+        }
+        fn go_ref(t: &TermRef, arg: &Term, depth: u32) -> TermRef {
+            if t.max_free() <= depth {
+                t.clone()
+            } else {
+                TermRef::new(go(t, arg, depth))
+            }
+        }
+        go(body, arg, 0)
+    }
+
+    pub fn hinstantiate(body: &Term, arg: &Term) -> Term {
+        hsub(body, 0, arg)
+    }
+
+    fn hsub(t: &Term, k: u32, s: &Term) -> Term {
+        if t.max_free() <= k && t.is_beta_normal() {
+            return t.clone();
+        }
+        match t {
+            Term::Var(i) => {
+                if *i == k {
+                    shift(s, k)
+                } else if *i > k {
+                    Term::Var(i - 1)
+                } else {
+                    Term::Var(*i)
+                }
+            }
+            Term::Lam(h, b) => Term::Lam(h.clone(), hsub_ref(b, k + 1, s)),
+            Term::App(f, a) => {
+                let a2 = hsub_ref(a, k, s);
+                let f2 = hsub_ref(f, k, s);
+                match f2.term() {
+                    Term::Lam(_, body) => hinstantiate(body, a2.term()),
+                    _ => Term::App(f2, a2),
+                }
+            }
+            Term::Pair(a, b) => Term::Pair(hsub_ref(a, k, s), hsub_ref(b, k, s)),
+            Term::Fst(p) => {
+                let p2 = hsub_ref(p, k, s);
+                match p2.term() {
+                    Term::Pair(a, _) => a.as_ref().clone(),
+                    _ => Term::Fst(p2),
+                }
+            }
+            Term::Snd(p) => {
+                let p2 = hsub_ref(p, k, s);
+                match p2.term() {
+                    Term::Pair(_, b) => b.as_ref().clone(),
+                    _ => Term::Snd(p2),
+                }
+            }
+            Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+
+    fn hsub_ref(t: &TermRef, k: u32, s: &Term) -> TermRef {
+        if t.max_free() <= k && t.is_beta_normal() {
+            t.clone()
+        } else {
+            TermRef::new(hsub(t, k, s))
+        }
+    }
+
+    pub fn nf(t: &Term) -> Term {
+        if t.is_beta_normal() {
+            return t.clone();
+        }
+        match t {
+            Term::App(f, a) => match nf(f) {
+                Term::Lam(_, body) => hinstantiate(&body, &nf(a)),
+                g => Term::app(g, nf(a)),
+            },
+            Term::Lam(h, b) => Term::lam(h.clone(), nf_ref(b)),
+            Term::Pair(a, b) => Term::pair(nf_ref(a), nf_ref(b)),
+            Term::Fst(p) => match nf(p) {
+                Term::Pair(a, _) => a.into_term(),
+                q => Term::fst(q),
+            },
+            Term::Snd(p) => match nf(p) {
+                Term::Pair(_, b) => b.into_term(),
+                q => Term::snd(q),
+            },
+            Term::Var(_) | Term::Const(_) | Term::Meta(_) | Term::Int(_) | Term::Unit => t.clone(),
+        }
+    }
+
+    fn nf_ref(t: &TermRef) -> TermRef {
+        if t.is_beta_normal() {
+            t.clone()
+        } else {
+            TermRef::new(nf(t))
+        }
+    }
+
+    /// The old `MetaSubst::apply`: graft solutions (shifting by binder
+    /// depth) with every intermediate interned, then β-normalize.
+    pub fn apply_msubst(s: &hoas::unify::MetaSubst, t: &Term) -> Term {
+        fn graft(s: &hoas::unify::MetaSubst, t: &Term, depth: u32) -> Term {
+            if !t.has_metas() {
+                return t.clone();
+            }
+            match t {
+                Term::Meta(m) => match s.get(m) {
+                    Some(sol) => shift(sol, depth),
+                    None => t.clone(),
+                },
+                Term::Lam(h, b) => Term::lam(h.clone(), graft(s, b, depth + 1)),
+                Term::App(f, a) => Term::app(graft(s, f, depth), graft(s, a, depth)),
+                Term::Pair(a, b) => Term::pair(graft(s, a, depth), graft(s, b, depth)),
+                Term::Fst(p) => Term::fst(graft(s, p, depth)),
+                Term::Snd(p) => Term::snd(graft(s, p, depth)),
+                Term::Var(_) | Term::Const(_) | Term::Int(_) | Term::Unit => t.clone(),
+            }
+        }
+        nf(&graft(s, t, 0))
+    }
+}
+
+/// Asserts the scratch-path result is **id-identical** to the reference
+/// result: interning both (the new path's output root is uninterned until
+/// `TermRef::new`, exactly like the old path's) must hit the same store
+/// node. Also re-validates the cached annotations on the new result.
+fn assert_id_identical(new: &Term, old: &Term, what: &str) {
+    validate::check_term(new).unwrap_or_else(|e| panic!("{what}: bad annotations: {e}"));
+    let new_id = TermRef::new(new.clone()).id();
+    let old_id = TermRef::new(old.clone()).id();
+    assert_eq!(
+        new_id, old_id,
+        "{what}: scratch path diverged from the always-intern path"
+    );
+}
+
+/// Well-typed closed λ-encodings (type `tm`), the workhorse subject.
+fn closed_term(seed: u64, size: usize) -> Term {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    lambda::encode(&lambda::gen_closed(&mut rng, size)).unwrap()
+}
+
+/// Well-typed *open* terms over the λ-signature in a context of three
+/// `tm`-typed variables, so shifts and substitutions have real work to do.
+fn open_term(seed: u64, depth: u32) -> Term {
+    let sig = lambda::signature();
+    let ctx = [lambda::tm(), lambda::tm(), lambda::tm()];
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // The generator can fail on an unlucky budget; fall back to a small
+    // open term that still mentions all three context variables.
+    gen::open_term(sig, &mut rng, &ctx, &lambda::tm(), depth).unwrap_or_else(|| {
+        Term::apps(
+            Term::cnst("app"),
+            [
+                Term::Var(0),
+                Term::apps(Term::cnst("app"), [Term::Var(1), Term::Var(2)]),
+            ],
+        )
+    })
+}
+
+props! {
+    #![cases(64)]
+
+    fn shift_and_unshift_match_reference(seed in seeds(), depth in 1u32..5, d in 0u32..4, cutoff in 0u32..3) {
+        let t = open_term(seed, depth);
+        assert_id_identical(
+            &subst::shift_above(&t, d, cutoff),
+            &reference::shift_above(&t, d, cutoff),
+            "shift_above",
+        );
+        // Unshift what shift introduced: total by construction.
+        let up = subst::shift_above(&t, d, cutoff);
+        assert_id_identical(
+            &subst::unshift_above(&up, d, cutoff),
+            &reference::unshift_above(&up, d, cutoff),
+            "unshift_above",
+        );
+    }
+
+    fn subst_and_instantiate_match_reference(seed in seeds(), depth in 1u32..5, j in 0u32..3) {
+        let t = open_term(seed, depth);
+        let s = open_term(seed ^ 0x5C72, depth);
+        assert_id_identical(
+            &subst::subst(&t, j, &s),
+            &reference::subst(&t, j, &s),
+            "subst",
+        );
+        assert_id_identical(
+            &subst::instantiate(&t, &s),
+            &reference::instantiate(&t, &s),
+            "instantiate",
+        );
+    }
+
+    fn hereditary_substitution_matches_reference(seed in seeds(), depth in 1u32..5) {
+        let body = open_term(seed, depth);
+        let arg = open_term(seed ^ 0xA11C, depth);
+        assert_id_identical(
+            &normalize::hinstantiate(&body, &arg),
+            &reference::hinstantiate(&body, &arg),
+            "hinstantiate",
+        );
+        // And through the public happly entry on a manufactured redex.
+        let f = Term::lam("x", body.clone());
+        assert_id_identical(
+            &normalize::happly(f.clone(), arg.clone()),
+            &reference::hinstantiate(&body, &arg),
+            "happly",
+        );
+    }
+
+    fn nf_matches_reference_on_redex_chains(seed in seeds(), size in 2usize..30) {
+        // Closed canonical encodings have no redexes, so build some: a
+        // chain of administrative β-redexes and projections around `t`.
+        let t = closed_term(seed, size);
+        let redex = Term::app(
+            Term::lam("y", Term::fst(Term::pair(Term::Var(0), Term::Unit))),
+            Term::app(Term::lam("z", Term::Var(0)), t),
+        );
+        assert_id_identical(&normalize::nf(&redex), &reference::nf(&redex), "nf");
+        // The scratch path must also agree on open, non-normal inputs.
+        let open = Term::app(Term::lam("w", open_term(seed, 3)), open_term(seed ^ 0xBEEF, 2));
+        assert_id_identical(&normalize::nf(&open), &reference::nf(&open), "nf (open)");
+    }
+
+    fn msubst_apply_matches_reference(seed in seeds(), depth in 1u32..4) {
+        // ?F applied under a binder, with a λ solution so grafting creates
+        // redexes — the exact shape the engine's Miller fast path and the
+        // λProlog solver feed through `MetaSubst::apply`.
+        let m = MVar::new(0, "F");
+        let sol = Term::lam("x", Term::apps(
+            Term::cnst("app"),
+            [Term::Var(0), subst::shift(&open_term(seed, depth), 1)],
+        ));
+        let mut s = MetaSubst::new();
+        s.bind(m.clone(), sol);
+        let subject = Term::lam("y", Term::app(
+            subst::shift(&Term::Meta(m), 1),
+            open_term(seed ^ 0xD00D, depth),
+        ));
+        assert_id_identical(
+            &s.apply(&subject),
+            &reference::apply_msubst(&s, &subject),
+            "MetaSubst::apply",
+        );
+    }
+}
+
+// ------------------------------------------------- engine-level battery --
+
+/// Normalizes a subject under every strategy and asserts (a) the result's
+/// annotations validate — it was built by the batch-intern path — and
+/// (b) a second engine (fresh caches) reproduces the **same interned
+/// node**, so the scratch path is deterministic end-to-end.
+fn assert_engine_result_sound(sig: &Signature, rules: &RuleSet, ty: &Ty, subject: &Term) {
+    for strategy in STRATEGIES {
+        let mk = || {
+            Engine::with_config(
+                sig,
+                rules,
+                EngineConfig {
+                    strategy,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let a = mk().normalize(ty, subject).unwrap();
+        validate::check_term(&a.term)
+            .unwrap_or_else(|e| panic!("engine result fails check_term ({strategy:?}): {e}"));
+        let b = mk().normalize(ty, subject).unwrap();
+        assert_eq!(
+            TermRef::new(a.term.clone()).id(),
+            TermRef::new(b.term.clone()).id(),
+            "batch-interned engine results not id-deterministic ({strategy:?})"
+        );
+    }
+}
+
+props! {
+    #![cases(48)]
+
+    fn fol_rulesets_sound_under_scratch_kernel(seed in seeds(), depth in 2u32..5) {
+        let vocab = fol::Vocabulary::small();
+        let sig = vocab.signature();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let f = fol::gen_formula(&vocab, &mut rng, depth);
+        let t = fol::encode(&f).unwrap();
+        for rules in [fol_prenex::rules(&sig).unwrap(), fol_cnf::rules(&sig).unwrap()] {
+            assert_engine_result_sound(&sig, &rules, &fol::o(), &t);
+        }
+    }
+
+    fn imp_ruleset_sound_under_scratch_kernel(seed in seeds(), depth in 2u32..5) {
+        let sig = imp::signature();
+        let rules = imp_opt::rules(sig).unwrap();
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let c = imp::gen_cmd(&mut rng, depth);
+        let t = imp::encode(&c).unwrap();
+        assert_engine_result_sound(sig, &rules, &imp::cmd_ty(), &t);
+    }
+}
+
+/// Mini-ML programs are structured (not generator-driven): the standard
+/// arithmetic workload, both strategies.
+#[test]
+fn miniml_ruleset_sound_under_scratch_kernel() {
+    let sig = miniml::signature();
+    let rules = miniml_opt::rules(sig).unwrap();
+    use hoas::langs::miniml::Exp;
+    let programs = [
+        Exp::app(Exp::app(miniml::add_fn(), Exp::num(6)), Exp::num(7)),
+        Exp::app(Exp::app(miniml::mul_fn(), Exp::num(3)), Exp::num(4)),
+        Exp::app(miniml::fact_fn(), Exp::num(3)),
+        Exp::let_("x", Exp::num(2), Exp::var("x")),
+        Exp::case(Exp::num(2), Exp::num(0), "n", Exp::var("n")),
+    ];
+    for p in &programs {
+        let t = miniml::encode(p).unwrap();
+        assert_engine_result_sound(sig, &rules, &miniml::exp(), &t);
+    }
+}
+
+/// The counters must be live end-to-end. `batch_interned` and
+/// `refcount_ops_saved` move whenever the kernel's session-threaded
+/// rebuilds run, so a plain rewrite workload drives them through both the
+/// per-run `EngineStats` delta and the global `store::stats()`.
+#[test]
+fn batch_counters_surface_through_engine_and_store_stats() {
+    let vocab = fol::Vocabulary::small();
+    let sig = vocab.signature();
+    let rules = fol_prenex::rules(&sig).unwrap();
+    let engine = Engine::new(&sig, &rules);
+    let before = store::stats();
+    let mut rng = SmallRng::seed_from_u64(0x9C_A7C4);
+    let mut steps = 0;
+    let mut batch = 0;
+    let mut saved = 0;
+    for _ in 0..8 {
+        let f = fol::gen_formula(&vocab, &mut rng, 5);
+        let out = engine
+            .normalize(&fol::o(), &fol::encode(&f).unwrap())
+            .unwrap();
+        assert!(out.fixpoint);
+        steps += out.steps;
+        batch += out.stats.batch_interned;
+        saved += out.stats.refcount_ops_saved;
+    }
+    assert!(steps > 0, "workload never rewrote — counters untested");
+    assert!(batch > 0, "no batch-interned nodes over {steps} steps");
+    assert!(saved > 0, "no refcount ops saved over {steps} steps");
+    // Per-run deltas and the global snapshot agree in direction.
+    let d = store::stats().since(&before);
+    assert!(d.batch_interned >= batch);
+    assert!(d.refcount_ops_saved >= saved);
+    // And the engine's lifetime totals fold them in too.
+    let total = engine.stats();
+    assert!(total.batch_interned >= batch);
+    assert!(total.refcount_ops_saved >= saved);
+}
+
+/// `scratch_nodes` counts transient nodes built in a [`scratch`] arena;
+/// the finish pass reports how many died uninterned. Drive the arena
+/// directly — build a redex spine, normalize it in-arena, intern only the
+/// survivor — and both `scratch_nodes` and `refcount_ops_saved` must move
+/// in the global snapshot, with the result id-identical to the
+/// always-intern kernel's.
+#[test]
+fn scratch_counters_surface_through_store_stats() {
+    use hoas::core::scratch;
+    let before = store::stats();
+    // (λx. x x) (λy. y) — the redex and one copy of the argument die in
+    // the arena; only `λy. y` survives to interning.
+    let out = scratch::with_arena(|ar| {
+        let body = ar.of_term(&Term::app(Term::Var(0), Term::Var(0)));
+        let arg = ar.of_term(&Term::lam("y", Term::Var(0)));
+        let f = ar.lam(Sym::new("x"), body);
+        let redex = ar.app(f, arg);
+        let n = ar.nf_sid(redex);
+        ar.finish_term(n)
+    });
+    assert_eq!(
+        out,
+        normalize::nf(&Term::app(
+            Term::lam("x", Term::app(Term::Var(0), Term::Var(0))),
+            Term::lam("y", Term::Var(0)),
+        ))
+    );
+    let d = store::stats().since(&before);
+    assert!(d.scratch_nodes > 0, "arena build recorded no scratch nodes");
+    assert!(
+        d.refcount_ops_saved > 0,
+        "dead transients recorded no saved refcount ops"
+    );
+}
