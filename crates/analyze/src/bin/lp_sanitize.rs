@@ -15,6 +15,16 @@ use hoas_lp::{examples, Program};
 
 fn check(name: &str, prog: &Program, query: &str, vars: &[(&str, &str)]) -> Result<usize, String> {
     let outcome = modes::analyze_program(prog);
+    let mut preds: Vec<_> = outcome.preds.iter().collect();
+    preds.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()));
+    for (pred, report) in preds {
+        let verdict = if report.table {
+            "tabling-eligible (HA021)"
+        } else {
+            "not tabling-eligible"
+        };
+        println!("{name}: {pred} — {verdict}");
+    }
     let (goal, menv) =
         query_menv(prog.sig(), query, vars).map_err(|e| format!("{name}: bad query: {e}"))?;
     let cfg = SolveConfig {

@@ -221,7 +221,7 @@ pub fn check_program_gen1(target: &str, prog: &Program) -> Report {
     report
 }
 
-/// The mode/determinacy verdicts (HA013–HA015, HA019, HA020).
+/// The mode/determinacy verdicts (HA013–HA015, HA019–HA021).
 fn push_program_verdicts(report: &mut Report, prog: &Program) {
     let modes = crate::modes::analyze_program(prog);
     for (pred, verdict) in &modes.preds {
@@ -266,6 +266,15 @@ fn push_program_verdicts(report: &mut Report, prog: &Program) {
                 );
             }
             None => {}
+        }
+        if verdict.table {
+            report.push(
+                "HA021",
+                pred.as_str(),
+                "tabling-eligible: calls with ground moded inputs key a \
+                 sound answer table; `TableMode::Certified` memoizes them"
+                    .to_string(),
+            );
         }
     }
     for call in &modes.unmoded_calls {

@@ -132,6 +132,11 @@ pub const CODES: &[(&str, Severity, &str)] = &[
         Severity::Info,
         "analysis certificate issued for engine-enforced verdicts",
     ),
+    (
+        "HA021",
+        Severity::Info,
+        "predicate is tabling-eligible (moded input skeletons key a sound answer table)",
+    ),
 ];
 
 /// The severity of a known code.

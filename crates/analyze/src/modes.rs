@@ -75,6 +75,13 @@ pub struct PredReport {
     pub modes: Vec<Mode>,
     /// Committed-choice input positions, when apartness was proven.
     pub commit: Option<Vec<usize>>,
+    /// Tabling eligibility (`HA021`): the predicate admits a mode with
+    /// at least one input position (so calls can be keyed on ground
+    /// skeletons) and no hypothetical clause anywhere in the program
+    /// assumes it — an assumed clause would make answers depend on the
+    /// derivation context, which a context-free variant table cannot
+    /// express.
+    pub table: bool,
 }
 
 /// A body atom no surviving mode can serve even in the best case
@@ -396,12 +403,15 @@ pub fn analyze_program(prog: &Program) -> ModeOutcome {
     for (p, &arity) in arities.iter().filter(|(_, &n)| n <= MAX_MODED_ARITY) {
         let commit = commit_positions(prog, p, arity);
         let pred_modes = modes.remove(p).unwrap_or_default();
+        let table = pred_modes.iter().any(|m| m.inputs.iter().any(|&i| i))
+            && !prog.extended_hypothetically(p);
         preds.insert(
             p.clone(),
             PredReport {
                 arity,
                 modes: pred_modes.clone(),
                 commit: commit.clone(),
+                table,
             },
         );
         verdicts.insert(
@@ -409,6 +419,7 @@ pub fn analyze_program(prog: &Program) -> ModeOutcome {
             PredVerdict {
                 modes: pred_modes,
                 commit,
+                table,
             },
         );
     }

@@ -31,6 +31,55 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::{Command, ExitCode};
 
+/// Runs the solver-smoke fold workload (certified tabling, one cold
+/// pass and one warm pass over shared tables) in-process and returns
+/// the table counters it accrues, as a deterministic fingerprint of
+/// tabling behavior for the report's meta block.
+fn solver_table_fingerprint() -> hoas_core::store::InternStats {
+    use hoas_lp::solve::{query_menv, solve_with, SolveConfig};
+    use hoas_lp::{Clause, Program, SolveTables, TableMode};
+
+    let sig = hoas_core::sig::Signature::parse(
+        "type e. type o.
+         const zero : e. const one : e.
+         const plus : e -> e -> e.
+         const opt : e -> e -> o.",
+    )
+    .expect("well-formed signature");
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[], "opt zero zero", &[]).expect("clause"));
+    prog.push(Clause::parse(prog.sig(), &[], "opt one one", &[]).expect("clause"));
+    prog.push(
+        Clause::parse(
+            prog.sig(),
+            &[("X", "e"), ("Y", "e"), ("A", "e"), ("B", "e")],
+            "opt (plus ?X ?Y) (plus ?A ?B)",
+            &["opt ?X ?A", "opt ?Y ?B"],
+        )
+        .expect("clause"),
+    );
+    let cert = hoas_analyze::modes::analyze_program(&prog).cert;
+    let mut tree = String::from("one");
+    for _ in 0..10 {
+        tree = format!("(plus {tree} {tree})");
+    }
+    let (goal, menv) =
+        query_menv(prog.sig(), &format!("opt {tree} ?Z"), &[("Z", "e")]).expect("query parses");
+    let cfg = SolveConfig {
+        max_depth: 1 << 13,
+        fuel: 100_000_000,
+        table: TableMode::Certified,
+        ..SolveConfig::default()
+    };
+    let before = hoas_core::store::stats();
+    let mut tables = SolveTables::for_program(&prog);
+    for _ in 0..2 {
+        let out = solve_with(&prog, &menv, &goal, &cfg, Some(&cert), &mut tables).expect("solves");
+        assert_eq!(out.answers.len(), 1, "fold workload must solve");
+    }
+    hoas_core::store::stats().since(&before)
+}
+
 /// One measured benchmark, keyed by its `group/function/param` id.
 #[derive(Default)]
 struct Entry {
@@ -88,6 +137,7 @@ fn main() -> ExitCode {
             "parallel",
             "warm_start",
             "solver_det",
+            "solver",
         ]
         .map(String::from)
         .to_vec();
@@ -156,9 +206,21 @@ fn main() -> ExitCode {
         .ok()
         .filter(|&n| n > 0)
         .unwrap_or(threads);
+    // The benched runs happen in child processes, so the driver's
+    // thread-local table counters see none of them; run the canonical
+    // tabled workload (the solver-smoke shape) here instead, so the
+    // meta block records a stable tabling fingerprint — same workload,
+    // same expected counters — comparable across reports.
+    let table = solver_table_fingerprint();
     let mut json = format!(
         "[\n  {{\"meta\": \"host\", \"available_parallelism\": {threads}, \
-         \"host_cpus\": {host_cpus}}},\n"
+         \"host_cpus\": {host_cpus}, \"table_hits\": {}, \
+         \"table_variant_misses\": {}, \"table_suspensions\": {}, \
+         \"table_answers_reused\": {}}},\n",
+        table.table_hits,
+        table.table_variant_misses,
+        table.table_suspensions,
+        table.table_answers_reused,
     );
     let mut first = true;
     for (id, e) in &entries {

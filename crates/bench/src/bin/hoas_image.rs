@@ -17,14 +17,102 @@
 //! * `inspect PATH` — full validation (checksum, pool digest, semantic
 //!   decode) plus a section-by-section content report, without touching
 //!   any live cache.
+//!
+//! Both `save` and `load` also carry the solver's answer tables: `save`
+//! runs the tabled fold workload and exports its tables into the
+//! image; `load` absorbs them and fails unless a warm query scores a
+//! table hit without re-running any generator.
 
 use hoas_bench::workloads;
 use hoas_core::Term;
 use hoas_langs::fol;
-use hoas_rewrite::image::{inspect_warm_image, load_warm_image, save_warm_image};
+use hoas_lp::solve::{query_menv, solve_with, SolveConfig};
+use hoas_lp::{Clause, EntryState, Program, SolveTables, TableAnswer, TableMode};
+use hoas_rewrite::image::{
+    inspect_warm_image, load_warm_image_with_tables, save_warm_image_with_tables, SolverTableEntry,
+};
 use hoas_rewrite::rulesets::fol_prenex;
 use hoas_rewrite::{Engine, EngineCaches, EngineConfig};
 use std::process::ExitCode;
+
+/// The tabled solver workload both sides replay (the `solver-smoke`
+/// fold shape at depth 10).
+fn solver_workload() -> (
+    Program,
+    hoas_lp::Goal,
+    hoas_core::term::MetaEnv,
+    SolveConfig,
+) {
+    let sig = hoas_core::sig::Signature::parse(
+        "type e. type o.
+         const zero : e. const one : e.
+         const plus : e -> e -> e.
+         const opt : e -> e -> o.",
+    )
+    .expect("well-formed signature");
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[], "opt zero zero", &[]).expect("clause"));
+    prog.push(Clause::parse(prog.sig(), &[], "opt one one", &[]).expect("clause"));
+    prog.push(
+        Clause::parse(
+            prog.sig(),
+            &[("X", "e"), ("Y", "e"), ("A", "e"), ("B", "e")],
+            "opt (plus ?X ?Y) (plus ?A ?B)",
+            &["opt ?X ?A", "opt ?Y ?B"],
+        )
+        .expect("clause"),
+    );
+    let mut tree = String::from("one");
+    for _ in 0..10 {
+        tree = format!("(plus {tree} {tree})");
+    }
+    let (goal, menv) =
+        query_menv(prog.sig(), &format!("opt {tree} ?Z"), &[("Z", "e")]).expect("query parses");
+    let cfg = SolveConfig {
+        max_depth: 1 << 13,
+        fuel: 100_000_000,
+        table: TableMode::Force,
+        ..SolveConfig::default()
+    };
+    (prog, goal, menv, cfg)
+}
+
+/// `SolveTables` → the image codec's neutral entry form.
+fn export_tables(tables: &SolveTables) -> Vec<SolverTableEntry> {
+    tables
+        .entries()
+        .map(|(_, e)| SolverTableEntry {
+            pred: e.pred.clone(),
+            call: e.call.clone(),
+            call_tys: e.call_tys.clone(),
+            answers: e
+                .answers
+                .iter()
+                .map(|a| (a.term.clone(), a.meta_tys.clone()))
+                .collect(),
+            complete: e.state == EntryState::Complete,
+        })
+        .collect()
+}
+
+/// The image codec's neutral entry form → `SolveTables` pinned to
+/// `prog`.
+fn absorb_tables(prog: &Program, entries: Vec<SolverTableEntry>) -> SolveTables {
+    let mut tables = SolveTables::for_program(prog);
+    for e in entries {
+        tables.absorb(
+            e.pred,
+            e.call,
+            e.call_tys,
+            e.answers
+                .into_iter()
+                .map(|(term, meta_tys)| TableAnswer { term, meta_tys })
+                .collect(),
+            e.complete,
+        );
+    }
+    tables
+}
 
 /// The workload both `save` and `load` replay: identical construction on
 /// both sides is what lets re-interning land on the image's pool nodes.
@@ -44,19 +132,26 @@ fn save(path: &str) -> ExitCode {
         let out = engine.normalize(&fol::o(), e).expect("well-typed");
         assert!(out.fixpoint, "prenex workload must normalize");
     }
+    let (prog, goal, menv, cfg) = solver_workload();
+    let mut tables = SolveTables::for_program(&prog);
+    let out = solve_with(&prog, &menv, &goal, &cfg, None, &mut tables).expect("solves");
+    assert_eq!(out.answers.len(), 1, "fold workload must solve");
     // `encoded` is still alive here: the subjects' source skeletons must
     // be in the store so their cache keys reach the image's pool.
-    let image = save_warm_image(&caches);
+    let image = save_warm_image_with_tables(&caches, &export_tables(&tables));
     if let Err(e) = std::fs::write(path, &image) {
         eprintln!("hoas-image: cannot write {path}: {e}");
         return ExitCode::FAILURE;
     }
     let stats = engine.stats();
     println!(
-        "hoas-image: saved {} bytes to {path} ({} nodes hashed, {} cache lookups warm)",
+        "hoas-image: saved {} bytes to {path} ({} nodes hashed, {} cache lookups warm, \
+         {} solver variants, {} stored answers)",
         image.len(),
         stats.hashed_nodes,
         stats.cache_lookups,
+        tables.len(),
+        tables.answer_count(),
     );
     ExitCode::SUCCESS
 }
@@ -80,7 +175,7 @@ fn load(path: &str) -> ExitCode {
         std::hint::black_box(hoas_core::TermRef::new(Term::Int(0x5a17 + k)));
     }
     let caches = EngineCaches::new();
-    let loaded = match load_warm_image(&image, &caches) {
+    let (loaded, solver_entries) = match load_warm_image_with_tables(&image, &caches) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("hoas-image: {path} rejected: {e}");
@@ -137,6 +232,27 @@ fn load(path: &str) -> ExitCode {
         eprintln!("hoas-image: FAIL — image loaded no pool nodes or cache entries");
         ok = false;
     }
+    // Solver-table round trip: the absorbed tables must answer the
+    // warm query entirely by replay — one hit, zero generator runs.
+    let (prog, goal, menv, cfg) = solver_workload();
+    let mut tables = absorb_tables(&prog, solver_entries);
+    if loaded.solver_table_entries == 0 || tables.answer_count() == 0 {
+        eprintln!("hoas-image: FAIL — image carried no solver table entries");
+        ok = false;
+    }
+    let out = solve_with(&prog, &menv, &goal, &cfg, None, &mut tables).expect("solves");
+    println!(
+        "hoas-image: warm solver query: {} answer(s), tables {:?}",
+        out.answers.len(),
+        out.tables,
+    );
+    if out.answers.len() != 1 || out.tables.hits == 0 || out.tables.variant_misses != 0 {
+        eprintln!(
+            "hoas-image: FAIL — warm solver query did not replay from the \
+             reloaded tables (want 1 answer, nonzero hits, zero variant misses)"
+        );
+        ok = false;
+    }
     if ok {
         println!("hoas-image: warm replay OK — zero rule-NF misses");
         ExitCode::SUCCESS
@@ -163,6 +279,8 @@ fn inspect(path: &str) -> ExitCode {
                  \x20 rule-NF entries     {}\n\
                  \x20 head-type entries   {}\n\
                  \x20 root-memo entries   {}\n\
+                 \x20 solver variants     {}\n\
+                 \x20 solver answers      {}\n\
                  \x20 entries reloadable  {}\n\
                  \x20 entries dropped     {}",
                 s.bytes,
@@ -172,6 +290,8 @@ fn inspect(path: &str) -> ExitCode {
                 s.rule_nf_entries,
                 s.head_ty_entries,
                 s.root_memo_entries,
+                s.solver_table_entries,
+                s.solver_answers,
                 s.entries_reloaded,
                 s.entries_dropped,
             );

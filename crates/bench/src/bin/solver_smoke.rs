@@ -1,0 +1,130 @@
+//! `solver-smoke` — CI gate for the solver's answer tables.
+//!
+//! Runs a shared-subtree workload (the `fold-shared` solver bench
+//! shape) through the tabled solver twice over one [`SolveTables`] and
+//! asserts, in order:
+//!
+//! * the tabled and untabled searches agree on the answer;
+//! * the first pass records variant misses and inserted answers (the
+//!   tables are actually being consulted and populated);
+//! * the second pass scores a **nonzero table hit count** and reuses
+//!   stored answers — the regression this guards against is a gate or
+//!   key change that silently stops tabling (which would only show up
+//!   as a slow bench otherwise);
+//! * the counters reached the process-wide
+//!   [`hoas_core::store::stats`] mirror that `EngineStats` and the
+//!   `BENCH_*.json` meta block report.
+//!
+//! Run with `cargo run --release -p hoas-bench --bin solver-smoke`.
+
+use hoas_analyze::modes;
+use hoas_core::sig::Signature;
+use hoas_core::store;
+use hoas_lp::solve::{query_menv, solve_certified, solve_with, SolveConfig};
+use hoas_lp::{Clause, Program, SolveTables, TableMode};
+use std::process::ExitCode;
+
+fn fold_program() -> Program {
+    let sig = Signature::parse(
+        "type e. type o.
+         const zero : e. const one : e.
+         const plus : e -> e -> e.
+         const opt : e -> e -> o.",
+    )
+    .expect("well-formed signature");
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[], "opt zero zero", &[]).expect("clause"));
+    prog.push(Clause::parse(prog.sig(), &[], "opt one one", &[]).expect("clause"));
+    prog.push(
+        Clause::parse(
+            prog.sig(),
+            &[("X", "e"), ("Y", "e"), ("A", "e"), ("B", "e")],
+            "opt (plus ?X ?Y) (plus ?A ?B)",
+            &["opt ?X ?A", "opt ?Y ?B"],
+        )
+        .expect("clause"),
+    );
+    prog
+}
+
+fn main() -> ExitCode {
+    let depth = 10usize;
+    let prog = fold_program();
+    let outcome = modes::analyze_program(&prog);
+    let mut tree = String::from("one");
+    for _ in 0..depth {
+        tree = format!("(plus {tree} {tree})");
+    }
+    let (goal, menv) =
+        query_menv(prog.sig(), &format!("opt {tree} ?Z"), &[("Z", "e")]).expect("query parses");
+    let cfg = SolveConfig {
+        max_depth: 1 << (depth + 3),
+        fuel: 100_000_000,
+        ..SolveConfig::default()
+    };
+    let tabled_cfg = SolveConfig {
+        table: TableMode::Certified,
+        ..cfg
+    };
+
+    let before = store::stats();
+    let plain = solve_certified(&prog, &menv, &goal, &cfg, &outcome.cert).expect("solves");
+    let mut tables = SolveTables::for_program(&prog);
+    let first = solve_with(
+        &prog,
+        &menv,
+        &goal,
+        &tabled_cfg,
+        Some(&outcome.cert),
+        &mut tables,
+    )
+    .expect("solves");
+    let second = solve_with(
+        &prog,
+        &menv,
+        &goal,
+        &tabled_cfg,
+        Some(&outcome.cert),
+        &mut tables,
+    )
+    .expect("solves");
+
+    println!(
+        "solver-smoke: fold depth-{depth}: plain {} answer(s); tabled pass 1: {:?}; pass 2: {:?}",
+        plain.answers.len(),
+        first.tables,
+        second.tables,
+    );
+    if plain.answers.len() != 1 || first.answers.len() != 1 || second.answers.len() != 1 {
+        eprintln!("solver-smoke: FAIL — tabled and untabled answer counts diverge");
+        return ExitCode::FAILURE;
+    }
+    if plain.answers[0].to_string() != first.answers[0].to_string() {
+        eprintln!("solver-smoke: FAIL — tabled answer differs from untabled");
+        return ExitCode::FAILURE;
+    }
+    if first.tables.variant_misses == 0 || first.tables.answers_inserted == 0 {
+        eprintln!("solver-smoke: FAIL — the first tabled pass never populated a table");
+        return ExitCode::FAILURE;
+    }
+    if second.tables.hits == 0 || second.tables.answers_reused == 0 {
+        eprintln!("solver-smoke: FAIL — the warm second pass scored zero table hits");
+        return ExitCode::FAILURE;
+    }
+    if second.tables.variant_misses != 0 {
+        eprintln!("solver-smoke: FAIL — a warm repeat call re-ran a generator");
+        return ExitCode::FAILURE;
+    }
+    let delta = store::stats().since(&before);
+    if delta.table_hits == 0 || delta.table_answers_reused == 0 {
+        eprintln!("solver-smoke: FAIL — table counters never reached the store-stats mirror");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "solver-smoke: ok — {} variants, {} stored answers, {} warm hits",
+        tables.len(),
+        tables.answer_count(),
+        second.tables.hits,
+    );
+    ExitCode::SUCCESS
+}

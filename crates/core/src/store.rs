@@ -155,6 +155,17 @@ pub struct InternStats {
     /// scratch node that was never interned at all. An observability
     /// gauge, not an exact accounting.
     pub refcount_ops_saved: u64,
+    /// Solver-table lookups answered by a complete variant entry
+    /// (recorded by `hoas-lp` via [`record_table_events`]).
+    pub table_hits: u64,
+    /// Solver-table lookups that ran (or re-ran) a generator for a new
+    /// or incomplete call variant.
+    pub table_variant_misses: u64,
+    /// Solver calls that consumed an in-progress table entry — a
+    /// same-SCC loop handled by the restart-fixpoint protocol.
+    pub table_suspensions: u64,
+    /// Stored table answers replayed into callers without search.
+    pub table_answers_reused: u64,
 }
 
 impl InternStats {
@@ -179,6 +190,10 @@ impl InternStats {
             scratch_nodes: self.scratch_nodes - earlier.scratch_nodes,
             batch_interned: self.batch_interned - earlier.batch_interned,
             refcount_ops_saved: self.refcount_ops_saved - earlier.refcount_ops_saved,
+            table_hits: self.table_hits - earlier.table_hits,
+            table_variant_misses: self.table_variant_misses - earlier.table_variant_misses,
+            table_suspensions: self.table_suspensions - earlier.table_suspensions,
+            table_answers_reused: self.table_answers_reused - earlier.table_answers_reused,
         }
     }
 }
@@ -921,6 +936,10 @@ struct ThreadCtx {
     scratch: u64,
     batch: u64,
     saved: u64,
+    table_hits: u64,
+    table_variant_misses: u64,
+    table_suspensions: u64,
+    table_answers_reused: u64,
 }
 
 /// A per-thread, lock-free, direct-mapped cache of recently interned
@@ -972,6 +991,10 @@ thread_local! {
             scratch: 0,
             batch: 0,
             saved: 0,
+            table_hits: 0,
+            table_variant_misses: 0,
+            table_suspensions: 0,
+            table_answers_reused: 0,
         })
     };
 }
@@ -1019,6 +1042,7 @@ pub(crate) fn with_session<R>(f: impl FnOnce(&mut InternSession<'_>) -> R) -> R 
             scratch,
             batch,
             saved,
+            ..
         } = &mut *borrow;
         let store: &TermStore = match current {
             Some(h) => &h.0,
@@ -1161,8 +1185,27 @@ pub fn stats() -> InternStats {
             scratch_nodes: ctx.scratch,
             batch_interned: ctx.batch,
             refcount_ops_saved: ctx.saved,
+            table_hits: ctx.table_hits,
+            table_variant_misses: ctx.table_variant_misses,
+            table_suspensions: ctx.table_suspensions,
+            table_answers_reused: ctx.table_answers_reused,
         }
     })
+}
+
+/// Accumulates one solve's answer-table counters into this thread's
+/// [`InternStats`] gauges. Called by `hoas-lp` after every solve (the
+/// term store is where the table keys live, so table traffic is part of
+/// the node-sharing story this module reports on); a no-op for solves
+/// with tabling off, since all four deltas are zero.
+pub fn record_table_events(hits: u64, variant_misses: u64, suspensions: u64, answers_reused: u64) {
+    CTX.with(|ctx| {
+        let mut ctx = ctx.borrow_mut();
+        ctx.table_hits += hits;
+        ctx.table_variant_misses += variant_misses;
+        ctx.table_suspensions += suspensions;
+        ctx.table_answers_reused += answers_reused;
+    });
 }
 
 /// Evicts every dead class of the thread's current store *now* and

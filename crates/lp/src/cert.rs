@@ -63,6 +63,14 @@ pub struct PredVerdict {
     /// listed position is ground at the call and no hypothetical
     /// clause for the predicate is in scope.
     pub commit: Option<Vec<usize>>,
+    /// Whether the predicate is **tabling-eligible**: it admits at
+    /// least one mode with an input position (so calls can be keyed on
+    /// ground skeletons) and no program clause extends it (or any
+    /// predicate) hypothetically in a way the analysis could not
+    /// account for. Under [`crate::table::TableMode::Certified`] the
+    /// solver tables exactly the eligible calls whose admitted-mode
+    /// input positions are ground.
+    pub table: bool,
 }
 
 /// Mixes one 64-bit word into a running fingerprint (same scheme as

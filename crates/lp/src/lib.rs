@@ -41,7 +41,12 @@ pub mod codec;
 pub mod examples;
 pub mod program;
 pub mod solve;
+pub mod table;
 
 pub use cert::{Mode, PredVerdict, ProgramCert};
 pub use program::{Clause, Goal, Program};
-pub use solve::{solve, solve_certified, Answer, LpError, SolveConfig};
+pub use solve::{
+    solve, solve_certified, solve_with, Answer, CutBy, LpError, Outcome, SearchStrategy,
+    SolveConfig,
+};
+pub use table::{EntryState, SolveTables, TableAnswer, TableEntry, TableMode, TableStats};

@@ -4,7 +4,7 @@ use hoas_core::parse::{parse_term_with, MetaTable};
 use hoas_core::sig::Signature;
 use hoas_core::term::MetaEnv;
 use hoas_core::{MVar, Sym, Term, Ty};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::fmt;
 
 /// A goal formula of the hereditary Harrop fragment.
@@ -245,18 +245,62 @@ impl fmt::Display for Clause {
     }
 }
 
+/// Per-predicate call-pattern index entry: where the predicate's
+/// clauses live and which predicates its bodies call. Maintained
+/// incrementally by [`Program::push`] and consumed by the solver's
+/// choice-point construction and the tabling-eligibility analysis.
+#[derive(Clone, Debug, Default)]
+struct PredIndex {
+    /// Positions in [`Program::clauses`] of clauses with this head, in
+    /// insertion order (the solver's trial order).
+    clauses: Vec<usize>,
+    /// Head predicates of every atom reachable in this predicate's
+    /// clause bodies (including inside `Π` and `⇒` subgoals).
+    callees: BTreeSet<Sym>,
+}
+
 /// A logic program: a signature plus an ordered clause list, indexed by
 /// head predicate for backchaining.
 #[derive(Clone, Debug)]
 pub struct Program {
     sig: Signature,
     clauses: Vec<Clause>,
-    /// First-argument-free indexing: clause positions per head predicate,
-    /// in insertion order. Clauses whose head is not headed by a constant
+    /// First-argument-free indexing: clause positions and body callees
+    /// per head predicate. Clauses whose head is not headed by a constant
     /// (ill-formed; rejected by `hoas-analyze` as HA011) are unindexed —
     /// backchaining can never select them, so dropping them from every
     /// bucket preserves solver behavior exactly.
-    by_pred: HashMap<Sym, Vec<usize>>,
+    by_pred: HashMap<Sym, PredIndex>,
+    /// Predicates that some clause body extends hypothetically (appear
+    /// as the head of a `⇒`-assumed clause). Their program buckets are
+    /// not the whole story at runtime, which disqualifies them from
+    /// tabling and committed-choice enforcement.
+    hyp_heads: BTreeSet<Sym>,
+}
+
+/// Collects the head predicates of all atoms in a goal, plus the heads
+/// of hypothetically assumed clauses, into the two accumulators.
+fn goal_calls(g: &Goal, calls: &mut BTreeSet<Sym>, hyps: &mut BTreeSet<Sym>) {
+    match g {
+        Goal::True => {}
+        Goal::Atom(t) => {
+            if let Term::Const(c) = t.spine().0 {
+                calls.insert(c.clone());
+            }
+        }
+        Goal::And(a, b) => {
+            goal_calls(a, calls, hyps);
+            goal_calls(b, calls, hyps);
+        }
+        Goal::Impl(d, g) => {
+            if let Some(p) = d.head_pred() {
+                hyps.insert(p.clone());
+            }
+            goal_calls(&d.body, calls, hyps);
+            goal_calls(g, calls, hyps);
+        }
+        Goal::All(_, _, b) => goal_calls(b, calls, hyps),
+    }
 }
 
 impl Program {
@@ -266,16 +310,18 @@ impl Program {
             sig,
             clauses: Vec::new(),
             by_pred: HashMap::new(),
+            hyp_heads: BTreeSet::new(),
         }
     }
 
     /// Adds a clause (tried in insertion order).
     pub fn push(&mut self, clause: Clause) -> &mut Self {
+        let mut calls = BTreeSet::new();
+        goal_calls(&clause.body, &mut calls, &mut self.hyp_heads);
         if let Some(p) = clause.head_pred() {
-            self.by_pred
-                .entry(p.clone())
-                .or_default()
-                .push(self.clauses.len());
+            let entry = self.by_pred.entry(p.clone()).or_default();
+            entry.clauses.push(self.clauses.len());
+            entry.callees.extend(calls);
         }
         self.clauses.push(clause);
         self
@@ -294,11 +340,56 @@ impl Program {
     /// The clauses whose head predicate is `pred`, in insertion order —
     /// an O(bucket) lookup instead of a scan over the whole program.
     pub fn clauses_for(&self, pred: &Sym) -> impl Iterator<Item = &Clause> {
+        self.clause_indices_for(pred)
+            .iter()
+            .map(|&i| &self.clauses[i])
+    }
+
+    /// Positions (into [`Program::clauses`]) of the clauses whose head
+    /// predicate is `pred`, in insertion order. The solver's explicit
+    /// choice points store these indices instead of cloned clauses.
+    pub fn clause_indices_for(&self, pred: &Sym) -> &[usize] {
+        self.by_pred.get(pred).map_or(&[], |e| &e.clauses)
+    }
+
+    /// The predicates with at least one indexed clause.
+    pub fn preds(&self) -> impl Iterator<Item = &Sym> {
+        self.by_pred.keys()
+    }
+
+    /// Head predicates of the atoms called in `pred`'s clause bodies.
+    pub fn callees(&self, pred: &Sym) -> impl Iterator<Item = &Sym> {
         self.by_pred
             .get(pred)
+            .map(|e| e.callees.iter())
             .into_iter()
             .flatten()
-            .map(|&i| &self.clauses[i])
+    }
+
+    /// Whether some clause body assumes a `⇒`-clause whose head is
+    /// `pred`: the program bucket then under-approximates the runtime
+    /// clause set, so determinacy and tabling verdicts must not rely on
+    /// it.
+    pub fn extended_hypothetically(&self, pred: &Sym) -> bool {
+        self.hyp_heads.contains(pred)
+    }
+
+    /// Whether `pred` can (transitively) call itself, per the static
+    /// call-pattern index — the shape on which answer tabling pays off
+    /// and unbounded recursion is possible.
+    pub fn recursive(&self, pred: &Sym) -> bool {
+        let mut seen = BTreeSet::new();
+        let mut work: Vec<&Sym> = self
+            .callees(pred)
+            .filter(|c| seen.insert((*c).clone()))
+            .collect();
+        while let Some(p) = work.pop() {
+            if p == pred {
+                return true;
+            }
+            work.extend(self.callees(p).filter(|c| seen.insert((*c).clone())));
+        }
+        false
     }
 }
 

@@ -199,6 +199,19 @@ pub struct EngineStats {
     /// versus intern-every-intermediate (see
     /// [`hoas_core::InternStats::refcount_ops_saved`]).
     pub refcount_ops_saved: u64,
+    /// Solver answer-table hits: tabled calls answered entirely from a
+    /// completed table (thread-wide; see
+    /// [`hoas_core::InternStats::table_hits`]).
+    pub table_hits: u64,
+    /// Tabled calls whose variant key was new, forcing a generator run
+    /// (see [`hoas_core::InternStats::table_variant_misses`]).
+    pub table_variant_misses: u64,
+    /// Tabled calls suspended on an in-progress producer (same-SCC
+    /// loops; see [`hoas_core::InternStats::table_suspensions`]).
+    pub table_suspensions: u64,
+    /// Table answers replayed into consumers instead of re-derived (see
+    /// [`hoas_core::InternStats::table_answers_reused`]).
+    pub table_answers_reused: u64,
     /// Size in bytes of the last warm image loaded into this cache
     /// bundle (`0` when none was).
     pub image_bytes: u64,
@@ -240,6 +253,10 @@ impl EngineStats {
             scratch_nodes: self.scratch_nodes - earlier.scratch_nodes,
             batch_interned: self.batch_interned - earlier.batch_interned,
             refcount_ops_saved: self.refcount_ops_saved - earlier.refcount_ops_saved,
+            table_hits: self.table_hits - earlier.table_hits,
+            table_variant_misses: self.table_variant_misses - earlier.table_variant_misses,
+            table_suspensions: self.table_suspensions - earlier.table_suspensions,
+            table_answers_reused: self.table_answers_reused - earlier.table_answers_reused,
             // Persistence gauges describe the cache bundle's last image
             // load, not per-call work: carried over like the index shape.
             image_bytes: self.image_bytes,
@@ -601,6 +618,10 @@ impl<'a> Engine<'a> {
             scratch_nodes: intern.scratch_nodes,
             batch_interned: intern.batch_interned,
             refcount_ops_saved: intern.refcount_ops_saved,
+            table_hits: intern.table_hits,
+            table_variant_misses: intern.table_variant_misses,
+            table_suspensions: intern.table_suspensions,
+            table_answers_reused: intern.table_answers_reused,
             image_bytes: self.caches.persist.image_bytes.load(Ordering::Relaxed),
             remapped_ids: self.caches.persist.remapped_ids.load(Ordering::Relaxed),
             cache_entries_reloaded: self.caches.persist.entries_reloaded.load(Ordering::Relaxed),

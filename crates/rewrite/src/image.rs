@@ -33,10 +33,37 @@ use crate::engine::{MatchPath, RewriteStep, Strategy};
 use hoas_core::codec::{CodecError, Decoder, Encoder, Kind};
 use hoas_core::normalize::CanonExport;
 use hoas_core::store;
-use hoas_core::{Sym, Ty};
+use hoas_core::{Sym, Term, TermRef, Ty};
 use std::collections::HashMap;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+
+/// One solver variant-table entry in engine-neutral form, for carrying
+/// `hoas_lp` answer tables inside a warm image without a crate
+/// dependency in either direction. The caller converts to and from
+/// `hoas_lp::SolveTables` (via its `entries()` and `absorb` API); the
+/// image layer only needs terms, types, and the completion flag.
+///
+/// The canonical call and its answers are ordinary terms, so they ride
+/// the image's node pool: on load they re-intern onto pool nodes and
+/// the table key (the call's content-addressed [`TermRef`]) is stable
+/// across processes.
+#[derive(Clone, Debug)]
+pub struct SolverTableEntry {
+    /// The tabled predicate.
+    pub pred: Sym,
+    /// The canonical call atom (metavariables `0..k` in
+    /// first-occurrence order).
+    pub call: Term,
+    /// Types of the canonical call's metavariables `0..k`.
+    pub call_tys: Vec<Ty>,
+    /// Stored answers: each an instance of the call atom plus the types
+    /// of its residual metavariables `0..k`.
+    pub answers: Vec<(Term, Vec<Ty>)>,
+    /// Whether the entry's answer set reached its least fixpoint
+    /// (replayable without re-running the generator).
+    pub complete: bool,
+}
 
 /// What a warm image contained and what a load did with it.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -55,6 +82,10 @@ pub struct ImageStats {
     pub head_ty_entries: u64,
     /// Root-step memo entries carried by the image.
     pub root_memo_entries: u64,
+    /// Solver variant-table entries carried by the image.
+    pub solver_table_entries: u64,
+    /// Solver answers carried across all variant-table entries.
+    pub solver_answers: u64,
     /// Cache entries whose keys remapped and were installed.
     pub entries_reloaded: u64,
     /// Cache entries dropped because a key failed to remap.
@@ -69,6 +100,16 @@ pub struct ImageStats {
 /// dropped there.
 #[must_use]
 pub fn save_warm_image(caches: &EngineCaches) -> Vec<u8> {
+    save_warm_image_with_tables(caches, &[])
+}
+
+/// [`save_warm_image`], additionally carrying solver variant tables.
+///
+/// Table entries are written sorted by the canonical call's content
+/// hash, so the image bytes are deterministic regardless of the hash
+/// map iteration order the caller exported them in.
+#[must_use]
+pub fn save_warm_image_with_tables(caches: &EngineCaches, tables: &[SolverTableEntry]) -> Vec<u8> {
     let mut enc = Encoder::new(Kind::Image);
 
     // The pool is the store: registering the snapshot (id order, so
@@ -162,6 +203,25 @@ pub fn save_warm_image(caches: &EngineCaches) -> Vec<u8> {
         }
     }
 
+    // Solver variant tables, sorted by the canonical call's content
+    // hash (stable across processes, unlike raw node ids).
+    {
+        let mut sorted: Vec<&SolverTableEntry> = tables.iter().collect();
+        sorted.sort_by_key(|e| TermRef::new(e.call.clone()).content_hash());
+        enc.put_u64(sorted.len() as u64);
+        for e in sorted {
+            enc.put_sym(&e.pred);
+            enc.put_term(&e.call);
+            put_tys(&mut enc, &e.call_tys);
+            enc.put_bool(e.complete);
+            enc.put_u64(e.answers.len() as u64);
+            for (t, tys) in &e.answers {
+                enc.put_term(t);
+                put_tys(&mut enc, tys);
+            }
+        }
+    }
+
     enc.finish()
 }
 
@@ -180,6 +240,20 @@ pub fn save_warm_image(caches: &EngineCaches) -> Vec<u8> {
 /// wrong-version, or wrong-kind image is rejected without touching
 /// `caches` beyond entries already absorbed before the error.
 pub fn load_warm_image(bytes: &[u8], caches: &EngineCaches) -> Result<ImageStats, CodecError> {
+    load_warm_image_with_tables(bytes, caches).map(|(stats, _)| stats)
+}
+
+/// [`load_warm_image`], additionally returning the solver variant
+/// tables the image carried (empty for images saved without them). The
+/// caller re-imports them via `hoas_lp::SolveTables::absorb`.
+///
+/// # Errors
+///
+/// Any [`CodecError`], as for [`load_warm_image`].
+pub fn load_warm_image_with_tables(
+    bytes: &[u8],
+    caches: &EngineCaches,
+) -> Result<(ImageStats, Vec<SolverTableEntry>), CodecError> {
     let mut dec = Decoder::new(bytes, Kind::Image)?;
     let mut stats = ImageStats {
         bytes: bytes.len() as u64,
@@ -298,6 +372,35 @@ pub fn load_warm_image(bytes: &[u8], caches: &EngineCaches) -> Result<ImageStats
         }
     }
 
+    // Solver variant tables. Answer terms decode through the pool like
+    // any other term, so no per-entry remap can fail here: the entry is
+    // either decoded whole or the image is rejected.
+    let mut tables = Vec::new();
+    let n_tables = dec.get_u64()?;
+    for _ in 0..n_tables {
+        let pred = dec.get_sym()?;
+        let call = dec.get_term()?.into_term();
+        let call_tys = get_tys(&mut dec)?;
+        let complete = dec.get_bool()?;
+        let n_answers = dec.get_u64()?;
+        let mut answers = Vec::new();
+        for _ in 0..n_answers {
+            let t = dec.get_term()?.into_term();
+            let tys = get_tys(&mut dec)?;
+            answers.push((t, tys));
+        }
+        stats.solver_table_entries += 1;
+        stats.solver_answers += n_answers;
+        stats.entries_reloaded += 1;
+        tables.push(SolverTableEntry {
+            pred,
+            call,
+            call_tys,
+            answers,
+            complete,
+        });
+    }
+
     stats.remapped_ids = dec.remapped_ids();
     dec.finish()?;
 
@@ -308,7 +411,7 @@ pub fn load_warm_image(bytes: &[u8], caches: &EngineCaches) -> Result<ImageStats
         .store(stats.entries_reloaded, Ordering::Relaxed);
     p.entries_dropped
         .store(stats.entries_dropped, Ordering::Relaxed);
-    Ok(stats)
+    Ok((stats, tables))
 }
 
 /// Decodes a warm image into a throwaway cache bundle (the pool still
@@ -490,6 +593,48 @@ mod tests {
             assert_eq!(es.cache_misses, 0, "warm replay takes zero rule-NF misses");
             assert!(es.memo_hits > 0, "root memo replays whole steps");
             assert!(es.image_bytes > 0 && es.cache_entries_reloaded > 0);
+        });
+    }
+
+    #[test]
+    fn solver_tables_ride_the_image() {
+        let (image, call_str) = StoreHandle::isolated().enter(|| {
+            let sig = fol_sig();
+            let call = parse_term(&sig, "p c0").expect("call parses").term;
+            let ans = parse_term(&sig, "q c0").expect("answer parses").term;
+            let entry = SolverTableEntry {
+                pred: Sym::from("p"),
+                call: call.clone(),
+                call_tys: vec![],
+                answers: vec![(ans, vec![])],
+                complete: true,
+            };
+            let image = save_warm_image_with_tables(&EngineCaches::new(), &[entry]);
+            (image, call.to_string())
+        });
+
+        StoreHandle::isolated().enter(|| {
+            let (stats, tables) =
+                load_warm_image_with_tables(&image, &EngineCaches::new()).expect("image loads");
+            assert_eq!(stats.solver_table_entries, 1);
+            assert_eq!(stats.solver_answers, 1);
+            assert_eq!(tables.len(), 1);
+            assert_eq!(tables[0].pred.as_str(), "p");
+            assert_eq!(tables[0].call.to_string(), call_str);
+            assert!(tables[0].complete);
+            assert_eq!(tables[0].answers.len(), 1);
+        });
+
+        // A plain save carries an empty table section, and a plain load
+        // of a table-bearing image just drops the tables.
+        StoreHandle::isolated().enter(|| {
+            let plain = save_warm_image(&EngineCaches::new());
+            let (stats, tables) =
+                load_warm_image_with_tables(&plain, &EngineCaches::new()).expect("loads");
+            assert_eq!(stats.solver_table_entries, 0);
+            assert!(tables.is_empty());
+            let stats = load_warm_image(&image, &EngineCaches::new()).expect("loads");
+            assert_eq!(stats.solver_table_entries, 1);
         });
     }
 

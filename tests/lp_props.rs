@@ -8,11 +8,12 @@
 use hoas::langs::lambda::{self, LTerm};
 use hoas::langs::miniml::Exp;
 use hoas::langs::miniml_types::{self, MlTy};
-use hoas::lp::examples::stlc_program;
-use hoas::lp::solve::{query_menv, solve, SolveConfig};
-use hoas::lp::{Clause, Program};
+use hoas::lp::examples::{self, stlc_program};
+use hoas::lp::solve::{query_menv, solve, solve_certified, SolveConfig};
+use hoas::lp::{Clause, CutBy, Goal, LpError, Program};
 use hoas_core::sig::Signature;
-use hoas_core::Term;
+use hoas_core::term::MetaEnv;
+use hoas_core::{MVar, Term, Ty};
 use hoas_testkit::gen;
 use hoas_testkit::prelude::*;
 use std::collections::HashMap;
@@ -111,7 +112,7 @@ props! {
             ..SolveConfig::default()
         };
         let out = solve(&prog, &menv, &goal, &cfg).unwrap();
-        if out.exhausted || out.floundered {
+        if out.incomplete() || out.floundered {
             // Budget-limited instance: inconclusive, skip.
             return Ok(());
         }
@@ -174,7 +175,7 @@ props! {
                     oracle.contains(&end),
                     "lp proves path n{} n{} but the oracle disagrees", start, end
                 );
-            } else if !out.exhausted {
+            } else if !out.incomplete() {
                 prop_assert!(
                     !oracle.contains(&end),
                     "exhaustive search misses path n{} n{}", start, end
@@ -243,4 +244,345 @@ fn encode_src(src: &str) -> String {
         }
         other => panic!("unknown combinator source: {other}"),
     }
+}
+
+// ----------------------------------------------------------------------
+// Unit tests migrated from `crates/lp/src/solve.rs` (the solver's
+// behavioral contract — resolution, enumeration, scoping, floundering —
+// plus the new machine-only regressions below).
+
+#[test]
+fn append_ground_query() {
+    let prog = examples::append_program();
+    let (goal, menv) = query_menv(
+        prog.sig(),
+        "append (cons a nil) (cons b nil) ?Z",
+        &[("Z", "i")],
+    )
+    .unwrap();
+    let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+    assert_eq!(out.answers.len(), 1);
+    assert_eq!(
+        out.answers[0].get("Z").unwrap().to_string(),
+        "cons a (cons b nil)"
+    );
+}
+
+#[test]
+fn append_enumerates_splits() {
+    let prog = examples::append_program();
+    // append ?X ?Y (cons a (cons b nil)) — three ways to split.
+    let (goal, menv) = query_menv(
+        prog.sig(),
+        "append ?X ?Y (cons a (cons b nil))",
+        &[("X", "i"), ("Y", "i")],
+    )
+    .unwrap();
+    let cfg = SolveConfig {
+        max_solutions: 10,
+        ..SolveConfig::default()
+    };
+    let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+    assert_eq!(out.answers.len(), 3);
+    let xs: Vec<String> = out
+        .answers
+        .iter()
+        .map(|a| a.get("X").unwrap().to_string())
+        .collect();
+    assert_eq!(xs, vec!["nil", "cons a nil", "cons a (cons b nil)"]);
+}
+
+#[test]
+fn failing_query_is_empty_not_error() {
+    let prog = examples::append_program();
+    let (goal, menv) = query_menv(prog.sig(), "append (cons a nil) nil nil", &[]).unwrap();
+    let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+    assert!(out.answers.is_empty());
+    assert!(out.cut.is_none(), "search space was exhausted, not cut");
+    assert!(!out.floundered);
+}
+
+#[test]
+fn depth_bound_reported() {
+    // A left-recursive loop: p :- p.
+    let sig = Signature::parse("type o. const p : o.").unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause {
+        vars: vec![],
+        head: Term::cnst("p"),
+        body: Goal::Atom(Term::cnst("p")),
+    });
+    let (goal, menv) = query_menv(prog.sig(), "p", &[]).unwrap();
+    let cfg = SolveConfig {
+        max_depth: 32,
+        ..SolveConfig::default()
+    };
+    let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+    assert!(out.answers.is_empty());
+    assert_eq!(out.cut, Some(CutBy::Depth), "the depth budget fired");
+    assert!(out.incomplete());
+}
+
+#[test]
+fn fuel_bound_reported() {
+    // The same loop with a tight fuel budget cuts by fuel before depth.
+    let sig = Signature::parse("type o. const p : o.").unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause {
+        vars: vec![],
+        head: Term::cnst("p"),
+        body: Goal::Atom(Term::cnst("p")),
+    });
+    let (goal, menv) = query_menv(prog.sig(), "p", &[]).unwrap();
+    let cfg = SolveConfig {
+        max_depth: u32::MAX,
+        fuel: 50,
+        ..SolveConfig::default()
+    };
+    let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+    assert!(out.answers.is_empty());
+    assert_eq!(out.cut, Some(CutBy::Fuel), "the fuel budget fired");
+}
+
+#[test]
+fn hypothetical_clause_scoped_to_its_goal() {
+    // (q => q) succeeds; q alone fails; and q is gone after the
+    // implication: ((q => q), q) fails.
+    let sig = Signature::parse("type o. const q : o. const r2 : o.").unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause {
+        vars: vec![],
+        head: Term::cnst("r2"),
+        body: Goal::True,
+    });
+    let q = || Goal::Atom(Term::cnst("q"));
+    let hypo = || {
+        Goal::implies(
+            Clause {
+                vars: vec![],
+                head: Term::cnst("q"),
+                body: Goal::True,
+            },
+            q(),
+        )
+    };
+    let cfg = SolveConfig::default();
+    let menv = MetaEnv::new();
+    assert_eq!(solve(&prog, &menv, &hypo(), &cfg).unwrap().answers.len(), 1);
+    assert!(solve(&prog, &menv, &q(), &cfg).unwrap().answers.is_empty());
+    let seq = Goal::and(hypo(), q());
+    assert!(solve(&prog, &menv, &seq, &cfg).unwrap().answers.is_empty());
+}
+
+#[test]
+fn universal_goal_introduces_fresh_constant() {
+    // pi x. eq x x succeeds; pi x. eq x a fails (x ≠ a).
+    let sig = Signature::parse("type i. type o. const a : i. const eq : i -> i -> o.").unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
+    let i = Ty::base("i");
+    let refl = Goal::pi(
+        "x",
+        i.clone(),
+        Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Var(0), Term::Var(0)])),
+    );
+    let cfg = SolveConfig::default();
+    let menv = MetaEnv::new();
+    assert_eq!(solve(&prog, &menv, &refl, &cfg).unwrap().answers.len(), 1);
+    let bad = Goal::pi(
+        "x",
+        i,
+        Goal::Atom(Term::apps(
+            Term::cnst("eq"),
+            [Term::Var(0), Term::cnst("a")],
+        )),
+    );
+    assert!(solve(&prog, &menv, &bad, &cfg).unwrap().answers.is_empty());
+}
+
+#[test]
+fn eigenvariable_scope_violation_rejected() {
+    // pi x. eq ?Y x must FAIL: ?Y was created before x and must not
+    // capture it (the essence of mixed-prefix unification).
+    let sig = Signature::parse("type i. type o. const eq : i -> i -> o.").unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[("X", "i")], "eq ?X ?X", &[]).unwrap());
+    let y = MVar::new(0, "Y");
+    let mut menv = MetaEnv::new();
+    menv.insert(y.clone(), Ty::base("i"));
+    let goal = Goal::pi(
+        "x",
+        Ty::base("i"),
+        Goal::Atom(Term::apps(Term::cnst("eq"), [Term::Meta(y), Term::Var(0)])),
+    );
+    let out = solve(&prog, &menv, &goal, &SolveConfig::default()).unwrap();
+    assert!(
+        out.answers.is_empty(),
+        "?Y := eigenvariable would escape its scope"
+    );
+}
+
+#[test]
+fn local_clause_with_vars_rejected() {
+    let sig = Signature::parse("type o. const q : o.").unwrap();
+    let prog = Program::new(sig);
+    let bad = Goal::implies(
+        Clause {
+            vars: vec![(hoas_core::Sym::new("X"), Ty::base("o"))],
+            head: Term::cnst("q"),
+            body: Goal::True,
+        },
+        Goal::Atom(Term::cnst("q")),
+    );
+    assert!(matches!(
+        solve(&prog, &MetaEnv::new(), &bad, &SolveConfig::default()),
+        Err(LpError::LocalClauseWithVars(_))
+    ));
+}
+
+#[test]
+fn flexible_atom_flounders() {
+    let sig = Signature::parse("type o. const q : o.").unwrap();
+    let prog = Program::new(sig);
+    let m = MVar::new(0, "G");
+    let mut menv = MetaEnv::new();
+    menv.insert(m.clone(), Ty::base("o"));
+    let out = solve(
+        &prog,
+        &menv,
+        &Goal::Atom(Term::Meta(m)),
+        &SolveConfig::default(),
+    )
+    .unwrap();
+    assert!(out.answers.is_empty());
+    assert!(out.floundered);
+}
+
+// ----------------------------------------------------------------------
+// Machine-only regressions: derivation depth is bounded by heap, not by
+// the host call stack (the pre-PR-10 recursive solver overflowed the OS
+// stack near 10⁴ on these).
+
+/// The unary-numeral program. The base clause comes first so the
+/// committed-choice path matches the recursive clause *last* (no
+/// debug-build cross-check clones along the chain).
+fn nat_program() -> Program {
+    let sig =
+        Signature::parse("type i. type o. const z : i. const s : i -> i. const nat : i -> o.")
+            .unwrap();
+    let mut prog = Program::new(sig);
+    prog.push(Clause::parse(prog.sig(), &[], "nat z", &[]).unwrap());
+    prog.push(Clause::parse(prog.sig(), &[("N", "i")], "nat (s ?N)", &["nat ?N"]).unwrap());
+    prog
+}
+
+fn church(n: usize) -> Term {
+    let mut t = Term::cnst("z");
+    for _ in 0..n {
+        t = Term::app(Term::cnst("s"), t);
+    }
+    t
+}
+
+#[test]
+fn deep_right_recursion_solves_without_host_stack_overflow() {
+    // A right-recursive chain of 10⁵ clauses: p0 :- p1. … p99999.
+    // The derivation is 10⁵ resolution steps down one branch — the
+    // recursive solver's host frames overflowed the OS stack near 10⁴;
+    // the machine keeps 10⁵ choice points on the heap and walks back
+    // out. (Terms stay shallow on purpose: kernel normalization is
+    // recursive over *term* depth, which is a different budget.)
+    const DEPTH: usize = 100_000;
+    let mut sig = Signature::parse("type o.").unwrap();
+    for i in 0..=DEPTH {
+        sig.declare_const(
+            format!("p{i}").as_str(),
+            hoas_core::TyScheme::mono(Ty::base("o")),
+        )
+        .unwrap();
+    }
+    let mut prog = Program::new(sig);
+    for i in 0..DEPTH {
+        prog.push(Clause {
+            vars: vec![],
+            head: Term::cnst(format!("p{i}").as_str()),
+            body: Goal::Atom(Term::cnst(format!("p{}", i + 1).as_str())),
+        });
+    }
+    prog.push(Clause {
+        vars: vec![],
+        head: Term::cnst(format!("p{DEPTH}").as_str()),
+        body: Goal::True,
+    });
+    let (goal, menv) = query_menv(prog.sig(), "p0", &[]).unwrap();
+    let cfg = SolveConfig {
+        max_depth: DEPTH as u32 + 8,
+        fuel: 20_000_000,
+        ..SolveConfig::default()
+    };
+    let out = solve(&prog, &menv, &goal, &cfg).unwrap();
+    assert_eq!(out.answers.len(), 1, "p0 is provable through 10⁵ steps");
+    assert!(out.cut.is_none());
+}
+
+#[test]
+fn deep_committed_chain_threads_state_by_move() {
+    // The certificate makes `nat` committed-choice, so the machine
+    // threads one state by move the whole way down — no per-step
+    // snapshot at all.
+    const DEPTH: usize = 256;
+    let prog = nat_program();
+    let cert = hoas::analyze::modes::analyze_program(&prog).cert;
+    let goal = Goal::Atom(Term::apps(Term::cnst("nat"), [church(DEPTH)]));
+    let cfg = SolveConfig {
+        max_depth: DEPTH as u32 + 8,
+        fuel: 20_000_000,
+        ..SolveConfig::default()
+    };
+    let out = solve_certified(&prog, &MetaEnv::new(), &goal, &cfg, &cert).unwrap();
+    assert_eq!(out.answers.len(), 1, "nat (s^2048 z) is provable");
+    assert!(out.cut.is_none());
+}
+
+#[test]
+fn iterative_deepening_agrees_with_dfs() {
+    use hoas::lp::SearchStrategy;
+    let prog = examples::append_program();
+    let (goal, menv) = query_menv(
+        prog.sig(),
+        "append ?X ?Y (cons a (cons b nil))",
+        &[("X", "i"), ("Y", "i")],
+    )
+    .unwrap();
+    let dfs = solve(
+        &prog,
+        &menv,
+        &goal,
+        &SolveConfig {
+            max_solutions: 10,
+            ..SolveConfig::default()
+        },
+    )
+    .unwrap();
+    let idfs = solve(
+        &prog,
+        &menv,
+        &goal,
+        &SolveConfig {
+            max_solutions: 10,
+            strategy: SearchStrategy::IterativeDeepening { start: 1, step: 1 },
+            ..SolveConfig::default()
+        },
+    )
+    .unwrap();
+    let xs = |o: &hoas::lp::Outcome| {
+        let mut v: Vec<String> = o
+            .answers
+            .iter()
+            .map(|a| a.get("X").unwrap().to_string())
+            .collect();
+        v.sort();
+        v
+    };
+    assert_eq!(xs(&dfs), xs(&idfs), "same answer set up to order");
 }
